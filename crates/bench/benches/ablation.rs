@@ -1,0 +1,95 @@
+//! Bench: ablations of the §5 heuristics (DESIGN.md §5).
+//!
+//! Each variant flips exactly one knob of [`SchedulerConfig`] against
+//! the default; run on the rover typical case, which exercises every
+//! stage. Quality differences of the same knobs are reported by
+//! `repro`/EXPERIMENTS.md; this bench measures their *cost*.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pas_rover::{build_rover_problem, EnvCase};
+use pas_sched::{
+    DelayPolicy, PowerAwareScheduler, ScanOrder, SchedulerConfig, SlotPolicy, VictimOrder,
+};
+
+fn variants() -> Vec<(&'static str, SchedulerConfig)> {
+    let base = SchedulerConfig::default();
+    vec![
+        ("default", base.clone()),
+        (
+            "victim_random",
+            SchedulerConfig {
+                victim_order: VictimOrder::Random,
+                ..base.clone()
+            },
+        ),
+        (
+            "delay_execution_time",
+            SchedulerConfig {
+                delay_policy: DelayPolicy::ExecutionTime,
+                ..base.clone()
+            },
+        ),
+        (
+            "delay_next_breakpoint",
+            SchedulerConfig {
+                delay_policy: DelayPolicy::NextBreakpoint,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_locking",
+            SchedulerConfig {
+                lock_remaining: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "reduce_jitter",
+            SchedulerConfig {
+                reduce_jitter: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_compaction",
+            SchedulerConfig {
+                compact: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "single_forward_scan",
+            SchedulerConfig {
+                scan_orders: vec![ScanOrder::Forward],
+                slot_policies: vec![SlotPolicy::StartAtGap],
+                max_scans: 1,
+                ..base.clone()
+            },
+        ),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    for (name, config) in variants() {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || build_rover_problem(EnvCase::Typical, 1),
+                |mut rover| {
+                    PowerAwareScheduler::new(config.clone())
+                        .schedule(&mut rover.problem)
+                        .unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Bench: the max-power scheduler (Fig. 4 / Fig. 5 of the paper).
+//!
+//! Measures stages 1–2 on the paper example and across power-budget
+//! tightness (loose budgets are almost free, tight ones recurse).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pas_core::example::paper_example;
+use pas_sched::{schedule_max_power, SchedulerConfig, SchedulerStats};
+use pas_workload::tightness_suite;
+
+fn bench_max_power(c: &mut Criterion) {
+    let config = SchedulerConfig::default();
+    let mut group = c.benchmark_group("max_power");
+
+    group.bench_function("fig5_paper_example", |b| {
+        b.iter_batched(
+            || paper_example().0,
+            |mut problem| {
+                let constraints = problem.constraints();
+                let background = problem.background_power();
+                let mut stats = SchedulerStats::default();
+                schedule_max_power(
+                    problem.graph_mut(),
+                    constraints.p_max(),
+                    background,
+                    &config,
+                    &mut stats,
+                )
+                .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    for (factor, problem) in tightness_suite(11) {
+        group.bench_function(format!("tightness_x{factor}"), |b| {
+            b.iter_batched(
+                || problem.clone(),
+                |mut problem| {
+                    let constraints = problem.constraints();
+                    let background = problem.background_power();
+                    let mut stats = SchedulerStats::default();
+                    // Tight instances may be unschedulable; the error
+                    // path is part of the measured behaviour.
+                    let _ = schedule_max_power(
+                        problem.graph_mut(),
+                        constraints.p_max(),
+                        background,
+                        &config,
+                        &mut stats,
+                    );
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_max_power
+}
+criterion_main!(benches);

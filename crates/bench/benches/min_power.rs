@@ -1,0 +1,71 @@
+//! Bench: the min-power scheduler (Fig. 6 / Fig. 7 of the paper).
+//!
+//! Measures the gap-filling stage on top of a precomputed valid
+//! schedule, isolating stage 3 from stages 1–2, plus the full
+//! pipeline for reference.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pas_core::example::paper_example;
+use pas_sched::{
+    improve_gaps, schedule_max_power, PowerAwareScheduler, SchedulerConfig, SchedulerStats,
+};
+
+fn bench_min_power(c: &mut Criterion) {
+    let config = SchedulerConfig::default();
+    let mut group = c.benchmark_group("min_power");
+
+    // Precompute the stage-2 result once; stage 3 is pure (does not
+    // mutate the graph), so it can be re-run on the same input.
+    let (mut problem, _) = paper_example();
+    let constraints = problem.constraints();
+    let background = problem.background_power();
+    let mut stats = SchedulerStats::default();
+    let valid = schedule_max_power(
+        problem.graph_mut(),
+        constraints.p_max(),
+        background,
+        &config,
+        &mut stats,
+    )
+    .unwrap();
+
+    group.bench_function("fig7_gap_filling_only", |b| {
+        b.iter_batched(
+            || valid.clone(),
+            |valid| {
+                let mut stats = SchedulerStats::default();
+                improve_gaps(
+                    problem.graph(),
+                    valid,
+                    constraints.p_max(),
+                    constraints.p_min(),
+                    background,
+                    &config,
+                    &mut stats,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("full_pipeline_paper_example", |b| {
+        b.iter_batched(
+            || paper_example().0,
+            |mut problem| {
+                PowerAwareScheduler::default()
+                    .schedule(&mut problem)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_min_power
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Bench: the rover schedules of Figs. 9–11 (full pipeline per
+//! environment case, plus the 2-iteration unrolled best case).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pas_rover::{build_rover_problem, EnvCase};
+use pas_sched::PowerAwareScheduler;
+
+fn bench_rover_cases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rover_cases");
+
+    for case in EnvCase::ALL {
+        group.bench_function(format!("fig_{}_1it", case.label()), |b| {
+            b.iter_batched(
+                || build_rover_problem(case, 1),
+                |mut rover| {
+                    PowerAwareScheduler::default()
+                        .schedule(&mut rover.problem)
+                        .unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.bench_function("fig9_best_2it_unrolled", |b| {
+        b.iter_batched(
+            || build_rover_problem(EnvCase::Best, 2),
+            |mut rover| {
+                PowerAwareScheduler::default()
+                    .schedule(&mut rover.problem)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_rover_cases
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench: scheduler scaling with problem size (not in the paper —
+//! establishes the tool's practical capacity).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pas_sched::PowerAwareScheduler;
+use pas_workload::{chains_suite, scaling_suite};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+
+    for problem in scaling_suite(0xC0FFEE).problems {
+        let tasks = problem.graph().num_tasks();
+        group.bench_function(format!("pipeline_{tasks}_tasks"), |b| {
+            b.iter_batched(
+                || problem.clone(),
+                |mut problem| {
+                    // Very tight instances can legitimately fail; both
+                    // paths are the measured behaviour.
+                    let _ = PowerAwareScheduler::default().schedule(&mut problem);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    for problem in chains_suite(0xBEEF).problems {
+        let tasks = problem.graph().num_tasks();
+        group.bench_function(format!("chains_{tasks}_tasks"), |b| {
+            b.iter_batched(
+                || problem.clone(),
+                |mut problem| {
+                    let _ = PowerAwareScheduler::default().schedule(&mut problem);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scaling
+}
+criterion_main!(benches);

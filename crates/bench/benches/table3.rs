@@ -1,0 +1,35 @@
+//! Bench: regenerating Table 3 (JPL baseline + power-aware schedule
+//! + metrics for all three cases), and the JPL baseline alone.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pas_core::analyze;
+use pas_rover::{jpl_schedule, table3, EnvCase};
+use pas_sched::SchedulerConfig;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+
+    group.bench_function("full_table", |b| {
+        b.iter(|| table3(&SchedulerConfig::default()).unwrap())
+    });
+
+    group.bench_function("jpl_baseline_worst", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let (rover, schedule) = jpl_schedule(EnvCase::Worst).unwrap();
+                analyze(&rover.problem, &schedule)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table3
+}
+criterion_main!(benches);

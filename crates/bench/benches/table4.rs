@@ -1,0 +1,37 @@
+//! Bench: the Table 4 mission scenario — plan construction (which
+//! runs the scheduler per case) and the simulation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pas_mission::{jpl_plan, power_aware_plan, simulate, Scenario};
+use pas_sched::SchedulerConfig;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+
+    group.bench_function("jpl_plan_construction", |b| b.iter(|| jpl_plan().unwrap()));
+
+    group.bench_function("power_aware_plan_construction", |b| {
+        b.iter(|| power_aware_plan(&SchedulerConfig::default()).unwrap())
+    });
+
+    // Simulation alone is microseconds; measured separately so the
+    // planning cost above does not mask it.
+    let scenario = Scenario::table4();
+    let jpl = jpl_plan().unwrap();
+    let pa = power_aware_plan(&SchedulerConfig::default()).unwrap();
+    group.bench_function("simulate_48_steps_jpl", |b| {
+        b.iter(|| simulate(&scenario, &jpl))
+    });
+    group.bench_function("simulate_48_steps_power_aware", |b| {
+        b.iter(|| simulate(&scenario, &pa))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table4
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Bench: the timing scheduler (Fig. 3 / Fig. 2 of the paper).
+//!
+//! Measures stage 1 alone on the paper's 9-task example, the rover
+//! model, and growing synthetic graphs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pas_core::example::paper_example;
+use pas_rover::{build_rover_problem, EnvCase};
+use pas_sched::{schedule_timing, SchedulerConfig, SchedulerStats};
+use pas_workload::{generate, GeneratorConfig, Topology};
+
+fn bench_timing(c: &mut Criterion) {
+    let config = SchedulerConfig::default();
+    let mut group = c.benchmark_group("timing");
+
+    group.bench_function("fig2_paper_example", |b| {
+        b.iter_batched(
+            || paper_example().0,
+            |mut problem| {
+                let mut stats = SchedulerStats::default();
+                schedule_timing(problem.graph_mut(), &config, &mut stats).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("rover_1it", |b| {
+        b.iter_batched(
+            || build_rover_problem(EnvCase::Typical, 1),
+            |mut rover| {
+                let mut stats = SchedulerStats::default();
+                schedule_timing(rover.problem.graph_mut(), &config, &mut stats).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    for tasks in [16usize, 32, 64] {
+        let gen = GeneratorConfig {
+            tasks,
+            resources: (tasks / 4).max(2),
+            topology: Topology::Layered {
+                layers: (tasks / 6).max(2),
+            },
+            ..Default::default()
+        };
+        group.bench_function(format!("layered_{tasks}_tasks"), |b| {
+            b.iter_batched(
+                || generate(&gen),
+                |mut problem| {
+                    let mut stats = SchedulerStats::default();
+                    schedule_timing(problem.graph_mut(), &config, &mut stats).unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_timing
+}
+criterion_main!(benches);

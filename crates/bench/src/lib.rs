@@ -1,0 +1,64 @@
+//! # pas-bench — reproduction harness for every table and figure
+//!
+//! Shared helpers for the `repro` binary (which regenerates the
+//! paper's Figs. 2–11 and Tables 3–4 as text) and the Criterion
+//! benches (`benches/*.rs`), which measure the schedulers on the
+//! paper's instances and on synthetic scaling suites.
+//!
+//! Run the full reproduction with:
+//!
+//! ```text
+//! cargo run -p pas-bench --bin repro -- all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pas_core::{analyze, Problem, Schedule, ScheduleAnalysis};
+use pas_gantt::{render_ascii, AsciiOptions, GanttChart};
+
+/// Renders one schedule as an ASCII power-aware Gantt chart plus a
+/// metric line, the standard block the `repro` binary prints per
+/// figure.
+pub fn figure_block(title: &str, problem: &Problem, schedule: &Schedule) -> String {
+    let analysis = analyze(problem, schedule);
+    let chart = GanttChart::from_analysis(problem, schedule, &analysis);
+    let mut out = format!("---- {title} ----\n");
+    out.push_str(&render_ascii(&chart, &AsciiOptions::default()));
+    out
+}
+
+/// Formats a metrics row for the Table 3 layout.
+pub fn metrics_row(label: &str, a: &ScheduleAnalysis) -> String {
+    format!(
+        "{label:<24} Ec={:<10} rho={:<7} tau={}",
+        a.energy_cost.to_string(),
+        a.utilization.to_string(),
+        a.finish_time
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_core::example::paper_example;
+    use pas_sched::PowerAwareScheduler;
+
+    #[test]
+    fn figure_block_contains_title_and_chart() {
+        let (mut p, _) = paper_example();
+        let o = PowerAwareScheduler::default().schedule(&mut p).unwrap();
+        let block = figure_block("Fig. 7", &p, &o.schedule);
+        assert!(block.starts_with("---- Fig. 7 ----"));
+        assert!(block.contains("rho="));
+    }
+
+    #[test]
+    fn metrics_row_is_single_line() {
+        let (mut p, _) = paper_example();
+        let o = PowerAwareScheduler::default().schedule(&mut p).unwrap();
+        let row = metrics_row("power-aware", &o.analysis);
+        assert_eq!(row.lines().count(), 1);
+        assert!(row.contains("Ec="));
+    }
+}

@@ -1,0 +1,465 @@
+//! Extended task power models (§4.1 of the paper).
+//!
+//! The paper assumes a single exact power value per task "to simplify
+//! the discussion", noting that "in practice, the power consumption
+//! can be either in the form of (min, typical, max), or a function
+//! over time. Since our formulation can be extended to handling these
+//! cases…". This module is that extension:
+//!
+//! * [`PowerRange`] — per-task `(min, typical, max)` corners, and
+//!   [`analyze_corners`] which re-evaluates a schedule in each corner
+//!   (peak power is monotone in task powers, so validity at the max
+//!   corner implies validity everywhere in the box);
+//! * [`PowerCurve`] — a piecewise-constant power draw over a task's
+//!   execution window (e.g. motor inrush), and
+//!   [`profile_with_curves`] which builds the system profile from
+//!   them.
+
+use crate::metrics::{analyze, ScheduleAnalysis};
+use crate::problem::Problem;
+use crate::profile::PowerProfile;
+use crate::schedule::Schedule;
+use pas_graph::units::{Energy, Power, Time, TimeSpan};
+use pas_graph::{ConstraintGraph, TaskId};
+
+/// Per-task power corners: `min ≤ typical ≤ max`.
+///
+/// # Examples
+/// ```
+/// use pas_core::power_model::PowerRange;
+/// use pas_graph::units::Power;
+/// // The rover's driving power across the three temperature cases.
+/// let drive = PowerRange::new(
+///     Power::from_watts_milli(7_500),
+///     Power::from_watts_milli(10_900),
+///     Power::from_watts_milli(13_800),
+/// );
+/// assert_eq!(drive.at(pas_core::power_model::Corner::Max),
+///            Power::from_watts_milli(13_800));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PowerRange {
+    min: Power,
+    typical: Power,
+    max: Power,
+}
+
+impl PowerRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ min ≤ typical ≤ max`.
+    pub fn new(min: Power, typical: Power, max: Power) -> Self {
+        assert!(min >= Power::ZERO, "powers must be non-negative");
+        assert!(
+            min <= typical && typical <= max,
+            "need min <= typical <= max"
+        );
+        PowerRange { min, typical, max }
+    }
+
+    /// A degenerate range (the paper's single-value case).
+    pub fn exact(power: Power) -> Self {
+        PowerRange {
+            min: power,
+            typical: power,
+            max: power,
+        }
+    }
+
+    /// The power at a given corner.
+    pub fn at(self, corner: Corner) -> Power {
+        match corner {
+            Corner::Min => self.min,
+            Corner::Typical => self.typical,
+            Corner::Max => self.max,
+        }
+    }
+}
+
+/// An operating corner of the power box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corner {
+    /// Every task draws its minimum power.
+    Min,
+    /// Every task draws its typical power.
+    Typical,
+    /// Every task draws its maximum power.
+    Max,
+}
+
+impl Corner {
+    /// All corners, min first.
+    pub const ALL: [Corner; 3] = [Corner::Min, Corner::Typical, Corner::Max];
+}
+
+impl core::fmt::Display for Corner {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Corner::Min => "min",
+            Corner::Typical => "typical",
+            Corner::Max => "max",
+        })
+    }
+}
+
+/// The analysis of one schedule at one corner.
+#[derive(Debug, Clone)]
+pub struct CornerReport {
+    /// Which corner the powers were taken from.
+    pub corner: Corner,
+    /// The standard analysis at that corner.
+    pub analysis: ScheduleAnalysis,
+}
+
+/// Re-analyzes `schedule` with every task's power replaced by its
+/// corner value, for all three corners. `ranges` is indexed by
+/// [`TaskId`].
+///
+/// # Panics
+/// Panics if `ranges` does not cover every task of the problem.
+///
+/// # Examples
+/// ```
+/// use pas_core::example::paper_example;
+/// use pas_core::power_model::{analyze_corners, Corner, PowerRange};
+/// use pas_core::Schedule;
+/// use pas_graph::units::Time;
+///
+/// let (problem, _) = paper_example();
+/// let ranges: Vec<PowerRange> = problem
+///     .graph()
+///     .tasks()
+///     .map(|(_, t)| PowerRange::exact(t.power()))
+///     .collect();
+/// let sigma = Schedule::from_starts(vec![Time::ZERO; 9]);
+/// let reports = analyze_corners(&problem, &ranges, &sigma);
+/// // Degenerate ranges: all corners agree.
+/// assert_eq!(reports[0].analysis.peak_power, reports[2].analysis.peak_power);
+/// ```
+pub fn analyze_corners(
+    problem: &Problem,
+    ranges: &[PowerRange],
+    schedule: &Schedule,
+) -> [CornerReport; 3] {
+    assert_eq!(
+        ranges.len(),
+        problem.graph().num_tasks(),
+        "need one PowerRange per task"
+    );
+    Corner::ALL.map(|corner| {
+        let mut problem_at = problem.clone();
+        for (i, range) in ranges.iter().enumerate() {
+            problem_at
+                .graph_mut()
+                .set_task_power(TaskId::from_index(i), range.at(corner));
+        }
+        CornerReport {
+            corner,
+            analysis: analyze(&problem_at, schedule),
+        }
+    })
+}
+
+/// `true` when `schedule` is time-valid and spike-free in **every**
+/// corner. By monotonicity of the power profile in task powers this
+/// is equivalent to validity at the max corner, which the property
+/// tests verify.
+pub fn is_robustly_valid(problem: &Problem, ranges: &[PowerRange], schedule: &Schedule) -> bool {
+    analyze_corners(problem, ranges, schedule)
+        .iter()
+        .all(|r| r.analysis.is_valid())
+}
+
+/// A piecewise-constant power draw over a task's execution window:
+/// the "function over time" case of §4.1 (motor inrush spikes,
+/// multi-phase operations, …).
+///
+/// # Examples
+/// ```
+/// use pas_core::power_model::PowerCurve;
+/// use pas_graph::units::{Power, TimeSpan};
+/// // 12 W inrush for 2 s, then 7 W cruise.
+/// let curve = PowerCurve::new(vec![
+///     (TimeSpan::ZERO, Power::from_watts(12)),
+///     (TimeSpan::from_secs(2), Power::from_watts(7)),
+/// ]);
+/// assert_eq!(curve.power_at_offset(TimeSpan::from_secs(1)), Power::from_watts(12));
+/// assert_eq!(curve.power_at_offset(TimeSpan::from_secs(2)), Power::from_watts(7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerCurve {
+    /// `(offset from task start, level)`; the level holds until the
+    /// next offset (the last until the task completes).
+    segments: Vec<(TimeSpan, Power)>,
+}
+
+impl PowerCurve {
+    /// Creates a curve from `(offset, level)` pairs.
+    ///
+    /// # Panics
+    /// Panics if the segments are empty, do not start at offset 0,
+    /// are not strictly increasing, or contain negative powers.
+    pub fn new(segments: Vec<(TimeSpan, Power)>) -> Self {
+        assert!(!segments.is_empty(), "curve needs at least one segment");
+        assert!(
+            segments[0].0.is_zero(),
+            "first segment must start at offset 0"
+        );
+        assert!(
+            segments.windows(2).all(|w| w[0].0 < w[1].0),
+            "segment offsets must be strictly increasing"
+        );
+        assert!(
+            segments.iter().all(|&(_, p)| p >= Power::ZERO),
+            "powers must be non-negative"
+        );
+        PowerCurve { segments }
+    }
+
+    /// A constant curve (equivalent to the paper's single value).
+    pub fn constant(power: Power) -> Self {
+        PowerCurve {
+            segments: vec![(TimeSpan::ZERO, power)],
+        }
+    }
+
+    /// The draw at `offset` into the task's execution.
+    ///
+    /// # Panics
+    /// Panics if `offset` is negative.
+    pub fn power_at_offset(&self, offset: TimeSpan) -> Power {
+        assert!(!offset.is_negative(), "offset must be non-negative");
+        self.segments
+            .iter()
+            .rev()
+            .find(|&&(o, _)| o <= offset)
+            .map(|&(_, p)| p)
+            .expect("first segment starts at 0")
+    }
+
+    /// Total energy over an execution of `duration`.
+    pub fn energy(&self, duration: TimeSpan) -> Energy {
+        let mut total = Energy::ZERO;
+        for (i, &(off, p)) in self.segments.iter().enumerate() {
+            if off >= duration {
+                break;
+            }
+            let end = self
+                .segments
+                .get(i + 1)
+                .map(|&(o, _)| o)
+                .unwrap_or(duration)
+                .min(duration);
+            total += p * (end - off);
+        }
+        total
+    }
+
+    /// The segments as `(offset, level)` pairs.
+    pub fn segments(&self) -> &[(TimeSpan, Power)] {
+        &self.segments
+    }
+}
+
+/// Builds the system power profile of `schedule` when each task draws
+/// according to its [`PowerCurve`] instead of a constant. `curves`
+/// is indexed by [`TaskId`]; `None` entries fall back to the task's
+/// constant power.
+///
+/// # Panics
+/// Panics if `curves` does not cover every task.
+pub fn profile_with_curves(
+    graph: &ConstraintGraph,
+    schedule: &Schedule,
+    curves: &[Option<PowerCurve>],
+    background: Power,
+) -> PowerProfile {
+    assert_eq!(curves.len(), graph.num_tasks(), "need one entry per task");
+    let mut events: Vec<(Time, Power, bool)> = Vec::new();
+    for (id, task) in graph.tasks() {
+        let start = schedule.start(id);
+        let end = start + task.delay();
+        match &curves[id.index()] {
+            None => {
+                events.push((start, task.power(), true));
+                events.push((end, task.power(), false));
+            }
+            Some(curve) => {
+                for (i, &(off, p)) in curve.segments().iter().enumerate() {
+                    if off >= task.delay() {
+                        break;
+                    }
+                    let seg_end = curve
+                        .segments()
+                        .get(i + 1)
+                        .map(|&(o, _)| o)
+                        .unwrap_or(task.delay())
+                        .min(task.delay());
+                    events.push((start + off, p, true));
+                    events.push((start + seg_end, p, false));
+                }
+            }
+        }
+    }
+    let end = schedule.finish_time(graph);
+    PowerProfile::from_events(events, end, background)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::PowerConstraints;
+    use pas_graph::{Resource, ResourceKind, Task};
+
+    fn two_task_problem() -> Problem {
+        let mut g = ConstraintGraph::new();
+        let r0 = g.add_resource(Resource::new("A", ResourceKind::Compute));
+        let r1 = g.add_resource(Resource::new("B", ResourceKind::Compute));
+        g.add_task(Task::new(
+            "a",
+            r0,
+            TimeSpan::from_secs(4),
+            Power::from_watts(6),
+        ));
+        g.add_task(Task::new(
+            "b",
+            r1,
+            TimeSpan::from_secs(4),
+            Power::from_watts(4),
+        ));
+        Problem::new(
+            "corners",
+            g,
+            PowerConstraints::max_only(Power::from_watts(12)),
+        )
+    }
+
+    #[test]
+    fn corners_order_peak_power() {
+        let p = two_task_problem();
+        let ranges = vec![
+            PowerRange::new(
+                Power::from_watts(4),
+                Power::from_watts(6),
+                Power::from_watts(8),
+            ),
+            PowerRange::new(
+                Power::from_watts(2),
+                Power::from_watts(4),
+                Power::from_watts(6),
+            ),
+        ];
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::ZERO]);
+        let reports = analyze_corners(&p, &ranges, &s);
+        assert_eq!(reports[0].analysis.peak_power, Power::from_watts(6));
+        assert_eq!(reports[1].analysis.peak_power, Power::from_watts(10));
+        assert_eq!(reports[2].analysis.peak_power, Power::from_watts(14));
+        // 14 W > 12 W budget: robustness fails even though typical is
+        // fine.
+        assert!(reports[1].analysis.is_valid());
+        assert!(!is_robustly_valid(&p, &ranges, &s));
+    }
+
+    #[test]
+    fn staggering_restores_robust_validity() {
+        let p = two_task_problem();
+        let ranges = vec![
+            PowerRange::new(
+                Power::from_watts(4),
+                Power::from_watts(6),
+                Power::from_watts(8),
+            ),
+            PowerRange::new(
+                Power::from_watts(2),
+                Power::from_watts(4),
+                Power::from_watts(6),
+            ),
+        ];
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(4)]);
+        assert!(is_robustly_valid(&p, &ranges, &s));
+    }
+
+    #[test]
+    #[should_panic(expected = "one PowerRange per task")]
+    fn wrong_range_count_rejected() {
+        let p = two_task_problem();
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::ZERO]);
+        let _ = analyze_corners(&p, &[], &s);
+    }
+
+    #[test]
+    fn curve_energy_matches_piecewise_sum() {
+        let curve = PowerCurve::new(vec![
+            (TimeSpan::ZERO, Power::from_watts(12)),
+            (TimeSpan::from_secs(2), Power::from_watts(7)),
+        ]);
+        // 2 s × 12 + 3 s × 7 = 45 J over a 5 s run.
+        assert_eq!(
+            curve.energy(TimeSpan::from_secs(5)),
+            Energy::from_joules(45)
+        );
+        // Truncated run: 1 s × 12.
+        assert_eq!(
+            curve.energy(TimeSpan::from_secs(1)),
+            Energy::from_joules(12)
+        );
+        assert_eq!(
+            PowerCurve::constant(Power::from_watts(3)).energy(TimeSpan::from_secs(4)),
+            Energy::from_joules(12)
+        );
+    }
+
+    #[test]
+    fn profile_with_curves_matches_constant_fallback() {
+        let p = two_task_problem();
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(2)]);
+        let plain = PowerProfile::of_schedule(p.graph(), &s, Power::from_watts(1));
+        let with_none = profile_with_curves(p.graph(), &s, &[None, None], Power::from_watts(1));
+        assert_eq!(plain, with_none);
+    }
+
+    #[test]
+    fn inrush_curve_raises_the_early_profile() {
+        let p = two_task_problem();
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(10)]);
+        // Task a: 10 W inrush for 1 s then 5 W.
+        let curves = vec![
+            Some(PowerCurve::new(vec![
+                (TimeSpan::ZERO, Power::from_watts(10)),
+                (TimeSpan::from_secs(1), Power::from_watts(5)),
+            ])),
+            None,
+        ];
+        let profile = profile_with_curves(p.graph(), &s, &curves, Power::ZERO);
+        assert_eq!(profile.power_at(Time::ZERO), Power::from_watts(10));
+        assert_eq!(profile.power_at(Time::from_secs(1)), Power::from_watts(5));
+        assert_eq!(profile.power_at(Time::from_secs(3)), Power::from_watts(5));
+        assert_eq!(profile.power_at(Time::from_secs(4)), Power::ZERO);
+        // Energy identity still holds.
+        let expected = Energy::from_joules(10 + 3 * 5 + 4 * 4);
+        assert_eq!(profile.total_energy(), expected);
+    }
+
+    #[test]
+    fn curve_validation() {
+        assert!(std::panic::catch_unwind(|| PowerCurve::new(vec![])).is_err());
+        assert!(std::panic::catch_unwind(|| {
+            PowerCurve::new(vec![(TimeSpan::from_secs(1), Power::ZERO)])
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| {
+            PowerCurve::new(vec![
+                (TimeSpan::ZERO, Power::ZERO),
+                (TimeSpan::ZERO, Power::ZERO),
+            ])
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn corner_display() {
+        assert_eq!(Corner::Max.to_string(), "max");
+        assert_eq!(Corner::ALL.len(), 3);
+    }
+}

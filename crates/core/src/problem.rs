@@ -1,0 +1,218 @@
+//! Scheduling problem: constraint graph + power constraints.
+
+use pas_graph::units::Power;
+use pas_graph::ConstraintGraph;
+
+/// The max/min power constraints of §4.2.
+///
+/// * `p_max` — hard budget: the power profile must never exceed it
+///   (violations are *power spikes*).
+/// * `p_min` — soft goal: the level of "free" power (e.g. solar) the
+///   system should stay above (shortfalls are *power gaps*).
+///
+/// # Examples
+/// ```
+/// use pas_core::PowerConstraints;
+/// use pas_graph::units::Power;
+/// // Typical Mars rover case: 12 W solar + 10 W battery.
+/// let c = PowerConstraints::new(Power::from_watts(22), Power::from_watts(12));
+/// assert_eq!(c.p_max(), Power::from_watts(22));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PowerConstraints {
+    p_max: Power,
+    p_min: Power,
+}
+
+impl PowerConstraints {
+    /// Creates a constraint pair.
+    ///
+    /// # Panics
+    /// Panics if `p_min > p_max` or either is negative: a min level
+    /// above the hard budget is unsatisfiable by construction.
+    pub fn new(p_max: Power, p_min: Power) -> Self {
+        assert!(p_min >= Power::ZERO, "p_min must be non-negative");
+        assert!(
+            p_min <= p_max,
+            "p_min ({p_min}) must not exceed p_max ({p_max})"
+        );
+        PowerConstraints { p_max, p_min }
+    }
+
+    /// Only a max budget; `p_min = 0` (conventional low-power
+    /// scheduling is this special case, §4.2).
+    pub fn max_only(p_max: Power) -> Self {
+        Self::new(p_max, Power::ZERO)
+    }
+
+    /// Unconstrained: `p_max = ∞`, `p_min = 0` (pure timing
+    /// scheduling).
+    pub fn unconstrained() -> Self {
+        PowerConstraints {
+            p_max: Power::MAX,
+            p_min: Power::ZERO,
+        }
+    }
+
+    /// The hard max power budget.
+    #[inline]
+    pub fn p_max(self) -> Power {
+        self.p_max
+    }
+
+    /// The soft min power goal (the free power level).
+    #[inline]
+    pub fn p_min(self) -> Power {
+        self.p_min
+    }
+}
+
+/// A complete power-aware scheduling problem instance.
+///
+/// Couples the [`ConstraintGraph`] with the system-level
+/// [`PowerConstraints`] and an always-on *background* power draw
+/// (e.g. the rover CPU, which the paper lists as a constant consumer).
+///
+/// # Examples
+/// ```
+/// use pas_core::{Problem, PowerConstraints};
+/// use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task};
+/// use pas_graph::units::{Power, TimeSpan};
+///
+/// let mut g = ConstraintGraph::new();
+/// let r = g.add_resource(Resource::new("cpu", ResourceKind::Compute));
+/// g.add_task(Task::new("boot", r, TimeSpan::from_secs(3), Power::from_watts(2)));
+/// let p = Problem::new("demo", g, PowerConstraints::max_only(Power::from_watts(5)));
+/// assert_eq!(p.name(), "demo");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Problem {
+    name: String,
+    graph: ConstraintGraph,
+    constraints: PowerConstraints,
+    background: Power,
+}
+
+impl Problem {
+    /// Creates a problem with zero background power.
+    pub fn new(
+        name: impl Into<String>,
+        graph: ConstraintGraph,
+        constraints: PowerConstraints,
+    ) -> Self {
+        Problem {
+            name: name.into(),
+            graph,
+            constraints,
+            background: Power::ZERO,
+        }
+    }
+
+    /// Creates a problem with a constant background power draw that is
+    /// added to the power profile over the whole schedule span.
+    ///
+    /// # Panics
+    /// Panics if `background` is negative.
+    pub fn with_background(
+        name: impl Into<String>,
+        graph: ConstraintGraph,
+        constraints: PowerConstraints,
+        background: Power,
+    ) -> Self {
+        assert!(
+            background >= Power::ZERO,
+            "background power must be non-negative"
+        );
+        Problem {
+            name: name.into(),
+            graph,
+            constraints,
+            background,
+        }
+    }
+
+    /// The problem's name (used in reports and chart titles).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The constraint graph.
+    #[inline]
+    pub fn graph(&self) -> &ConstraintGraph {
+        &self.graph
+    }
+
+    /// Mutable access to the constraint graph (schedulers add edges).
+    #[inline]
+    pub fn graph_mut(&mut self) -> &mut ConstraintGraph {
+        &mut self.graph
+    }
+
+    /// The system-level power constraints.
+    #[inline]
+    pub fn constraints(&self) -> PowerConstraints {
+        self.constraints
+    }
+
+    /// Replaces the power constraints (e.g. when re-evaluating the
+    /// same task graph under a different solar level).
+    pub fn set_constraints(&mut self, constraints: PowerConstraints) {
+        self.constraints = constraints;
+    }
+
+    /// The constant background power draw.
+    #[inline]
+    pub fn background_power(&self) -> Power {
+        self.background
+    }
+
+    /// Consumes the problem, returning its graph.
+    pub fn into_graph(self) -> ConstraintGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_graph::units::TimeSpan;
+    use pas_graph::{Resource, ResourceKind, Task};
+
+    #[test]
+    fn constraints_accessors() {
+        let c = PowerConstraints::new(Power::from_watts(19), Power::from_watts(9));
+        assert_eq!(c.p_max(), Power::from_watts(19));
+        assert_eq!(c.p_min(), Power::from_watts(9));
+        assert_eq!(
+            PowerConstraints::max_only(Power::from_watts(5)).p_min(),
+            Power::ZERO
+        );
+        assert_eq!(PowerConstraints::unconstrained().p_max(), Power::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn pmin_above_pmax_rejected() {
+        let _ = PowerConstraints::new(Power::from_watts(5), Power::from_watts(6));
+    }
+
+    #[test]
+    fn problem_round_trip() {
+        let mut g = ConstraintGraph::new();
+        let r = g.add_resource(Resource::new("cpu", ResourceKind::Compute));
+        g.add_task(Task::new("t", r, TimeSpan::from_secs(1), Power::ZERO));
+        let mut p = Problem::with_background(
+            "p",
+            g,
+            PowerConstraints::unconstrained(),
+            Power::from_watts(3),
+        );
+        assert_eq!(p.background_power(), Power::from_watts(3));
+        assert_eq!(p.graph().num_tasks(), 1);
+        p.set_constraints(PowerConstraints::max_only(Power::from_watts(9)));
+        assert_eq!(p.constraints().p_max(), Power::from_watts(9));
+        let g = p.into_graph();
+        assert_eq!(g.num_tasks(), 1);
+    }
+}

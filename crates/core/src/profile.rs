@@ -1,0 +1,512 @@
+//! Piecewise-constant power profiles `P_σ(t)` (§4.2).
+
+use crate::schedule::Schedule;
+use pas_graph::units::{Energy, Power, Time, TimeSpan};
+use pas_graph::ConstraintGraph;
+
+/// A half-open constant-power segment `[start, end)` of a profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// Segment start (inclusive).
+    pub start: Time,
+    /// Segment end (exclusive).
+    pub end: Time,
+    /// Power level over the segment.
+    pub power: Power,
+}
+
+impl Segment {
+    /// Segment duration.
+    #[inline]
+    pub fn duration(&self) -> TimeSpan {
+        self.end - self.start
+    }
+
+    /// Energy delivered over the segment.
+    #[inline]
+    pub fn energy(&self) -> Energy {
+        self.power * self.duration()
+    }
+}
+
+/// The power profile of a schedule: a piecewise-constant function of
+/// time over `[0, τ_σ)`, equal to the sum of the powers of all active
+/// tasks plus the problem's background power.
+///
+/// # Examples
+/// ```
+/// use pas_core::{PowerProfile, Schedule};
+/// use pas_graph::units::{Power, Time, TimeSpan};
+/// use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task};
+///
+/// let mut g = ConstraintGraph::new();
+/// let r = g.add_resource(Resource::new("A", ResourceKind::Compute));
+/// let a = g.add_task(Task::new("a", r, TimeSpan::from_secs(4), Power::from_watts(3)));
+/// let sigma = Schedule::from_starts(vec![Time::from_secs(1)]);
+/// let profile = PowerProfile::of_schedule(&g, &sigma, Power::from_watts(1));
+/// assert_eq!(profile.power_at(Time::ZERO), Power::from_watts(1));
+/// assert_eq!(profile.power_at(Time::from_secs(2)), Power::from_watts(4));
+/// assert_eq!(profile.peak(), Power::from_watts(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerProfile {
+    /// Segment boundaries: `levels[i]` holds on `[times[i], times[i+1])`;
+    /// the last level holds until `end`.
+    times: Vec<Time>,
+    levels: Vec<Power>,
+    end: Time,
+    background: Power,
+}
+
+impl PowerProfile {
+    /// Computes the profile of `schedule` over `[0, τ_σ)` including a
+    /// constant `background` draw.
+    ///
+    /// The profile is empty (zero-length) when the graph has no tasks.
+    pub fn of_schedule(graph: &ConstraintGraph, schedule: &Schedule, background: Power) -> Self {
+        Self::of_schedule_filtered(graph, schedule, background, |_| true)
+    }
+
+    /// Like [`PowerProfile::of_schedule`], but only tasks for which
+    /// `include` returns `true` contribute power (the domain still
+    /// spans the full schedule). Used by compaction-style algorithms
+    /// that ask "what does the profile look like without task v?".
+    pub fn of_schedule_filtered(
+        graph: &ConstraintGraph,
+        schedule: &Schedule,
+        background: Power,
+        include: impl Fn(pas_graph::TaskId) -> bool,
+    ) -> Self {
+        let mut events: Vec<(Time, Power, bool)> = Vec::with_capacity(graph.num_tasks() * 2);
+        for (id, task) in graph.tasks() {
+            if !include(id) {
+                continue;
+            }
+            let s = schedule.start(id);
+            events.push((s, task.power(), true));
+            events.push((s + task.delay(), task.power(), false));
+        }
+        let end = schedule.finish_time(graph);
+        Self::from_events(events, end, background)
+    }
+
+    /// Builds a profile from raw `(instant, power, is_start)` events
+    /// over `[0, end)`. Used by [`of_schedule`](Self::of_schedule) and
+    /// by the extended power models in
+    /// [`power_model`](crate::power_model).
+    pub(crate) fn from_events(
+        mut events: Vec<(Time, Power, bool)>,
+        end: Time,
+        background: Power,
+    ) -> Self {
+        events.sort_by_key(|&(t, _, is_start)| (t, is_start)); // ends before starts at equal t
+        let mut times = vec![Time::ZERO];
+        let mut levels = vec![background];
+        let mut level = background;
+        for (t, p, is_start) in events {
+            if is_start {
+                level += p;
+            } else {
+                level -= p;
+            }
+            let t = t.max(Time::ZERO);
+            if *times.last().expect("non-empty") == t {
+                *levels.last_mut().expect("non-empty") = level;
+            } else {
+                times.push(t);
+                levels.push(level);
+            }
+        }
+        // Merge adjacent equal levels.
+        let mut mt = Vec::with_capacity(times.len());
+        let mut ml = Vec::with_capacity(levels.len());
+        for (t, l) in times.into_iter().zip(levels) {
+            if ml.last() == Some(&l) {
+                continue;
+            }
+            mt.push(t);
+            ml.push(l);
+        }
+        PowerProfile {
+            times: mt,
+            levels: ml,
+            end,
+            background,
+        }
+    }
+
+    /// End of the profile's domain (the schedule finish time `τ_σ`).
+    #[inline]
+    pub fn end(&self) -> Time {
+        self.end
+    }
+
+    /// The background power included in every level.
+    #[inline]
+    pub fn background(&self) -> Power {
+        self.background
+    }
+
+    /// Instantaneous power `P_σ(t)`.
+    ///
+    /// Returns the background level for `t` outside `[0, τ_σ)`.
+    pub fn power_at(&self, t: Time) -> Power {
+        if t < Time::ZERO || t >= self.end {
+            return self.background;
+        }
+        match self.times.binary_search(&t) {
+            Ok(i) => self.levels[i],
+            Err(0) => self.background,
+            Err(i) => self.levels[i - 1],
+        }
+    }
+
+    /// Iterates the constant segments covering `[0, τ_σ)`.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.times.len();
+        (0..n).filter_map(move |i| {
+            let start = self.times[i];
+            let end = if i + 1 < n {
+                self.times[i + 1]
+            } else {
+                self.end
+            };
+            if end > start {
+                Some(Segment {
+                    start,
+                    end,
+                    power: self.levels[i],
+                })
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The distinct breakpoint instants of the profile (segment
+    /// starts), plus the end time. These are the only instants where
+    /// the power level can change, so scanning algorithms visit them
+    /// instead of every clock tick.
+    pub fn breakpoints(&self) -> Vec<Time> {
+        let mut v = self.times.clone();
+        v.push(self.end);
+        v.dedup();
+        v
+    }
+
+    /// Maximum power level over `[0, τ_σ)` (background if empty).
+    pub fn peak(&self) -> Power {
+        self.segments()
+            .map(|s| s.power)
+            .max()
+            .unwrap_or(self.background)
+    }
+
+    /// Minimum power level over `[0, τ_σ)` (background if empty).
+    pub fn floor(&self) -> Power {
+        self.segments()
+            .map(|s| s.power)
+            .min()
+            .unwrap_or(self.background)
+    }
+
+    /// Total energy `∫ P_σ(t) dt` over `[0, τ_σ)`.
+    pub fn total_energy(&self) -> Energy {
+        self.segments().map(|s| s.energy()).sum()
+    }
+
+    /// Energy drawn **above** `level`: `∫ max(0, P_σ(t) − level) dt`.
+    ///
+    /// With `level = P_min` this is the paper's energy cost
+    /// `Ec_σ(P_min)` — the draw on the non-renewable source.
+    pub fn energy_above(&self, level: Power) -> Energy {
+        self.segments()
+            .map(|s| {
+                if s.power > level {
+                    (s.power - level) * s.duration()
+                } else {
+                    Energy::ZERO
+                }
+            })
+            .sum()
+    }
+
+    /// Energy drawn at or below `level`: `∫ min(P_σ(t), level) dt` —
+    /// the free energy actually utilized.
+    pub fn energy_capped(&self, level: Power) -> Energy {
+        self.segments()
+            .map(|s| s.power.min(level) * s.duration())
+            .sum()
+    }
+
+    /// Intervals where `P_σ(t) > p_max` — the **power spikes** (§4.2).
+    /// Adjacent violating segments are coalesced.
+    pub fn spikes(&self, p_max: Power) -> Vec<Interval> {
+        self.violations(|p| p > p_max)
+    }
+
+    /// Intervals where `P_σ(t) < p_min` — the **power gaps** (§4.2).
+    pub fn gaps(&self, p_min: Power) -> Vec<Interval> {
+        self.violations(|p| p < p_min)
+    }
+
+    fn violations(&self, pred: impl Fn(Power) -> bool) -> Vec<Interval> {
+        let mut out: Vec<Interval> = Vec::new();
+        for s in self.segments() {
+            if pred(s.power) {
+                if let Some(last) = out.last_mut() {
+                    if last.end == s.start {
+                        last.end = s.end;
+                        continue;
+                    }
+                }
+                out.push(Interval {
+                    start: s.start,
+                    end: s.end,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A half-open time interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Interval start (inclusive).
+    pub start: Time,
+    /// Interval end (exclusive).
+    pub end: Time,
+}
+
+impl Interval {
+    /// Interval length.
+    #[inline]
+    pub fn duration(&self) -> TimeSpan {
+        self.end - self.start
+    }
+
+    /// `true` when `t` lies within the interval.
+    #[inline]
+    pub fn contains(&self, t: Time) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+impl core::fmt::Display for Interval {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_graph::units::Power;
+    use pas_graph::{Resource, ResourceKind, Task, TaskId};
+
+    /// Two overlapping tasks: a = [0,4)@3W, b = [2,8)@5W, background 1W.
+    fn sample() -> (ConstraintGraph, Schedule) {
+        let mut g = ConstraintGraph::new();
+        let r0 = g.add_resource(Resource::new("A", ResourceKind::Compute));
+        let r1 = g.add_resource(Resource::new("B", ResourceKind::Compute));
+        g.add_task(Task::new(
+            "a",
+            r0,
+            TimeSpan::from_secs(4),
+            Power::from_watts(3),
+        ));
+        g.add_task(Task::new(
+            "b",
+            r1,
+            TimeSpan::from_secs(6),
+            Power::from_watts(5),
+        ));
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(2)]);
+        (g, s)
+    }
+
+    fn profile() -> PowerProfile {
+        let (g, s) = sample();
+        PowerProfile::of_schedule(&g, &s, Power::from_watts(1))
+    }
+
+    #[test]
+    fn levels_by_time() {
+        let p = profile();
+        assert_eq!(p.power_at(Time::ZERO), Power::from_watts(4)); // 1+3
+        assert_eq!(p.power_at(Time::from_secs(2)), Power::from_watts(9)); // 1+3+5
+        assert_eq!(p.power_at(Time::from_secs(4)), Power::from_watts(6)); // 1+5
+        assert_eq!(p.power_at(Time::from_secs(7)), Power::from_watts(6));
+        assert_eq!(p.power_at(Time::from_secs(8)), Power::from_watts(1)); // outside
+        assert_eq!(p.power_at(Time::from_secs(-1)), Power::from_watts(1));
+        assert_eq!(p.end(), Time::from_secs(8));
+    }
+
+    #[test]
+    fn segments_partition_domain() {
+        let p = profile();
+        let segs: Vec<_> = p.segments().collect();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].start, Time::ZERO);
+        assert_eq!(segs[2].end, Time::from_secs(8));
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "segments must be contiguous");
+            assert_ne!(w[0].power, w[1].power, "adjacent segments merged");
+        }
+    }
+
+    #[test]
+    fn peak_floor_energy() {
+        let p = profile();
+        assert_eq!(p.peak(), Power::from_watts(9));
+        assert_eq!(p.floor(), Power::from_watts(4));
+        // 4*2 + 9*2 + 6*4 = 50 J
+        assert_eq!(p.total_energy(), Energy::from_joules(50));
+    }
+
+    #[test]
+    fn energy_above_and_capped_sum_to_total() {
+        let p = profile();
+        let level = Power::from_watts(5);
+        assert_eq!(
+            p.energy_above(level) + p.energy_capped(level),
+            p.total_energy()
+        );
+        // Above 5 W: (9-5)*2 + (6-5)*4 = 12 J
+        assert_eq!(p.energy_above(level), Energy::from_joules(12));
+    }
+
+    #[test]
+    fn spike_and_gap_intervals() {
+        let p = profile();
+        let spikes = p.spikes(Power::from_watts(8));
+        assert_eq!(
+            spikes,
+            vec![Interval {
+                start: Time::from_secs(2),
+                end: Time::from_secs(4)
+            }]
+        );
+        let gaps = p.gaps(Power::from_watts(6));
+        assert_eq!(gaps.len(), 1);
+        assert_eq!(gaps[0].start, Time::ZERO);
+        assert_eq!(gaps[0].duration(), TimeSpan::from_secs(2));
+        assert!(p.spikes(Power::from_watts(9)).is_empty());
+        assert!(p.gaps(Power::from_watts(4)).is_empty());
+    }
+
+    #[test]
+    fn adjacent_violations_coalesce() {
+        // Tasks: [0,2)@10, [2,4)@9 with pmax 8 → one spike [0,4).
+        let mut g = ConstraintGraph::new();
+        let r0 = g.add_resource(Resource::new("A", ResourceKind::Compute));
+        let r1 = g.add_resource(Resource::new("B", ResourceKind::Compute));
+        g.add_task(Task::new(
+            "a",
+            r0,
+            TimeSpan::from_secs(2),
+            Power::from_watts(10),
+        ));
+        g.add_task(Task::new(
+            "b",
+            r1,
+            TimeSpan::from_secs(2),
+            Power::from_watts(9),
+        ));
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(2)]);
+        let p = PowerProfile::of_schedule(&g, &s, Power::ZERO);
+        let spikes = p.spikes(Power::from_watts(8));
+        assert_eq!(spikes.len(), 1);
+        assert_eq!(spikes[0].duration(), TimeSpan::from_secs(4));
+    }
+
+    #[test]
+    fn back_to_back_tasks_on_same_level_merge() {
+        let mut g = ConstraintGraph::new();
+        let r = g.add_resource(Resource::new("A", ResourceKind::Compute));
+        g.add_task(Task::new(
+            "a",
+            r,
+            TimeSpan::from_secs(2),
+            Power::from_watts(5),
+        ));
+        g.add_task(Task::new(
+            "b",
+            r,
+            TimeSpan::from_secs(3),
+            Power::from_watts(5),
+        ));
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(2)]);
+        let p = PowerProfile::of_schedule(&g, &s, Power::ZERO);
+        assert_eq!(p.segments().count(), 1);
+        assert_eq!(p.power_at(Time::from_secs(2)), Power::from_watts(5));
+    }
+
+    #[test]
+    fn empty_graph_profile() {
+        let g = ConstraintGraph::new();
+        let s = Schedule::from_starts(vec![]);
+        let p = PowerProfile::of_schedule(&g, &s, Power::from_watts(2));
+        assert_eq!(p.end(), Time::ZERO);
+        assert_eq!(p.segments().count(), 0);
+        assert_eq!(p.peak(), Power::from_watts(2));
+        assert_eq!(p.total_energy(), Energy::ZERO);
+    }
+
+    #[test]
+    fn breakpoints_cover_changes() {
+        let p = profile();
+        assert_eq!(
+            p.breakpoints(),
+            vec![
+                Time::ZERO,
+                Time::from_secs(2),
+                Time::from_secs(4),
+                Time::from_secs(8)
+            ]
+        );
+    }
+
+    #[test]
+    fn interval_queries() {
+        let i = Interval {
+            start: Time::from_secs(1),
+            end: Time::from_secs(4),
+        };
+        assert!(i.contains(Time::from_secs(1)));
+        assert!(!i.contains(Time::from_secs(4)));
+        assert_eq!(i.to_string(), "[1s, 4s)");
+    }
+
+    #[test]
+    fn filtered_profile_excludes_tasks_but_keeps_domain() {
+        let (g, s) = sample();
+        let without_b = PowerProfile::of_schedule_filtered(&g, &s, Power::from_watts(1), |t| {
+            t != TaskId::from_index(1)
+        });
+        // Only a contributes: 1+3 over [0,4), then background.
+        assert_eq!(without_b.power_at(Time::from_secs(3)), Power::from_watts(4));
+        assert_eq!(without_b.power_at(Time::from_secs(5)), Power::from_watts(1));
+        // Domain still runs to b's end (finish time of the schedule).
+        assert_eq!(without_b.end(), Time::from_secs(8));
+    }
+
+    #[test]
+    fn single_task_profile_matches_task_energy() {
+        let mut g = ConstraintGraph::new();
+        let r = g.add_resource(Resource::new("A", ResourceKind::Compute));
+        let t = g.add_task(Task::new(
+            "drive",
+            r,
+            TimeSpan::from_secs(10),
+            Power::from_watts_milli(10_900),
+        ));
+        let s = Schedule::from_starts(vec![Time::ZERO]);
+        let p = PowerProfile::of_schedule(&g, &s, Power::ZERO);
+        assert_eq!(
+            p.total_energy(),
+            g.task(TaskId::from_index(t.index())).energy()
+        );
+    }
+}

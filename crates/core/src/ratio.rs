@@ -1,0 +1,168 @@
+//! Exact rational numbers for utilization metrics.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// An exact non-negative rational, used for the min-power utilization
+/// `ρ_σ(P_min)` so tests can compare utilizations without floating
+/// point error.
+///
+/// Always stored reduced with a positive denominator.
+///
+/// # Examples
+/// ```
+/// use pas_core::Ratio;
+/// let r = Ratio::new(817, 900);
+/// assert_eq!(r.to_string(), "90.8%");
+/// assert!(r < Ratio::ONE);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+impl Ratio {
+    /// Zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// One (full utilization).
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Creates `num / den`, reduced.
+    ///
+    /// # Panics
+    /// Panics if `den == 0` or the value is negative.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "ratio denominator must be non-zero");
+        let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+        assert!(num >= 0, "ratio must be non-negative");
+        let g = gcd(num, den);
+        Ratio {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    /// The reduced numerator.
+    #[inline]
+    pub fn numerator(self) -> i128 {
+        self.num
+    }
+
+    /// The reduced denominator (always positive).
+    #[inline]
+    pub fn denominator(self) -> i128 {
+        self.den
+    }
+
+    /// `true` when exactly 1.
+    #[inline]
+    pub fn is_one(self) -> bool {
+        self.num == self.den
+    }
+
+    /// Value as `f64` (for display and plotting only).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Value in percent as `f64`.
+    #[inline]
+    pub fn to_percent(self) -> f64 {
+        self.to_f64() * 100.0
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    if a == 0 {
+        1
+    } else {
+        a
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // Cross multiplication; values in this crate are far from
+        // overflowing i128 (energies fit i64).
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Display for Ratio {
+    /// Formats as a percentage with one decimal place, trimming a
+    /// trailing `.0` (`"60%"`, `"90.8%"`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Round to one decimal of a percent, exactly.
+        let scaled = self.num * 1000 + self.den / 2;
+        let tenths = scaled / self.den; // percent * 10, rounded
+        let whole = tenths / 10;
+        let frac = tenths % 10;
+        if frac == 0 {
+            write!(f, "{whole}%")
+        } else {
+            write!(f, "{whole}.{frac}%")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_and_accessors() {
+        let r = Ratio::new(50, 100);
+        assert_eq!(r.numerator(), 1);
+        assert_eq!(r.denominator(), 2);
+        assert_eq!(Ratio::new(-3, -4), Ratio::new(3, 4));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::new(1, 2) < Ratio::new(2, 3));
+        assert!(Ratio::ONE > Ratio::new(99, 100));
+        assert_eq!(Ratio::new(2, 4).cmp(&Ratio::new(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_percentages_match_paper_style() {
+        assert_eq!(Ratio::new(3, 5).to_string(), "60%"); // best-case JPL
+        assert_eq!(Ratio::new(817, 900).to_string(), "90.8%"); // typical JPL
+        assert_eq!(Ratio::ONE.to_string(), "100%"); // worst case
+        assert_eq!(Ratio::ZERO.to_string(), "0%");
+    }
+
+    #[test]
+    fn is_one_and_to_f64() {
+        assert!(Ratio::new(7, 7).is_one());
+        assert!(!Ratio::new(6, 7).is_one());
+        assert!((Ratio::new(1, 4).to_f64() - 0.25).abs() < 1e-12);
+        assert!((Ratio::new(1, 4).to_percent() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be non-zero")]
+    fn zero_denominator_rejected() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-negative")]
+    fn negative_value_rejected() {
+        let _ = Ratio::new(-1, 2);
+    }
+}

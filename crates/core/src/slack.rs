@@ -1,0 +1,163 @@
+//! Slack analysis (§4.1).
+//!
+//! Given a time-valid schedule `σ`, the slack `Δ_σ(v)` of task `v` is
+//! the maximum amount `v` can be delayed — all other start times held
+//! fixed — without violating any timing constraint. Following the
+//! paper (and [5]), it is computed from `σ` and `v`'s **outgoing**
+//! edges only: for each edge `v → u` with weight `w` (the inequality
+//! `σ(u) ≥ σ(v) + w`), delaying `v` by `δ` requires
+//! `σ(u) ≥ σ(v) + δ + w`, i.e. `δ ≤ σ(u) − σ(v) − w`.
+//!
+//! Incoming min-separation edges only become *more* satisfied when `v`
+//! is delayed; incoming max separations are stored as outgoing
+//! negative-weight edges of `v`, so they participate naturally.
+
+use crate::schedule::Schedule;
+use pas_graph::units::{Time, TimeSpan};
+use pas_graph::{ConstraintGraph, NodeId, TaskId};
+
+/// Slack of a single task under `schedule`.
+///
+/// Returns [`TimeSpan::MAX`] when `v` has no outgoing edges (it can be
+/// delayed arbitrarily without violating constraints on *others*;
+/// callers typically also bound delays by the schedule horizon).
+///
+/// A time-valid schedule always yields non-negative slacks; a negative
+/// result indicates the schedule already violates a constraint.
+///
+/// # Examples
+/// ```
+/// use pas_core::{slack, Schedule};
+/// use pas_graph::units::{Power, Time, TimeSpan};
+/// use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task};
+///
+/// let mut g = ConstraintGraph::new();
+/// let r = g.add_resource(Resource::new("A", ResourceKind::Compute));
+/// let rb = g.add_resource(Resource::new("B", ResourceKind::Compute));
+/// let a = g.add_task(Task::new("a", r, TimeSpan::from_secs(2), Power::ZERO));
+/// let b = g.add_task(Task::new("b", rb, TimeSpan::from_secs(2), Power::ZERO));
+/// g.precedence(a, b);
+/// // b scheduled 5 s after a finishes: a has 5 s of slack.
+/// let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(7)]);
+/// assert_eq!(slack(&g, &s, a), TimeSpan::from_secs(5));
+/// ```
+pub fn slack(graph: &ConstraintGraph, schedule: &Schedule, v: TaskId) -> TimeSpan {
+    let sv = schedule.start(v);
+    let mut result = TimeSpan::MAX;
+    for (_, e) in graph.out_edges(v.node()) {
+        let su = node_time(schedule, e.to());
+        let room = su - sv - e.weight();
+        result = result.min(room);
+    }
+    result
+}
+
+/// Slacks of every task, indexed by [`TaskId`].
+pub fn slacks(graph: &ConstraintGraph, schedule: &Schedule) -> Vec<TimeSpan> {
+    graph
+        .task_ids()
+        .map(|v| slack(graph, schedule, v))
+        .collect()
+}
+
+/// The start time of a node: `σ(v)` for tasks, `0` for the anchor.
+fn node_time(schedule: &Schedule, node: NodeId) -> Time {
+    match node.task() {
+        Some(t) => schedule.start(t),
+        None => Time::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_graph::units::Power;
+    use pas_graph::{Resource, ResourceKind, Task};
+
+    fn build() -> (ConstraintGraph, Vec<TaskId>) {
+        let mut g = ConstraintGraph::new();
+        let rs: Vec<_> = (0..3)
+            .map(|i| g.add_resource(Resource::new(format!("R{i}"), ResourceKind::Compute)))
+            .collect();
+        let ids: Vec<_> = (0..3)
+            .map(|i| {
+                g.add_task(Task::new(
+                    format!("t{i}"),
+                    rs[i],
+                    TimeSpan::from_secs(5),
+                    Power::ZERO,
+                ))
+            })
+            .collect();
+        (g, ids)
+    }
+
+    #[test]
+    fn no_outgoing_edges_means_unbounded_slack() {
+        let (g, ids) = build();
+        let s = Schedule::from_starts(vec![Time::ZERO; 3]);
+        assert_eq!(slack(&g, &s, ids[2]), TimeSpan::MAX);
+    }
+
+    #[test]
+    fn min_separation_limits_slack() {
+        let (mut g, ids) = build();
+        g.min_separation(ids[0], ids[1], TimeSpan::from_secs(5));
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(12), Time::ZERO]);
+        // t1 at 12, constraint needs σ(t1) ≥ σ(t0)+5 → t0 can move to 7.
+        assert_eq!(slack(&g, &s, ids[0]), TimeSpan::from_secs(7));
+    }
+
+    #[test]
+    fn max_separation_limits_the_later_task() {
+        let (mut g, ids) = build();
+        // t1 at most 10 after t0 → outgoing negative edge at t1.
+        g.max_separation(ids[0], ids[1], TimeSpan::from_secs(10));
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(4), Time::ZERO]);
+        // t1 can be delayed until σ(t0)+10 = 10, so slack 6.
+        assert_eq!(slack(&g, &s, ids[1]), TimeSpan::from_secs(6));
+    }
+
+    #[test]
+    fn lock_pins_slack_to_zero() {
+        let (mut g, ids) = build();
+        g.lock(ids[0], Time::from_secs(3));
+        let s = Schedule::from_starts(vec![Time::from_secs(3), Time::ZERO, Time::ZERO]);
+        assert_eq!(slack(&g, &s, ids[0]), TimeSpan::ZERO);
+    }
+
+    #[test]
+    fn violated_schedule_yields_negative_slack() {
+        let (mut g, ids) = build();
+        g.min_separation(ids[0], ids[1], TimeSpan::from_secs(5));
+        // t1 starts too early: σ(t1) − σ(t0) = 2 < 5.
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(2), Time::ZERO]);
+        assert_eq!(slack(&g, &s, ids[0]), TimeSpan::from_secs(-3));
+    }
+
+    #[test]
+    fn slack_takes_minimum_over_edges() {
+        let (mut g, ids) = build();
+        g.min_separation(ids[0], ids[1], TimeSpan::from_secs(5));
+        g.min_separation(ids[0], ids[2], TimeSpan::from_secs(5));
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(20), Time::from_secs(8)]);
+        // Rooms: 20−5 = 15 and 8−5 = 3 → slack 3.
+        assert_eq!(slack(&g, &s, ids[0]), TimeSpan::from_secs(3));
+        let all = slacks(&g, &s);
+        assert_eq!(all[0], TimeSpan::from_secs(3));
+        assert_eq!(all[1], TimeSpan::MAX);
+    }
+
+    #[test]
+    fn delaying_within_slack_preserves_validity() {
+        let (mut g, ids) = build();
+        g.min_separation(ids[0], ids[1], TimeSpan::from_secs(5));
+        g.max_separation(ids[0], ids[1], TimeSpan::from_secs(20));
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(10), Time::ZERO]);
+        let d = slack(&g, &s, ids[0]);
+        assert_eq!(d, TimeSpan::from_secs(5));
+        let delayed = s.with_delayed(ids[0], d);
+        // Still satisfies both constraints.
+        assert!(crate::validity::time_violations(&g, &delayed).is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests for power profiles, slack, and metrics.
+
+use pas_core::{
+    analyze, free_energy_used, power_jitter, slack, utilization, PowerConstraints, PowerProfile,
+    Problem, Ratio, Schedule,
+};
+use pas_graph::units::{Energy, Power, Time, TimeSpan};
+use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task};
+use proptest::prelude::*;
+
+/// A random problem with explicit start times (not necessarily
+/// valid): profile properties must hold for *any* schedule.
+fn arb_problem_and_schedule() -> impl Strategy<Value = (ConstraintGraph, Schedule)> {
+    (1usize..10)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec((1i64..12, 0i64..15_000, 0i64..40), n..=n),
+                Just(n),
+            )
+        })
+        .prop_map(|(specs, _n)| {
+            let mut g = ConstraintGraph::new();
+            let mut starts = Vec::new();
+            for (i, (delay, power_mw, start)) in specs.into_iter().enumerate() {
+                let r = g.add_resource(Resource::new(format!("R{i}"), ResourceKind::Compute));
+                g.add_task(Task::new(
+                    format!("t{i}"),
+                    r,
+                    TimeSpan::from_secs(delay),
+                    Power::from_watts_milli(power_mw),
+                ));
+                starts.push(Time::from_secs(start));
+            }
+            (g, Schedule::from_starts(starts))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Segments partition `[0, τ)` contiguously with merged levels.
+    #[test]
+    fn segments_partition_the_domain((g, s) in arb_problem_and_schedule()) {
+        let p = PowerProfile::of_schedule(&g, &s, Power::from_watts(1));
+        let segs: Vec<_> = p.segments().collect();
+        if let Some(first) = segs.first() {
+            prop_assert_eq!(first.start, Time::ZERO);
+            prop_assert_eq!(segs.last().unwrap().end, p.end());
+        }
+        for w in segs.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+            prop_assert_ne!(w[0].power, w[1].power, "adjacent segments must be merged");
+        }
+    }
+
+    /// `power_at` agrees with the segment containing the instant.
+    #[test]
+    fn power_at_matches_segments((g, s) in arb_problem_and_schedule()) {
+        let p = PowerProfile::of_schedule(&g, &s, Power::ZERO);
+        for seg in p.segments() {
+            prop_assert_eq!(p.power_at(seg.start), seg.power);
+            let mid = seg.start + TimeSpan::from_secs(seg.duration().as_secs() / 2);
+            prop_assert_eq!(p.power_at(mid), seg.power);
+        }
+    }
+
+    /// Total energy equals the sum of task energies plus background
+    /// over the span; the above/capped split is exact at every level.
+    #[test]
+    fn energy_identities((g, s) in arb_problem_and_schedule(), level in 0i64..20_000) {
+        let bg = Power::from_watts(2);
+        let p = PowerProfile::of_schedule(&g, &s, bg);
+        let task_sum: Energy = g.tasks().map(|(_, t)| t.energy()).sum();
+        let bg_energy = bg * (p.end() - Time::ZERO);
+        prop_assert_eq!(p.total_energy(), task_sum + bg_energy);
+        let level = Power::from_watts_milli(level);
+        prop_assert_eq!(p.energy_above(level) + p.energy_capped(level), p.total_energy());
+        // Monotonicity: cost shrinks as the free level rises.
+        let higher = level + Power::from_watts(1);
+        prop_assert!(p.energy_above(higher) <= p.energy_above(level));
+    }
+
+    /// Spikes and gaps are disjoint, within-domain, and consistent
+    /// with `power_at`.
+    #[test]
+    fn spikes_and_gaps_are_consistent(
+        (g, s) in arb_problem_and_schedule(),
+        p_max in 1i64..20_000,
+        p_min in 0i64..20_000,
+    ) {
+        let profile = PowerProfile::of_schedule(&g, &s, Power::ZERO);
+        let p_max = Power::from_watts_milli(p_max);
+        let p_min = Power::from_watts_milli(p_min);
+        for spike in profile.spikes(p_max) {
+            prop_assert!(spike.start < spike.end);
+            prop_assert!(profile.power_at(spike.start) > p_max);
+            prop_assert!(spike.end <= profile.end());
+        }
+        for gap in profile.gaps(p_min) {
+            prop_assert!(profile.power_at(gap.start) < p_min);
+        }
+        // No instant is both a spike and a gap when p_min ≤ p_max.
+        if p_min <= p_max {
+            for spike in profile.spikes(p_max) {
+                for gap in profile.gaps(p_min) {
+                    prop_assert!(spike.end <= gap.start || gap.end <= spike.start);
+                }
+            }
+        }
+    }
+
+    /// Utilization is an exact ratio in [0, 1], equal to
+    /// used / (p_min · τ), and 1 when the floor clears p_min.
+    #[test]
+    fn utilization_bounds((g, s) in arb_problem_and_schedule(), p_min in 1i64..20_000) {
+        let p = PowerProfile::of_schedule(&g, &s, Power::ZERO);
+        let p_min = Power::from_watts_milli(p_min);
+        let rho = utilization(&p, p_min);
+        prop_assert!(rho >= Ratio::ZERO && rho <= Ratio::ONE);
+        if p.end() > Time::ZERO && p.floor() >= p_min {
+            prop_assert!(rho.is_one());
+        }
+        let used = free_energy_used(&p, p_min).as_millijoules();
+        let avail = (p_min * (p.end() - Time::ZERO)).as_millijoules();
+        if avail > 0 {
+            prop_assert_eq!(rho, Ratio::new(used as i128, avail as i128));
+        }
+    }
+
+    /// Jitter is non-negative and zero exactly for flat profiles.
+    #[test]
+    fn jitter_properties((g, s) in arb_problem_and_schedule()) {
+        let p = PowerProfile::of_schedule(&g, &s, Power::ZERO);
+        let j = power_jitter(&p);
+        prop_assert!(j >= Power::ZERO);
+        if p.segments().count() <= 1 {
+            prop_assert_eq!(j, Power::ZERO);
+        }
+    }
+
+    /// `analyze` is internally consistent for arbitrary (even
+    /// invalid) schedules.
+    #[test]
+    fn analyze_consistency((g, s) in arb_problem_and_schedule(), p_max in 1i64..25_000) {
+        let p_max = Power::from_watts_milli(p_max);
+        let problem = Problem::new("prop", g, PowerConstraints::max_only(p_max));
+        let a = analyze(&problem, &s);
+        prop_assert_eq!(a.energy_cost + a.free_energy_used, a.total_energy);
+        prop_assert_eq!(a.spikes.is_empty(), a.peak_power <= p_max);
+        prop_assert_eq!(a.is_valid(), a.timing_violations.is_empty() && a.spikes.is_empty());
+    }
+
+    /// Slack of a task with no outgoing constraints is unbounded;
+    /// otherwise delaying by slack+1 breaks some edge.
+    #[test]
+    fn slack_is_tight((g, s) in arb_problem_and_schedule()) {
+        // Give the schedule some real constraints first.
+        let mut g = g;
+        let n = g.num_tasks();
+        if n >= 2 {
+            let a = pas_graph::TaskId::from_index(0);
+            let b = pas_graph::TaskId::from_index(n - 1);
+            if a != b {
+                g.max_separation(a, b, TimeSpan::from_secs(30));
+            }
+        }
+        for v in g.task_ids() {
+            let d = slack(&g, &s, v);
+            if d == TimeSpan::MAX || d.is_negative() {
+                continue;
+            }
+            // Delaying by exactly the slack keeps every edge of v
+            // satisfied; one more second breaks at least one.
+            let edge_ok = |sch: &Schedule| {
+                g.out_edges(v.node()).all(|(_, e)| {
+                    let to = match e.to().task() {
+                        Some(t) => sch.start(t),
+                        None => Time::ZERO,
+                    };
+                    to - sch.start(v) >= e.weight()
+                })
+            };
+            prop_assert!(edge_ok(&s.with_delayed(v, d)));
+            prop_assert!(!edge_ok(&s.with_delayed(v, d + TimeSpan::from_secs(1))));
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! The runtime dispatcher: executes a static schedule under actual
+//! (jittered) task durations and reports what really happened.
+//!
+//! Dispatch rule (work-conserving, order-preserving): task `v`
+//! becomes eligible at its static start time `σ(v)`; it actually
+//! starts once (a) its resource is free, tasks taken in static order,
+//! and (b) every *precedence-like* separation (min edges) holds
+//! against the **actual** start times of its predecessors. Max
+//! separations cannot be enforced by waiting — exceeding one is a
+//! fault the dispatcher can only report, which is exactly how a
+//! flight system would treat a missed heater window.
+
+use crate::jitter::JitterModel;
+use pas_core::{PowerProfile, Problem, Schedule};
+use pas_graph::units::{Power, Time, TimeSpan};
+use pas_graph::{ConstraintGraph, EdgeId, TaskId};
+
+/// A max-separation window that the execution exceeded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowFault {
+    /// The violated (max-separation) edge.
+    pub edge: EdgeId,
+    /// Source task of the original window.
+    pub from: TaskId,
+    /// Target task of the original window.
+    pub to: TaskId,
+    /// Allowed separation.
+    pub allowed: TimeSpan,
+    /// Actual separation observed.
+    pub actual: TimeSpan,
+}
+
+/// What actually happened when the schedule ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionTrace {
+    /// Actual start times, indexed by [`TaskId`].
+    pub starts: Vec<Time>,
+    /// Actual completion times.
+    pub ends: Vec<Time>,
+    /// When the last task completed.
+    pub finish_time: Time,
+    /// Peak of the actual power profile.
+    pub peak_power: Power,
+    /// Instants where the actual profile exceeded `P_max`.
+    pub power_faults: usize,
+    /// Max-separation windows that were exceeded.
+    pub window_faults: Vec<WindowFault>,
+}
+
+impl ExecutionTrace {
+    /// `true` when the execution kept every hard guarantee: all
+    /// windows held and the power budget was never exceeded.
+    pub fn is_clean(&self) -> bool {
+        self.window_faults.is_empty() && self.power_faults == 0
+    }
+
+    /// Slip of the finish time relative to the static plan.
+    pub fn slip(&self, planned: Time) -> TimeSpan {
+        self.finish_time - planned
+    }
+}
+
+/// Executes `schedule` on `problem` with explicit per-task `durations`
+/// (from a [`JitterModel`] or measured data).
+///
+/// # Panics
+/// Panics if `durations` does not cover every task.
+pub fn execute(problem: &Problem, schedule: &Schedule, durations: &[TimeSpan]) -> ExecutionTrace {
+    let graph = problem.graph();
+    assert_eq!(
+        durations.len(),
+        graph.num_tasks(),
+        "need one duration per task"
+    );
+
+    // Dispatch in static start order (ties by id — the same order the
+    // static serialization implies).
+    let mut order: Vec<TaskId> = graph.task_ids().collect();
+    order.sort_by_key(|&t| (schedule.start(t), t));
+
+    let n = graph.num_tasks();
+    let mut starts = vec![Time::ZERO; n];
+    let mut ends = vec![Time::ZERO; n];
+    let mut done = vec![false; n];
+    let mut resource_free: Vec<Time> = vec![Time::ZERO; graph.num_resources()];
+
+    for &v in &order {
+        let mut start = schedule.start(v); // eligible at the static time
+                                           // Resource gate.
+        start = start.max(resource_free[graph.task(v).resource().index()]);
+        // Min separations against actual predecessor starts.
+        for (_, e) in graph.in_edges(v.node()) {
+            if e.weight().is_negative() {
+                continue; // max windows are checked post-hoc
+            }
+            if let Some(u) = e.from().task() {
+                if done[u.index()] {
+                    start = start.max(starts[u.index()] + e.weight());
+                }
+            }
+        }
+        starts[v.index()] = start;
+        ends[v.index()] = start + durations[v.index()];
+        done[v.index()] = true;
+        resource_free[graph.task(v).resource().index()] = ends[v.index()];
+    }
+
+    // Post-hoc checks against the actual timeline.
+    let mut window_faults = Vec::new();
+    for (id, e) in graph.edges() {
+        if !e.weight().is_negative() {
+            continue;
+        }
+        // Stored reversed: edge v→u with weight −k means
+        // σ(v) ≤ σ(u) + k, i.e. window (u, v, k).
+        let (Some(v), Some(u)) = (e.from().task(), e.to().task()) else {
+            continue;
+        };
+        let allowed = -e.weight();
+        let actual = starts[v.index()] - starts[u.index()];
+        if actual > allowed {
+            window_faults.push(WindowFault {
+                edge: id,
+                from: u,
+                to: v,
+                allowed,
+                actual,
+            });
+        }
+    }
+
+    window_faults.sort_by_key(|f| (f.from, f.to, f.edge));
+
+    // Profile with the *actual* durations: the constant powers are
+    // unchanged, so evaluate on a clone of the graph whose delays are
+    // the measured ones.
+    let profile = actual_profile(graph, &starts, durations, problem.background_power());
+    let p_max = problem.constraints().p_max();
+    let power_faults = profile.spikes(p_max).len();
+
+    ExecutionTrace {
+        finish_time: graph
+            .task_ids()
+            .map(|t| ends[t.index()])
+            .max()
+            .unwrap_or(Time::ZERO),
+        peak_power: profile.peak(),
+        power_faults,
+        window_faults,
+        starts,
+        ends,
+    }
+}
+
+/// Power profile of an execution with per-task durations.
+fn actual_profile(
+    graph: &ConstraintGraph,
+    starts: &[Time],
+    durations: &[TimeSpan],
+    background: Power,
+) -> PowerProfile {
+    let mut clone = ConstraintGraph::new();
+    for (_, r) in graph.resources() {
+        clone.add_resource(r.clone());
+    }
+    for (id, task) in graph.tasks() {
+        clone.add_task(pas_graph::Task::new(
+            task.name(),
+            task.resource(),
+            durations[id.index()],
+            task.power(),
+        ));
+    }
+    let schedule = Schedule::from_starts(starts.to_vec());
+    PowerProfile::of_schedule(&clone, &schedule, background)
+}
+
+/// Sweeps overrun percentages and returns the largest sampled overrun
+/// (in whole percent, up to `max_percent`) for which the execution of
+/// `schedule` stays clean under worst-case (all-tasks-overrun)
+/// durations. Returns `None` when even 1 % overruns fault.
+pub fn overrun_tolerance(problem: &Problem, schedule: &Schedule, max_percent: u32) -> Option<u32> {
+    let mut best = None;
+    for percent in 1..=max_percent {
+        let durations = JitterModel::overrun_only(0, percent).worst_case_durations(problem.graph());
+        let trace = execute(problem, schedule, &durations);
+        if trace.is_clean() {
+            best = Some(percent);
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_core::PowerConstraints;
+    use pas_graph::{Resource, ResourceKind, Task};
+
+    /// heat (5 s) must run 5–20 s before drive (10 s); both plus a
+    /// parallel filler under a 12 W budget.
+    fn problem() -> (Problem, TaskId, TaskId, TaskId) {
+        let mut g = ConstraintGraph::new();
+        let rh = g.add_resource(Resource::new("heater", ResourceKind::Thermal));
+        let rd = g.add_resource(Resource::new("drive", ResourceKind::Mechanical));
+        let rf = g.add_resource(Resource::new("filler", ResourceKind::Compute));
+        let heat = g.add_task(Task::new(
+            "heat",
+            rh,
+            TimeSpan::from_secs(5),
+            Power::from_watts(4),
+        ));
+        let drive = g.add_task(Task::new(
+            "drive",
+            rd,
+            TimeSpan::from_secs(10),
+            Power::from_watts(6),
+        ));
+        let filler = g.add_task(Task::new(
+            "filler",
+            rf,
+            TimeSpan::from_secs(8),
+            Power::from_watts(3),
+        ));
+        g.min_separation(heat, drive, TimeSpan::from_secs(5));
+        g.max_separation(heat, drive, TimeSpan::from_secs(20));
+        let p = Problem::new("exec", g, PowerConstraints::max_only(Power::from_watts(12)));
+        (p, heat, drive, filler)
+    }
+
+    fn static_schedule() -> Schedule {
+        // heat@0, drive@5, filler@0 → peak 4+6+3 = 13? No: heat ends
+        // at 5 when drive starts: [0,5): 4+3=7, [5,8): 6+3=9, ok.
+        Schedule::from_starts(vec![Time::ZERO, Time::from_secs(5), Time::ZERO])
+    }
+
+    #[test]
+    fn nominal_execution_matches_the_plan() {
+        let (p, heat, drive, _) = problem();
+        let s = static_schedule();
+        let durations = JitterModel::nominal_durations(p.graph());
+        let trace = execute(&p, &s, &durations);
+        assert!(trace.is_clean());
+        assert_eq!(trace.starts[heat.index()], Time::ZERO);
+        assert_eq!(trace.starts[drive.index()], Time::from_secs(5));
+        assert_eq!(trace.finish_time, Time::from_secs(15));
+        assert_eq!(trace.slip(Time::from_secs(15)), TimeSpan::ZERO);
+    }
+
+    #[test]
+    fn overruns_push_dependents_and_report_slip() {
+        let (p, _, drive, _) = problem();
+        let s = static_schedule();
+        // drive overruns by 50% (15 s); heat and filler run nominal,
+        // so no extra overlap appears — just finish-time slip.
+        let durations = vec![
+            TimeSpan::from_secs(5),
+            TimeSpan::from_secs(15),
+            TimeSpan::from_secs(8),
+        ];
+        let trace = execute(&p, &s, &durations);
+        assert_eq!(trace.starts[drive.index()], Time::from_secs(5));
+        assert_eq!(trace.finish_time, Time::from_secs(20));
+        assert_eq!(trace.slip(Time::from_secs(15)), TimeSpan::from_secs(5));
+        assert!(trace.is_clean(), "no window or power fault here");
+    }
+
+    #[test]
+    fn resource_contention_serializes_actual_starts() {
+        let mut g = ConstraintGraph::new();
+        let r = g.add_resource(Resource::new("R", ResourceKind::Compute));
+        let a = g.add_task(Task::new("a", r, TimeSpan::from_secs(5), Power::ZERO));
+        let b = g.add_task(Task::new("b", r, TimeSpan::from_secs(5), Power::ZERO));
+        let p = Problem::new("serial", g, PowerConstraints::unconstrained());
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(5)]);
+        // a overruns to 9 s: b must wait for the resource.
+        let trace = execute(&p, &s, &[TimeSpan::from_secs(9), TimeSpan::from_secs(5)]);
+        assert_eq!(trace.starts[b.index()], Time::from_secs(9));
+        assert!(trace.is_clean());
+    }
+
+    #[test]
+    fn missed_window_is_reported_as_fault() {
+        let (p, heat, drive, _) = problem();
+        // Schedule drive at the very edge of its 20 s window…
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(20), Time::ZERO]);
+        // …and let a same-resource intruder… there is none, so use a
+        // big filler overrun that delays nothing. Instead delay drive
+        // via its own resource: impossible — so force the fault by
+        // overrunning heat enough that a *min* separation pushes
+        // drive… min is start-to-start (5 s) and already satisfied.
+        // The realistic fault: drive's resource blocked by an earlier
+        // drive. Model it directly: shift drive's eligible time via
+        // the static schedule to 21 s.
+        let s2 = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(21), Time::ZERO]);
+        let durations = JitterModel::nominal_durations(p.graph());
+        let ok = execute(&p, &s, &durations);
+        assert!(ok.is_clean());
+        let bad = execute(&p, &s2, &durations);
+        assert_eq!(bad.window_faults.len(), 1);
+        let f = &bad.window_faults[0];
+        assert_eq!((f.from, f.to), (heat, drive));
+        assert_eq!(f.allowed, TimeSpan::from_secs(20));
+        assert_eq!(f.actual, TimeSpan::from_secs(21));
+        assert!(!bad.is_clean());
+    }
+
+    #[test]
+    fn power_fault_detected_when_overlap_grows() {
+        let (p, heat, drive, filler) = problem();
+        // drive at 5, filler 8 s: nominal peak 9 W. Stretch heat to
+        // overlap drive: heat 4 W + drive 6 W + filler 3 W = 13 W > 12.
+        let s = static_schedule();
+        let durations = vec![
+            TimeSpan::from_secs(7), // heat now overlaps drive
+            TimeSpan::from_secs(10),
+            TimeSpan::from_secs(8),
+        ];
+        let trace = execute(&p, &s, &durations);
+        assert!(trace.power_faults > 0);
+        assert_eq!(trace.peak_power, Power::from_watts(13));
+        let _ = (heat, drive, filler);
+    }
+
+    #[test]
+    fn overrun_tolerance_finds_the_break_point() {
+        let (p, _, _, _) = problem();
+        let s = static_schedule();
+        let tol = overrun_tolerance(&p, &s, 100);
+        // heat (5 s) may stretch to <10 s before it overlaps drive@5…
+        // actually heat@0 + overrun% ≤ 5 s gap ⇒ tolerance < 100% of
+        // 5 s. At +39% heat runs 6 s (floored) — overlapping drive:
+        // 13 W fault. Floor math: 5·1.19 = 5 s still; 5·1.2 = 6 s.
+        assert_eq!(tol, Some(19));
+    }
+}

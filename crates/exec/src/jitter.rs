@@ -1,0 +1,165 @@
+//! Execution-time jitter models.
+//!
+//! The paper assumes bounded execution delays (`d(v)` is exact). A
+//! real rover's motors and heaters finish early or late; the runtime
+//! dispatcher must absorb that. [`JitterModel`] perturbs every task's
+//! duration deterministically from a seed so robustness experiments
+//! are repeatable.
+
+use pas_graph::units::TimeSpan;
+use pas_graph::{ConstraintGraph, TaskId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bounded multiplicative perturbation of task durations.
+///
+/// Each task's actual duration is drawn uniformly from
+/// `[d·(1 − underrun), d·(1 + overrun)]`, rounded to whole seconds and
+/// clamped to at least 1 s.
+///
+/// # Examples
+/// ```
+/// use pas_exec::JitterModel;
+/// let nominal = JitterModel::none();
+/// assert_eq!(nominal.overrun_percent, 0);
+/// let sloppy = JitterModel::symmetric(7, 20);
+/// assert_eq!(sloppy.underrun_percent, 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JitterModel {
+    /// RNG seed (equal seeds draw equal durations).
+    pub seed: u64,
+    /// Maximum overrun as a percentage of the nominal duration.
+    pub overrun_percent: u32,
+    /// Maximum underrun as a percentage of the nominal duration.
+    pub underrun_percent: u32,
+}
+
+impl JitterModel {
+    /// No jitter: every task takes exactly its nominal duration.
+    pub fn none() -> Self {
+        JitterModel {
+            seed: 0,
+            overrun_percent: 0,
+            underrun_percent: 0,
+        }
+    }
+
+    /// Same bound in both directions.
+    pub fn symmetric(seed: u64, percent: u32) -> Self {
+        JitterModel {
+            seed,
+            overrun_percent: percent,
+            underrun_percent: percent,
+        }
+    }
+
+    /// Only overruns (the dangerous direction for a non-preemptive
+    /// dispatcher).
+    pub fn overrun_only(seed: u64, percent: u32) -> Self {
+        JitterModel {
+            seed,
+            overrun_percent: percent,
+            underrun_percent: 0,
+        }
+    }
+
+    /// Draws an actual duration for every task of `graph`, indexed by
+    /// [`TaskId`].
+    pub fn draw_durations(&self, graph: &ConstraintGraph) -> Vec<TimeSpan> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        graph
+            .tasks()
+            .map(|(_, task)| {
+                let d = task.delay().as_secs();
+                let lo = d - d * self.underrun_percent as i64 / 100;
+                let hi = d + d * self.overrun_percent as i64 / 100;
+                let drawn = if lo >= hi { lo } else { rng.gen_range(lo..=hi) };
+                TimeSpan::from_secs(drawn.max(1))
+            })
+            .collect()
+    }
+
+    /// The worst-case (all-overrun) durations, for deterministic
+    /// bounds instead of sampling.
+    pub fn worst_case_durations(&self, graph: &ConstraintGraph) -> Vec<TimeSpan> {
+        graph
+            .tasks()
+            .map(|(_, task)| {
+                let d = task.delay().as_secs();
+                TimeSpan::from_secs((d + d * self.overrun_percent as i64 / 100).max(1))
+            })
+            .collect()
+    }
+
+    /// Convenience: the nominal durations of every task.
+    pub fn nominal_durations(graph: &ConstraintGraph) -> Vec<TimeSpan> {
+        graph.task_ids().map(|t| graph.task(t).delay()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_graph::units::Power;
+    use pas_graph::{Resource, ResourceKind, Task};
+
+    fn graph() -> ConstraintGraph {
+        let mut g = ConstraintGraph::new();
+        let r = g.add_resource(Resource::new("R", ResourceKind::Compute));
+        for i in 0..6 {
+            g.add_task(Task::new(
+                format!("t{i}"),
+                r,
+                TimeSpan::from_secs(10),
+                Power::ZERO,
+            ));
+        }
+        g
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let g = graph();
+        assert_eq!(
+            JitterModel::none().draw_durations(&g),
+            JitterModel::nominal_durations(&g)
+        );
+    }
+
+    #[test]
+    fn draws_stay_within_bounds_and_are_seeded() {
+        let g = graph();
+        let m = JitterModel::symmetric(42, 30);
+        let a = m.draw_durations(&g);
+        let b = m.draw_durations(&g);
+        assert_eq!(a, b, "same seed, same draws");
+        for d in &a {
+            assert!(d.as_secs() >= 7 && d.as_secs() <= 13, "{d}");
+        }
+        let c = JitterModel::symmetric(43, 30).draw_durations(&g);
+        assert_ne!(a, c, "different seed should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn worst_case_is_the_upper_bound() {
+        let g = graph();
+        let m = JitterModel::overrun_only(1, 25);
+        for d in m.worst_case_durations(&g) {
+            assert_eq!(d.as_secs(), 12, "10 s + 25%, floored");
+        }
+        // And no sampled draw exceeds it.
+        for (drawn, worst) in m.draw_durations(&g).iter().zip(m.worst_case_durations(&g)) {
+            assert!(*drawn <= worst);
+        }
+    }
+
+    #[test]
+    fn durations_never_drop_below_one_second() {
+        let mut g = ConstraintGraph::new();
+        let r = g.add_resource(Resource::new("R", ResourceKind::Compute));
+        g.add_task(Task::new("t", r, TimeSpan::from_secs(1), Power::ZERO));
+        let m = JitterModel::symmetric(7, 100);
+        assert!(m.draw_durations(&g)[0].as_secs() >= 1);
+    }
+}

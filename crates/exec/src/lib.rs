@@ -1,0 +1,50 @@
+//! # pas-exec — runtime dispatch simulation for static schedules
+//!
+//! The DAC 2001 scheduler is *static*: start times are computed
+//! offline and a lightweight runtime dispatcher executes them (§5.3
+//! makes the schedules quasi-static across constraint ranges). This
+//! crate closes the loop by simulating that dispatcher under
+//! execution-time **jitter** — motors and heaters finishing early or
+//! late — and reporting what survives:
+//!
+//! * [`JitterModel`] — seeded bounded perturbations of task durations
+//!   (plus deterministic worst-case bounds);
+//! * [`execute`] — a work-conserving, order-preserving dispatcher:
+//!   tasks become eligible at their static start, wait for their
+//!   resource and their min separations (against *actual* predecessor
+//!   starts), and run to their actual completion;
+//! * [`ExecutionTrace`] — actual timeline, finish-time slip, actual
+//!   peak power, exceeded max-separation windows
+//!   ([`WindowFault`]) and power-budget faults;
+//! * [`overrun_tolerance`] — the largest uniform overrun a schedule
+//!   absorbs with every hard guarantee intact.
+//!
+//! ## Example
+//!
+//! ```
+//! use pas_exec::{execute, JitterModel};
+//! use pas_rover::{build_rover_problem, EnvCase};
+//! use pas_sched::PowerAwareScheduler;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rover = build_rover_problem(EnvCase::Worst, 1);
+//! let outcome = PowerAwareScheduler::default().schedule(&mut rover.problem)?;
+//! // Nominal execution reproduces the plan exactly.
+//! let durations = JitterModel::nominal_durations(rover.problem.graph());
+//! let trace = execute(&rover.problem, &outcome.schedule, &durations);
+//! assert!(trace.is_clean());
+//! assert_eq!(trace.finish_time, outcome.analysis.finish_time);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod dispatch;
+mod jitter;
+
+pub use campaign::{jitter_campaign, planned_finish, CampaignStats};
+pub use dispatch::{execute, overrun_tolerance, ExecutionTrace, WindowFault};
+pub use jitter::JitterModel;

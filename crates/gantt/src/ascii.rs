@@ -1,0 +1,287 @@
+//! ASCII renderer for power-aware Gantt charts.
+//!
+//! Renders the time view (resource rows with task bins) and the power
+//! view (a character-cell plot of the power profile with `P_max` /
+//! `P_min` rules) for terminals and logs. This is the textual
+//! counterpart of the paper's Figs. 2, 5, 7 and 9–11.
+
+use crate::chart::GanttChart;
+use pas_graph::units::{Power, Time};
+use std::fmt::Write as _;
+
+/// Rendering options for [`render_ascii`].
+#[derive(Debug, Clone)]
+pub struct AsciiOptions {
+    /// Seconds represented by one character column.
+    pub secs_per_col: i64,
+    /// Number of character rows in the power view.
+    pub power_rows: usize,
+    /// Draw the time view?
+    pub time_view: bool,
+    /// Draw the power view?
+    pub power_view: bool,
+    /// Show the metrics legend line?
+    pub legend: bool,
+}
+
+impl Default for AsciiOptions {
+    fn default() -> Self {
+        AsciiOptions {
+            secs_per_col: 1,
+            power_rows: 12,
+            time_view: true,
+            power_view: true,
+            legend: true,
+        }
+    }
+}
+
+/// Renders `chart` as plain text.
+///
+/// # Panics
+/// Panics if `secs_per_col < 1` or `power_rows == 0`.
+///
+/// # Examples
+/// ```
+/// use pas_core::example::paper_example;
+/// use pas_gantt::{render_ascii, AsciiOptions, GanttChart};
+/// use pas_sched::PowerAwareScheduler;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (mut problem, _) = paper_example();
+/// let outcome = PowerAwareScheduler::default().schedule(&mut problem)?;
+/// let chart = GanttChart::new(&problem, &outcome.schedule);
+/// let text = render_ascii(&chart, &AsciiOptions::default());
+/// assert!(text.contains("Pmax"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_ascii(chart: &GanttChart, options: &AsciiOptions) -> String {
+    assert!(options.secs_per_col >= 1, "secs_per_col must be >= 1");
+    assert!(options.power_rows > 0, "power_rows must be > 0");
+
+    let mut out = String::new();
+    let horizon = chart.finish_time().as_secs().max(1);
+    let cols = div_ceil(horizon, options.secs_per_col) as usize;
+    let label_width = chart
+        .rows()
+        .iter()
+        .map(|r| r.name.len())
+        .chain(std::iter::once("Pmax".len()))
+        .max()
+        .unwrap_or(4)
+        .max(4);
+
+    let _ = writeln!(out, "== {} ==", chart.title());
+
+    if options.time_view {
+        let _ = writeln!(
+            out,
+            "{}",
+            time_axis(label_width, cols, options.secs_per_col)
+        );
+        for row in chart.rows() {
+            let mut cells = vec![' '; cols];
+            for bin in &row.bins {
+                let s = (bin.start.as_secs() / options.secs_per_col) as usize;
+                let e = (div_ceil(bin.end.as_secs(), options.secs_per_col) as usize).min(cols);
+                if s >= cols {
+                    continue;
+                }
+                for (offset, cell) in cells[s..e].iter_mut().enumerate() {
+                    *cell = if offset == 0 { '[' } else { '=' };
+                }
+                if e > s + 1 {
+                    cells[e - 1] = ']';
+                }
+                // Overlay the task name inside the bin where it fits.
+                let name: Vec<char> = bin.name.chars().collect();
+                for (k, &ch) in name.iter().enumerate() {
+                    let idx = s + 1 + k;
+                    if idx + 1 < e {
+                        cells[idx] = ch;
+                    }
+                }
+            }
+            let line: String = cells.into_iter().collect();
+            let _ = writeln!(out, "{:>label_width$} |{line}|", row.name);
+        }
+        let _ = writeln!(out);
+    }
+
+    if options.power_view {
+        let peak = chart
+            .profile()
+            .peak()
+            .max(chart.p_max())
+            .max(chart.p_min())
+            .as_milliwatts()
+            .max(1);
+        let step = div_ceil(peak, options.power_rows as i64);
+        for row_idx in (1..=options.power_rows).rev() {
+            let level = Power::from_watts_milli(step * row_idx as i64);
+            let mut cells = String::with_capacity(cols);
+            for col in 0..cols {
+                let t = Time::from_secs(col as i64 * options.secs_per_col);
+                let p = chart.profile().power_at(t);
+                // Cells above the P_min line are battery-funded
+                // ("costly") energy and render differently, so the
+                // free/costly split of §4.3 is visible in text too.
+                cells.push(if p >= level {
+                    if level > chart.p_min() && chart.p_min() > Power::ZERO {
+                        '%'
+                    } else {
+                        '#'
+                    }
+                } else {
+                    ' '
+                });
+            }
+            let marker = if crosses(level, chart.p_max(), step) {
+                " < Pmax"
+            } else if crosses(level, chart.p_min(), step) {
+                " < Pmin"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "{:>label_width$} |{cells}|{marker}",
+                format!("{level}")
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{}",
+            time_axis(label_width, cols, options.secs_per_col)
+        );
+    }
+
+    if options.legend {
+        let _ = writeln!(
+            out,
+            "tau={} Ec={} rho={} spikes={} gaps={}",
+            chart.finish_time(),
+            chart.energy_cost(),
+            chart.utilization(),
+            chart.spikes().len(),
+            chart.gaps().len()
+        );
+    }
+    out
+}
+
+/// `true` when `level` is the first rendered row at or above `mark`
+/// (so the annotation lands on exactly one row).
+fn crosses(level: Power, mark: Power, step: i64) -> bool {
+    if mark == Power::MAX || mark == Power::ZERO {
+        return false;
+    }
+    let l = level.as_milliwatts();
+    let m = mark.as_milliwatts();
+    l >= m && l - m < step
+}
+
+fn time_axis(label_width: usize, cols: usize, secs_per_col: i64) -> String {
+    let mut axis = vec![' '; cols];
+    let mut labels = format!("{:>label_width$} +", "");
+    for (col, slot) in axis.iter_mut().enumerate() {
+        let t = col as i64 * secs_per_col;
+        *slot = if t % 10 == 0 { '+' } else { '-' };
+    }
+    labels.extend(axis);
+    labels.push('+');
+    labels
+}
+
+fn div_ceil(a: i64, b: i64) -> i64 {
+    (a + b - 1) / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_core::example::paper_example;
+    use pas_sched::PowerAwareScheduler;
+
+    fn sample_chart() -> GanttChart {
+        let (mut problem, _) = paper_example();
+        let outcome = PowerAwareScheduler::default()
+            .schedule(&mut problem)
+            .unwrap();
+        GanttChart::new(&problem, &outcome.schedule)
+    }
+
+    #[test]
+    fn renders_all_resource_rows_and_legend() {
+        let text = render_ascii(&sample_chart(), &AsciiOptions::default());
+        for name in ["A |", "B |", "C |"] {
+            assert!(text.contains(name), "missing row {name:?} in:\n{text}");
+        }
+        assert!(text.contains("rho="));
+        assert!(text.contains("Pmax"));
+    }
+
+    #[test]
+    fn task_names_appear_in_bins() {
+        let text = render_ascii(&sample_chart(), &AsciiOptions::default());
+        // 10-second bins comfortably fit single-letter names.
+        assert!(text.contains("[b"), "bins should carry names:\n{text}");
+    }
+
+    #[test]
+    fn views_can_be_disabled() {
+        let only_power = render_ascii(
+            &sample_chart(),
+            &AsciiOptions {
+                time_view: false,
+                legend: false,
+                ..AsciiOptions::default()
+            },
+        );
+        assert!(!only_power.contains('['));
+        assert!(!only_power.contains("rho="));
+        assert!(only_power.contains('#'));
+    }
+
+    #[test]
+    fn scaling_compresses_columns() {
+        let c = sample_chart();
+        let fine = render_ascii(&c, &AsciiOptions::default());
+        let coarse = render_ascii(
+            &c,
+            &AsciiOptions {
+                secs_per_col: 5,
+                ..AsciiOptions::default()
+            },
+        );
+        assert!(coarse.len() < fine.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "secs_per_col")]
+    fn zero_scale_rejected() {
+        let _ = render_ascii(
+            &sample_chart(),
+            &AsciiOptions {
+                secs_per_col: 0,
+                ..AsciiOptions::default()
+            },
+        );
+    }
+
+    #[test]
+    fn power_view_marks_pmax_once() {
+        let text = render_ascii(&sample_chart(), &AsciiOptions::default());
+        assert_eq!(text.matches("< Pmax").count(), 1);
+    }
+
+    #[test]
+    fn costly_energy_renders_distinctly_above_pmin() {
+        // The example draws above its 14 W free level at times, so
+        // both free ('#') and costly ('%') cells must appear.
+        let text = render_ascii(&sample_chart(), &AsciiOptions::default());
+        assert!(text.contains('#'), "free energy cells:\n{text}");
+        assert!(text.contains('%'), "costly energy cells:\n{text}");
+    }
+}

@@ -1,0 +1,261 @@
+//! The power-aware Gantt chart model (§4.3 of the paper).
+//!
+//! A chart couples the two views the paper describes:
+//!
+//! * **time view** — one row per execution resource, tasks drawn as
+//!   bins whose length is the execution delay and whose height is the
+//!   power consumption (so bin area = energy);
+//! * **power view** — the schedule's power profile with the `P_max` /
+//!   `P_min` levels, power spikes, power gaps, and the split between
+//!   free and costly energy.
+
+use pas_core::{analyze, Interval, PowerProfile, Problem, Schedule, ScheduleAnalysis};
+use pas_graph::units::{Power, Time, TimeSpan};
+use pas_graph::{ResourceId, TaskId};
+
+/// One task bin in the time view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bin {
+    /// The task this bin draws.
+    pub task: TaskId,
+    /// Task name (owned copy so the chart outlives the problem).
+    pub name: String,
+    /// Bin start (the task's start time).
+    pub start: Time,
+    /// Bin end (start + delay).
+    pub end: Time,
+    /// Bin height (the task's power draw).
+    pub power: Power,
+    /// Slack available to the task under the charted schedule.
+    pub slack: TimeSpan,
+}
+
+impl Bin {
+    /// Bin length (the task's execution delay).
+    pub fn duration(&self) -> TimeSpan {
+        self.end - self.start
+    }
+}
+
+/// One row of the time view: a resource and its bins in time order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// The resource this row draws.
+    pub resource: ResourceId,
+    /// Resource name.
+    pub name: String,
+    /// Bins on this row, sorted by start time.
+    pub bins: Vec<Bin>,
+}
+
+/// A complete power-aware Gantt chart: the data both renderers (ASCII
+/// and SVG) and the interactive editor work from.
+///
+/// # Examples
+/// ```
+/// use pas_core::example::paper_example;
+/// use pas_gantt::GanttChart;
+/// use pas_sched::PowerAwareScheduler;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (mut problem, _) = paper_example();
+/// let outcome = PowerAwareScheduler::default().schedule(&mut problem)?;
+/// let chart = GanttChart::new(&problem, &outcome.schedule);
+/// assert_eq!(chart.rows().len(), 3); // resources A, B, C
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GanttChart {
+    title: String,
+    rows: Vec<Row>,
+    profile: PowerProfile,
+    p_max: Power,
+    p_min: Power,
+    spikes: Vec<Interval>,
+    gaps: Vec<Interval>,
+    finish_time: Time,
+    utilization: pas_core::Ratio,
+    energy_cost: pas_graph::units::Energy,
+}
+
+impl GanttChart {
+    /// Builds the chart for `schedule` under `problem`.
+    pub fn new(problem: &Problem, schedule: &Schedule) -> Self {
+        let analysis = analyze(problem, schedule);
+        Self::from_analysis(problem, schedule, &analysis)
+    }
+
+    /// Builds the chart reusing an existing analysis (avoids
+    /// recomputing the profile).
+    pub fn from_analysis(
+        problem: &Problem,
+        schedule: &Schedule,
+        analysis: &ScheduleAnalysis,
+    ) -> Self {
+        let graph = problem.graph();
+        let mut rows: Vec<Row> = graph
+            .resources()
+            .map(|(rid, r)| Row {
+                resource: rid,
+                name: r.name().to_string(),
+                bins: Vec::new(),
+            })
+            .collect();
+        for (tid, task) in graph.tasks() {
+            let start = schedule.start(tid);
+            rows[task.resource().index()].bins.push(Bin {
+                task: tid,
+                name: task.name().to_string(),
+                start,
+                end: start + task.delay(),
+                power: task.power(),
+                slack: pas_core::slack(graph, schedule, tid),
+            });
+        }
+        for row in &mut rows {
+            row.bins.sort_by_key(|b| (b.start, b.task));
+        }
+        GanttChart {
+            title: problem.name().to_string(),
+            rows,
+            profile: analysis.profile.clone(),
+            p_max: problem.constraints().p_max(),
+            p_min: problem.constraints().p_min(),
+            spikes: analysis.spikes.clone(),
+            gaps: analysis.gaps.clone(),
+            finish_time: analysis.finish_time,
+            utilization: analysis.utilization,
+            energy_cost: analysis.energy_cost,
+        }
+    }
+
+    /// Chart title (the problem name).
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Time-view rows, one per resource in [`ResourceId`] order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// The power profile drawn in the power view.
+    pub fn profile(&self) -> &PowerProfile {
+        &self.profile
+    }
+
+    /// The `P_max` annotation level.
+    pub fn p_max(&self) -> Power {
+        self.p_max
+    }
+
+    /// The `P_min` annotation level.
+    pub fn p_min(&self) -> Power {
+        self.p_min
+    }
+
+    /// Power spikes to highlight.
+    pub fn spikes(&self) -> &[Interval] {
+        &self.spikes
+    }
+
+    /// Power gaps to highlight.
+    pub fn gaps(&self) -> &[Interval] {
+        &self.gaps
+    }
+
+    /// The schedule's finish time `τ_σ` (the chart's time extent).
+    pub fn finish_time(&self) -> Time {
+        self.finish_time
+    }
+
+    /// Min-power utilization shown in the legend.
+    pub fn utilization(&self) -> pas_core::Ratio {
+        self.utilization
+    }
+
+    /// Energy cost shown in the legend.
+    pub fn energy_cost(&self) -> pas_graph::units::Energy {
+        self.energy_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_core::example::paper_example;
+    use pas_core::PowerConstraints;
+    use pas_graph::units::{Power as P, TimeSpan};
+    use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task};
+    use pas_sched::PowerAwareScheduler;
+
+    fn chart() -> GanttChart {
+        let (mut problem, _) = paper_example();
+        let outcome = PowerAwareScheduler::default()
+            .schedule(&mut problem)
+            .unwrap();
+        GanttChart::new(&problem, &outcome.schedule)
+    }
+
+    #[test]
+    fn rows_cover_all_tasks_in_time_order() {
+        let c = chart();
+        let total: usize = c.rows().iter().map(|r| r.bins.len()).sum();
+        assert_eq!(total, 9);
+        for row in c.rows() {
+            for pair in row.bins.windows(2) {
+                assert!(pair[0].start <= pair[1].start);
+                assert!(pair[0].end <= pair[1].start, "bins must not overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn bin_geometry_matches_tasks() {
+        let c = chart();
+        for row in c.rows() {
+            for bin in &row.bins {
+                assert!(bin.duration().is_positive());
+                assert!(!bin.slack.is_negative());
+            }
+        }
+    }
+
+    #[test]
+    fn annotations_match_constraints() {
+        let c = chart();
+        assert_eq!(c.p_max(), P::from_watts(16));
+        assert_eq!(c.p_min(), P::from_watts(14));
+        assert!(c.spikes().is_empty(), "final schedule is valid");
+        assert_eq!(c.title(), "fig1-example");
+        assert!(c.finish_time() > Time::ZERO);
+    }
+
+    #[test]
+    fn empty_problem_builds_empty_chart() {
+        let p = Problem::new(
+            "empty",
+            ConstraintGraph::new(),
+            PowerConstraints::unconstrained(),
+        );
+        let s = Schedule::from_starts(vec![]);
+        let c = GanttChart::new(&p, &s);
+        assert!(c.rows().is_empty());
+        assert_eq!(c.finish_time(), Time::ZERO);
+    }
+
+    #[test]
+    fn rows_follow_resource_order_even_when_empty() {
+        let mut g = ConstraintGraph::new();
+        let r0 = g.add_resource(Resource::new("used", ResourceKind::Compute));
+        let _r1 = g.add_resource(Resource::new("idle", ResourceKind::Thermal));
+        g.add_task(Task::new("t", r0, TimeSpan::from_secs(1), P::ZERO));
+        let p = Problem::new("p", g, PowerConstraints::unconstrained());
+        let s = Schedule::from_starts(vec![Time::ZERO]);
+        let c = GanttChart::new(&p, &s);
+        assert_eq!(c.rows().len(), 2);
+        assert_eq!(c.rows()[1].name, "idle");
+        assert!(c.rows()[1].bins.is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! # pas-gantt — the power-aware Gantt chart
+//!
+//! §4.3 of the DAC 2001 paper introduces the *power-aware Gantt
+//! chart*: a two-view representation of a schedule where the **time
+//! view** lays tasks out per execution resource with bin height
+//! proportional to power (area = energy), and the **power view** shows
+//! the schedule's power profile against the `P_max`/`P_min`
+//! constraints with spikes, gaps and the free-vs-costly energy split.
+//!
+//! * [`GanttChart`] — the chart model built from a
+//!   [`pas_core::Problem`] and a [`pas_core::Schedule`];
+//! * [`render_ascii`] — terminal rendering (the `repro` binary uses
+//!   this for Figs. 2, 5, 7, 9–11);
+//! * [`render_svg`] — standalone SVG documents;
+//! * [`ChartEditor`] — headless "drag and lock" interaction: preview a
+//!   move's power view, commit only valid moves, lock bins against the
+//!   automated scheduler.
+//!
+//! ## Example
+//!
+//! ```
+//! use pas_core::example::paper_example;
+//! use pas_gantt::{render_ascii, AsciiOptions, GanttChart};
+//! use pas_sched::PowerAwareScheduler;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (mut problem, _) = paper_example();
+//! let outcome = PowerAwareScheduler::default().schedule(&mut problem)?;
+//! let chart = GanttChart::new(&problem, &outcome.schedule);
+//! println!("{}", render_ascii(&chart, &AsciiOptions::default()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ascii;
+mod chart;
+mod edit;
+mod summary;
+mod svg;
+
+pub use ascii::{render_ascii, AsciiOptions};
+pub use chart::{Bin, GanttChart, Row};
+pub use edit::{ChartEditor, EditRejected};
+pub use summary::{resource_stats, summary_report, ResourceStats};
+pub use svg::{render_svg, SvgOptions};

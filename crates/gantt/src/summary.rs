@@ -1,0 +1,184 @@
+//! Textual schedule reports: the tabular companion to the chart
+//! views, for logs, CLI output and regression diffs.
+
+use crate::chart::GanttChart;
+use pas_graph::units::{Energy, TimeSpan};
+use std::fmt::Write as _;
+
+/// Per-resource aggregate statistics derived from a chart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceStats {
+    /// Resource name.
+    pub name: String,
+    /// Number of tasks on the resource.
+    pub tasks: usize,
+    /// Total busy time.
+    pub busy: TimeSpan,
+    /// Busy time as a percentage of the schedule span (0–100, one
+    /// decimal).
+    pub busy_percent_tenths: i64,
+    /// Total energy drawn by this resource's tasks.
+    pub energy: Energy,
+}
+
+/// Computes per-resource statistics for `chart`.
+pub fn resource_stats(chart: &GanttChart) -> Vec<ResourceStats> {
+    let span = (chart.finish_time().as_secs()).max(1);
+    chart
+        .rows()
+        .iter()
+        .map(|row| {
+            let busy: TimeSpan = row.bins.iter().map(|b| b.duration()).sum();
+            let energy: Energy = row.bins.iter().map(|b| b.power * b.duration()).sum();
+            ResourceStats {
+                name: row.name.clone(),
+                tasks: row.bins.len(),
+                busy,
+                busy_percent_tenths: busy.as_secs() * 1000 / span,
+                energy,
+            }
+        })
+        .collect()
+}
+
+/// Renders the full textual report: one line per task (start, end,
+/// power, slack), one line per resource (utilization), and the
+/// schedule-level metric legend.
+///
+/// # Examples
+/// ```
+/// use pas_core::example::paper_example;
+/// use pas_gantt::{summary_report, GanttChart};
+/// use pas_sched::PowerAwareScheduler;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (mut problem, _) = paper_example();
+/// let outcome = PowerAwareScheduler::default().schedule(&mut problem)?;
+/// let chart = GanttChart::new(&problem, &outcome.schedule);
+/// let report = summary_report(&chart);
+/// assert!(report.contains("RESOURCE"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn summary_report(chart: &GanttChart) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "schedule report: {}", chart.title());
+    let _ = writeln!(
+        out,
+        "{:<12} {:<10} {:>7} {:>7} {:>9} {:>9}",
+        "TASK", "RESOURCE", "START", "END", "POWER", "SLACK"
+    );
+    for row in chart.rows() {
+        for bin in &row.bins {
+            let slack = if bin.slack == TimeSpan::MAX {
+                "inf".to_string()
+            } else {
+                bin.slack.to_string()
+            };
+            let _ = writeln!(
+                out,
+                "{:<12} {:<10} {:>7} {:>7} {:>9} {:>9}",
+                bin.name,
+                row.name,
+                bin.start.to_string(),
+                bin.end.to_string(),
+                bin.power.to_string(),
+                slack
+            );
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>8} {:>7} {:>10}",
+        "RESOURCE", "TASKS", "BUSY", "UTIL", "ENERGY"
+    );
+    for rs in resource_stats(chart) {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>8} {:>6}.{}% {:>10}",
+            rs.name,
+            rs.tasks,
+            rs.busy.to_string(),
+            rs.busy_percent_tenths / 10,
+            rs.busy_percent_tenths % 10,
+            rs.energy.to_string()
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "tau={} Ec={} rho={} Pmax={} Pmin={} spikes={} gaps={}",
+        chart.finish_time(),
+        chart.energy_cost(),
+        chart.utilization(),
+        chart.p_max(),
+        chart.p_min(),
+        chart.spikes().len(),
+        chart.gaps().len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_core::example::paper_example;
+    use pas_sched::PowerAwareScheduler;
+
+    fn chart() -> GanttChart {
+        let (mut problem, _) = paper_example();
+        let outcome = PowerAwareScheduler::default()
+            .schedule(&mut problem)
+            .unwrap();
+        GanttChart::new(&problem, &outcome.schedule)
+    }
+
+    #[test]
+    fn stats_cover_all_resources_and_energy_sums_match() {
+        let c = chart();
+        let stats = resource_stats(&c);
+        assert_eq!(stats.len(), 3);
+        let total: i64 = stats.iter().map(|s| s.energy.as_millijoules()).sum();
+        // Background is zero in the example, so resource energy sums
+        // to the profile total.
+        assert_eq!(total, c.profile().total_energy().as_millijoules());
+        for s in &stats {
+            assert!(s.busy_percent_tenths <= 1000);
+            assert_eq!(s.tasks, 3);
+        }
+    }
+
+    #[test]
+    fn report_lists_every_task_once() {
+        let c = chart();
+        let report = summary_report(&c);
+        for name in ["a", "b", "c", "d", "e", "f", "g", "h", "i"] {
+            assert!(
+                report.lines().any(|l| l.starts_with(&format!("{name} "))),
+                "missing task {name} in:\n{report}"
+            );
+        }
+        assert!(report.contains("tau="));
+    }
+
+    #[test]
+    fn infinite_slack_renders_as_inf() {
+        // A lone unconstrained task has unbounded slack.
+        use pas_core::{PowerConstraints, Problem, Schedule};
+        use pas_graph::units::{Power, Time};
+        use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task};
+        let mut g = ConstraintGraph::new();
+        let r = g.add_resource(Resource::new("A", ResourceKind::Compute));
+        g.add_task(Task::new(
+            "solo",
+            r,
+            TimeSpan::from_secs(3),
+            Power::from_watts(1),
+        ));
+        let p = Problem::new("solo", g, PowerConstraints::unconstrained());
+        let c = GanttChart::new(&p, &Schedule::from_starts(vec![Time::ZERO]));
+        let report = summary_report(&c);
+        assert!(report.contains("inf"), "{report}");
+    }
+}

@@ -1,0 +1,280 @@
+//! SVG renderer for power-aware Gantt charts.
+//!
+//! Produces a standalone SVG document with the time view on top
+//! (resource rows, task bins scaled by power so area = energy, as in
+//! §4.3) and the power view below (profile polyline, `P_max`/`P_min`
+//! rules, shaded spikes and gaps, free-vs-costly energy split).
+
+use crate::chart::GanttChart;
+use pas_graph::units::Power;
+use std::fmt::Write as _;
+
+/// Rendering options for [`render_svg`].
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Horizontal pixels per second.
+    pub px_per_sec: f64,
+    /// Vertical pixels per watt in both views.
+    pub px_per_watt: f64,
+    /// Height of one time-view row in pixels.
+    pub row_height: f64,
+    /// Left margin reserved for labels, in pixels.
+    pub label_margin: f64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            px_per_sec: 12.0,
+            px_per_watt: 8.0,
+            row_height: 64.0,
+            label_margin: 90.0,
+        }
+    }
+}
+
+/// Renders `chart` as a standalone SVG document.
+///
+/// # Examples
+/// ```
+/// use pas_core::example::paper_example;
+/// use pas_gantt::{render_svg, GanttChart, SvgOptions};
+/// use pas_sched::PowerAwareScheduler;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (mut problem, _) = paper_example();
+/// let outcome = PowerAwareScheduler::default().schedule(&mut problem)?;
+/// let chart = GanttChart::new(&problem, &outcome.schedule);
+/// let svg = render_svg(&chart, &SvgOptions::default());
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.ends_with("</svg>\n"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_svg(chart: &GanttChart, options: &SvgOptions) -> String {
+    let horizon = chart.finish_time().as_secs().max(1) as f64;
+    let tx = |secs: i64| options.label_margin + secs as f64 * options.px_per_sec;
+    let time_view_h = chart.rows().len() as f64 * options.row_height;
+    let peak_w = chart
+        .profile()
+        .peak()
+        .max(effective(chart.p_max()))
+        .max(chart.p_min())
+        .as_watts_f64()
+        .max(1.0);
+    let power_view_h = peak_w * options.px_per_watt;
+    let gap_between = 40.0;
+    let width = options.label_margin + horizon * options.px_per_sec + 20.0;
+    let height = time_view_h + gap_between + power_view_h + 60.0;
+    let power_base = time_view_h + gap_between + power_view_h;
+    let py = |p: Power| power_base - p.as_watts_f64() * options.px_per_watt;
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.0} {height:.0}\" font-family=\"monospace\" font-size=\"11\">"
+    );
+    let _ = writeln!(
+        s,
+        "  <title>{} — power-aware Gantt chart</title>",
+        escape(chart.title())
+    );
+
+    // Time view rows and bins.
+    for (i, row) in chart.rows().iter().enumerate() {
+        let y0 = i as f64 * options.row_height;
+        let _ = writeln!(
+            s,
+            "  <text x=\"4\" y=\"{:.1}\" fill=\"#333\">{}</text>",
+            y0 + options.row_height / 2.0,
+            escape(&row.name)
+        );
+        let _ = writeln!(
+            s,
+            "  <line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{width:.1}\" y2=\"{:.1}\" stroke=\"#ddd\"/>",
+            options.label_margin,
+            y0 + options.row_height,
+            y0 + options.row_height
+        );
+        for bin in &row.bins {
+            let x = tx(bin.start.as_secs());
+            let w = (bin.end - bin.start).as_secs() as f64 * options.px_per_sec;
+            let h = (bin.power.as_watts_f64() * options.px_per_watt)
+                .min(options.row_height - 6.0)
+                .max(4.0);
+            let y = y0 + options.row_height - h - 2.0;
+            let _ = writeln!(
+                s,
+                "  <rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"{h:.1}\" \
+                 fill=\"#7aa6d6\" stroke=\"#1f4e79\"><title>{}: {}..{} @ {}</title></rect>",
+                escape(&bin.name),
+                bin.start,
+                bin.end,
+                bin.power
+            );
+            let _ = writeln!(
+                s,
+                "  <text x=\"{:.1}\" y=\"{:.1}\" fill=\"#10283f\">{}</text>",
+                x + 2.0,
+                y + h - 2.0,
+                escape(&bin.name)
+            );
+        }
+    }
+
+    // Power view: shaded free energy, profile line, constraint rules.
+    let _ = writeln!(
+        s,
+        "  <line x1=\"{:.1}\" y1=\"{power_base:.1}\" x2=\"{width:.1}\" y2=\"{power_base:.1}\" \
+         stroke=\"#333\"/>",
+        options.label_margin
+    );
+    // Profile as a step polygon (filled) + outline.
+    let mut points = format!("{:.1},{power_base:.1}", tx(0));
+    for seg in chart.profile().segments() {
+        let y = py(seg.power);
+        let _ = write!(
+            points,
+            " {:.1},{y:.1} {:.1},{y:.1}",
+            tx(seg.start.as_secs()),
+            tx(seg.end.as_secs())
+        );
+    }
+    let _ = write!(
+        points,
+        " {:.1},{power_base:.1}",
+        tx(chart.finish_time().as_secs())
+    );
+    let _ = writeln!(
+        s,
+        "  <polygon points=\"{points}\" fill=\"#cfe3f5\" stroke=\"#1f4e79\" stroke-width=\"1.5\"/>"
+    );
+
+    // Spikes and gaps shading.
+    for spike in chart.spikes() {
+        let _ = writeln!(
+            s,
+            "  <rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{power_view_h:.1}\" \
+             fill=\"#d62728\" fill-opacity=\"0.18\"><title>power spike {spike}</title></rect>",
+            tx(spike.start.as_secs()),
+            power_base - power_view_h,
+            (spike.end - spike.start).as_secs() as f64 * options.px_per_sec
+        );
+    }
+    for gap in chart.gaps() {
+        let _ = writeln!(
+            s,
+            "  <rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{power_view_h:.1}\" \
+             fill=\"#ff7f0e\" fill-opacity=\"0.15\"><title>power gap {gap}</title></rect>",
+            tx(gap.start.as_secs()),
+            power_base - power_view_h,
+            (gap.end - gap.start).as_secs() as f64 * options.px_per_sec
+        );
+    }
+
+    // P_max / P_min rules.
+    if chart.p_max() != Power::MAX {
+        let y = py(chart.p_max());
+        let _ = writeln!(
+            s,
+            "  <line x1=\"{:.1}\" y1=\"{y:.1}\" x2=\"{width:.1}\" y2=\"{y:.1}\" \
+             stroke=\"#d62728\" stroke-dasharray=\"6 3\"/>\n  <text x=\"4\" y=\"{y:.1}\" \
+             fill=\"#d62728\">Pmax {}</text>",
+            options.label_margin,
+            chart.p_max()
+        );
+    }
+    if chart.p_min() > Power::ZERO {
+        let y = py(chart.p_min());
+        let _ = writeln!(
+            s,
+            "  <line x1=\"{:.1}\" y1=\"{y:.1}\" x2=\"{width:.1}\" y2=\"{y:.1}\" \
+             stroke=\"#2ca02c\" stroke-dasharray=\"6 3\"/>\n  <text x=\"4\" y=\"{y:.1}\" \
+             fill=\"#2ca02c\">Pmin {}</text>",
+            options.label_margin,
+            chart.p_min()
+        );
+    }
+
+    // Legend.
+    let _ = writeln!(
+        s,
+        "  <text x=\"{:.1}\" y=\"{:.1}\" fill=\"#333\">tau={} Ec={} rho={}</text>",
+        options.label_margin,
+        height - 8.0,
+        chart.finish_time(),
+        chart.energy_cost(),
+        chart.utilization()
+    );
+    s.push_str("</svg>\n");
+    s
+}
+
+/// `P_max = ∞` would blow up the vertical scale; treat it as absent.
+fn effective(p: Power) -> Power {
+    if p == Power::MAX {
+        Power::ZERO
+    } else {
+        p
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_core::example::paper_example;
+    use pas_core::{PowerConstraints, Problem, Schedule};
+    use pas_graph::ConstraintGraph;
+    use pas_sched::PowerAwareScheduler;
+
+    fn sample() -> GanttChart {
+        let (mut problem, _) = paper_example();
+        let outcome = PowerAwareScheduler::default()
+            .schedule(&mut problem)
+            .unwrap();
+        GanttChart::new(&problem, &outcome.schedule)
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = render_svg(&sample(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), svg.matches("</rect>").count());
+        assert!(svg.contains("Pmax"));
+        assert!(svg.contains("Pmin"));
+        assert!(svg.contains("polygon"));
+    }
+
+    #[test]
+    fn all_nine_bins_rendered() {
+        let svg = render_svg(&sample(), &SvgOptions::default());
+        // One tooltip per task bin.
+        assert_eq!(svg.matches("..").count(), 9);
+    }
+
+    #[test]
+    fn empty_chart_renders_without_rules() {
+        let p = Problem::new(
+            "empty",
+            ConstraintGraph::new(),
+            PowerConstraints::unconstrained(),
+        );
+        let s = Schedule::from_starts(vec![]);
+        let svg = render_svg(&GanttChart::new(&p, &s), &SvgOptions::default());
+        assert!(svg.contains("</svg>"));
+        assert!(!svg.contains("Pmax"), "infinite budget is not drawn");
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        assert_eq!(escape("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+}

@@ -1,0 +1,235 @@
+//! As-late-as-possible (ALAP) start times.
+//!
+//! The anchor longest paths give the ASAP schedule; the dual analysis
+//! propagates a deadline *backwards* through the constraints:
+//!
+//! ```text
+//! lst(v) = min( deadline − d(v),  min over edges v→u of lst(u) − w )
+//! ```
+//!
+//! The `[asap(v), alap(v)]` window of each task is its total
+//! scheduling freedom under the deadline — the global counterpart of
+//! the schedule-relative slack `Δ_σ(v)` of §4.1.
+
+use crate::graph::ConstraintGraph;
+use crate::id::{NodeId, TaskId};
+use crate::longest_path::{single_source_longest_paths, PositiveCycle};
+use crate::units::{Time, TimeSpan};
+
+/// Latest feasible start times under a completion deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatestStarts {
+    deadline: Time,
+    lst: Vec<Time>,
+}
+
+impl LatestStarts {
+    /// The deadline the analysis was run for.
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// Latest start of `task` such that a deadline-meeting schedule
+    /// exists with every constraint satisfied.
+    ///
+    /// # Panics
+    /// Panics if `task` is out of range.
+    pub fn start_time(&self, task: TaskId) -> Time {
+        self.lst[task.index()]
+    }
+}
+
+/// Computes ALAP start times for every task under `deadline`.
+///
+/// # Errors
+/// Returns the positive cycle when the constraints are unsatisfiable,
+/// or a degenerate single-node cycle when some task cannot meet the
+/// deadline at all (its ASAP start is already too late).
+///
+/// # Examples
+/// ```
+/// use pas_graph::alap::latest_start_times;
+/// use pas_graph::units::{Power, Time, TimeSpan};
+/// use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = ConstraintGraph::new();
+/// let r = g.add_resource(Resource::new("R", ResourceKind::Compute));
+/// let a = g.add_task(Task::new("a", r, TimeSpan::from_secs(3), Power::ZERO));
+/// let b = g.add_task(Task::new("b", r, TimeSpan::from_secs(2), Power::ZERO));
+/// g.precedence(a, b);
+/// let alap = latest_start_times(&g, Time::from_secs(10))?;
+/// assert_eq!(alap.start_time(b).as_secs(), 8);  // finish exactly at 10
+/// assert_eq!(alap.start_time(a).as_secs(), 5);  // leave room for b
+/// # Ok(())
+/// # }
+/// ```
+pub fn latest_start_times(
+    graph: &ConstraintGraph,
+    deadline: Time,
+) -> Result<LatestStarts, PositiveCycle> {
+    // Feasibility first: a positive cycle invalidates everything.
+    let asap = single_source_longest_paths(graph, NodeId::ANCHOR)?;
+
+    let n = graph.num_nodes();
+    // lst over nodes; anchor's "latest start" is pinned at 0 (it
+    // *is* time zero), which propagates release/lock edges correctly.
+    let mut lst: Vec<Time> = (0..n)
+        .map(|i| {
+            if i == 0 {
+                Time::ZERO
+            } else {
+                let t = TaskId::from_index(i - 1);
+                deadline - graph.task(t).delay()
+            }
+        })
+        .collect();
+
+    // Fixpoint: relax lst(v) ≤ lst(u) − w for every edge v→u. The
+    // graph is feasible (checked above), so this terminates within
+    // n·|E| relaxations.
+    let mut changed = true;
+    let mut rounds = 0usize;
+    while changed {
+        changed = false;
+        rounds += 1;
+        if rounds > n + 1 {
+            // Cannot happen on a feasible graph; defensive guard.
+            break;
+        }
+        for (_, e) in graph.edges() {
+            // Skip constraints on the anchor's own time (fixed at 0).
+            if e.from().is_anchor() {
+                continue;
+            }
+            let bound = lst[e.to().index()] - e.weight();
+            if bound < lst[e.from().index()] {
+                lst[e.from().index()] = bound;
+                changed = true;
+            }
+        }
+    }
+
+    // Every task must still be startable at or after its ASAP time.
+    for t in graph.task_ids() {
+        if lst[t.node().index()] < asap.start_time(t) {
+            return Err(PositiveCycle {
+                nodes: vec![t.node()],
+                total_weight: asap.start_time(t) - lst[t.node().index()],
+            });
+        }
+    }
+
+    let lst = graph.task_ids().map(|t| lst[t.node().index()]).collect();
+    Ok(LatestStarts { deadline, lst })
+}
+
+/// The global scheduling window `alap − asap` of every task under a
+/// deadline, indexed by [`TaskId`].
+///
+/// # Errors
+/// Same conditions as [`latest_start_times`].
+pub fn scheduling_windows(
+    graph: &ConstraintGraph,
+    deadline: Time,
+) -> Result<Vec<TimeSpan>, PositiveCycle> {
+    let asap = single_source_longest_paths(graph, NodeId::ANCHOR)?;
+    let alap = latest_start_times(graph, deadline)?;
+    Ok(graph
+        .task_ids()
+        .map(|t| alap.start_time(t) - asap.start_time(t))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Resource, ResourceKind, Task};
+    use crate::units::Power;
+
+    fn chain3() -> (ConstraintGraph, Vec<TaskId>) {
+        let mut g = ConstraintGraph::new();
+        let ids = (0..3)
+            .map(|i| {
+                let r = g.add_resource(Resource::new(format!("R{i}"), ResourceKind::Compute));
+                g.add_task(Task::new(
+                    format!("t{i}"),
+                    r,
+                    TimeSpan::from_secs(4),
+                    Power::ZERO,
+                ))
+            })
+            .collect::<Vec<_>>();
+        g.precedence(ids[0], ids[1]);
+        g.precedence(ids[1], ids[2]);
+        (g, ids)
+    }
+
+    #[test]
+    fn chain_alap_counts_back_from_deadline() {
+        let (g, ids) = chain3();
+        let alap = latest_start_times(&g, Time::from_secs(20)).unwrap();
+        assert_eq!(alap.start_time(ids[2]).as_secs(), 16);
+        assert_eq!(alap.start_time(ids[1]).as_secs(), 12);
+        assert_eq!(alap.start_time(ids[0]).as_secs(), 8);
+        assert_eq!(alap.deadline(), Time::from_secs(20));
+    }
+
+    #[test]
+    fn windows_shrink_with_the_deadline() {
+        let (g, _) = chain3();
+        let wide = scheduling_windows(&g, Time::from_secs(30)).unwrap();
+        let tight = scheduling_windows(&g, Time::from_secs(12)).unwrap();
+        for (w, t) in wide.iter().zip(&tight) {
+            assert!(t <= w);
+        }
+        // Deadline 12 = critical path: zero freedom everywhere.
+        assert!(tight.iter().all(|w| w.is_zero()));
+    }
+
+    #[test]
+    fn impossible_deadline_is_reported() {
+        let (g, _) = chain3();
+        let err = latest_start_times(&g, Time::from_secs(11)).unwrap_err();
+        assert!(err.total_weight.is_positive());
+    }
+
+    #[test]
+    fn max_separation_tightens_alap_of_the_earlier_task() {
+        let (mut g, ids) = chain3();
+        // t2 at most 9 s after t0 (it is already ≥ 8 by precedence).
+        g.max_separation(ids[0], ids[2], TimeSpan::from_secs(9));
+        let alap = latest_start_times(&g, Time::from_secs(30)).unwrap();
+        // t0 cannot start later than lst(t2) − ... : the backward
+        // edge t2→t0 (−9) gives lst(t0) ≥ lst(t2) − 9? No: it gives
+        // lst(t0) ≤ lst(t2) + 9 (loose) — but the forward chain
+        // t0→t1→t2 caps lst(t0) at lst(t2) − 8.
+        assert_eq!(
+            alap.start_time(ids[2]) - alap.start_time(ids[0]),
+            TimeSpan::from_secs(8)
+        );
+        // And ASAP must still fit inside the window.
+        let windows = scheduling_windows(&g, Time::from_secs(30)).unwrap();
+        assert!(windows.iter().all(|w| !w.is_negative()));
+    }
+
+    #[test]
+    fn release_edges_bound_alap_from_below_feasibly() {
+        let (mut g, ids) = chain3();
+        g.release(ids[0], Time::from_secs(5));
+        // ASAP(t0) = 5; deadline 16 leaves lst(t0) = 16−12 = 4 < 5 →
+        // infeasible.
+        assert!(latest_start_times(&g, Time::from_secs(16)).is_err());
+        assert!(latest_start_times(&g, Time::from_secs(17)).is_ok());
+    }
+
+    #[test]
+    fn lock_pins_the_window_to_a_point() {
+        let (mut g, ids) = chain3();
+        g.lock(ids[1], Time::from_secs(6));
+        let asap = single_source_longest_paths(&g, NodeId::ANCHOR).unwrap();
+        let alap = latest_start_times(&g, Time::from_secs(40)).unwrap();
+        assert_eq!(asap.start_time(ids[1]), Time::from_secs(6));
+        assert_eq!(alap.start_time(ids[1]), Time::from_secs(6));
+    }
+}

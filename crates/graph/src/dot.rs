@@ -1,0 +1,179 @@
+//! Graphviz DOT export of constraint graphs (for Fig. 1 / Fig. 8-style
+//! renderings).
+
+use crate::edge::EdgeKind;
+use crate::graph::ConstraintGraph;
+use std::fmt::Write as _;
+
+/// Options controlling DOT export.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name used in the `digraph` header.
+    pub name: String,
+    /// Include scheduler-added edges (serialization / release / lock)?
+    pub include_derived_edges: bool,
+    /// Label vertices `name\nresource/delay/power` as in Fig. 1?
+    pub attribute_labels: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "constraints".to_string(),
+            include_derived_edges: true,
+            attribute_labels: true,
+        }
+    }
+}
+
+/// Renders `graph` in Graphviz DOT syntax.
+///
+/// Min-separation edges are solid, max-separation edges dashed (drawn
+/// in their original `u → v` direction with the positive bound as the
+/// label, matching how papers draw them), serialization edges dotted.
+///
+/// # Examples
+/// ```
+/// use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task};
+/// use pas_graph::units::{Power, TimeSpan};
+/// use pas_graph::dot::{to_dot, DotOptions};
+/// let mut g = ConstraintGraph::new();
+/// let r = g.add_resource(Resource::new("A", ResourceKind::Compute));
+/// let a = g.add_task(Task::new("a", r, TimeSpan::from_secs(1), Power::ZERO));
+/// let b = g.add_task(Task::new("b", r, TimeSpan::from_secs(1), Power::ZERO));
+/// g.min_separation(a, b, TimeSpan::from_secs(5));
+/// let dot = to_dot(&g, &DotOptions::default());
+/// assert!(dot.contains("digraph"));
+/// ```
+pub fn to_dot(graph: &ConstraintGraph, options: &DotOptions) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", options.name);
+    let _ = writeln!(s, "  rankdir=LR;");
+    let _ = writeln!(s, "  node [shape=box, fontsize=10];");
+    let _ = writeln!(s, "  anchor [shape=point, label=\"\"];");
+    for (id, t) in graph.tasks() {
+        let label = if options.attribute_labels {
+            format!(
+                "{}\\n{}/{}/{}",
+                t.name(),
+                graph.resource(t.resource()).name(),
+                t.delay(),
+                t.power()
+            )
+        } else {
+            t.name().to_string()
+        };
+        let _ = writeln!(s, "  n{} [label=\"{}\"];", id.index() + 1, label);
+    }
+    for (_, e) in graph.edges() {
+        let derived = matches!(
+            e.kind(),
+            EdgeKind::Serialization | EdgeKind::Release | EdgeKind::Lock
+        );
+        if derived && !options.include_derived_edges {
+            continue;
+        }
+        // Skip the automatic zero-weight anchor release edges: they
+        // carry no information and clutter the drawing.
+        if e.kind() == EdgeKind::Release && e.from().is_anchor() && e.weight().is_zero() {
+            continue;
+        }
+        let (style, color) = match e.kind() {
+            EdgeKind::MinSeparation => ("solid", "black"),
+            EdgeKind::MaxSeparation => ("dashed", "black"),
+            EdgeKind::Serialization => ("dotted", "blue"),
+            EdgeKind::Release => ("dotted", "darkgreen"),
+            EdgeKind::Lock => ("dotted", "red"),
+        };
+        // Draw max separations in their original direction with the
+        // positive bound.
+        let (from, to, label) = if e.kind() == EdgeKind::MaxSeparation {
+            (e.to(), e.from(), format!("≤{}", -e.weight()))
+        } else {
+            (e.from(), e.to(), format!("≥{}", e.weight()))
+        };
+        let fname = if from.is_anchor() {
+            "anchor".to_string()
+        } else {
+            format!("n{}", from.index())
+        };
+        let tname = if to.is_anchor() {
+            "anchor".to_string()
+        } else {
+            format!("n{}", to.index())
+        };
+        let _ = writeln!(
+            s,
+            "  {fname} -> {tname} [label=\"{label}\", style={style}, color={color}];"
+        );
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Resource, ResourceKind, Task};
+    use crate::units::{Power, Time, TimeSpan};
+
+    fn sample() -> ConstraintGraph {
+        let mut g = ConstraintGraph::new();
+        let r = g.add_resource(Resource::new("A", ResourceKind::Compute));
+        let a = g.add_task(Task::new(
+            "a",
+            r,
+            TimeSpan::from_secs(5),
+            Power::from_watts(2),
+        ));
+        let b = g.add_task(Task::new(
+            "b",
+            r,
+            TimeSpan::from_secs(3),
+            Power::from_watts(1),
+        ));
+        g.min_separation(a, b, TimeSpan::from_secs(5));
+        g.max_separation(a, b, TimeSpan::from_secs(50));
+        g.lock(a, Time::from_secs(0));
+        g
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_constraint_edges() {
+        let dot = to_dot(&sample(), &DotOptions::default());
+        assert!(dot.contains("digraph \"constraints\""));
+        assert!(dot.contains("n1 [label=\"a"));
+        assert!(dot.contains("n2 [label=\"b"));
+        assert!(dot.contains("≥5s"));
+        assert!(dot.contains("≤50s"));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn derived_edges_can_be_hidden() {
+        let opts = DotOptions {
+            include_derived_edges: false,
+            ..DotOptions::default()
+        };
+        let dot = to_dot(&sample(), &opts);
+        assert!(!dot.contains("color=red"), "lock edges should be hidden");
+    }
+
+    #[test]
+    fn automatic_release_edges_are_skipped() {
+        let dot = to_dot(&sample(), &DotOptions::default());
+        // The two automatic anchor releases (weight 0) are not drawn;
+        // the lock edges are.
+        assert_eq!(dot.matches("anchor ->").count(), 1);
+    }
+
+    #[test]
+    fn plain_labels_without_attributes() {
+        let opts = DotOptions {
+            attribute_labels: false,
+            ..DotOptions::default()
+        };
+        let dot = to_dot(&sample(), &opts);
+        assert!(dot.contains("n1 [label=\"a\"];"));
+    }
+}

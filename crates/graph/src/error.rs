@@ -1,0 +1,64 @@
+//! Error types for constraint-graph operations.
+
+use crate::longest_path::PositiveCycle;
+use crate::topo::PrecedenceCycle;
+
+/// Errors produced by graph analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The timing constraints are mutually unsatisfiable: a positive
+    /// cycle exists in the constraint graph.
+    Infeasible(PositiveCycle),
+    /// The precedence subgraph is cyclic (before weights are even
+    /// considered).
+    PrecedenceCycle(PrecedenceCycle),
+}
+
+impl core::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GraphError::Infeasible(c) => write!(f, "infeasible timing constraints: {c}"),
+            GraphError::PrecedenceCycle(c) => write!(f, "cyclic precedence: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<PositiveCycle> for GraphError {
+    fn from(c: PositiveCycle) -> Self {
+        GraphError::Infeasible(c)
+    }
+}
+
+impl From<PrecedenceCycle> for GraphError {
+    fn from(c: PrecedenceCycle) -> Self {
+        GraphError::PrecedenceCycle(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::NodeId;
+    use crate::units::TimeSpan;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = GraphError::Infeasible(PositiveCycle {
+            nodes: vec![NodeId::ANCHOR],
+            total_weight: TimeSpan::from_secs(3),
+        });
+        let msg = e.to_string();
+        assert!(msg.starts_with("infeasible"));
+        let e2: GraphError = PrecedenceCycle { nodes: vec![] }.into();
+        assert!(e2.to_string().contains("cyclic precedence"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<GraphError>();
+    }
+}

@@ -1,0 +1,167 @@
+//! Typed index handles into a [`ConstraintGraph`](crate::ConstraintGraph).
+//!
+//! All ids are small copyable newtypes over `u32`, so they are cheap to
+//! pass around and statically distinguish the arena they index
+//! (task vs. resource vs. edge vs. graph node).
+
+use core::fmt;
+
+/// Identifies a task vertex within a constraint graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub(crate) u32);
+
+/// Identifies an execution resource within a constraint graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub(crate) u32);
+
+/// Identifies a constraint edge within a constraint graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub(crate) u32);
+
+/// A vertex of the constraint graph: either the virtual *anchor*
+/// (the task that "starts at time 0" in the paper's Fig. 3) or a real
+/// task.
+///
+/// # Examples
+/// ```
+/// use pas_graph::NodeId;
+/// assert!(NodeId::ANCHOR.is_anchor());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl TaskId {
+    /// Returns the raw arena index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `TaskId` from a raw index.
+    ///
+    /// Only meaningful for indices previously obtained from
+    /// [`TaskId::index`] on the same graph.
+    #[inline]
+    pub const fn from_index(index: usize) -> Self {
+        TaskId(index as u32)
+    }
+
+    /// The graph node corresponding to this task.
+    #[inline]
+    pub const fn node(self) -> NodeId {
+        NodeId(self.0 + 1)
+    }
+}
+
+impl ResourceId {
+    /// Returns the raw arena index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `ResourceId` from a raw index.
+    #[inline]
+    pub const fn from_index(index: usize) -> Self {
+        ResourceId(index as u32)
+    }
+}
+
+impl EdgeId {
+    /// Returns the raw arena index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// The virtual anchor vertex that starts at time 0.
+    pub const ANCHOR: NodeId = NodeId(0);
+
+    /// `true` when this node is the anchor.
+    #[inline]
+    pub const fn is_anchor(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The task this node denotes, or `None` for the anchor.
+    #[inline]
+    pub const fn task(self) -> Option<TaskId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(TaskId(self.0 - 1))
+        }
+    }
+
+    /// Returns the raw dense index (anchor = 0, task `i` = `i + 1`).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<TaskId> for NodeId {
+    #[inline]
+    fn from(t: TaskId) -> NodeId {
+        t.node()
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_anchor() {
+            write!(f, "anchor")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_node_round_trip() {
+        let t = TaskId::from_index(4);
+        let n = t.node();
+        assert!(!n.is_anchor());
+        assert_eq!(n.task(), Some(t));
+        assert_eq!(n.index(), 5);
+        assert_eq!(NodeId::from(t), n);
+    }
+
+    #[test]
+    fn anchor_has_no_task() {
+        assert_eq!(NodeId::ANCHOR.task(), None);
+        assert_eq!(NodeId::ANCHOR.index(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TaskId::from_index(2).to_string(), "t2");
+        assert_eq!(ResourceId::from_index(1).to_string(), "r1");
+        assert_eq!(NodeId::ANCHOR.to_string(), "anchor");
+        assert_eq!(TaskId::from_index(0).node().to_string(), "n1");
+    }
+}

@@ -1,0 +1,85 @@
+//! # pas-graph — constraint-graph substrate for power-aware scheduling
+//!
+//! This crate implements the constraint-graph formulation underlying
+//! *Power-Aware Scheduling under Timing Constraints for
+//! Mission-Critical Embedded Systems* (Liu, Chou, Bagherzadeh,
+//! Kurdahi — DAC 2001):
+//!
+//! * [`Task`] vertices with execution delay `d(v)`, power `p(v)` and
+//!   resource mapping `r(v)`;
+//! * weighted [`Edge`]s encoding min/max timing separations as the
+//!   inequality `σ(to) ≥ σ(from) + w`;
+//! * a [`ConstraintGraph`] arena with **journaled mutation**
+//!   ([`ConstraintGraph::mark`] / [`ConstraintGraph::undo_to`]) so the
+//!   backtracking schedulers can cheaply undo speculative edges;
+//! * [single-source longest paths](longest_path) with positive-cycle
+//!   detection (infeasibility witness);
+//! * [topological utilities](topo) over the precedence subgraph;
+//! * [DOT export](dot) for visualising problems (Figs. 1 and 8 of the
+//!   paper);
+//! * exact fixed-point [units] shared by the whole workspace.
+//!
+//! ## Example
+//!
+//! Build a two-task problem with a min/max separation window and
+//! compute earliest start times:
+//!
+//! ```
+//! use pas_graph::{ConstraintGraph, NodeId, Resource, ResourceKind, Task};
+//! use pas_graph::units::{Power, TimeSpan};
+//! use pas_graph::longest_path::single_source_longest_paths;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = ConstraintGraph::new();
+//! let heater = g.add_resource(Resource::new("heater", ResourceKind::Thermal));
+//! let wheels = g.add_resource(Resource::new("wheels", ResourceKind::Mechanical));
+//!
+//! let heat = g.add_task(Task::new("heat", heater, TimeSpan::from_secs(5),
+//!                                 Power::from_watts_milli(9_500)));
+//! let drive = g.add_task(Task::new("drive", wheels, TimeSpan::from_secs(10),
+//!                                  Power::from_watts_milli(10_900)));
+//! // Heating at least 5 s and at most 50 s before driving.
+//! g.min_separation(heat, drive, TimeSpan::from_secs(5));
+//! g.max_separation(heat, drive, TimeSpan::from_secs(50));
+//!
+//! let lp = single_source_longest_paths(&g, NodeId::ANCHOR)?;
+//! assert_eq!(lp.start_time(drive).as_secs(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alap;
+pub mod dot;
+mod edge;
+mod error;
+mod graph;
+mod id;
+pub mod longest_path;
+mod task;
+pub mod topo;
+pub mod units;
+
+pub use edge::{Edge, EdgeKind};
+pub use error::GraphError;
+pub use graph::{ConstraintGraph, GraphMark};
+pub use id::{EdgeId, NodeId, ResourceId, TaskId};
+pub use longest_path::{LongestPaths, PositiveCycle};
+pub use task::{Resource, ResourceKind, Task};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConstraintGraph>();
+        assert_send_sync::<Task>();
+        assert_send_sync::<Edge>();
+        assert_send_sync::<GraphError>();
+        assert_send_sync::<LongestPaths>();
+    }
+}

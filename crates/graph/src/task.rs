@@ -1,0 +1,210 @@
+//! Task vertices and execution resources.
+
+use crate::id::ResourceId;
+use crate::units::{Energy, Power, TimeSpan};
+
+/// A schedulable task: vertex `v` of the constraint graph with the
+/// paper's three attributes `d(v)` (execution delay), `p(v)` (power
+/// consumption) and `r(v)` (execution resource).
+///
+/// Tasks are non-preemptive: once started, a task runs for exactly
+/// `delay` seconds drawing `power` milliwatts.
+///
+/// # Examples
+/// ```
+/// use pas_graph::{Task, ResourceId};
+/// use pas_graph::units::{Power, TimeSpan};
+/// let drive = Task::new("drive", ResourceId::from_index(0),
+///                       TimeSpan::from_secs(10), Power::from_watts_milli(10_900));
+/// assert_eq!(drive.energy().as_millijoules(), 109_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Task {
+    name: String,
+    resource: ResourceId,
+    delay: TimeSpan,
+    power: Power,
+}
+
+impl Task {
+    /// Creates a task.
+    ///
+    /// # Panics
+    /// Panics if `delay` is not strictly positive or `power` is
+    /// negative — the paper assumes bounded execution delays and
+    /// `p(v) ≥ 0`.
+    pub fn new(
+        name: impl Into<String>,
+        resource: ResourceId,
+        delay: TimeSpan,
+        power: Power,
+    ) -> Self {
+        assert!(delay.is_positive(), "task delay must be > 0, got {delay}");
+        assert!(power >= Power::ZERO, "task power must be >= 0, got {power}");
+        Task {
+            name: name.into(),
+            resource,
+            delay,
+            power,
+        }
+    }
+
+    /// The task's human-readable name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The execution resource `r(v)` this task is mapped onto.
+    #[inline]
+    pub fn resource(&self) -> ResourceId {
+        self.resource
+    }
+
+    /// The execution delay `d(v)`.
+    #[inline]
+    pub fn delay(&self) -> TimeSpan {
+        self.delay
+    }
+
+    /// The power consumption `p(v)` while the task runs.
+    #[inline]
+    pub fn power(&self) -> Power {
+        self.power
+    }
+
+    /// The energy expenditure `d(v) × p(v)` — the area of the task's
+    /// bin in the power-aware Gantt chart.
+    #[inline]
+    pub fn energy(&self) -> Energy {
+        self.power * self.delay
+    }
+
+    /// Replaces the power attribute (used by corner analysis and
+    /// temperature-dependent models).
+    ///
+    /// # Panics
+    /// Panics if `power` is negative.
+    pub(crate) fn set_power(&mut self, power: Power) {
+        assert!(power >= Power::ZERO, "task power must be >= 0, got {power}");
+        self.power = power;
+    }
+}
+
+/// Broad classification of an execution resource, for display and
+/// domain bookkeeping. The scheduler itself treats all resources
+/// uniformly: two tasks on the same resource must be serialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum ResourceKind {
+    /// A digital computing resource (CPU, DSP, laser rangefinder…).
+    #[default]
+    Compute,
+    /// A mechanical subsystem (wheel motors, steering motors…).
+    Mechanical,
+    /// A thermal subsystem (motor heaters…).
+    Thermal,
+    /// Anything else (radio, instrument, …).
+    Other,
+}
+
+impl core::fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ResourceKind::Compute => "compute",
+            ResourceKind::Mechanical => "mechanical",
+            ResourceKind::Thermal => "thermal",
+            ResourceKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An execution resource: a row of the power-aware Gantt chart's time
+/// view. Tasks mapped to the same resource are serialized by the
+/// timing scheduler.
+///
+/// # Examples
+/// ```
+/// use pas_graph::{Resource, ResourceKind};
+/// let heater = Resource::new("heater-0", ResourceKind::Thermal);
+/// assert_eq!(heater.name(), "heater-0");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Resource {
+    name: String,
+    kind: ResourceKind,
+}
+
+impl Resource {
+    /// Creates a resource.
+    pub fn new(name: impl Into<String>, kind: ResourceKind) -> Self {
+        Resource {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// The resource's human-readable name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The resource's broad classification.
+    #[inline]
+    pub fn kind(&self) -> ResourceKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r0() -> ResourceId {
+        ResourceId::from_index(0)
+    }
+
+    #[test]
+    fn task_accessors() {
+        let t = Task::new(
+            "steer",
+            r0(),
+            TimeSpan::from_secs(5),
+            Power::from_watts_milli(6_200),
+        );
+        assert_eq!(t.name(), "steer");
+        assert_eq!(t.resource(), r0());
+        assert_eq!(t.delay(), TimeSpan::from_secs(5));
+        assert_eq!(t.power(), Power::from_watts_milli(6_200));
+        assert_eq!(t.energy(), pas_energy(31_000));
+    }
+
+    fn pas_energy(mj: i64) -> Energy {
+        Energy::from_millijoules(mj)
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be > 0")]
+    fn zero_delay_rejected() {
+        let _ = Task::new("bad", r0(), TimeSpan::ZERO, Power::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "power must be >= 0")]
+    fn negative_power_rejected() {
+        let _ = Task::new(
+            "bad",
+            r0(),
+            TimeSpan::from_secs(1),
+            Power::from_watts_milli(-1),
+        );
+    }
+
+    #[test]
+    fn resource_kind_display() {
+        assert_eq!(ResourceKind::Thermal.to_string(), "thermal");
+        assert_eq!(ResourceKind::default(), ResourceKind::Compute);
+    }
+}

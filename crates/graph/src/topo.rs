@@ -1,0 +1,225 @@
+//! Topological utilities over the precedence subgraph.
+//!
+//! The timing scheduler traverses the graph "topologically" (Fig. 3):
+//! only *precedence* edges (forward, non-negative weight — see
+//! [`Edge::is_precedence`](crate::Edge::is_precedence)) define that
+//! order; backward max-separation edges do not.
+
+use crate::graph::ConstraintGraph;
+use crate::id::{NodeId, TaskId};
+
+/// Distinct precedence successors of `node` (targets of its precedence
+/// out-edges), in first-seen order.
+pub fn precedence_successors(graph: &ConstraintGraph, node: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; graph.num_nodes()];
+    let mut result = Vec::new();
+    for (_, e) in graph.out_edges(node) {
+        if e.is_precedence() && !seen[e.to().index()] {
+            seen[e.to().index()] = true;
+            result.push(e.to());
+        }
+    }
+    result
+}
+
+/// Distinct precedence predecessors of `node`.
+pub fn precedence_predecessors(graph: &ConstraintGraph, node: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; graph.num_nodes()];
+    let mut result = Vec::new();
+    for (_, e) in graph.in_edges(node) {
+        if e.is_precedence() && !seen[e.from().index()] {
+            seen[e.from().index()] = true;
+            result.push(e.from());
+        }
+    }
+    result
+}
+
+/// A cycle among precedence edges (distinct from a *positive* cycle:
+/// any precedence cycle with at least one strictly positive weight is
+/// unsatisfiable, and a zero-weight one is degenerate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrecedenceCycle {
+    /// Some subset of nodes involved in the cycle.
+    pub nodes: Vec<NodeId>,
+}
+
+impl core::fmt::Display for PrecedenceCycle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "precedence cycle through {} nodes", self.nodes.len())
+    }
+}
+
+impl std::error::Error for PrecedenceCycle {}
+
+/// Kahn's algorithm over precedence edges, starting from the anchor.
+///
+/// Returns all nodes (anchor first) in a topological order of the
+/// precedence subgraph.
+///
+/// # Errors
+/// Returns the set of unordered nodes when the precedence subgraph is
+/// cyclic.
+pub fn topological_order(graph: &ConstraintGraph) -> Result<Vec<NodeId>, PrecedenceCycle> {
+    let n = graph.num_nodes();
+    let mut indegree = vec![0usize; n];
+    for (_, e) in graph.edges() {
+        if e.is_precedence() {
+            indegree[e.to().index()] += 1;
+        }
+    }
+    let mut queue: std::collections::VecDeque<NodeId> = (0..n)
+        .filter(|&i| indegree[i] == 0)
+        .map(|i| node_at(graph, i))
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for (_, e) in graph.out_edges(u) {
+            if e.is_precedence() {
+                let vi = e.to().index();
+                indegree[vi] -= 1;
+                if indegree[vi] == 0 {
+                    queue.push_back(e.to());
+                }
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let nodes = (0..n)
+            .filter(|&i| indegree[i] > 0)
+            .map(|i| node_at(graph, i))
+            .collect();
+        Err(PrecedenceCycle { nodes })
+    }
+}
+
+/// `true` when `to` is reachable from `from` along precedence edges.
+pub fn reaches(graph: &ConstraintGraph, from: NodeId, to: NodeId) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut visited = vec![false; graph.num_nodes()];
+    let mut stack = vec![from];
+    visited[from.index()] = true;
+    while let Some(u) = stack.pop() {
+        for (_, e) in graph.out_edges(u) {
+            if !e.is_precedence() {
+                continue;
+            }
+            let v = e.to();
+            if v == to {
+                return true;
+            }
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    false
+}
+
+/// `true` when serializing `before` ahead of `after` (adding the edge
+/// `before → after`) cannot create a precedence cycle.
+pub fn serialization_is_acyclic(graph: &ConstraintGraph, before: TaskId, after: TaskId) -> bool {
+    !reaches(graph, after.node(), before.node())
+}
+
+fn node_at(graph: &ConstraintGraph, index: usize) -> NodeId {
+    if index == 0 {
+        NodeId::ANCHOR
+    } else {
+        let _ = graph;
+        TaskId::from_index(index - 1).node()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Resource, ResourceKind, Task};
+    use crate::units::{Power, TimeSpan};
+
+    fn diamond() -> (ConstraintGraph, Vec<TaskId>) {
+        // a → b, a → c, b → d, c → d
+        let mut g = ConstraintGraph::new();
+        let r0 = g.add_resource(Resource::new("R0", ResourceKind::Compute));
+        let r1 = g.add_resource(Resource::new("R1", ResourceKind::Compute));
+        let r2 = g.add_resource(Resource::new("R2", ResourceKind::Compute));
+        let r3 = g.add_resource(Resource::new("R3", ResourceKind::Compute));
+        let mk = |g: &mut ConstraintGraph, n: &str, r| {
+            g.add_task(Task::new(n, r, TimeSpan::from_secs(2), Power::ZERO))
+        };
+        let a = mk(&mut g, "a", r0);
+        let b = mk(&mut g, "b", r1);
+        let c = mk(&mut g, "c", r2);
+        let d = mk(&mut g, "d", r3);
+        g.precedence(a, b);
+        g.precedence(a, c);
+        g.precedence(b, d);
+        g.precedence(c, d);
+        (g, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let (g, ids) = diamond();
+        let succ = precedence_successors(&g, ids[0].node());
+        assert_eq!(succ, vec![ids[1].node(), ids[2].node()]);
+        // Predecessors include the anchor via the automatic release edge.
+        let pred = precedence_predecessors(&g, ids[3].node());
+        assert_eq!(pred, vec![NodeId::ANCHOR, ids[1].node(), ids[2].node()]);
+        // Anchor's successors include everything released at 0.
+        let anchor_succ = precedence_successors(&g, NodeId::ANCHOR);
+        assert_eq!(anchor_succ.len(), 4);
+    }
+
+    #[test]
+    fn topological_order_respects_precedence() {
+        let (g, ids) = diamond();
+        let order = topological_order(&g).unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert_eq!(order[0], NodeId::ANCHOR);
+        assert!(pos(ids[0].node()) < pos(ids[1].node()));
+        assert!(pos(ids[0].node()) < pos(ids[2].node()));
+        assert!(pos(ids[1].node()) < pos(ids[3].node()));
+        assert!(pos(ids[2].node()) < pos(ids[3].node()));
+    }
+
+    #[test]
+    fn cycle_detected_by_kahn() {
+        let (mut g, ids) = diamond();
+        g.min_separation(ids[3], ids[0], TimeSpan::from_secs(1));
+        let err = topological_order(&g).unwrap_err();
+        assert!(!err.nodes.is_empty());
+    }
+
+    #[test]
+    fn max_separation_edges_do_not_order() {
+        let (mut g, ids) = diamond();
+        // d at most 100 after a: backward edge, must not affect topo.
+        g.max_separation(ids[0], ids[3], TimeSpan::from_secs(100));
+        assert!(topological_order(&g).is_ok());
+    }
+
+    #[test]
+    fn reachability() {
+        let (g, ids) = diamond();
+        assert!(reaches(&g, ids[0].node(), ids[3].node()));
+        assert!(!reaches(&g, ids[3].node(), ids[0].node()));
+        assert!(reaches(&g, ids[1].node(), ids[1].node()));
+        assert!(!reaches(&g, ids[1].node(), ids[2].node()));
+    }
+
+    #[test]
+    fn serialization_cycle_guard() {
+        let (g, ids) = diamond();
+        assert!(serialization_is_acyclic(&g, ids[1], ids[2]));
+        assert!(serialization_is_acyclic(&g, ids[2], ids[1]));
+        // d before a would close a cycle.
+        assert!(!serialization_is_acyclic(&g, ids[3], ids[0]));
+    }
+}

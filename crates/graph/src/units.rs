@@ -1,0 +1,555 @@
+//! Exact fixed-point physical units.
+//!
+//! All quantities in the paper (14.9 W solar output, 79.5 J energy cost,
+//! 75 s finish time, …) are exactly representable in this integer model:
+//!
+//! * [`Time`] — an absolute instant, in whole seconds.
+//! * [`TimeSpan`] — a signed duration / separation, in whole seconds.
+//! * [`Power`] — instantaneous power, in milliwatts.
+//! * [`Energy`] — energy, in millijoules (1 mW·s = 1 mJ).
+//!
+//! Using integers instead of `f64` makes every scheduler decision and
+//! every metric bit-for-bit deterministic, so the test suite can assert
+//! *exact* equality against the paper's numbers (e.g. the worst-case
+//! Mars rover energy cost of exactly 388 J).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An absolute instant on the schedule timeline, in whole seconds.
+///
+/// Schedules anchor at [`Time::ZERO`]. Instants may be compared and
+/// subtracted (yielding a [`TimeSpan`]), and shifted by a `TimeSpan`.
+///
+/// # Examples
+/// ```
+/// use pas_graph::units::{Time, TimeSpan};
+/// let t = Time::from_secs(10) + TimeSpan::from_secs(5);
+/// assert_eq!(t, Time::from_secs(15));
+/// assert_eq!(t - Time::from_secs(3), TimeSpan::from_secs(12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(i64);
+
+/// A signed duration or timing separation, in whole seconds.
+///
+/// Negative spans arise naturally in constraint graphs: a *max* timing
+/// separation is encoded as a reversed edge with negative weight.
+///
+/// # Examples
+/// ```
+/// use pas_graph::units::TimeSpan;
+/// let w = -TimeSpan::from_secs(50);
+/// assert!(w.is_negative());
+/// assert_eq!(w.as_secs(), -50);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeSpan(i64);
+
+/// Instantaneous power, in milliwatts.
+///
+/// # Examples
+/// ```
+/// use pas_graph::units::Power;
+/// let solar = Power::from_watts_milli(14_900); // 14.9 W
+/// assert_eq!(solar.to_string(), "14.9W");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Power(i64);
+
+/// Energy, in millijoules (1 mW over 1 s).
+///
+/// Produced by `Power * TimeSpan`.
+///
+/// # Examples
+/// ```
+/// use pas_graph::units::{Power, TimeSpan};
+/// let e = Power::from_watts_milli(10_000) * TimeSpan::from_secs(5);
+/// assert_eq!(e.as_millijoules(), 50_000);
+/// assert_eq!(e.to_string(), "50J");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Energy(i64);
+
+impl Time {
+    /// The schedule origin, `t = 0`.
+    pub const ZERO: Time = Time(0);
+    /// Largest representable instant; used as an "unbounded" sentinel.
+    pub const MAX: Time = Time(i64::MAX);
+
+    /// Creates an instant `secs` seconds after the origin.
+    #[inline]
+    pub const fn from_secs(secs: i64) -> Self {
+        Time(secs)
+    }
+
+    /// Returns the number of whole seconds since the origin.
+    #[inline]
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the span from the origin to this instant.
+    #[inline]
+    pub const fn since_origin(self) -> TimeSpan {
+        TimeSpan(self.0)
+    }
+
+    /// Returns the earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// Returns the later of two instants.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+}
+
+impl TimeSpan {
+    /// The empty span.
+    pub const ZERO: TimeSpan = TimeSpan(0);
+    /// Largest representable span; used as an "infinite slack" sentinel.
+    pub const MAX: TimeSpan = TimeSpan(i64::MAX);
+
+    /// Creates a span of `secs` whole seconds (may be negative).
+    #[inline]
+    pub const fn from_secs(secs: i64) -> Self {
+        TimeSpan(secs)
+    }
+
+    /// Returns the span length in whole seconds.
+    #[inline]
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// `true` when the span is strictly negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// `true` when the span is strictly positive.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// `true` when the span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the smaller of two spans.
+    #[inline]
+    pub fn min(self, other: TimeSpan) -> TimeSpan {
+        TimeSpan(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two spans.
+    #[inline]
+    pub fn max(self, other: TimeSpan) -> TimeSpan {
+        TimeSpan(self.0.max(other.0))
+    }
+
+    /// Saturating addition, so `TimeSpan::MAX` behaves as infinity.
+    #[inline]
+    pub fn saturating_add(self, other: TimeSpan) -> TimeSpan {
+        TimeSpan(self.0.saturating_add(other.0))
+    }
+}
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0);
+    /// Largest representable power; an "unconstrained `P_max`" sentinel.
+    pub const MAX: Power = Power(i64::MAX);
+
+    /// Creates a power value from milliwatts.
+    #[inline]
+    pub const fn from_watts_milli(milliwatts: i64) -> Self {
+        Power(milliwatts)
+    }
+
+    /// Creates a power value from whole watts.
+    #[inline]
+    pub const fn from_watts(watts: i64) -> Self {
+        Power(watts * 1000)
+    }
+
+    /// Returns the value in milliwatts.
+    #[inline]
+    pub const fn as_milliwatts(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the value in watts as a float (for display/plots only).
+    #[inline]
+    pub fn as_watts_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Returns the smaller of two power values.
+    #[inline]
+    pub fn min(self, other: Power) -> Power {
+        Power(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two power values.
+    #[inline]
+    pub fn max(self, other: Power) -> Power {
+        Power(self.0.max(other.0))
+    }
+
+    /// Saturating addition, so `Power::MAX` behaves as infinity.
+    #[inline]
+    pub fn saturating_add(self, other: Power) -> Power {
+        Power(self.0.saturating_add(other.0))
+    }
+}
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0);
+
+    /// Creates an energy value from millijoules.
+    #[inline]
+    pub const fn from_millijoules(millijoules: i64) -> Self {
+        Energy(millijoules)
+    }
+
+    /// Creates an energy value from whole joules.
+    #[inline]
+    pub const fn from_joules(joules: i64) -> Self {
+        Energy(joules * 1000)
+    }
+
+    /// Returns the value in millijoules.
+    #[inline]
+    pub const fn as_millijoules(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the value in joules as a float (for display/plots only).
+    #[inline]
+    pub fn as_joules_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+}
+
+impl Add<TimeSpan> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: TimeSpan) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl Sub<TimeSpan> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: TimeSpan) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub for Time {
+    type Output = TimeSpan;
+    #[inline]
+    fn sub(self, rhs: Time) -> TimeSpan {
+        TimeSpan(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign<TimeSpan> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for TimeSpan {
+    type Output = TimeSpan;
+    #[inline]
+    fn add(self, rhs: TimeSpan) -> TimeSpan {
+        TimeSpan(self.0 + rhs.0)
+    }
+}
+
+impl Sub for TimeSpan {
+    type Output = TimeSpan;
+    #[inline]
+    fn sub(self, rhs: TimeSpan) -> TimeSpan {
+        TimeSpan(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for TimeSpan {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for TimeSpan {
+    #[inline]
+    fn sub_assign(&mut self, rhs: TimeSpan) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for TimeSpan {
+    type Output = TimeSpan;
+    #[inline]
+    fn neg(self) -> TimeSpan {
+        TimeSpan(-self.0)
+    }
+}
+
+impl Mul<i64> for TimeSpan {
+    type Output = TimeSpan;
+    #[inline]
+    fn mul(self, rhs: i64) -> TimeSpan {
+        TimeSpan(self.0 * rhs)
+    }
+}
+
+impl Sum for TimeSpan {
+    fn sum<I: Iterator<Item = TimeSpan>>(iter: I) -> TimeSpan {
+        iter.fold(TimeSpan::ZERO, Add::add)
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    #[inline]
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Power {
+    type Output = Power;
+    #[inline]
+    fn sub(self, rhs: Power) -> Power {
+        Power(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for Power {
+    #[inline]
+    fn add_assign(&mut self, rhs: Power) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for Power {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Power) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<i64> for Power {
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: i64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        iter.fold(Power::ZERO, Add::add)
+    }
+}
+
+impl Mul<TimeSpan> for Power {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: TimeSpan) -> Energy {
+        Energy(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Power> for TimeSpan {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: Power) -> Energy {
+        Energy(self.0 * rhs.0)
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    #[inline]
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    #[inline]
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    #[inline]
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+impl Div<Power> for Energy {
+    type Output = TimeSpan;
+    /// Integer division: how long `self` lasts at drain rate `rhs`
+    /// (truncated toward zero).
+    #[inline]
+    fn div(self, rhs: Power) -> TimeSpan {
+        TimeSpan(self.0 / rhs.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+impl fmt::Display for TimeSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+/// Formats a milli-scaled integer as a decimal with unit suffix,
+/// trimming trailing zeros: `14900 → "14.9"`, `10000 → "10"`.
+fn fmt_milli(f: &mut fmt::Formatter<'_>, milli: i64, unit: &str) -> fmt::Result {
+    let sign = if milli < 0 { "-" } else { "" };
+    let abs = milli.unsigned_abs();
+    let whole = abs / 1000;
+    let frac = abs % 1000;
+    if frac == 0 {
+        write!(f, "{sign}{whole}{unit}")
+    } else {
+        let mut frac_str = format!("{frac:03}");
+        while frac_str.ends_with('0') {
+            frac_str.pop();
+        }
+        write!(f, "{sign}{whole}.{frac_str}{unit}")
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_milli(f, self.0, "W")
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_milli(f, self.0, "J")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = Time::from_secs(42);
+        assert_eq!(t.as_secs(), 42);
+        assert_eq!(t + TimeSpan::from_secs(8), Time::from_secs(50));
+        assert_eq!(t - TimeSpan::from_secs(2), Time::from_secs(40));
+        assert_eq!(Time::from_secs(50) - t, TimeSpan::from_secs(8));
+        assert_eq!(t.since_origin(), TimeSpan::from_secs(42));
+    }
+
+    #[test]
+    fn time_min_max() {
+        let a = Time::from_secs(3);
+        let b = Time::from_secs(7);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn span_signs() {
+        assert!(TimeSpan::from_secs(-1).is_negative());
+        assert!(TimeSpan::from_secs(1).is_positive());
+        assert!(TimeSpan::ZERO.is_zero());
+        assert_eq!(-TimeSpan::from_secs(5), TimeSpan::from_secs(-5));
+    }
+
+    #[test]
+    fn span_saturating_add_acts_as_infinity() {
+        assert_eq!(
+            TimeSpan::MAX.saturating_add(TimeSpan::from_secs(10)),
+            TimeSpan::MAX
+        );
+    }
+
+    #[test]
+    fn power_constructors_agree() {
+        assert_eq!(Power::from_watts(10), Power::from_watts_milli(10_000));
+        assert_eq!(Power::from_watts_milli(14_900).as_milliwatts(), 14_900);
+    }
+
+    #[test]
+    fn power_times_span_is_energy() {
+        // Heating two motors @ 9.5 W for 5 s = 47.5 J.
+        let e = Power::from_watts_milli(9_500) * TimeSpan::from_secs(5);
+        assert_eq!(e, Energy::from_millijoules(47_500));
+        assert_eq!(TimeSpan::from_secs(5) * Power::from_watts_milli(9_500), e);
+    }
+
+    #[test]
+    fn energy_div_power_gives_duration() {
+        let e = Energy::from_joules(100);
+        let p = Power::from_watts(10);
+        assert_eq!(e / p, TimeSpan::from_secs(10));
+    }
+
+    #[test]
+    fn display_trims_trailing_zeros() {
+        assert_eq!(Power::from_watts_milli(14_900).to_string(), "14.9W");
+        assert_eq!(Power::from_watts_milli(10_000).to_string(), "10W");
+        assert_eq!(Power::from_watts_milli(7_650).to_string(), "7.65W");
+        assert_eq!(Power::from_watts_milli(-2_500).to_string(), "-2.5W");
+        assert_eq!(Energy::from_millijoules(79_500).to_string(), "79.5J");
+        assert_eq!(Energy::from_millijoules(5).to_string(), "0.005J");
+        assert_eq!(Time::from_secs(75).to_string(), "75s");
+        assert_eq!(TimeSpan::from_secs(-50).to_string(), "-50s");
+    }
+
+    #[test]
+    fn sums() {
+        let spans = [TimeSpan::from_secs(1), TimeSpan::from_secs(2)];
+        assert_eq!(
+            spans.iter().copied().sum::<TimeSpan>(),
+            TimeSpan::from_secs(3)
+        );
+        let powers = [Power::from_watts(1), Power::from_watts(2)];
+        assert_eq!(powers.iter().copied().sum::<Power>(), Power::from_watts(3));
+        let energies = [Energy::from_joules(1), Energy::from_joules(2)];
+        assert_eq!(
+            energies.iter().copied().sum::<Energy>(),
+            Energy::from_joules(3)
+        );
+    }
+}

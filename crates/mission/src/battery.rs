@@ -1,0 +1,103 @@
+//! The rover's non-rechargeable battery.
+//!
+//! "Its power sources consist of a non-rechargeable battery and a
+//! solar panel. The life-time of its mission is limited by the amount
+//! of remaining battery energy" (§3). Excess solar power cannot be
+//! stored — which is exactly why the min power constraint exists.
+
+use pas_graph::units::Energy;
+
+/// A non-rechargeable battery: energy only ever flows out.
+///
+/// # Examples
+/// ```
+/// use pas_graph::units::Energy;
+/// use pas_mission::Battery;
+///
+/// let mut b = Battery::new(Energy::from_joules(100));
+/// assert!(b.drain(Energy::from_joules(40)));
+/// assert_eq!(b.remaining(), Energy::from_joules(60));
+/// assert!(!b.drain(Energy::from_joules(100)), "would over-drain");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Battery {
+    capacity: Energy,
+    drained: Energy,
+}
+
+impl Battery {
+    /// A fresh battery holding `capacity`.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is negative.
+    pub fn new(capacity: Energy) -> Self {
+        assert!(
+            capacity >= Energy::ZERO,
+            "battery capacity must be non-negative"
+        );
+        Battery {
+            capacity,
+            drained: Energy::ZERO,
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> Energy {
+        self.capacity
+    }
+
+    /// Energy drawn so far.
+    pub fn used(&self) -> Energy {
+        self.drained
+    }
+
+    /// Energy still available.
+    pub fn remaining(&self) -> Energy {
+        self.capacity - self.drained
+    }
+
+    /// `true` when nothing is left.
+    pub fn is_depleted(&self) -> bool {
+        self.remaining() == Energy::ZERO
+    }
+
+    /// Attempts to draw `amount`. Returns `false` (drawing nothing)
+    /// when the remaining energy is insufficient.
+    ///
+    /// # Panics
+    /// Panics if `amount` is negative (this battery cannot charge).
+    pub fn drain(&mut self, amount: Energy) -> bool {
+        assert!(
+            amount >= Energy::ZERO,
+            "cannot charge a non-rechargeable battery"
+        );
+        if amount > self.remaining() {
+            return false;
+        }
+        self.drained += amount;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let mut b = Battery::new(Energy::from_joules(10));
+        assert_eq!(b.capacity(), Energy::from_joules(10));
+        assert!(b.drain(Energy::from_joules(10)));
+        assert!(b.is_depleted());
+        assert_eq!(b.used(), Energy::from_joules(10));
+        assert!(!b.drain(Energy::from_millijoules(1)));
+        assert!(b.drain(Energy::ZERO), "zero drain always succeeds");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot charge")]
+    fn charging_rejected() {
+        let mut b = Battery::new(Energy::from_joules(1));
+        let _ = b.drain(Energy::from_millijoules(-1));
+    }
+}

@@ -1,0 +1,50 @@
+//! # pas-mission — the Table 4 mission scenario simulator
+//!
+//! §6 of the DAC 2001 paper evaluates the power-aware schedules on a
+//! mission: travel 48 steps while the solar output decays
+//! 14.9 → 12 → 9 W at 10-minute boundaries. The JPL baseline drives a
+//! fixed 75 s serial iteration regardless of the environment; the
+//! power-aware rover selects the per-case schedule quasi-statically
+//! and therefore front-loads distance into the phases where energy is
+//! free — finishing both faster *and* cheaper.
+//!
+//! * [`SolarTimeline`] — the piecewise environment;
+//! * [`Battery`] — non-rechargeable energy accounting;
+//! * [`MissionPlan`] / [`jpl_plan`] / [`power_aware_plan`] — per-case
+//!   iteration costs (with the paper's loop-unrolling amortization as
+//!   the initial/steady split, plus a no-chaining ablation);
+//! * [`simulate`] — executes a [`Scenario`] and produces the Table 4
+//!   rows.
+//!
+//! ## Example
+//!
+//! ```
+//! use pas_mission::{jpl_plan, power_aware_plan, simulate, Scenario};
+//! use pas_sched::SchedulerConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = Scenario::table4();
+//! let jpl = simulate(&scenario, &jpl_plan()?);
+//! let ours = simulate(&scenario, &power_aware_plan(&SchedulerConfig::default())?);
+//! assert!(ours.total_time < jpl.total_time);
+//! assert!(ours.total_cost < jpl.total_cost);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod battery;
+mod plan;
+mod sim;
+mod solar;
+
+pub use battery::Battery;
+pub use plan::{
+    jpl_plan, power_aware_plan, power_aware_plan_standalone, CasePlan, IterationCost, MissionPlan,
+};
+pub use sim::{
+    improvement_percent, minimum_battery, simulate, MissionReport, PhaseReport, Scenario,
+};
+pub use solar::SolarTimeline;

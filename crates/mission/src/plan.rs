@@ -1,0 +1,214 @@
+//! Mission plans: per-case iteration costs for a schedule policy.
+//!
+//! A *plan* answers, for every environment case, "how long does one
+//! two-step iteration take and how much battery does it cost?". Two
+//! figures are kept per case:
+//!
+//! * **initial** — a cold iteration (nothing pre-heated);
+//! * **steady** — a follow-on iteration chained directly behind the
+//!   previous one, which can amortize work (the paper's "the second
+//!   iteration can be repeated with less energy cost", §6).
+//!
+//! For the JPL baseline the two are identical: its fixed serial
+//! schedule never overlaps iterations.
+
+use pas_core::analyze;
+use pas_graph::units::{Energy, TimeSpan};
+use pas_rover::{build_rover_problem, jpl_schedule, EnvCase, STEPS_PER_ITERATION};
+use pas_sched::{PowerAwareScheduler, ScheduleError, SchedulerConfig};
+
+/// Duration and battery cost of one rover iteration (two steps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationCost {
+    /// Wall-clock duration of the iteration.
+    pub duration: TimeSpan,
+    /// Battery energy drawn (`Ec_σ(P_min)` at the case's solar level).
+    pub battery_cost: Energy,
+}
+
+/// Iteration costs for one environment case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CasePlan {
+    /// First iteration after an idle period or a case change.
+    pub initial: IterationCost,
+    /// Each directly-chained subsequent iteration.
+    pub steady: IterationCost,
+}
+
+/// A complete mission plan: one [`CasePlan`] per environment case,
+/// plus a label for reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissionPlan {
+    label: &'static str,
+    plans: [CasePlan; 3],
+}
+
+impl MissionPlan {
+    /// Builds a plan from explicit per-case costs (ordered as
+    /// [`EnvCase::ALL`]).
+    pub fn from_parts(label: &'static str, plans: [CasePlan; 3]) -> Self {
+        MissionPlan { label, plans }
+    }
+
+    /// The plan's display label.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// The per-case costs.
+    pub fn case_plan(&self, case: EnvCase) -> CasePlan {
+        let idx = EnvCase::ALL
+            .iter()
+            .position(|&c| c == case)
+            .expect("EnvCase::ALL covers every case");
+        self.plans[idx]
+    }
+
+    /// Steps per iteration (constant: 2).
+    pub fn steps_per_iteration(&self) -> u32 {
+        STEPS_PER_ITERATION
+    }
+}
+
+/// The JPL baseline plan: the fixed, fully-serialized 75 s schedule in
+/// every case; initial and steady iterations are identical.
+///
+/// # Errors
+/// Propagates scheduling failure (cannot happen for the rover model).
+pub fn jpl_plan() -> Result<MissionPlan, ScheduleError> {
+    let mut plans = Vec::with_capacity(3);
+    for case in EnvCase::ALL {
+        let (rover, schedule) = jpl_schedule(case)?;
+        let a = analyze(&rover.problem, &schedule);
+        let cost = IterationCost {
+            duration: a.finish_time.since_origin(),
+            battery_cost: a.energy_cost,
+        };
+        plans.push(CasePlan {
+            initial: cost,
+            steady: cost,
+        });
+    }
+    Ok(MissionPlan::from_parts(
+        "jpl",
+        [plans[0], plans[1], plans[2]],
+    ))
+}
+
+/// The power-aware plan: per case, the pipeline schedules one
+/// iteration (initial cost) and two chained iterations (whose
+/// difference is the steady-state cost — the paper's unrolled loop).
+///
+/// # Errors
+/// Propagates scheduling failure from the pipeline.
+pub fn power_aware_plan(config: &SchedulerConfig) -> Result<MissionPlan, ScheduleError> {
+    let scheduler = PowerAwareScheduler::new(config.clone());
+    let mut plans = Vec::with_capacity(3);
+    for case in EnvCase::ALL {
+        let mut one = build_rover_problem(case, 1);
+        let o1 = scheduler.schedule(&mut one.problem)?;
+        let a1 = analyze(&one.problem, &o1.schedule);
+
+        let mut two = build_rover_problem(case, 2);
+        let o2 = scheduler.schedule(&mut two.problem)?;
+        let a2 = analyze(&two.problem, &o2.schedule);
+
+        let initial = IterationCost {
+            duration: a1.finish_time.since_origin(),
+            battery_cost: a1.energy_cost,
+        };
+        let marginal_duration = a2.finish_time - a1.finish_time;
+        let marginal_cost = a2.energy_cost - a1.energy_cost;
+        // Guard against a pathological 2-iteration schedule that is
+        // worse than repeating the 1-iteration one.
+        let steady = if marginal_duration.is_positive() && marginal_duration <= initial.duration {
+            IterationCost {
+                duration: marginal_duration,
+                battery_cost: marginal_cost.max(Energy::ZERO),
+            }
+        } else {
+            initial
+        };
+        plans.push(CasePlan { initial, steady });
+    }
+    Ok(MissionPlan::from_parts(
+        "power-aware",
+        [plans[0], plans[1], plans[2]],
+    ))
+}
+
+/// Ablation: the power-aware plan without iteration chaining (steady
+/// = initial). Isolates the benefit of the paper's loop unrolling.
+///
+/// # Errors
+/// Propagates scheduling failure from the pipeline.
+pub fn power_aware_plan_standalone(config: &SchedulerConfig) -> Result<MissionPlan, ScheduleError> {
+    let full = power_aware_plan(config)?;
+    let mk = |case| {
+        let cp: CasePlan = full.case_plan(case);
+        CasePlan {
+            initial: cp.initial,
+            steady: cp.initial,
+        }
+    };
+    Ok(MissionPlan::from_parts(
+        "power-aware-standalone",
+        [mk(EnvCase::Best), mk(EnvCase::Typical), mk(EnvCase::Worst)],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_graph::units::Energy;
+
+    #[test]
+    fn jpl_plan_matches_table3() {
+        let plan = jpl_plan().unwrap();
+        let best = plan.case_plan(EnvCase::Best);
+        assert_eq!(best.initial.duration, TimeSpan::from_secs(75));
+        assert_eq!(best.initial.battery_cost, Energy::ZERO);
+        assert_eq!(best.initial, best.steady);
+        let worst = plan.case_plan(EnvCase::Worst);
+        assert_eq!(worst.initial.battery_cost, Energy::from_joules(388));
+    }
+
+    #[test]
+    fn power_aware_plan_is_never_slower_than_jpl() {
+        let pa = power_aware_plan(&SchedulerConfig::default()).unwrap();
+        let jpl = jpl_plan().unwrap();
+        for case in EnvCase::ALL {
+            assert!(
+                pa.case_plan(case).initial.duration <= jpl.case_plan(case).initial.duration,
+                "{case}"
+            );
+            assert!(
+                pa.case_plan(case).steady.duration <= jpl.case_plan(case).steady.duration,
+                "{case}"
+            );
+        }
+    }
+
+    #[test]
+    fn best_case_steady_iteration_is_much_cheaper() {
+        // The paper's unrolling effect: after the first iteration the
+        // heaters ride the free solar window of the previous one.
+        let pa = power_aware_plan(&SchedulerConfig::default()).unwrap();
+        let best = pa.case_plan(EnvCase::Best);
+        assert!(
+            best.steady.battery_cost < best.initial.battery_cost,
+            "steady {} vs initial {}",
+            best.steady.battery_cost,
+            best.initial.battery_cost
+        );
+    }
+
+    #[test]
+    fn standalone_ablation_has_equal_costs() {
+        let p = power_aware_plan_standalone(&SchedulerConfig::default()).unwrap();
+        for case in EnvCase::ALL {
+            assert_eq!(p.case_plan(case).initial, p.case_plan(case).steady);
+        }
+        assert_eq!(p.label(), "power-aware-standalone");
+    }
+}

@@ -1,0 +1,187 @@
+//! Time-varying solar environment.
+
+use pas_graph::units::{Power, Time};
+use pas_rover::EnvCase;
+
+/// A piecewise-constant environment timeline: the case in force as a
+/// function of mission time ("the mission starts with maximum solar
+/// power at 14.9 W. Then, it drops to 12 W after 10 minutes, then
+/// falls to the worst case at 9 W 10 minutes later", §6).
+///
+/// # Examples
+/// ```
+/// use pas_graph::units::Time;
+/// use pas_mission::SolarTimeline;
+/// use pas_rover::EnvCase;
+///
+/// let timeline = SolarTimeline::table4();
+/// assert_eq!(timeline.case_at(Time::from_secs(0)), EnvCase::Best);
+/// assert_eq!(timeline.case_at(Time::from_secs(600)), EnvCase::Typical);
+/// assert_eq!(timeline.case_at(Time::from_secs(5000)), EnvCase::Worst);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolarTimeline {
+    /// `(phase start, case)`, sorted by start; the first phase must
+    /// start at time 0 and the last extends forever.
+    phases: Vec<(Time, EnvCase)>,
+}
+
+impl SolarTimeline {
+    /// Builds a timeline from `(start, case)` pairs.
+    ///
+    /// # Panics
+    /// Panics if `phases` is empty, does not start at time 0, or is
+    /// not strictly increasing in start time.
+    pub fn new(phases: Vec<(Time, EnvCase)>) -> Self {
+        assert!(!phases.is_empty(), "timeline needs at least one phase");
+        assert_eq!(phases[0].0, Time::ZERO, "first phase must start at 0");
+        assert!(
+            phases.windows(2).all(|w| w[0].0 < w[1].0),
+            "phase starts must be strictly increasing"
+        );
+        SolarTimeline { phases }
+    }
+
+    /// The Table 4 scenario: best for 10 minutes, typical for 10
+    /// minutes, then worst until the mission ends.
+    pub fn table4() -> Self {
+        SolarTimeline::new(vec![
+            (Time::ZERO, EnvCase::Best),
+            (Time::from_secs(600), EnvCase::Typical),
+            (Time::from_secs(1200), EnvCase::Worst),
+        ])
+    }
+
+    /// Quantizes raw solar-output samples into a case timeline: each
+    /// sample maps to the most capable case its wattage supports
+    /// (via [`EnvCase::for_solar`]); consecutive equal cases merge.
+    ///
+    /// # Errors
+    /// Returns the offending `(time, power)` when a sample is below
+    /// the worst-case solar level (night — no case can run).
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty, does not start at time 0, or is
+    /// not strictly increasing in time.
+    ///
+    /// # Examples
+    /// ```
+    /// use pas_graph::units::{Power, Time};
+    /// use pas_mission::SolarTimeline;
+    /// use pas_rover::EnvCase;
+    /// let tl = SolarTimeline::from_samples(&[
+    ///     (Time::ZERO, Power::from_watts_milli(9_500)),
+    ///     (Time::from_secs(300), Power::from_watts_milli(13_200)),
+    ///     (Time::from_secs(600), Power::from_watts_milli(15_000)),
+    /// ]).unwrap();
+    /// assert_eq!(tl.case_at(Time::from_secs(400)), EnvCase::Typical);
+    /// ```
+    pub fn from_samples(samples: &[(Time, Power)]) -> Result<Self, (Time, Power)> {
+        assert!(!samples.is_empty(), "timeline needs at least one sample");
+        assert_eq!(samples[0].0, Time::ZERO, "first sample must be at time 0");
+        assert!(
+            samples.windows(2).all(|w| w[0].0 < w[1].0),
+            "sample times must be strictly increasing"
+        );
+        let mut phases: Vec<(Time, EnvCase)> = Vec::new();
+        for &(t, p) in samples {
+            let case = EnvCase::for_solar(p).ok_or((t, p))?;
+            if phases.last().map(|&(_, c)| c) != Some(case) {
+                phases.push((t, case));
+            }
+        }
+        Ok(SolarTimeline::new(phases))
+    }
+
+    /// The environment case in force at instant `t` (clamped to the
+    /// first phase for negative `t`).
+    pub fn case_at(&self, t: Time) -> EnvCase {
+        let mut current = self.phases[0].1;
+        for &(start, case) in &self.phases {
+            if t >= start {
+                current = case;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// The solar output at instant `t`.
+    pub fn solar_at(&self, t: Time) -> Power {
+        self.case_at(t).solar_power()
+    }
+
+    /// Iterates the `(start, case)` phases.
+    pub fn phases(&self) -> impl Iterator<Item = (Time, EnvCase)> + '_ {
+        self.phases.iter().copied()
+    }
+
+    /// Start of the phase following the one containing `t`, if any.
+    pub fn next_phase_start(&self, t: Time) -> Option<Time> {
+        self.phases.iter().map(|&(s, _)| s).find(|&s| s > t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_boundaries() {
+        let tl = SolarTimeline::table4();
+        assert_eq!(tl.case_at(Time::from_secs(599)), EnvCase::Best);
+        assert_eq!(tl.case_at(Time::from_secs(600)), EnvCase::Typical);
+        assert_eq!(tl.case_at(Time::from_secs(1199)), EnvCase::Typical);
+        assert_eq!(tl.case_at(Time::from_secs(1200)), EnvCase::Worst);
+        assert_eq!(tl.solar_at(Time::ZERO), Power::from_watts_milli(14_900));
+        assert_eq!(tl.next_phase_start(Time::ZERO), Some(Time::from_secs(600)));
+        assert_eq!(
+            tl.next_phase_start(Time::from_secs(600)),
+            Some(Time::from_secs(1200))
+        );
+        assert_eq!(tl.next_phase_start(Time::from_secs(1200)), None);
+        assert_eq!(tl.phases().count(), 3);
+    }
+
+    #[test]
+    fn from_samples_quantizes_and_merges() {
+        let tl = SolarTimeline::from_samples(&[
+            (Time::ZERO, Power::from_watts_milli(9_100)),
+            (Time::from_secs(100), Power::from_watts_milli(10_000)), // still worst
+            (Time::from_secs(200), Power::from_watts_milli(12_000)),
+            (Time::from_secs(300), Power::from_watts_milli(14_900)),
+            (Time::from_secs(400), Power::from_watts_milli(20_000)), // clamps to best
+        ])
+        .unwrap();
+        assert_eq!(tl.phases().count(), 3, "adjacent equal cases merge");
+        assert_eq!(tl.case_at(Time::from_secs(150)), EnvCase::Worst);
+        assert_eq!(tl.case_at(Time::from_secs(250)), EnvCase::Typical);
+        assert_eq!(tl.case_at(Time::from_secs(450)), EnvCase::Best);
+    }
+
+    #[test]
+    fn from_samples_rejects_night() {
+        let err = SolarTimeline::from_samples(&[
+            (Time::ZERO, Power::from_watts_milli(9_000)),
+            (Time::from_secs(10), Power::from_watts_milli(2_000)),
+        ])
+        .unwrap_err();
+        assert_eq!(err.0, Time::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "first phase must start at 0")]
+    fn late_first_phase_rejected() {
+        let _ = SolarTimeline::new(vec![(Time::from_secs(5), EnvCase::Best)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_phases_rejected() {
+        let _ = SolarTimeline::new(vec![
+            (Time::ZERO, EnvCase::Best),
+            (Time::ZERO, EnvCase::Worst),
+        ]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Table 3 analysis: JPL baseline vs. power-aware schedules per
+//! environment case.
+
+use crate::model::{build_rover_problem, RoverProblem};
+use crate::params::EnvCase;
+use pas_core::{analyze, Ratio, Schedule, ScheduleAnalysis};
+use pas_graph::units::{Energy, Time};
+use pas_sched::{baseline, PowerAwareScheduler, ScheduleError, SchedulerConfig};
+
+/// The Table 3 metrics of one schedule in one case.
+#[derive(Debug, Clone)]
+pub struct CaseMetrics {
+    /// Environment case.
+    pub case: EnvCase,
+    /// Scheduler label (`"jpl"` or `"power-aware"`).
+    pub scheme: &'static str,
+    /// Energy cost `Ec_σ(P_min)` — battery draw per iteration.
+    pub energy_cost: Energy,
+    /// Min-power utilization `ρ_σ(P_min)`.
+    pub utilization: Ratio,
+    /// Finish time `τ_σ` of one iteration (two steps).
+    pub finish_time: Time,
+}
+
+/// One row of Table 3: both schemes for one case.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// The JPL fixed serial baseline.
+    pub jpl: CaseMetrics,
+    /// Our power-aware schedule.
+    pub power_aware: CaseMetrics,
+}
+
+/// The JPL baseline schedule (fully serialized, fixed order) for one
+/// iteration of `case`, with its analysis.
+///
+/// # Errors
+/// Propagates scheduling failure (cannot happen for the rover model;
+/// the serialization order is feasible by construction).
+pub fn jpl_schedule(case: EnvCase) -> Result<(RoverProblem, Schedule), ScheduleError> {
+    let mut rover = build_rover_problem(case, 1);
+    let order = rover.jpl_order();
+    let schedule = baseline::fully_serialized(rover.problem.graph_mut(), &order)?;
+    Ok((rover, schedule))
+}
+
+/// The power-aware schedule for one iteration of `case` (full
+/// three-stage pipeline).
+///
+/// # Errors
+/// Propagates scheduling failure.
+pub fn power_aware_schedule(
+    case: EnvCase,
+    config: &SchedulerConfig,
+) -> Result<(RoverProblem, Schedule), ScheduleError> {
+    let mut rover = build_rover_problem(case, 1);
+    let outcome = PowerAwareScheduler::new(config.clone()).schedule(&mut rover.problem)?;
+    Ok((rover, outcome.schedule))
+}
+
+fn metrics(case: EnvCase, scheme: &'static str, analysis: &ScheduleAnalysis) -> CaseMetrics {
+    CaseMetrics {
+        case,
+        scheme,
+        energy_cost: analysis.energy_cost,
+        utilization: analysis.utilization,
+        finish_time: analysis.finish_time,
+    }
+}
+
+/// Computes the full Table 3: both schemes across the three cases.
+///
+/// # Errors
+/// Propagates scheduling failure from either scheme.
+pub fn table3(config: &SchedulerConfig) -> Result<Vec<Table3Row>, ScheduleError> {
+    EnvCase::ALL
+        .into_iter()
+        .map(|case| {
+            let (jp, js) = jpl_schedule(case)?;
+            let ja = analyze(&jp.problem, &js);
+            let (pp, ps) = power_aware_schedule(case, config)?;
+            let pa = analyze(&pp.problem, &ps);
+            Ok(Table3Row {
+                jpl: metrics(case, "jpl", &ja),
+                power_aware: metrics(case, "power-aware", &pa),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_core::is_time_valid;
+    use pas_graph::units::Power;
+
+    /// The paper's Table 3, JPL columns — these are *exact* targets
+    /// derived from Tables 1–2 (see DESIGN.md §3).
+    #[test]
+    fn jpl_metrics_match_table3_exactly() {
+        let expect = [
+            (EnvCase::Best, 0i64, Ratio::new(2690, 4470), 75i64),
+            (EnvCase::Typical, 55_000, Ratio::new(817, 900), 75),
+            (EnvCase::Worst, 388_000, Ratio::ONE, 75),
+        ];
+        for (case, ec_mj, rho, tau) in expect {
+            let (p, s) = jpl_schedule(case).unwrap();
+            let a = analyze(&p.problem, &s);
+            assert!(a.is_valid(), "{case}: JPL schedule must be valid");
+            assert_eq!(
+                a.energy_cost,
+                Energy::from_millijoules(ec_mj),
+                "{case} energy"
+            );
+            assert_eq!(a.utilization, rho, "{case} utilization");
+            assert_eq!(a.finish_time, Time::from_secs(tau), "{case} finish");
+        }
+    }
+
+    /// Paper Table 3 prints 60% / 91% / 100%; check our exact ratios
+    /// round to the same figures.
+    #[test]
+    fn jpl_utilization_rounds_to_paper_percentages() {
+        let shown: Vec<String> = EnvCase::ALL
+            .into_iter()
+            .map(|c| {
+                let (p, s) = jpl_schedule(c).unwrap();
+                analyze(&p.problem, &s).utilization.to_string()
+            })
+            .collect();
+        assert_eq!(shown, vec!["60.2%", "90.8%", "100%"]);
+    }
+
+    #[test]
+    fn jpl_peak_power_never_exceeds_budget() {
+        for case in EnvCase::ALL {
+            let (p, s) = jpl_schedule(case).unwrap();
+            let a = analyze(&p.problem, &s);
+            assert!(a.peak_power <= case.p_max());
+            // The JPL design is low-power: one consumer at a time, so
+            // the peak is the largest single task plus the CPU.
+            let biggest = case
+                .driving_power()
+                .max(case.heating_power())
+                .max(case.steering_power())
+                .max(case.hazard_power());
+            assert!(a.peak_power <= biggest + case.cpu_power());
+        }
+    }
+
+    #[test]
+    fn power_aware_is_valid_and_no_slower_than_jpl() {
+        let cfg = SchedulerConfig::default();
+        for case in EnvCase::ALL {
+            let (p, s) = power_aware_schedule(case, &cfg).unwrap();
+            let a = analyze(&p.problem, &s);
+            assert!(a.is_valid(), "{case}: power-aware schedule invalid");
+            assert!(is_time_valid(p.problem.graph(), &s));
+            assert!(
+                a.finish_time <= Time::from_secs(75),
+                "{case}: power-aware must not be slower than the serial baseline, got {}",
+                a.finish_time
+            );
+        }
+    }
+
+    #[test]
+    fn power_aware_beats_jpl_in_the_best_case() {
+        // The headline claim: with free solar power the rover can
+        // overlap operations and finish faster.
+        let cfg = SchedulerConfig::default();
+        let (p, s) = power_aware_schedule(EnvCase::Best, &cfg).unwrap();
+        let a = analyze(&p.problem, &s);
+        assert!(
+            a.finish_time < Time::from_secs(75),
+            "best case should be faster than serial, got {}",
+            a.finish_time
+        );
+    }
+
+    #[test]
+    fn worst_case_power_budget_forces_serial_behaviour() {
+        // In the worst case no two major consumers fit under 19 W, so
+        // peak power stays at the serial level.
+        let cfg = SchedulerConfig::default();
+        let (p, s) = power_aware_schedule(EnvCase::Worst, &cfg).unwrap();
+        let a = analyze(&p.problem, &s);
+        assert!(a.peak_power <= Power::from_watts_milli(19_000));
+        assert_eq!(a.finish_time, Time::from_secs(75));
+    }
+
+    #[test]
+    fn table3_has_three_rows_and_consistent_cases() {
+        let rows = table3(&SchedulerConfig::default()).unwrap();
+        assert_eq!(rows.len(), 3);
+        for (row, case) in rows.iter().zip(EnvCase::ALL) {
+            assert_eq!(row.jpl.case, case);
+            assert_eq!(row.power_aware.case, case);
+            assert_eq!(row.jpl.scheme, "jpl");
+        }
+    }
+}

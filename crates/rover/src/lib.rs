@@ -1,0 +1,42 @@
+//! # pas-rover — the NASA/JPL Mars Pathfinder rover model
+//!
+//! The paper's motivating example (§3, §6): a rover whose major power
+//! consumers are mechanical and thermal subsystems, powered by a solar
+//! panel (free energy) plus a non-rechargeable battery (costly
+//! energy). This crate rebuilds:
+//!
+//! * [`EnvCase`] — the three operating points of Table 2 (solar
+//!   14.9 / 12 / 9 W at −40 / −60 / −80 °C) with every task power;
+//! * [`build_rover_problem`] — the Fig. 8 constraint graph: five
+//!   heater resources, steering, driving, hazard detection, the
+//!   Table 1 min/max windows, for any number of two-step iterations;
+//! * [`jpl_schedule`] — the hand-crafted, fully-serialized baseline
+//!   flown on the past mission (exactly reproduces the paper's JPL
+//!   column of Table 3: 0 J/60%, 55 J/91%, 388 J/100%, τ = 75 s);
+//! * [`power_aware_schedule`] / [`table3`] — our schedules and the
+//!   Table 3 comparison.
+//!
+//! ## Example
+//!
+//! ```
+//! use pas_core::analyze;
+//! use pas_rover::{jpl_schedule, EnvCase};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (rover, schedule) = jpl_schedule(EnvCase::Worst)?;
+//! let report = analyze(&rover.problem, &schedule);
+//! assert_eq!(report.energy_cost.as_joules_f64(), 388.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod model;
+mod params;
+
+pub use analysis::{jpl_schedule, power_aware_schedule, table3, CaseMetrics, Table3Row};
+pub use model::{build_rover_problem, minimal_step_span, IterationTasks, RoverProblem, StepTasks};
+pub use params::{durations, windows, EnvCase, STEPS_PER_ITERATION};

@@ -1,0 +1,344 @@
+//! Constraint-graph construction for the rover (Fig. 8 of the paper).
+//!
+//! Resource reconstruction (§6): "We assume all heaters are
+//! independent resources and one heater can heat two motors at a
+//! time. Therefore there are a total of five thermal heaters. Four
+//! steering motors are considered a single steering mechanical
+//! resource. The six wheel motors are modeled as one mechanical unit
+//! for driving. There is also a laser guided digital component for
+//! hazard detection." The CPU is a constant background consumer.
+//!
+//! Each schedule iteration moves the rover two steps: hazard →
+//! steer → drive, twice, with the Table 1 windows. The five heater
+//! tasks warm the motors once per iteration; their min/max windows
+//! bind them to the iteration's *first* use of the steering/driving
+//! motors (the reconstruction choice that reproduces the paper's JPL
+//! reference metrics exactly — see DESIGN.md §3).
+
+use crate::params::{durations, windows, EnvCase, STEPS_PER_ITERATION};
+use pas_core::{PowerConstraints, Problem};
+use pas_graph::units::TimeSpan;
+use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task, TaskId};
+
+/// Task handles for one iteration (two steps) of the rover schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterationTasks {
+    /// Two steering-motor heater tasks (one heater warms two motors).
+    pub heat_steering: [TaskId; 2],
+    /// Three wheel-motor heater tasks.
+    pub heat_wheels: [TaskId; 3],
+    /// Hazard detection, steering and driving for step 1.
+    pub step1: StepTasks,
+    /// Hazard detection, steering and driving for step 2.
+    pub step2: StepTasks,
+}
+
+/// The three mechanical/digital operations of a single step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepTasks {
+    /// Laser-guided hazard detection (10 s).
+    pub hazard: TaskId,
+    /// Steering (5 s).
+    pub steer: TaskId,
+    /// Driving one step (10 s).
+    pub drive: TaskId,
+}
+
+/// A fully-built rover scheduling problem.
+#[derive(Debug, Clone)]
+pub struct RoverProblem {
+    /// The problem (graph + constraints + CPU background power).
+    pub problem: Problem,
+    /// Task handles per iteration.
+    pub iterations: Vec<IterationTasks>,
+    /// The environment case the powers were drawn from.
+    pub case: EnvCase,
+}
+
+impl RoverProblem {
+    /// Steps the rover completes when the whole schedule runs.
+    pub fn total_steps(&self) -> u32 {
+        self.iterations.len() as u32 * STEPS_PER_ITERATION
+    }
+
+    /// Per-task `(min, typical, max)` power corners across the
+    /// temperature cases (best = coolest draw, worst = hottest), for
+    /// the §4.1 corner analysis. Indexed by [`TaskId`].
+    pub fn power_ranges(&self) -> Vec<pas_core::power_model::PowerRange> {
+        use crate::params::EnvCase::{Best, Typical, Worst};
+        self.problem
+            .graph()
+            .tasks()
+            .map(|(_, task)| {
+                let by_case = |case: EnvCase| {
+                    let name = task.name();
+                    if name.starts_with("heat") {
+                        case.heating_power()
+                    } else if name.starts_with("hazard") {
+                        case.hazard_power()
+                    } else if name.starts_with("steer") {
+                        case.steering_power()
+                    } else {
+                        case.driving_power()
+                    }
+                };
+                pas_core::power_model::PowerRange::new(
+                    by_case(Best),
+                    by_case(Typical),
+                    by_case(Worst),
+                )
+            })
+            .collect()
+    }
+
+    /// The canonical JPL serialization order (heaters, then
+    /// hazard/steer/drive twice, per iteration) used by the baseline.
+    pub fn jpl_order(&self) -> Vec<TaskId> {
+        let mut order = Vec::new();
+        for it in &self.iterations {
+            order.extend_from_slice(&it.heat_steering);
+            order.extend_from_slice(&it.heat_wheels);
+            for step in [&it.step1, &it.step2] {
+                order.push(step.hazard);
+                order.push(step.steer);
+                order.push(step.drive);
+            }
+        }
+        order
+    }
+}
+
+/// Builds the rover problem for `case` spanning `iterations`
+/// two-step iterations.
+///
+/// # Panics
+/// Panics if `iterations == 0`.
+///
+/// # Examples
+/// ```
+/// use pas_rover::{build_rover_problem, EnvCase};
+/// let rover = build_rover_problem(EnvCase::Typical, 1);
+/// assert_eq!(rover.problem.graph().num_tasks(), 11);
+/// assert_eq!(rover.total_steps(), 2);
+/// ```
+pub fn build_rover_problem(case: EnvCase, iterations: usize) -> RoverProblem {
+    assert!(iterations > 0, "at least one iteration is required");
+    let mut g = ConstraintGraph::new();
+
+    // Resources: five heaters, steering unit, driving unit, hazard
+    // detector.
+    let heater_s = [
+        g.add_resource(Resource::new("heater-s0", ResourceKind::Thermal)),
+        g.add_resource(Resource::new("heater-s1", ResourceKind::Thermal)),
+    ];
+    let heater_w = [
+        g.add_resource(Resource::new("heater-w0", ResourceKind::Thermal)),
+        g.add_resource(Resource::new("heater-w1", ResourceKind::Thermal)),
+        g.add_resource(Resource::new("heater-w2", ResourceKind::Thermal)),
+    ];
+    let steering = g.add_resource(Resource::new("steering", ResourceKind::Mechanical));
+    let driving = g.add_resource(Resource::new("driving", ResourceKind::Mechanical));
+    let hazard = g.add_resource(Resource::new("hazard", ResourceKind::Compute));
+
+    let mut its: Vec<IterationTasks> = Vec::with_capacity(iterations);
+    for i in 0..iterations {
+        let tag = |name: &str| {
+            if iterations == 1 {
+                name.to_string()
+            } else {
+                format!("{name}#{i}")
+            }
+        };
+        let heat_steering = [
+            g.add_task(Task::new(
+                tag("heatS0"),
+                heater_s[0],
+                durations::HEATING,
+                case.heating_power(),
+            )),
+            g.add_task(Task::new(
+                tag("heatS1"),
+                heater_s[1],
+                durations::HEATING,
+                case.heating_power(),
+            )),
+        ];
+        let heat_wheels = [
+            g.add_task(Task::new(
+                tag("heatW0"),
+                heater_w[0],
+                durations::HEATING,
+                case.heating_power(),
+            )),
+            g.add_task(Task::new(
+                tag("heatW1"),
+                heater_w[1],
+                durations::HEATING,
+                case.heating_power(),
+            )),
+            g.add_task(Task::new(
+                tag("heatW2"),
+                heater_w[2],
+                durations::HEATING,
+                case.heating_power(),
+            )),
+        ];
+        let mut step = |s: usize| StepTasks {
+            hazard: g.add_task(Task::new(
+                tag(&format!("hazard{s}")),
+                hazard,
+                durations::HAZARD,
+                case.hazard_power(),
+            )),
+            steer: g.add_task(Task::new(
+                tag(&format!("steer{s}")),
+                steering,
+                durations::STEERING,
+                case.steering_power(),
+            )),
+            drive: g.add_task(Task::new(
+                tag(&format!("drive{s}")),
+                driving,
+                durations::DRIVING,
+                case.driving_power(),
+            )),
+        };
+        let step1 = step(1);
+        let step2 = step(2);
+        its.push(IterationTasks {
+            heat_steering,
+            heat_wheels,
+            step1,
+            step2,
+        });
+    }
+
+    // Timing constraints (Table 1).
+    for (i, it) in its.iter().enumerate() {
+        // Heaters warm the iteration's first steering / driving.
+        for &h in &it.heat_steering {
+            g.min_separation(h, it.step1.steer, windows::HEAT_MIN_BEFORE);
+            g.max_separation(h, it.step1.steer, windows::HEAT_MAX_BEFORE);
+        }
+        for &h in &it.heat_wheels {
+            g.min_separation(h, it.step1.drive, windows::HEAT_MIN_BEFORE);
+            g.max_separation(h, it.step1.drive, windows::HEAT_MAX_BEFORE);
+        }
+        // hazard → steer → drive within each step; drive → next hazard.
+        for step in [&it.step1, &it.step2] {
+            g.min_separation(step.hazard, step.steer, windows::HAZARD_BEFORE_STEER);
+            g.min_separation(step.steer, step.drive, windows::STEER_BEFORE_DRIVE);
+        }
+        g.min_separation(
+            it.step1.drive,
+            it.step2.hazard,
+            windows::DRIVE_BEFORE_HAZARD,
+        );
+        // Chain iterations.
+        if i + 1 < its.len() {
+            let next = &its[i + 1];
+            g.min_separation(
+                it.step2.drive,
+                next.step1.hazard,
+                windows::DRIVE_BEFORE_HAZARD,
+            );
+            // The next iteration's heaters follow this iteration's
+            // heaters on the same physical heater resources; the
+            // timing scheduler serializes them, no extra edges needed.
+        }
+    }
+
+    let constraints = PowerConstraints::new(case.p_max(), case.p_min());
+    let problem = Problem::with_background(
+        format!("rover-{}-{}it", case.label(), iterations),
+        g,
+        constraints,
+        case.cpu_power(),
+    );
+    RoverProblem {
+        problem,
+        iterations: its,
+        case,
+    }
+}
+
+/// Duration of a minimal (zero-separation beyond the windows)
+/// hazard → steer → drive chain, for sanity checks: 10 + 5 + 10 = 25 s
+/// per step when fully pipelined start-to-start.
+pub fn minimal_step_span() -> TimeSpan {
+    windows::HAZARD_BEFORE_STEER + windows::STEER_BEFORE_DRIVE + durations::DRIVING
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_core::Schedule;
+    use pas_graph::longest_path::single_source_longest_paths;
+    use pas_graph::NodeId;
+
+    #[test]
+    fn one_iteration_has_eleven_tasks_and_eight_resources() {
+        let r = build_rover_problem(EnvCase::Worst, 1);
+        assert_eq!(r.problem.graph().num_tasks(), 11);
+        assert_eq!(r.problem.graph().num_resources(), 8);
+        assert_eq!(r.total_steps(), 2);
+    }
+
+    #[test]
+    fn constraints_are_feasible_in_all_cases() {
+        for case in EnvCase::ALL {
+            let r = build_rover_problem(case, 2);
+            assert!(
+                single_source_longest_paths(r.problem.graph(), NodeId::ANCHOR).is_ok(),
+                "{case} must be timing-feasible"
+            );
+        }
+    }
+
+    #[test]
+    fn asap_schedule_satisfies_table1_windows() {
+        let r = build_rover_problem(EnvCase::Typical, 1);
+        let lp = single_source_longest_paths(r.problem.graph(), NodeId::ANCHOR).unwrap();
+        let s = Schedule::from_longest_paths(r.problem.graph(), &lp);
+        let it = &r.iterations[0];
+        // Steering no earlier than 10 s after hazard detection starts.
+        assert!(s.start(it.step1.steer) - s.start(it.step1.hazard) >= windows::HAZARD_BEFORE_STEER);
+        // Driving at least 5 s after steering starts.
+        assert!(s.start(it.step1.drive) - s.start(it.step1.steer) >= windows::STEER_BEFORE_DRIVE);
+        // Heaters within their 5–50 s windows before first use.
+        for &h in &it.heat_wheels {
+            let sep = s.start(it.step1.drive) - s.start(h);
+            assert!(sep >= windows::HEAT_MIN_BEFORE && sep <= windows::HEAT_MAX_BEFORE);
+        }
+    }
+
+    #[test]
+    fn jpl_order_covers_every_task_once() {
+        let r = build_rover_problem(EnvCase::Best, 3);
+        let order = r.jpl_order();
+        assert_eq!(order.len(), r.problem.graph().num_tasks());
+        let mut seen = std::collections::HashSet::new();
+        assert!(order.iter().all(|t| seen.insert(*t)));
+    }
+
+    #[test]
+    fn task_names_are_tagged_per_iteration() {
+        let r = build_rover_problem(EnvCase::Best, 2);
+        let g = r.problem.graph();
+        assert!(g.task_by_name("drive2#0").is_some());
+        assert!(g.task_by_name("drive2#1").is_some());
+        let single = build_rover_problem(EnvCase::Best, 1);
+        assert!(single.problem.graph().task_by_name("drive2").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        let _ = build_rover_problem(EnvCase::Best, 0);
+    }
+
+    #[test]
+    fn minimal_step_span_is_25s() {
+        assert_eq!(minimal_step_span(), TimeSpan::from_secs(25));
+    }
+}

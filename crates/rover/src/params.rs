@@ -1,0 +1,226 @@
+//! Mars rover parameters, transcribed from Tables 1 and 2 of the
+//! paper.
+//!
+//! Power consumption tracks the environmental temperature (which
+//! tracks sunlight intensity); the paper evaluates three operating
+//! points. All values are exact in milliwatts.
+
+use pas_graph::units::{Power, TimeSpan};
+
+/// The three environment cases of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnvCase {
+    /// Noon: −40 °C, 14.9 W solar.
+    Best,
+    /// Typical: −60 °C, 12 W solar.
+    Typical,
+    /// Dusk: −80 °C, 9 W solar.
+    Worst,
+}
+
+impl EnvCase {
+    /// All cases, best first.
+    pub const ALL: [EnvCase; 3] = [EnvCase::Best, EnvCase::Typical, EnvCase::Worst];
+
+    /// Solar panel output (Table 2, "Solar panel").
+    pub fn solar_power(self) -> Power {
+        Power::from_watts_milli(match self {
+            EnvCase::Best => 14_900,
+            EnvCase::Typical => 12_000,
+            EnvCase::Worst => 9_000,
+        })
+    }
+
+    /// Maximum battery output: 10 W in every case.
+    pub fn battery_power(self) -> Power {
+        Power::from_watts_milli(10_000)
+    }
+
+    /// The max power constraint: available solar plus max battery
+    /// output (§3).
+    pub fn p_max(self) -> Power {
+        self.solar_power() + self.battery_power()
+    }
+
+    /// The min power constraint: the free solar level (§3).
+    pub fn p_min(self) -> Power {
+        self.solar_power()
+    }
+
+    /// Ambient temperature in °C (for display).
+    pub fn temperature_celsius(self) -> i32 {
+        match self {
+            EnvCase::Best => -40,
+            EnvCase::Typical => -60,
+            EnvCase::Worst => -80,
+        }
+    }
+
+    /// Constant CPU draw (Table 2, "CPU").
+    pub fn cpu_power(self) -> Power {
+        Power::from_watts_milli(match self {
+            EnvCase::Best => 2_500,
+            EnvCase::Typical => 3_100,
+            EnvCase::Worst => 3_700,
+        })
+    }
+
+    /// One heater task heating two motors (Table 2, "Heating two
+    /// motors").
+    pub fn heating_power(self) -> Power {
+        Power::from_watts_milli(match self {
+            EnvCase::Best => 7_600,
+            EnvCase::Typical => 9_500,
+            EnvCase::Worst => 11_300,
+        })
+    }
+
+    /// Driving the six wheel motors (Table 2, "Driving").
+    pub fn driving_power(self) -> Power {
+        Power::from_watts_milli(match self {
+            EnvCase::Best => 7_500,
+            EnvCase::Typical => 10_900,
+            EnvCase::Worst => 13_800,
+        })
+    }
+
+    /// Steering the four steering motors (Table 2, "Steering").
+    pub fn steering_power(self) -> Power {
+        Power::from_watts_milli(match self {
+            EnvCase::Best => 4_300,
+            EnvCase::Typical => 6_200,
+            EnvCase::Worst => 8_100,
+        })
+    }
+
+    /// Laser-guided hazard detection (Table 2, "Hazard detection").
+    pub fn hazard_power(self) -> Power {
+        Power::from_watts_milli(match self {
+            EnvCase::Best => 5_100,
+            EnvCase::Typical => 6_100,
+            EnvCase::Worst => 7_300,
+        })
+    }
+
+    /// The most capable operating case supported by an observed solar
+    /// level: the rover plans against the case whose assumed solar
+    /// output it can actually count on. Returns `None` below the
+    /// worst-case level (night — the rover sleeps, §1.1).
+    ///
+    /// # Examples
+    /// ```
+    /// use pas_graph::units::Power;
+    /// use pas_rover::EnvCase;
+    /// assert_eq!(EnvCase::for_solar(Power::from_watts_milli(13_000)),
+    ///            Some(EnvCase::Typical));
+    /// assert_eq!(EnvCase::for_solar(Power::from_watts(5)), None);
+    /// ```
+    pub fn for_solar(available: Power) -> Option<EnvCase> {
+        EnvCase::ALL
+            .into_iter()
+            .find(|case| available >= case.solar_power())
+    }
+
+    /// Short label used in reports ("best" / "typical" / "worst").
+    pub fn label(self) -> &'static str {
+        match self {
+            EnvCase::Best => "best",
+            EnvCase::Typical => "typical",
+            EnvCase::Worst => "worst",
+        }
+    }
+}
+
+impl core::fmt::Display for EnvCase {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} ({} °C, {} solar)",
+            self.label(),
+            self.temperature_celsius(),
+            self.solar_power()
+        )
+    }
+}
+
+/// Task durations (Tables 1 and 2); identical in every case.
+pub mod durations {
+    use super::TimeSpan;
+
+    /// Heating two motors: 5 s.
+    pub const HEATING: TimeSpan = TimeSpan::from_secs(5);
+    /// Hazard detection: 10 s.
+    pub const HAZARD: TimeSpan = TimeSpan::from_secs(10);
+    /// Steering: 5 s.
+    pub const STEERING: TimeSpan = TimeSpan::from_secs(5);
+    /// Driving one step (≈7 cm): 10 s.
+    pub const DRIVING: TimeSpan = TimeSpan::from_secs(10);
+}
+
+/// Timing windows (Table 1).
+pub mod windows {
+    use super::TimeSpan;
+
+    /// Heating at least 5 s before the operation it warms up.
+    pub const HEAT_MIN_BEFORE: TimeSpan = TimeSpan::from_secs(5);
+    /// Heating at most 50 s before the operation it warms up.
+    pub const HEAT_MAX_BEFORE: TimeSpan = TimeSpan::from_secs(50);
+    /// Hazard detection at least 10 s before steering.
+    pub const HAZARD_BEFORE_STEER: TimeSpan = TimeSpan::from_secs(10);
+    /// Steering at least 5 s before driving.
+    pub const STEER_BEFORE_DRIVE: TimeSpan = TimeSpan::from_secs(5);
+    /// Driving at least 10 s before the next hazard detection.
+    pub const DRIVE_BEFORE_HAZARD: TimeSpan = TimeSpan::from_secs(10);
+}
+
+/// Steps the rover advances per schedule iteration (each iteration
+/// drives the wheels twice; one step ≈ 7 cm).
+pub const STEPS_PER_ITERATION: u32 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_constraint_levels() {
+        assert_eq!(EnvCase::Best.p_max(), Power::from_watts_milli(24_900));
+        assert_eq!(EnvCase::Typical.p_max(), Power::from_watts_milli(22_000));
+        assert_eq!(EnvCase::Worst.p_max(), Power::from_watts_milli(19_000));
+        assert_eq!(EnvCase::Worst.p_min(), Power::from_watts_milli(9_000));
+    }
+
+    #[test]
+    fn powers_increase_as_temperature_drops() {
+        for f in [
+            EnvCase::heating_power as fn(EnvCase) -> Power,
+            EnvCase::driving_power,
+            EnvCase::steering_power,
+            EnvCase::hazard_power,
+            EnvCase::cpu_power,
+        ] {
+            assert!(f(EnvCase::Best) < f(EnvCase::Typical));
+            assert!(f(EnvCase::Typical) < f(EnvCase::Worst));
+        }
+    }
+
+    #[test]
+    fn display_mentions_temperature() {
+        assert_eq!(EnvCase::Worst.to_string(), "worst (-80 °C, 9W solar)");
+    }
+
+    #[test]
+    fn every_single_task_fits_under_its_budget() {
+        // Sanity: no single task (plus CPU) exceeds P_max in any case,
+        // otherwise the rover could not operate at all.
+        for case in EnvCase::ALL {
+            for p in [
+                case.heating_power(),
+                case.driving_power(),
+                case.steering_power(),
+                case.hazard_power(),
+            ] {
+                assert!(p + case.cpu_power() <= case.p_max(), "{case}: {p}");
+            }
+        }
+    }
+}

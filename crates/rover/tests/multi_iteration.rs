@@ -1,0 +1,93 @@
+//! Multi-iteration rover schedules: chaining invariants across
+//! environment cases.
+
+use pas_core::analyze;
+use pas_graph::units::TimeSpan;
+use pas_rover::{build_rover_problem, EnvCase, STEPS_PER_ITERATION};
+use pas_sched::PowerAwareScheduler;
+
+/// Chained iterations are never slower per iteration than standalone
+/// ones (the scheduler may overlap heating across the boundary, and
+/// compaction removes idle seams).
+#[test]
+fn chaining_never_hurts_throughput() {
+    for case in EnvCase::ALL {
+        let mut one = build_rover_problem(case, 1);
+        let t1 = PowerAwareScheduler::default()
+            .schedule(&mut one.problem)
+            .unwrap()
+            .analysis
+            .finish_time;
+        let mut two = build_rover_problem(case, 2);
+        let t2 = PowerAwareScheduler::default()
+            .schedule(&mut two.problem)
+            .unwrap()
+            .analysis
+            .finish_time;
+        assert!(
+            t2 - t1 <= t1.since_origin(),
+            "{case}: marginal iteration ({}) slower than standalone ({})",
+            t2 - t1,
+            t1
+        );
+        assert!(t2 > t1, "{case}: two iterations must take longer than one");
+    }
+}
+
+/// Every multi-iteration schedule remains valid with the iteration
+/// count it claims, and drives the expected distance.
+#[test]
+fn three_iterations_stay_valid_in_every_case() {
+    for case in EnvCase::ALL {
+        let mut rover = build_rover_problem(case, 3);
+        assert_eq!(rover.total_steps(), 3 * STEPS_PER_ITERATION);
+        let outcome = PowerAwareScheduler::default()
+            .schedule(&mut rover.problem)
+            .unwrap();
+        assert!(outcome.analysis.is_valid(), "{case}");
+        // Steps execute in order: iteration k's first drive precedes
+        // iteration k+1's first hazard scan.
+        let s = &outcome.schedule;
+        for w in rover.iterations.windows(2) {
+            assert!(
+                s.start(w[1].step1.hazard) - s.start(w[0].step2.drive)
+                    >= TimeSpan::from_secs(10),
+                "{case}: iteration chaining separation violated"
+            );
+        }
+    }
+}
+
+/// The worst case is exactly periodic: N iterations take N × 75 s and
+/// cost N × 388 J — the fixed serial pattern the paper's rover flew.
+#[test]
+fn worst_case_is_exactly_periodic() {
+    for n in 1..=3usize {
+        let mut rover = build_rover_problem(EnvCase::Worst, n);
+        let outcome = PowerAwareScheduler::default()
+            .schedule(&mut rover.problem)
+            .unwrap();
+        let a = analyze(&rover.problem, &outcome.schedule);
+        assert_eq!(a.finish_time.as_secs(), 75 * n as i64, "n={n}");
+        assert_eq!(a.energy_cost.as_millijoules(), 388_000 * n as i64, "n={n}");
+        assert!(a.utilization.is_one(), "n={n}");
+    }
+}
+
+/// Power ranges cover every task and order correctly across cases.
+#[test]
+fn power_ranges_cover_and_order() {
+    use pas_core::power_model::Corner;
+    let rover = build_rover_problem(EnvCase::Typical, 2);
+    let ranges = rover.power_ranges();
+    assert_eq!(ranges.len(), rover.problem.graph().num_tasks());
+    for ((_, task), range) in rover.problem.graph().tasks().zip(&ranges) {
+        assert_eq!(
+            range.at(Corner::Typical),
+            task.power(),
+            "typical corner must equal the built power for {}",
+            task.name()
+        );
+        assert!(range.at(Corner::Min) <= range.at(Corner::Max));
+    }
+}

@@ -1,0 +1,165 @@
+//! Baseline schedulers the paper compares against.
+//!
+//! * [`fully_serialized`] — the JPL-style low-power baseline: *every*
+//!   task runs alone, in a fixed order, regardless of the available
+//!   power ("JPL uses a fixed, fully serialized schedule, without
+//!   tracking available solar power", §6).
+//! * [`asap`] — plain timing scheduling with no power awareness at
+//!   all: maximum parallelism, whatever the power profile looks like.
+
+use crate::config::{SchedulerConfig, SchedulerStats};
+use crate::error::ScheduleError;
+use crate::timing::schedule_timing;
+use pas_core::Schedule;
+use pas_graph::longest_path::single_source_longest_paths;
+use pas_graph::{ConstraintGraph, NodeId, TaskId};
+
+/// Computes the fully-serialized schedule that executes tasks in
+/// exactly the given `order`, each task starting only after the
+/// previous one completes (and after all its other timing constraints
+/// are met).
+///
+/// The graph is left unchanged: serialization edges are added on a
+/// journal mark and undone before returning.
+///
+/// # Errors
+/// [`ScheduleError::Infeasible`] when the requested order contradicts
+/// the timing constraints.
+///
+/// # Panics
+/// Panics if `order` does not mention every task exactly once.
+///
+/// # Examples
+/// ```
+/// use pas_graph::units::{Power, TimeSpan};
+/// use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task};
+/// use pas_sched::baseline::fully_serialized;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = ConstraintGraph::new();
+/// let r0 = g.add_resource(Resource::new("A", ResourceKind::Compute));
+/// let r1 = g.add_resource(Resource::new("B", ResourceKind::Compute));
+/// let a = g.add_task(Task::new("a", r0, TimeSpan::from_secs(3), Power::from_watts(5)));
+/// let b = g.add_task(Task::new("b", r1, TimeSpan::from_secs(2), Power::from_watts(5)));
+/// let sigma = fully_serialized(&mut g, &[a, b])?;
+/// assert_eq!(sigma.start(b).as_secs(), 3); // b waits for a even on another resource
+/// # Ok(())
+/// # }
+/// ```
+pub fn fully_serialized(
+    graph: &mut ConstraintGraph,
+    order: &[TaskId],
+) -> Result<Schedule, ScheduleError> {
+    assert_eq!(
+        order.len(),
+        graph.num_tasks(),
+        "serialization order must cover every task exactly once"
+    );
+    let mut seen = vec![false; graph.num_tasks()];
+    for &t in order {
+        assert!(
+            !std::mem::replace(&mut seen[t.index()], true),
+            "task {t} appears twice in the serialization order"
+        );
+    }
+
+    let mark = graph.mark();
+    for pair in order.windows(2) {
+        graph.serialize_after(pair[0], pair[1]);
+    }
+    let result = single_source_longest_paths(graph, NodeId::ANCHOR);
+    let schedule = match result {
+        Ok(lp) => Ok(Schedule::from_longest_paths(graph, &lp)),
+        Err(cycle) => Err(ScheduleError::Infeasible(cycle)),
+    };
+    graph.undo_to(mark);
+    schedule
+}
+
+/// The power-unaware ASAP baseline: run the timing scheduler (which
+/// serializes resource conflicts) and take the earliest start times,
+/// ignoring power entirely. Serialization edges are undone before
+/// returning, so the graph is unchanged.
+///
+/// # Errors
+/// Everything [`schedule_timing`] returns.
+pub fn asap(
+    graph: &mut ConstraintGraph,
+    config: &SchedulerConfig,
+) -> Result<Schedule, ScheduleError> {
+    let mark = graph.mark();
+    let mut stats = SchedulerStats::default();
+    let result = schedule_timing(graph, config, &mut stats);
+    graph.undo_to(mark);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_core::{is_time_valid, PowerProfile};
+    use pas_graph::units::{Power, TimeSpan};
+    use pas_graph::{Resource, ResourceKind, Task};
+
+    fn three_tasks() -> (ConstraintGraph, Vec<TaskId>) {
+        let mut g = ConstraintGraph::new();
+        let ids = (0..3)
+            .map(|i| {
+                let r = g.add_resource(Resource::new(format!("R{i}"), ResourceKind::Compute));
+                g.add_task(Task::new(
+                    format!("t{i}"),
+                    r,
+                    TimeSpan::from_secs(2 + i as i64),
+                    Power::from_watts(5),
+                ))
+            })
+            .collect();
+        (g, ids)
+    }
+
+    #[test]
+    fn serial_schedule_runs_one_task_at_a_time() {
+        let (mut g, ids) = three_tasks();
+        let s = fully_serialized(&mut g, &ids).unwrap();
+        assert!(is_time_valid(&g, &s));
+        let p = PowerProfile::of_schedule(&g, &s, Power::ZERO);
+        assert_eq!(p.peak(), Power::from_watts(5), "never more than one task");
+        // 2 + 3 + 4 seconds back to back.
+        assert_eq!(s.finish_time(&g).as_secs(), 9);
+    }
+
+    #[test]
+    fn serial_respects_existing_min_separations() {
+        let (mut g, ids) = three_tasks();
+        g.min_separation(ids[0], ids[1], TimeSpan::from_secs(10));
+        let s = fully_serialized(&mut g, &ids).unwrap();
+        assert_eq!(s.start(ids[1]).as_secs(), 10);
+    }
+
+    #[test]
+    fn serial_infeasible_order_reports_cycle_and_restores_graph() {
+        let (mut g, ids) = three_tasks();
+        g.precedence(ids[2], ids[0]); // t2 before t0
+        let edges = g.num_edges();
+        let err = fully_serialized(&mut g, &ids);
+        assert!(matches!(err, Err(ScheduleError::Infeasible(_))));
+        assert_eq!(g.num_edges(), edges);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_order_rejected() {
+        let (mut g, ids) = three_tasks();
+        let _ = fully_serialized(&mut g, &[ids[0], ids[0], ids[1]]);
+    }
+
+    #[test]
+    fn asap_leaves_graph_unchanged_and_is_parallel() {
+        let (mut g, _) = three_tasks();
+        let edges = g.num_edges();
+        let s = asap(&mut g, &SchedulerConfig::default()).unwrap();
+        assert_eq!(g.num_edges(), edges);
+        let p = PowerProfile::of_schedule(&g, &s, Power::ZERO);
+        assert_eq!(p.peak(), Power::from_watts(15), "all three overlap");
+    }
+}

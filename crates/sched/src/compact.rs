@@ -1,0 +1,251 @@
+//! Left-edge compaction of valid schedules.
+//!
+//! Spike elimination works by *delaying* tasks, which can leave idle
+//! holes behind (a victim pushed past a spike never moves back even
+//! when the hole it left becomes usable). The paper's final schedules
+//! (Figs. 5, 7, 9–11) are compact — e.g. the worst-case rover
+//! schedule is exactly the 75 s back-to-back serialization — so after
+//! max-power scheduling we run the classic left-edge pass: visit
+//! tasks in start-time order and move each as early as its timing
+//! constraints and the `P_max` budget allow, repeating until a fixed
+//! point.
+//!
+//! Moving a task earlier can only relax its *outgoing* constraints
+//! (`σ(u) ≥ σ(v) + w` for fixed `u` gets easier as `σ(v)` shrinks),
+//! so the earliest admissible start is the maximum over incoming
+//! edges — power admissibility is then checked against the profile
+//! with the task removed.
+
+use pas_core::{PowerProfile, Schedule};
+use pas_graph::units::{Power, Time};
+use pas_graph::{ConstraintGraph, TaskId};
+
+/// Hard cap on compaction rounds (each round must strictly move some
+/// task earlier, so this is only a pathological-case guard).
+const MAX_ROUNDS: usize = 10_000;
+
+/// Compacts `sigma` under the `p_max` budget: repeatedly moves tasks
+/// to their earliest time-valid, spike-free start. Time-validity and
+/// power-validity are preserved; the finish time never increases.
+///
+/// # Examples
+/// ```
+/// use pas_core::Schedule;
+/// use pas_graph::units::{Power, Time, TimeSpan};
+/// use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task};
+/// use pas_sched::compact_schedule;
+///
+/// let mut g = ConstraintGraph::new();
+/// let r = g.add_resource(Resource::new("A", ResourceKind::Compute));
+/// let a = g.add_task(Task::new("a", r, TimeSpan::from_secs(4), Power::from_watts(2)));
+/// // a needlessly scheduled at t = 9.
+/// let sigma = Schedule::from_starts(vec![Time::from_secs(9)]);
+/// let compacted = compact_schedule(&g, sigma, Power::from_watts(5), Power::ZERO);
+/// assert_eq!(compacted.start(a), Time::ZERO);
+/// ```
+pub fn compact_schedule(
+    graph: &ConstraintGraph,
+    mut sigma: Schedule,
+    p_max: Power,
+    background: Power,
+) -> Schedule {
+    for _ in 0..MAX_ROUNDS {
+        let mut improved = false;
+        let mut order: Vec<TaskId> = graph.task_ids().collect();
+        order.sort_by_key(|&t| (sigma.start(t), t));
+
+        for v in order {
+            let lb = earliest_by_timing(graph, &sigma, v);
+            let current = sigma.start(v);
+            if lb >= current {
+                continue;
+            }
+            let without_v =
+                PowerProfile::of_schedule_filtered(graph, &sigma, background, |t| t != v);
+            if let Some(s) = earliest_power_admissible(&without_v, graph, v, lb, current, p_max) {
+                sigma = sigma.with_delayed(v, s - current);
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    sigma
+}
+
+/// The earliest start of `v` permitted by its incoming constraint
+/// edges, all other start times held fixed.
+fn earliest_by_timing(graph: &ConstraintGraph, sigma: &Schedule, v: TaskId) -> Time {
+    let mut lb = Time::ZERO;
+    for (_, e) in graph.in_edges(v.node()) {
+        let from = match e.from().task() {
+            Some(u) => sigma.start(u),
+            None => Time::ZERO,
+        };
+        lb = lb.max(from + e.weight());
+    }
+    lb
+}
+
+/// The earliest `s ∈ [lb, current)` such that running `v` over
+/// `[s, s + d(v))` on top of `without_v` stays within `p_max`, or
+/// `None` when no earlier admissible slot exists.
+fn earliest_power_admissible(
+    without_v: &PowerProfile,
+    graph: &ConstraintGraph,
+    v: TaskId,
+    lb: Time,
+    current: Time,
+    p_max: Power,
+) -> Option<Time> {
+    let task = graph.task(v);
+    let headroom = p_max - task.power();
+    let d = task.delay();
+    let mut s = lb;
+    'candidate: while s < current {
+        // Scan the window [s, s+d): the level is constant between
+        // breakpoints, so checking each breakpoint in range plus the
+        // window start suffices.
+        let mut t = s;
+        while t < s + d {
+            if without_v.power_at(t) > headroom {
+                // Blocked at t: jump past this breakpoint segment.
+                let next = without_v
+                    .breakpoints()
+                    .into_iter()
+                    .find(|&b| b > t)
+                    .unwrap_or(current);
+                s = next;
+                continue 'candidate;
+            }
+            // Advance to the next level change inside the window.
+            t = without_v
+                .breakpoints()
+                .into_iter()
+                .find(|&b| b > t)
+                .unwrap_or(s + d);
+        }
+        return Some(s);
+    }
+    None
+}
+
+/// Replays serialization edges onto `graph` so that tasks sharing a
+/// resource are chained in the order they appear in `sigma`. Called
+/// by the max-power scheduler after it rolls back its speculative
+/// edges, so the graph documents the final serialization without any
+/// release/lock residue.
+pub(crate) fn replay_serialization(graph: &mut ConstraintGraph, sigma: &Schedule) {
+    let resources: Vec<_> = graph.resources().map(|(rid, _)| rid).collect();
+    for rid in resources {
+        let mut on_res: Vec<TaskId> = graph.tasks_on(rid).collect();
+        on_res.sort_by_key(|&t| (sigma.start(t), t));
+        for pair in on_res.windows(2) {
+            graph.serialize_after(pair[0], pair[1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_core::{is_time_valid, PowerProfile};
+    use pas_graph::units::TimeSpan;
+    use pas_graph::{Resource, ResourceKind, Task};
+
+    fn graph3() -> (ConstraintGraph, Vec<TaskId>) {
+        let mut g = ConstraintGraph::new();
+        let ids = (0..3)
+            .map(|i| {
+                let r = g.add_resource(Resource::new(format!("R{i}"), ResourceKind::Compute));
+                g.add_task(Task::new(
+                    format!("t{i}"),
+                    r,
+                    TimeSpan::from_secs(4),
+                    Power::from_watts(5),
+                ))
+            })
+            .collect();
+        (g, ids)
+    }
+
+    #[test]
+    fn holes_are_closed_under_generous_budget() {
+        let (g, ids) = graph3();
+        let sigma = Schedule::from_starts(vec![
+            Time::from_secs(7),
+            Time::from_secs(20),
+            Time::from_secs(33),
+        ]);
+        let c = compact_schedule(&g, sigma, Power::from_watts(50), Power::ZERO);
+        for &t in &ids {
+            assert_eq!(c.start(t), Time::ZERO, "everything fits in parallel");
+        }
+    }
+
+    #[test]
+    fn budget_limits_how_far_tasks_move_left() {
+        let (g, ids) = graph3();
+        let sigma =
+            Schedule::from_starts(vec![Time::ZERO, Time::from_secs(10), Time::from_secs(20)]);
+        // 9 W budget: at most one 5 W task at a time → stays serial
+        // but becomes back-to-back.
+        let c = compact_schedule(&g, sigma, Power::from_watts(9), Power::ZERO);
+        let mut starts: Vec<i64> = ids.iter().map(|&t| c.start(t).as_secs()).collect();
+        starts.sort_unstable();
+        assert_eq!(starts, vec![0, 4, 8]);
+        let p = PowerProfile::of_schedule(&g, &c, Power::ZERO);
+        assert!(p.peak() <= Power::from_watts(9));
+    }
+
+    #[test]
+    fn timing_constraints_bound_the_left_shift() {
+        let (mut g, ids) = graph3();
+        g.min_separation(ids[0], ids[1], TimeSpan::from_secs(12));
+        let sigma =
+            Schedule::from_starts(vec![Time::ZERO, Time::from_secs(30), Time::from_secs(30)]);
+        let c = compact_schedule(&g, sigma, Power::from_watts(50), Power::ZERO);
+        assert_eq!(c.start(ids[1]), Time::from_secs(12));
+        assert_eq!(c.start(ids[2]), Time::ZERO);
+        assert!(is_time_valid(&g, &c));
+    }
+
+    #[test]
+    fn already_compact_schedule_is_untouched() {
+        let (g, _) = graph3();
+        let sigma = Schedule::from_starts(vec![Time::ZERO; 3]);
+        let c = compact_schedule(&g, sigma.clone(), Power::from_watts(50), Power::ZERO);
+        assert_eq!(c, sigma);
+    }
+
+    #[test]
+    fn finish_time_never_increases() {
+        let (g, _) = graph3();
+        let sigma = Schedule::from_starts(vec![
+            Time::from_secs(3),
+            Time::from_secs(9),
+            Time::from_secs(15),
+        ]);
+        let before = sigma.finish_time(&g);
+        let c = compact_schedule(&g, sigma, Power::from_watts(10), Power::ZERO);
+        assert!(c.finish_time(&g) <= before);
+    }
+
+    #[test]
+    fn replay_serialization_chains_by_start_time() {
+        let mut g = ConstraintGraph::new();
+        let r = g.add_resource(Resource::new("R", ResourceKind::Compute));
+        let a = g.add_task(Task::new("a", r, TimeSpan::from_secs(2), Power::ZERO));
+        let b = g.add_task(Task::new("b", r, TimeSpan::from_secs(2), Power::ZERO));
+        let sigma = Schedule::from_starts(vec![Time::from_secs(5), Time::ZERO]);
+        replay_serialization(&mut g, &sigma);
+        // b runs first, so the edge must be b → a.
+        let edge = g
+            .edges()
+            .find(|(_, e)| e.kind() == pas_graph::EdgeKind::Serialization)
+            .map(|(_, e)| (e.from(), e.to()))
+            .unwrap();
+        assert_eq!(edge, (b.node(), a.node()));
+    }
+}

@@ -1,0 +1,221 @@
+//! Scheduler configuration: every heuristic knob from §5 of the paper
+//! is explicit here, so benches can ablate them.
+
+/// How the timing scheduler orders commit candidates when exploring
+/// topological orderings (Fig. 3 traverses successors in an
+/// unspecified order; the choice shapes which serialization is found
+/// first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum CommitOrder {
+    /// Earliest ASAP start first, task id as tie-break (deterministic
+    /// and usually the natural order).
+    #[default]
+    EarliestFirst,
+    /// Seeded-random order — used by the portfolio scheduler to
+    /// sample alternative serializations.
+    Random,
+}
+
+/// How the max-power scheduler picks the next spike victim among the
+/// simultaneously active tasks (§5.2: "a slack-based ordering
+/// function is used to order simultaneous tasks").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum VictimOrder {
+    /// The paper's heuristic: largest slack first; zero-slack tasks
+    /// only when no slack remains.
+    #[default]
+    LargestSlackFirst,
+    /// Ablation baseline: uniformly random victim order.
+    Random,
+}
+
+/// How far a spike victim is delayed (§5.2: "we heuristically set the
+/// upper bound of the delay distance to the execution time of the
+/// task", further bounded by its slack when it has one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum DelayPolicy {
+    /// Delay just past the spike instant (the minimal distance that
+    /// removes the task from the offending time).
+    #[default]
+    PastSpike,
+    /// Delay to the next power-profile breakpoint after the spike.
+    NextBreakpoint,
+    /// Delay by the full upper bound `min(slack, d(v))`.
+    ExecutionTime,
+}
+
+/// The order in which the min-power scheduler visits instants when
+/// hunting for power gaps (§5.3: "incremental order, reverse order,
+/// or random order").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum ScanOrder {
+    /// Increasing time.
+    #[default]
+    Forward,
+    /// Decreasing time.
+    Reverse,
+    /// Seeded-random permutation.
+    Random,
+}
+
+/// Where a task is re-placed when filling a power gap (§5.3:
+/// "starting v at t, finishing v at the end of the power gap
+/// beginning at t, or a randomly chosen time slot").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum SlotPolicy {
+    /// Start the task exactly at the gap instant.
+    #[default]
+    StartAtGap,
+    /// Finish the task at the end of the gap (clamped so it still
+    /// covers the gap instant).
+    FinishAtGapEnd,
+    /// A seeded-random slot that keeps the task active at the gap
+    /// instant.
+    Random,
+}
+
+/// Configuration of the complete three-stage scheduler.
+///
+/// [`SchedulerConfig::default`] reproduces the paper's heuristics; the
+/// other knobs exist for the ablation benches.
+///
+/// # Examples
+/// ```
+/// use pas_sched::{ScanOrder, SchedulerConfig};
+/// let cfg = SchedulerConfig { seed: 7, ..SchedulerConfig::default() };
+/// assert_eq!(cfg.scan_orders[0], ScanOrder::Forward);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerConfig {
+    /// Seed for all randomized heuristics (runs are deterministic for
+    /// a fixed seed).
+    pub seed: u64,
+    /// Commit-candidate ordering in the timing scheduler.
+    pub commit_order: CommitOrder,
+    /// Spike-victim ordering heuristic.
+    pub victim_order: VictimOrder,
+    /// Spike-victim delay distance heuristic.
+    pub delay_policy: DelayPolicy,
+    /// Lock the start times of remaining simultaneous tasks before
+    /// recursing (§5.2). Disabling is an ablation.
+    pub lock_remaining: bool,
+    /// Also accept gap-filling moves that keep utilization equal but
+    /// strictly reduce power jitter without extending the finish time
+    /// — the paper's secondary motivation for the min power
+    /// constraint ("control the jitter in the system-level power
+    /// curve to improve battery usage"). Off by default so default
+    /// results match the pure Fig. 6 acceptance rule.
+    pub reduce_jitter: bool,
+    /// Run the left-edge compaction pass after spike elimination
+    /// (closes the idle holes victim delays leave behind; see
+    /// DESIGN.md §6). Disabling is an ablation — e.g. the worst-case
+    /// rover degrades from the paper's 75 s to 85 s without it.
+    pub compact: bool,
+    /// Scan orders tried by the min-power scheduler, cycled across
+    /// passes ("we scan the schedule multiple times while altering
+    /// some of the heuristics during each scan").
+    pub scan_orders: Vec<ScanOrder>,
+    /// Gap-fill slot policies, cycled across passes.
+    pub slot_policies: Vec<SlotPolicy>,
+    /// Upper bound on full min-power passes.
+    pub max_scans: usize,
+    /// Upper bound on timing-scheduler backtracks before giving up.
+    pub max_backtracks: usize,
+    /// Upper bound on max-power rescheduling recursions.
+    pub max_recursions: usize,
+    /// How many alternative victims to try when a max-power recursion
+    /// fails ("the algorithm will choose one task from them to make
+    /// further delay and continue recursion").
+    pub max_respins: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            seed: 0x1A9C_C701,
+            commit_order: CommitOrder::EarliestFirst,
+            victim_order: VictimOrder::LargestSlackFirst,
+            delay_policy: DelayPolicy::PastSpike,
+            lock_remaining: true,
+            reduce_jitter: false,
+            compact: true,
+            scan_orders: vec![ScanOrder::Forward, ScanOrder::Reverse, ScanOrder::Random],
+            slot_policies: vec![
+                SlotPolicy::StartAtGap,
+                SlotPolicy::FinishAtGapEnd,
+                SlotPolicy::Random,
+            ],
+            max_scans: 16,
+            max_backtracks: 50_000,
+            max_recursions: 2_048,
+            max_respins: 4,
+        }
+    }
+}
+
+/// Counters describing the work a scheduling run performed; useful in
+/// reports and for asserting heuristic behaviour in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Serialization edges added by the timing scheduler.
+    pub serializations: usize,
+    /// Branches abandoned by the timing scheduler.
+    pub timing_backtracks: usize,
+    /// Tasks delayed to eliminate power spikes.
+    pub spike_delays: usize,
+    /// Max-power rescheduling recursions taken.
+    pub power_recursions: usize,
+    /// Full passes performed by the min-power scheduler.
+    pub min_power_scans: usize,
+    /// Accepted gap-filling moves.
+    pub min_power_moves: usize,
+}
+
+impl SchedulerStats {
+    /// Sums the counters of two runs (e.g. across pipeline stages).
+    pub fn merged(self, other: SchedulerStats) -> SchedulerStats {
+        SchedulerStats {
+            serializations: self.serializations + other.serializations,
+            timing_backtracks: self.timing_backtracks + other.timing_backtracks,
+            spike_delays: self.spike_delays + other.spike_delays,
+            power_recursions: self.power_recursions + other.power_recursions,
+            min_power_scans: self.min_power_scans + other.min_power_scans,
+            min_power_moves: self.min_power_moves + other.min_power_moves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_heuristics() {
+        let cfg = SchedulerConfig::default();
+        assert_eq!(cfg.victim_order, VictimOrder::LargestSlackFirst);
+        assert!(cfg.lock_remaining);
+        assert_eq!(cfg.scan_orders.len(), 3);
+        assert!(cfg.max_scans >= 2, "paper requires multiple scans");
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let a = SchedulerStats {
+            serializations: 1,
+            timing_backtracks: 2,
+            spike_delays: 3,
+            power_recursions: 4,
+            min_power_scans: 5,
+            min_power_moves: 6,
+        };
+        let b = a;
+        let m = a.merged(b);
+        assert_eq!(m.serializations, 2);
+        assert_eq!(m.min_power_moves, 12);
+    }
+}

@@ -1,0 +1,96 @@
+//! Scheduler error types.
+
+use pas_graph::units::{Power, Time};
+use pas_graph::PositiveCycle;
+
+/// Why a scheduling stage failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// The timing constraints are unsatisfiable regardless of
+    /// ordering: a positive cycle exists among the *original*
+    /// constraints.
+    Infeasible(PositiveCycle),
+    /// The timing scheduler exhausted its backtracking budget without
+    /// finding a serialization with no positive cycle.
+    TimingSearchExhausted {
+        /// Branches explored before giving up.
+        backtracks: usize,
+    },
+    /// A power spike could not be eliminated: every simultaneous task
+    /// was already delayed and the level still exceeds the budget.
+    SpikeUnresolvable {
+        /// The spike instant.
+        at: Time,
+        /// The residual power level at `at`.
+        level: Power,
+        /// The max power budget.
+        budget: Power,
+    },
+    /// The max-power scheduler hit its recursion budget.
+    RecursionLimit {
+        /// Configured limit that was reached.
+        limit: usize,
+    },
+}
+
+impl core::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScheduleError::Infeasible(c) => write!(f, "infeasible timing constraints: {c}"),
+            ScheduleError::TimingSearchExhausted { backtracks } => write!(
+                f,
+                "timing scheduler gave up after {backtracks} backtracks"
+            ),
+            ScheduleError::SpikeUnresolvable { at, level, budget } => write!(
+                f,
+                "power spike at {at} cannot be eliminated: {level} exceeds budget {budget} with no delayable task"
+            ),
+            ScheduleError::RecursionLimit { limit } => {
+                write!(f, "max-power scheduler exceeded {limit} rescheduling recursions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<PositiveCycle> for ScheduleError {
+    fn from(c: PositiveCycle) -> Self {
+        ScheduleError::Infeasible(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_graph::units::TimeSpan;
+
+    #[test]
+    fn display_variants() {
+        let e = ScheduleError::SpikeUnresolvable {
+            at: Time::from_secs(5),
+            level: Power::from_watts(20),
+            budget: Power::from_watts(16),
+        };
+        let s = e.to_string();
+        assert!(s.contains("5s") && s.contains("20W") && s.contains("16W"));
+        assert!(ScheduleError::TimingSearchExhausted { backtracks: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(ScheduleError::RecursionLimit { limit: 3 }
+            .to_string()
+            .contains('3'));
+        let c = PositiveCycle {
+            nodes: vec![],
+            total_weight: TimeSpan::from_secs(1),
+        };
+        assert!(ScheduleError::from(c).to_string().starts_with("infeasible"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn check<E: std::error::Error + Send + Sync + 'static>() {}
+        check::<ScheduleError>();
+    }
+}

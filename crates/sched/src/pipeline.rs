@@ -1,0 +1,331 @@
+//! The three-stage scheduling pipeline facade.
+//!
+//! §5 of the paper: "We use an incremental approach by solving one
+//! type of constraint at a time" — timing, then max power, then min
+//! power. [`PowerAwareScheduler::schedule_stages`] returns all three
+//! intermediate schedules (the paper's Figs. 2, 5 and 7);
+//! [`PowerAwareScheduler::schedule`] returns only the final one.
+
+use crate::config::{SchedulerConfig, SchedulerStats};
+use crate::error::ScheduleError;
+use crate::max_power::schedule_max_power;
+use crate::min_power::improve_gaps;
+use crate::timing::schedule_timing;
+use pas_core::{analyze, Problem, Schedule, ScheduleAnalysis};
+
+/// Result of a pipeline run: the schedule, its analysis against the
+/// problem, and the work counters.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The computed schedule.
+    pub schedule: Schedule,
+    /// Metrics/validity of `schedule` for the problem it was computed
+    /// from.
+    pub analysis: ScheduleAnalysis,
+    /// Scheduler work counters.
+    pub stats: SchedulerStats,
+}
+
+/// All three intermediate schedules of one pipeline run, mirroring the
+/// paper's walkthrough on the Fig. 1 example.
+#[derive(Debug, Clone)]
+pub struct StageOutcomes {
+    /// After timing scheduling only (Fig. 2): time-valid, may contain
+    /// spikes and gaps.
+    pub time_valid: Outcome,
+    /// After max-power scheduling (Fig. 5): valid (spike-free).
+    pub power_valid: Outcome,
+    /// After min-power scheduling (Fig. 7): valid with best-effort
+    /// gap filling.
+    pub improved: Outcome,
+}
+
+/// The power-aware scheduler: a configured pipeline over a
+/// [`Problem`].
+///
+/// # Examples
+/// ```
+/// use pas_core::example::paper_example;
+/// use pas_sched::PowerAwareScheduler;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (mut problem, _) = paper_example();
+/// let outcome = PowerAwareScheduler::default().schedule(&mut problem)?;
+/// assert!(outcome.analysis.is_valid());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PowerAwareScheduler {
+    config: SchedulerConfig,
+}
+
+impl PowerAwareScheduler {
+    /// Creates a scheduler with an explicit configuration.
+    pub fn new(config: SchedulerConfig) -> Self {
+        PowerAwareScheduler { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Stage 1 only: timing scheduling (§5.1). Serialization edges are
+    /// left in the problem's graph.
+    ///
+    /// # Errors
+    /// See [`schedule_timing`].
+    pub fn schedule_timing_only(&self, problem: &mut Problem) -> Result<Outcome, ScheduleError> {
+        let mut stats = SchedulerStats::default();
+        let schedule = schedule_timing(problem.graph_mut(), &self.config, &mut stats)?;
+        Ok(self.outcome(problem, schedule, stats))
+    }
+
+    /// Stages 1–2: timing + max-power scheduling (§5.2).
+    ///
+    /// # Errors
+    /// See [`schedule_max_power`].
+    pub fn schedule_power_valid(&self, problem: &mut Problem) -> Result<Outcome, ScheduleError> {
+        let mut stats = SchedulerStats::default();
+        let p_max = problem.constraints().p_max();
+        let background = problem.background_power();
+        let schedule = schedule_max_power(
+            problem.graph_mut(),
+            p_max,
+            background,
+            &self.config,
+            &mut stats,
+        )?;
+        Ok(self.outcome(problem, schedule, stats))
+    }
+
+    /// The full pipeline (§5.1–5.3): returns the final improved
+    /// schedule.
+    ///
+    /// # Errors
+    /// See [`schedule_max_power`]; min-power improvement itself never
+    /// fails.
+    pub fn schedule(&self, problem: &mut Problem) -> Result<Outcome, ScheduleError> {
+        let mut stats = SchedulerStats::default();
+        let constraints = problem.constraints();
+        let background = problem.background_power();
+        let valid = schedule_max_power(
+            problem.graph_mut(),
+            constraints.p_max(),
+            background,
+            &self.config,
+            &mut stats,
+        )?;
+        let improved = improve_gaps(
+            problem.graph(),
+            valid,
+            constraints.p_max(),
+            constraints.p_min(),
+            background,
+            &self.config,
+            &mut stats,
+        );
+        Ok(self.outcome(problem, improved, stats))
+    }
+
+    /// Runs the pipeline capturing every intermediate schedule
+    /// (Figs. 2 → 5 → 7 of the paper). The problem's graph
+    /// accumulates the pinning edges of the final stage.
+    ///
+    /// # Errors
+    /// See [`schedule_max_power`].
+    pub fn schedule_stages(&self, problem: &mut Problem) -> Result<StageOutcomes, ScheduleError> {
+        let constraints = problem.constraints();
+        let background = problem.background_power();
+
+        let mut stats1 = SchedulerStats::default();
+        let time_valid_schedule = schedule_timing(problem.graph_mut(), &self.config, &mut stats1)?;
+        let time_valid = self.outcome(problem, time_valid_schedule, stats1);
+
+        let mut stats2 = SchedulerStats::default();
+        let power_valid_schedule = schedule_max_power(
+            problem.graph_mut(),
+            constraints.p_max(),
+            background,
+            &self.config,
+            &mut stats2,
+        )?;
+        let power_valid = self.outcome(problem, power_valid_schedule.clone(), stats2);
+
+        let mut stats3 = SchedulerStats::default();
+        let improved_schedule = improve_gaps(
+            problem.graph(),
+            power_valid_schedule,
+            constraints.p_max(),
+            constraints.p_min(),
+            background,
+            &self.config,
+            &mut stats3,
+        );
+        let improved = self.outcome(problem, improved_schedule, stats3);
+
+        Ok(StageOutcomes {
+            time_valid,
+            power_valid,
+            improved,
+        })
+    }
+
+    /// Portfolio scheduling: runs the full pipeline `restarts`
+    /// additional times with seeded-random serialization orders
+    /// (§5.3: "better schedules could be found if the schedule can be
+    /// scanned in various orders") and keeps the best result —
+    /// fastest finish time, energy cost as tie-break. The first
+    /// attempt always uses the configured deterministic heuristics,
+    /// so the portfolio never does worse than [`Self::schedule`].
+    ///
+    /// On success `problem`'s graph carries the winning attempt's
+    /// serialization edges.
+    ///
+    /// # Errors
+    /// Fails only when *every* attempt fails, with the first error.
+    pub fn schedule_portfolio(
+        &self,
+        problem: &mut Problem,
+        restarts: usize,
+    ) -> Result<Outcome, ScheduleError> {
+        let mut best: Option<(Problem, Outcome)> = None;
+        let mut first_err = None;
+
+        for attempt in 0..=restarts {
+            let mut candidate_problem = problem.clone();
+            let config = if attempt == 0 {
+                self.config.clone()
+            } else {
+                SchedulerConfig {
+                    commit_order: crate::config::CommitOrder::Random,
+                    seed: self
+                        .config
+                        .seed
+                        .wrapping_add((attempt as u64).wrapping_mul(0xA24B_AED4_963E_E407)),
+                    ..self.config.clone()
+                }
+            };
+            match PowerAwareScheduler::new(config).schedule(&mut candidate_problem) {
+                Ok(outcome) => {
+                    let better = match &best {
+                        None => true,
+                        Some((_, incumbent)) => {
+                            (outcome.analysis.finish_time, outcome.analysis.energy_cost)
+                                < (
+                                    incumbent.analysis.finish_time,
+                                    incumbent.analysis.energy_cost,
+                                )
+                        }
+                    };
+                    if better {
+                        best = Some((candidate_problem, outcome));
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some((winning_problem, outcome)) => {
+                *problem = winning_problem;
+                Ok(outcome)
+            }
+            None => Err(first_err.expect("at least one attempt ran")),
+        }
+    }
+
+    fn outcome(&self, problem: &Problem, schedule: Schedule, stats: SchedulerStats) -> Outcome {
+        let analysis = analyze(problem, &schedule);
+        Outcome {
+            schedule,
+            analysis,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_core::example::paper_example;
+
+    #[test]
+    fn full_pipeline_on_paper_example_is_valid() {
+        let (mut problem, _) = paper_example();
+        let outcome = PowerAwareScheduler::default()
+            .schedule(&mut problem)
+            .unwrap();
+        assert!(outcome.analysis.is_valid());
+        assert!(outcome.analysis.peak_power <= problem.constraints().p_max());
+    }
+
+    #[test]
+    fn stages_reproduce_the_fig2_fig5_fig7_narrative() {
+        let (mut problem, _) = paper_example();
+        let stages = PowerAwareScheduler::default()
+            .schedule_stages(&mut problem)
+            .unwrap();
+
+        // Fig. 2: time-valid but with a spike and gaps.
+        assert!(stages.time_valid.analysis.timing_violations.is_empty());
+        assert!(!stages.time_valid.analysis.spikes.is_empty());
+        assert!(!stages.time_valid.analysis.gaps.is_empty());
+
+        // Fig. 5: valid.
+        assert!(stages.power_valid.analysis.is_valid());
+
+        // Fig. 7: still valid, utilization not worse.
+        assert!(stages.improved.analysis.is_valid());
+        assert!(stages.improved.analysis.utilization >= stages.power_valid.analysis.utilization);
+    }
+
+    #[test]
+    fn timing_only_matches_stage_one() {
+        let (mut p1, _) = paper_example();
+        let (mut p2, _) = paper_example();
+        let sched = PowerAwareScheduler::default();
+        let t = sched.schedule_timing_only(&mut p1).unwrap();
+        let stages = sched.schedule_stages(&mut p2).unwrap();
+        assert_eq!(t.schedule, stages.time_valid.schedule);
+    }
+
+    #[test]
+    fn portfolio_never_does_worse_than_the_default() {
+        let (mut p1, _) = paper_example();
+        let single = PowerAwareScheduler::default().schedule(&mut p1).unwrap();
+        let (mut p2, _) = paper_example();
+        let portfolio = PowerAwareScheduler::default()
+            .schedule_portfolio(&mut p2, 8)
+            .unwrap();
+        assert!(portfolio.analysis.is_valid());
+        assert!(portfolio.analysis.finish_time <= single.analysis.finish_time);
+        // The winner's schedule is valid against the returned problem.
+        assert!(pas_core::is_time_valid(p2.graph(), &portfolio.schedule));
+    }
+
+    #[test]
+    fn portfolio_with_zero_restarts_equals_default() {
+        let (mut p1, _) = paper_example();
+        let single = PowerAwareScheduler::default().schedule(&mut p1).unwrap();
+        let (mut p2, _) = paper_example();
+        let portfolio = PowerAwareScheduler::default()
+            .schedule_portfolio(&mut p2, 0)
+            .unwrap();
+        assert_eq!(single.schedule, portfolio.schedule);
+    }
+
+    #[test]
+    fn power_valid_stage_is_spike_free() {
+        let (mut p, _) = paper_example();
+        let o = PowerAwareScheduler::default()
+            .schedule_power_valid(&mut p)
+            .unwrap();
+        assert!(o.analysis.spikes.is_empty());
+    }
+}

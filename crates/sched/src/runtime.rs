@@ -1,0 +1,279 @@
+//! Quasi-static runtime scheduling (§5.3, closing remark).
+//!
+//! The paper observes that an improved schedule is often valid over a
+//! whole *range* of constraints — "the same schedule can be directly
+//! applied to all cases with a range of constraints where
+//! `P_max ≥ 16, P_min ≤ 14`, without recomputing a schedule for each
+//! case. This feature makes our statically computed power-aware
+//! schedules adaptable to a runtime scheduler that schedules tasks
+//! according to the dynamically changing constraints imposed by the
+//! environment."
+//!
+//! [`ValidityRegion`] computes that range for a schedule, and
+//! [`ScheduleRepertoire`] is the runtime table: a set of precomputed
+//! schedules from which the best valid one is selected for the current
+//! `(P_max, P_min)`.
+
+use pas_core::{utilization, PowerProfile, Ratio, Schedule};
+use pas_graph::units::{Energy, Power, Time};
+use pas_graph::ConstraintGraph;
+
+/// The constraint range over which a fixed schedule remains valid and
+/// fully utilizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidityRegion {
+    /// The schedule is power-valid for every `P_max ≥ min_p_max`
+    /// (its profile peak).
+    pub min_p_max: Power,
+    /// The schedule has full min-power utilization (`ρ = 1`, no gaps)
+    /// for every `P_min ≤ gap_free_p_min` (its profile floor).
+    pub gap_free_p_min: Power,
+}
+
+impl ValidityRegion {
+    /// Computes the region of `schedule` on `graph` with the given
+    /// background draw.
+    pub fn of(graph: &ConstraintGraph, schedule: &Schedule, background: Power) -> Self {
+        let profile = PowerProfile::of_schedule(graph, schedule, background);
+        ValidityRegion {
+            min_p_max: profile.peak(),
+            gap_free_p_min: profile.floor(),
+        }
+    }
+
+    /// `true` when the schedule is power-valid under `p_max`.
+    #[inline]
+    pub fn admits_p_max(&self, p_max: Power) -> bool {
+        p_max >= self.min_p_max
+    }
+
+    /// `true` when the schedule is additionally gap-free under
+    /// `p_min`.
+    #[inline]
+    pub fn gap_free_under(&self, p_min: Power) -> bool {
+        p_min <= self.gap_free_p_min
+    }
+}
+
+impl core::fmt::Display for ValidityRegion {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "valid for P_max ≥ {}, gap-free for P_min ≤ {}",
+            self.min_p_max, self.gap_free_p_min
+        )
+    }
+}
+
+/// One precomputed schedule with everything the runtime selector
+/// needs.
+#[derive(Debug, Clone)]
+pub struct RepertoireEntry {
+    name: String,
+    schedule: Schedule,
+    profile: PowerProfile,
+    region: ValidityRegion,
+    finish_time: Time,
+}
+
+impl RepertoireEntry {
+    /// The entry's label (e.g. `"best-case"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The precomputed schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The schedule's validity region.
+    pub fn region(&self) -> ValidityRegion {
+        self.region
+    }
+
+    /// The schedule's finish time `τ_σ`.
+    pub fn finish_time(&self) -> Time {
+        self.finish_time
+    }
+
+    /// Battery energy this schedule would cost under free power level
+    /// `p_min`.
+    pub fn energy_cost_at(&self, p_min: Power) -> Energy {
+        self.profile.energy_above(p_min)
+    }
+
+    /// Min-power utilization this schedule achieves under `p_min`.
+    pub fn utilization_at(&self, p_min: Power) -> Ratio {
+        utilization(&self.profile, p_min)
+    }
+}
+
+/// A table of precomputed schedules consulted at runtime as the
+/// environment (solar level, battery budget) changes.
+///
+/// # Examples
+/// ```
+/// use pas_core::example::paper_example;
+/// use pas_graph::units::Power;
+/// use pas_sched::{PowerAwareScheduler, ScheduleRepertoire};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (mut problem, _) = paper_example();
+/// let outcome = PowerAwareScheduler::default().schedule(&mut problem)?;
+/// let mut table = ScheduleRepertoire::new();
+/// table.insert("improved", problem.graph(), outcome.schedule,
+///              problem.background_power());
+/// // The improved schedule serves every budget at or above its peak.
+/// let entry = table.select(Power::from_watts(20), Power::from_watts(10));
+/// assert!(entry.is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleRepertoire {
+    entries: Vec<RepertoireEntry>,
+}
+
+impl ScheduleRepertoire {
+    /// Creates an empty repertoire.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a precomputed schedule under a label.
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        graph: &ConstraintGraph,
+        schedule: Schedule,
+        background: Power,
+    ) {
+        let profile = PowerProfile::of_schedule(graph, &schedule, background);
+        let region = ValidityRegion {
+            min_p_max: profile.peak(),
+            gap_free_p_min: profile.floor(),
+        };
+        let finish_time = profile.end();
+        self.entries.push(RepertoireEntry {
+            name: name.into(),
+            schedule,
+            profile,
+            region,
+            finish_time,
+        });
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the repertoire holds no schedules.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &RepertoireEntry> + '_ {
+        self.entries.iter()
+    }
+
+    /// Selects the best schedule valid under `p_max`: fastest finish
+    /// time first, then lowest energy cost at `p_min`, then insertion
+    /// order. Returns `None` when no entry fits the budget.
+    pub fn select(&self, p_max: Power, p_min: Power) -> Option<&RepertoireEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.region.admits_p_max(p_max))
+            .min_by_key(|e| (e.finish_time, e.energy_cost_at(p_min)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_graph::units::TimeSpan;
+    use pas_graph::{Resource, ResourceKind, Task};
+
+    /// Builds a graph with two independent tasks and returns two
+    /// schedules: parallel (fast, high peak) and serial (slow, low
+    /// peak).
+    fn two_schedules() -> (ConstraintGraph, Schedule, Schedule) {
+        let mut g = ConstraintGraph::new();
+        let r0 = g.add_resource(Resource::new("A", ResourceKind::Compute));
+        let r1 = g.add_resource(Resource::new("B", ResourceKind::Compute));
+        g.add_task(Task::new(
+            "a",
+            r0,
+            TimeSpan::from_secs(5),
+            Power::from_watts(6),
+        ));
+        g.add_task(Task::new(
+            "b",
+            r1,
+            TimeSpan::from_secs(5),
+            Power::from_watts(6),
+        ));
+        let parallel = Schedule::from_starts(vec![Time::ZERO, Time::ZERO]);
+        let serial = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(5)]);
+        (g, parallel, serial)
+    }
+
+    #[test]
+    fn region_is_peak_and_floor() {
+        let (g, parallel, serial) = two_schedules();
+        let rp = ValidityRegion::of(&g, &parallel, Power::ZERO);
+        assert_eq!(rp.min_p_max, Power::from_watts(12));
+        assert_eq!(rp.gap_free_p_min, Power::from_watts(12));
+        let rs = ValidityRegion::of(&g, &serial, Power::ZERO);
+        assert_eq!(rs.min_p_max, Power::from_watts(6));
+        assert!(rs.admits_p_max(Power::from_watts(6)));
+        assert!(!rs.admits_p_max(Power::from_watts(5)));
+        assert!(rs.gap_free_under(Power::from_watts(6)));
+        assert!(!rs.gap_free_under(Power::from_watts(7)));
+    }
+
+    #[test]
+    fn select_prefers_fast_when_budget_allows() {
+        let (g, parallel, serial) = two_schedules();
+        let mut table = ScheduleRepertoire::new();
+        table.insert("parallel", &g, parallel, Power::ZERO);
+        table.insert("serial", &g, serial, Power::ZERO);
+        assert_eq!(table.len(), 2);
+
+        let rich = table
+            .select(Power::from_watts(20), Power::from_watts(10))
+            .unwrap();
+        assert_eq!(rich.name(), "parallel");
+
+        let poor = table
+            .select(Power::from_watts(8), Power::from_watts(6))
+            .unwrap();
+        assert_eq!(poor.name(), "serial");
+
+        assert!(table.select(Power::from_watts(5), Power::ZERO).is_none());
+    }
+
+    #[test]
+    fn energy_cost_and_utilization_per_pmin() {
+        let (g, parallel, _) = two_schedules();
+        let mut table = ScheduleRepertoire::new();
+        table.insert("parallel", &g, parallel, Power::ZERO);
+        let e = table.iter().next().unwrap();
+        // Flat 12 W for 5 s: cost above 10 W = 10 J; ρ(10) = 1.
+        assert_eq!(
+            e.energy_cost_at(Power::from_watts(10)),
+            Energy::from_joules(10)
+        );
+        assert!(e.utilization_at(Power::from_watts(10)).is_one());
+        assert_eq!(e.finish_time(), Time::from_secs(5));
+    }
+
+    #[test]
+    fn region_display() {
+        let (g, _, serial) = two_schedules();
+        let r = ValidityRegion::of(&g, &serial, Power::ZERO);
+        assert!(r.to_string().contains("P_max ≥ 6W"));
+    }
+}

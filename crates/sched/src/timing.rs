@@ -1,0 +1,356 @@
+//! The timing scheduler (Fig. 3 of the paper).
+//!
+//! Finds a time-valid schedule by exploring topological orderings of
+//! the constraint graph: tasks are *committed* one at a time; when a
+//! task `c` is committed, serialization edges `c → u` (weight `d(c)`)
+//! are added toward every uncommitted task `u` sharing `c`'s resource,
+//! exactly as the paper's "serialize u after c". If the resulting
+//! graph develops a positive cycle the branch is abandoned, the edges
+//! are undone through the graph journal, and another topological
+//! ordering is attempted. Start times are the anchor longest-path
+//! distances (`σ(c) := L(c)`), i.e. the ASAP schedule for the chosen
+//! serialization.
+//!
+//! The search is complete up to the configured backtrack budget: it
+//! will traverse all topological orderings before reporting failure,
+//! so it always finds a time-valid schedule if one exists (and the
+//! budget allows).
+
+use crate::config::{CommitOrder, SchedulerConfig, SchedulerStats};
+use crate::error::ScheduleError;
+use pas_core::Schedule;
+use pas_graph::longest_path::single_source_longest_paths;
+use pas_graph::{ConstraintGraph, NodeId, TaskId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Runs the timing scheduler on `graph`, adding serialization edges
+/// for every resource conflict. On success the added edges remain in
+/// the graph (later stages rely on them); on failure the graph is
+/// restored to its input state.
+///
+/// # Errors
+/// * [`ScheduleError::Infeasible`] when the original constraints
+///   contain a positive cycle (no ordering can help);
+/// * [`ScheduleError::TimingSearchExhausted`] when the backtrack
+///   budget runs out.
+///
+/// # Examples
+/// ```
+/// use pas_graph::units::{Power, TimeSpan};
+/// use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task};
+/// use pas_sched::{schedule_timing, SchedulerConfig, SchedulerStats};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = ConstraintGraph::new();
+/// let r = g.add_resource(Resource::new("R", ResourceKind::Compute));
+/// let a = g.add_task(Task::new("a", r, TimeSpan::from_secs(3), Power::ZERO));
+/// let b = g.add_task(Task::new("b", r, TimeSpan::from_secs(2), Power::ZERO));
+/// let mut stats = SchedulerStats::default();
+/// let sigma = schedule_timing(&mut g, &SchedulerConfig::default(), &mut stats)?;
+/// // Same resource ⇒ serialized, not overlapped.
+/// assert!(pas_core::is_time_valid(&g, &sigma));
+/// # Ok(())
+/// # }
+/// ```
+pub fn schedule_timing(
+    graph: &mut ConstraintGraph,
+    config: &SchedulerConfig,
+    stats: &mut SchedulerStats,
+) -> Result<Schedule, ScheduleError> {
+    // Fail fast (and distinguish "inherently infeasible" from "no
+    // ordering found"): the original constraints must be satisfiable.
+    if let Err(cycle) = single_source_longest_paths(graph, NodeId::ANCHOR) {
+        return Err(ScheduleError::Infeasible(cycle));
+    }
+
+    let outer_mark = graph.mark();
+    let mut committed = vec![false; graph.num_tasks()];
+    let mut budget = config.max_backtracks;
+    let mut rng = match config.commit_order {
+        CommitOrder::EarliestFirst => None,
+        CommitOrder::Random => Some(StdRng::seed_from_u64(config.seed ^ 0x7091_0C4D)),
+    };
+    match commit_all(graph, &mut committed, 0, &mut budget, &mut rng, stats) {
+        CommitOutcome::Done => {
+            let lp = single_source_longest_paths(graph, NodeId::ANCHOR)
+                .expect("final serialization was checked feasible");
+            Ok(Schedule::from_longest_paths(graph, &lp))
+        }
+        CommitOutcome::Dead => {
+            graph.undo_to(outer_mark);
+            Err(ScheduleError::TimingSearchExhausted {
+                backtracks: config.max_backtracks,
+            })
+        }
+        CommitOutcome::OutOfBudget => {
+            graph.undo_to(outer_mark);
+            Err(ScheduleError::TimingSearchExhausted {
+                backtracks: config.max_backtracks,
+            })
+        }
+    }
+}
+
+enum CommitOutcome {
+    Done,
+    Dead,
+    OutOfBudget,
+}
+
+/// Recursively commits tasks in every feasible topological order until
+/// all are committed ("a time-valid schedule is returned when all
+/// vertices are scheduled").
+fn commit_all(
+    graph: &mut ConstraintGraph,
+    committed: &mut [bool],
+    num_committed: usize,
+    budget: &mut usize,
+    rng: &mut Option<StdRng>,
+    stats: &mut SchedulerStats,
+) -> CommitOutcome {
+    if num_committed == graph.num_tasks() {
+        return CommitOutcome::Done;
+    }
+
+    // Current longest paths order the candidate frontier (earliest
+    // ASAP time first — the most natural topological ordering to try).
+    let lp = match single_source_longest_paths(graph, NodeId::ANCHOR) {
+        Ok(lp) => lp,
+        Err(_) => return CommitOutcome::Dead,
+    };
+
+    let mut candidates: Vec<TaskId> = frontier(graph, committed);
+    match rng {
+        None => candidates.sort_by_key(|&t| (lp.start_time(t), t)),
+        Some(rng) => candidates.shuffle(rng),
+    }
+
+    for c in candidates {
+        if *budget == 0 {
+            return CommitOutcome::OutOfBudget;
+        }
+        let mark = graph.mark();
+        committed[c.index()] = true;
+
+        // Serialize every uncommitted same-resource task after c.
+        let peers: Vec<TaskId> = graph
+            .tasks_on(graph.task(c).resource())
+            .filter(|&u| u != c && !committed[u.index()])
+            .collect();
+        for u in peers {
+            graph.serialize_after(c, u);
+            stats.serializations += 1;
+        }
+
+        // Feasibility check before descending saves exploring the
+        // whole subtree of an already-dead serialization.
+        if single_source_longest_paths(graph, NodeId::ANCHOR).is_ok() {
+            match commit_all(graph, committed, num_committed + 1, budget, rng, stats) {
+                CommitOutcome::Done => return CommitOutcome::Done,
+                CommitOutcome::OutOfBudget => return CommitOutcome::OutOfBudget,
+                CommitOutcome::Dead => {}
+            }
+        }
+
+        committed[c.index()] = false;
+        graph.undo_to(mark);
+        stats.timing_backtracks += 1;
+        *budget = budget.saturating_sub(1);
+    }
+
+    CommitOutcome::Dead
+}
+
+/// Tasks whose precedence predecessors are all committed — the
+/// candidate successors `Succ[c]` of the paper's traversal.
+fn frontier(graph: &ConstraintGraph, committed: &[bool]) -> Vec<TaskId> {
+    graph
+        .task_ids()
+        .filter(|&t| !committed[t.index()])
+        .filter(|&t| {
+            graph.in_edges(t.node()).all(|(_, e)| {
+                if !e.is_precedence() {
+                    return true;
+                }
+                match e.from().task() {
+                    None => true, // anchor
+                    Some(u) => committed[u.index()],
+                }
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_core::{is_time_valid, slacks};
+    use pas_graph::units::{Power, TimeSpan};
+    use pas_graph::{Resource, ResourceKind, Task};
+
+    fn cfg() -> SchedulerConfig {
+        SchedulerConfig::default()
+    }
+
+    fn run(graph: &mut ConstraintGraph) -> Result<Schedule, ScheduleError> {
+        let mut stats = SchedulerStats::default();
+        schedule_timing(graph, &cfg(), &mut stats)
+    }
+
+    #[test]
+    fn independent_tasks_on_distinct_resources_start_at_zero() {
+        let mut g = ConstraintGraph::new();
+        for i in 0..3 {
+            let r = g.add_resource(Resource::new(format!("R{i}"), ResourceKind::Compute));
+            g.add_task(Task::new(
+                format!("t{i}"),
+                r,
+                TimeSpan::from_secs(4),
+                Power::ZERO,
+            ));
+        }
+        let s = run(&mut g).unwrap();
+        for (_, start) in s.iter() {
+            assert_eq!(start.as_secs(), 0);
+        }
+    }
+
+    #[test]
+    fn shared_resource_tasks_are_serialized() {
+        let mut g = ConstraintGraph::new();
+        let r = g.add_resource(Resource::new("R", ResourceKind::Compute));
+        let ids: Vec<_> = (0..4)
+            .map(|i| {
+                g.add_task(Task::new(
+                    format!("t{i}"),
+                    r,
+                    TimeSpan::from_secs(2),
+                    Power::ZERO,
+                ))
+            })
+            .collect();
+        let s = run(&mut g).unwrap();
+        assert!(is_time_valid(&g, &s));
+        let mut starts: Vec<_> = ids.iter().map(|&t| s.start(t).as_secs()).collect();
+        starts.sort_unstable();
+        assert_eq!(starts, vec![0, 2, 4, 6], "back-to-back serialization");
+    }
+
+    #[test]
+    fn serialization_respects_max_separation_windows() {
+        // Two same-resource tasks; w must run within 4 s of u's start,
+        // u takes 6 s — so w must go FIRST. The naive earliest-first
+        // ordering tries u first and must backtrack.
+        let mut g = ConstraintGraph::new();
+        let r = g.add_resource(Resource::new("R", ResourceKind::Compute));
+        let pre = g.add_resource(Resource::new("P", ResourceKind::Compute));
+        let p = g.add_task(Task::new("p", pre, TimeSpan::from_secs(1), Power::ZERO));
+        let u = g.add_task(Task::new("u", r, TimeSpan::from_secs(6), Power::ZERO));
+        let w = g.add_task(Task::new("w", r, TimeSpan::from_secs(2), Power::ZERO));
+        // Anchor-ish ordering bait: u released at 0, w after p.
+        g.precedence(p, w);
+        // w at most 4 s after u's start… wait, that forces w before u
+        // cannot hold since w ≥ 1. Give the window from p instead:
+        g.max_separation(p, w, TimeSpan::from_secs(4));
+        let mut stats = SchedulerStats::default();
+        let s = schedule_timing(&mut g, &cfg(), &mut stats).unwrap();
+        assert!(is_time_valid(&g, &s));
+        // The window p ≤ w ≤ p+4 holds whichever serialization won
+        // (the scheduler may float p later to keep w after u).
+        assert!((s.start(w) - s.start(p)).as_secs() <= 4);
+        assert!(s.start(w) >= s.start(p) + TimeSpan::from_secs(1));
+        let _ = u;
+    }
+
+    #[test]
+    fn infeasible_original_constraints_reported() {
+        let mut g = ConstraintGraph::new();
+        let r0 = g.add_resource(Resource::new("A", ResourceKind::Compute));
+        let r1 = g.add_resource(Resource::new("B", ResourceKind::Compute));
+        let a = g.add_task(Task::new("a", r0, TimeSpan::from_secs(5), Power::ZERO));
+        let b = g.add_task(Task::new("b", r1, TimeSpan::from_secs(5), Power::ZERO));
+        g.min_separation(a, b, TimeSpan::from_secs(10));
+        g.max_separation(a, b, TimeSpan::from_secs(8));
+        match run(&mut g) {
+            Err(ScheduleError::Infeasible(_)) => {}
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graph_restored_on_failure() {
+        let mut g = ConstraintGraph::new();
+        let r0 = g.add_resource(Resource::new("A", ResourceKind::Compute));
+        let a = g.add_task(Task::new("a", r0, TimeSpan::from_secs(5), Power::ZERO));
+        let b = g.add_task(Task::new("b", r0, TimeSpan::from_secs(5), Power::ZERO));
+        // Both must start within 2 s of each other but share a 5 s
+        // resource: every serialization cycles.
+        g.max_separation(a, b, TimeSpan::from_secs(2));
+        g.max_separation(b, a, TimeSpan::from_secs(2));
+        let edges_before = g.num_edges();
+        let result = run(&mut g);
+        assert!(result.is_err());
+        assert_eq!(g.num_edges(), edges_before, "journal must be rolled back");
+    }
+
+    #[test]
+    fn backtracking_finds_the_feasible_ordering() {
+        // Same-resource pair where the "natural" (ASAP) first choice
+        // is infeasible: b must finish before a window on c closes.
+        let mut g = ConstraintGraph::new();
+        let r = g.add_resource(Resource::new("R", ResourceKind::Compute));
+        let rc = g.add_resource(Resource::new("C", ResourceKind::Compute));
+        let a = g.add_task(Task::new("a", r, TimeSpan::from_secs(8), Power::ZERO));
+        let b = g.add_task(Task::new("b", r, TimeSpan::from_secs(2), Power::ZERO));
+        let c = g.add_task(Task::new("c", rc, TimeSpan::from_secs(1), Power::ZERO));
+        g.precedence(b, c); // c after b
+        g.max_separation(c, a, TimeSpan::from_secs(100)); // harmless window
+        g.max_separation(b, c, TimeSpan::from_secs(3)); // c close to b
+                                                        // c must start ≤ 3 s after b; if a (8 s) runs first on R, b
+                                                        // starts at 8 — fine actually. Force b early instead:
+        g.max_separation(a, b, TimeSpan::from_secs(4)); // b ≤ a+4 → b can't wait for a
+        let mut stats = SchedulerStats::default();
+        let s = schedule_timing(&mut g, &cfg(), &mut stats).unwrap();
+        assert!(is_time_valid(&g, &s));
+        assert!(s.start(b) < s.start(a), "b must be serialized first");
+        assert!(stats.timing_backtracks > 0, "first ordering had to fail");
+    }
+
+    #[test]
+    fn schedule_is_asap_for_chosen_order() {
+        // Every task has non-negative slack and at least one is tight.
+        let mut g = ConstraintGraph::new();
+        let r = g.add_resource(Resource::new("R", ResourceKind::Compute));
+        for i in 0..3 {
+            g.add_task(Task::new(
+                format!("t{i}"),
+                r,
+                TimeSpan::from_secs(2),
+                Power::ZERO,
+            ));
+        }
+        let s = run(&mut g).unwrap();
+        let sl = slacks(&g, &s);
+        assert!(sl.iter().all(|d| !d.is_negative()));
+    }
+
+    #[test]
+    fn stats_count_serializations() {
+        let mut g = ConstraintGraph::new();
+        let r = g.add_resource(Resource::new("R", ResourceKind::Compute));
+        for i in 0..3 {
+            g.add_task(Task::new(
+                format!("t{i}"),
+                r,
+                TimeSpan::from_secs(1),
+                Power::ZERO,
+            ));
+        }
+        let mut stats = SchedulerStats::default();
+        schedule_timing(&mut g, &cfg(), &mut stats).unwrap();
+        // 3 tasks on one resource: 2 + 1 serialization edges.
+        assert_eq!(stats.serializations, 3);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the scheduler crate's surrounding machinery:
+//! baselines, repertoires, and the portfolio.
+
+use pas_core::{analyze, is_time_valid, PowerConstraints, Problem, Schedule};
+use pas_graph::units::{Power, TimeSpan};
+use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task, TaskId};
+use pas_sched::{baseline, PowerAwareScheduler, ScheduleRepertoire, SchedulerConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// Builds a problem of independent tasks on private resources (so any
+/// permutation is a feasible serialization order).
+fn independent_problem(seed: u64, n: usize) -> (Problem, Vec<TaskId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = ConstraintGraph::new();
+    let ids: Vec<TaskId> = (0..n)
+        .map(|i| {
+            let r = g.add_resource(Resource::new(format!("R{i}"), ResourceKind::Compute));
+            g.add_task(Task::new(
+                format!("t{i}"),
+                r,
+                TimeSpan::from_secs(rng.gen_range(1..=9)),
+                Power::from_watts(rng.gen_range(1..=8)),
+            ))
+        })
+        .collect();
+    let biggest = g.tasks().map(|(_, t)| t.power()).max().unwrap();
+    let p = Problem::new(
+        "prop-sched",
+        g,
+        PowerConstraints::max_only(biggest + Power::from_watts(rng.gen_range(0..10))),
+    );
+    (p, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The fully-serialized baseline runs exactly one task at a time
+    /// in the requested order, whatever the order is.
+    #[test]
+    fn serial_baseline_is_truly_serial(seed in any::<u64>(), n in 1usize..8) {
+        let (mut p, mut ids) = independent_problem(seed, n);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+        ids.shuffle(&mut rng);
+        let sigma = baseline::fully_serialized(p.graph_mut(), &ids).unwrap();
+        prop_assert!(is_time_valid(p.graph(), &sigma));
+        // Serial: tasks run back to back in the given order.
+        let mut expected_start = pas_graph::units::Time::ZERO;
+        for &t in &ids {
+            prop_assert_eq!(sigma.start(t), expected_start);
+            expected_start = expected_start + p.graph().task(t).delay();
+        }
+        // One at a time ⇒ peak is the single biggest task.
+        let a = analyze(&p, &sigma);
+        let biggest = p.graph().tasks().map(|(_, t)| t.power()).max().unwrap();
+        prop_assert_eq!(a.peak_power, biggest);
+        // Finish time is the serial sum.
+        let total: i64 = p.graph().tasks().map(|(_, t)| t.delay().as_secs()).sum();
+        prop_assert_eq!(a.finish_time.as_secs(), total);
+    }
+
+    /// The pipeline never does worse than the serial baseline on
+    /// finish time (serialization is always in its search space).
+    #[test]
+    fn pipeline_beats_or_matches_serial(seed in any::<u64>(), n in 1usize..7) {
+        let (mut p, ids) = independent_problem(seed, n);
+        let serial = baseline::fully_serialized(p.graph_mut(), &ids).unwrap();
+        let serial_finish = serial.finish_time(p.graph());
+        if let Ok(outcome) = PowerAwareScheduler::default().schedule(&mut p) {
+            prop_assert!(
+                outcome.analysis.finish_time <= serial_finish,
+                "pipeline {} vs serial {}",
+                outcome.analysis.finish_time,
+                serial_finish
+            );
+        }
+    }
+
+    /// Repertoire selection returns an entry whose region admits the
+    /// queried budget, and prefers faster entries.
+    #[test]
+    fn repertoire_select_is_sound(seed in any::<u64>(), n in 2usize..6) {
+        let (mut p, ids) = independent_problem(seed, n);
+        let serial = baseline::fully_serialized(p.graph_mut(), &ids).unwrap();
+        let parallel = Schedule::from_starts(vec![pas_graph::units::Time::ZERO; n]);
+        let mut table = ScheduleRepertoire::new();
+        table.insert("serial", p.graph(), serial, Power::ZERO);
+        table.insert("parallel", p.graph(), parallel.clone(), Power::ZERO);
+
+        let total_power: Power = p.graph().tasks().map(|(_, t)| t.power()).sum();
+        if let Some(entry) = table.select(total_power, Power::ZERO) {
+            // Everything fits: the parallel entry is at least as fast.
+            prop_assert!(entry.finish_time() <= parallel.finish_time(p.graph()));
+            prop_assert!(entry.region().admits_p_max(total_power));
+        }
+        // Below every entry's peak nothing is returned.
+        let biggest = p.graph().tasks().map(|(_, t)| t.power()).max().unwrap();
+        let too_small = biggest - Power::from_watts_milli(1);
+        prop_assert!(table.select(too_small, Power::ZERO).is_none());
+    }
+
+    /// The portfolio is monotone in restarts: more restarts never
+    /// produce a worse (finish time, energy) result, because the
+    /// incumbent only improves.
+    #[test]
+    fn portfolio_is_monotone(seed in any::<u64>()) {
+        let (p, _) = independent_problem(seed, 5);
+        let run = |restarts: usize| {
+            let mut p = p.clone();
+            PowerAwareScheduler::new(SchedulerConfig { seed, ..Default::default() })
+                .schedule_portfolio(&mut p, restarts)
+                .ok()
+                .map(|o| (o.analysis.finish_time, o.analysis.energy_cost))
+        };
+        if let (Some(few), Some(many)) = (run(1), run(3)) {
+            prop_assert!(many <= few, "{many:?} vs {few:?}");
+        }
+    }
+}

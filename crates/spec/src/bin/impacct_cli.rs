@@ -1,0 +1,196 @@
+//! `impacct-cli` — drive the power-aware scheduler from PASDL files.
+//!
+//! ```text
+//! impacct-cli schedule <problem.pasdl> [--stage timing|max|min]
+//!                      [--svg <out.svg>] [--emit-schedule] [--report]
+//!                      [--corners] [--restarts <n>] [--seed <n>] [--quiet]
+//! impacct-cli validate <problem.pasdl> <schedule.pasdl>
+//! impacct-cli print <problem.pasdl>       # parse + pretty-print
+//! ```
+//!
+//! `schedule` runs the pipeline up to the requested stage (default
+//! `min`, the full pipeline), prints the power-aware Gantt chart and
+//! metrics, and optionally writes an SVG and/or the schedule as
+//! PASDL. `validate` checks a hand-written schedule against a
+//! problem, reporting every violation.
+
+use pas_core::analyze;
+use pas_core::power_model::analyze_corners;
+use pas_gantt::{render_ascii, render_svg, summary_report, AsciiOptions, GanttChart, SvgOptions};
+use pas_sched::{PowerAwareScheduler, SchedulerConfig};
+use pas_spec::{parse_problem, parse_problem_full, parse_schedule, print_problem, print_schedule};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("impacct-cli: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    match command.as_str() {
+        "schedule" => cmd_schedule(&args[1..]),
+        "validate" => cmd_validate(&args[1..]),
+        "print" => cmd_print(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  impacct-cli schedule <problem.pasdl> [--stage timing|max|min] \
+     [--svg <out.svg>] [--emit-schedule] [--report] [--corners] [--restarts <n>] \
+     [--seed <n>] [--quiet]\n  \
+     impacct-cli validate <problem.pasdl> <schedule.pasdl>\n  \
+     impacct-cli print <problem.pasdl>"
+        .to_string()
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn cmd_schedule(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut stage = "min".to_string();
+    let mut svg_out = None;
+    let mut emit_schedule = false;
+    let mut report = false;
+    let mut corners = false;
+    let mut quiet = false;
+    let mut seed = None;
+    let mut restarts = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stage" => stage = it.next().ok_or("--stage needs a value")?.clone(),
+            "--svg" => svg_out = Some(it.next().ok_or("--svg needs a path")?.clone()),
+            "--emit-schedule" => emit_schedule = true,
+            "--report" => report = true,
+            "--corners" => corners = true,
+            "--quiet" => quiet = true,
+            "--restarts" => {
+                restarts = it
+                    .next()
+                    .ok_or("--restarts needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad restart count: {e}"))?
+            }
+            "--seed" => {
+                seed = Some(
+                    it.next()
+                        .ok_or("--seed needs a value")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad seed: {e}"))?,
+                )
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.ok_or_else(usage)?;
+    let parsed = parse_problem_full(&read(&path)?).map_err(|e| e.to_string())?;
+    let ranges = parsed.ranges;
+    let mut problem = parsed.problem;
+
+    let mut config = SchedulerConfig::default();
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+    let scheduler = PowerAwareScheduler::new(config);
+    let outcome = match stage.as_str() {
+        "timing" => scheduler.schedule_timing_only(&mut problem),
+        "max" => scheduler.schedule_power_valid(&mut problem),
+        "min" if restarts > 0 => scheduler.schedule_portfolio(&mut problem, restarts),
+        "min" => scheduler.schedule(&mut problem),
+        other => return Err(format!("unknown stage {other:?} (timing|max|min)")),
+    }
+    .map_err(|e| format!("scheduling failed: {e}"))?;
+
+    let chart = GanttChart::from_analysis(&problem, &outcome.schedule, &outcome.analysis);
+    if !quiet {
+        print!("{}", render_ascii(&chart, &AsciiOptions::default()));
+    }
+    if report {
+        print!("{}", summary_report(&chart));
+    }
+    if corners {
+        println!("corner analysis:");
+        for r in analyze_corners(&problem, &ranges, &outcome.schedule) {
+            let a = &r.analysis;
+            println!(
+                "  {:8} peak={} Ec={} spikes={} => {}",
+                r.corner.to_string(),
+                a.peak_power,
+                a.energy_cost,
+                a.spikes.len(),
+                if a.is_valid() { "VALID" } else { "INVALID" }
+            );
+        }
+    }
+    if let Some(svg_path) = svg_out {
+        std::fs::write(&svg_path, render_svg(&chart, &SvgOptions::default()))
+            .map_err(|e| format!("cannot write {svg_path}: {e}"))?;
+        if !quiet {
+            println!("wrote {svg_path}");
+        }
+    }
+    if emit_schedule {
+        print!(
+            "{}",
+            print_schedule(
+                &format!("{}-{stage}", problem.name()),
+                &problem,
+                &outcome.schedule
+            )
+        );
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let [problem_path, schedule_path] = args else {
+        return Err(usage());
+    };
+    let problem = parse_problem(&read(problem_path)?).map_err(|e| e.to_string())?;
+    let (name, schedule) =
+        parse_schedule(&read(schedule_path)?, &problem).map_err(|e| e.to_string())?;
+    let a = analyze(&problem, &schedule);
+    println!(
+        "schedule {name:?}: tau={} Ec={} rho={} peak={}",
+        a.finish_time, a.energy_cost, a.utilization, a.peak_power
+    );
+    for v in &a.timing_violations {
+        println!("  timing violation: {v}");
+    }
+    for s in &a.spikes {
+        println!("  power spike: {s}");
+    }
+    for g in &a.gaps {
+        println!("  power gap: {g}");
+    }
+    if a.is_valid() {
+        println!("VALID");
+        Ok(())
+    } else {
+        Err("schedule is INVALID".to_string())
+    }
+}
+
+fn cmd_print(args: &[String]) -> Result<(), String> {
+    let [path] = args else { return Err(usage()) };
+    let problem = parse_problem(&read(path)?).map_err(|e| e.to_string())?;
+    print!("{}", print_problem(&problem));
+    Ok(())
+}

@@ -1,0 +1,373 @@
+//! Lexer for the PASDL problem-description language.
+//!
+//! PASDL is a small declarative text format for power-aware
+//! scheduling problems and schedules, so instances survive outside a
+//! Rust program (the workspace deliberately has no serde format
+//! dependency). Tokens:
+//!
+//! * identifiers / keywords: `problem`, `task`, `min`, `on`, …
+//! * quoted strings: `"fig1-example"`
+//! * dimensioned values: `5s`, `14.9W`, `79.5J` (watts and joules
+//!   carry up to three decimals — the milli fixed point of
+//!   [`pas_graph::units`])
+//! * punctuation: `{`, `}`, `->`
+//! * comments: `#` to end of line.
+
+use core::fmt;
+
+/// A lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based line number for diagnostics.
+    pub line: usize,
+}
+
+/// Token payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Bare identifier or keyword.
+    Ident(String),
+    /// Double-quoted string (no escapes).
+    Str(String),
+    /// Dimensioned quantity: scaled integer + unit.
+    Value {
+        /// Magnitude in the unit's fixed-point scale (seconds for
+        /// `s`, milliwatts for `W`, millijoules for `J`).
+        scaled: i64,
+        /// The unit letter as written.
+        unit: Unit,
+    },
+    /// `->`
+    Arrow,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+}
+
+/// Units PASDL understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Seconds (integral).
+    Seconds,
+    /// Watts (three decimals → milliwatts).
+    Watts,
+    /// Joules (three decimals → millijoules).
+    Joules,
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Unit::Seconds => "s",
+            Unit::Watts => "W",
+            Unit::Joules => "J",
+        })
+    }
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes PASDL source.
+///
+/// # Errors
+/// Returns a [`LexError`] for unterminated strings, malformed
+/// numbers, unknown units, or stray characters.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut chars = source.chars().peekable();
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '{' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
+            }
+            '}' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
+            }
+            '-' => {
+                chars.next();
+                match chars.peek() {
+                    Some('>') => {
+                        chars.next();
+                        tokens.push(Token {
+                            kind: TokenKind::Arrow,
+                            line,
+                        });
+                    }
+                    Some(d) if d.is_ascii_digit() => {
+                        let tok = lex_value(&mut chars, true, line)?;
+                        tokens.push(tok);
+                    }
+                    _ => {
+                        return Err(LexError {
+                            message: "expected '->' or a negative number after '-'".into(),
+                            line,
+                        })
+                    }
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\n') | None => {
+                            return Err(LexError {
+                                message: "unterminated string".into(),
+                                line,
+                            })
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let tok = lex_value(&mut chars, false, line)?;
+                tokens.push(tok);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    line,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Lexes `123`, `14.9`, … followed by a unit letter.
+fn lex_value(
+    chars: &mut core::iter::Peekable<core::str::Chars<'_>>,
+    negative: bool,
+    line: usize,
+) -> Result<Token, LexError> {
+    let mut whole: i64 = 0;
+    while let Some(&c) = chars.peek() {
+        if let Some(d) = c.to_digit(10) {
+            whole = whole
+                .checked_mul(10)
+                .and_then(|w| w.checked_add(d as i64))
+                .ok_or_else(|| LexError {
+                    message: "number too large".into(),
+                    line,
+                })?;
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    let mut frac: i64 = 0;
+    let mut frac_digits = 0usize;
+    if chars.peek() == Some(&'.') {
+        chars.next();
+        while let Some(&c) = chars.peek() {
+            if let Some(d) = c.to_digit(10) {
+                if frac_digits >= 3 {
+                    return Err(LexError {
+                        message: "at most three decimal places are representable".into(),
+                        line,
+                    });
+                }
+                frac = frac * 10 + d as i64;
+                frac_digits += 1;
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        if frac_digits == 0 {
+            return Err(LexError {
+                message: "expected digits after decimal point".into(),
+                line,
+            });
+        }
+    }
+    let unit = match chars.next() {
+        Some('s') => Unit::Seconds,
+        Some('W') => Unit::Watts,
+        Some('J') => Unit::Joules,
+        other => {
+            return Err(LexError {
+                message: format!("expected unit (s/W/J), found {other:?}"),
+                line,
+            })
+        }
+    };
+    if unit == Unit::Seconds && frac_digits > 0 {
+        return Err(LexError {
+            message: "seconds must be integral".into(),
+            line,
+        });
+    }
+    let scale = match unit {
+        Unit::Seconds => 1,
+        Unit::Watts | Unit::Joules => 1000,
+    };
+    let mut frac_scaled = frac;
+    for _ in frac_digits..3 {
+        frac_scaled *= 10;
+    }
+    if unit == Unit::Seconds {
+        frac_scaled = 0;
+    }
+    let magnitude = whole
+        .checked_mul(scale)
+        .and_then(|w| w.checked_add(frac_scaled))
+        .ok_or_else(|| LexError {
+            message: "number too large".into(),
+            line,
+        })?;
+    let scaled = if negative { -magnitude } else { magnitude };
+    Ok(Token {
+        kind: TokenKind::Value { scaled, unit },
+        line,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_strings_and_punctuation() {
+        let k = kinds("problem \"demo\" { }");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("problem".into()),
+                TokenKind::Str("demo".into()),
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn values_scale_to_fixed_point() {
+        assert_eq!(
+            kinds("5s 14.9W 79.5J 10W"),
+            vec![
+                TokenKind::Value {
+                    scaled: 5,
+                    unit: Unit::Seconds
+                },
+                TokenKind::Value {
+                    scaled: 14_900,
+                    unit: Unit::Watts
+                },
+                TokenKind::Value {
+                    scaled: 79_500,
+                    unit: Unit::Joules
+                },
+                TokenKind::Value {
+                    scaled: 10_000,
+                    unit: Unit::Watts
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_and_negative_numbers() {
+        assert_eq!(
+            kinds("a -> b -5s"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("b".into()),
+                TokenKind::Value {
+                    scaled: -5,
+                    unit: Unit::Seconds
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines_tracked() {
+        let toks = tokenize("task a # ignored\ntask b").unwrap();
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[3].line, 2);
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = tokenize("x\n$").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize("5.1234W").is_err());
+        assert!(tokenize("5.5s").is_err(), "fractional seconds rejected");
+        assert!(tokenize("5q").is_err(), "unknown unit");
+        assert!(tokenize("5.W").is_err(), "empty fraction");
+        assert!(tokenize("- x").is_err(), "stray dash");
+    }
+}

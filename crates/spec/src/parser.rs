@@ -1,0 +1,601 @@
+//! Parser for PASDL problem and schedule documents.
+//!
+//! Grammar (statements in any order inside the block):
+//!
+//! ```text
+//! problem ::= "problem" name "{" problem-stmt* "}"
+//! problem-stmt ::=
+//!     "pmax" watts | "pmin" watts | "background" watts
+//!   | "resource" name kind?            (kind: compute|mechanical|thermal|other)
+//!   | "task" name "on" name "delay" seconds "power" watts
+//!   | "min" name "->" name seconds     (start-to-start min separation)
+//!   | "max" name "->" name seconds     (start-to-start max separation)
+//!   | "precedence" name "->" name      (after completion)
+//!
+//! schedule ::= "schedule" name "{" ("start" name seconds)* "}"
+//! ```
+//!
+//! `name` is an identifier or a quoted string.
+
+use crate::lexer::{tokenize, LexError, Token, TokenKind, Unit};
+use pas_core::power_model::PowerRange;
+use pas_core::{PowerConstraints, Problem, Schedule};
+use pas_graph::units::{Power, Time, TimeSpan};
+use pas_graph::{ConstraintGraph, Resource, ResourceId, ResourceKind, Task, TaskId};
+use std::collections::HashMap;
+
+/// A parsed problem together with its optional §4.1 power corners
+/// (`corners <min> <max>` on `task` statements; tasks without the
+/// clause get an exact range at their typical power).
+#[derive(Debug, Clone)]
+pub struct ParsedProblem {
+    /// The scheduling problem (typical powers).
+    pub problem: Problem,
+    /// Per-task corners, indexed by [`TaskId`].
+    pub ranges: Vec<PowerRange>,
+}
+
+/// A parse failure with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line number (0 for end-of-input errors).
+    pub line: usize,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(source: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: tokenize(source)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn line(&self) -> usize {
+        self.peek().map(|t| t.line).unwrap_or(0)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) if s == kw => Ok(()),
+            other => Err(ParseError {
+                message: format!("expected keyword {kw:?}, found {other:?}"),
+                line: other.map(|t| t.line).unwrap_or(0),
+            }),
+        }
+    }
+
+    fn expect_name(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Ident(s) | TokenKind::Str(s),
+                ..
+            }) => Ok(s),
+            other => Err(ParseError {
+                message: format!("expected a name, found {other:?}"),
+                line: other.map(|t| t.line).unwrap_or(0),
+            }),
+        }
+    }
+
+    fn expect_lbrace(&mut self) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::LBrace,
+                ..
+            }) => Ok(()),
+            other => Err(ParseError {
+                message: format!("expected '{{', found {other:?}"),
+                line: other.map(|t| t.line).unwrap_or(0),
+            }),
+        }
+    }
+
+    fn expect_arrow(&mut self) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Arrow,
+                ..
+            }) => Ok(()),
+            other => Err(ParseError {
+                message: format!("expected '->', found {other:?}"),
+                line: other.map(|t| t.line).unwrap_or(0),
+            }),
+        }
+    }
+
+    fn expect_value(&mut self, unit: Unit) -> Result<i64, ParseError> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Value { scaled, unit: u },
+                line,
+            }) => {
+                if u == unit {
+                    Ok(scaled)
+                } else {
+                    Err(ParseError {
+                        message: format!("expected a value in {unit}, found {u}"),
+                        line,
+                    })
+                }
+            }
+            other => Err(ParseError {
+                message: format!("expected a value in {unit}, found {other:?}"),
+                line: other.map(|t| t.line).unwrap_or(0),
+            }),
+        }
+    }
+}
+
+/// Parses a PASDL `problem` document.
+///
+/// # Errors
+/// Returns a [`ParseError`] with the offending line for syntax
+/// errors, duplicate or unknown names, and missing `pmax`.
+///
+/// # Examples
+/// ```
+/// let src = r#"
+/// problem "demo" {
+///   pmax 16W
+///   pmin 14W
+///   resource A compute
+///   task a on A delay 5s power 6W
+///   task b on A delay 10s power 6W
+///   precedence a -> b
+/// }
+/// "#;
+/// let problem = pas_spec::parse_problem(src)?;
+/// assert_eq!(problem.graph().num_tasks(), 2);
+/// # Ok::<(), pas_spec::ParseError>(())
+/// ```
+pub fn parse_problem(source: &str) -> Result<Problem, ParseError> {
+    parse_problem_full(source).map(|parsed| parsed.problem)
+}
+
+/// Parses a PASDL `problem` document keeping the per-task power
+/// corners (see [`ParsedProblem`]).
+///
+/// # Errors
+/// Same conditions as [`parse_problem`], plus invalid corners
+/// (`min > power` or `power > max`).
+pub fn parse_problem_full(source: &str) -> Result<ParsedProblem, ParseError> {
+    let mut p = Parser::new(source)?;
+    p.expect_keyword("problem")?;
+    let name = p.expect_name()?;
+    p.expect_lbrace()?;
+
+    let mut graph = ConstraintGraph::new();
+    let mut resources: HashMap<String, ResourceId> = HashMap::new();
+    let mut tasks: HashMap<String, TaskId> = HashMap::new();
+    let mut ranges: Vec<PowerRange> = Vec::new();
+    let mut p_max: Option<Power> = None;
+    let mut p_min = Power::ZERO;
+    let mut background = Power::ZERO;
+
+    loop {
+        let tok = match p.next() {
+            None => return p.err("unexpected end of input: missing '}'"),
+            Some(t) => t,
+        };
+        let stmt = match tok.kind {
+            TokenKind::RBrace => break,
+            TokenKind::Ident(s) => s,
+            other => {
+                return Err(ParseError {
+                    message: format!("expected a statement, found {other:?}"),
+                    line: tok.line,
+                })
+            }
+        };
+        match stmt.as_str() {
+            "pmax" => p_max = Some(Power::from_watts_milli(p.expect_value(Unit::Watts)?)),
+            "pmin" => p_min = Power::from_watts_milli(p.expect_value(Unit::Watts)?),
+            "background" => background = Power::from_watts_milli(p.expect_value(Unit::Watts)?),
+            "resource" => {
+                let rname = p.expect_name()?;
+                let kind = match p.peek() {
+                    Some(Token {
+                        kind: TokenKind::Ident(k),
+                        ..
+                    }) if ["compute", "mechanical", "thermal", "other"].contains(&k.as_str()) => {
+                        let k = k.clone();
+                        p.next();
+                        match k.as_str() {
+                            "compute" => ResourceKind::Compute,
+                            "mechanical" => ResourceKind::Mechanical,
+                            "thermal" => ResourceKind::Thermal,
+                            _ => ResourceKind::Other,
+                        }
+                    }
+                    _ => ResourceKind::Other,
+                };
+                if resources.contains_key(&rname) {
+                    return Err(ParseError {
+                        message: format!("duplicate resource {rname:?}"),
+                        line: tok.line,
+                    });
+                }
+                let id = graph.add_resource(Resource::new(rname.clone(), kind));
+                resources.insert(rname, id);
+            }
+            "task" => {
+                let tname = p.expect_name()?;
+                p.expect_keyword("on")?;
+                let rname = p.expect_name()?;
+                p.expect_keyword("delay")?;
+                let delay = p.expect_value(Unit::Seconds)?;
+                p.expect_keyword("power")?;
+                let power = p.expect_value(Unit::Watts)?;
+                let &rid = resources.get(&rname).ok_or_else(|| ParseError {
+                    message: format!("unknown resource {rname:?}"),
+                    line: tok.line,
+                })?;
+                if tasks.contains_key(&tname) {
+                    return Err(ParseError {
+                        message: format!("duplicate task {tname:?}"),
+                        line: tok.line,
+                    });
+                }
+                if delay <= 0 {
+                    return Err(ParseError {
+                        message: format!("task {tname:?} needs a positive delay"),
+                        line: tok.line,
+                    });
+                }
+                if power < 0 {
+                    return Err(ParseError {
+                        message: format!("task {tname:?} needs non-negative power"),
+                        line: tok.line,
+                    });
+                }
+                // Optional §4.1 corners: `corners <minW> <maxW>`.
+                let range = match p.peek() {
+                    Some(Token {
+                        kind: TokenKind::Ident(k),
+                        ..
+                    }) if k == "corners" => {
+                        p.next();
+                        let min = p.expect_value(Unit::Watts)?;
+                        let max = p.expect_value(Unit::Watts)?;
+                        if min < 0 || min > power || power > max {
+                            return Err(ParseError {
+                                message: format!(
+                                    "task {tname:?} corners must satisfy 0 <= min <= power <= max"
+                                ),
+                                line: tok.line,
+                            });
+                        }
+                        PowerRange::new(
+                            Power::from_watts_milli(min),
+                            Power::from_watts_milli(power),
+                            Power::from_watts_milli(max),
+                        )
+                    }
+                    _ => PowerRange::exact(Power::from_watts_milli(power)),
+                };
+                let id = graph.add_task(Task::new(
+                    tname.clone(),
+                    rid,
+                    TimeSpan::from_secs(delay),
+                    Power::from_watts_milli(power),
+                ));
+                debug_assert_eq!(id.index(), ranges.len());
+                ranges.push(range);
+                tasks.insert(tname, id);
+            }
+            "min" | "max" | "precedence" => {
+                let from = p.expect_name()?;
+                p.expect_arrow()?;
+                let to = p.expect_name()?;
+                let lookup = |n: &str| {
+                    tasks.get(n).copied().ok_or_else(|| ParseError {
+                        message: format!("unknown task {n:?}"),
+                        line: tok.line,
+                    })
+                };
+                let (u, v) = (lookup(&from)?, lookup(&to)?);
+                match stmt.as_str() {
+                    "min" => {
+                        let sep = p.expect_value(Unit::Seconds)?;
+                        graph.min_separation(u, v, TimeSpan::from_secs(sep));
+                    }
+                    "max" => {
+                        let sep = p.expect_value(Unit::Seconds)?;
+                        if sep < 0 {
+                            return Err(ParseError {
+                                message: "max separation must be non-negative".into(),
+                                line: tok.line,
+                            });
+                        }
+                        graph.max_separation(u, v, TimeSpan::from_secs(sep));
+                    }
+                    _ => {
+                        graph.precedence(u, v);
+                    }
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unknown statement {other:?}"),
+                    line: tok.line,
+                })
+            }
+        }
+    }
+
+    if p.peek().is_some() {
+        return p.err("trailing input after the problem block");
+    }
+    let Some(p_max) = p_max else {
+        return Err(ParseError {
+            message: "missing required 'pmax' statement".into(),
+            line: 0,
+        });
+    };
+    if p_min > p_max {
+        return Err(ParseError {
+            message: "pmin must not exceed pmax".into(),
+            line: 0,
+        });
+    }
+    Ok(ParsedProblem {
+        problem: Problem::with_background(
+            name,
+            graph,
+            PowerConstraints::new(p_max, p_min),
+            background,
+        ),
+        ranges,
+    })
+}
+
+/// Parses a PASDL `schedule` document against the problem whose tasks
+/// it names. Every task of `problem` must receive exactly one start.
+///
+/// # Errors
+/// Returns a [`ParseError`] for syntax errors, unknown task names,
+/// duplicates, or missing tasks.
+pub fn parse_schedule(source: &str, problem: &Problem) -> Result<(String, Schedule), ParseError> {
+    let mut p = Parser::new(source)?;
+    p.expect_keyword("schedule")?;
+    let name = p.expect_name()?;
+    p.expect_lbrace()?;
+
+    let graph = problem.graph();
+    let mut starts: Vec<Option<Time>> = vec![None; graph.num_tasks()];
+    loop {
+        let tok = match p.next() {
+            None => return p.err("unexpected end of input: missing '}'"),
+            Some(t) => t,
+        };
+        match tok.kind {
+            TokenKind::RBrace => break,
+            TokenKind::Ident(s) if s == "start" => {
+                let tname = p.expect_name()?;
+                let secs = p.expect_value(Unit::Seconds)?;
+                let id = graph.task_by_name(&tname).ok_or_else(|| ParseError {
+                    message: format!("unknown task {tname:?}"),
+                    line: tok.line,
+                })?;
+                if starts[id.index()].is_some() {
+                    return Err(ParseError {
+                        message: format!("duplicate start for task {tname:?}"),
+                        line: tok.line,
+                    });
+                }
+                starts[id.index()] = Some(Time::from_secs(secs));
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("expected 'start' statement, found {other:?}"),
+                    line: tok.line,
+                })
+            }
+        }
+    }
+
+    let mut resolved = Vec::with_capacity(starts.len());
+    for (i, s) in starts.into_iter().enumerate() {
+        match s {
+            Some(t) => resolved.push(t),
+            None => {
+                return Err(ParseError {
+                    message: format!(
+                        "task {:?} has no start time",
+                        graph.task(TaskId::from_index(i)).name()
+                    ),
+                    line: 0,
+                })
+            }
+        }
+    }
+    Ok((name, Schedule::from_starts(resolved)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = r#"
+# A small two-resource problem.
+problem "demo" {
+  pmax 16W
+  pmin 14W
+  background 2.5W
+  resource A compute
+  resource B mechanical
+  task a on A delay 5s power 6W
+  task b on A delay 10s power 6W
+  task c on B delay 10s power 8W
+  precedence a -> b
+  min a -> c 5s
+  max a -> c 50s
+}
+"#;
+
+    #[test]
+    fn parses_the_demo_problem() {
+        let p = parse_problem(DEMO).unwrap();
+        assert_eq!(p.name(), "demo");
+        assert_eq!(p.graph().num_tasks(), 3);
+        assert_eq!(p.graph().num_resources(), 2);
+        assert_eq!(p.constraints().p_max(), Power::from_watts(16));
+        assert_eq!(p.background_power(), Power::from_watts_milli(2_500));
+        let a = p.graph().task_by_name("a").unwrap();
+        assert_eq!(p.graph().task(a).delay(), TimeSpan::from_secs(5));
+        // precedence + min + max = 3 non-release edges.
+        let user_edges = p
+            .graph()
+            .edges()
+            .filter(|(_, e)| e.kind() != pas_graph::EdgeKind::Release)
+            .count();
+        assert_eq!(user_edges, 3);
+    }
+
+    #[test]
+    fn schedule_round_trip() {
+        let p = parse_problem(DEMO).unwrap();
+        let src = r#"schedule "hand" { start a 0s start b 5s start c 5s }"#;
+        let (name, s) = parse_schedule(src, &p).unwrap();
+        assert_eq!(name, "hand");
+        assert_eq!(
+            s.start(p.graph().task_by_name("c").unwrap()),
+            Time::from_secs(5)
+        );
+        assert!(pas_core::is_time_valid(p.graph(), &s));
+    }
+
+    #[test]
+    fn error_cases_have_useful_lines() {
+        for (src, needle) in [
+            ("problem \"x\" { pmin 5W }", "pmax"),
+            ("problem \"x\" { pmax 5W pmin 6W }", "pmin must not exceed"),
+            (
+                "problem \"x\" { task a on Z delay 1s power 0W pmax 1W }",
+                "unknown resource",
+            ),
+            ("problem \"x\" { pmax 1W min a -> b 1s }", "unknown task"),
+            ("problem \"x\" { pmax 1W frobnicate }", "unknown statement"),
+            ("problem \"x\" { pmax 1s }", "expected a value in W"),
+            ("problem \"x\" {", "missing '}'"),
+            ("problem \"x\" { pmax 1W } extra", "trailing input"),
+        ] {
+            let err = parse_problem(src).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{src:?} → {err} (wanted {needle:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let src = r#"problem "x" { pmax 1W resource A resource A }"#;
+        assert!(parse_problem(src)
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+        let src = r#"problem "x" {
+          pmax 9W resource A
+          task a on A delay 1s power 1W
+          task a on A delay 1s power 1W }"#;
+        assert!(parse_problem(src)
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn schedule_requires_every_task() {
+        let p = parse_problem(DEMO).unwrap();
+        let err = parse_schedule(r#"schedule "s" { start a 0s }"#, &p).unwrap_err();
+        assert!(err.message.contains("no start time"));
+        let err = parse_schedule(r#"schedule "s" { start a 0s start a 1s }"#, &p).unwrap_err();
+        assert!(err.message.contains("duplicate start"));
+    }
+
+    #[test]
+    fn corners_parse_and_default_to_exact() {
+        let src = r#"problem "c" {
+          pmax 20W
+          resource A
+          task hot on A delay 2s power 6W corners 5W 8W
+          task flat on A delay 2s power 3W
+        }"#;
+        let parsed = crate::parser::parse_problem_full(src).unwrap();
+        use pas_core::power_model::Corner;
+        assert_eq!(parsed.ranges.len(), 2);
+        assert_eq!(parsed.ranges[0].at(Corner::Min), Power::from_watts(5));
+        assert_eq!(parsed.ranges[0].at(Corner::Max), Power::from_watts(8));
+        assert_eq!(parsed.ranges[1].at(Corner::Min), Power::from_watts(3));
+        assert_eq!(parsed.ranges[1].at(Corner::Max), Power::from_watts(3));
+    }
+
+    #[test]
+    fn invalid_corners_rejected() {
+        let src = r#"problem "c" {
+          pmax 20W
+          resource A
+          task bad on A delay 2s power 6W corners 7W 8W
+        }"#;
+        let err = crate::parser::parse_problem_full(src).unwrap_err();
+        assert!(err.message.contains("corners"));
+    }
+
+    #[test]
+    fn quoted_task_names_supported() {
+        let src = r#"problem "q" {
+          pmax 5W
+          resource "heater #1" thermal
+          task "warm up" on "heater #1" delay 3s power 2W
+        }"#;
+        let p = parse_problem(src).unwrap();
+        assert!(p.graph().task_by_name("warm up").is_some());
+    }
+}

@@ -1,0 +1,226 @@
+//! Integration tests for the `impacct-cli` binary: real process
+//! invocations over temp files.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const PROBLEM: &str = r#"
+problem "cli-demo" {
+  pmax 9W
+  pmin 6W
+  background 1W
+  resource cpu compute
+  resource radio other
+  task sense on cpu delay 4s power 3W
+  task uplink on radio delay 6s power 5W
+  precedence sense -> uplink
+  max sense -> uplink 30s
+}
+"#;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_impacct-cli"))
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("impacct-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    cli().args(args).output().expect("binary should spawn")
+}
+
+#[test]
+fn schedule_prints_chart_and_metrics() {
+    let problem = write_temp("p1.pasdl", PROBLEM);
+    let out = run(&["schedule", problem.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("== cli-demo =="));
+    assert!(stdout.contains("Pmax"));
+    assert!(stdout.contains("rho="));
+}
+
+#[test]
+fn schedule_emits_parseable_schedule_and_svg() {
+    let problem = write_temp("p2.pasdl", PROBLEM);
+    let svg = problem.with_extension("svg");
+    let out = run(&[
+        "schedule",
+        problem.to_str().unwrap(),
+        "--quiet",
+        "--emit-schedule",
+        "--svg",
+        svg.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.starts_with("schedule "),
+        "emitted PASDL schedule: {stdout}"
+    );
+
+    // The emitted schedule validates cleanly through the validate
+    // subcommand.
+    let sched_path = write_temp("s2.pasdl", &stdout);
+    let v = run(&[
+        "validate",
+        problem.to_str().unwrap(),
+        sched_path.to_str().unwrap(),
+    ]);
+    assert!(v.status.success(), "{}", String::from_utf8_lossy(&v.stderr));
+    assert!(String::from_utf8(v.stdout).unwrap().contains("VALID"));
+
+    // And the SVG landed on disk.
+    let svg_text = std::fs::read_to_string(&svg).unwrap();
+    assert!(svg_text.starts_with("<svg"));
+}
+
+#[test]
+fn report_flag_prints_the_summary_tables() {
+    let problem = write_temp("p7.pasdl", PROBLEM);
+    let out = run(&["schedule", problem.to_str().unwrap(), "--quiet", "--report"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("RESOURCE"));
+    assert!(stdout.contains("uplink"));
+    assert!(
+        !stdout.contains("== cli-demo =="),
+        "--quiet hides the chart"
+    );
+}
+
+#[test]
+fn validate_rejects_a_broken_schedule() {
+    let problem = write_temp("p3.pasdl", PROBLEM);
+    // uplink before sense completes: invalid.
+    let schedule = write_temp(
+        "s3.pasdl",
+        "schedule \"bad\" { start sense 0s start uplink 1s }",
+    );
+    let out = run(&[
+        "validate",
+        problem.to_str().unwrap(),
+        schedule.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("timing violation"));
+}
+
+#[test]
+fn print_round_trips_the_problem() {
+    let problem = write_temp("p4.pasdl", PROBLEM);
+    let out = run(&["print", problem.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("problem \"cli-demo\""));
+    // Printing the printed output parses again (fixpoint).
+    let round = write_temp("p4b.pasdl", &text);
+    let out2 = run(&["print", round.to_str().unwrap()]);
+    assert!(out2.status.success());
+    assert_eq!(text, String::from_utf8(out2.stdout).unwrap());
+}
+
+#[test]
+fn stage_selection_and_errors() {
+    let problem = write_temp("p5.pasdl", PROBLEM);
+    for stage in ["timing", "max", "min"] {
+        let out = run(&[
+            "schedule",
+            problem.to_str().unwrap(),
+            "--stage",
+            stage,
+            "--quiet",
+        ]);
+        assert!(out.status.success(), "stage {stage}");
+    }
+    let bad = run(&["schedule", problem.to_str().unwrap(), "--stage", "bogus"]);
+    assert!(!bad.status.success());
+
+    let missing = run(&["schedule", "/nonexistent/file.pasdl"]);
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("cannot read"));
+
+    let nocmd = run(&["frobnicate"]);
+    assert!(!nocmd.status.success());
+    assert!(String::from_utf8_lossy(&nocmd.stderr).contains("unknown command"));
+
+    let help = run(&["--help"]);
+    assert!(help.status.success());
+}
+
+#[test]
+fn corners_flag_runs_corner_analysis() {
+    let problem = write_temp(
+        "p8.pasdl",
+        r#"problem "corners" {
+          pmax 9W
+          pmin 5W
+          resource cpu compute
+          resource radio other
+          task sense on cpu delay 4s power 3W corners 2W 5W
+          task uplink on radio delay 6s power 5W corners 4W 7W
+          precedence sense -> uplink
+        }"#,
+    );
+    let out = run(&[
+        "schedule",
+        problem.to_str().unwrap(),
+        "--quiet",
+        "--corners",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("corner analysis:"));
+    assert!(stdout.contains("min"));
+    assert!(stdout.contains("max"));
+    // Tasks never overlap (precedence), so even the max corner (7 W)
+    // fits the 9 W budget.
+    assert_eq!(stdout.matches("VALID").count(), 3, "{stdout}");
+}
+
+#[test]
+fn restarts_flag_runs_the_portfolio() {
+    let problem = write_temp("p9.pasdl", PROBLEM);
+    let out = run(&[
+        "schedule",
+        problem.to_str().unwrap(),
+        "--quiet",
+        "--report",
+        "--restarts",
+        "4",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8(out.stdout).unwrap().contains("tau="));
+    let bad = run(&["schedule", problem.to_str().unwrap(), "--restarts", "x"]);
+    assert!(!bad.status.success());
+}
+
+#[test]
+fn unschedulable_problem_reports_failure() {
+    // A single 12 W task under a 9 W budget can never fit.
+    let problem = write_temp(
+        "p6.pasdl",
+        "problem \"hot\" { pmax 9W resource r task t on r delay 2s power 12W }",
+    );
+    let out = run(&["schedule", problem.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("scheduling failed"));
+}

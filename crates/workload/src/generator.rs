@@ -1,0 +1,322 @@
+//! Seeded random constraint-graph generators.
+//!
+//! Benchmarks and property tests need families of problems whose size
+//! and tightness can be dialed; real designs like the rover are too
+//! small to measure scaling. All generators are deterministic in the
+//! seed and construct instances that are timing-feasible by
+//! construction (min separations follow a topological order; max
+//! windows are slackened by a configurable margin above the ASAP
+//! distance).
+
+use pas_core::{PowerConstraints, Problem};
+use pas_graph::longest_path::single_source_longest_paths;
+use pas_graph::units::{Power, TimeSpan};
+use pas_graph::{ConstraintGraph, NodeId, Resource, ResourceKind, Task, TaskId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The macro-structure of a generated task graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Topology {
+    /// Independent layers; edges only between consecutive layers
+    /// (classic synthetic-DAG shape).
+    Layered {
+        /// Number of layers.
+        layers: usize,
+    },
+    /// Parallel pipelines with occasional cross-chain separations
+    /// (rover-like shape).
+    Chains {
+        /// Number of parallel chains.
+        chains: usize,
+    },
+    /// Arbitrary forward edges over a random topological order.
+    Random,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// RNG seed; equal configs generate equal problems.
+    pub seed: u64,
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of execution resources tasks are mapped onto.
+    pub resources: usize,
+    /// Graph shape.
+    pub topology: Topology,
+    /// Task delay range, seconds (inclusive).
+    pub delay_secs: (i64, i64),
+    /// Task power range, milliwatts (inclusive).
+    pub power_milliwatts: (i64, i64),
+    /// Probability of a min-separation edge between eligible pairs.
+    pub min_edge_probability: f64,
+    /// Probability of adding a max window on top of a min edge.
+    pub max_window_probability: f64,
+    /// Extra slack added to every max window beyond the ASAP
+    /// distance, as a multiple of the mean task delay. Larger margins
+    /// make instances easier.
+    pub window_margin: f64,
+    /// `P_max` as a multiple of the mean instantaneous power of a
+    /// perfectly balanced schedule (1.0 is very tight, 3.0 is loose).
+    pub p_max_factor: f64,
+    /// `P_min` as a fraction of the generated `P_max`.
+    pub p_min_fraction: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 42,
+            tasks: 24,
+            resources: 6,
+            topology: Topology::Layered { layers: 4 },
+            delay_secs: (2, 10),
+            power_milliwatts: (1_000, 8_000),
+            min_edge_probability: 0.25,
+            max_window_probability: 0.3,
+            window_margin: 4.0,
+            p_max_factor: 1.8,
+            p_min_fraction: 0.6,
+        }
+    }
+}
+
+/// Generates a scheduling problem from `config`.
+///
+/// The instance is guaranteed feasible for the *timing* constraints
+/// (the ASAP schedule of the un-serialized graph satisfies every
+/// generated window with margin); power-schedulability depends on
+/// `p_max_factor` and is intentionally not guaranteed — benches also
+/// exercise the failure path.
+///
+/// # Panics
+/// Panics if ranges are empty or probabilities are outside `[0, 1]`.
+///
+/// # Examples
+/// ```
+/// use pas_workload::{generate, GeneratorConfig};
+/// let p = generate(&GeneratorConfig { tasks: 12, ..Default::default() });
+/// assert_eq!(p.graph().num_tasks(), 12);
+/// ```
+pub fn generate(config: &GeneratorConfig) -> Problem {
+    assert!(config.tasks > 0, "need at least one task");
+    assert!(config.resources > 0, "need at least one resource");
+    assert!(config.delay_secs.0 >= 1 && config.delay_secs.0 <= config.delay_secs.1);
+    assert!(config.power_milliwatts.0 >= 0);
+    assert!(config.power_milliwatts.0 <= config.power_milliwatts.1);
+    for p in [
+        config.min_edge_probability,
+        config.max_window_probability,
+        config.p_min_fraction,
+    ] {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut g = ConstraintGraph::new();
+    let resources: Vec<_> = (0..config.resources)
+        .map(|i| {
+            let kind = match i % 3 {
+                0 => ResourceKind::Compute,
+                1 => ResourceKind::Mechanical,
+                _ => ResourceKind::Thermal,
+            };
+            g.add_resource(Resource::new(format!("R{i}"), kind))
+        })
+        .collect();
+
+    let tasks: Vec<TaskId> = (0..config.tasks)
+        .map(|i| {
+            let delay = rng.gen_range(config.delay_secs.0..=config.delay_secs.1);
+            let power = rng.gen_range(config.power_milliwatts.0..=config.power_milliwatts.1);
+            let resource = resources[rng.gen_range(0..resources.len())];
+            g.add_task(Task::new(
+                format!("t{i}"),
+                resource,
+                TimeSpan::from_secs(delay),
+                Power::from_watts_milli(power),
+            ))
+        })
+        .collect();
+
+    // Min-separation skeleton along the (index) topological order.
+    let mut min_pairs: Vec<(TaskId, TaskId)> = Vec::new();
+    match config.topology {
+        Topology::Layered { layers } => {
+            let layers = layers.max(1);
+            let per = config.tasks.div_ceil(layers);
+            for (i, &u) in tasks.iter().enumerate() {
+                let layer = i / per;
+                for (j, &v) in tasks.iter().enumerate() {
+                    if j / per == layer + 1 && rng.gen_bool(config.min_edge_probability) {
+                        min_pairs.push((u, v));
+                    }
+                }
+            }
+        }
+        Topology::Chains { chains } => {
+            let chains = chains.max(1);
+            // Task i belongs to chain i % chains; chain edges always
+            // exist, cross edges with probability.
+            for c in 0..chains {
+                let members: Vec<_> = (c..config.tasks).step_by(chains).collect();
+                for w in members.windows(2) {
+                    min_pairs.push((tasks[w[0]], tasks[w[1]]));
+                }
+            }
+            for i in 0..config.tasks {
+                for j in (i + 1)..config.tasks {
+                    if i % chains != j % chains && rng.gen_bool(config.min_edge_probability / 4.0) {
+                        min_pairs.push((tasks[i], tasks[j]));
+                    }
+                }
+            }
+        }
+        Topology::Random => {
+            for i in 0..config.tasks {
+                for j in (i + 1)..config.tasks {
+                    if rng.gen_bool(config.min_edge_probability) {
+                        min_pairs.push((tasks[i], tasks[j]));
+                    }
+                }
+            }
+        }
+    }
+
+    for &(u, v) in &min_pairs {
+        let d = g.task(u).delay();
+        // Separation between "immediately after" and a small stretch.
+        let extra = rng.gen_range(0..=config.delay_secs.1);
+        g.min_separation(u, v, d + TimeSpan::from_secs(extra));
+    }
+
+    // Max windows over the ASAP distances, with margin.
+    let asap = single_source_longest_paths(&g, NodeId::ANCHOR)
+        .expect("forward-only min separations cannot cycle");
+    let mean_delay = (config.delay_secs.0 + config.delay_secs.1) / 2;
+    let margin = (config.window_margin * mean_delay as f64).ceil() as i64;
+    for &(u, v) in &min_pairs {
+        if rng.gen_bool(config.max_window_probability) {
+            let dist = asap.start_time(v) - asap.start_time(u);
+            g.max_separation(u, v, dist + TimeSpan::from_secs(margin.max(1)));
+        }
+    }
+
+    // Power budget: mean power of a balanced schedule = total energy
+    // over the critical-path-ish span.
+    let total_energy: i64 = g.tasks().map(|(_, t)| t.energy().as_millijoules()).sum();
+    let span: i64 = g
+        .task_ids()
+        .map(|t| (asap.start_time(t) + g.task(t).delay()).as_secs())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let mean_power = total_energy / span;
+    let biggest_task = g
+        .tasks()
+        .map(|(_, t)| t.power().as_milliwatts())
+        .max()
+        .unwrap_or(0);
+    // Never below the largest single task: those instances are
+    // trivially unschedulable.
+    let p_max = ((mean_power as f64 * config.p_max_factor) as i64).max(biggest_task);
+    let p_min = (p_max as f64 * config.p_min_fraction) as i64;
+    let constraints = PowerConstraints::new(
+        Power::from_watts_milli(p_max),
+        Power::from_watts_milli(p_min),
+    );
+
+    Problem::new(
+        format!(
+            "synthetic-{:?}-{}t-seed{}",
+            config.topology, config.tasks, config.seed
+        ),
+        g,
+        constraints,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_core::Schedule;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = GeneratorConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.graph().num_edges(), b.graph().num_edges());
+        assert_eq!(a.constraints(), b.constraints());
+        let c = generate(&GeneratorConfig { seed: 7, ..cfg });
+        // Overwhelmingly likely to differ.
+        assert!(
+            a.graph().num_edges() != c.graph().num_edges() || a.constraints() != c.constraints()
+        );
+    }
+
+    #[test]
+    fn all_topologies_are_timing_feasible() {
+        for topology in [
+            Topology::Layered { layers: 5 },
+            Topology::Chains { chains: 4 },
+            Topology::Random,
+        ] {
+            let p = generate(&GeneratorConfig {
+                topology,
+                tasks: 30,
+                ..Default::default()
+            });
+            let lp = single_source_longest_paths(p.graph(), NodeId::ANCHOR);
+            assert!(lp.is_ok(), "{topology:?} generated an infeasible graph");
+            // And the windows hold at ASAP (resource overlaps are
+            // expected — serialization is the scheduler's job).
+            let lp = lp.unwrap();
+            let s = Schedule::from_longest_paths(p.graph(), &lp);
+            let edge_violations = pas_core::time_violations(p.graph(), &s)
+                .into_iter()
+                .filter(|v| matches!(v, pas_core::TimingViolation::Edge { .. }))
+                .count();
+            assert_eq!(edge_violations, 0, "{topology:?} ASAP violates windows");
+        }
+    }
+
+    #[test]
+    fn p_max_is_at_least_the_biggest_task() {
+        let p = generate(&GeneratorConfig {
+            p_max_factor: 0.01, // absurdly tight
+            ..Default::default()
+        });
+        let biggest = p.graph().tasks().map(|(_, t)| t.power()).max().unwrap();
+        assert!(p.constraints().p_max() >= biggest);
+    }
+
+    #[test]
+    fn chains_topology_contains_the_chain_edges() {
+        let p = generate(&GeneratorConfig {
+            topology: Topology::Chains { chains: 3 },
+            tasks: 12,
+            min_edge_probability: 0.0,
+            max_window_probability: 0.0,
+            ..Default::default()
+        });
+        // 3 chains of 4 tasks: 3 × 3 min edges + 12 release edges.
+        let min_edges = p
+            .graph()
+            .edges()
+            .filter(|(_, e)| e.kind() == pas_graph::EdgeKind::MinSeparation)
+            .count();
+        assert_eq!(min_edges, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_rejected() {
+        let _ = generate(&GeneratorConfig {
+            tasks: 0,
+            ..Default::default()
+        });
+    }
+}

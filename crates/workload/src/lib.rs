@@ -1,0 +1,33 @@
+//! # pas-workload — synthetic workloads for power-aware scheduling
+//!
+//! Seeded, deterministic constraint-graph generators
+//! ([`generate`]/[`GeneratorConfig`]) in three shapes — layered DAGs,
+//! rover-like chain pipelines, and random forward graphs — plus the
+//! named [suites](crate::scaling_suite) the benchmark harness sweeps.
+//! Instances are timing-feasible by construction; power tightness is
+//! a dial (`p_max_factor`) so benches can explore the easy→hard
+//! spectrum including scheduler failure paths.
+//!
+//! ## Example
+//!
+//! ```
+//! use pas_sched::PowerAwareScheduler;
+//! use pas_workload::{generate, GeneratorConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut problem = generate(&GeneratorConfig { tasks: 16, ..Default::default() });
+//! let outcome = PowerAwareScheduler::default().schedule(&mut problem)?;
+//! assert!(outcome.analysis.is_valid());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+pub mod strategies;
+mod suite;
+
+pub use generator::{generate, GeneratorConfig, Topology};
+pub use suite::{chains_suite, scaling_suite, tightness_suite, Suite, SCALING_SIZES};

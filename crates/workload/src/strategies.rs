@@ -1,0 +1,80 @@
+//! Proptest strategies over generator configurations and problems,
+//! so downstream crates can property-test against the same instance
+//! distribution the benches use.
+
+use crate::generator::{generate, GeneratorConfig, Topology};
+use pas_core::Problem;
+use proptest::prelude::*;
+
+/// Strategy over reasonable [`Topology`] values.
+pub fn topologies() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (1usize..6).prop_map(|layers| Topology::Layered { layers }),
+        (1usize..5).prop_map(|chains| Topology::Chains { chains }),
+        Just(Topology::Random),
+    ]
+}
+
+/// Strategy over full generator configurations with up to
+/// `max_tasks` tasks. Instances are timing-feasible by construction;
+/// power tightness spans easy (`p_max_factor` near 3) to hard (near
+/// 1.2).
+pub fn generator_configs(max_tasks: usize) -> impl Strategy<Value = GeneratorConfig> {
+    let max_tasks = max_tasks.max(2);
+    (
+        any::<u64>(),
+        2usize..=max_tasks,
+        1usize..6,
+        topologies(),
+        0.0f64..0.5,
+        0.0f64..0.5,
+        1.2f64..3.0,
+        0.0f64..1.0,
+    )
+        .prop_map(
+            |(seed, tasks, resources, topology, min_p, max_p, p_max_factor, p_min_fraction)| {
+                GeneratorConfig {
+                    seed,
+                    tasks,
+                    resources,
+                    topology,
+                    min_edge_probability: min_p,
+                    max_window_probability: max_p,
+                    window_margin: 6.0,
+                    p_max_factor,
+                    p_min_fraction,
+                    ..Default::default()
+                }
+            },
+        )
+}
+
+/// Strategy over generated [`Problem`]s directly.
+pub fn problems(max_tasks: usize) -> impl Strategy<Value = Problem> {
+    generator_configs(max_tasks).prop_map(|cfg| generate(&cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_graph::longest_path::single_source_longest_paths;
+    use pas_graph::NodeId;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_problems_are_timing_feasible(problem in problems(20)) {
+            prop_assert!(
+                single_source_longest_paths(problem.graph(), NodeId::ANCHOR).is_ok()
+            );
+            prop_assert!(problem.graph().num_tasks() >= 2);
+        }
+
+        #[test]
+        fn configs_respect_the_task_bound(cfg in generator_configs(12)) {
+            prop_assert!(cfg.tasks <= 12);
+            prop_assert!((0.0..=1.0).contains(&cfg.min_edge_probability));
+        }
+    }
+}

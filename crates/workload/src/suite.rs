@@ -1,0 +1,108 @@
+//! Named workload suites used by the benchmark harness.
+
+use crate::generator::{generate, GeneratorConfig, Topology};
+use pas_core::Problem;
+
+/// A named family of problems of increasing size.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    /// Suite name (appears in Criterion group names).
+    pub name: &'static str,
+    /// The problems, smallest first.
+    pub problems: Vec<Problem>,
+}
+
+/// Sizes used by the scaling suite.
+pub const SCALING_SIZES: [usize; 5] = [8, 16, 32, 64, 128];
+
+/// Problems of growing task count with proportional resources —
+/// measures scheduler runtime scaling.
+pub fn scaling_suite(seed: u64) -> Suite {
+    let problems = SCALING_SIZES
+        .iter()
+        .map(|&tasks| {
+            generate(&GeneratorConfig {
+                seed: seed ^ tasks as u64,
+                tasks,
+                resources: (tasks / 4).max(2),
+                topology: Topology::Layered {
+                    layers: (tasks / 6).max(2),
+                },
+                ..Default::default()
+            })
+        })
+        .collect();
+    Suite {
+        name: "scaling",
+        problems,
+    }
+}
+
+/// Rover-like chain workloads of growing width — stresses the
+/// serialization search.
+pub fn chains_suite(seed: u64) -> Suite {
+    let problems = [2usize, 4, 8]
+        .iter()
+        .map(|&chains| {
+            generate(&GeneratorConfig {
+                seed: seed ^ (chains as u64) << 8,
+                tasks: chains * 6,
+                resources: chains + 2,
+                topology: Topology::Chains { chains },
+                ..Default::default()
+            })
+        })
+        .collect();
+    Suite {
+        name: "chains",
+        problems,
+    }
+}
+
+/// Problems with increasingly tight power budgets — stresses spike
+/// elimination and its recursion.
+pub fn tightness_suite(seed: u64) -> Vec<(f64, Problem)> {
+    [3.0, 2.0, 1.5, 1.2]
+        .iter()
+        .map(|&factor| {
+            (
+                factor,
+                generate(&GeneratorConfig {
+                    seed,
+                    tasks: 24,
+                    p_max_factor: factor,
+                    ..Default::default()
+                }),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_suite_grows() {
+        let s = scaling_suite(1);
+        assert_eq!(s.problems.len(), SCALING_SIZES.len());
+        for (p, &n) in s.problems.iter().zip(&SCALING_SIZES) {
+            assert_eq!(p.graph().num_tasks(), n);
+        }
+    }
+
+    #[test]
+    fn chains_suite_builds() {
+        let s = chains_suite(1);
+        assert_eq!(s.problems.len(), 3);
+        assert_eq!(s.name, "chains");
+    }
+
+    #[test]
+    fn tightness_suite_budgets_decrease() {
+        let t = tightness_suite(1);
+        for w in t.windows(2) {
+            assert!(w[0].1.constraints().p_max() >= w[1].1.constraints().p_max());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Corner analysis (§4.1's "(min, typical, max)" power model): check
+//! how a schedule computed for one temperature case behaves if the
+//! environment turns out hotter or colder than planned.
+//!
+//! ```text
+//! cargo run --example corner_analysis
+//! ```
+
+use impacct::core::power_model::analyze_corners;
+use impacct::rover::{build_rover_problem, EnvCase};
+use impacct::sched::PowerAwareScheduler;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Plan for the typical case…
+    let mut rover = build_rover_problem(EnvCase::Typical, 1);
+    let outcome = PowerAwareScheduler::default().schedule(&mut rover.problem)?;
+    println!(
+        "typical-case plan: tau={} peak={} under budget {}",
+        outcome.analysis.finish_time,
+        outcome.analysis.peak_power,
+        rover.problem.constraints().p_max()
+    );
+
+    // …then sweep the power corners: min = −40 °C draws, max = −80 °C
+    // draws, while keeping the typical-case budget (22 W).
+    let ranges = rover.power_ranges();
+    let reports = analyze_corners(&rover.problem, &ranges, &outcome.schedule);
+    println!();
+    for report in &reports {
+        let a = &report.analysis;
+        println!(
+            "corner {:8} peak={:>7} Ec={:>9} spikes={} => {}",
+            report.corner.to_string(),
+            a.peak_power.to_string(),
+            a.energy_cost.to_string(),
+            a.spikes.len(),
+            if a.is_valid() { "VALID" } else { "INVALID" }
+        );
+    }
+    println!();
+    println!("The max corner draws -80 °C power on a schedule shaped for -60 °C:");
+    println!("overlaps that fit under 22 W at typical draw now spike — exactly why");
+    println!("the flight rover would re-select the worst-case schedule as it cools.");
+    Ok(())
+}

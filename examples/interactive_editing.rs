@@ -1,0 +1,68 @@
+//! The §4.3 design loop, headless: a designer drags bins in the time
+//! view, watches the power view respond, locks what they like, and
+//! lets the automated scheduler finish the rest.
+//!
+//! ```text
+//! cargo run --example interactive_editing
+//! ```
+
+use impacct::core::example::paper_example;
+use impacct::gantt::{render_ascii, AsciiOptions, ChartEditor, GanttChart};
+use impacct::graph::units::{Time, TimeSpan};
+use impacct::sched::PowerAwareScheduler;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (mut problem, tasks) = paper_example();
+    let outcome = PowerAwareScheduler::default().schedule(&mut problem)?;
+    println!("automated schedule:");
+    let chart = GanttChart::from_analysis(&problem, &outcome.schedule, &outcome.analysis);
+    print!("{}", render_ascii(&chart, &AsciiOptions::default()));
+
+    let mut editor = ChartEditor::new(problem, outcome.schedule);
+
+    // The designer wonders: can task f slide 5 s later? Preview first —
+    // no commitment, just the would-be power view.
+    let target = editor.schedule().start(tasks.f) + TimeSpan::from_secs(5);
+    let preview = editor.preview(tasks.f, target);
+    println!(
+        "preview: moving f to {target} → Ec={} rho={} spikes={}",
+        preview.energy_cost,
+        preview.utilization,
+        preview.spikes.len()
+    );
+
+    // Commit it if the tool allows (it refuses anything invalid).
+    match editor.drag(tasks.f, target) {
+        Ok(()) => println!("drag committed: f now starts at {}", editor.schedule().start(tasks.f)),
+        Err(e) => println!("drag refused: {e}"),
+    }
+
+    // A deliberately bad drag: b before its predecessor a.
+    match editor.drag(tasks.b, Time::ZERO) {
+        Ok(()) => unreachable!("b cannot start before a completes"),
+        Err(e) => println!("bad drag refused as expected: {e}"),
+    }
+
+    // Lock the edits the designer cares about and re-run the automated
+    // scheduler around them.
+    editor.lock(tasks.f);
+    let analysis = editor.analysis();
+    println!(
+        "edited schedule: tau={} Ec={} rho={} (valid: {})",
+        analysis.finish_time,
+        analysis.energy_cost,
+        analysis.utilization,
+        analysis.is_valid()
+    );
+
+    let (mut problem, _) = editor.into_parts();
+    let re = PowerAwareScheduler::default().schedule(&mut problem)?;
+    println!(
+        "re-scheduled around the lock: tau={} Ec={} rho={} (f pinned at {})",
+        re.analysis.finish_time,
+        re.analysis.energy_cost,
+        re.analysis.utilization,
+        re.schedule.start(tasks.f)
+    );
+    Ok(())
+}

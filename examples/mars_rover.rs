@@ -1,0 +1,47 @@
+//! The paper's motivating example end to end: schedule the Mars rover
+//! in all three environment cases and compare against the JPL
+//! fully-serialized baseline (Table 3, Figs. 9–11).
+//!
+//! ```text
+//! cargo run --example mars_rover
+//! ```
+
+use impacct::core::analyze;
+use impacct::gantt::{render_ascii, AsciiOptions, GanttChart};
+use impacct::rover::{jpl_schedule, power_aware_schedule, EnvCase};
+use impacct::sched::SchedulerConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SchedulerConfig::default();
+    for case in EnvCase::ALL {
+        println!("==== {case} ====");
+
+        let (jpl_rover, jpl) = jpl_schedule(case)?;
+        let ja = analyze(&jpl_rover.problem, &jpl);
+        println!(
+            "JPL baseline:  tau={} Ec={} rho={}",
+            ja.finish_time, ja.energy_cost, ja.utilization
+        );
+
+        let (rover, ours) = power_aware_schedule(case, &config)?;
+        let oa = analyze(&rover.problem, &ours);
+        println!(
+            "power-aware:   tau={} Ec={} rho={}",
+            oa.finish_time, oa.energy_cost, oa.utilization
+        );
+
+        let chart = GanttChart::from_analysis(&rover.problem, &ours, &oa);
+        print!(
+            "{}",
+            render_ascii(
+                &chart,
+                &AsciiOptions {
+                    secs_per_col: 1,
+                    ..AsciiOptions::default()
+                }
+            )
+        );
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! The Table 4 case study: a 48-step traverse while the solar output
+//! decays 14.9 → 12 → 9 W, comparing the fixed JPL schedule against
+//! the quasi-static power-aware plan.
+//!
+//! ```text
+//! cargo run --example mission_scenario
+//! ```
+
+use impacct::mission::{
+    improvement_percent, jpl_plan, power_aware_plan, simulate, MissionReport, Scenario,
+};
+use impacct::sched::SchedulerConfig;
+
+fn print_report(report: &MissionReport) {
+    println!("{}:", report.plan_label);
+    for ph in &report.phases {
+        println!(
+            "  {:8} {:>3} steps  {:>6} driving  {:>9} from battery",
+            ph.case.label(),
+            ph.steps,
+            ph.time_spent.to_string(),
+            ph.battery_cost.to_string()
+        );
+    }
+    println!(
+        "  => {} steps in {} costing {} (completed: {})",
+        report.total_steps, report.total_time, report.total_cost, report.completed
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::table4();
+
+    let jpl = simulate(&scenario, &jpl_plan()?);
+    print_report(&jpl);
+
+    let plan = power_aware_plan(&SchedulerConfig::default())?;
+    let ours = simulate(&scenario, &plan);
+    print_report(&ours);
+
+    println!(
+        "power-aware improvement: {:.1}% time, {:.1}% battery energy",
+        improvement_percent(jpl.total_time.as_secs(), ours.total_time.as_secs()),
+        improvement_percent(
+            jpl.total_cost.as_millijoules(),
+            ours.total_cost.as_millijoules()
+        )
+    );
+    Ok(())
+}

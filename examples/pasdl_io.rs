@@ -1,0 +1,62 @@
+//! PASDL round trip: describe a problem as text, parse it, schedule
+//! it, emit the schedule back as text, and re-validate the parsed
+//! schedule — the file-based workflow `impacct-cli` automates.
+//!
+//! ```text
+//! cargo run --example pasdl_io
+//! ```
+
+use impacct::core::analyze;
+use impacct::sched::PowerAwareScheduler;
+use impacct::spec::{parse_problem, parse_schedule, print_problem, print_schedule};
+
+const PROBLEM: &str = r#"
+# A drill rig: generator budget 11 W, 7 W of it free (wind).
+problem "drill-rig" {
+  pmax 11W
+  pmin 7W
+  background 1W
+  resource controller compute
+  resource drill mechanical
+  resource pump mechanical
+
+  task spin_up   on drill      delay 4s  power 6W
+  task bore      on drill      delay 10s power 8W
+  task prime     on pump       delay 3s  power 4W
+  task flush     on pump       delay 6s  power 5W
+  task log_data  on controller delay 5s  power 2W
+
+  precedence spin_up -> bore
+  precedence prime -> flush
+  min prime -> bore 3s      # mud primed before boring
+  max spin_up -> bore 20s   # don't let the spindle idle hot
+  min bore -> log_data 0s
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut problem = parse_problem(PROBLEM)?;
+    println!(
+        "parsed problem {:?} with {} tasks",
+        problem.name(),
+        problem.graph().num_tasks()
+    );
+
+    let outcome = PowerAwareScheduler::default().schedule(&mut problem)?;
+    println!(
+        "scheduled: tau={} Ec={} rho={}",
+        outcome.analysis.finish_time, outcome.analysis.energy_cost, outcome.analysis.utilization
+    );
+
+    // Emit both documents the way impacct-cli would.
+    let schedule_text = print_schedule("drill-rig-final", &problem, &outcome.schedule);
+    println!("\n{}", print_problem(&problem));
+    println!("{schedule_text}");
+
+    // And prove the text is self-contained: parse it back, validate.
+    let (name, parsed) = parse_schedule(&schedule_text, &problem)?;
+    let check = analyze(&problem, &parsed);
+    println!("re-parsed schedule {name:?} is valid: {}", check.is_valid());
+    assert!(check.is_valid());
+    Ok(())
+}

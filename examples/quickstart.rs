@@ -1,0 +1,77 @@
+//! Quickstart: build a small problem, run the three-stage pipeline,
+//! and print the power-aware Gantt chart.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use impacct::core::{PowerConstraints, Problem};
+use impacct::gantt::{render_ascii, AsciiOptions, GanttChart};
+use impacct::graph::units::{Power, TimeSpan};
+use impacct::graph::{ConstraintGraph, Resource, ResourceKind, Task};
+use impacct::sched::PowerAwareScheduler;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny satellite pass: sense → compress → uplink, with a
+    // heater that must warm the antenna gimbal 5–40 s before the
+    // uplink, all under a 9 W bus budget of which 6 W is free solar.
+    let mut g = ConstraintGraph::new();
+    let cpu = g.add_resource(Resource::new("cpu", ResourceKind::Compute));
+    let radio = g.add_resource(Resource::new("radio", ResourceKind::Other));
+    let heater = g.add_resource(Resource::new("heater", ResourceKind::Thermal));
+
+    let sense = g.add_task(Task::new(
+        "sense",
+        cpu,
+        TimeSpan::from_secs(6),
+        Power::from_watts(3),
+    ));
+    let compress = g.add_task(Task::new(
+        "compress",
+        cpu,
+        TimeSpan::from_secs(4),
+        Power::from_watts(4),
+    ));
+    let uplink = g.add_task(Task::new(
+        "uplink",
+        radio,
+        TimeSpan::from_secs(8),
+        Power::from_watts(5),
+    ));
+    let warm = g.add_task(Task::new(
+        "warm",
+        heater,
+        TimeSpan::from_secs(5),
+        Power::from_watts(4),
+    ));
+
+    g.precedence(sense, compress);
+    g.precedence(compress, uplink);
+    g.min_separation(warm, uplink, TimeSpan::from_secs(5));
+    g.max_separation(warm, uplink, TimeSpan::from_secs(40));
+
+    let mut problem = Problem::new(
+        "satellite-pass",
+        g,
+        PowerConstraints::new(Power::from_watts(9), Power::from_watts(6)),
+    );
+
+    let outcome = PowerAwareScheduler::default().schedule(&mut problem)?;
+    println!(
+        "schedule found: tau={} Ec={} rho={}",
+        outcome.analysis.finish_time, outcome.analysis.energy_cost, outcome.analysis.utilization
+    );
+
+    let chart = GanttChart::from_analysis(&problem, &outcome.schedule, &outcome.analysis);
+    print!("{}", render_ascii(&chart, &AsciiOptions::default()));
+
+    // Individual start times are available too.
+    for task in [sense, compress, uplink, warm] {
+        println!(
+            "{:>8} starts at {}",
+            problem.graph().task(task).name(),
+            outcome.schedule.start(task)
+        );
+    }
+    Ok(())
+}

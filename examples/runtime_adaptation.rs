@@ -1,0 +1,51 @@
+//! Quasi-static runtime scheduling (§5.3): precompute a repertoire of
+//! schedules offline, then select by the live `(P_max, P_min)` as the
+//! environment changes — no rescheduling on board.
+//!
+//! ```text
+//! cargo run --example runtime_adaptation
+//! ```
+
+use impacct::graph::units::Power;
+use impacct::rover::{build_rover_problem, EnvCase};
+use impacct::sched::{PowerAwareScheduler, ScheduleRepertoire, ValidityRegion};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Offline: one schedule per design point.
+    let mut table = ScheduleRepertoire::new();
+    for case in EnvCase::ALL {
+        let mut rover = build_rover_problem(case, 1);
+        let outcome = PowerAwareScheduler::default().schedule(&mut rover.problem)?;
+        let region = ValidityRegion::of(
+            rover.problem.graph(),
+            &outcome.schedule,
+            rover.problem.background_power(),
+        );
+        println!("precomputed {:8} schedule: {region}", case.label());
+        table.insert(
+            case.label(),
+            rover.problem.graph(),
+            outcome.schedule,
+            rover.problem.background_power(),
+        );
+    }
+    println!();
+
+    // Online: the solar level drifts through the day; pick the best
+    // valid schedule for each observation.
+    for solar_mw in [14_900i64, 13_500, 12_000, 10_000, 9_000] {
+        let solar = Power::from_watts_milli(solar_mw);
+        let p_max = solar + Power::from_watts(10); // + battery ceiling
+        match table.select(p_max, solar) {
+            Some(entry) => println!(
+                "solar {:>6}: run {:8} (tau={} cost at this light {})",
+                solar.to_string(),
+                entry.name(),
+                entry.finish_time(),
+                entry.energy_cost_at(solar)
+            ),
+            None => println!("solar {:>6}: no valid schedule — hold position", solar),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! # impacct — power-aware scheduling under timing constraints
+//!
+//! A from-scratch Rust reproduction of *Power-Aware Scheduling under
+//! Timing Constraints for Mission-Critical Embedded Systems* (Liu,
+//! Chou, Bagherzadeh, Kurdahi — DAC 2001), the core scheduling tool of
+//! the IMPACCT system-level design framework.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`graph`] ([`pas_graph`]) — constraint-graph substrate: tasks,
+//!   resources, min/max timing-separation edges, journaled mutation,
+//!   longest paths with positive-cycle detection;
+//! * [`core`] ([`pas_core`]) — problems, schedules, power profiles,
+//!   slack analysis, validity oracles, energy-cost/utilization
+//!   metrics, the paper's 9-task running example;
+//! * [`sched`] ([`pas_sched`]) — the three scheduling algorithms
+//!   (timing, max-power, min-power), compaction, baselines, the
+//!   quasi-static runtime repertoire;
+//! * [`gantt`] ([`pas_gantt`]) — the power-aware Gantt chart with
+//!   ASCII/SVG renderers and drag-and-lock editing;
+//! * [`rover`] ([`pas_rover`]) — the NASA/JPL Mars rover model and
+//!   the Table 3 analysis;
+//! * [`mission`] ([`pas_mission`]) — the Table 4 mission simulator;
+//! * [`workload`] ([`pas_workload`]) — synthetic problem generators;
+//! * [`spec`] ([`pas_spec`]) — the PASDL text format and the
+//!   `impacct-cli` driver;
+//! * [`exec`] ([`pas_exec`]) — runtime dispatch simulation under
+//!   execution-time jitter.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use impacct::core::{Problem, PowerConstraints};
+//! use impacct::graph::units::{Power, TimeSpan};
+//! use impacct::graph::{ConstraintGraph, Resource, ResourceKind, Task};
+//! use impacct::sched::PowerAwareScheduler;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = ConstraintGraph::new();
+//! let cpu = g.add_resource(Resource::new("cpu", ResourceKind::Compute));
+//! let radio = g.add_resource(Resource::new("radio", ResourceKind::Other));
+//! let sense = g.add_task(Task::new("sense", cpu, TimeSpan::from_secs(4),
+//!                                  Power::from_watts(3)));
+//! let uplink = g.add_task(Task::new("uplink", radio, TimeSpan::from_secs(6),
+//!                                   Power::from_watts(5)));
+//! g.precedence(sense, uplink);
+//!
+//! let mut problem = Problem::new("quickstart", g,
+//!     PowerConstraints::new(Power::from_watts(7), Power::from_watts(3)));
+//! let outcome = PowerAwareScheduler::default().schedule(&mut problem)?;
+//! assert!(outcome.analysis.is_valid());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pas_core as core;
+pub use pas_exec as exec;
+pub use pas_gantt as gantt;
+pub use pas_graph as graph;
+pub use pas_mission as mission;
+pub use pas_rover as rover;
+pub use pas_sched as sched;
+pub use pas_spec as spec;
+pub use pas_workload as workload;

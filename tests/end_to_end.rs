@@ -1,0 +1,185 @@
+//! Integration: PASDL round trips, editing, and runtime repertoire —
+//! the workflows a downstream user of the library would assemble.
+
+use impacct::core::{analyze, is_time_valid};
+use impacct::gantt::ChartEditor;
+use impacct::graph::units::{Power, Time};
+use impacct::rover::{build_rover_problem, EnvCase};
+use impacct::sched::{PowerAwareScheduler, ScheduleRepertoire};
+use impacct::spec::{parse_problem, parse_schedule, print_problem, print_schedule};
+use impacct::workload::{generate, GeneratorConfig};
+
+/// Print → parse → schedule → print → parse → validate, starting from
+/// a generated problem: the whole text pipeline is lossless enough to
+/// schedule identically.
+#[test]
+fn pasdl_round_trip_preserves_scheduling() {
+    let problem = generate(&GeneratorConfig {
+        seed: 2024,
+        tasks: 14,
+        resources: 4,
+        ..Default::default()
+    });
+    let text = print_problem(&problem);
+    let mut reparsed = parse_problem(&text).unwrap();
+    assert_eq!(reparsed.graph().num_tasks(), problem.graph().num_tasks());
+
+    let mut original = problem.clone();
+    let a = PowerAwareScheduler::default().schedule(&mut original);
+    let b = PowerAwareScheduler::default().schedule(&mut reparsed);
+    match (a, b) {
+        (Ok(x), Ok(y)) => {
+            // Task order is preserved by the printer, so the
+            // schedules must be identical.
+            assert_eq!(x.schedule, y.schedule);
+            let sched_text = print_schedule("x", &original, &x.schedule);
+            let (_, parsed) = parse_schedule(&sched_text, &original).unwrap();
+            assert_eq!(parsed, x.schedule);
+            assert!(analyze(&original, &parsed).is_valid());
+        }
+        (Err(_), Err(_)) => {} // consistently unschedulable is fine
+        (a, b) => panic!("round trip changed schedulability: {a:?} vs {b:?}"),
+    }
+}
+
+/// The rover problem survives the text format too (quoted names with
+/// `#` in them, thermal resources, background power).
+#[test]
+fn rover_problem_round_trips_through_pasdl() {
+    let rover = build_rover_problem(EnvCase::Typical, 2);
+    let text = print_problem(&rover.problem);
+    let reparsed = parse_problem(&text).unwrap();
+    assert_eq!(reparsed.graph().num_tasks(), 22);
+    assert_eq!(reparsed.background_power(), EnvCase::Typical.cpu_power());
+    assert!(reparsed.graph().task_by_name("drive2#1").is_some());
+}
+
+/// Drag-and-lock editing composes with rescheduling: lock two bins,
+/// re-run the scheduler, locked bins stay put and the result is valid.
+#[test]
+fn edit_lock_then_reschedule() {
+    let mut rover = build_rover_problem(EnvCase::Best, 1);
+    let outcome = PowerAwareScheduler::default()
+        .schedule(&mut rover.problem)
+        .unwrap();
+    let hazard1 = rover.iterations[0].step1.hazard;
+    let drive2 = rover.iterations[0].step2.drive;
+
+    let mut editor = ChartEditor::new(rover.problem, outcome.schedule);
+    let pinned_hazard = editor.schedule().start(hazard1);
+    let pinned_drive = editor.schedule().start(drive2);
+    editor.lock(hazard1);
+    editor.lock(drive2);
+    let (mut problem, _) = editor.into_parts();
+
+    let re = PowerAwareScheduler::default()
+        .schedule(&mut problem)
+        .unwrap();
+    assert_eq!(re.schedule.start(hazard1), pinned_hazard);
+    assert_eq!(re.schedule.start(drive2), pinned_drive);
+    assert!(re.analysis.is_valid());
+}
+
+/// A drag into an invalid position is rejected without corrupting the
+/// session; a drag into a valid position commits.
+#[test]
+fn editor_guards_validity() {
+    let (mut problem, tasks) = impacct::core::example::paper_example();
+    let outcome = PowerAwareScheduler::default()
+        .schedule(&mut problem)
+        .unwrap();
+    let mut editor = ChartEditor::new(problem, outcome.schedule);
+
+    // b before its predecessor a: rejected.
+    let before = editor.schedule().clone();
+    assert!(editor.drag(tasks.b, Time::from_secs(0)).is_err());
+    assert_eq!(editor.schedule(), &before);
+    assert!(is_time_valid(editor.problem().graph(), editor.schedule()));
+}
+
+/// Build the §5.3 repertoire from all three rover cases and select
+/// under a sweep of environments.
+#[test]
+fn repertoire_selects_sensible_schedules() {
+    let mut table = ScheduleRepertoire::new();
+    for case in EnvCase::ALL {
+        let mut rover = build_rover_problem(case, 1);
+        let outcome = PowerAwareScheduler::default()
+            .schedule(&mut rover.problem)
+            .unwrap();
+        table.insert(
+            case.label(),
+            rover.problem.graph(),
+            outcome.schedule,
+            rover.problem.background_power(),
+        );
+    }
+    assert_eq!(table.len(), 3);
+
+    // Plenty of power: the fast best-case schedule wins.
+    let rich = table
+        .select(
+            Power::from_watts_milli(24_900),
+            Power::from_watts_milli(14_900),
+        )
+        .unwrap();
+    assert_eq!(rich.name(), "best");
+    assert_eq!(rich.finish_time(), Time::from_secs(50));
+
+    // Note: each entry's profile is computed with its own case's
+    // task powers, so under a 19 W budget the (cooler) typical-case
+    // schedule still fits; push the budget to the serial peak to
+    // force the worst-case schedule.
+    let poor = table
+        .select(
+            Power::from_watts_milli(17_500),
+            Power::from_watts_milli(9_000),
+        )
+        .unwrap();
+    assert_eq!(poor.name(), "worst");
+    assert_eq!(poor.finish_time(), Time::from_secs(75));
+
+    // Below even the serial peak: nothing fits.
+    assert!(table
+        .select(Power::from_watts(15), Power::from_watts(9))
+        .is_none());
+}
+
+/// The committed PASDL assets parse and schedule; the rover asset
+/// reproduces its Table 3 row from the text file alone.
+#[test]
+fn committed_assets_are_valid_and_schedulable() {
+    for name in [
+        "assets/paper_example.pasdl",
+        "assets/rover_best.pasdl",
+        "assets/rover_typical.pasdl",
+        "assets/rover_worst.pasdl",
+    ] {
+        let text = std::fs::read_to_string(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut problem = parse_problem(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let outcome = PowerAwareScheduler::default()
+            .schedule(&mut problem)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(outcome.analysis.is_valid(), "{name}");
+    }
+
+    // The worst-case rover from the text file hits the exact paper
+    // numbers, proving the format captures the whole problem.
+    let text = std::fs::read_to_string("assets/rover_worst.pasdl").unwrap();
+    let mut problem = parse_problem(&text).unwrap();
+    let outcome = PowerAwareScheduler::default()
+        .schedule(&mut problem)
+        .unwrap();
+    assert_eq!(outcome.analysis.finish_time.as_secs(), 75);
+    assert_eq!(outcome.analysis.energy_cost.as_millijoules(), 388_000);
+}
+
+/// The umbrella crate's facade modules are all wired up.
+#[test]
+fn umbrella_reexports_work() {
+    let _ = impacct::graph::ConstraintGraph::new();
+    let _ = impacct::core::PowerConstraints::unconstrained();
+    let _ = impacct::sched::SchedulerConfig::default();
+    let _ = impacct::mission::Scenario::table4();
+    let _ = impacct::workload::GeneratorConfig::default();
+}

@@ -1,0 +1,124 @@
+//! Integration: Table 4 of the paper — the 48-step mission under a
+//! decaying solar profile.
+
+use impacct::graph::units::{Energy, TimeSpan};
+use impacct::mission::{
+    improvement_percent, jpl_plan, power_aware_plan, power_aware_plan_standalone, simulate,
+    Battery, Scenario,
+};
+use impacct::rover::EnvCase;
+use impacct::sched::SchedulerConfig;
+
+#[test]
+fn jpl_row_is_exact() {
+    // Paper: 16 steps / 600 s per phase, 1800 s total. Energy 0 /
+    // 440 / 3104 J with our exact per-iteration costs (the paper
+    // prints 3114 for the last phase; 8 × 388 = 3104 — see
+    // EXPERIMENTS.md on the 10 J discrepancy).
+    let r = simulate(&Scenario::table4(), &jpl_plan().unwrap());
+    assert!(r.completed);
+    assert_eq!(r.total_steps, 48);
+    assert_eq!(r.total_time, TimeSpan::from_secs(1800));
+    assert_eq!(r.phases.len(), 3);
+    let costs: Vec<i64> = r
+        .phases
+        .iter()
+        .map(|p| p.battery_cost.as_millijoules())
+        .collect();
+    assert_eq!(costs, vec![0, 440_000, 3_104_000]);
+    for ph in &r.phases {
+        assert_eq!(ph.steps, 16);
+    }
+}
+
+#[test]
+fn standalone_power_aware_matches_papers_step_split_exactly() {
+    // Without iteration chaining the per-phase timing reproduces the
+    // paper's row exactly: 24 / 20 / 4 steps in 600 / 600 / 150 s,
+    // 1350 s total (the paper's 33.3% time improvement).
+    let plan = power_aware_plan_standalone(&SchedulerConfig::default()).unwrap();
+    let r = simulate(&Scenario::table4(), &plan);
+    assert!(r.completed);
+    let steps: Vec<u32> = r.phases.iter().map(|p| p.steps).collect();
+    assert_eq!(steps, vec![24, 20, 4]);
+    assert_eq!(r.total_time, TimeSpan::from_secs(1350));
+    let jpl = simulate(&Scenario::table4(), &jpl_plan().unwrap());
+    let time_improvement = improvement_percent(jpl.total_time.as_secs(), r.total_time.as_secs());
+    assert!(
+        (time_improvement - 33.333).abs() < 0.01,
+        "{time_improvement}"
+    );
+}
+
+#[test]
+fn chained_power_aware_wins_both_metrics() {
+    let scenario = Scenario::table4();
+    let jpl = simulate(&scenario, &jpl_plan().unwrap());
+    let pa = simulate(
+        &scenario,
+        &power_aware_plan(&SchedulerConfig::default()).unwrap(),
+    );
+    assert!(pa.completed);
+    assert_eq!(pa.total_steps, 48);
+    assert!(pa.total_time < jpl.total_time);
+    assert!(pa.total_cost < jpl.total_cost);
+    // And the chained plan beats the standalone one on energy thanks
+    // to the amortized heating.
+    let standalone = simulate(
+        &scenario,
+        &power_aware_plan_standalone(&SchedulerConfig::default()).unwrap(),
+    );
+    assert!(pa.total_cost < standalone.total_cost);
+}
+
+#[test]
+fn best_phase_carries_the_most_distance() {
+    let pa = simulate(
+        &Scenario::table4(),
+        &power_aware_plan(&SchedulerConfig::default()).unwrap(),
+    );
+    assert_eq!(pa.phases[0].case, EnvCase::Best);
+    assert!(pa.phases[0].steps >= 24, "paper: 24 of 48 steps in phase 1");
+    for ph in &pa.phases[1..] {
+        assert!(ph.steps <= pa.phases[0].steps);
+    }
+}
+
+#[test]
+fn tight_battery_strands_the_jpl_rover_first() {
+    // With a nearly-empty battery (200 J) the power-aware rover still
+    // banks 24 steps during the free-solar phase (its amortized
+    // heating costs only ~126 J), while the fixed serial schedule
+    // crawls 16 free steps and then strands 3 iterations into the
+    // typical phase.
+    let mut scenario = Scenario::table4();
+    scenario.battery = Battery::new(Energy::from_joules(200));
+    let jpl = simulate(&scenario, &jpl_plan().unwrap());
+    let pa = simulate(
+        &scenario,
+        &power_aware_plan(&SchedulerConfig::default()).unwrap(),
+    );
+    assert!(!jpl.completed);
+    assert!(!pa.completed);
+    assert!(
+        pa.total_steps > jpl.total_steps,
+        "front-loading should travel farther: {} vs {}",
+        pa.total_steps,
+        jpl.total_steps
+    );
+}
+
+#[test]
+fn reports_account_energy_against_the_battery() {
+    let mut scenario = Scenario::table4();
+    scenario.battery = Battery::new(Energy::from_joules(10_000));
+    let r = simulate(&scenario, &jpl_plan().unwrap());
+    let phase_sum: i64 = r
+        .phases
+        .iter()
+        .map(|p| p.battery_cost.as_millijoules())
+        .sum();
+    assert_eq!(phase_sum, r.total_cost.as_millijoules());
+    let time_sum: i64 = r.phases.iter().map(|p| p.time_spent.as_secs()).sum();
+    assert_eq!(time_sum, r.total_time.as_secs());
+}

@@ -1,0 +1,128 @@
+//! Integration: the paper's running example through the whole stack
+//! (Figs. 1 → 2 → 5 → 7 and the §5.3 validity-region remark).
+
+use impacct::core::example::paper_example;
+use impacct::core::{is_power_valid, is_time_valid, slacks};
+use impacct::gantt::{render_ascii, render_svg, AsciiOptions, GanttChart, SvgOptions};
+use impacct::graph::units::{Power, TimeSpan};
+use impacct::sched::{PowerAwareScheduler, ValidityRegion};
+
+#[test]
+fn fig2_time_valid_schedule_has_spike_and_gaps() {
+    let (mut problem, _) = paper_example();
+    let stage1 = PowerAwareScheduler::default()
+        .schedule_timing_only(&mut problem)
+        .unwrap();
+    assert!(is_time_valid(problem.graph(), &stage1.schedule));
+    assert!(!stage1.analysis.spikes.is_empty(), "Fig. 2 shows a spike");
+    assert!(!stage1.analysis.gaps.is_empty(), "Fig. 2 shows gaps");
+    assert!(
+        stage1.analysis.peak_power > problem.constraints().p_max(),
+        "the spike exceeds the 16 W budget"
+    );
+}
+
+#[test]
+fn fig5_max_power_stage_produces_a_valid_schedule() {
+    let (mut problem, _) = paper_example();
+    let stage2 = PowerAwareScheduler::default()
+        .schedule_power_valid(&mut problem)
+        .unwrap();
+    assert!(is_power_valid(&problem, &stage2.schedule));
+    assert!(stage2.analysis.peak_power <= Power::from_watts(16));
+    // Slack analysis still sound after serialization.
+    for s in slacks(problem.graph(), &stage2.schedule) {
+        assert!(!s.is_negative());
+    }
+}
+
+#[test]
+fn fig7_min_power_stage_improves_utilization_not_validity() {
+    let (mut problem, _) = paper_example();
+    let stages = PowerAwareScheduler::default()
+        .schedule_stages(&mut problem)
+        .unwrap();
+    assert!(stages.improved.analysis.is_valid());
+    assert!(stages.improved.analysis.utilization >= stages.power_valid.analysis.utilization);
+    // The improvement must not slow the schedule beyond the valid one.
+    assert!(
+        stages.improved.analysis.finish_time <= stages.power_valid.analysis.finish_time
+            || stages.improved.analysis.utilization > stages.power_valid.analysis.utilization
+    );
+}
+
+#[test]
+fn fig7_validity_region_covers_a_constraint_range() {
+    // §5.3: "the same schedule can be directly applied to all cases
+    // with P_max ≥ 16, P_min ≤ 14, without recomputing".
+    let (mut problem, _) = paper_example();
+    let outcome = PowerAwareScheduler::default()
+        .schedule(&mut problem)
+        .unwrap();
+    let region = ValidityRegion::of(
+        problem.graph(),
+        &outcome.schedule,
+        problem.background_power(),
+    );
+    // Valid at the designed budget and at every larger one.
+    assert!(region.admits_p_max(Power::from_watts(16)));
+    assert!(region.admits_p_max(Power::from_watts(100)));
+    assert!(!region.admits_p_max(region.min_p_max - Power::from_watts_milli(1)));
+    // Gap-free below the profile floor.
+    assert!(region.gap_free_under(region.gap_free_p_min));
+}
+
+#[test]
+fn portfolio_reaches_the_certified_optimum() {
+    // Exhaustive B&B (pas_sched::optimal) certifies τ* = 30 s for
+    // this example; the default heuristic lands on 35 s, and the
+    // seeded random-restart portfolio closes the gap.
+    let (mut problem, _) = paper_example();
+    let outcome = PowerAwareScheduler::default()
+        .schedule_portfolio(&mut problem, 16)
+        .unwrap();
+    assert!(outcome.analysis.is_valid());
+    assert_eq!(outcome.analysis.finish_time.as_secs(), 30);
+}
+
+#[test]
+fn pipeline_is_deterministic_across_runs() {
+    let run = || {
+        let (mut problem, _) = paper_example();
+        PowerAwareScheduler::default()
+            .schedule(&mut problem)
+            .unwrap()
+            .schedule
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn charts_render_for_every_stage() {
+    let (mut problem, _) = paper_example();
+    let stages = PowerAwareScheduler::default()
+        .schedule_stages(&mut problem)
+        .unwrap();
+    for outcome in [&stages.time_valid, &stages.power_valid, &stages.improved] {
+        let chart = GanttChart::from_analysis(&problem, &outcome.schedule, &outcome.analysis);
+        let ascii = render_ascii(&chart, &AsciiOptions::default());
+        assert!(ascii.contains("== fig1-example =="));
+        let svg = render_svg(&chart, &SvgOptions::default());
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>\n"));
+    }
+}
+
+#[test]
+fn every_task_keeps_its_min_max_windows_in_the_final_schedule() {
+    let (mut problem, tasks) = paper_example();
+    let outcome = PowerAwareScheduler::default()
+        .schedule(&mut problem)
+        .unwrap();
+    let s = &outcome.schedule;
+    // Spot-check the windows of Fig. 1 explicitly.
+    assert!(s.start(tasks.b) - s.start(tasks.a) >= TimeSpan::from_secs(5));
+    assert!(s.start(tasks.c) - s.start(tasks.a) <= TimeSpan::from_secs(40));
+    assert!(s.start(tasks.h) - s.start(tasks.a) <= TimeSpan::from_secs(30));
+    assert!(s.start(tasks.f) - s.start(tasks.d) <= TimeSpan::from_secs(35));
+    assert!(s.start(tasks.i) - s.start(tasks.g) <= TimeSpan::from_secs(40));
+}

@@ -1,0 +1,180 @@
+//! Property tests: scheduler invariants over randomized problems.
+//!
+//! The validity oracles in `pas-core` are implemented independently of
+//! the schedulers (they re-derive everything from the graph and the
+//! start times), so these properties are meaningful end-to-end checks.
+
+use impacct::core::{analyze, is_time_valid, slack, slacks, PowerProfile, Schedule};
+use impacct::graph::units::{Energy, Power, TimeSpan};
+use impacct::graph::NodeId;
+use impacct::sched::{
+    compact_schedule, schedule_timing, PowerAwareScheduler, SchedulerConfig, SchedulerStats,
+};
+use impacct::workload::strategies::generator_configs;
+use impacct::workload::{generate, GeneratorConfig, Topology};
+use proptest::prelude::*;
+
+fn arbitrary_generator_config() -> impl Strategy<Value = GeneratorConfig> {
+    // Shared with the bench suites: pas-workload's own strategy.
+    generator_configs(24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The timing scheduler's output is always time-valid (including
+    /// resource serialization), whatever the topology.
+    #[test]
+    fn timing_scheduler_output_is_time_valid(cfg in arbitrary_generator_config()) {
+        let mut problem = generate(&cfg);
+        let mut stats = SchedulerStats::default();
+        if let Ok(sigma) =
+            schedule_timing(problem.graph_mut(), &SchedulerConfig::default(), &mut stats)
+        {
+            prop_assert!(is_time_valid(problem.graph(), &sigma));
+            // ASAP schedules never have negative slack.
+            for s in slacks(problem.graph(), &sigma) {
+                prop_assert!(!s.is_negative());
+            }
+        }
+    }
+
+    /// The full pipeline either fails cleanly or returns a schedule
+    /// that is time-valid AND within the power budget.
+    #[test]
+    fn pipeline_output_is_fully_valid(cfg in arbitrary_generator_config()) {
+        let mut problem = generate(&cfg);
+        if let Ok(outcome) = PowerAwareScheduler::default().schedule(&mut problem) {
+            let a = analyze(&problem, &outcome.schedule);
+            prop_assert!(a.timing_violations.is_empty(), "{:?}", a.timing_violations);
+            prop_assert!(a.spikes.is_empty(), "peak {} budget {}",
+                         a.peak_power, problem.constraints().p_max());
+        }
+    }
+
+    /// Scheduling is a pure function of (problem, config): two runs
+    /// agree bit for bit.
+    #[test]
+    fn pipeline_is_deterministic(cfg in arbitrary_generator_config()) {
+        let run = || {
+            let mut problem = generate(&cfg);
+            PowerAwareScheduler::default()
+                .schedule(&mut problem)
+                .ok()
+                .map(|o| o.schedule)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Delaying any task by exactly its slack keeps the schedule
+    /// time-valid (the defining property of slack).
+    #[test]
+    fn delaying_by_slack_preserves_time_validity(cfg in arbitrary_generator_config()) {
+        let mut problem = generate(&cfg);
+        let mut stats = SchedulerStats::default();
+        let Ok(sigma) =
+            schedule_timing(problem.graph_mut(), &SchedulerConfig::default(), &mut stats)
+        else { return Ok(()); };
+        for v in problem.graph().task_ids() {
+            let d = slack(problem.graph(), &sigma, v);
+            if d.is_positive() && d < TimeSpan::from_secs(1_000_000) {
+                let delayed = sigma.with_delayed(v, d);
+                prop_assert!(
+                    is_time_valid(problem.graph(), &delayed),
+                    "task {v} slack {d} broke validity"
+                );
+            }
+        }
+    }
+
+    /// Energy bookkeeping: cost above P_min plus capped free energy
+    /// equals the total integral, for any profile and any level.
+    #[test]
+    fn energy_split_identity(cfg in arbitrary_generator_config(), level_mw in 0i64..30_000) {
+        let mut problem = generate(&cfg);
+        let mut stats = SchedulerStats::default();
+        let Ok(sigma) =
+            schedule_timing(problem.graph_mut(), &SchedulerConfig::default(), &mut stats)
+        else { return Ok(()); };
+        let profile = PowerProfile::of_schedule(problem.graph(), &sigma, Power::ZERO);
+        let level = Power::from_watts_milli(level_mw);
+        prop_assert_eq!(
+            profile.energy_above(level) + profile.energy_capped(level),
+            profile.total_energy()
+        );
+        // And the total equals the sum of task energies.
+        let task_sum: Energy = problem.graph().tasks().map(|(_, t)| t.energy()).sum();
+        prop_assert_eq!(profile.total_energy(), task_sum);
+    }
+
+    /// Compaction never invalidates a schedule and never increases
+    /// the finish time.
+    #[test]
+    fn compaction_preserves_validity(cfg in arbitrary_generator_config()) {
+        let mut problem = generate(&cfg);
+        let Ok(outcome) = PowerAwareScheduler::default().schedule(&mut problem) else {
+            return Ok(());
+        };
+        let before = outcome.schedule.finish_time(problem.graph());
+        let compacted = compact_schedule(
+            problem.graph(),
+            outcome.schedule.clone(),
+            problem.constraints().p_max(),
+            problem.background_power(),
+        );
+        prop_assert!(is_time_valid(problem.graph(), &compacted));
+        let profile =
+            PowerProfile::of_schedule(problem.graph(), &compacted, problem.background_power());
+        prop_assert!(profile.spikes(problem.constraints().p_max()).is_empty());
+        prop_assert!(compacted.finish_time(problem.graph()) <= before);
+    }
+
+    /// Longest-path distances really are schedules: earliest start
+    /// times from the anchor satisfy every edge.
+    #[test]
+    fn longest_paths_give_time_valid_asap(cfg in arbitrary_generator_config()) {
+        let problem = generate(&cfg);
+        let lp = impacct::graph::longest_path::single_source_longest_paths(
+            problem.graph(),
+            NodeId::ANCHOR,
+        );
+        let Ok(lp) = lp else { return Ok(()); };
+        let sigma = Schedule::from_longest_paths(problem.graph(), &lp);
+        // Edge constraints hold (resource overlap is allowed here —
+        // serialization is the scheduler's job).
+        let edge_ok = impacct::core::time_violations(problem.graph(), &sigma)
+            .into_iter()
+            .all(|v| matches!(v, impacct::core::TimingViolation::ResourceOverlap { .. }));
+        prop_assert!(edge_ok);
+    }
+}
+
+/// Non-proptest regression: the pipeline handles a problem where the
+/// budget equals the single biggest task exactly (fully serial).
+#[test]
+fn exact_budget_forces_serial_schedule() {
+    let mut problem = generate(&GeneratorConfig {
+        seed: 99,
+        tasks: 6,
+        resources: 6,
+        topology: Topology::Random,
+        min_edge_probability: 0.0,
+        max_window_probability: 0.0,
+        p_max_factor: 0.0, // clamped up to the biggest single task
+        p_min_fraction: 0.0,
+        ..Default::default()
+    });
+    let outcome = PowerAwareScheduler::default()
+        .schedule(&mut problem)
+        .unwrap();
+    let a = analyze(&problem, &outcome.schedule);
+    assert!(a.is_valid());
+    // Peak never exceeds the biggest task's power.
+    let biggest = problem
+        .graph()
+        .tasks()
+        .map(|(_, t)| t.power())
+        .max()
+        .unwrap();
+    assert!(a.peak_power <= biggest);
+}

@@ -1,0 +1,113 @@
+//! Integration: Table 3 of the paper — JPL baseline (exact targets)
+//! vs our power-aware schedules (shape + pinned deterministic values).
+
+use impacct::core::analyze;
+use impacct::graph::units::{Energy, Time};
+use impacct::rover::{jpl_schedule, power_aware_schedule, table3, EnvCase};
+use impacct::sched::SchedulerConfig;
+
+/// Paper Table 3, JPL column — derived exactly from Tables 1–2.
+#[test]
+fn jpl_column_is_exact() {
+    let expect = [
+        (EnvCase::Best, 0i64, "60.2%", 75i64),
+        (EnvCase::Typical, 55_000, "90.8%", 75),
+        (EnvCase::Worst, 388_000, "100%", 75),
+    ];
+    for (case, ec_mj, rho, tau) in expect {
+        let (rover, schedule) = jpl_schedule(case).unwrap();
+        let a = analyze(&rover.problem, &schedule);
+        assert_eq!(a.energy_cost, Energy::from_millijoules(ec_mj), "{case}");
+        assert_eq!(a.utilization.to_string(), rho, "{case}");
+        assert_eq!(a.finish_time, Time::from_secs(tau), "{case}");
+        assert!(a.is_valid(), "{case}");
+    }
+}
+
+/// The reproduction contract: the power-aware column's *shape*.
+/// Finish times actually land exactly on the paper's 50/60/75 s with
+/// the default deterministic seed, so they are pinned here; energy
+/// matches the paper exactly in the typical and worst cases.
+#[test]
+fn power_aware_column_matches_paper_shape() {
+    let cfg = SchedulerConfig::default();
+    let expect_tau = [
+        (EnvCase::Best, 50i64),
+        (EnvCase::Typical, 60),
+        (EnvCase::Worst, 75),
+    ];
+    for (case, tau) in expect_tau {
+        let (rover, schedule) = power_aware_schedule(case, &cfg).unwrap();
+        let a = analyze(&rover.problem, &schedule);
+        assert!(a.is_valid(), "{case}");
+        assert_eq!(a.finish_time, Time::from_secs(tau), "{case} finish time");
+    }
+
+    // Exact energy matches where the paper's model is fully pinned.
+    let (r, s) = power_aware_schedule(EnvCase::Typical, &cfg).unwrap();
+    assert_eq!(
+        analyze(&r.problem, &s).energy_cost,
+        Energy::from_joules(147),
+        "typical-case energy cost matches the paper exactly"
+    );
+    let (r, s) = power_aware_schedule(EnvCase::Worst, &cfg).unwrap();
+    let a = analyze(&r.problem, &s);
+    assert_eq!(a.energy_cost, Energy::from_joules(388));
+    assert!(a.utilization.is_one());
+}
+
+/// The paper's headline: "speeds up the rover's movement by up to 50%
+/// in the best case and 25% in the typical case".
+#[test]
+fn speedups_match_the_papers_percentages() {
+    let cfg = SchedulerConfig::default();
+    let speedup = |case| {
+        let (jr, js) = jpl_schedule(case).unwrap();
+        let (pr, ps) = power_aware_schedule(case, &cfg).unwrap();
+        let jt = analyze(&jr.problem, &js).finish_time.as_secs() as f64;
+        let pt = analyze(&pr.problem, &ps).finish_time.as_secs() as f64;
+        (jt - pt) / pt * 100.0
+    };
+    assert!(
+        (speedup(EnvCase::Best) - 50.0).abs() < 1e-9,
+        "75 → 50 s is +50%"
+    );
+    assert!(
+        (speedup(EnvCase::Typical) - 25.0).abs() < 1e-9,
+        "75 → 60 s is +25%"
+    );
+    assert_eq!(speedup(EnvCase::Worst), 0.0);
+}
+
+#[test]
+fn power_aware_trades_battery_for_speed_in_good_light() {
+    // "Our schedules … speed up the rover's movement … while drawing
+    // more costly energy from the battery."
+    let cfg = SchedulerConfig::default();
+    for case in [EnvCase::Best, EnvCase::Typical] {
+        let (jr, js) = jpl_schedule(case).unwrap();
+        let (pr, ps) = power_aware_schedule(case, &cfg).unwrap();
+        let j = analyze(&jr.problem, &js);
+        let p = analyze(&pr.problem, &ps);
+        assert!(p.finish_time < j.finish_time, "{case}: faster");
+        assert!(
+            p.energy_cost > j.energy_cost,
+            "{case}: costlier per iteration"
+        );
+        assert!(
+            p.utilization > j.utilization,
+            "{case}: better free-power use"
+        );
+    }
+}
+
+#[test]
+fn table3_rows_are_internally_consistent() {
+    let rows = table3(&SchedulerConfig::default()).unwrap();
+    assert_eq!(rows.len(), 3);
+    for row in &rows {
+        assert_eq!(row.jpl.case, row.power_aware.case);
+        assert!(row.power_aware.finish_time <= row.jpl.finish_time);
+        assert!(row.power_aware.utilization >= row.jpl.utilization);
+    }
+}

@@ -1,0 +1,76 @@
+//! Integration: the runtime dispatcher executing scheduler output.
+
+use impacct::exec::{execute, overrun_tolerance, JitterModel};
+use impacct::rover::{build_rover_problem, jpl_schedule, EnvCase};
+use impacct::sched::PowerAwareScheduler;
+
+#[test]
+fn nominal_execution_reproduces_every_rover_plan() {
+    for case in EnvCase::ALL {
+        let mut rover = build_rover_problem(case, 1);
+        let outcome = PowerAwareScheduler::default()
+            .schedule(&mut rover.problem)
+            .unwrap();
+        let durations = JitterModel::nominal_durations(rover.problem.graph());
+        let trace = execute(&rover.problem, &outcome.schedule, &durations);
+        assert!(trace.is_clean(), "{case}");
+        assert_eq!(trace.finish_time, outcome.analysis.finish_time, "{case}");
+        for (t, start) in outcome.schedule.iter() {
+            assert_eq!(trace.starts[t.index()], start, "{case}: {t} moved");
+        }
+    }
+}
+
+#[test]
+fn schedules_absorb_small_overruns() {
+    for case in EnvCase::ALL {
+        let mut rover = build_rover_problem(case, 1);
+        let outcome = PowerAwareScheduler::default()
+            .schedule(&mut rover.problem)
+            .unwrap();
+        let tolerance = overrun_tolerance(&rover.problem, &outcome.schedule, 100);
+        assert!(
+            tolerance >= Some(5),
+            "{case}: expected at least +5% worst-case overrun margin, got {tolerance:?}"
+        );
+    }
+}
+
+#[test]
+fn serial_baseline_is_more_jitter_tolerant_in_good_light() {
+    // Nothing overlaps in the serial schedule, so only heater windows
+    // can break; with the best case's generous power headroom it
+    // absorbs overruns the parallel schedule cannot.
+    let mut rover = build_rover_problem(EnvCase::Best, 1);
+    let ours = PowerAwareScheduler::default()
+        .schedule(&mut rover.problem)
+        .unwrap();
+    let ours_tol = overrun_tolerance(&rover.problem, &ours.schedule, 100).unwrap_or(0);
+
+    let (jpl_rover, jpl) = jpl_schedule(EnvCase::Best).unwrap();
+    let jpl_tol = overrun_tolerance(&jpl_rover.problem, &jpl, 100).unwrap_or(0);
+    assert!(
+        jpl_tol > ours_tol,
+        "serial {jpl_tol}% vs power-aware {ours_tol}%"
+    );
+}
+
+#[test]
+fn sampled_jitter_never_slips_catastrophically() {
+    let mut rover = build_rover_problem(EnvCase::Typical, 1);
+    let outcome = PowerAwareScheduler::default()
+        .schedule(&mut rover.problem)
+        .unwrap();
+    let planned = outcome.analysis.finish_time;
+    for seed in 0..64u64 {
+        let durations = JitterModel::symmetric(seed, 10).draw_durations(rover.problem.graph());
+        let trace = execute(&rover.problem, &outcome.schedule, &durations);
+        // Even when a window or budget faults, the dispatcher keeps
+        // making progress and the slip stays bounded by the jitter.
+        let slip = trace.slip(planned).as_secs();
+        assert!(
+            (-7..=7).contains(&slip),
+            "seed {seed}: slip {slip}s out of bounds"
+        );
+    }
+}
