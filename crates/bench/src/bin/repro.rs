@@ -2,11 +2,17 @@
 //!
 //! ```text
 //! repro [fig2|fig5|fig7|fig8|fig9|fig10|fig11|table3|table4|all]
+//!       [--trace <file.jsonl>] [--profile]
 //! ```
 //!
 //! Figures are printed as ASCII power-aware Gantt charts (Fig. 8 as
 //! Graphviz DOT); tables in the paper's layout with paper-reported
 //! values alongside for comparison. Everything is deterministic.
+//!
+//! `--trace <path>` streams every scheduling decision of the
+//! instrumented targets (figs 2/5/7 and 9–11) as JSONL
+//! [`TraceEvent`]s; `--profile` prints a per-stage wall-time and
+//! decision-count table after the run.
 
 use pas_bench::{figure_block, metrics_row};
 use pas_core::analyze;
@@ -15,14 +21,38 @@ use pas_mission::{
     improvement_percent, jpl_plan, power_aware_plan, power_aware_plan_standalone, simulate,
     MissionReport, Scenario,
 };
+use pas_obs::{JsonlWriter, Observer, StageProfiler, TraceEvent};
 use pas_rover::{build_rover_problem, jpl_schedule, power_aware_schedule, EnvCase};
 use pas_sched::{PowerAwareScheduler, SchedulerConfig};
+use std::fs::File;
+use std::io::BufWriter;
 use std::process::ExitCode;
 
+/// The optional sinks behind `--trace` and `--profile`, composed into
+/// one observer handed down to the instrumented targets.
+#[derive(Default)]
+struct ReproObserver {
+    trace: Option<JsonlWriter<BufWriter<File>>>,
+    profiler: Option<StageProfiler>,
+}
+
+impl Observer for ReproObserver {
+    fn is_enabled(&self) -> bool {
+        self.trace.is_some() || self.profiler.is_some()
+    }
+
+    fn on_event(&mut self, event: &TraceEvent) {
+        if let Some(w) = &mut self.trace {
+            w.on_event(event);
+        }
+        if let Some(p) = &mut self.profiler {
+            p.on_event(event);
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
-    match run(what) {
+    match cli(std::env::args().skip(1).collect()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("repro: {e}");
@@ -31,13 +61,63 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(what: &str) -> Result<(), String> {
+fn cli(args: Vec<String>) -> Result<(), String> {
+    let mut what: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut profile = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => {
+                let path = it.next().ok_or("--trace requires a file path")?;
+                trace_path = Some(path);
+            }
+            "--profile" => profile = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?} (--trace <path>|--profile)"))
+            }
+            target => {
+                if let Some(prev) = what.replace(target.to_string()) {
+                    return Err(format!("multiple targets given ({prev:?} and {target:?})"));
+                }
+            }
+        }
+    }
+
+    let mut obs = ReproObserver {
+        trace: match &trace_path {
+            Some(path) => {
+                Some(JsonlWriter::create(path).map_err(|e| format!("--trace {path}: {e}"))?)
+            }
+            None => None,
+        },
+        profiler: profile.then(StageProfiler::new),
+    };
+
+    run(what.as_deref().unwrap_or("all"), &mut obs)?;
+
+    if let Some(profiler) = &obs.profiler {
+        println!("---- Stage profile ----");
+        print!("{}", profiler.render_table());
+    }
+    if let Some(writer) = obs.trace.take() {
+        let path = trace_path.unwrap_or_default();
+        let lines = writer.lines();
+        writer
+            .finish()
+            .map_err(|e| format!("--trace {path}: {e}"))?;
+        println!("wrote {lines} trace events to {path}");
+    }
+    Ok(())
+}
+
+fn run(what: &str, obs: &mut ReproObserver) -> Result<(), String> {
     match what {
-        "fig2" | "fig5" | "fig7" => figs257(what),
+        "fig2" | "fig5" | "fig7" => figs257(what, obs),
         "fig8" => fig8(),
-        "fig9" => rover_fig(EnvCase::Best, "Fig. 9 (best case, 2 iterations)", 2),
-        "fig10" => rover_fig(EnvCase::Typical, "Fig. 10 (typical case)", 1),
-        "fig11" => rover_fig(EnvCase::Worst, "Fig. 11 (worst case)", 1),
+        "fig9" => rover_fig(EnvCase::Best, "Fig. 9 (best case, 2 iterations)", 2, obs),
+        "fig10" => rover_fig(EnvCase::Typical, "Fig. 10 (typical case)", 1, obs),
+        "fig11" => rover_fig(EnvCase::Worst, "Fig. 11 (worst case)", 1, obs),
         "table3" => table3(),
         "table4" => table4(),
         "ablation" => ablation(),
@@ -48,7 +128,7 @@ fn run(what: &str) -> Result<(), String> {
                 "fig2", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "table3", "table4",
                 "ablation", "optgap",
             ] {
-                run(w)?;
+                run(w, obs)?;
                 println!();
             }
             Ok(())
@@ -61,10 +141,10 @@ fn run(what: &str) -> Result<(), String> {
 }
 
 /// Figs. 2, 5, 7: the pipeline stages on the 9-task example.
-fn figs257(which: &str) -> Result<(), String> {
+fn figs257(which: &str, obs: &mut ReproObserver) -> Result<(), String> {
     let (mut problem, _) = pas_core::example::paper_example();
     let stages = PowerAwareScheduler::default()
-        .schedule_stages(&mut problem)
+        .schedule_stages_with(&mut problem, obs)
         .map_err(|e| e.to_string())?;
     let (title, outcome) = match which {
         "fig2" => (
@@ -112,10 +192,15 @@ fn fig8() -> Result<(), String> {
 }
 
 /// Figs. 9–11: rover schedules per case.
-fn rover_fig(case: EnvCase, title: &str, iterations: usize) -> Result<(), String> {
+fn rover_fig(
+    case: EnvCase,
+    title: &str,
+    iterations: usize,
+    obs: &mut ReproObserver,
+) -> Result<(), String> {
     let mut rover = build_rover_problem(case, iterations);
     let outcome = PowerAwareScheduler::default()
-        .schedule(&mut rover.problem)
+        .schedule_with(&mut rover.problem, obs)
         .map_err(|e| e.to_string())?;
     print!("{}", figure_block(title, &rover.problem, &outcome.schedule));
     Ok(())

@@ -122,11 +122,7 @@ mod tests {
             TimeSpan::from_secs(10),
             Power::from_watts(4),
         ));
-        let p = Problem::new(
-            "c",
-            g,
-            PowerConstraints::max_only(Power::from_watts(10)),
-        );
+        let p = Problem::new("c", g, PowerConstraints::max_only(Power::from_watts(10)));
         let s = Schedule::from_starts(vec![Time::ZERO, Time::ZERO]);
         (p, s)
     }

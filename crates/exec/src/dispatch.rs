@@ -14,6 +14,7 @@ use crate::jitter::JitterModel;
 use pas_core::{PowerProfile, Problem, Schedule};
 use pas_graph::units::{Power, Time, TimeSpan};
 use pas_graph::{ConstraintGraph, EdgeId, TaskId};
+use pas_obs::{NullObserver, Observer, StageKind, TraceEvent};
 
 /// A max-separation window that the execution exceeded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,12 +67,35 @@ impl ExecutionTrace {
 /// # Panics
 /// Panics if `durations` does not cover every task.
 pub fn execute(problem: &Problem, schedule: &Schedule, durations: &[TimeSpan]) -> ExecutionTrace {
+    execute_observed(problem, schedule, durations, &mut NullObserver)
+}
+
+/// [`execute`] with a [`pas_obs::Observer`] receiving the dispatch
+/// decisions: a [`TraceEvent::TaskDispatched`] per actual start (with
+/// its planned time), a [`TraceEvent::TaskCompleted`] per finish, and
+/// a [`TraceEvent::WindowFaultDetected`] per exceeded max-separation
+/// window, bracketed by the `Dispatch` stage markers.
+///
+/// # Panics
+/// Panics if `durations` does not cover every task.
+pub fn execute_observed<O: Observer>(
+    problem: &Problem,
+    schedule: &Schedule,
+    durations: &[TimeSpan],
+    obs: &mut O,
+) -> ExecutionTrace {
     let graph = problem.graph();
     assert_eq!(
         durations.len(),
         graph.num_tasks(),
         "need one duration per task"
     );
+
+    if obs.is_enabled() {
+        obs.on_event(&TraceEvent::StageStarted {
+            stage: StageKind::Dispatch,
+        });
+    }
 
     // Dispatch in static start order (ties by id — the same order the
     // static serialization implies).
@@ -103,6 +127,17 @@ pub fn execute(problem: &Problem, schedule: &Schedule, durations: &[TimeSpan]) -
         ends[v.index()] = start + durations[v.index()];
         done[v.index()] = true;
         resource_free[graph.task(v).resource().index()] = ends[v.index()];
+        if obs.is_enabled() {
+            obs.on_event(&TraceEvent::TaskDispatched {
+                task: v,
+                planned: schedule.start(v),
+                actual: start,
+            });
+            obs.on_event(&TraceEvent::TaskCompleted {
+                task: v,
+                at: ends[v.index()],
+            });
+        }
     }
 
     // Post-hoc checks against the actual timeline.
@@ -131,12 +166,29 @@ pub fn execute(problem: &Problem, schedule: &Schedule, durations: &[TimeSpan]) -
 
     window_faults.sort_by_key(|f| (f.from, f.to, f.edge));
 
+    if obs.is_enabled() {
+        for f in &window_faults {
+            obs.on_event(&TraceEvent::WindowFaultDetected {
+                from: f.from,
+                to: f.to,
+                allowed: f.allowed,
+                actual: f.actual,
+            });
+        }
+    }
+
     // Profile with the *actual* durations: the constant powers are
     // unchanged, so evaluate on a clone of the graph whose delays are
     // the measured ones.
     let profile = actual_profile(graph, &starts, durations, problem.background_power());
     let p_max = problem.constraints().p_max();
     let power_faults = profile.spikes(p_max).len();
+
+    if obs.is_enabled() {
+        obs.on_event(&TraceEvent::StageFinished {
+            stage: StageKind::Dispatch,
+        });
+    }
 
     ExecutionTrace {
         finish_time: graph
@@ -271,7 +323,7 @@ mod tests {
     fn resource_contention_serializes_actual_starts() {
         let mut g = ConstraintGraph::new();
         let r = g.add_resource(Resource::new("R", ResourceKind::Compute));
-        let a = g.add_task(Task::new("a", r, TimeSpan::from_secs(5), Power::ZERO));
+        let _a = g.add_task(Task::new("a", r, TimeSpan::from_secs(5), Power::ZERO));
         let b = g.add_task(Task::new("b", r, TimeSpan::from_secs(5), Power::ZERO));
         let p = Problem::new("serial", g, PowerConstraints::unconstrained());
         let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(5)]);
@@ -322,6 +374,51 @@ mod tests {
         assert!(trace.power_faults > 0);
         assert_eq!(trace.peak_power, Power::from_watts(13));
         let _ = (heat, drive, filler);
+    }
+
+    #[test]
+    fn observed_execution_matches_plain_and_records_dispatch_events() {
+        use pas_obs::{EventCounts, RecordingObserver};
+
+        let (p, heat, drive, _) = problem();
+        // The 21 s plan from `missed_window_is_reported_as_fault`:
+        // one window fault, three dispatches.
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(21), Time::ZERO]);
+        let durations = JitterModel::nominal_durations(p.graph());
+
+        let plain = execute(&p, &s, &durations);
+        let mut rec = RecordingObserver::new();
+        let observed = execute_observed(&p, &s, &durations, &mut rec);
+        assert_eq!(plain, observed, "observation must not perturb execution");
+
+        let events = rec.into_events();
+        assert_eq!(
+            events.first(),
+            Some(&TraceEvent::StageStarted {
+                stage: StageKind::Dispatch
+            })
+        );
+        assert_eq!(
+            events.last(),
+            Some(&TraceEvent::StageFinished {
+                stage: StageKind::Dispatch
+            })
+        );
+        let counts = EventCounts::from_events(&events);
+        assert_eq!(counts.tasks_dispatched, 3);
+        assert_eq!(counts.tasks_completed, 3);
+        assert_eq!(counts.window_faults, 1);
+        assert!(events.contains(&TraceEvent::TaskDispatched {
+            task: drive,
+            planned: Time::from_secs(21),
+            actual: Time::from_secs(21),
+        }));
+        assert!(events.contains(&TraceEvent::WindowFaultDetected {
+            from: heat,
+            to: drive,
+            allowed: TimeSpan::from_secs(20),
+            actual: TimeSpan::from_secs(21),
+        }));
     }
 
     #[test]

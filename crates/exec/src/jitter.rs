@@ -7,7 +7,7 @@
 //! are repeatable.
 
 use pas_graph::units::TimeSpan;
-use pas_graph::{ConstraintGraph, TaskId};
+use pas_graph::ConstraintGraph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -65,7 +65,7 @@ impl JitterModel {
     }
 
     /// Draws an actual duration for every task of `graph`, indexed by
-    /// [`TaskId`].
+    /// [`pas_graph::TaskId`].
     pub fn draw_durations(&self, graph: &ConstraintGraph) -> Vec<TimeSpan> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         graph

@@ -46,5 +46,5 @@ mod dispatch;
 mod jitter;
 
 pub use campaign::{jitter_campaign, planned_finish, CampaignStats};
-pub use dispatch::{execute, overrun_tolerance, ExecutionTrace, WindowFault};
+pub use dispatch::{execute, execute_observed, overrun_tolerance, ExecutionTrace, WindowFault};
 pub use jitter::JitterModel;

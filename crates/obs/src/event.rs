@@ -1,0 +1,1024 @@
+//! The trace-event vocabulary: one variant per algorithmic decision in
+//! the scheduling pipeline, plus a dependency-free JSONL codec.
+//!
+//! Events are deliberately *value-typed* — no references into the
+//! constraint graph — so a recorded stream stays valid after the graph
+//! is mutated, can be shipped across threads, and round-trips through
+//! the line-oriented JSON encoding ([`TraceEvent::to_json`] /
+//! [`TraceEvent::from_json`]) without loss.
+//!
+//! Encoding conventions (kept stable for external tooling):
+//!
+//! * every event is one flat JSON object on one line;
+//! * the discriminant is the `"event"` key, spelled exactly like the
+//!   variant name;
+//! * tasks are raw arena indices (`TaskId::index`), times and spans
+//!   are integer seconds, powers are integer milliwatts;
+//! * exact rationals ([`Ratio`]) are `"num/den"` strings so no
+//!   precision is lost.
+
+use std::fmt;
+
+use pas_core::Ratio;
+use pas_graph::units::{Power, Time, TimeSpan};
+use pas_graph::TaskId;
+
+/// Pipeline stage (or runtime phase) a trace span belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StageKind {
+    /// Stage 1 — timing scheduler (paper Fig. 3): backtracking search
+    /// over resource serializations.
+    Timing,
+    /// Stage 2 — max-power spike elimination (paper Fig. 4).
+    MaxPower,
+    /// Stage 3 — min-power gap filling (paper Fig. 6).
+    MinPower,
+    /// Runtime dispatch of a finished schedule (pas-exec).
+    Dispatch,
+}
+
+impl StageKind {
+    /// All stages in pipeline order.
+    pub const ALL: [StageKind; 4] = [
+        StageKind::Timing,
+        StageKind::MaxPower,
+        StageKind::MinPower,
+        StageKind::Dispatch,
+    ];
+
+    /// Stable wire name (`"timing"`, `"max-power"`, …).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            StageKind::Timing => "timing",
+            StageKind::MaxPower => "max-power",
+            StageKind::MinPower => "min-power",
+            StageKind::Dispatch => "dispatch",
+        }
+    }
+
+    /// Dense index into [`StageKind::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            StageKind::Timing => 0,
+            StageKind::MaxPower => 1,
+            StageKind::MinPower => 2,
+            StageKind::Dispatch => 3,
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "timing" => StageKind::Timing,
+            "max-power" => StageKind::MaxPower,
+            "min-power" => StageKind::MinPower,
+            "dispatch" => StageKind::Dispatch,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Direction a min-power gap scan walks the schedule in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScanKind {
+    /// Earliest gap first.
+    Forward,
+    /// Latest gap first.
+    Reverse,
+    /// Randomised order.
+    Random,
+}
+
+impl ScanKind {
+    /// Stable wire name.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ScanKind::Forward => "forward",
+            ScanKind::Reverse => "reverse",
+            ScanKind::Random => "random",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "forward" => ScanKind::Forward,
+            "reverse" => ScanKind::Reverse,
+            "random" => ScanKind::Random,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ScanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a min-power move places the task inside the gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotKind {
+    /// Task starts exactly at the gap start.
+    StartAtGap,
+    /// Task finishes exactly at the gap end.
+    FinishAtGapEnd,
+    /// Randomised placement within the gap.
+    Random,
+}
+
+impl SlotKind {
+    /// Stable wire name.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            SlotKind::StartAtGap => "start-at-gap",
+            SlotKind::FinishAtGapEnd => "finish-at-gap-end",
+            SlotKind::Random => "random",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "start-at-gap" => SlotKind::StartAtGap,
+            "finish-at-gap-end" => SlotKind::FinishAtGapEnd,
+            "random" => SlotKind::Random,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for SlotKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One algorithmic decision somewhere in the scheduling pipeline.
+///
+/// Variants map one-to-one onto the decision points of the three
+/// paper algorithms plus the runtime dispatcher; see the crate docs
+/// for the full vocabulary table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A pipeline stage began.
+    StageStarted {
+        /// Which stage.
+        stage: StageKind,
+    },
+    /// A pipeline stage finished (successfully or not).
+    StageFinished {
+        /// Which stage.
+        stage: StageKind,
+    },
+    /// Timing scheduler committed a task onto its resource.
+    TaskCommitted {
+        /// The committed task.
+        task: TaskId,
+    },
+    /// Timing scheduler undid a commitment and backtracked.
+    TopoBacktrack {
+        /// The task whose commitment was undone.
+        task: TaskId,
+    },
+    /// Timing scheduler added a serialization edge between two tasks
+    /// sharing a resource.
+    SerializationAdded {
+        /// Task committed to run first.
+        committed: TaskId,
+        /// Task forced to wait for `committed`.
+        serialized: TaskId,
+    },
+    /// Max-power stage found a segment exceeding the power budget.
+    SpikeDetected {
+        /// Segment start time.
+        t: Time,
+        /// Aggregate power of the offending segment.
+        power: Power,
+        /// The maximum-power budget it violates.
+        budget: Power,
+    },
+    /// Max-power stage delayed a victim task to dissolve a spike.
+    VictimDelayed {
+        /// The delayed task.
+        task: TaskId,
+        /// The victim's slack when chosen.
+        slack: TimeSpan,
+        /// How far it was pushed.
+        delta: TimeSpan,
+    },
+    /// Max-power stage locked a zero-slack task at its start time
+    /// before recursing.
+    ZeroSlackLocked {
+        /// The locked task.
+        task: TaskId,
+        /// The start time it is pinned to.
+        at: Time,
+    },
+    /// Max-power stage recursed after a forced exit re-timing.
+    PowerRecursion {
+        /// Recursion depth reached (1 = first recursion).
+        depth: u32,
+    },
+    /// Max-power stage restarted with a rotated configuration.
+    RespinStarted {
+        /// Respin attempt number (1-based).
+        attempt: u32,
+    },
+    /// Min-power stage began one scan pass over the schedule.
+    GapScanStarted {
+        /// Pass number (1-based across the whole stage).
+        pass: u32,
+        /// Direction of the scan.
+        order: ScanKind,
+        /// Slot placement policy for the scan.
+        slot: SlotKind,
+    },
+    /// Min-power stage finished one scan pass.
+    GapScanFinished {
+        /// Pass number matching the corresponding start event.
+        pass: u32,
+        /// Moves accepted during the pass.
+        moves: u64,
+    },
+    /// Min-power stage found a gap below the power floor.
+    GapFound {
+        /// Gap instant considered.
+        t: Time,
+        /// Aggregate power at the gap.
+        power: Power,
+        /// The minimum-power floor it undershoots.
+        floor: Power,
+    },
+    /// Min-power stage accepted a candidate move into a gap.
+    MoveAccepted {
+        /// The moved task.
+        task: TaskId,
+        /// Signed shift applied to its start time.
+        delta: TimeSpan,
+        /// Power utilization ρ before the move.
+        rho_before: Ratio,
+        /// Power utilization ρ after the move.
+        rho_after: Ratio,
+    },
+    /// Min-power stage evaluated and rejected a candidate move.
+    MoveRejected {
+        /// The candidate task.
+        task: TaskId,
+        /// Signed shift that was evaluated.
+        delta: TimeSpan,
+        /// Power utilization ρ before the hypothetical move.
+        rho_before: Ratio,
+        /// Power utilization ρ the move would have produced.
+        rho_after: Ratio,
+    },
+    /// Runtime dispatcher released a task.
+    TaskDispatched {
+        /// The released task.
+        task: TaskId,
+        /// Static (planned) start time.
+        planned: Time,
+        /// Actual release time under jitter.
+        actual: Time,
+    },
+    /// Runtime dispatcher observed a task completing.
+    TaskCompleted {
+        /// The finished task.
+        task: TaskId,
+        /// Actual completion time.
+        at: Time,
+    },
+    /// Runtime dispatcher detected a violated max-separation window.
+    WindowFaultDetected {
+        /// Window source task.
+        from: TaskId,
+        /// Window sink task.
+        to: TaskId,
+        /// Maximum allowed separation.
+        allowed: TimeSpan,
+        /// Observed separation.
+        actual: TimeSpan,
+    },
+}
+
+impl TraceEvent {
+    /// The variant name, as spelled on the wire.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::StageStarted { .. } => "StageStarted",
+            TraceEvent::StageFinished { .. } => "StageFinished",
+            TraceEvent::TaskCommitted { .. } => "TaskCommitted",
+            TraceEvent::TopoBacktrack { .. } => "TopoBacktrack",
+            TraceEvent::SerializationAdded { .. } => "SerializationAdded",
+            TraceEvent::SpikeDetected { .. } => "SpikeDetected",
+            TraceEvent::VictimDelayed { .. } => "VictimDelayed",
+            TraceEvent::ZeroSlackLocked { .. } => "ZeroSlackLocked",
+            TraceEvent::PowerRecursion { .. } => "PowerRecursion",
+            TraceEvent::RespinStarted { .. } => "RespinStarted",
+            TraceEvent::GapScanStarted { .. } => "GapScanStarted",
+            TraceEvent::GapScanFinished { .. } => "GapScanFinished",
+            TraceEvent::GapFound { .. } => "GapFound",
+            TraceEvent::MoveAccepted { .. } => "MoveAccepted",
+            TraceEvent::MoveRejected { .. } => "MoveRejected",
+            TraceEvent::TaskDispatched { .. } => "TaskDispatched",
+            TraceEvent::TaskCompleted { .. } => "TaskCompleted",
+            TraceEvent::WindowFaultDetected { .. } => "WindowFaultDetected",
+        }
+    }
+
+    /// Serializes the event as one flat JSON object (no trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonObject::new(self.name());
+        match self {
+            TraceEvent::StageStarted { stage } | TraceEvent::StageFinished { stage } => {
+                w.str_field("stage", stage.as_str());
+            }
+            TraceEvent::TaskCommitted { task } | TraceEvent::TopoBacktrack { task } => {
+                w.int_field("task", task.index() as i128);
+            }
+            TraceEvent::SerializationAdded {
+                committed,
+                serialized,
+            } => {
+                w.int_field("committed", committed.index() as i128);
+                w.int_field("serialized", serialized.index() as i128);
+            }
+            TraceEvent::SpikeDetected { t, power, budget } => {
+                w.int_field("t", t.as_secs() as i128);
+                w.int_field("power", power.as_milliwatts() as i128);
+                w.int_field("budget", budget.as_milliwatts() as i128);
+            }
+            TraceEvent::VictimDelayed { task, slack, delta } => {
+                w.int_field("task", task.index() as i128);
+                w.int_field("slack", slack.as_secs() as i128);
+                w.int_field("delta", delta.as_secs() as i128);
+            }
+            TraceEvent::ZeroSlackLocked { task, at } => {
+                w.int_field("task", task.index() as i128);
+                w.int_field("at", at.as_secs() as i128);
+            }
+            TraceEvent::PowerRecursion { depth } => {
+                w.int_field("depth", *depth as i128);
+            }
+            TraceEvent::RespinStarted { attempt } => {
+                w.int_field("attempt", *attempt as i128);
+            }
+            TraceEvent::GapScanStarted { pass, order, slot } => {
+                w.int_field("pass", *pass as i128);
+                w.str_field("order", order.as_str());
+                w.str_field("slot", slot.as_str());
+            }
+            TraceEvent::GapScanFinished { pass, moves } => {
+                w.int_field("pass", *pass as i128);
+                w.int_field("moves", *moves as i128);
+            }
+            TraceEvent::GapFound { t, power, floor } => {
+                w.int_field("t", t.as_secs() as i128);
+                w.int_field("power", power.as_milliwatts() as i128);
+                w.int_field("floor", floor.as_milliwatts() as i128);
+            }
+            TraceEvent::MoveAccepted {
+                task,
+                delta,
+                rho_before,
+                rho_after,
+            }
+            | TraceEvent::MoveRejected {
+                task,
+                delta,
+                rho_before,
+                rho_after,
+            } => {
+                w.int_field("task", task.index() as i128);
+                w.int_field("delta", delta.as_secs() as i128);
+                w.ratio_field("rho_before", *rho_before);
+                w.ratio_field("rho_after", *rho_after);
+            }
+            TraceEvent::TaskDispatched {
+                task,
+                planned,
+                actual,
+            } => {
+                w.int_field("task", task.index() as i128);
+                w.int_field("planned", planned.as_secs() as i128);
+                w.int_field("actual", actual.as_secs() as i128);
+            }
+            TraceEvent::TaskCompleted { task, at } => {
+                w.int_field("task", task.index() as i128);
+                w.int_field("at", at.as_secs() as i128);
+            }
+            TraceEvent::WindowFaultDetected {
+                from,
+                to,
+                allowed,
+                actual,
+            } => {
+                w.int_field("from", from.index() as i128);
+                w.int_field("to", to.index() as i128);
+                w.int_field("allowed", allowed.as_secs() as i128);
+                w.int_field("actual", actual.as_secs() as i128);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses one JSON line produced by [`TraceEvent::to_json`].
+    pub fn from_json(line: &str) -> Result<Self, TraceParseError> {
+        let fields = parse_flat_object(line)?;
+        let ctx = Fields::new(&fields);
+        let name = ctx.str("event")?;
+        let event = match name {
+            "StageStarted" => TraceEvent::StageStarted {
+                stage: ctx.stage("stage")?,
+            },
+            "StageFinished" => TraceEvent::StageFinished {
+                stage: ctx.stage("stage")?,
+            },
+            "TaskCommitted" => TraceEvent::TaskCommitted {
+                task: ctx.task("task")?,
+            },
+            "TopoBacktrack" => TraceEvent::TopoBacktrack {
+                task: ctx.task("task")?,
+            },
+            "SerializationAdded" => TraceEvent::SerializationAdded {
+                committed: ctx.task("committed")?,
+                serialized: ctx.task("serialized")?,
+            },
+            "SpikeDetected" => TraceEvent::SpikeDetected {
+                t: ctx.time("t")?,
+                power: ctx.power("power")?,
+                budget: ctx.power("budget")?,
+            },
+            "VictimDelayed" => TraceEvent::VictimDelayed {
+                task: ctx.task("task")?,
+                slack: ctx.span("slack")?,
+                delta: ctx.span("delta")?,
+            },
+            "ZeroSlackLocked" => TraceEvent::ZeroSlackLocked {
+                task: ctx.task("task")?,
+                at: ctx.time("at")?,
+            },
+            "PowerRecursion" => TraceEvent::PowerRecursion {
+                depth: ctx.u32("depth")?,
+            },
+            "RespinStarted" => TraceEvent::RespinStarted {
+                attempt: ctx.u32("attempt")?,
+            },
+            "GapScanStarted" => TraceEvent::GapScanStarted {
+                pass: ctx.u32("pass")?,
+                order: ctx.scan("order")?,
+                slot: ctx.slot("slot")?,
+            },
+            "GapScanFinished" => TraceEvent::GapScanFinished {
+                pass: ctx.u32("pass")?,
+                moves: ctx.u64("moves")?,
+            },
+            "GapFound" => TraceEvent::GapFound {
+                t: ctx.time("t")?,
+                power: ctx.power("power")?,
+                floor: ctx.power("floor")?,
+            },
+            "MoveAccepted" => TraceEvent::MoveAccepted {
+                task: ctx.task("task")?,
+                delta: ctx.span("delta")?,
+                rho_before: ctx.ratio("rho_before")?,
+                rho_after: ctx.ratio("rho_after")?,
+            },
+            "MoveRejected" => TraceEvent::MoveRejected {
+                task: ctx.task("task")?,
+                delta: ctx.span("delta")?,
+                rho_before: ctx.ratio("rho_before")?,
+                rho_after: ctx.ratio("rho_after")?,
+            },
+            "TaskDispatched" => TraceEvent::TaskDispatched {
+                task: ctx.task("task")?,
+                planned: ctx.time("planned")?,
+                actual: ctx.time("actual")?,
+            },
+            "TaskCompleted" => TraceEvent::TaskCompleted {
+                task: ctx.task("task")?,
+                at: ctx.time("at")?,
+            },
+            "WindowFaultDetected" => TraceEvent::WindowFaultDetected {
+                from: ctx.task("from")?,
+                to: ctx.task("to")?,
+                allowed: ctx.span("allowed")?,
+                actual: ctx.span("actual")?,
+            },
+            other => {
+                return Err(TraceParseError::new(format!(
+                    "unknown event name {other:?}"
+                )))
+            }
+        };
+        Ok(event)
+    }
+
+    /// Which pipeline stage this event is intrinsic to, if any.
+    ///
+    /// Stage markers themselves return their payload stage; events
+    /// that can only be emitted by one stage return that stage.
+    pub const fn stage(&self) -> Option<StageKind> {
+        Some(match self {
+            TraceEvent::StageStarted { stage } | TraceEvent::StageFinished { stage } => *stage,
+            TraceEvent::TaskCommitted { .. }
+            | TraceEvent::TopoBacktrack { .. }
+            | TraceEvent::SerializationAdded { .. } => StageKind::Timing,
+            TraceEvent::SpikeDetected { .. }
+            | TraceEvent::VictimDelayed { .. }
+            | TraceEvent::ZeroSlackLocked { .. }
+            | TraceEvent::PowerRecursion { .. }
+            | TraceEvent::RespinStarted { .. } => StageKind::MaxPower,
+            TraceEvent::GapScanStarted { .. }
+            | TraceEvent::GapScanFinished { .. }
+            | TraceEvent::GapFound { .. }
+            | TraceEvent::MoveAccepted { .. }
+            | TraceEvent::MoveRejected { .. } => StageKind::MinPower,
+            TraceEvent::TaskDispatched { .. }
+            | TraceEvent::TaskCompleted { .. }
+            | TraceEvent::WindowFaultDetected { .. } => StageKind::Dispatch,
+        })
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+/// Error from [`TraceEvent::from_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    message: String,
+}
+
+impl TraceParseError {
+    fn new(message: String) -> Self {
+        TraceParseError { message }
+    }
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+// ---------------------------------------------------------------------
+// Flat-JSON writer
+// ---------------------------------------------------------------------
+
+struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    fn new(event: &str) -> Self {
+        let mut buf = String::with_capacity(96);
+        buf.push_str("{\"event\":\"");
+        buf.push_str(event);
+        buf.push('"');
+        JsonObject { buf }
+    }
+
+    fn int_field(&mut self, key: &str, value: i128) {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+    }
+
+    fn str_field(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.buf.push('"');
+        // Wire strings are fixed vocabularies without escapes; assert
+        // that stays true rather than silently corrupting output.
+        debug_assert!(!value.contains(['"', '\\']));
+        self.buf.push_str(value);
+        self.buf.push('"');
+    }
+
+    fn ratio_field(&mut self, key: &str, value: Ratio) {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&value.numerator().to_string());
+        self.buf.push('/');
+        self.buf.push_str(&value.denominator().to_string());
+        self.buf.push('"');
+    }
+
+    fn key(&mut self, key: &str) {
+        self.buf.push_str(",\"");
+        self.buf.push_str(key);
+        self.buf.push_str("\":");
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flat-JSON reader
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JsonValue {
+    Int(i128),
+    Str(String),
+}
+
+/// Parses a single-line flat JSON object with integer and string
+/// values only (exactly the shape [`TraceEvent::to_json`] emits,
+/// though whitespace between tokens is tolerated).
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, TraceParseError> {
+    let mut fields = Vec::new();
+    let mut chars = line.trim().char_indices().peekable();
+    let src = line.trim();
+
+    let err = |msg: &str| TraceParseError::new(format!("{msg} in {src:?}"));
+
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return Err(err("expected '{'")),
+    }
+
+    loop {
+        // Skip whitespace.
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.peek() {
+            Some((_, '}')) => {
+                chars.next();
+                break;
+            }
+            Some((_, ',')) if !fields.is_empty() => {
+                chars.next();
+                while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+                    chars.next();
+                }
+            }
+            Some((_, '"')) if fields.is_empty() => {}
+            _ => return Err(err("expected ',' or '}'")),
+        }
+
+        // Key.
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(err("expected '\"' starting a key")),
+        }
+        let mut key = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '"')) => break,
+                Some((_, c)) if c != '\\' => key.push(c),
+                _ => return Err(err("unterminated or escaped key")),
+            }
+        }
+
+        // Colon.
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.next() {
+            Some((_, ':')) => {}
+            _ => return Err(err("expected ':'")),
+        }
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+
+        // Value: integer or string.
+        let value = match chars.peek() {
+            Some((_, '"')) => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, '"')) => break,
+                        Some((_, c)) if c != '\\' => s.push(c),
+                        _ => return Err(err("unterminated or escaped string value")),
+                    }
+                }
+                JsonValue::Str(s)
+            }
+            Some((_, c)) if *c == '-' || c.is_ascii_digit() => {
+                let mut digits = String::new();
+                if let Some((_, '-')) = chars.peek() {
+                    digits.push('-');
+                    chars.next();
+                }
+                while matches!(chars.peek(), Some((_, c)) if c.is_ascii_digit()) {
+                    digits.push(chars.next().unwrap().1);
+                }
+                let n: i128 = digits.parse().map_err(|_| err("invalid integer literal"))?;
+                JsonValue::Int(n)
+            }
+            _ => return Err(err("expected a value")),
+        };
+
+        fields.push((key, value));
+    }
+
+    while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+        chars.next();
+    }
+    if chars.next().is_some() {
+        return Err(err("trailing garbage after '}'"));
+    }
+    Ok(fields)
+}
+
+/// Typed field accessors over a parsed flat object.
+struct Fields<'a> {
+    fields: &'a [(String, JsonValue)],
+}
+
+impl<'a> Fields<'a> {
+    fn new(fields: &'a [(String, JsonValue)]) -> Self {
+        Fields { fields }
+    }
+
+    fn get(&self, key: &str) -> Result<&'a JsonValue, TraceParseError> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| TraceParseError::new(format!("missing field {key:?}")))
+    }
+
+    fn str(&self, key: &str) -> Result<&'a str, TraceParseError> {
+        match self.get(key)? {
+            JsonValue::Str(s) => Ok(s),
+            JsonValue::Int(_) => Err(TraceParseError::new(format!(
+                "field {key:?} should be a string"
+            ))),
+        }
+    }
+
+    fn int(&self, key: &str) -> Result<i128, TraceParseError> {
+        match self.get(key)? {
+            JsonValue::Int(n) => Ok(*n),
+            JsonValue::Str(_) => Err(TraceParseError::new(format!(
+                "field {key:?} should be an integer"
+            ))),
+        }
+    }
+
+    fn i64(&self, key: &str) -> Result<i64, TraceParseError> {
+        i64::try_from(self.int(key)?)
+            .map_err(|_| TraceParseError::new(format!("field {key:?} overflows i64")))
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, TraceParseError> {
+        u32::try_from(self.int(key)?)
+            .map_err(|_| TraceParseError::new(format!("field {key:?} overflows u32")))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, TraceParseError> {
+        u64::try_from(self.int(key)?)
+            .map_err(|_| TraceParseError::new(format!("field {key:?} overflows u64")))
+    }
+
+    fn task(&self, key: &str) -> Result<TaskId, TraceParseError> {
+        let idx = self.int(key)?;
+        let idx = usize::try_from(idx)
+            .map_err(|_| TraceParseError::new(format!("field {key:?} is not a task index")))?;
+        if idx > u32::MAX as usize {
+            return Err(TraceParseError::new(format!(
+                "field {key:?} exceeds the task-id range"
+            )));
+        }
+        Ok(TaskId::from_index(idx))
+    }
+
+    fn time(&self, key: &str) -> Result<Time, TraceParseError> {
+        Ok(Time::from_secs(self.i64(key)?))
+    }
+
+    fn span(&self, key: &str) -> Result<TimeSpan, TraceParseError> {
+        Ok(TimeSpan::from_secs(self.i64(key)?))
+    }
+
+    fn power(&self, key: &str) -> Result<Power, TraceParseError> {
+        Ok(Power::from_watts_milli(self.i64(key)?))
+    }
+
+    fn ratio(&self, key: &str) -> Result<Ratio, TraceParseError> {
+        let s = self.str(key)?;
+        let (num, den) = s
+            .split_once('/')
+            .ok_or_else(|| TraceParseError::new(format!("field {key:?} is not \"num/den\"")))?;
+        let num: i128 = num
+            .parse()
+            .map_err(|_| TraceParseError::new(format!("field {key:?} has a bad numerator")))?;
+        let den: i128 = den
+            .parse()
+            .map_err(|_| TraceParseError::new(format!("field {key:?} has a bad denominator")))?;
+        if den == 0 {
+            return Err(TraceParseError::new(format!(
+                "field {key:?} has a zero denominator"
+            )));
+        }
+        Ok(Ratio::new(num, den))
+    }
+
+    fn stage(&self, key: &str) -> Result<StageKind, TraceParseError> {
+        let s = self.str(key)?;
+        StageKind::parse(s)
+            .ok_or_else(|| TraceParseError::new(format!("field {key:?} has unknown stage {s:?}")))
+    }
+
+    fn scan(&self, key: &str) -> Result<ScanKind, TraceParseError> {
+        let s = self.str(key)?;
+        ScanKind::parse(s).ok_or_else(|| {
+            TraceParseError::new(format!("field {key:?} has unknown scan order {s:?}"))
+        })
+    }
+
+    fn slot(&self, key: &str) -> Result<SlotKind, TraceParseError> {
+        let s = self.str(key)?;
+        SlotKind::parse(s).ok_or_else(|| {
+            TraceParseError::new(format!("field {key:?} has unknown slot policy {s:?}"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let t = TaskId::from_index;
+        vec![
+            TraceEvent::StageStarted {
+                stage: StageKind::Timing,
+            },
+            TraceEvent::TaskCommitted { task: t(0) },
+            TraceEvent::SerializationAdded {
+                committed: t(0),
+                serialized: t(3),
+            },
+            TraceEvent::TopoBacktrack { task: t(3) },
+            TraceEvent::StageFinished {
+                stage: StageKind::Timing,
+            },
+            TraceEvent::StageStarted {
+                stage: StageKind::MaxPower,
+            },
+            TraceEvent::SpikeDetected {
+                t: Time::from_secs(4),
+                power: Power::from_watts_milli(22_000),
+                budget: Power::from_watts_milli(16_000),
+            },
+            TraceEvent::VictimDelayed {
+                task: t(2),
+                slack: TimeSpan::from_secs(5),
+                delta: TimeSpan::from_secs(2),
+            },
+            TraceEvent::ZeroSlackLocked {
+                task: t(1),
+                at: Time::from_secs(0),
+            },
+            TraceEvent::PowerRecursion { depth: 1 },
+            TraceEvent::RespinStarted { attempt: 2 },
+            TraceEvent::StageFinished {
+                stage: StageKind::MaxPower,
+            },
+            TraceEvent::GapScanStarted {
+                pass: 1,
+                order: ScanKind::Forward,
+                slot: SlotKind::StartAtGap,
+            },
+            TraceEvent::GapFound {
+                t: Time::from_secs(9),
+                power: Power::from_watts_milli(4_000),
+                floor: Power::from_watts_milli(8_000),
+            },
+            TraceEvent::MoveAccepted {
+                task: t(4),
+                delta: TimeSpan::from_secs(-3),
+                rho_before: Ratio::new(5, 8),
+                rho_after: Ratio::new(3, 4),
+            },
+            TraceEvent::MoveRejected {
+                task: t(5),
+                delta: TimeSpan::from_secs(1),
+                rho_before: Ratio::new(3, 4),
+                rho_after: Ratio::new(1, 2),
+            },
+            TraceEvent::GapScanFinished { pass: 1, moves: 1 },
+            TraceEvent::TaskDispatched {
+                task: t(0),
+                planned: Time::from_secs(0),
+                actual: Time::from_secs(1),
+            },
+            TraceEvent::TaskCompleted {
+                task: t(0),
+                at: Time::from_secs(11),
+            },
+            TraceEvent::WindowFaultDetected {
+                from: t(0),
+                to: t(2),
+                allowed: TimeSpan::from_secs(10),
+                actual: TimeSpan::from_secs(12),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        for event in sample_events() {
+            let line = event.to_json();
+            let parsed = TraceEvent::from_json(&line)
+                .unwrap_or_else(|e| panic!("failed to parse {line}: {e}"));
+            assert_eq!(parsed, event, "round trip mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn json_shape_is_flat_and_stable() {
+        let event = TraceEvent::SpikeDetected {
+            t: Time::from_secs(4),
+            power: Power::from_watts_milli(22_000),
+            budget: Power::from_watts_milli(16_000),
+        };
+        assert_eq!(
+            event.to_json(),
+            r#"{"event":"SpikeDetected","t":4,"power":22000,"budget":16000}"#
+        );
+        let event = TraceEvent::MoveAccepted {
+            task: TaskId::from_index(4),
+            delta: TimeSpan::from_secs(-3),
+            rho_before: Ratio::new(5, 8),
+            rho_after: Ratio::new(3, 4),
+        };
+        assert_eq!(
+            event.to_json(),
+            r#"{"event":"MoveAccepted","task":4,"delta":-3,"rho_before":"5/8","rho_after":"3/4"}"#
+        );
+    }
+
+    #[test]
+    fn parser_tolerates_whitespace() {
+        let line = r#" { "event" : "PowerRecursion" , "depth" : 3 } "#;
+        assert_eq!(
+            TraceEvent::from_json(line).unwrap(),
+            TraceEvent::PowerRecursion { depth: 3 }
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            r#"{"event":"NoSuchEvent"}"#,
+            r#"{"event":"PowerRecursion"}"#,
+            r#"{"event":"PowerRecursion","depth":"three"}"#,
+            r#"{"event":"PowerRecursion","depth":3} trailing"#,
+            r#"{"event":"MoveAccepted","task":1,"delta":0,"rho_before":"1:2","rho_after":"1/2"}"#,
+            r#"{"event":"MoveAccepted","task":1,"delta":0,"rho_before":"1/0","rho_after":"1/2"}"#,
+        ] {
+            assert!(
+                TraceEvent::from_json(bad).is_err(),
+                "expected parse failure for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn events_know_their_stage() {
+        assert_eq!(
+            TraceEvent::TaskCommitted {
+                task: TaskId::from_index(0)
+            }
+            .stage(),
+            Some(StageKind::Timing)
+        );
+        assert_eq!(
+            TraceEvent::PowerRecursion { depth: 1 }.stage(),
+            Some(StageKind::MaxPower)
+        );
+        assert_eq!(
+            TraceEvent::GapScanFinished { pass: 1, moves: 0 }.stage(),
+            Some(StageKind::MinPower)
+        );
+        assert_eq!(
+            TraceEvent::TaskCompleted {
+                task: TaskId::from_index(0),
+                at: Time::from_secs(0)
+            }
+            .stage(),
+            Some(StageKind::Dispatch)
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Streaming JSONL sink: one [`TraceEvent`] per line.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::event::TraceEvent;
+use crate::observer::Observer;
+
+/// Observer that streams events to any [`Write`] as JSON lines.
+///
+/// I/O failures do not panic inside the schedulers: the first error is
+/// stashed (see [`JsonlWriter::last_error`]) and further writes are
+/// skipped, so a full disk degrades tracing instead of aborting a
+/// scheduling run.
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    out: W,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonlWriter<BufWriter<File>> {
+    /// Creates (truncating) a trace file at `path`, buffered.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(JsonlWriter::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wraps an arbitrary writer. Callers should pass something
+    /// buffered; one `write_all` is issued per event.
+    pub fn new(out: W) -> Self {
+        JsonlWriter {
+            out,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The first I/O error encountered, if any. Once set, subsequent
+    /// events are dropped silently.
+    pub fn last_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
+    /// Flushes and returns the underlying writer, surfacing any
+    /// deferred write error first.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(err) = self.error.take() {
+            return Err(err);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> Observer for JsonlWriter<W> {
+    fn on_event(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.to_json();
+        line.push('\n');
+        match self.out.write_all(line.as_bytes()) {
+            Ok(()) => self.lines += 1,
+            Err(err) => self.error = Some(err),
+        }
+    }
+}
+
+/// Parses a whole JSONL trace back into events, skipping blank lines.
+///
+/// Returns the first malformed line as an error with its 1-based line
+/// number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = TraceEvent::from_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StageKind;
+    use pas_graph::TaskId;
+
+    #[test]
+    fn writes_one_line_per_event_and_round_trips() {
+        let mut w = JsonlWriter::new(Vec::new());
+        let events = vec![
+            TraceEvent::StageStarted {
+                stage: StageKind::Timing,
+            },
+            TraceEvent::TaskCommitted {
+                task: TaskId::from_index(7),
+            },
+            TraceEvent::StageFinished {
+                stage: StageKind::Timing,
+            },
+        ];
+        for e in &events {
+            w.on_event(e);
+        }
+        assert_eq!(w.lines(), 3);
+        let bytes = w.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert_eq!(parse_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn io_errors_are_deferred_not_panicked() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = JsonlWriter::new(Broken);
+        w.on_event(&TraceEvent::PowerRecursion { depth: 1 });
+        w.on_event(&TraceEvent::PowerRecursion { depth: 2 });
+        assert_eq!(w.lines(), 0);
+        assert!(w.last_error().is_some());
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn parse_jsonl_reports_line_numbers() {
+        let text = "{\"event\":\"PowerRecursion\",\"depth\":1}\n\nnot json\n";
+        let err = parse_jsonl(text).unwrap_err();
+        assert!(err.starts_with("line 3:"), "got: {err}");
+    }
+}

@@ -1,0 +1,60 @@
+//! # pas-obs — observability for the power-aware scheduling pipeline
+//!
+//! Zero-cost-when-disabled structured tracing, metrics, and profiling
+//! hooks for the DAC 2001 scheduling pipeline:
+//!
+//! * [`TraceEvent`] — one variant per algorithmic decision across all
+//!   three scheduler stages (timing, max-power, min-power) and the
+//!   runtime dispatcher, with a dependency-free JSONL codec;
+//! * [`Observer`] — the sink trait the schedulers are generic over.
+//!   [`NullObserver`] (the default) reports itself disabled and
+//!   monomorphizes to nothing; [`CountingObserver`] keeps per-variant
+//!   tallies; [`RecordingObserver`] keeps the events themselves in a
+//!   ring buffer; [`JsonlWriter`] streams them to disk; [`Tee`] fans
+//!   out to two sinks at once;
+//! * [`StageProfiler`] — turns `StageStarted`/`StageFinished` markers
+//!   into per-stage wall-clock [`StageProfile`]s without perturbing
+//!   the deterministic event payloads.
+//!
+//! ## Event vocabulary
+//!
+//! | Stage | Events |
+//! |---|---|
+//! | timing (Fig. 3) | `TaskCommitted`, `SerializationAdded`, `TopoBacktrack` |
+//! | max-power (Fig. 4) | `SpikeDetected`, `VictimDelayed`, `ZeroSlackLocked`, `PowerRecursion`, `RespinStarted` |
+//! | min-power (Fig. 6) | `GapScanStarted`, `GapFound`, `MoveAccepted`, `MoveRejected`, `GapScanFinished` |
+//! | dispatch | `TaskDispatched`, `TaskCompleted`, `WindowFaultDetected` |
+//! | all | `StageStarted`, `StageFinished` |
+//!
+//! ## Example
+//!
+//! ```
+//! use pas_obs::{CountingObserver, Observer, TraceEvent, StageKind};
+//!
+//! let mut obs = CountingObserver::new();
+//! if obs.is_enabled() {
+//!     obs.on_event(&TraceEvent::StageStarted { stage: StageKind::Timing });
+//! }
+//! assert_eq!(obs.counts().stage_starts, 1);
+//!
+//! // Every event round-trips through its one-line JSON form.
+//! let line = TraceEvent::PowerRecursion { depth: 2 }.to_json();
+//! assert_eq!(line, r#"{"event":"PowerRecursion","depth":2}"#);
+//! assert_eq!(
+//!     TraceEvent::from_json(&line).unwrap(),
+//!     TraceEvent::PowerRecursion { depth: 2 },
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod jsonl;
+mod observer;
+mod profile;
+
+pub use event::{ScanKind, SlotKind, StageKind, TraceEvent, TraceParseError};
+pub use jsonl::{parse_jsonl, JsonlWriter};
+pub use observer::{CountingObserver, EventCounts, NullObserver, Observer, RecordingObserver, Tee};
+pub use profile::{render_profile_table, StageProfile, StageProfiler};

@@ -1,0 +1,344 @@
+//! The [`Observer`] trait and the built-in observer implementations.
+//!
+//! Schedulers are generic over `O: Observer` so the disabled path
+//! monomorphizes away: [`NullObserver::is_enabled`] is a constant
+//! `false`, emission sites guard on it, and the optimizer removes
+//! event construction entirely.
+
+use std::collections::VecDeque;
+
+use crate::event::TraceEvent;
+
+/// Sink for [`TraceEvent`]s emitted by the scheduling pipeline.
+///
+/// Implementations must be cheap: they run inside the schedulers'
+/// inner loops. Heavyweight sinks should buffer (see
+/// [`crate::JsonlWriter`]).
+pub trait Observer {
+    /// Receives one event.
+    fn on_event(&mut self, event: &TraceEvent);
+
+    /// Whether this observer wants events at all.
+    ///
+    /// Emission sites check this *before* constructing an event, so a
+    /// `false` here (constant-folded for [`NullObserver`]) makes
+    /// tracing zero-cost. Defaults to `true`.
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+impl<T: Observer + ?Sized> Observer for &mut T {
+    #[inline]
+    fn on_event(&mut self, event: &TraceEvent) {
+        (**self).on_event(event)
+    }
+
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+}
+
+/// The default no-op observer: reports itself disabled so guarded
+/// emission sites compile to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    #[inline]
+    fn on_event(&mut self, _event: &TraceEvent) {}
+
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Per-variant event tallies accumulated by [`CountingObserver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Total events observed.
+    pub total: u64,
+    /// `StageStarted` events.
+    pub stage_starts: u64,
+    /// `StageFinished` events.
+    pub stage_finishes: u64,
+    /// `TaskCommitted` events.
+    pub tasks_committed: u64,
+    /// `TopoBacktrack` events.
+    pub topo_backtracks: u64,
+    /// `SerializationAdded` events.
+    pub serializations: u64,
+    /// `SpikeDetected` events.
+    pub spikes_detected: u64,
+    /// `VictimDelayed` events.
+    pub victim_delays: u64,
+    /// `ZeroSlackLocked` events.
+    pub zero_slack_locks: u64,
+    /// `PowerRecursion` events.
+    pub power_recursions: u64,
+    /// `RespinStarted` events.
+    pub respins: u64,
+    /// `GapScanStarted` events.
+    pub gap_scans: u64,
+    /// `GapScanFinished` events.
+    pub gap_scan_finishes: u64,
+    /// `GapFound` events.
+    pub gaps_found: u64,
+    /// `MoveAccepted` events.
+    pub moves_accepted: u64,
+    /// `MoveRejected` events.
+    pub moves_rejected: u64,
+    /// `TaskDispatched` events.
+    pub tasks_dispatched: u64,
+    /// `TaskCompleted` events.
+    pub tasks_completed: u64,
+    /// `WindowFaultDetected` events.
+    pub window_faults: u64,
+}
+
+impl EventCounts {
+    /// Tallies one event.
+    pub fn record(&mut self, event: &TraceEvent) {
+        self.total += 1;
+        match event {
+            TraceEvent::StageStarted { .. } => self.stage_starts += 1,
+            TraceEvent::StageFinished { .. } => self.stage_finishes += 1,
+            TraceEvent::TaskCommitted { .. } => self.tasks_committed += 1,
+            TraceEvent::TopoBacktrack { .. } => self.topo_backtracks += 1,
+            TraceEvent::SerializationAdded { .. } => self.serializations += 1,
+            TraceEvent::SpikeDetected { .. } => self.spikes_detected += 1,
+            TraceEvent::VictimDelayed { .. } => self.victim_delays += 1,
+            TraceEvent::ZeroSlackLocked { .. } => self.zero_slack_locks += 1,
+            TraceEvent::PowerRecursion { .. } => self.power_recursions += 1,
+            TraceEvent::RespinStarted { .. } => self.respins += 1,
+            TraceEvent::GapScanStarted { .. } => self.gap_scans += 1,
+            TraceEvent::GapScanFinished { .. } => self.gap_scan_finishes += 1,
+            TraceEvent::GapFound { .. } => self.gaps_found += 1,
+            TraceEvent::MoveAccepted { .. } => self.moves_accepted += 1,
+            TraceEvent::MoveRejected { .. } => self.moves_rejected += 1,
+            TraceEvent::TaskDispatched { .. } => self.tasks_dispatched += 1,
+            TraceEvent::TaskCompleted { .. } => self.tasks_completed += 1,
+            TraceEvent::WindowFaultDetected { .. } => self.window_faults += 1,
+        }
+    }
+
+    /// Tallies a whole recorded stream, e.g. to reconcile a trace file
+    /// against live counters.
+    pub fn from_events<'a, I: IntoIterator<Item = &'a TraceEvent>>(events: I) -> Self {
+        let mut counts = EventCounts::default();
+        for event in events {
+            counts.record(event);
+        }
+        counts
+    }
+}
+
+/// Observer that keeps per-variant tallies and discards payloads.
+///
+/// This is the cheapest *enabled* observer; the schedulers use it
+/// internally to derive their `SchedulerStats`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingObserver {
+    counts: EventCounts,
+}
+
+impl CountingObserver {
+    /// Creates a fresh counter.
+    pub fn new() -> Self {
+        CountingObserver::default()
+    }
+
+    /// The tallies accumulated so far.
+    pub fn counts(&self) -> EventCounts {
+        self.counts
+    }
+}
+
+impl Observer for CountingObserver {
+    #[inline]
+    fn on_event(&mut self, event: &TraceEvent) {
+        self.counts.record(event);
+    }
+}
+
+/// Observer that records events into a bounded ring buffer.
+///
+/// When full, the oldest events are evicted and counted in
+/// [`RecordingObserver::dropped`].
+#[derive(Debug, Clone, Default)]
+pub struct RecordingObserver {
+    buf: VecDeque<TraceEvent>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl RecordingObserver {
+    /// Creates an unbounded recorder.
+    pub fn new() -> Self {
+        RecordingObserver::default()
+    }
+
+    /// Creates a recorder that keeps at most the last `capacity`
+    /// events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RecordingObserver {
+            buf: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Consumes the recorder and returns the events, oldest first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.buf.into_iter().collect()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Observer for RecordingObserver {
+    fn on_event(&mut self, event: &TraceEvent) {
+        if let Some(cap) = self.capacity {
+            if cap == 0 {
+                self.dropped += 1;
+                return;
+            }
+            while self.buf.len() >= cap {
+                self.buf.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.buf.push_back(event.clone());
+    }
+}
+
+/// Fans events out to two observers.
+///
+/// Nest `Tee`s for wider fan-out: `Tee(a, Tee(b, c))`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tee<A, B>(
+    /// First sink.
+    pub A,
+    /// Second sink.
+    pub B,
+);
+
+impl<A: Observer, B: Observer> Observer for Tee<A, B> {
+    #[inline]
+    fn on_event(&mut self, event: &TraceEvent) {
+        if self.0.is_enabled() {
+            self.0.on_event(event);
+        }
+        if self.1.is_enabled() {
+            self.1.on_event(event);
+        }
+    }
+
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        self.0.is_enabled() || self.1.is_enabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_graph::TaskId;
+
+    fn ev(i: usize) -> TraceEvent {
+        TraceEvent::TaskCommitted {
+            task: TaskId::from_index(i),
+        }
+    }
+
+    #[test]
+    fn null_observer_is_disabled() {
+        assert!(!NullObserver.is_enabled());
+    }
+
+    #[test]
+    fn counting_observer_tallies_by_variant() {
+        let mut obs = CountingObserver::new();
+        obs.on_event(&ev(0));
+        obs.on_event(&ev(1));
+        obs.on_event(&TraceEvent::TopoBacktrack {
+            task: TaskId::from_index(1),
+        });
+        let counts = obs.counts();
+        assert_eq!(counts.total, 3);
+        assert_eq!(counts.tasks_committed, 2);
+        assert_eq!(counts.topo_backtracks, 1);
+    }
+
+    #[test]
+    fn recording_observer_ring_evicts_oldest() {
+        let mut obs = RecordingObserver::with_capacity(2);
+        obs.on_event(&ev(0));
+        obs.on_event(&ev(1));
+        obs.on_event(&ev(2));
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs.dropped(), 1);
+        let kept: Vec<_> = obs.into_events();
+        assert_eq!(kept, vec![ev(1), ev(2)]);
+    }
+
+    #[test]
+    fn tee_fans_out_and_ors_enablement() {
+        let mut tee = Tee(CountingObserver::new(), RecordingObserver::new());
+        assert!(tee.is_enabled());
+        tee.on_event(&ev(0));
+        assert_eq!(tee.0.counts().total, 1);
+        assert_eq!(tee.1.len(), 1);
+
+        let null_tee = Tee(NullObserver, NullObserver);
+        assert!(!null_tee.is_enabled());
+    }
+
+    #[test]
+    fn blanket_mut_ref_impl_forwards() {
+        let mut counter = CountingObserver::new();
+        {
+            let by_ref: &mut CountingObserver = &mut counter;
+            assert!(by_ref.is_enabled());
+            by_ref.on_event(&ev(0));
+        }
+        assert_eq!(counter.counts().total, 1);
+
+        // And through a trait object, as the pipeline facade uses it.
+        let dynamic: &mut dyn Observer = &mut counter;
+        dynamic.on_event(&ev(1));
+        assert_eq!(counter.counts().total, 2);
+    }
+
+    #[test]
+    fn counts_from_events_matches_live_counting() {
+        let events = vec![ev(0), ev(1), ev(2)];
+        let replay = EventCounts::from_events(&events);
+        let mut live = CountingObserver::new();
+        for e in &events {
+            live.on_event(e);
+        }
+        assert_eq!(replay, live.counts());
+    }
+}

@@ -1,0 +1,308 @@
+//! Wall-clock profiling of pipeline stages driven by the event
+//! stream.
+//!
+//! Timing lives on the observer side ([`StageProfiler`] reads
+//! [`Instant::now`] when stage markers arrive) so the emitted
+//! [`TraceEvent`]s themselves stay fully deterministic and
+//! byte-reproducible across runs.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use crate::event::{StageKind, TraceEvent};
+use crate::observer::{EventCounts, Observer};
+
+/// Aggregated timing and event statistics for one pipeline stage.
+#[derive(Debug, Clone, Default)]
+pub struct StageProfile {
+    /// Total wall time spent inside `StageStarted`/`StageFinished`
+    /// spans of this stage.
+    pub wall: Duration,
+    /// Number of completed spans (a stage can run more than once, e.g.
+    /// under portfolio restarts).
+    pub runs: u64,
+    /// Per-variant tallies of events attributed to this stage.
+    pub counts: EventCounts,
+    /// Wall time of each min-power gap-scan pass, in arrival order
+    /// (empty for other stages).
+    pub scan_walls: Vec<Duration>,
+}
+
+impl StageProfile {
+    /// Events attributed to this stage, excluding the stage markers
+    /// themselves.
+    pub fn decision_events(&self) -> u64 {
+        self.counts
+            .total
+            .saturating_sub(self.counts.stage_starts + self.counts.stage_finishes)
+    }
+}
+
+/// Observer that turns stage markers into [`StageProfile`]s.
+///
+/// * `StageStarted`/`StageFinished` pairs are timed with a monotonic
+///   clock; nested or repeated spans accumulate.
+/// * Every other event is attributed to the innermost open stage, or
+///   to its intrinsic stage ([`TraceEvent::stage`]) when none is open.
+/// * `GapScanStarted`/`GapScanFinished` additionally time individual
+///   min-power passes into [`StageProfile::scan_walls`].
+///
+/// Usually combined with another sink via [`crate::Tee`].
+#[derive(Debug, Clone, Default)]
+pub struct StageProfiler {
+    profiles: [StageProfile; StageKind::ALL.len()],
+    open: Vec<(StageKind, Instant)>,
+    scan_open: Option<Instant>,
+}
+
+impl StageProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        StageProfiler::default()
+    }
+
+    /// The profile gathered for `stage` so far.
+    pub fn profile(&self, stage: StageKind) -> &StageProfile {
+        &self.profiles[stage.index()]
+    }
+
+    /// `(stage, profile)` pairs for every stage that saw at least one
+    /// event, in pipeline order.
+    pub fn profiles(&self) -> Vec<(StageKind, StageProfile)> {
+        StageKind::ALL
+            .iter()
+            .filter(|s| self.profiles[s.index()].counts.total > 0)
+            .map(|s| (*s, self.profiles[s.index()].clone()))
+            .collect()
+    }
+
+    /// Renders an aligned plain-text summary table of all non-empty
+    /// stages.
+    pub fn render_table(&self) -> String {
+        render_profile_table(&self.profiles())
+    }
+
+    fn attribute(&mut self, event: &TraceEvent) -> Option<StageKind> {
+        self.open
+            .last()
+            .map(|(stage, _)| *stage)
+            .or_else(|| event.stage())
+    }
+}
+
+impl Observer for StageProfiler {
+    fn on_event(&mut self, event: &TraceEvent) {
+        let now = Instant::now();
+        match event {
+            TraceEvent::StageStarted { stage } => {
+                self.profiles[stage.index()].counts.record(event);
+                self.open.push((*stage, now));
+            }
+            TraceEvent::StageFinished { stage } => {
+                let profile = &mut self.profiles[stage.index()];
+                profile.counts.record(event);
+                // Close the innermost matching span; tolerate a stray
+                // finish with no matching start.
+                if let Some(pos) = self.open.iter().rposition(|(s, _)| s == stage) {
+                    let (_, started) = self.open.remove(pos);
+                    profile.wall += now.duration_since(started);
+                    profile.runs += 1;
+                }
+            }
+            _ => {
+                if let Some(stage) = self.attribute(event) {
+                    let profile = &mut self.profiles[stage.index()];
+                    profile.counts.record(event);
+                    match event {
+                        TraceEvent::GapScanStarted { .. } => self.scan_open = Some(now),
+                        TraceEvent::GapScanFinished { .. } => {
+                            if let Some(started) = self.scan_open.take() {
+                                profile.scan_walls.push(now.duration_since(started));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Renders `(stage, profile)` rows as an aligned plain-text table.
+pub fn render_profile_table(profiles: &[(StageKind, StageProfile)]) -> String {
+    const HEADERS: [&str; 5] = ["stage", "runs", "wall", "events", "detail"];
+    let mut rows: Vec<[String; 5]> = Vec::with_capacity(profiles.len());
+    for (stage, p) in profiles {
+        rows.push([
+            stage.to_string(),
+            p.runs.to_string(),
+            format_duration(p.wall),
+            p.decision_events().to_string(),
+            stage_detail(*stage, p),
+        ]);
+    }
+
+    let mut widths = HEADERS.map(str::len);
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+
+    let mut out = String::new();
+    let rule_len = widths.iter().sum::<usize>() + 3 * (widths.len() - 1);
+    write_row(&mut out, &widths, &HEADERS.map(String::from));
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+    for row in &rows {
+        write_row(&mut out, &widths, row);
+    }
+    out
+}
+
+fn write_row(out: &mut String, widths: &[usize; 5], cells: &[String; 5]) {
+    for (i, (cell, width)) in cells.iter().zip(widths.iter()).enumerate() {
+        if i > 0 {
+            out.push_str(" | ");
+        }
+        // Left-align the first and last columns, right-align numerics.
+        if i == 0 || i == 4 {
+            let _ = write!(out, "{cell:<width$}");
+        } else {
+            let _ = write!(out, "{cell:>width$}");
+        }
+    }
+    // Trim the padding of the final column.
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+}
+
+fn stage_detail(stage: StageKind, p: &StageProfile) -> String {
+    let c = &p.counts;
+    match stage {
+        StageKind::Timing => format!(
+            "{} commits, {} serializations, {} backtracks",
+            c.tasks_committed, c.serializations, c.topo_backtracks
+        ),
+        StageKind::MaxPower => format!(
+            "{} spikes, {} delays, {} locks, {} recursions",
+            c.spikes_detected, c.victim_delays, c.zero_slack_locks, c.power_recursions
+        ),
+        StageKind::MinPower => format!(
+            "{} scans, {} gaps, {} moves (+{} rejected)",
+            c.gap_scans, c.gaps_found, c.moves_accepted, c.moves_rejected
+        ),
+        StageKind::Dispatch => format!(
+            "{} dispatched, {} completed, {} window faults",
+            c.tasks_dispatched, c.tasks_completed, c.window_faults
+        ),
+    }
+}
+
+/// Formats a duration with millisecond-level resolution, keeping the
+/// table compact for both micro- and multi-second stages.
+fn format_duration(d: Duration) -> String {
+    let micros = d.as_micros();
+    if micros < 1_000 {
+        format!("{micros}\u{b5}s")
+    } else if micros < 1_000_000 {
+        format!("{:.3}ms", micros as f64 / 1_000.0)
+    } else {
+        format!("{:.3}s", micros as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_graph::TaskId;
+
+    #[test]
+    fn spans_accumulate_wall_time_and_runs() {
+        let mut prof = StageProfiler::new();
+        for _ in 0..2 {
+            prof.on_event(&TraceEvent::StageStarted {
+                stage: StageKind::Timing,
+            });
+            prof.on_event(&TraceEvent::TaskCommitted {
+                task: TaskId::from_index(0),
+            });
+            prof.on_event(&TraceEvent::StageFinished {
+                stage: StageKind::Timing,
+            });
+        }
+        let p = prof.profile(StageKind::Timing);
+        assert_eq!(p.runs, 2);
+        assert_eq!(p.counts.tasks_committed, 2);
+        assert_eq!(p.decision_events(), 2);
+    }
+
+    #[test]
+    fn events_attribute_to_innermost_open_stage() {
+        let mut prof = StageProfiler::new();
+        prof.on_event(&TraceEvent::StageStarted {
+            stage: StageKind::MaxPower,
+        });
+        // Timing event arriving while max-power is open (the paper's
+        // stage 2 re-runs stage 1 internally) counts toward max-power.
+        prof.on_event(&TraceEvent::TaskCommitted {
+            task: TaskId::from_index(1),
+        });
+        prof.on_event(&TraceEvent::StageFinished {
+            stage: StageKind::MaxPower,
+        });
+        assert_eq!(prof.profile(StageKind::MaxPower).counts.tasks_committed, 1);
+        assert_eq!(prof.profile(StageKind::Timing).counts.total, 0);
+    }
+
+    #[test]
+    fn orphan_events_fall_back_to_intrinsic_stage() {
+        let mut prof = StageProfiler::new();
+        prof.on_event(&TraceEvent::PowerRecursion { depth: 1 });
+        assert_eq!(prof.profile(StageKind::MaxPower).counts.power_recursions, 1);
+    }
+
+    #[test]
+    fn gap_scans_record_per_pass_walls() {
+        let mut prof = StageProfiler::new();
+        prof.on_event(&TraceEvent::StageStarted {
+            stage: StageKind::MinPower,
+        });
+        for pass in 1..=3u32 {
+            prof.on_event(&TraceEvent::GapScanStarted {
+                pass,
+                order: crate::ScanKind::Forward,
+                slot: crate::SlotKind::StartAtGap,
+            });
+            prof.on_event(&TraceEvent::GapScanFinished { pass, moves: 0 });
+        }
+        prof.on_event(&TraceEvent::StageFinished {
+            stage: StageKind::MinPower,
+        });
+        assert_eq!(prof.profile(StageKind::MinPower).scan_walls.len(), 3);
+    }
+
+    #[test]
+    fn table_lists_only_active_stages() {
+        let mut prof = StageProfiler::new();
+        prof.on_event(&TraceEvent::StageStarted {
+            stage: StageKind::Timing,
+        });
+        prof.on_event(&TraceEvent::StageFinished {
+            stage: StageKind::Timing,
+        });
+        let table = prof.render_table();
+        assert!(table.contains("timing"));
+        assert!(!table.contains("dispatch"));
+        assert!(table.lines().count() >= 3, "header + rule + row");
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert_eq!(format_duration(Duration::from_micros(250)), "250\u{b5}s");
+        assert_eq!(format_duration(Duration::from_micros(1_500)), "1.500ms");
+        assert_eq!(format_duration(Duration::from_millis(2_500)), "2.500s");
+    }
+}

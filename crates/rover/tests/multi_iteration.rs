@@ -50,8 +50,7 @@ fn three_iterations_stay_valid_in_every_case() {
         let s = &outcome.schedule;
         for w in rover.iterations.windows(2) {
             assert!(
-                s.start(w[1].step1.hazard) - s.start(w[0].step2.drive)
-                    >= TimeSpan::from_secs(10),
+                s.start(w[1].step1.hazard) - s.start(w[0].step2.drive) >= TimeSpan::from_secs(10),
                 "{case}: iteration chaining separation violated"
             );
         }

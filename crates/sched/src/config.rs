@@ -1,6 +1,11 @@
 //! Scheduler configuration: every heuristic knob from §5 of the paper
 //! is explicit here, so benches can ablate them.
 
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+use pas_obs::EventCounts;
+
 /// How the timing scheduler orders commit candidates when exploring
 /// topological orderings (Fig. 3 traverses successors in an
 /// unspecified order; the choice shapes which serialization is found
@@ -12,6 +17,13 @@ pub enum CommitOrder {
     /// and usually the natural order).
     #[default]
     EarliestFirst,
+    /// Earliest-first, then deterministically shuffled (a SplitMix64-
+    /// driven Fisher–Yates keyed on this variation index and the
+    /// commit depth). `Rotated(0)` equals
+    /// [`CommitOrder::EarliestFirst`]; increasing indices visit
+    /// systematically different serializations. Used by the portfolio
+    /// scheduler as an RNG-free diversification.
+    Rotated(usize),
     /// Seeded-random order — used by the portfolio scheduler to
     /// sample alternative serializations.
     Random,
@@ -132,6 +144,13 @@ pub struct SchedulerConfig {
     /// fails ("the algorithm will choose one task from them to make
     /// further delay and continue recursion").
     pub max_respins: usize,
+    /// Instance-size ceiling (in tasks) below which the portfolio
+    /// scheduler finishes with one exact branch-and-bound attempt
+    /// ([`crate::optimal::minimize_finish_time`]). Random restarts
+    /// sample serializations blindly; on small instances the exact
+    /// attempt closes the optimality gap deterministically. `0`
+    /// disables it.
+    pub exact_portfolio_limit: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -154,6 +173,7 @@ impl Default for SchedulerConfig {
             max_backtracks: 50_000,
             max_recursions: 2_048,
             max_respins: 4,
+            exact_portfolio_limit: 10,
         }
     }
 }
@@ -178,14 +198,49 @@ pub struct SchedulerStats {
 
 impl SchedulerStats {
     /// Sums the counters of two runs (e.g. across pipeline stages).
+    #[deprecated(since = "0.1.0", note = "use `+` / `+=` / `Sum` instead")]
     pub fn merged(self, other: SchedulerStats) -> SchedulerStats {
+        self + other
+    }
+}
+
+impl Add for SchedulerStats {
+    type Output = SchedulerStats;
+
+    fn add(mut self, other: SchedulerStats) -> SchedulerStats {
+        self += other;
+        self
+    }
+}
+
+impl AddAssign for SchedulerStats {
+    fn add_assign(&mut self, other: SchedulerStats) {
+        self.serializations += other.serializations;
+        self.timing_backtracks += other.timing_backtracks;
+        self.spike_delays += other.spike_delays;
+        self.power_recursions += other.power_recursions;
+        self.min_power_scans += other.min_power_scans;
+        self.min_power_moves += other.min_power_moves;
+    }
+}
+
+impl Sum for SchedulerStats {
+    fn sum<I: Iterator<Item = SchedulerStats>>(iter: I) -> SchedulerStats {
+        iter.fold(SchedulerStats::default(), Add::add)
+    }
+}
+
+/// The counters are a projection of the observability event stream:
+/// each field is the tally of one [`pas_obs::TraceEvent`] variant.
+impl From<EventCounts> for SchedulerStats {
+    fn from(c: EventCounts) -> SchedulerStats {
         SchedulerStats {
-            serializations: self.serializations + other.serializations,
-            timing_backtracks: self.timing_backtracks + other.timing_backtracks,
-            spike_delays: self.spike_delays + other.spike_delays,
-            power_recursions: self.power_recursions + other.power_recursions,
-            min_power_scans: self.min_power_scans + other.min_power_scans,
-            min_power_moves: self.min_power_moves + other.min_power_moves,
+            serializations: c.serializations as usize,
+            timing_backtracks: c.topo_backtracks as usize,
+            spike_delays: c.victim_delays as usize,
+            power_recursions: c.power_recursions as usize,
+            min_power_scans: c.gap_scans as usize,
+            min_power_moves: c.moves_accepted as usize,
         }
     }
 }
@@ -203,19 +258,58 @@ mod tests {
         assert!(cfg.max_scans >= 2, "paper requires multiple scans");
     }
 
-    #[test]
-    fn stats_merge_adds_counters() {
-        let a = SchedulerStats {
+    fn sample_stats() -> SchedulerStats {
+        SchedulerStats {
             serializations: 1,
             timing_backtracks: 2,
             spike_delays: 3,
             power_recursions: 4,
             min_power_scans: 5,
             min_power_moves: 6,
-        };
-        let b = a;
-        let m = a.merged(b);
+        }
+    }
+
+    #[test]
+    fn stats_add_sums_counters() {
+        let a = sample_stats();
+        let m = a + a;
         assert_eq!(m.serializations, 2);
         assert_eq!(m.min_power_moves, 12);
+
+        let mut acc = SchedulerStats::default();
+        acc += a;
+        acc += a;
+        assert_eq!(acc, m);
+
+        let summed: SchedulerStats = [a, a, a].into_iter().sum();
+        assert_eq!(summed.spike_delays, 9);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_merged_still_adds() {
+        let a = sample_stats();
+        assert_eq!(a.merged(a), a + a);
+    }
+
+    #[test]
+    fn stats_project_from_event_counts() {
+        let counts = EventCounts {
+            serializations: 3,
+            topo_backtracks: 2,
+            victim_delays: 7,
+            power_recursions: 1,
+            gap_scans: 4,
+            moves_accepted: 5,
+            moves_rejected: 99, // not part of the projection
+            ..EventCounts::default()
+        };
+        let stats = SchedulerStats::from(counts);
+        assert_eq!(stats.serializations, 3);
+        assert_eq!(stats.timing_backtracks, 2);
+        assert_eq!(stats.spike_delays, 7);
+        assert_eq!(stats.power_recursions, 1);
+        assert_eq!(stats.min_power_scans, 4);
+        assert_eq!(stats.min_power_moves, 5);
     }
 }

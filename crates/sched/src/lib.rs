@@ -22,6 +22,14 @@
 //! ablation benches can flip them. All randomized heuristics are
 //! seeded: runs are fully deterministic.
 //!
+//! Every algorithm also exists in an `_observed` variant (and the
+//! pipeline facade in `_with` variants) generic over a
+//! [`pas_obs::Observer`], emitting a structured [`pas_obs::TraceEvent`]
+//! at each algorithmic decision. The plain entry points are thin
+//! wrappers that derive their [`SchedulerStats`] from a
+//! [`pas_obs::CountingObserver`]; observation never perturbs the
+//! computed schedule.
+//!
 //! ## Example
 //!
 //! ```
@@ -59,11 +67,13 @@ pub use config::{
     CommitOrder, DelayPolicy, ScanOrder, SchedulerConfig, SchedulerStats, SlotPolicy, VictimOrder,
 };
 pub use error::ScheduleError;
-pub use max_power::schedule_max_power;
-pub use min_power::{improve_gaps, schedule_min_power};
+pub use max_power::{schedule_max_power, schedule_max_power_observed};
+pub use min_power::{
+    improve_gaps, improve_gaps_observed, schedule_min_power, schedule_min_power_observed,
+};
 pub use pipeline::{Outcome, PowerAwareScheduler, StageOutcomes};
 pub use runtime::{RepertoireEntry, ScheduleRepertoire, ValidityRegion};
-pub use timing::schedule_timing;
+pub use timing::{schedule_timing, schedule_timing_observed};
 
 #[cfg(test)]
 mod crate_tests {

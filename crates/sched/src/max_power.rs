@@ -22,10 +22,11 @@
 
 use crate::config::{DelayPolicy, SchedulerConfig, SchedulerStats, VictimOrder};
 use crate::error::ScheduleError;
-use crate::timing::schedule_timing;
+use crate::timing::schedule_timing_observed;
 use pas_core::{slack, PowerProfile, Schedule};
 use pas_graph::units::{Power, Time, TimeSpan};
 use pas_graph::{ConstraintGraph, TaskId};
+use pas_obs::{CountingObserver, Observer, TraceEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -76,6 +77,26 @@ pub fn schedule_max_power(
     config: &SchedulerConfig,
     stats: &mut SchedulerStats,
 ) -> Result<Schedule, ScheduleError> {
+    let mut counter = CountingObserver::new();
+    let result = schedule_max_power_observed(graph, p_max, background, config, &mut counter);
+    *stats += SchedulerStats::from(counter.counts());
+    result
+}
+
+/// [`schedule_max_power`] with a caller-supplied [`Observer`]
+/// receiving a [`TraceEvent`] for every spike, victim delay, lock,
+/// recursion and respin (plus the timing events of the internal
+/// re-runs).
+///
+/// # Errors
+/// See [`schedule_max_power`].
+pub fn schedule_max_power_observed<O: Observer>(
+    graph: &mut ConstraintGraph,
+    p_max: Power,
+    background: Power,
+    config: &SchedulerConfig,
+    obs: &mut O,
+) -> Result<Schedule, ScheduleError> {
     // A task whose own draw (plus background) exceeds the budget can
     // never be scheduled: delaying only moves the spike.
     for (_, task) in graph.tasks() {
@@ -113,7 +134,10 @@ pub fn schedule_max_power(
 
     let outer_mark = graph.mark();
     let mut last_err = None;
-    for attempt in &attempt_configs {
+    for (k, attempt) in attempt_configs.iter().enumerate() {
+        if k > 0 && obs.is_enabled() {
+            obs.on_event(&TraceEvent::RespinStarted { attempt: k as u32 });
+        }
         let mut rng = StdRng::seed_from_u64(attempt.seed);
         let mut recursions = 0usize;
         let result = solve(
@@ -123,7 +147,7 @@ pub fn schedule_max_power(
             attempt,
             &mut rng,
             &mut recursions,
-            stats,
+            obs,
         );
         // Roll back every speculative edge (serializations, releases,
         // locks). On success, re-document the final serialization
@@ -147,16 +171,16 @@ pub fn schedule_max_power(
 }
 
 /// One level of the recursive `MaxPowerScheduler`.
-fn solve(
+fn solve<O: Observer>(
     graph: &mut ConstraintGraph,
     p_max: Power,
     background: Power,
     config: &SchedulerConfig,
     rng: &mut StdRng,
     recursions: &mut usize,
-    stats: &mut SchedulerStats,
+    obs: &mut O,
 ) -> Result<Schedule, ScheduleError> {
-    let mut sigma = schedule_timing(graph, config, stats)?;
+    let mut sigma = schedule_timing_observed(graph, config, obs)?;
 
     for _round in 0..MAX_SPIKE_ROUNDS {
         let profile = PowerProfile::of_schedule(graph, &sigma, background);
@@ -165,13 +189,20 @@ fn solve(
         };
         let t = spike.start;
         let spike_end = spike.end;
+        if obs.is_enabled() {
+            obs.on_event(&TraceEvent::SpikeDetected {
+                t,
+                power: spike.power,
+                budget: p_max,
+            });
+        }
 
         let mut last_err = None;
         let mut resolved_locally = false;
         for attempt in 0..=config.max_respins {
             match eliminate_spike(
                 graph, &sigma, &profile, t, spike_end, attempt, p_max, background, config, rng,
-                recursions, stats,
+                recursions, obs,
             ) {
                 Ok(Elimination::Local(new_sigma)) => {
                     sigma = new_sigma;
@@ -209,7 +240,7 @@ enum Elimination {
 /// Removes the spike at `t`, delaying `extra` additional victims
 /// beyond the strictly necessary ones (the retry knob).
 #[allow(clippy::too_many_arguments)]
-fn eliminate_spike(
+fn eliminate_spike<O: Observer>(
     graph: &mut ConstraintGraph,
     sigma: &Schedule,
     profile: &PowerProfile,
@@ -221,7 +252,7 @@ fn eliminate_spike(
     config: &SchedulerConfig,
     rng: &mut StdRng,
     recursions: &mut usize,
-    stats: &mut SchedulerStats,
+    obs: &mut O,
 ) -> Result<Elimination, ScheduleError> {
     let mark = graph.mark();
     let mut sigma = sigma.clone();
@@ -253,13 +284,19 @@ fn eliminate_spike(
         let exit = t - start + TimeSpan::from_secs(1); // minimal delay that leaves t
         let slack_v = slack(graph, &sigma, v);
         let d_v = graph.task(v).delay();
-        stats.spike_delays += 1;
 
         if slack_v >= exit {
             // Case (1): the victim fits its exit within slack — a
             // purely local, validity-preserving move.
             let cap = slack_v.min(d_v).max(exit);
             let delta = delay_distance(config.delay_policy, exit, cap, t, start, profile);
+            if obs.is_enabled() {
+                obs.on_event(&TraceEvent::VictimDelayed {
+                    task: v,
+                    slack: slack_v,
+                    delta,
+                });
+            }
             graph.release(v, start + delta);
             sigma = sigma.with_delayed(v, delta);
             level -= graph.task(v).power();
@@ -278,6 +315,13 @@ fn eliminate_spike(
                 start,
                 profile,
             );
+            if obs.is_enabled() {
+                obs.on_event(&TraceEvent::VictimDelayed {
+                    task: v,
+                    slack: slack_v,
+                    delta,
+                });
+            }
             graph.release(v, start + delta);
             level -= graph.task(v).power();
             reschedule = true;
@@ -289,7 +333,11 @@ fn eliminate_spike(
     }
 
     *recursions += 1;
-    stats.power_recursions += 1;
+    if obs.is_enabled() {
+        obs.on_event(&TraceEvent::PowerRecursion {
+            depth: *recursions as u32,
+        });
+    }
     if *recursions > config.max_recursions {
         graph.undo_to(mark);
         return Err(ScheduleError::RecursionLimit {
@@ -303,11 +351,17 @@ fn eliminate_spike(
     // retries without them (undo below removes the locks too).
     if config.lock_remaining {
         for &u in &active {
+            if obs.is_enabled() {
+                obs.on_event(&TraceEvent::ZeroSlackLocked {
+                    task: u,
+                    at: sigma.start(u),
+                });
+            }
             graph.lock(u, sigma.start(u));
         }
     }
 
-    match solve(graph, p_max, background, config, rng, recursions, stats) {
+    match solve(graph, p_max, background, config, rng, recursions, obs) {
         Ok(s) => Ok(Elimination::Rescheduled(s)),
         Err(e) => {
             graph.undo_to(mark);
@@ -318,6 +372,11 @@ fn eliminate_spike(
 
 /// Pops the next spike victim from `active` according to the
 /// configured ordering heuristic.
+///
+/// Locked tasks are never victims: a release edge past a lock is an
+/// immediate positive cycle at the next timing run, so delaying one
+/// can never succeed — the spike must be resolved by moving the
+/// unlocked participants (or fail as unresolvable).
 fn extract_victim(
     graph: &ConstraintGraph,
     sigma: &Schedule,
@@ -325,6 +384,7 @@ fn extract_victim(
     config: &SchedulerConfig,
     rng: &mut StdRng,
 ) -> Option<TaskId> {
+    active.retain(|&v| !is_locked(graph, v));
     if active.is_empty() {
         return None;
     }
@@ -333,17 +393,8 @@ fn extract_victim(
             let slacks: Vec<TimeSpan> = active.iter().map(|&v| slack(graph, sigma, v)).collect();
             let max_slack = *slacks.iter().max().expect("non-empty");
             if max_slack <= TimeSpan::ZERO {
-                // All zero slack: the paper selects randomly. Prefer
-                // tasks that are not locked — delaying a locked task
-                // is guaranteed to cycle at the next timing run.
-                let unlocked: Vec<usize> = (0..active.len())
-                    .filter(|&i| !is_locked(graph, active[i]))
-                    .collect();
-                if unlocked.is_empty() {
-                    rng.gen_range(0..active.len())
-                } else {
-                    unlocked[rng.gen_range(0..unlocked.len())]
-                }
+                // All zero slack: the paper selects randomly.
+                rng.gen_range(0..active.len())
             } else {
                 // Largest slack first; ties broken by smallest id for
                 // determinism.
@@ -530,6 +581,45 @@ mod tests {
         let p = PowerProfile::of_schedule(&g, &s, Power::ZERO);
         assert!(p.peak() <= Power::from_watts(8));
         assert!((s.start(b) - s.start(a)).as_secs() <= 3);
+    }
+
+    #[test]
+    fn observed_variant_matches_wrapper_and_null_observer() {
+        let mut g1 = parallel_pair(6, 6);
+        let mut stats = SchedulerStats::default();
+        let s1 = schedule_max_power(
+            &mut g1,
+            Power::from_watts(8),
+            Power::ZERO,
+            &cfg(),
+            &mut stats,
+        )
+        .unwrap();
+
+        let mut g2 = parallel_pair(6, 6);
+        let mut counter = pas_obs::CountingObserver::new();
+        let s2 = schedule_max_power_observed(
+            &mut g2,
+            Power::from_watts(8),
+            Power::ZERO,
+            &cfg(),
+            &mut counter,
+        )
+        .unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(stats, SchedulerStats::from(counter.counts()));
+        assert!(counter.counts().spikes_detected > 0, "spike was observed");
+
+        let mut g3 = parallel_pair(6, 6);
+        let s3 = schedule_max_power_observed(
+            &mut g3,
+            Power::from_watts(8),
+            Power::ZERO,
+            &cfg(),
+            &mut pas_obs::NullObserver,
+        )
+        .unwrap();
+        assert_eq!(s1, s3, "observation must not perturb the schedule");
     }
 
     #[test]

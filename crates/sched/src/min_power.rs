@@ -20,10 +20,11 @@
 
 use crate::config::{ScanOrder, SchedulerConfig, SchedulerStats, SlotPolicy};
 use crate::error::ScheduleError;
-use crate::max_power::schedule_max_power;
+use crate::max_power::schedule_max_power_observed;
 use pas_core::{is_time_valid, slack, utilization, PowerProfile, Ratio, Schedule};
 use pas_graph::units::{Power, Time, TimeSpan};
 use pas_graph::{ConstraintGraph, TaskId};
+use pas_obs::{CountingObserver, Observer, ScanKind, SlotKind, TraceEvent};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -65,9 +66,29 @@ pub fn schedule_min_power(
     config: &SchedulerConfig,
     stats: &mut SchedulerStats,
 ) -> Result<Schedule, ScheduleError> {
-    let sigma = schedule_max_power(graph, p_max, background, config, stats)?;
-    Ok(improve_gaps(
-        graph, sigma, p_max, p_min, background, config, stats,
+    let mut counter = CountingObserver::new();
+    let result = schedule_min_power_observed(graph, p_max, p_min, background, config, &mut counter);
+    *stats += SchedulerStats::from(counter.counts());
+    result
+}
+
+/// [`schedule_min_power`] with a caller-supplied [`Observer`]
+/// receiving a [`TraceEvent`] for every scan pass, gap, and
+/// accepted/rejected move (plus the events of the earlier stages).
+///
+/// # Errors
+/// See [`schedule_min_power`].
+pub fn schedule_min_power_observed<O: Observer>(
+    graph: &mut ConstraintGraph,
+    p_max: Power,
+    p_min: Power,
+    background: Power,
+    config: &SchedulerConfig,
+    obs: &mut O,
+) -> Result<Schedule, ScheduleError> {
+    let sigma = schedule_max_power_observed(graph, p_max, background, config, obs)?;
+    Ok(improve_gaps_observed(
+        graph, sigma, p_max, p_min, background, config, obs,
     ))
 }
 
@@ -76,12 +97,30 @@ pub fn schedule_min_power(
 /// from elsewhere (e.g. a hand schedule) can improve it too.
 pub fn improve_gaps(
     graph: &ConstraintGraph,
-    mut sigma: Schedule,
+    sigma: Schedule,
     p_max: Power,
     p_min: Power,
     background: Power,
     config: &SchedulerConfig,
     stats: &mut SchedulerStats,
+) -> Schedule {
+    let mut counter = CountingObserver::new();
+    let improved =
+        improve_gaps_observed(graph, sigma, p_max, p_min, background, config, &mut counter);
+    *stats += SchedulerStats::from(counter.counts());
+    improved
+}
+
+/// [`improve_gaps`] with a caller-supplied [`Observer`].
+#[allow(clippy::too_many_arguments)]
+pub fn improve_gaps_observed<O: Observer>(
+    graph: &ConstraintGraph,
+    mut sigma: Schedule,
+    p_max: Power,
+    p_min: Power,
+    background: Power,
+    config: &SchedulerConfig,
+    obs: &mut O,
 ) -> Schedule {
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_6A95);
     let mut rho = current_utilization(graph, &sigma, background, p_min);
@@ -99,9 +138,16 @@ pub fn improve_gaps(
     let mut barren_passes = 0usize;
 
     for pass in 0..config.max_scans.max(combination_cycle) {
-        stats.min_power_scans += 1;
         let scan_order = cycle(&config.scan_orders, pass % orders, ScanOrder::Forward);
         let slot_policy = cycle(&config.slot_policies, pass / orders, SlotPolicy::StartAtGap);
+        if obs.is_enabled() {
+            obs.on_event(&TraceEvent::GapScanStarted {
+                pass: pass as u32 + 1,
+                order: scan_kind(scan_order),
+                slot: slot_kind(slot_policy),
+            });
+        }
+        let mut pass_moves = 0u64;
         let mut improved = false;
 
         let profile = PowerProfile::of_schedule(graph, &sigma, background);
@@ -122,6 +168,13 @@ pub fn improve_gaps(
             let profile = PowerProfile::of_schedule(graph, &sigma, background);
             if profile.power_at(t) >= p_min || t >= profile.end() {
                 continue;
+            }
+            if obs.is_enabled() {
+                obs.on_event(&TraceEvent::GapFound {
+                    t,
+                    power: profile.power_at(t),
+                    floor: p_min,
+                });
             }
             let gap_end = profile
                 .segments()
@@ -158,18 +211,45 @@ pub fn improve_gaps(
                         && tentative_profile.end() <= current.end()
                 };
                 if valid && (new_rho > rho || jitter_win) {
+                    if obs.is_enabled() {
+                        obs.on_event(&TraceEvent::MoveAccepted {
+                            task: v,
+                            delta,
+                            rho_before: rho,
+                            rho_after: new_rho,
+                        });
+                    }
                     sigma = tentative;
                     rho = new_rho;
                     improved = true;
-                    stats.min_power_moves += 1;
+                    pass_moves += 1;
                     if rho.is_one() {
+                        if obs.is_enabled() {
+                            obs.on_event(&TraceEvent::GapScanFinished {
+                                pass: pass as u32 + 1,
+                                moves: pass_moves,
+                            });
+                        }
                         return sigma;
                     }
                     break; // re-derive gap structure for this t
+                } else if obs.is_enabled() {
+                    obs.on_event(&TraceEvent::MoveRejected {
+                        task: v,
+                        delta,
+                        rho_before: rho,
+                        rho_after: new_rho,
+                    });
                 }
             }
         }
 
+        if obs.is_enabled() {
+            obs.on_event(&TraceEvent::GapScanFinished {
+                pass: pass as u32 + 1,
+                moves: pass_moves,
+            });
+        }
         if improved {
             barren_passes = 0;
         } else {
@@ -180,6 +260,24 @@ pub fn improve_gaps(
         }
     }
     sigma
+}
+
+/// Wire representation of a [`ScanOrder`].
+fn scan_kind(order: ScanOrder) -> ScanKind {
+    match order {
+        ScanOrder::Forward => ScanKind::Forward,
+        ScanOrder::Reverse => ScanKind::Reverse,
+        ScanOrder::Random => ScanKind::Random,
+    }
+}
+
+/// Wire representation of a [`SlotPolicy`].
+fn slot_kind(policy: SlotPolicy) -> SlotKind {
+    match policy {
+        SlotPolicy::StartAtGap => SlotKind::StartAtGap,
+        SlotPolicy::FinishAtGapEnd => SlotKind::FinishAtGapEnd,
+        SlotPolicy::Random => SlotKind::Random,
+    }
 }
 
 fn current_utilization(
@@ -375,6 +473,43 @@ mod tests {
         assert!(is_time_valid(&g, &sigma));
         assert!((sigma.start(x) - sigma.start(z)).as_secs() <= 1);
         assert!((sigma.start(y) - sigma.start(z)).as_secs() <= 1);
+    }
+
+    #[test]
+    fn observed_variant_matches_wrapper_and_null_observer() {
+        let p_max = Power::from_watts(22);
+        let p_min = Power::from_watts(14);
+
+        let (mut g1, _, _, _) = stacked_gap_graph();
+        let mut stats = SchedulerStats::default();
+        let s1 =
+            schedule_min_power(&mut g1, p_max, p_min, Power::ZERO, &cfg(), &mut stats).unwrap();
+
+        let (mut g2, _, _, _) = stacked_gap_graph();
+        let mut counter = pas_obs::CountingObserver::new();
+        let s2 =
+            schedule_min_power_observed(&mut g2, p_max, p_min, Power::ZERO, &cfg(), &mut counter)
+                .unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(stats, SchedulerStats::from(counter.counts()));
+        assert!(counter.counts().gaps_found > 0, "gap was observed");
+        assert_eq!(
+            counter.counts().gap_scans,
+            counter.counts().gap_scan_finishes,
+            "every scan pass is bracketed"
+        );
+
+        let (mut g3, _, _, _) = stacked_gap_graph();
+        let s3 = schedule_min_power_observed(
+            &mut g3,
+            p_max,
+            p_min,
+            Power::ZERO,
+            &cfg(),
+            &mut pas_obs::NullObserver,
+        )
+        .unwrap();
+        assert_eq!(s1, s3, "observation must not perturb the schedule");
     }
 
     #[test]

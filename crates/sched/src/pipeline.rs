@@ -8,10 +8,11 @@
 
 use crate::config::{SchedulerConfig, SchedulerStats};
 use crate::error::ScheduleError;
-use crate::max_power::schedule_max_power;
-use crate::min_power::improve_gaps;
-use crate::timing::schedule_timing;
+use crate::max_power::schedule_max_power_observed;
+use crate::min_power::improve_gaps_observed;
+use crate::timing::schedule_timing_observed;
 use pas_core::{analyze, Problem, Schedule, ScheduleAnalysis};
+use pas_obs::{CountingObserver, NullObserver, Observer, StageKind, Tee, TraceEvent};
 
 /// Result of a pipeline run: the schedule, its analysis against the
 /// problem, and the work counters.
@@ -75,58 +76,157 @@ impl PowerAwareScheduler {
     /// left in the problem's graph.
     ///
     /// # Errors
-    /// See [`schedule_timing`].
+    /// See [`crate::schedule_timing`].
     pub fn schedule_timing_only(&self, problem: &mut Problem) -> Result<Outcome, ScheduleError> {
-        let mut stats = SchedulerStats::default();
-        let schedule = schedule_timing(problem.graph_mut(), &self.config, &mut stats)?;
-        Ok(self.outcome(problem, schedule, stats))
+        self.schedule_timing_only_with(problem, &mut NullObserver)
+    }
+
+    /// [`Self::schedule_timing_only`] with an [`Observer`] receiving
+    /// the stage's decision events bracketed by
+    /// `StageStarted`/`StageFinished` markers.
+    ///
+    /// # Errors
+    /// See [`crate::schedule_timing`].
+    pub fn schedule_timing_only_with(
+        &self,
+        problem: &mut Problem,
+        obs: &mut dyn Observer,
+    ) -> Result<Outcome, ScheduleError> {
+        let mut counter = CountingObserver::new();
+        emit(
+            obs,
+            TraceEvent::StageStarted {
+                stage: StageKind::Timing,
+            },
+        );
+        let result = schedule_timing_observed(
+            problem.graph_mut(),
+            &self.config,
+            &mut Tee(&mut counter, &mut *obs),
+        );
+        emit(
+            obs,
+            TraceEvent::StageFinished {
+                stage: StageKind::Timing,
+            },
+        );
+        let schedule = result?;
+        Ok(self.outcome(problem, schedule, counter.counts().into()))
     }
 
     /// Stages 1–2: timing + max-power scheduling (§5.2).
     ///
     /// # Errors
-    /// See [`schedule_max_power`].
+    /// See [`crate::schedule_max_power`].
     pub fn schedule_power_valid(&self, problem: &mut Problem) -> Result<Outcome, ScheduleError> {
-        let mut stats = SchedulerStats::default();
+        self.schedule_power_valid_with(problem, &mut NullObserver)
+    }
+
+    /// [`Self::schedule_power_valid`] with an [`Observer`]. The whole
+    /// run (including the internal timing re-runs) is reported as one
+    /// max-power stage span.
+    ///
+    /// # Errors
+    /// See [`crate::schedule_max_power`].
+    pub fn schedule_power_valid_with(
+        &self,
+        problem: &mut Problem,
+        obs: &mut dyn Observer,
+    ) -> Result<Outcome, ScheduleError> {
+        let mut counter = CountingObserver::new();
         let p_max = problem.constraints().p_max();
         let background = problem.background_power();
-        let schedule = schedule_max_power(
+        emit(
+            obs,
+            TraceEvent::StageStarted {
+                stage: StageKind::MaxPower,
+            },
+        );
+        let result = schedule_max_power_observed(
             problem.graph_mut(),
             p_max,
             background,
             &self.config,
-            &mut stats,
-        )?;
-        Ok(self.outcome(problem, schedule, stats))
+            &mut Tee(&mut counter, &mut *obs),
+        );
+        emit(
+            obs,
+            TraceEvent::StageFinished {
+                stage: StageKind::MaxPower,
+            },
+        );
+        let schedule = result?;
+        Ok(self.outcome(problem, schedule, counter.counts().into()))
     }
 
     /// The full pipeline (§5.1–5.3): returns the final improved
     /// schedule.
     ///
     /// # Errors
-    /// See [`schedule_max_power`]; min-power improvement itself never
-    /// fails.
+    /// See [`crate::schedule_max_power`]; min-power improvement itself
+    /// never fails.
     pub fn schedule(&self, problem: &mut Problem) -> Result<Outcome, ScheduleError> {
-        let mut stats = SchedulerStats::default();
+        self.schedule_with(problem, &mut NullObserver)
+    }
+
+    /// [`Self::schedule`] with an [`Observer`] receiving every
+    /// decision event of the run, bracketed into max-power and
+    /// min-power stage spans (timing runs inside the former).
+    ///
+    /// # Errors
+    /// See [`Self::schedule`].
+    pub fn schedule_with(
+        &self,
+        problem: &mut Problem,
+        obs: &mut dyn Observer,
+    ) -> Result<Outcome, ScheduleError> {
+        let mut counter = CountingObserver::new();
         let constraints = problem.constraints();
         let background = problem.background_power();
-        let valid = schedule_max_power(
+
+        emit(
+            obs,
+            TraceEvent::StageStarted {
+                stage: StageKind::MaxPower,
+            },
+        );
+        let result = schedule_max_power_observed(
             problem.graph_mut(),
             constraints.p_max(),
             background,
             &self.config,
-            &mut stats,
-        )?;
-        let improved = improve_gaps(
+            &mut Tee(&mut counter, &mut *obs),
+        );
+        emit(
+            obs,
+            TraceEvent::StageFinished {
+                stage: StageKind::MaxPower,
+            },
+        );
+        let valid = result?;
+
+        emit(
+            obs,
+            TraceEvent::StageStarted {
+                stage: StageKind::MinPower,
+            },
+        );
+        let improved = improve_gaps_observed(
             problem.graph(),
             valid,
             constraints.p_max(),
             constraints.p_min(),
             background,
             &self.config,
-            &mut stats,
+            &mut Tee(&mut counter, &mut *obs),
         );
-        Ok(self.outcome(problem, improved, stats))
+        emit(
+            obs,
+            TraceEvent::StageFinished {
+                stage: StageKind::MinPower,
+            },
+        );
+        Ok(self.outcome(problem, improved, counter.counts().into()))
     }
 
     /// Runs the pipeline capturing every intermediate schedule
@@ -134,36 +234,97 @@ impl PowerAwareScheduler {
     /// accumulates the pinning edges of the final stage.
     ///
     /// # Errors
-    /// See [`schedule_max_power`].
+    /// See [`crate::schedule_max_power`].
     pub fn schedule_stages(&self, problem: &mut Problem) -> Result<StageOutcomes, ScheduleError> {
+        self.schedule_stages_with(problem, &mut NullObserver)
+    }
+
+    /// [`Self::schedule_stages`] with an [`Observer`]: each of the
+    /// three stages is bracketed by its own
+    /// `StageStarted`/`StageFinished` markers, and each
+    /// [`Outcome::stats`] is derived from the events of its span.
+    ///
+    /// # Errors
+    /// See [`crate::schedule_max_power`].
+    pub fn schedule_stages_with(
+        &self,
+        problem: &mut Problem,
+        obs: &mut dyn Observer,
+    ) -> Result<StageOutcomes, ScheduleError> {
         let constraints = problem.constraints();
         let background = problem.background_power();
 
-        let mut stats1 = SchedulerStats::default();
-        let time_valid_schedule = schedule_timing(problem.graph_mut(), &self.config, &mut stats1)?;
-        let time_valid = self.outcome(problem, time_valid_schedule, stats1);
+        let mut counter1 = CountingObserver::new();
+        emit(
+            obs,
+            TraceEvent::StageStarted {
+                stage: StageKind::Timing,
+            },
+        );
+        let result = schedule_timing_observed(
+            problem.graph_mut(),
+            &self.config,
+            &mut Tee(&mut counter1, &mut *obs),
+        );
+        emit(
+            obs,
+            TraceEvent::StageFinished {
+                stage: StageKind::Timing,
+            },
+        );
+        let time_valid_schedule = result?;
+        let time_valid = self.outcome(problem, time_valid_schedule, counter1.counts().into());
 
-        let mut stats2 = SchedulerStats::default();
-        let power_valid_schedule = schedule_max_power(
+        let mut counter2 = CountingObserver::new();
+        emit(
+            obs,
+            TraceEvent::StageStarted {
+                stage: StageKind::MaxPower,
+            },
+        );
+        let result = schedule_max_power_observed(
             problem.graph_mut(),
             constraints.p_max(),
             background,
             &self.config,
-            &mut stats2,
-        )?;
-        let power_valid = self.outcome(problem, power_valid_schedule.clone(), stats2);
+            &mut Tee(&mut counter2, &mut *obs),
+        );
+        emit(
+            obs,
+            TraceEvent::StageFinished {
+                stage: StageKind::MaxPower,
+            },
+        );
+        let power_valid_schedule = result?;
+        let power_valid = self.outcome(
+            problem,
+            power_valid_schedule.clone(),
+            counter2.counts().into(),
+        );
 
-        let mut stats3 = SchedulerStats::default();
-        let improved_schedule = improve_gaps(
+        let mut counter3 = CountingObserver::new();
+        emit(
+            obs,
+            TraceEvent::StageStarted {
+                stage: StageKind::MinPower,
+            },
+        );
+        let improved_schedule = improve_gaps_observed(
             problem.graph(),
             power_valid_schedule,
             constraints.p_max(),
             constraints.p_min(),
             background,
             &self.config,
-            &mut stats3,
+            &mut Tee(&mut counter3, &mut *obs),
         );
-        let improved = self.outcome(problem, improved_schedule, stats3);
+        emit(
+            obs,
+            TraceEvent::StageFinished {
+                stage: StageKind::MinPower,
+            },
+        );
+        let improved = self.outcome(problem, improved_schedule, counter3.counts().into());
 
         Ok(StageOutcomes {
             time_valid,
@@ -173,15 +334,22 @@ impl PowerAwareScheduler {
     }
 
     /// Portfolio scheduling: runs the full pipeline `restarts`
-    /// additional times with seeded-random serialization orders
-    /// (§5.3: "better schedules could be found if the schedule can be
+    /// additional times with diversified serialization orders (§5.3:
+    /// "better schedules could be found if the schedule can be
     /// scanned in various orders") and keeps the best result —
     /// fastest finish time, energy cost as tie-break. The first
     /// attempt always uses the configured deterministic heuristics,
     /// so the portfolio never does worse than [`Self::schedule`].
+    /// Restart attempts alternate seeded-random commit orders with
+    /// RNG-free [`crate::CommitOrder::Rotated`] variations, and when
+    /// the instance has at most
+    /// [`SchedulerConfig::exact_portfolio_limit`] tasks the portfolio
+    /// finishes with one exact branch-and-bound attempt, closing the
+    /// optimality gap on small problems deterministically.
     ///
     /// On success `problem`'s graph carries the winning attempt's
-    /// serialization edges.
+    /// serialization edges (none when the exact attempt wins — its
+    /// schedule needs no added edges to be valid).
     ///
     /// # Errors
     /// Fails only when *every* attempt fails, with the first error.
@@ -190,6 +358,21 @@ impl PowerAwareScheduler {
         problem: &mut Problem,
         restarts: usize,
     ) -> Result<Outcome, ScheduleError> {
+        self.schedule_portfolio_with(problem, restarts, &mut NullObserver)
+    }
+
+    /// [`Self::schedule_portfolio`] with an [`Observer`]: every
+    /// attempt's events are forwarded, so the trace contains one pair
+    /// of max-power/min-power stage spans per attempt.
+    ///
+    /// # Errors
+    /// See [`Self::schedule_portfolio`].
+    pub fn schedule_portfolio_with(
+        &self,
+        problem: &mut Problem,
+        restarts: usize,
+        obs: &mut dyn Observer,
+    ) -> Result<Outcome, ScheduleError> {
         let mut best: Option<(Problem, Outcome)> = None;
         let mut first_err = None;
 
@@ -197,7 +380,7 @@ impl PowerAwareScheduler {
             let mut candidate_problem = problem.clone();
             let config = if attempt == 0 {
                 self.config.clone()
-            } else {
+            } else if attempt % 2 == 1 {
                 SchedulerConfig {
                     commit_order: crate::config::CommitOrder::Random,
                     seed: self
@@ -206,8 +389,13 @@ impl PowerAwareScheduler {
                         .wrapping_add((attempt as u64).wrapping_mul(0xA24B_AED4_963E_E407)),
                     ..self.config.clone()
                 }
+            } else {
+                SchedulerConfig {
+                    commit_order: crate::config::CommitOrder::Rotated(attempt / 2),
+                    ..self.config.clone()
+                }
             };
-            match PowerAwareScheduler::new(config).schedule(&mut candidate_problem) {
+            match PowerAwareScheduler::new(config).schedule_with(&mut candidate_problem, obs) {
                 Ok(outcome) => {
                     let better = match &best {
                         None => true,
@@ -231,6 +419,44 @@ impl PowerAwareScheduler {
             }
         }
 
+        // Final exact attempt on small instances: random restarts
+        // sample serializations blindly, while branch and bound
+        // certifies the optimum — and is affordable below the
+        // configured task-count ceiling.
+        if restarts > 0 && problem.graph().num_tasks() <= self.config.exact_portfolio_limit {
+            let constraints = problem.constraints();
+            let exact_config = crate::optimal::OptimalConfig {
+                max_nodes: 5_000_000,
+                horizon: None,
+            };
+            if let Ok(exact) = crate::optimal::minimize_finish_time(
+                problem.graph(),
+                constraints.p_max(),
+                problem.background_power(),
+                &exact_config,
+            ) {
+                let candidate_problem = problem.clone();
+                let outcome = self.outcome(
+                    &candidate_problem,
+                    exact.schedule,
+                    SchedulerStats::default(),
+                );
+                let better = match &best {
+                    None => true,
+                    Some((_, incumbent)) => {
+                        (outcome.analysis.finish_time, outcome.analysis.energy_cost)
+                            < (
+                                incumbent.analysis.finish_time,
+                                incumbent.analysis.energy_cost,
+                            )
+                    }
+                };
+                if better {
+                    best = Some((candidate_problem, outcome));
+                }
+            }
+        }
+
         match best {
             Some((winning_problem, outcome)) => {
                 *problem = winning_problem;
@@ -247,6 +473,13 @@ impl PowerAwareScheduler {
             analysis,
             stats,
         }
+    }
+}
+
+/// Emits `event` to `obs` unless observation is disabled.
+fn emit(obs: &mut dyn Observer, event: TraceEvent) {
+    if obs.is_enabled() {
+        obs.on_event(&event);
     }
 }
 
@@ -318,6 +551,70 @@ mod tests {
             .schedule_portfolio(&mut p2, 0)
             .unwrap();
         assert_eq!(single.schedule, portfolio.schedule);
+    }
+
+    #[test]
+    fn observed_pipeline_matches_unobserved_and_brackets_stages() {
+        let (mut p1, _) = paper_example();
+        let plain = PowerAwareScheduler::default().schedule(&mut p1).unwrap();
+
+        let (mut p2, _) = paper_example();
+        let mut recorder = pas_obs::RecordingObserver::new();
+        let observed = PowerAwareScheduler::default()
+            .schedule_with(&mut p2, &mut recorder)
+            .unwrap();
+        assert_eq!(plain.schedule, observed.schedule);
+        assert_eq!(plain.stats, observed.stats);
+
+        // The stream opens with a max-power span and contains a
+        // min-power span after it.
+        let events: Vec<_> = recorder.into_events();
+        assert!(matches!(
+            events.first(),
+            Some(TraceEvent::StageStarted {
+                stage: StageKind::MaxPower
+            })
+        ));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::StageStarted {
+                stage: StageKind::MinPower
+            }
+        )));
+        assert!(matches!(
+            events.last(),
+            Some(TraceEvent::StageFinished {
+                stage: StageKind::MinPower
+            })
+        ));
+
+        // Replaying the recorded stream reproduces the stats exactly.
+        let replayed: SchedulerStats = pas_obs::EventCounts::from_events(&events).into();
+        assert_eq!(replayed, observed.stats);
+    }
+
+    #[test]
+    fn stage_outcome_stats_are_per_span() {
+        let (mut problem, _) = paper_example();
+        let mut recorder = pas_obs::RecordingObserver::new();
+        let stages = PowerAwareScheduler::default()
+            .schedule_stages_with(&mut problem, &mut recorder)
+            .unwrap();
+        // Stage 1 does no power work; stage 3 does no timing work.
+        assert_eq!(stages.time_valid.stats.spike_delays, 0);
+        assert_eq!(stages.improved.stats.serializations, 0);
+        // Trace carries all three spans in pipeline order.
+        let starts: Vec<StageKind> = recorder
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::StageStarted { stage } => Some(*stage),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            starts,
+            vec![StageKind::Timing, StageKind::MaxPower, StageKind::MinPower]
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::error::ScheduleError;
 use pas_core::Schedule;
 use pas_graph::longest_path::single_source_longest_paths;
 use pas_graph::{ConstraintGraph, NodeId, TaskId};
+use pas_obs::{CountingObserver, Observer, TraceEvent};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -59,6 +60,28 @@ pub fn schedule_timing(
     config: &SchedulerConfig,
     stats: &mut SchedulerStats,
 ) -> Result<Schedule, ScheduleError> {
+    let mut counter = CountingObserver::new();
+    let result = schedule_timing_observed(graph, config, &mut counter);
+    *stats += SchedulerStats::from(counter.counts());
+    result
+}
+
+/// [`schedule_timing`] with a caller-supplied [`Observer`] receiving a
+/// [`TraceEvent`] for every commit, serialization edge and backtrack.
+///
+/// The counters previously threaded through `SchedulerStats` are a
+/// projection of this event stream; pass a
+/// [`CountingObserver`] and convert its counts to recover them.
+/// Passing [`pas_obs::NullObserver`] compiles the tracing away
+/// entirely.
+///
+/// # Errors
+/// See [`schedule_timing`].
+pub fn schedule_timing_observed<O: Observer>(
+    graph: &mut ConstraintGraph,
+    config: &SchedulerConfig,
+    obs: &mut O,
+) -> Result<Schedule, ScheduleError> {
     // Fail fast (and distinguish "inherently infeasible" from "no
     // ordering found"): the original constraints must be satisfiable.
     if let Err(cycle) = single_source_longest_paths(graph, NodeId::ANCHOR) {
@@ -69,10 +92,22 @@ pub fn schedule_timing(
     let mut committed = vec![false; graph.num_tasks()];
     let mut budget = config.max_backtracks;
     let mut rng = match config.commit_order {
-        CommitOrder::EarliestFirst => None,
+        CommitOrder::EarliestFirst | CommitOrder::Rotated(_) => None,
         CommitOrder::Random => Some(StdRng::seed_from_u64(config.seed ^ 0x7091_0C4D)),
     };
-    match commit_all(graph, &mut committed, 0, &mut budget, &mut rng, stats) {
+    let rotation = match config.commit_order {
+        CommitOrder::Rotated(k) => k,
+        _ => 0,
+    };
+    match commit_all(
+        graph,
+        &mut committed,
+        0,
+        &mut budget,
+        rotation,
+        &mut rng,
+        obs,
+    ) {
         CommitOutcome::Done => {
             let lp = single_source_longest_paths(graph, NodeId::ANCHOR)
                 .expect("final serialization was checked feasible");
@@ -102,13 +137,15 @@ enum CommitOutcome {
 /// Recursively commits tasks in every feasible topological order until
 /// all are committed ("a time-valid schedule is returned when all
 /// vertices are scheduled").
-fn commit_all(
+#[allow(clippy::too_many_arguments)]
+fn commit_all<O: Observer>(
     graph: &mut ConstraintGraph,
     committed: &mut [bool],
     num_committed: usize,
     budget: &mut usize,
+    rotation: usize,
     rng: &mut Option<StdRng>,
-    stats: &mut SchedulerStats,
+    obs: &mut O,
 ) -> CommitOutcome {
     if num_committed == graph.num_tasks() {
         return CommitOutcome::Done;
@@ -123,7 +160,21 @@ fn commit_all(
 
     let mut candidates: Vec<TaskId> = frontier(graph, committed);
     match rng {
-        None => candidates.sort_by_key(|&t| (lp.start_time(t), t)),
+        None => {
+            candidates.sort_by_key(|&t| (lp.start_time(t), t));
+            if rotation > 0 && candidates.len() > 1 {
+                // Deterministic Fisher–Yates driven by a SplitMix64
+                // stream keyed on (variation, depth): different
+                // variation indices explore systematically different
+                // serializations regardless of any RNG implementation.
+                let mut state = (rotation as u64) ^ ((num_committed as u64) << 32);
+                for i in (1..candidates.len()).rev() {
+                    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let j = (splitmix64(state) % (i as u64 + 1)) as usize;
+                    candidates.swap(i, j);
+                }
+            }
+        }
         Some(rng) => candidates.shuffle(rng),
     }
 
@@ -133,6 +184,9 @@ fn commit_all(
         }
         let mark = graph.mark();
         committed[c.index()] = true;
+        if obs.is_enabled() {
+            obs.on_event(&TraceEvent::TaskCommitted { task: c });
+        }
 
         // Serialize every uncommitted same-resource task after c.
         let peers: Vec<TaskId> = graph
@@ -141,13 +195,26 @@ fn commit_all(
             .collect();
         for u in peers {
             graph.serialize_after(c, u);
-            stats.serializations += 1;
+            if obs.is_enabled() {
+                obs.on_event(&TraceEvent::SerializationAdded {
+                    committed: c,
+                    serialized: u,
+                });
+            }
         }
 
         // Feasibility check before descending saves exploring the
         // whole subtree of an already-dead serialization.
         if single_source_longest_paths(graph, NodeId::ANCHOR).is_ok() {
-            match commit_all(graph, committed, num_committed + 1, budget, rng, stats) {
+            match commit_all(
+                graph,
+                committed,
+                num_committed + 1,
+                budget,
+                rotation,
+                rng,
+                obs,
+            ) {
                 CommitOutcome::Done => return CommitOutcome::Done,
                 CommitOutcome::OutOfBudget => return CommitOutcome::OutOfBudget,
                 CommitOutcome::Dead => {}
@@ -156,11 +223,23 @@ fn commit_all(
 
         committed[c.index()] = false;
         graph.undo_to(mark);
-        stats.timing_backtracks += 1;
+        if obs.is_enabled() {
+            obs.on_event(&TraceEvent::TopoBacktrack { task: c });
+        }
         *budget = budget.saturating_sub(1);
     }
 
     CommitOutcome::Dead
+}
+
+/// Fixed 64-bit mix (SplitMix64 finalizer) — used for the
+/// [`CommitOrder::Rotated`] diversification so diversified runs do not
+/// depend on any RNG crate's stream.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Tasks whose precedence predecessors are all committed — the
@@ -334,6 +413,36 @@ mod tests {
         let s = run(&mut g).unwrap();
         let sl = slacks(&g, &s);
         assert!(sl.iter().all(|d| !d.is_negative()));
+    }
+
+    #[test]
+    fn observed_variant_matches_wrapper_and_null_observer() {
+        let mk = || {
+            let mut g = ConstraintGraph::new();
+            let r = g.add_resource(Resource::new("R", ResourceKind::Compute));
+            for i in 0..4 {
+                g.add_task(Task::new(
+                    format!("t{i}"),
+                    r,
+                    TimeSpan::from_secs(2),
+                    Power::ZERO,
+                ));
+            }
+            g
+        };
+        let mut g1 = mk();
+        let mut stats = SchedulerStats::default();
+        let s1 = schedule_timing(&mut g1, &cfg(), &mut stats).unwrap();
+
+        let mut g2 = mk();
+        let mut counter = pas_obs::CountingObserver::new();
+        let s2 = schedule_timing_observed(&mut g2, &cfg(), &mut counter).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(stats, SchedulerStats::from(counter.counts()));
+
+        let mut g3 = mk();
+        let s3 = schedule_timing_observed(&mut g3, &cfg(), &mut pas_obs::NullObserver).unwrap();
+        assert_eq!(s1, s3, "observation must not perturb the schedule");
     }
 
     #[test]

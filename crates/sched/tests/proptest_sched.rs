@@ -50,7 +50,7 @@ proptest! {
         let mut expected_start = pas_graph::units::Time::ZERO;
         for &t in &ids {
             prop_assert_eq!(sigma.start(t), expected_start);
-            expected_start = expected_start + p.graph().task(t).delay();
+            expected_start += p.graph().task(t).delay();
         }
         // One at a time ⇒ peak is the single biggest task.
         let a = analyze(&p, &sigma);

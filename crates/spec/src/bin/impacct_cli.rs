@@ -4,6 +4,7 @@
 //! impacct-cli schedule <problem.pasdl> [--stage timing|max|min]
 //!                      [--svg <out.svg>] [--emit-schedule] [--report]
 //!                      [--corners] [--restarts <n>] [--seed <n>] [--quiet]
+//!                      [--trace <out.jsonl>] [--profile]
 //! impacct-cli validate <problem.pasdl> <schedule.pasdl>
 //! impacct-cli print <problem.pasdl>       # parse + pretty-print
 //! ```
@@ -11,12 +12,15 @@
 //! `schedule` runs the pipeline up to the requested stage (default
 //! `min`, the full pipeline), prints the power-aware Gantt chart and
 //! metrics, and optionally writes an SVG and/or the schedule as
-//! PASDL. `validate` checks a hand-written schedule against a
+//! PASDL. `--trace` streams every scheduling decision as JSONL
+//! [`pas_obs::TraceEvent`]s; `--profile` prints a per-stage profile
+//! table. `validate` checks a hand-written schedule against a
 //! problem, reporting every violation.
 
 use pas_core::analyze;
 use pas_core::power_model::analyze_corners;
 use pas_gantt::{render_ascii, render_svg, summary_report, AsciiOptions, GanttChart, SvgOptions};
+use pas_obs::{JsonlWriter, NullObserver, Observer, StageProfiler, Tee};
 use pas_sched::{PowerAwareScheduler, SchedulerConfig};
 use pas_spec::{parse_problem, parse_problem_full, parse_schedule, print_problem, print_schedule};
 use std::process::ExitCode;
@@ -51,7 +55,7 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  impacct-cli schedule <problem.pasdl> [--stage timing|max|min] \
      [--svg <out.svg>] [--emit-schedule] [--report] [--corners] [--restarts <n>] \
-     [--seed <n>] [--quiet]\n  \
+     [--seed <n>] [--quiet] [--trace <out.jsonl>] [--profile]\n  \
      impacct-cli validate <problem.pasdl> <schedule.pasdl>\n  \
      impacct-cli print <problem.pasdl>"
         .to_string()
@@ -71,6 +75,8 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     let mut quiet = false;
     let mut seed = None;
     let mut restarts = 0usize;
+    let mut trace_out = None;
+    let mut profile = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -80,6 +86,8 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
             "--report" => report = true,
             "--corners" => corners = true,
             "--quiet" => quiet = true,
+            "--trace" => trace_out = Some(it.next().ok_or("--trace needs a path")?.clone()),
+            "--profile" => profile = true,
             "--restarts" => {
                 restarts = it
                     .next()
@@ -109,14 +117,52 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
         config.seed = seed;
     }
     let scheduler = PowerAwareScheduler::new(config);
+
+    // Compose the optional trace and profile sinks; a NullObserver
+    // stands in for either missing side, so with neither flag the
+    // whole observation path folds to the unobserved one.
+    let mut trace_writer = match &trace_out {
+        Some(path) => {
+            Some(JsonlWriter::create(path).map_err(|e| format!("cannot create {path}: {e}"))?)
+        }
+        None => None,
+    };
+    let mut profiler = profile.then(StageProfiler::new);
+    let (mut null_a, mut null_b) = (NullObserver, NullObserver);
+    let trace_side: &mut dyn Observer = match trace_writer.as_mut() {
+        Some(w) => w,
+        None => &mut null_a,
+    };
+    let profile_side: &mut dyn Observer = match profiler.as_mut() {
+        Some(p) => p,
+        None => &mut null_b,
+    };
+    let mut obs = Tee(trace_side, profile_side);
+
     let outcome = match stage.as_str() {
-        "timing" => scheduler.schedule_timing_only(&mut problem),
-        "max" => scheduler.schedule_power_valid(&mut problem),
-        "min" if restarts > 0 => scheduler.schedule_portfolio(&mut problem, restarts),
-        "min" => scheduler.schedule(&mut problem),
+        "timing" => scheduler.schedule_timing_only_with(&mut problem, &mut obs),
+        "max" => scheduler.schedule_power_valid_with(&mut problem, &mut obs),
+        "min" if restarts > 0 => {
+            scheduler.schedule_portfolio_with(&mut problem, restarts, &mut obs)
+        }
+        "min" => scheduler.schedule_with(&mut problem, &mut obs),
         other => return Err(format!("unknown stage {other:?} (timing|max|min)")),
     }
     .map_err(|e| format!("scheduling failed: {e}"))?;
+
+    if let Some(profiler) = &profiler {
+        print!("{}", profiler.render_table());
+    }
+    if let Some(writer) = trace_writer.take() {
+        let path = trace_out.unwrap_or_default();
+        let lines = writer.lines();
+        writer
+            .finish()
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !quiet {
+            println!("wrote {lines} trace events to {path}");
+        }
+    }
 
     let chart = GanttChart::from_analysis(&problem, &outcome.schedule, &outcome.analysis);
     if !quiet {

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Commit it if the tool allows (it refuses anything invalid).
     match editor.drag(tasks.f, target) {
-        Ok(()) => println!("drag committed: f now starts at {}", editor.schedule().start(tasks.f)),
+        Ok(()) => println!(
+            "drag committed: f now starts at {}",
+            editor.schedule().start(tasks.f)
+        ),
         Err(e) => println!("drag refused: {e}"),
     }
 

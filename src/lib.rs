@@ -25,7 +25,10 @@
 //! * [`spec`] ([`pas_spec`]) — the PASDL text format and the
 //!   `impacct-cli` driver;
 //! * [`exec`] ([`pas_exec`]) — runtime dispatch simulation under
-//!   execution-time jitter.
+//!   execution-time jitter;
+//! * [`obs`] ([`pas_obs`]) — structured decision tracing
+//!   ([`pas_obs::TraceEvent`]), counting/recording/JSONL observers,
+//!   and per-stage wall-clock profiling.
 //!
 //! ## Quickstart
 //!
@@ -61,6 +64,7 @@ pub use pas_exec as exec;
 pub use pas_gantt as gantt;
 pub use pas_graph as graph;
 pub use pas_mission as mission;
+pub use pas_obs as obs;
 pub use pas_rover as rover;
 pub use pas_sched as sched;
 pub use pas_spec as spec;

@@ -1,0 +1,102 @@
+//! End-to-end observability guarantees: the recorded event stream is
+//! a faithful projection of the pipeline's own statistics, observation
+//! never perturbs scheduling, and traces survive a JSONL round trip.
+
+use impacct::core::example::paper_example;
+use impacct::exec::{execute, execute_observed, JitterModel};
+use impacct::obs::{
+    parse_jsonl, EventCounts, JsonlWriter, NullObserver, RecordingObserver, StageKind, Tee,
+    TraceEvent,
+};
+use impacct::sched::{PowerAwareScheduler, SchedulerStats};
+
+/// The recorded event stream of an observed pipeline run replays to
+/// exactly the `SchedulerStats` the pipeline itself reports.
+#[test]
+fn recorded_stream_replays_to_pipeline_stats() {
+    let (mut problem, _) = paper_example();
+    let mut rec = RecordingObserver::new();
+    let outcome = PowerAwareScheduler::default()
+        .schedule_with(&mut problem, &mut rec)
+        .expect("paper example schedules");
+
+    let events = rec.into_events();
+    assert!(!events.is_empty(), "an observed run must emit events");
+    let replayed: SchedulerStats = EventCounts::from_events(&events).into();
+    assert_eq!(replayed, outcome.stats);
+
+    // The stream brackets both pipeline stages, in order.
+    let starts: Vec<StageKind> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::StageStarted { stage } => Some(*stage),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(starts, [StageKind::MaxPower, StageKind::MinPower]);
+}
+
+/// A `NullObserver` run is byte-identical to an observed run — the
+/// observer can only watch, never steer.
+#[test]
+fn null_observer_runs_byte_identical_to_observed_runs() {
+    let scheduler = PowerAwareScheduler::default();
+
+    let (mut plain_problem, _) = paper_example();
+    let plain = scheduler
+        .schedule(&mut plain_problem)
+        .expect("plain run schedules");
+
+    let (mut null_problem, _) = paper_example();
+    let null = scheduler
+        .schedule_with(&mut null_problem, &mut NullObserver)
+        .expect("null-observed run schedules");
+
+    let (mut observed_problem, _) = paper_example();
+    let mut rec = RecordingObserver::new();
+    let observed = scheduler
+        .schedule_with(&mut observed_problem, &mut rec)
+        .expect("recorded run schedules");
+
+    assert_eq!(format!("{plain:?}"), format!("{null:?}"));
+    assert_eq!(format!("{plain:?}"), format!("{observed:?}"));
+}
+
+/// Dispatcher observation is equally inert, and its events tally the
+/// executed tasks.
+#[test]
+fn observed_dispatch_matches_plain_execution() {
+    let (mut problem, _) = paper_example();
+    let outcome = PowerAwareScheduler::default()
+        .schedule(&mut problem)
+        .expect("paper example schedules");
+    let durations = JitterModel::nominal_durations(problem.graph());
+
+    let plain = execute(&problem, &outcome.schedule, &durations);
+    let mut rec = RecordingObserver::new();
+    let observed = execute_observed(&problem, &outcome.schedule, &durations, &mut rec);
+    assert_eq!(plain, observed);
+
+    let counts = EventCounts::from_events(rec.events());
+    let n = problem.graph().num_tasks() as u64;
+    assert_eq!(counts.tasks_dispatched, n);
+    assert_eq!(counts.tasks_completed, n);
+    assert_eq!(counts.window_faults, 0);
+}
+
+/// Every emitted event serializes to a JSONL line that parses back to
+/// the identical event.
+#[test]
+fn trace_round_trips_through_jsonl() {
+    let (mut problem, _) = paper_example();
+    let mut rec = RecordingObserver::new();
+    let mut jsonl = JsonlWriter::new(Vec::new());
+    PowerAwareScheduler::default()
+        .schedule_stages_with(&mut problem, &mut Tee(&mut rec, &mut jsonl))
+        .expect("paper example schedules");
+
+    let events = rec.into_events();
+    let text = String::from_utf8(jsonl.finish().expect("no deferred I/O error")).unwrap();
+    assert_eq!(text.lines().count(), events.len());
+    assert_eq!(parse_jsonl(&text).expect("every line parses"), events);
+}
