@@ -227,7 +227,15 @@ fn table3() -> Result<(), String> {
     ];
     let config = SchedulerConfig::default();
     for (case, (jpl_note, pa_note)) in EnvCase::ALL.into_iter().zip(paper) {
-        println!("case {case}");
+        // Lint the pristine problem (pre-scheduling, so no derived
+        // edges) — the static verdict rides along with each case.
+        let lint = pas_lint::lint(&build_rover_problem(case, 1).problem);
+        let verdict = if lint.is_empty() {
+            "clean".to_string()
+        } else {
+            lint.summary()
+        };
+        println!("case {case}  [lint: {verdict}]");
         let (jp, js) = jpl_schedule(case).map_err(|e| e.to_string())?;
         let ja = analyze(&jp.problem, &js);
         println!("  {}  {jpl_note}", metrics_row("jpl", &ja));

@@ -68,7 +68,9 @@ pub use profile::{Interval, PowerProfile, Segment};
 pub use ratio::Ratio;
 pub use schedule::Schedule;
 pub use slack::{slack, slacks};
-pub use validity::{is_power_valid, is_time_valid, time_violations, TimingViolation};
+pub use validity::{
+    describe_spike, is_power_valid, is_time_valid, time_violations, TimingViolation,
+};
 
 #[cfg(test)]
 mod crate_tests {

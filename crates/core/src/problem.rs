@@ -1,6 +1,6 @@
 //! Scheduling problem: constraint graph + power constraints.
 
-use pas_graph::units::Power;
+use pas_graph::units::{Power, Time};
 use pas_graph::ConstraintGraph;
 
 /// The max/min power constraints of §4.2.
@@ -91,6 +91,7 @@ pub struct Problem {
     graph: ConstraintGraph,
     constraints: PowerConstraints,
     background: Power,
+    deadline: Option<Time>,
 }
 
 impl Problem {
@@ -105,6 +106,7 @@ impl Problem {
             graph,
             constraints,
             background: Power::ZERO,
+            deadline: None,
         }
     }
 
@@ -128,6 +130,7 @@ impl Problem {
             graph,
             constraints,
             background,
+            deadline: None,
         }
     }
 
@@ -165,6 +168,33 @@ impl Problem {
     #[inline]
     pub fn background_power(&self) -> Power {
         self.background
+    }
+
+    /// The declared mission deadline, when one exists.
+    ///
+    /// The schedulers themselves never read this — it is advisory
+    /// metadata used by static analysis (ALAP windows, deadline
+    /// prechecks) and reporting.
+    #[inline]
+    pub fn deadline(&self) -> Option<Time> {
+        self.deadline
+    }
+
+    /// Declares (or clears) the mission deadline.
+    ///
+    /// # Panics
+    /// Panics if the deadline is negative.
+    pub fn set_deadline(&mut self, deadline: Option<Time>) {
+        if let Some(d) = deadline {
+            assert!(d >= Time::ZERO, "deadline must be non-negative");
+        }
+        self.deadline = deadline;
+    }
+
+    /// Builder form of [`set_deadline`](Problem::set_deadline).
+    pub fn with_deadline(mut self, deadline: Time) -> Self {
+        self.set_deadline(Some(deadline));
+        self
     }
 
     /// Consumes the problem, returning its graph.
@@ -214,5 +244,24 @@ mod tests {
         assert_eq!(p.constraints().p_max(), Power::from_watts(9));
         let g = p.into_graph();
         assert_eq!(g.num_tasks(), 1);
+    }
+
+    #[test]
+    fn deadline_round_trip() {
+        let g = ConstraintGraph::new();
+        let p = Problem::new("p", g, PowerConstraints::unconstrained());
+        assert_eq!(p.deadline(), None);
+        let mut p = p.with_deadline(Time::from_secs(75));
+        assert_eq!(p.deadline(), Some(Time::from_secs(75)));
+        p.set_deadline(None);
+        assert_eq!(p.deadline(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_deadline_rejected() {
+        let g = ConstraintGraph::new();
+        let _ = Problem::new("p", g, PowerConstraints::unconstrained())
+            .with_deadline(Time::from_secs(-1));
     }
 }

@@ -10,10 +10,10 @@
 //! property tests can use them as an oracle on scheduler output.
 
 use crate::problem::Problem;
-use crate::profile::PowerProfile;
+use crate::profile::{Interval, PowerProfile};
 use crate::schedule::Schedule;
 use pas_graph::units::{Time, TimeSpan};
-use pas_graph::{ConstraintGraph, EdgeId, NodeId, TaskId};
+use pas_graph::{ConstraintGraph, EdgeId, EdgeKind, NodeId, TaskId};
 
 /// A violated timing requirement.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +66,70 @@ impl core::fmt::Display for TimingViolation {
             }
         }
     }
+}
+
+impl TimingViolation {
+    /// Like the [`Display`](core::fmt::Display) impl, but resolves
+    /// ids through `graph` so the message names the tasks involved —
+    /// what a report shown to a person should use.
+    pub fn describe(&self, graph: &ConstraintGraph) -> String {
+        let name = |t: TaskId| format!("{:?}", graph.task(t).name());
+        let node = |n: NodeId| match n.task() {
+            Some(t) => name(t),
+            None => "the anchor".to_string(),
+        };
+        match self {
+            TimingViolation::Edge {
+                edge,
+                required,
+                actual,
+            } => {
+                let e = graph.edge(*edge);
+                let kind = match e.kind() {
+                    EdgeKind::MinSeparation => "min separation",
+                    EdgeKind::MaxSeparation => "max separation",
+                    EdgeKind::Serialization => "serialization",
+                    EdgeKind::Release => "release",
+                    EdgeKind::Lock => "lock",
+                    _ => "constraint",
+                };
+                format!(
+                    "{kind} {} -> {} requires separation {required}, schedule has {actual}",
+                    node(e.from()),
+                    node(e.to()),
+                )
+            }
+            TimingViolation::ResourceOverlap { first, second } => {
+                let resource = graph.resource(graph.task(*first).resource()).name();
+                format!(
+                    "tasks {} and {} overlap on resource {resource:?}",
+                    name(*first),
+                    name(*second),
+                )
+            }
+            TimingViolation::StartsBeforeOrigin { task, start } => {
+                format!("task {} starts at {start}, before the origin", name(*task))
+            }
+        }
+    }
+}
+
+/// Names the tasks active anywhere within `spike`, so power-violation
+/// reports can say *who* is drawing power, not just when.
+pub fn describe_spike(graph: &ConstraintGraph, schedule: &Schedule, spike: &Interval) -> String {
+    let mut culprits: Vec<String> = graph
+        .task_ids()
+        .filter(|&t| schedule.start(t) < spike.end && schedule.end(t, graph) > spike.start)
+        .map(|t| format!("{:?}", graph.task(t).name()))
+        .collect();
+    if culprits.is_empty() {
+        return format!("power exceeds the budget over {spike} (background only)");
+    }
+    culprits.sort();
+    format!(
+        "power exceeds the budget over {spike}; active tasks: {}",
+        culprits.join(", ")
+    )
 }
 
 /// Collects every timing violation of `schedule` against `graph`.
@@ -257,5 +321,59 @@ mod tests {
             second: TaskId::from_index(1),
         };
         assert!(v.to_string().contains("overlap"));
+    }
+
+    #[test]
+    fn describe_names_tasks_and_resources() {
+        let (mut g, a, b) = pair(true);
+        g.min_separation(a, b, TimeSpan::from_secs(10));
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(4)]);
+        let v = time_violations(&g, &s);
+        let texts: Vec<String> = v.iter().map(|x| x.describe(&g)).collect();
+        assert!(
+            texts.iter().any(|t| t.contains("min separation")
+                && t.contains("\"a\"")
+                && t.contains("\"b\"")),
+            "{texts:?}"
+        );
+        assert!(
+            texts
+                .iter()
+                .any(|t| t.contains("overlap") && t.contains("\"A\"")),
+            "{texts:?}"
+        );
+    }
+
+    #[test]
+    fn describe_negative_start_names_the_task() {
+        let (g, _, _) = pair(false);
+        let s = Schedule::from_starts(vec![Time::from_secs(-1), Time::ZERO]);
+        let v = time_violations(&g, &s);
+        let texts: Vec<String> = v.iter().map(|x| x.describe(&g)).collect();
+        assert!(
+            texts
+                .iter()
+                .any(|t| t.contains("\"a\"") && t.contains("origin")),
+            "{texts:?}"
+        );
+        // The anchor release edge names the anchor, not a phantom task.
+        assert!(texts.iter().any(|t| t.contains("the anchor")), "{texts:?}");
+    }
+
+    #[test]
+    fn describe_spike_names_active_tasks() {
+        let (g, _, _) = pair(false);
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(2)]);
+        let spike = Interval {
+            start: Time::from_secs(2),
+            end: Time::from_secs(5),
+        };
+        let text = describe_spike(&g, &s, &spike);
+        assert!(text.contains("\"a\"") && text.contains("\"b\""), "{text}");
+        let idle = Interval {
+            start: Time::from_secs(100),
+            end: Time::from_secs(101),
+        };
+        assert!(describe_spike(&g, &s, &idle).contains("background"));
     }
 }

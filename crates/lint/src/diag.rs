@@ -1,0 +1,386 @@
+//! Diagnostic model: codes, severities, span-carrying diagnostics and
+//! the report that collects them.
+
+use crate::span::Span;
+use core::fmt;
+
+/// How serious a finding is.
+///
+/// `Error`-level findings are *proofs of trouble*: every error code
+/// except the deadline-relative ones ([`LintCode::DeadlineUnreachable`]
+/// and [`LintCode::WindowOverload`]) implies that the scheduling
+/// pipeline cannot produce a valid schedule, which is what licenses
+/// the pipeline's early-reject guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but harmless: the problem is still schedulable.
+    Warning,
+    /// The problem is provably broken; scheduling cannot succeed (or,
+    /// for deadline-relative codes, cannot meet the declared deadline).
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name (`"error"` / `"warning"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Every diagnostic the analyzer can emit, one stable code per rule.
+///
+/// Codes are grouped by pass family: `PAS00x` structural sanity,
+/// `PAS01x` timing analysis, `PAS02x` power analysis, `PAS03x`
+/// resource analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum LintCode {
+    /// `PAS001` — a single task plus background draw exceeds `P_max`.
+    TaskOverBudget,
+    /// `PAS002` — a constraint edge loops from a task to itself.
+    SelfLoop,
+    /// `PAS003` — two identical constraint edges between the same pair.
+    DuplicateEdge,
+    /// `PAS004` — a declared resource that no task runs on.
+    DanglingResource,
+    /// `PAS005` — the background draw alone exceeds `P_max`.
+    BackgroundOverBudget,
+    /// `PAS006` — a task with a zero or negative execution delay.
+    NonPositiveDelay,
+    /// `PAS010` — the constraint graph has a positive cycle.
+    PositiveCycle,
+    /// `PAS011` — a separation edge dominated by a longer path.
+    RedundantEdge,
+    /// `PAS012` — the declared deadline is shorter than the critical
+    /// path.
+    DeadlineUnreachable,
+    /// `PAS020` — two tasks forced to overlap whose summed power
+    /// exceeds `P_max`.
+    ForcedOverlapPower,
+    /// `PAS021` — ASAP/ALAP mandatory execution intervals alone push
+    /// the profile over `P_max` under the declared deadline.
+    WindowOverload,
+    /// `PAS022` — the static upper bound on min-power utilization
+    /// `ρ_σ(P_min)` is hopelessly low.
+    HopelessUtilization,
+    /// `PAS030` — two same-resource tasks whose separations force them
+    /// to overlap.
+    ForcedResourceOverlap,
+}
+
+impl LintCode {
+    /// Every code, in report order.
+    pub const ALL: [LintCode; 13] = [
+        LintCode::TaskOverBudget,
+        LintCode::SelfLoop,
+        LintCode::DuplicateEdge,
+        LintCode::DanglingResource,
+        LintCode::BackgroundOverBudget,
+        LintCode::NonPositiveDelay,
+        LintCode::PositiveCycle,
+        LintCode::RedundantEdge,
+        LintCode::DeadlineUnreachable,
+        LintCode::ForcedOverlapPower,
+        LintCode::WindowOverload,
+        LintCode::HopelessUtilization,
+        LintCode::ForcedResourceOverlap,
+    ];
+
+    /// The stable `PASnnn` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::TaskOverBudget => "PAS001",
+            LintCode::SelfLoop => "PAS002",
+            LintCode::DuplicateEdge => "PAS003",
+            LintCode::DanglingResource => "PAS004",
+            LintCode::BackgroundOverBudget => "PAS005",
+            LintCode::NonPositiveDelay => "PAS006",
+            LintCode::PositiveCycle => "PAS010",
+            LintCode::RedundantEdge => "PAS011",
+            LintCode::DeadlineUnreachable => "PAS012",
+            LintCode::ForcedOverlapPower => "PAS020",
+            LintCode::WindowOverload => "PAS021",
+            LintCode::HopelessUtilization => "PAS022",
+            LintCode::ForcedResourceOverlap => "PAS030",
+        }
+    }
+
+    /// Default severity of the rule.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::TaskOverBudget
+            | LintCode::SelfLoop
+            | LintCode::BackgroundOverBudget
+            | LintCode::NonPositiveDelay
+            | LintCode::PositiveCycle
+            | LintCode::DeadlineUnreachable
+            | LintCode::ForcedOverlapPower
+            | LintCode::WindowOverload
+            | LintCode::ForcedResourceOverlap => Severity::Error,
+            LintCode::DuplicateEdge
+            | LintCode::DanglingResource
+            | LintCode::RedundantEdge
+            | LintCode::HopelessUtilization => Severity::Warning,
+        }
+    }
+
+    /// `true` when an error-level finding of this code proves the
+    /// *scheduler* must fail (as opposed to deadline-relative codes,
+    /// which reject the spec against a declared deadline the
+    /// schedulers themselves never see).
+    pub fn implies_scheduler_failure(self) -> bool {
+        !matches!(
+            self,
+            LintCode::DeadlineUnreachable | LintCode::WindowOverload
+        ) && self.severity() == Severity::Error
+    }
+
+    /// `true` when the finding already dooms the *timing* stage
+    /// (Fig. 3), before power is even considered.
+    pub fn implies_timing_failure(self) -> bool {
+        matches!(
+            self,
+            LintCode::PositiveCycle | LintCode::ForcedResourceOverlap
+        )
+    }
+
+    /// Parses a `PASnnn` code string.
+    pub fn parse(s: &str) -> Option<LintCode> {
+        LintCode::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A source span with a short label explaining its role in the
+/// finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledSpan {
+    /// Byte range into the spec source.
+    pub span: Span,
+    /// What this range contributes (e.g. `"declared here"`).
+    pub label: String,
+}
+
+/// One finding: a coded, severity-ranked message with zero or more
+/// source spans and an optional fix suggestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub code: LintCode,
+    /// Severity of this particular finding (usually
+    /// [`LintCode::severity`], occasionally downgraded).
+    pub severity: Severity,
+    /// Human-readable description, including task/resource names.
+    pub message: String,
+    /// Source locations, primary first. Empty for problems built
+    /// programmatically rather than parsed from a spec.
+    pub spans: Vec<LabeledSpan>,
+    /// An actionable remediation hint, when one is known.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a finding at the rule's default severity.
+    pub fn new(code: LintCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            spans: Vec::new(),
+            suggestion: None,
+        }
+    }
+
+    /// Overrides the severity (builder style).
+    pub fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// Attaches a labeled span (builder style); `None` spans are
+    /// silently skipped so call sites can pass table lookups directly.
+    pub fn with_span(mut self, span: Option<Span>, label: impl Into<String>) -> Self {
+        if let Some(span) = span {
+            self.spans.push(LabeledSpan {
+                span,
+                label: label.into(),
+            });
+        }
+        self
+    }
+
+    /// Attaches a fix suggestion (builder style).
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// The primary (first) span, if any.
+    pub fn primary_span(&self) -> Option<Span> {
+        self.spans.first().map(|l| l.span)
+    }
+}
+
+/// The outcome of running the analyzer: every finding, ordered
+/// errors-first and then by source position.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        LintReport::default()
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// All findings in report order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of error-level findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-level findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// `true` when at least one finding is error-level.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// `true` when there are no findings at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings of one specific code.
+    pub fn by_code(&self, code: LintCode) -> impl Iterator<Item = &Diagnostic> + '_ {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// `true` when any error-level finding proves the scheduler must
+    /// fail (see [`LintCode::implies_scheduler_failure`]).
+    pub fn proves_scheduler_failure(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.code.implies_scheduler_failure())
+    }
+
+    /// `true` when any finding proves the timing stage must fail.
+    pub fn proves_timing_failure(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.code.implies_timing_failure())
+    }
+
+    /// Sorts findings errors-first, then by code, then by primary span.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by_key(|d| {
+            (
+                core::cmp::Reverse(d.severity),
+                d.code,
+                d.primary_span().map_or(usize::MAX, |s| s.start),
+            )
+        });
+    }
+
+    /// One-line summary like `"2 errors, 1 warning"`.
+    pub fn summary(&self) -> String {
+        let e = self.error_count();
+        let w = self.warning_count();
+        let plural = |n: usize| if n == 1 { "" } else { "s" };
+        format!("{e} error{}, {w} warning{}", plural(e), plural(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_parse_back() {
+        for c in LintCode::ALL {
+            assert_eq!(LintCode::parse(c.as_str()), Some(c));
+        }
+        let mut strs: Vec<_> = LintCode::ALL.iter().map(|c| c.as_str()).collect();
+        strs.sort_unstable();
+        strs.dedup();
+        assert_eq!(strs.len(), LintCode::ALL.len());
+        assert_eq!(LintCode::parse("PAS999"), None);
+    }
+
+    #[test]
+    fn guard_classification_is_consistent() {
+        for c in LintCode::ALL {
+            if c.implies_timing_failure() {
+                assert!(c.implies_scheduler_failure(), "{c} timing ⊆ scheduler");
+            }
+            if c.implies_scheduler_failure() {
+                assert_eq!(c.severity(), Severity::Error, "{c}");
+            }
+        }
+        assert!(!LintCode::DeadlineUnreachable.implies_scheduler_failure());
+        assert!(!LintCode::RedundantEdge.implies_scheduler_failure());
+    }
+
+    #[test]
+    fn report_counts_and_order() {
+        let mut r = LintReport::new();
+        r.push(
+            Diagnostic::new(LintCode::RedundantEdge, "warn")
+                .with_span(Some(Span::new(10, 12)), "here"),
+        );
+        r.push(
+            Diagnostic::new(LintCode::PositiveCycle, "err")
+                .with_span(Some(Span::new(2, 5)), "cycle"),
+        );
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_errors());
+        assert!(r.proves_scheduler_failure());
+        r.sort();
+        assert_eq!(r.diagnostics()[0].code, LintCode::PositiveCycle);
+        assert_eq!(r.summary(), "1 error, 1 warning");
+    }
+
+    #[test]
+    fn builder_skips_missing_spans() {
+        let d = Diagnostic::new(LintCode::SelfLoop, "m")
+            .with_span(None, "gone")
+            .with_span(Some(Span::new(0, 1)), "kept")
+            .with_suggestion("drop the edge");
+        assert_eq!(d.spans.len(), 1);
+        assert_eq!(d.primary_span(), Some(Span::new(0, 1)));
+        assert_eq!(d.suggestion.as_deref(), Some("drop the edge"));
+    }
+}

@@ -1,0 +1,154 @@
+//! The static passes, grouped the way the issue groups them:
+//! [`structural`] sanity, [`timing`] analysis, [`power`] analysis and
+//! [`resource`] analysis.
+//!
+//! All passes are pure functions of the [`Problem`]; the shared
+//! all-pairs longest-path relaxation lives here because both the
+//! power and resource passes consume it.
+
+mod power;
+mod resource;
+mod structural;
+mod timing;
+
+use crate::diag::LintReport;
+use crate::span::SpanTable;
+use pas_core::{Problem, Ratio};
+use pas_graph::longest_path::{single_source_longest_paths, LongestPaths};
+use pas_graph::units::{Time, TimeSpan};
+use pas_graph::{ConstraintGraph, NodeId, TaskId};
+
+/// Tunables for the analyzer.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Deadline used by the deadline-relative passes (`PAS012`,
+    /// `PAS021`). `None` falls back to the problem's own declared
+    /// deadline; if neither exists those passes are skipped.
+    pub deadline: Option<Time>,
+    /// `PAS022` warns when the static utilization upper bound falls
+    /// below this ratio. Default `1/2`.
+    pub utilization_warn_threshold: Ratio,
+    /// The quadratic pairwise passes (`PAS020`, `PAS030`) are skipped
+    /// above this task count to keep linting `O(V·E)`-ish on huge
+    /// graphs. Default `1024`.
+    pub max_pairwise_tasks: usize,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            deadline: None,
+            utilization_warn_threshold: Ratio::new(1, 2),
+            max_pairwise_tasks: 1024,
+        }
+    }
+}
+
+/// Runs every pass with default configuration and no source spans.
+///
+/// This is the entry point the scheduling pipeline's guard stage uses
+/// on programmatically built problems.
+pub fn lint(problem: &Problem) -> LintReport {
+    lint_problem(problem, &SpanTable::empty(), &LintConfig::default())
+}
+
+/// Runs every pass, resolving graph entities to source spans through
+/// `spans`.
+pub fn lint_problem(problem: &Problem, spans: &SpanTable, config: &LintConfig) -> LintReport {
+    let mut report = LintReport::new();
+    let deadline = config.deadline.or_else(|| problem.deadline());
+    structural::check(problem, spans, &mut report);
+
+    let graph = problem.graph();
+    match single_source_longest_paths(graph, NodeId::ANCHOR) {
+        Err(cycle) => timing::report_positive_cycle(graph, spans, &cycle, &mut report),
+        Ok(asap) => {
+            timing::check(graph, spans, &asap, deadline, &mut report);
+            if graph.num_tasks() <= config.max_pairwise_tasks {
+                let pairwise = pairwise_paths(graph);
+                resource::check(graph, spans, &pairwise, &mut report);
+                power::check_forced_overlap(problem, spans, &pairwise, &mut report);
+            }
+            power::check_windows(problem, spans, &asap, deadline, &mut report);
+            power::check_utilization(problem, spans, config, &asap, &mut report);
+        }
+    }
+
+    report.sort();
+    report
+}
+
+/// Longest paths from every task node; `paths[u.index()]` answers
+/// "how much later than `u` must any other task start?".
+///
+/// Only called after the anchor-rooted pass proved the graph free of
+/// positive cycles, so the per-task passes cannot fail.
+fn pairwise_paths(graph: &ConstraintGraph) -> Vec<LongestPaths> {
+    graph
+        .task_ids()
+        .map(|t| {
+            single_source_longest_paths(graph, t.node())
+                .expect("positive cycles were ruled out by the anchor pass")
+        })
+        .collect()
+}
+
+/// `true` when the separation system alone forces `u` and `v` to
+/// execute simultaneously at some instant in *every* time-valid
+/// schedule.
+///
+/// With `L(a,b)` the longest-path distance between task nodes, the
+/// feasible start-time difference `x = σ(v) − σ(u)` is confined to
+/// `[L(u,v), −L(v,u)]`; the pair overlaps for a given `x` iff
+/// `−d(v) < x < d(u)`, so overlap is *forced* iff the whole feasible
+/// interval sits strictly inside the overlap band.
+fn forced_overlap(
+    graph: &ConstraintGraph,
+    pairwise: &[LongestPaths],
+    u: TaskId,
+    v: TaskId,
+) -> bool {
+    let (lo, hi) = match (
+        pairwise[u.index()].distance(v.node()),
+        pairwise[v.index()].distance(u.node()),
+    ) {
+        (Some(lo), Some(rev)) => (lo, -rev),
+        _ => return false, // a side is unconstrained: overlap avoidable
+    };
+    let du = graph.task(u).delay();
+    let dv = graph.task(v).delay();
+    hi < du && lo > -dv
+}
+
+/// `"name"`-quoted task label for messages.
+fn task_label(graph: &ConstraintGraph, t: TaskId) -> String {
+    format!("\"{}\"", graph.task(t).name())
+}
+
+/// Node label: the quoted task name, or `anchor`.
+fn node_label(graph: &ConstraintGraph, n: NodeId) -> String {
+    match n.task() {
+        Some(t) => task_label(graph, t),
+        None => "anchor".to_string(),
+    }
+}
+
+/// Latest finish of the ASAP schedule — the shortest possible
+/// makespan `τ_min` of any time-valid schedule.
+fn critical_path_finish(graph: &ConstraintGraph, asap: &LongestPaths) -> Time {
+    graph
+        .tasks()
+        .map(|(t, task)| asap.start_time(t) + task.delay())
+        .max()
+        .unwrap_or(Time::ZERO)
+}
+
+/// Sign-aware `TimeSpan` display (`+5s` / `-3s`) for constraint
+/// chains.
+fn signed(span: TimeSpan) -> String {
+    if span >= TimeSpan::ZERO {
+        format!("+{span}")
+    } else {
+        span.to_string()
+    }
+}

@@ -1,0 +1,251 @@
+//! Rendering a [`LintReport`] for humans (rustc-style, with source
+//! excerpts) and for tools (single-object JSON, dependency-free).
+
+use crate::diag::{Diagnostic, LintReport};
+use core::fmt::Write as _;
+
+/// A named piece of spec source, used to resolve byte spans to
+/// line/column excerpts.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceFile<'a> {
+    /// Display name (usually the file path).
+    pub name: &'a str,
+    /// Full source text the spans index into.
+    pub text: &'a str,
+}
+
+/// Renders the report the way rustc renders compiler diagnostics:
+///
+/// ```text
+/// error[PAS001]: task "drill" draws 20 W against a 16 W budget
+///   --> rover.pasdl:5:3
+///    |
+///  5 |   task drill on arm delay 10s power 20W
+///    |   ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^ declared here
+///    = help: lower p(drill) or raise pmax
+/// ```
+///
+/// Without a [`SourceFile`] the span blocks are omitted and only the
+/// headline and help lines are printed.
+pub fn render_human(report: &LintReport, source: Option<SourceFile<'_>>) -> String {
+    let mut out = String::new();
+    for d in report.diagnostics() {
+        render_one(&mut out, d, source);
+    }
+    if !report.is_empty() {
+        let _ = writeln!(out, "{}", report.summary());
+    }
+    out
+}
+
+fn render_one(out: &mut String, d: &Diagnostic, source: Option<SourceFile<'_>>) {
+    let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+    if let Some(src) = source {
+        for labeled in &d.spans {
+            let (line, col) = labeled.span.line_col(src.text);
+            let _ = writeln!(out, "  --> {}:{line}:{col}", src.name);
+            let text = line_text(src.text, line);
+            let gutter = line.to_string().len();
+            let _ = writeln!(out, "{:gutter$} |", "");
+            let _ = writeln!(out, "{line} | {text}");
+            let caret_len = caret_len(labeled.span, src.text, text, col);
+            let _ = writeln!(
+                out,
+                "{:gutter$} | {:col_pad$}{} {}",
+                "",
+                "",
+                "^".repeat(caret_len),
+                labeled.label,
+                col_pad = col - 1,
+            );
+        }
+    } else {
+        for labeled in &d.spans {
+            let _ = writeln!(
+                out,
+                "  --> bytes {}..{} {}",
+                labeled.span.start, labeled.span.end, labeled.label
+            );
+        }
+    }
+    if let Some(help) = &d.suggestion {
+        let _ = writeln!(out, "  = help: {help}");
+    }
+}
+
+/// The 1-based `line`-th line of `text`, without its newline.
+fn line_text(text: &str, line: usize) -> &str {
+    text.lines().nth(line - 1).unwrap_or("")
+}
+
+/// How many caret characters to draw: the span's extent within its
+/// first line, at least one.
+fn caret_len(span: crate::Span, text: &str, line: &str, col: usize) -> usize {
+    let line_chars = line.chars().count();
+    let span_chars = text
+        .get(span.start..span.end.min(text.len()))
+        .map_or(1, |s| s.split('\n').next().unwrap_or("").chars().count());
+    span_chars.clamp(1, line_chars.saturating_sub(col - 1).max(1))
+}
+
+/// Renders the report as one JSON object:
+///
+/// ```json
+/// {"file":"rover.pasdl","errors":1,"warnings":0,"diagnostics":[
+///   {"code":"PAS001","severity":"error","message":"...",
+///    "spans":[{"start":57,"end":98,"line":5,"col":3,"label":"declared here"}],
+///    "suggestion":"..."}]}
+/// ```
+///
+/// `file`, `line`/`col` and `suggestion` are omitted when unknown.
+/// The encoder is self-contained (no serde) and escapes strings per
+/// RFC 8259.
+pub fn render_json(report: &LintReport, source: Option<SourceFile<'_>>) -> String {
+    let mut out = String::from("{");
+    if let Some(src) = source {
+        let _ = write!(out, "\"file\":\"{}\",", escape_json(src.name));
+    }
+    let _ = write!(
+        out,
+        "\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+        report.error_count(),
+        report.warning_count()
+    );
+    for (i, d) in report.diagnostics().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"spans\":[",
+            d.code,
+            d.severity,
+            escape_json(&d.message)
+        );
+        for (j, labeled) in d.spans.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"start\":{},\"end\":{}",
+                labeled.span.start, labeled.span.end
+            );
+            if let Some(src) = source {
+                let (line, col) = labeled.span.line_col(src.text);
+                let _ = write!(out, ",\"line\":{line},\"col\":{col}");
+            }
+            let _ = write!(out, ",\"label\":\"{}\"}}", escape_json(&labeled.label));
+        }
+        out.push(']');
+        if let Some(s) = &d.suggestion {
+            let _ = write!(out, ",\"suggestion\":\"{}\"", escape_json(s));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, LintCode, LintReport};
+    use crate::span::Span;
+
+    fn sample() -> (LintReport, &'static str) {
+        let src = "problem \"x\" {\n  task a on cpu delay 5s power 2W\n}\n";
+        let mut r = LintReport::new();
+        let start = src.find("task").unwrap();
+        r.push(
+            Diagnostic::new(LintCode::TaskOverBudget, "task \"a\" over budget")
+                .with_span(Some(Span::new(start, start + 31)), "declared here")
+                .with_suggestion("raise pmax"),
+        );
+        (r, src)
+    }
+
+    #[test]
+    fn human_rendering_points_at_the_statement() {
+        let (r, src) = sample();
+        let text = render_human(
+            &r,
+            Some(SourceFile {
+                name: "x.pasdl",
+                text: src,
+            }),
+        );
+        assert!(text.contains("error[PAS001]: task \"a\" over budget"));
+        assert!(text.contains("--> x.pasdl:2:3"));
+        assert!(text.contains("task a on cpu delay 5s power 2W"));
+        assert!(text.contains("^^^^"));
+        assert!(text.contains("= help: raise pmax"));
+        assert!(text.contains("1 error, 0 warnings"));
+    }
+
+    #[test]
+    fn human_rendering_without_source_is_still_useful() {
+        let (r, _) = sample();
+        let text = render_human(&r, None);
+        assert!(text.contains("error[PAS001]"));
+        assert!(text.contains("bytes"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut r = LintReport::new();
+        r.push(Diagnostic::new(
+            LintCode::SelfLoop,
+            "weird \"name\"\nwith newline",
+        ));
+        let json = render_json(&r, None);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""code":"PAS002""#));
+        assert!(json.contains(r#"weird \"name\"\nwith newline"#));
+        assert!(!json.contains("file"));
+    }
+
+    #[test]
+    fn json_carries_line_and_col_with_source() {
+        let (r, src) = sample();
+        let json = render_json(
+            &r,
+            Some(SourceFile {
+                name: "x.pasdl",
+                text: src,
+            }),
+        );
+        assert!(json.contains(r#""file":"x.pasdl""#));
+        assert!(json.contains(r#""line":2,"col":3"#));
+        assert!(json.contains(r#""errors":1"#));
+    }
+
+    #[test]
+    fn empty_report_renders_empty() {
+        let r = LintReport::new();
+        assert_eq!(render_human(&r, None), "");
+        assert_eq!(
+            render_json(&r, None),
+            r#"{"errors":0,"warnings":0,"diagnostics":[]}"#
+        );
+    }
+}

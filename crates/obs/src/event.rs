@@ -26,6 +26,9 @@ use pas_graph::TaskId;
 /// Pipeline stage (or runtime phase) a trace span belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum StageKind {
+    /// Stage 0 — static lint guard (pas-lint): rejects provably
+    /// broken problems before any search runs.
+    Lint,
     /// Stage 1 — timing scheduler (paper Fig. 3): backtracking search
     /// over resource serializations.
     Timing,
@@ -39,16 +42,18 @@ pub enum StageKind {
 
 impl StageKind {
     /// All stages in pipeline order.
-    pub const ALL: [StageKind; 4] = [
+    pub const ALL: [StageKind; 5] = [
+        StageKind::Lint,
         StageKind::Timing,
         StageKind::MaxPower,
         StageKind::MinPower,
         StageKind::Dispatch,
     ];
 
-    /// Stable wire name (`"timing"`, `"max-power"`, …).
+    /// Stable wire name (`"lint"`, `"timing"`, `"max-power"`, …).
     pub const fn as_str(self) -> &'static str {
         match self {
+            StageKind::Lint => "lint",
             StageKind::Timing => "timing",
             StageKind::MaxPower => "max-power",
             StageKind::MinPower => "min-power",
@@ -59,15 +64,17 @@ impl StageKind {
     /// Dense index into [`StageKind::ALL`].
     pub const fn index(self) -> usize {
         match self {
-            StageKind::Timing => 0,
-            StageKind::MaxPower => 1,
-            StageKind::MinPower => 2,
-            StageKind::Dispatch => 3,
+            StageKind::Lint => 0,
+            StageKind::Timing => 1,
+            StageKind::MaxPower => 2,
+            StageKind::MinPower => 3,
+            StageKind::Dispatch => 4,
         }
     }
 
     fn parse(s: &str) -> Option<Self> {
         Some(match s {
+            "lint" => StageKind::Lint,
             "timing" => StageKind::Timing,
             "max-power" => StageKind::MaxPower,
             "min-power" => StageKind::MinPower,
@@ -173,6 +180,29 @@ pub enum TraceEvent {
     StageFinished {
         /// Which stage.
         stage: StageKind,
+    },
+    /// The lint guard began analyzing a problem.
+    LintStarted {
+        /// Number of tasks in the problem.
+        tasks: u64,
+        /// Number of constraint edges in the problem.
+        edges: u64,
+    },
+    /// The lint guard produced one finding.
+    LintFinding {
+        /// The stable `PASnnn` code (fixed vocabulary, escape-free).
+        code: String,
+        /// `"error"` or `"warning"`.
+        severity: String,
+    },
+    /// The lint guard finished with a verdict.
+    LintVerdict {
+        /// Error-level findings.
+        errors: u64,
+        /// Warning-level findings.
+        warnings: u64,
+        /// `true` when the pipeline rejected the problem.
+        rejected: bool,
     },
     /// Timing scheduler committed a task onto its resource.
     TaskCommitted {
@@ -310,6 +340,9 @@ impl TraceEvent {
         match self {
             TraceEvent::StageStarted { .. } => "StageStarted",
             TraceEvent::StageFinished { .. } => "StageFinished",
+            TraceEvent::LintStarted { .. } => "LintStarted",
+            TraceEvent::LintFinding { .. } => "LintFinding",
+            TraceEvent::LintVerdict { .. } => "LintVerdict",
             TraceEvent::TaskCommitted { .. } => "TaskCommitted",
             TraceEvent::TopoBacktrack { .. } => "TopoBacktrack",
             TraceEvent::SerializationAdded { .. } => "SerializationAdded",
@@ -336,6 +369,23 @@ impl TraceEvent {
         match self {
             TraceEvent::StageStarted { stage } | TraceEvent::StageFinished { stage } => {
                 w.str_field("stage", stage.as_str());
+            }
+            TraceEvent::LintStarted { tasks, edges } => {
+                w.int_field("tasks", *tasks as i128);
+                w.int_field("edges", *edges as i128);
+            }
+            TraceEvent::LintFinding { code, severity } => {
+                w.str_field("code", code);
+                w.str_field("severity", severity);
+            }
+            TraceEvent::LintVerdict {
+                errors,
+                warnings,
+                rejected,
+            } => {
+                w.int_field("errors", *errors as i128);
+                w.int_field("warnings", *warnings as i128);
+                w.int_field("rejected", *rejected as i128);
             }
             TraceEvent::TaskCommitted { task } | TraceEvent::TopoBacktrack { task } => {
                 w.int_field("task", task.index() as i128);
@@ -438,6 +488,19 @@ impl TraceEvent {
             "StageFinished" => TraceEvent::StageFinished {
                 stage: ctx.stage("stage")?,
             },
+            "LintStarted" => TraceEvent::LintStarted {
+                tasks: ctx.u64("tasks")?,
+                edges: ctx.u64("edges")?,
+            },
+            "LintFinding" => TraceEvent::LintFinding {
+                code: ctx.str("code")?.to_string(),
+                severity: ctx.str("severity")?.to_string(),
+            },
+            "LintVerdict" => TraceEvent::LintVerdict {
+                errors: ctx.u64("errors")?,
+                warnings: ctx.u64("warnings")?,
+                rejected: ctx.u64("rejected")? != 0,
+            },
             "TaskCommitted" => TraceEvent::TaskCommitted {
                 task: ctx.task("task")?,
             },
@@ -525,6 +588,9 @@ impl TraceEvent {
     pub const fn stage(&self) -> Option<StageKind> {
         Some(match self {
             TraceEvent::StageStarted { stage } | TraceEvent::StageFinished { stage } => *stage,
+            TraceEvent::LintStarted { .. }
+            | TraceEvent::LintFinding { .. }
+            | TraceEvent::LintVerdict { .. } => StageKind::Lint,
             TraceEvent::TaskCommitted { .. }
             | TraceEvent::TopoBacktrack { .. }
             | TraceEvent::SerializationAdded { .. } => StageKind::Timing,
@@ -858,6 +924,16 @@ mod tests {
     fn sample_events() -> Vec<TraceEvent> {
         let t = TaskId::from_index;
         vec![
+            TraceEvent::LintStarted { tasks: 6, edges: 9 },
+            TraceEvent::LintFinding {
+                code: "PAS011".to_string(),
+                severity: "warning".to_string(),
+            },
+            TraceEvent::LintVerdict {
+                errors: 0,
+                warnings: 1,
+                rejected: false,
+            },
             TraceEvent::StageStarted {
                 stage: StageKind::Timing,
             },
@@ -997,6 +1073,15 @@ mod tests {
 
     #[test]
     fn events_know_their_stage() {
+        assert_eq!(
+            TraceEvent::LintVerdict {
+                errors: 1,
+                warnings: 0,
+                rejected: true
+            }
+            .stage(),
+            Some(StageKind::Lint)
+        );
         assert_eq!(
             TraceEvent::TaskCommitted {
                 task: TaskId::from_index(0)

@@ -20,6 +20,7 @@
 //!
 //! | Stage | Events |
 //! |---|---|
+//! | lint (pas-lint guard) | `LintStarted`, `LintFinding`, `LintVerdict` |
 //! | timing (Fig. 3) | `TaskCommitted`, `SerializationAdded`, `TopoBacktrack` |
 //! | max-power (Fig. 4) | `SpikeDetected`, `VictimDelayed`, `ZeroSlackLocked`, `PowerRecursion`, `RespinStarted` |
 //! | min-power (Fig. 6) | `GapScanStarted`, `GapFound`, `MoveAccepted`, `MoveRejected`, `GapScanFinished` |

@@ -97,6 +97,12 @@ pub struct EventCounts {
     pub tasks_completed: u64,
     /// `WindowFaultDetected` events.
     pub window_faults: u64,
+    /// `LintStarted` events.
+    pub lint_runs: u64,
+    /// `LintFinding` events.
+    pub lint_findings: u64,
+    /// `LintVerdict` events with `rejected == true`.
+    pub lint_rejections: u64,
 }
 
 impl EventCounts {
@@ -122,6 +128,13 @@ impl EventCounts {
             TraceEvent::TaskDispatched { .. } => self.tasks_dispatched += 1,
             TraceEvent::TaskCompleted { .. } => self.tasks_completed += 1,
             TraceEvent::WindowFaultDetected { .. } => self.window_faults += 1,
+            TraceEvent::LintStarted { .. } => self.lint_runs += 1,
+            TraceEvent::LintFinding { .. } => self.lint_findings += 1,
+            TraceEvent::LintVerdict { rejected, .. } => {
+                if *rejected {
+                    self.lint_rejections += 1;
+                }
+            }
         }
     }
 

@@ -182,6 +182,10 @@ fn write_row(out: &mut String, widths: &[usize; 5], cells: &[String; 5]) {
 fn stage_detail(stage: StageKind, p: &StageProfile) -> String {
     let c = &p.counts;
     match stage {
+        StageKind::Lint => format!(
+            "{} runs, {} findings, {} rejections",
+            c.lint_runs, c.lint_findings, c.lint_rejections
+        ),
         StageKind::Timing => format!(
             "{} commits, {} serializations, {} backtracks",
             c.tasks_committed, c.serializations, c.topo_backtracks

@@ -151,6 +151,13 @@ pub struct SchedulerConfig {
     /// attempt closes the optimality gap deterministically. `0`
     /// disables it.
     pub exact_portfolio_limit: usize,
+    /// Run the `pas-lint` static analyzer before the first stage and
+    /// reject problems with error-level findings without searching
+    /// (every such finding is a proof the pipeline must fail; see
+    /// [`pas_lint::LintCode::implies_scheduler_failure`]). Disable to
+    /// force the full search on known-broken inputs, e.g. to measure
+    /// the guard's early-reject savings.
+    pub lint_guard: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -174,6 +181,7 @@ impl Default for SchedulerConfig {
             max_recursions: 2_048,
             max_respins: 4,
             exact_portfolio_limit: 10,
+            lint_guard: true,
         }
     }
 }
@@ -256,6 +264,7 @@ mod tests {
         assert!(cfg.lock_remaining);
         assert_eq!(cfg.scan_orders.len(), 3);
         assert!(cfg.max_scans >= 2, "paper requires multiple scans");
+        assert!(cfg.lint_guard, "static guard is on by default");
     }
 
     fn sample_stats() -> SchedulerStats {

@@ -32,6 +32,14 @@ pub enum ScheduleError {
         /// Configured limit that was reached.
         limit: usize,
     },
+    /// The `pas-lint` guard stage proved the problem unschedulable
+    /// before any search ran (see
+    /// [`SchedulerConfig::lint_guard`](crate::SchedulerConfig)).
+    LintRejected {
+        /// The full report; every error-level finding is a static
+        /// proof of pipeline failure.
+        report: pas_lint::LintReport,
+    },
 }
 
 impl core::fmt::Display for ScheduleError {
@@ -48,6 +56,13 @@ impl core::fmt::Display for ScheduleError {
             ),
             ScheduleError::RecursionLimit { limit } => {
                 write!(f, "max-power scheduler exceeded {limit} rescheduling recursions")
+            }
+            ScheduleError::LintRejected { report } => {
+                write!(f, "rejected by static analysis ({})", report.summary())?;
+                if let Some(d) = report.diagnostics().first() {
+                    write!(f, ": {}[{}]: {}", d.severity, d.code, d.message)?;
+                }
+                Ok(())
             }
         }
     }

@@ -72,6 +72,61 @@ impl PowerAwareScheduler {
         &self.config
     }
 
+    /// The guard stage: runs `pas-lint` over the untouched problem
+    /// and rejects it without searching when the analyzer *proves*
+    /// the pipeline must fail (error-level findings). Emits a lint
+    /// stage span with one `LintFinding` per diagnostic and a
+    /// `LintVerdict`. No-op when
+    /// [`SchedulerConfig::lint_guard`] is off.
+    fn lint_guard(&self, problem: &Problem, obs: &mut dyn Observer) -> Result<(), ScheduleError> {
+        if !self.config.lint_guard {
+            return Ok(());
+        }
+        emit(
+            obs,
+            TraceEvent::StageStarted {
+                stage: StageKind::Lint,
+            },
+        );
+        emit(
+            obs,
+            TraceEvent::LintStarted {
+                tasks: problem.graph().num_tasks() as u64,
+                edges: problem.graph().num_edges() as u64,
+            },
+        );
+        let report = pas_lint::lint(problem);
+        for d in report.diagnostics() {
+            emit(
+                obs,
+                TraceEvent::LintFinding {
+                    code: d.code.to_string(),
+                    severity: d.severity.as_str().to_string(),
+                },
+            );
+        }
+        let rejected = report.has_errors();
+        emit(
+            obs,
+            TraceEvent::LintVerdict {
+                errors: report.error_count() as u64,
+                warnings: report.warning_count() as u64,
+                rejected,
+            },
+        );
+        emit(
+            obs,
+            TraceEvent::StageFinished {
+                stage: StageKind::Lint,
+            },
+        );
+        if rejected {
+            Err(ScheduleError::LintRejected { report })
+        } else {
+            Ok(())
+        }
+    }
+
     /// Stage 1 only: timing scheduling (§5.1). Serialization edges are
     /// left in the problem's graph.
     ///
@@ -92,6 +147,7 @@ impl PowerAwareScheduler {
         problem: &mut Problem,
         obs: &mut dyn Observer,
     ) -> Result<Outcome, ScheduleError> {
+        self.lint_guard(problem, obs)?;
         let mut counter = CountingObserver::new();
         emit(
             obs,
@@ -133,6 +189,7 @@ impl PowerAwareScheduler {
         problem: &mut Problem,
         obs: &mut dyn Observer,
     ) -> Result<Outcome, ScheduleError> {
+        self.lint_guard(problem, obs)?;
         let mut counter = CountingObserver::new();
         let p_max = problem.constraints().p_max();
         let background = problem.background_power();
@@ -180,6 +237,7 @@ impl PowerAwareScheduler {
         problem: &mut Problem,
         obs: &mut dyn Observer,
     ) -> Result<Outcome, ScheduleError> {
+        self.lint_guard(problem, obs)?;
         let mut counter = CountingObserver::new();
         let constraints = problem.constraints();
         let background = problem.background_power();
@@ -251,6 +309,7 @@ impl PowerAwareScheduler {
         problem: &mut Problem,
         obs: &mut dyn Observer,
     ) -> Result<StageOutcomes, ScheduleError> {
+        self.lint_guard(problem, obs)?;
         let constraints = problem.constraints();
         let background = problem.background_power();
 
@@ -373,13 +432,20 @@ impl PowerAwareScheduler {
         restarts: usize,
         obs: &mut dyn Observer,
     ) -> Result<Outcome, ScheduleError> {
+        // Guard once up front; the attempts all see the same problem,
+        // so re-linting every restart would only repeat the verdict.
+        self.lint_guard(problem, obs)?;
+        let base = SchedulerConfig {
+            lint_guard: false,
+            ..self.config.clone()
+        };
         let mut best: Option<(Problem, Outcome)> = None;
         let mut first_err = None;
 
         for attempt in 0..=restarts {
             let mut candidate_problem = problem.clone();
             let config = if attempt == 0 {
-                self.config.clone()
+                base.clone()
             } else if attempt % 2 == 1 {
                 SchedulerConfig {
                     commit_order: crate::config::CommitOrder::Random,
@@ -387,12 +453,12 @@ impl PowerAwareScheduler {
                         .config
                         .seed
                         .wrapping_add((attempt as u64).wrapping_mul(0xA24B_AED4_963E_E407)),
-                    ..self.config.clone()
+                    ..base.clone()
                 }
             } else {
                 SchedulerConfig {
                     commit_order: crate::config::CommitOrder::Rotated(attempt / 2),
-                    ..self.config.clone()
+                    ..base.clone()
                 }
             };
             match PowerAwareScheduler::new(config).schedule_with(&mut candidate_problem, obs) {
@@ -566,15 +632,21 @@ mod tests {
         assert_eq!(plain.schedule, observed.schedule);
         assert_eq!(plain.stats, observed.stats);
 
-        // The stream opens with a max-power span and contains a
-        // min-power span after it.
+        // The stream opens with the lint guard span, then a max-power
+        // span, and contains a min-power span after it.
         let events: Vec<_> = recorder.into_events();
         assert!(matches!(
             events.first(),
             Some(TraceEvent::StageStarted {
-                stage: StageKind::MaxPower
+                stage: StageKind::Lint
             })
         ));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::StageStarted {
+                stage: StageKind::MaxPower
+            }
+        )));
         assert!(events.iter().any(|e| matches!(
             e,
             TraceEvent::StageStarted {
@@ -613,8 +685,67 @@ mod tests {
             .collect();
         assert_eq!(
             starts,
-            vec![StageKind::Timing, StageKind::MaxPower, StageKind::MinPower]
+            vec![
+                StageKind::Lint,
+                StageKind::Timing,
+                StageKind::MaxPower,
+                StageKind::MinPower
+            ]
         );
+    }
+
+    #[test]
+    fn lint_guard_rejects_before_searching() {
+        use pas_graph::units::{Power, TimeSpan};
+        use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task};
+
+        let mut g = ConstraintGraph::new();
+        let cpu = g.add_resource(Resource::new("cpu", ResourceKind::Compute));
+        let a = g.add_task(Task::new(
+            "a",
+            cpu,
+            TimeSpan::from_secs(5),
+            Power::from_watts(4),
+        ));
+        let b = g.add_task(Task::new(
+            "b",
+            cpu,
+            TimeSpan::from_secs(5),
+            Power::from_watts(4),
+        ));
+        // Contradictory window: min 10 s but max 4 s.
+        g.min_separation(a, b, TimeSpan::from_secs(10));
+        g.max_separation(a, b, TimeSpan::from_secs(4));
+        let mut problem =
+            pas_core::Problem::new("broken", g, pas_core::PowerConstraints::unconstrained());
+
+        let mut recorder = pas_obs::RecordingObserver::new();
+        let err = PowerAwareScheduler::default()
+            .schedule_with(&mut problem, &mut recorder)
+            .unwrap_err();
+        let ScheduleError::LintRejected { report } = err else {
+            panic!("expected LintRejected, got {err:?}");
+        };
+        assert!(report.has_errors());
+        assert!(report.proves_scheduler_failure());
+
+        // The trace is only the lint span: no search stage ever ran.
+        let events: Vec<_> = recorder.into_events();
+        assert!(events.iter().all(|e| e.stage() == Some(StageKind::Lint)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::LintVerdict { rejected: true, .. })));
+
+        // With the guard off the full search runs — and still fails.
+        let config = SchedulerConfig {
+            lint_guard: false,
+            max_backtracks: 100,
+            ..SchedulerConfig::default()
+        };
+        let err = PowerAwareScheduler::new(config)
+            .schedule(&mut problem)
+            .unwrap_err();
+        assert!(!matches!(err, ScheduleError::LintRejected { .. }));
     }
 
     #[test]

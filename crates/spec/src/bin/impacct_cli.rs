@@ -6,6 +6,7 @@
 //!                      [--corners] [--restarts <n>] [--seed <n>] [--quiet]
 //!                      [--trace <out.jsonl>] [--profile]
 //! impacct-cli validate <problem.pasdl> <schedule.pasdl>
+//! impacct-cli lint <problem.pasdl> [--format human|json]
 //! impacct-cli print <problem.pasdl>       # parse + pretty-print
 //! ```
 //!
@@ -15,14 +16,21 @@
 //! PASDL. `--trace` streams every scheduling decision as JSONL
 //! [`pas_obs::TraceEvent`]s; `--profile` prints a per-stage profile
 //! table. `validate` checks a hand-written schedule against a
-//! problem, reporting every violation.
+//! problem, reporting every violation. `lint` runs the `pas-lint`
+//! static passes over a problem without scheduling it and exits
+//! non-zero when any error-level diagnostic fires.
 
 use pas_core::analyze;
+use pas_core::describe_spike;
 use pas_core::power_model::analyze_corners;
 use pas_gantt::{render_ascii, render_svg, summary_report, AsciiOptions, GanttChart, SvgOptions};
+use pas_lint::{lint_problem, render_human, render_json, LintConfig, SourceFile};
 use pas_obs::{JsonlWriter, NullObserver, Observer, StageProfiler, Tee};
 use pas_sched::{PowerAwareScheduler, SchedulerConfig};
-use pas_spec::{parse_problem, parse_problem_full, parse_schedule, print_problem, print_schedule};
+use pas_spec::{
+    parse_problem, parse_problem_full, parse_problem_spanned, parse_schedule, print_problem,
+    print_schedule,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -43,6 +51,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "schedule" => cmd_schedule(&args[1..]),
         "validate" => cmd_validate(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
         "print" => cmd_print(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -57,6 +66,7 @@ fn usage() -> String {
      [--svg <out.svg>] [--emit-schedule] [--report] [--corners] [--restarts <n>] \
      [--seed <n>] [--quiet] [--trace <out.jsonl>] [--profile]\n  \
      impacct-cli validate <problem.pasdl> <schedule.pasdl>\n  \
+     impacct-cli lint <problem.pasdl> [--format human|json]\n  \
      impacct-cli print <problem.pasdl>"
         .to_string()
 }
@@ -218,10 +228,13 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         a.finish_time, a.energy_cost, a.utilization, a.peak_power
     );
     for v in &a.timing_violations {
-        println!("  timing violation: {v}");
+        println!("  timing violation: {}", v.describe(problem.graph()));
     }
     for s in &a.spikes {
-        println!("  power spike: {s}");
+        println!(
+            "  power spike: {}",
+            describe_spike(problem.graph(), &schedule, s)
+        );
     }
     for g in &a.gaps {
         println!("  power gap: {g}");
@@ -231,6 +244,46 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err("schedule is INVALID".to_string())
+    }
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut format = "human".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => format = it.next().ok_or("--format needs a value")?.clone(),
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.ok_or_else(usage)?;
+    let source = read(&path)?;
+    let spanned = parse_problem_spanned(&source).map_err(|e| e.to_string())?;
+    let report = lint_problem(&spanned.problem, &spanned.spans, &LintConfig::default());
+    let file = SourceFile {
+        name: &path,
+        text: &source,
+    };
+    match format.as_str() {
+        "human" => {
+            if report.is_empty() {
+                println!("{path}: clean");
+            } else {
+                print!("{}", render_human(&report, Some(file)));
+            }
+        }
+        "json" => println!("{}", render_json(&report, Some(file))),
+        other => return Err(format!("unknown format {other:?} (human|json)")),
+    }
+    if report.has_errors() {
+        Err(format!(
+            "{path}: {} error-level lint diagnostic(s)",
+            report.error_count()
+        ))
+    } else {
+        Ok(())
     }
 }
 

@@ -15,13 +15,17 @@
 
 use core::fmt;
 
-/// A lexical token with its 1-based source line.
+/// A lexical token with its 1-based source line and byte extent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// Token payload.
     pub kind: TokenKind,
     /// 1-based line number for diagnostics.
     pub line: usize,
+    /// Byte offset of the token's first character.
+    pub start: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
 }
 
 /// Token payloads.
@@ -93,9 +97,10 @@ impl std::error::Error for LexError {}
 pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
     let mut tokens = Vec::new();
     let mut line = 1usize;
-    let mut chars = source.chars().peekable();
+    let mut chars = Cursor::new(source);
 
-    while let Some(&c) = chars.peek() {
+    while let Some(c) = chars.peek() {
+        let start = chars.pos();
         match c {
             '\n' => {
                 line += 1;
@@ -105,7 +110,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                 chars.next();
             }
             '#' => {
-                for c in chars.by_ref() {
+                while let Some(c) = chars.next() {
                     if c == '\n' {
                         line += 1;
                         break;
@@ -117,6 +122,8 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                 tokens.push(Token {
                     kind: TokenKind::LBrace,
                     line,
+                    start,
+                    end: chars.pos(),
                 });
             }
             '}' => {
@@ -124,6 +131,8 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                 tokens.push(Token {
                     kind: TokenKind::RBrace,
                     line,
+                    start,
+                    end: chars.pos(),
                 });
             }
             '-' => {
@@ -134,10 +143,12 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                         tokens.push(Token {
                             kind: TokenKind::Arrow,
                             line,
+                            start,
+                            end: chars.pos(),
                         });
                     }
                     Some(d) if d.is_ascii_digit() => {
-                        let tok = lex_value(&mut chars, true, line)?;
+                        let tok = lex_value(&mut chars, true, line, start)?;
                         tokens.push(tok);
                     }
                     _ => {
@@ -166,15 +177,17 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                 tokens.push(Token {
                     kind: TokenKind::Str(s),
                     line,
+                    start,
+                    end: chars.pos(),
                 });
             }
             c if c.is_ascii_digit() => {
-                let tok = lex_value(&mut chars, false, line)?;
+                let tok = lex_value(&mut chars, false, line, start)?;
                 tokens.push(tok);
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut s = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = chars.peek() {
                     if c.is_alphanumeric() || c == '_' {
                         s.push(c);
                         chars.next();
@@ -185,6 +198,8 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                 tokens.push(Token {
                     kind: TokenKind::Ident(s),
                     line,
+                    start,
+                    end: chars.pos(),
                 });
             }
             other => {
@@ -198,14 +213,46 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
     Ok(tokens)
 }
 
+/// A peekable character stream that knows its byte position, so every
+/// token can carry the exact source extent `pas-lint` spans need.
+struct Cursor<'a> {
+    len: usize,
+    iter: core::iter::Peekable<core::str::CharIndices<'a>>,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(source: &'a str) -> Self {
+        Cursor {
+            len: source.len(),
+            iter: source.char_indices().peekable(),
+        }
+    }
+
+    /// Byte offset of the next unconsumed character (source length at
+    /// end of input).
+    fn pos(&mut self) -> usize {
+        self.iter.peek().map_or(self.len, |&(i, _)| i)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.iter.peek().map(|&(_, c)| c)
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    fn next(&mut self) -> Option<char> {
+        self.iter.next().map(|(_, c)| c)
+    }
+}
+
 /// Lexes `123`, `14.9`, … followed by a unit letter.
 fn lex_value(
-    chars: &mut core::iter::Peekable<core::str::Chars<'_>>,
+    chars: &mut Cursor<'_>,
     negative: bool,
     line: usize,
+    start: usize,
 ) -> Result<Token, LexError> {
     let mut whole: i64 = 0;
-    while let Some(&c) = chars.peek() {
+    while let Some(c) = chars.peek() {
         if let Some(d) = c.to_digit(10) {
             whole = whole
                 .checked_mul(10)
@@ -221,9 +268,9 @@ fn lex_value(
     }
     let mut frac: i64 = 0;
     let mut frac_digits = 0usize;
-    if chars.peek() == Some(&'.') {
+    if chars.peek() == Some('.') {
         chars.next();
-        while let Some(&c) = chars.peek() {
+        while let Some(c) = chars.peek() {
             if let Some(d) = c.to_digit(10) {
                 if frac_digits >= 3 {
                     return Err(LexError {
@@ -284,6 +331,8 @@ fn lex_value(
     Ok(Token {
         kind: TokenKind::Value { scaled, unit },
         line,
+        start,
+        end: chars.pos(),
     })
 }
 
@@ -356,6 +405,15 @@ mod tests {
         assert_eq!(toks.len(), 4);
         assert_eq!(toks[0].line, 1);
         assert_eq!(toks[3].line, 2);
+    }
+
+    #[test]
+    fn tokens_carry_byte_spans() {
+        let src = "task \"a\"\n  -5s";
+        let toks = tokenize(src).unwrap();
+        assert_eq!(&src[toks[0].start..toks[0].end], "task");
+        assert_eq!(&src[toks[1].start..toks[1].end], "\"a\"");
+        assert_eq!(&src[toks[2].start..toks[2].end], "-5s");
     }
 
     #[test]

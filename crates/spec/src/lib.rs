@@ -20,10 +20,12 @@
 //!
 //! * [`parse_problem`] / [`parse_schedule`] — parsing with
 //!   line-numbered errors;
+//! * [`parse_problem_spanned`] — parsing that keeps per-statement
+//!   byte spans so `pas-lint` diagnostics point into the source;
 //! * [`print_problem`] / [`print_schedule`] — the inverse printers
 //!   (round-trip tested);
-//! * the `impacct-cli` binary — schedule / validate / pretty-print
-//!   PASDL files from the command line.
+//! * the `impacct-cli` binary — schedule / validate / lint /
+//!   pretty-print PASDL files from the command line.
 //!
 //! ## Example
 //!
@@ -46,5 +48,8 @@ mod parser;
 mod printer;
 
 pub use lexer::{tokenize, LexError, Token, TokenKind, Unit};
-pub use parser::{parse_problem, parse_problem_full, parse_schedule, ParseError, ParsedProblem};
+pub use parser::{
+    parse_problem, parse_problem_full, parse_problem_spanned, parse_schedule, ParseError,
+    ParsedProblem, SpannedProblem,
+};
 pub use printer::{print_problem, print_problem_full, print_schedule};

@@ -5,7 +5,7 @@
 //! ```text
 //! problem ::= "problem" name "{" problem-stmt* "}"
 //! problem-stmt ::=
-//!     "pmax" watts | "pmin" watts | "background" watts
+//!     "pmax" watts | "pmin" watts | "background" watts | "deadline" seconds
 //!   | "resource" name kind?            (kind: compute|mechanical|thermal|other)
 //!   | "task" name "on" name "delay" seconds "power" watts
 //!   | "min" name "->" name seconds     (start-to-start min separation)
@@ -22,6 +22,7 @@ use pas_core::power_model::PowerRange;
 use pas_core::{PowerConstraints, Problem, Schedule};
 use pas_graph::units::{Power, Time, TimeSpan};
 use pas_graph::{ConstraintGraph, Resource, ResourceId, ResourceKind, Task, TaskId};
+use pas_lint::{Span, SpanTable};
 use std::collections::HashMap;
 
 /// A parsed problem together with its optional §4.1 power corners
@@ -33,6 +34,20 @@ pub struct ParsedProblem {
     pub problem: Problem,
     /// Per-task corners, indexed by [`TaskId`].
     pub ranges: Vec<PowerRange>,
+}
+
+/// A parsed problem that additionally maps every graph entity back to
+/// the byte extent of the statement that declared it, so `pas-lint`
+/// diagnostics can point into the source.
+#[derive(Debug, Clone)]
+pub struct SpannedProblem {
+    /// The scheduling problem (typical powers).
+    pub problem: Problem,
+    /// Per-task corners, indexed by [`TaskId`].
+    pub ranges: Vec<PowerRange>,
+    /// Statement spans of tasks, resources, edges and the power /
+    /// deadline headers.
+    pub spans: SpanTable,
 }
 
 /// A parse failure with its source line.
@@ -64,6 +79,9 @@ impl From<LexError> for ParseError {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Byte extent of the most recently consumed token, for statement
+    /// span recording.
+    last: (usize, usize),
 }
 
 impl Parser {
@@ -71,6 +89,7 @@ impl Parser {
         Ok(Parser {
             tokens: tokenize(source)?,
             pos: 0,
+            last: (0, 0),
         })
     }
 
@@ -80,10 +99,22 @@ impl Parser {
 
     fn next(&mut self) -> Option<Token> {
         let t = self.tokens.get(self.pos).cloned();
-        if t.is_some() {
+        if let Some(t) = &t {
             self.pos += 1;
+            self.last = (t.start, t.end);
         }
         t
+    }
+
+    /// Span of the last consumed token.
+    fn last_span(&self) -> Span {
+        Span::new(self.last.0, self.last.1)
+    }
+
+    /// Span from a statement keyword's start byte through the last
+    /// consumed token.
+    fn stmt_span(&self, start: usize) -> Span {
+        Span::new(start, self.last.1.max(start))
     }
 
     fn line(&self) -> usize {
@@ -154,6 +185,7 @@ impl Parser {
             Some(Token {
                 kind: TokenKind::Value { scaled, unit: u },
                 line,
+                ..
             }) => {
                 if u == unit {
                     Ok(scaled)
@@ -205,9 +237,25 @@ pub fn parse_problem(source: &str) -> Result<Problem, ParseError> {
 /// Same conditions as [`parse_problem`], plus invalid corners
 /// (`min > power` or `power > max`).
 pub fn parse_problem_full(source: &str) -> Result<ParsedProblem, ParseError> {
+    parse_problem_spanned(source).map(|s| ParsedProblem {
+        problem: s.problem,
+        ranges: s.ranges,
+    })
+}
+
+/// Parses a PASDL `problem` document keeping the per-task power
+/// corners *and* a [`SpanTable`] mapping every declared entity to the
+/// byte extent of its statement (see [`SpannedProblem`]), for
+/// span-carrying `pas-lint` diagnostics.
+///
+/// # Errors
+/// Same conditions as [`parse_problem_full`].
+pub fn parse_problem_spanned(source: &str) -> Result<SpannedProblem, ParseError> {
     let mut p = Parser::new(source)?;
     p.expect_keyword("problem")?;
     let name = p.expect_name()?;
+    let mut spans = SpanTable::empty();
+    spans.problem = Some(p.last_span());
     p.expect_lbrace()?;
 
     let mut graph = ConstraintGraph::new();
@@ -217,12 +265,14 @@ pub fn parse_problem_full(source: &str) -> Result<ParsedProblem, ParseError> {
     let mut p_max: Option<Power> = None;
     let mut p_min = Power::ZERO;
     let mut background = Power::ZERO;
+    let mut deadline: Option<Time> = None;
 
     loop {
         let tok = match p.next() {
             None => return p.err("unexpected end of input: missing '}'"),
             Some(t) => t,
         };
+        let stmt_start = tok.start;
         let stmt = match tok.kind {
             TokenKind::RBrace => break,
             TokenKind::Ident(s) => s,
@@ -234,9 +284,29 @@ pub fn parse_problem_full(source: &str) -> Result<ParsedProblem, ParseError> {
             }
         };
         match stmt.as_str() {
-            "pmax" => p_max = Some(Power::from_watts_milli(p.expect_value(Unit::Watts)?)),
-            "pmin" => p_min = Power::from_watts_milli(p.expect_value(Unit::Watts)?),
-            "background" => background = Power::from_watts_milli(p.expect_value(Unit::Watts)?),
+            "pmax" => {
+                p_max = Some(Power::from_watts_milli(p.expect_value(Unit::Watts)?));
+                spans.pmax = Some(p.stmt_span(stmt_start));
+            }
+            "pmin" => {
+                p_min = Power::from_watts_milli(p.expect_value(Unit::Watts)?);
+                spans.pmin = Some(p.stmt_span(stmt_start));
+            }
+            "background" => {
+                background = Power::from_watts_milli(p.expect_value(Unit::Watts)?);
+                spans.background = Some(p.stmt_span(stmt_start));
+            }
+            "deadline" => {
+                let secs = p.expect_value(Unit::Seconds)?;
+                if secs < 0 {
+                    return Err(ParseError {
+                        message: "deadline must be non-negative".into(),
+                        line: tok.line,
+                    });
+                }
+                deadline = Some(Time::from_secs(secs));
+                spans.deadline = Some(p.stmt_span(stmt_start));
+            }
             "resource" => {
                 let rname = p.expect_name()?;
                 let kind = match p.peek() {
@@ -262,6 +332,7 @@ pub fn parse_problem_full(source: &str) -> Result<ParsedProblem, ParseError> {
                     });
                 }
                 let id = graph.add_resource(Resource::new(rname.clone(), kind));
+                spans.set_resource(id, p.stmt_span(stmt_start));
                 resources.insert(rname, id);
             }
             "task" => {
@@ -326,6 +397,7 @@ pub fn parse_problem_full(source: &str) -> Result<ParsedProblem, ParseError> {
                     Power::from_watts_milli(power),
                 ));
                 debug_assert_eq!(id.index(), ranges.len());
+                spans.set_task(id, p.stmt_span(stmt_start));
                 ranges.push(range);
                 tasks.insert(tname, id);
             }
@@ -340,10 +412,10 @@ pub fn parse_problem_full(source: &str) -> Result<ParsedProblem, ParseError> {
                     })
                 };
                 let (u, v) = (lookup(&from)?, lookup(&to)?);
-                match stmt.as_str() {
+                let edge = match stmt.as_str() {
                     "min" => {
                         let sep = p.expect_value(Unit::Seconds)?;
-                        graph.min_separation(u, v, TimeSpan::from_secs(sep));
+                        graph.min_separation(u, v, TimeSpan::from_secs(sep))
                     }
                     "max" => {
                         let sep = p.expect_value(Unit::Seconds)?;
@@ -353,12 +425,11 @@ pub fn parse_problem_full(source: &str) -> Result<ParsedProblem, ParseError> {
                                 line: tok.line,
                             });
                         }
-                        graph.max_separation(u, v, TimeSpan::from_secs(sep));
+                        graph.max_separation(u, v, TimeSpan::from_secs(sep))
                     }
-                    _ => {
-                        graph.precedence(u, v);
-                    }
-                }
+                    _ => graph.precedence(u, v),
+                };
+                spans.set_edge(edge, p.stmt_span(stmt_start));
             }
             other => {
                 return Err(ParseError {
@@ -384,14 +455,13 @@ pub fn parse_problem_full(source: &str) -> Result<ParsedProblem, ParseError> {
             line: 0,
         });
     }
-    Ok(ParsedProblem {
-        problem: Problem::with_background(
-            name,
-            graph,
-            PowerConstraints::new(p_max, p_min),
-            background,
-        ),
+    let mut problem =
+        Problem::with_background(name, graph, PowerConstraints::new(p_max, p_min), background);
+    problem.set_deadline(deadline);
+    Ok(SpannedProblem {
+        problem,
         ranges,
+        spans,
     })
 }
 
@@ -509,6 +579,54 @@ problem "demo" {
             Time::from_secs(5)
         );
         assert!(pas_core::is_time_valid(p.graph(), &s));
+    }
+
+    #[test]
+    fn spanned_parse_maps_statements_to_bytes() {
+        let parsed = parse_problem_spanned(DEMO).unwrap();
+        let spans = &parsed.spans;
+        let slice = |s: Span| &DEMO[s.start..s.end];
+        assert_eq!(slice(spans.problem.unwrap()), "\"demo\"");
+        assert_eq!(slice(spans.pmax.unwrap()), "pmax 16W");
+        assert_eq!(slice(spans.pmin.unwrap()), "pmin 14W");
+        assert_eq!(slice(spans.background.unwrap()), "background 2.5W");
+        assert_eq!(spans.deadline, None);
+        let g = parsed.problem.graph();
+        let a = g.task_by_name("a").unwrap();
+        assert_eq!(
+            slice(spans.task(a).unwrap()),
+            "task a on A delay 5s power 6W"
+        );
+        let (rid, _) = g.resources().nth(1).unwrap();
+        assert_eq!(slice(spans.resource(rid).unwrap()), "resource B mechanical");
+        // Every user-declared edge has a span covering its statement.
+        for (id, e) in g.edges() {
+            if e.kind() == pas_graph::EdgeKind::Release {
+                assert_eq!(spans.edge(id), None);
+            } else {
+                let text = slice(spans.edge(id).unwrap());
+                assert!(
+                    text.starts_with("min")
+                        || text.starts_with("max")
+                        || text.starts_with("precedence"),
+                    "{text:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_statement_parses_and_rejects_negative() {
+        let src =
+            r#"problem "d" { pmax 5W deadline 30s resource A task t on A delay 1s power 1W }"#;
+        let parsed = parse_problem_spanned(src).unwrap();
+        assert_eq!(parsed.problem.deadline(), Some(Time::from_secs(30)));
+        assert_eq!(
+            &src[parsed.spans.deadline.unwrap().start..parsed.spans.deadline.unwrap().end],
+            "deadline 30s"
+        );
+        let err = parse_problem(r#"problem "d" { pmax 5W deadline -3s }"#).unwrap_err();
+        assert!(err.message.contains("non-negative"), "{err}");
     }
 
     #[test]

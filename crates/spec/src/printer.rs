@@ -53,6 +53,9 @@ pub fn print_problem_full(problem: &Problem, ranges: Option<&[PowerRange]>) -> S
     if problem.background_power() > Power::ZERO {
         let _ = writeln!(s, "  background {}", problem.background_power());
     }
+    if let Some(deadline) = problem.deadline() {
+        let _ = writeln!(s, "  deadline {deadline}");
+    }
     for (_, r) in g.resources() {
         let kind = match r.kind() {
             ResourceKind::Compute => "compute",
@@ -140,6 +143,8 @@ fn is_keyword(name: &str) -> bool {
         "pmax",
         "pmin",
         "background",
+        "deadline",
+        "corners",
         "resource",
         "task",
         "on",
@@ -191,6 +196,22 @@ mod tests {
         assert_eq!(name, "probe");
         assert_eq!(parsed, sigma);
         let _ = t;
+    }
+
+    #[test]
+    fn deadline_round_trips() {
+        let src = r#"problem "d" {
+          pmax 9W
+          deadline 40s
+          resource A
+          task t on A delay 2s power 1W
+        }"#;
+        let p = parse_problem(src).unwrap();
+        assert_eq!(p.deadline(), Some(Time::from_secs(40)));
+        let text = print_problem(&p);
+        assert!(text.contains("deadline 40s"), "{text}");
+        let q = parse_problem(&text).unwrap();
+        assert_eq!(q.deadline(), p.deadline());
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! named [suites](crate::scaling_suite) the benchmark harness sweeps.
 //! Instances are timing-feasible by construction; power tightness is
 //! a dial (`p_max_factor`) so benches can explore the easy→hard
-//! spectrum including scheduler failure paths.
+//! spectrum including scheduler failure paths. The [`sabotage`]
+//! helpers go further and break an instance on purpose, each in a
+//! way a specific `pas-lint` pass can prove statically.
 //!
 //! ## Example
 //!
@@ -26,8 +28,12 @@
 #![warn(missing_docs)]
 
 mod generator;
+mod sabotage;
 pub mod strategies;
 mod suite;
 
 pub use generator::{generate, GeneratorConfig, Topology};
+pub use sabotage::{
+    contradictory_window, forced_resource_overlap, overload_task, sabotage, Sabotage,
+};
 pub use suite::{chains_suite, scaling_suite, tightness_suite, Suite, SCALING_SIZES};

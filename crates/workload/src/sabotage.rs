@@ -1,0 +1,179 @@
+//! Seeded sabotage: turns a feasible instance into one that is
+//! provably infeasible, in a way a specific `pas-lint` pass can
+//! prove statically.
+//!
+//! The early-reject benchmark (`examples/lint_early_reject.rs`) and
+//! the lint property tests need corpora of *known-bad* problems; the
+//! generator deliberately produces feasible ones, so these helpers
+//! break them after the fact. Each kind maps to the lint code that
+//! catches it.
+
+use pas_core::{PowerConstraints, Problem};
+use pas_graph::units::{Power, TimeSpan};
+use pas_graph::TaskId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A way to make a problem infeasible on purpose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Sabotage {
+    /// Shrink `P_max` below one task's own draw (lint: `PAS001`,
+    /// task over budget).
+    OverloadTask,
+    /// Add a min/max window pair that forms a positive cycle (lint:
+    /// `PAS010`, positive cycle).
+    ContradictoryWindow,
+    /// Pin two same-resource tasks into overlapping windows (lint:
+    /// `PAS030`, forced resource overlap).
+    ForcedResourceOverlap,
+}
+
+impl Sabotage {
+    /// All sabotage kinds, for sweeping.
+    pub const ALL: [Sabotage; 3] = [
+        Sabotage::OverloadTask,
+        Sabotage::ContradictoryWindow,
+        Sabotage::ForcedResourceOverlap,
+    ];
+}
+
+/// Applies `kind` to `problem`, deterministically in `seed`.
+///
+/// # Panics
+/// Panics when the problem has no suitable victim — fewer than two
+/// tasks, or (for [`Sabotage::ForcedResourceOverlap`]) no pair of
+/// tasks sharing a resource.
+pub fn sabotage(problem: &mut Problem, kind: Sabotage, seed: u64) {
+    match kind {
+        Sabotage::OverloadTask => {
+            overload_task(problem, seed);
+        }
+        Sabotage::ContradictoryWindow => {
+            contradictory_window(problem, seed);
+        }
+        Sabotage::ForcedResourceOverlap => {
+            forced_resource_overlap(problem, seed);
+        }
+    }
+}
+
+/// Shrinks the power budget below the draw of one randomly chosen
+/// task (its identity is returned). Any schedule now spikes the
+/// moment that task runs, so the instance is power-infeasible.
+pub fn overload_task(problem: &mut Problem, seed: u64) -> TaskId {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = problem.graph().num_tasks();
+    assert!(n > 0, "need at least one task to overload");
+    let victim = TaskId::from_index(rng.gen_range(0..n));
+    let draw = problem.graph().task(victim).power();
+    assert!(draw > Power::ZERO, "victim draws no power; cannot overload");
+    let p_max = Power::from_watts_milli(draw.as_milliwatts() - 1);
+    let p_min = problem.constraints().p_min().min(p_max);
+    problem.set_constraints(PowerConstraints::new(p_max, p_min));
+    victim
+}
+
+/// Adds a `min 10s` / `max 4s` window pair between two randomly
+/// chosen tasks — a positive cycle no schedule can satisfy. Returns
+/// the pair.
+pub fn contradictory_window(problem: &mut Problem, seed: u64) -> (TaskId, TaskId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = problem.graph().num_tasks();
+    assert!(n >= 2, "need two tasks for a contradictory window");
+    let i = rng.gen_range(0..n - 1);
+    let j = rng.gen_range(i + 1..n);
+    let (u, v) = (TaskId::from_index(i), TaskId::from_index(j));
+    let g = problem.graph_mut();
+    g.min_separation(u, v, TimeSpan::from_secs(10));
+    g.max_separation(u, v, TimeSpan::from_secs(4));
+    (u, v)
+}
+
+/// Pins two tasks sharing a resource into windows that force them to
+/// overlap on it: `v` must start while `u` still runs. Returns the
+/// pair.
+pub fn forced_resource_overlap(problem: &mut Problem, seed: u64) -> (TaskId, TaskId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = problem.graph();
+    let mut pairs: Vec<(TaskId, TaskId)> = Vec::new();
+    for u in g.task_ids() {
+        for v in g.task_ids() {
+            if u < v && g.same_resource(u, v) {
+                pairs.push((u, v));
+            }
+        }
+    }
+    assert!(!pairs.is_empty(), "no two tasks share a resource");
+    let (u, v) = pairs[rng.gen_range(0..pairs.len())];
+    let slack = (problem.graph().task(u).delay() - TimeSpan::from_secs(1)).max(TimeSpan::ZERO);
+    let g = problem.graph_mut();
+    g.min_separation(u, v, TimeSpan::ZERO);
+    g.max_separation(u, v, slack);
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, GeneratorConfig};
+    use pas_lint::LintCode;
+
+    fn fresh(seed: u64) -> Problem {
+        generate(&GeneratorConfig {
+            seed,
+            tasks: 16,
+            resources: 4,
+            ..Default::default()
+        })
+    }
+
+    fn fires(problem: &Problem, code: LintCode) -> bool {
+        pas_lint::lint(problem)
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == code)
+    }
+
+    #[test]
+    fn overload_task_fires_pas001() {
+        let mut p = fresh(1);
+        assert!(!fires(&p, LintCode::TaskOverBudget));
+        overload_task(&mut p, 9);
+        assert!(fires(&p, LintCode::TaskOverBudget));
+    }
+
+    #[test]
+    fn contradictory_window_fires_pas010() {
+        let mut p = fresh(2);
+        assert!(!fires(&p, LintCode::PositiveCycle));
+        contradictory_window(&mut p, 9);
+        assert!(fires(&p, LintCode::PositiveCycle));
+    }
+
+    #[test]
+    fn forced_resource_overlap_fires_pas030() {
+        let mut p = fresh(3);
+        assert!(!fires(&p, LintCode::ForcedResourceOverlap));
+        forced_resource_overlap(&mut p, 9);
+        assert!(fires(&p, LintCode::ForcedResourceOverlap));
+    }
+
+    #[test]
+    fn every_sabotage_is_an_error_level_reject() {
+        for (i, kind) in Sabotage::ALL.into_iter().enumerate() {
+            let mut p = fresh(40 + i as u64);
+            sabotage(&mut p, kind, 7 + i as u64);
+            let report = pas_lint::lint(&p);
+            assert!(report.has_errors(), "{kind:?} produced no lint error");
+        }
+    }
+
+    #[test]
+    fn sabotage_is_deterministic_in_seed() {
+        let (mut a, mut b) = (fresh(5), fresh(5));
+        let pa = contradictory_window(&mut a, 11);
+        let pb = contradictory_window(&mut b, 11);
+        assert_eq!(pa, pb);
+    }
+}

@@ -1,0 +1,103 @@
+//! Measures what the lint guard saves: wall-clock of linting (and
+//! rejecting) seeded-infeasible workloads versus letting the full
+//! scheduler search and fail.
+//!
+//! ```text
+//! cargo run --release --example lint_early_reject
+//! ```
+//!
+//! Builds a batch of generated instances, sabotages each one with
+//! every [`Sabotage`] kind in turn, and times three treatments:
+//!
+//! * `lint-only` — run the analyzer, observe the error-level verdict;
+//! * `guard-on` — the default pipeline, which early-rejects;
+//! * `guard-off` — the pipeline with `lint_guard: false`, which must
+//!   search (bounded backtracking) before failing.
+//!
+//! Results feed the "Static analysis" section of EXPERIMENTS.md.
+
+use impacct::lint::lint;
+use impacct::sched::{PowerAwareScheduler, ScheduleError, SchedulerConfig};
+use impacct::workload::{generate, sabotage, GeneratorConfig, Sabotage, Topology};
+use std::time::Instant;
+
+const BATCH: usize = 40;
+const TASKS: usize = 48;
+
+fn batch(kind: Sabotage) -> Vec<impacct::core::Problem> {
+    (0..BATCH)
+        .map(|i| {
+            let mut p = generate(&GeneratorConfig {
+                seed: 1000 + i as u64,
+                tasks: TASKS,
+                resources: 6,
+                topology: Topology::Layered { layers: 6 },
+                ..Default::default()
+            });
+            sabotage(&mut p, kind, i as u64);
+            p
+        })
+        .collect()
+}
+
+fn main() {
+    println!("lint early-reject: {BATCH} sabotaged {TASKS}-task instances per kind\n");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>8}",
+        "sabotage", "lint-only", "guard-on", "guard-off", "speedup"
+    );
+    for kind in Sabotage::ALL {
+        // Lint only: prove infeasibility, no scheduling at all.
+        let problems = batch(kind);
+        let t = Instant::now();
+        let mut rejected = 0;
+        for p in &problems {
+            if lint(p).has_errors() {
+                rejected += 1;
+            }
+        }
+        let lint_only = t.elapsed();
+        assert_eq!(rejected, BATCH, "{kind:?}: lint missed an instance");
+
+        // Guard on (the default): the pipeline early-rejects.
+        let mut problems = batch(kind);
+        let t = Instant::now();
+        for p in problems.iter_mut() {
+            let err = PowerAwareScheduler::default()
+                .schedule(p)
+                .expect_err("sabotaged instance scheduled");
+            assert!(
+                matches!(err, ScheduleError::LintRejected { .. }),
+                "{kind:?}: expected an early reject, got {err}"
+            );
+        }
+        let guard_on = t.elapsed();
+
+        // Guard off: the scheduler burns search effort to fail.
+        let unguarded = PowerAwareScheduler::new(SchedulerConfig {
+            lint_guard: false,
+            max_backtracks: 500,
+            ..SchedulerConfig::default()
+        });
+        let mut problems = batch(kind);
+        let t = Instant::now();
+        for p in problems.iter_mut() {
+            let err = unguarded
+                .schedule(p)
+                .expect_err("sabotaged instance scheduled");
+            assert!(!matches!(err, ScheduleError::LintRejected { .. }));
+        }
+        let guard_off = t.elapsed();
+
+        let speedup = guard_off.as_secs_f64() / guard_on.as_secs_f64().max(1e-9);
+        println!(
+            "{:<24} {:>10.2?} {:>10.2?} {:>10.2?} {:>7.1}x",
+            format!("{kind:?}"),
+            lint_only,
+            guard_on,
+            guard_off,
+            speedup
+        );
+    }
+    println!("\n(guard-on ≈ lint-only plus pipeline setup; guard-off pays the search)");
+}

@@ -21,7 +21,11 @@
 //! * [`rover`] ([`pas_rover`]) — the NASA/JPL Mars rover model and
 //!   the Table 3 analysis;
 //! * [`mission`] ([`pas_mission`]) — the Table 4 mission simulator;
-//! * [`workload`] ([`pas_workload`]) — synthetic problem generators;
+//! * [`workload`] ([`pas_workload`]) — synthetic problem generators
+//!   and seeded sabotage for known-infeasible instances;
+//! * [`lint`] ([`pas_lint`]) — the static constraint-graph analyzer:
+//!   span-carrying diagnostics (`PASnnn` codes), rustc-style and JSON
+//!   renderers, and the pipeline's early-reject guard;
 //! * [`spec`] ([`pas_spec`]) — the PASDL text format and the
 //!   `impacct-cli` driver;
 //! * [`exec`] ([`pas_exec`]) — runtime dispatch simulation under
@@ -63,6 +67,7 @@ pub use pas_core as core;
 pub use pas_exec as exec;
 pub use pas_gantt as gantt;
 pub use pas_graph as graph;
+pub use pas_lint as lint;
 pub use pas_mission as mission;
 pub use pas_obs as obs;
 pub use pas_rover as rover;

@@ -1,0 +1,116 @@
+//! Lint corpus: every analyzer rule has a minimal PASDL witness under
+//! `tests/lint_corpus/` that must make exactly that rule fire, and
+//! the shipped example specs under `assets/` must stay error-clean.
+
+use pas_lint::{lint_problem, LintCode, LintConfig, LintReport, Severity};
+use pas_spec::parse_problem_spanned;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// One witness spec per rule. `PAS006` (non-positive delay) has no
+/// witness: the PASDL front-end cannot construct such a task — the
+/// rule only guards programmatically built problems.
+const CORPUS: [(&str, LintCode); 12] = [
+    ("pas001_task_over_budget.pasdl", LintCode::TaskOverBudget),
+    ("pas002_self_loop.pasdl", LintCode::SelfLoop),
+    ("pas003_duplicate_edge.pasdl", LintCode::DuplicateEdge),
+    ("pas004_dangling_resource.pasdl", LintCode::DanglingResource),
+    (
+        "pas005_background_over_budget.pasdl",
+        LintCode::BackgroundOverBudget,
+    ),
+    ("pas010_positive_cycle.pasdl", LintCode::PositiveCycle),
+    ("pas011_redundant_edge.pasdl", LintCode::RedundantEdge),
+    (
+        "pas012_deadline_unreachable.pasdl",
+        LintCode::DeadlineUnreachable,
+    ),
+    (
+        "pas020_forced_overlap_power.pasdl",
+        LintCode::ForcedOverlapPower,
+    ),
+    ("pas021_window_overload.pasdl", LintCode::WindowOverload),
+    ("pas022_hopeless_pmin.pasdl", LintCode::HopelessUtilization),
+    (
+        "pas030_forced_resource_overlap.pasdl",
+        LintCode::ForcedResourceOverlap,
+    ),
+];
+
+fn lint_file(path: &Path) -> LintReport {
+    let source = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let spanned = parse_problem_spanned(&source)
+        .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+    lint_problem(&spanned.problem, &spanned.spans, &LintConfig::default())
+}
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_corpus")
+}
+
+#[test]
+fn every_corpus_spec_fires_its_code_with_spans() {
+    for (file, code) in CORPUS {
+        let report = lint_file(&corpus_dir().join(file));
+        let found = report.diagnostics().iter().find(|d| d.code == code);
+        let Some(d) = found else {
+            panic!(
+                "{file}: expected {code} but report was {:?}",
+                report
+                    .diagnostics()
+                    .iter()
+                    .map(|d| d.code.as_str())
+                    .collect::<Vec<_>>()
+            );
+        };
+        assert_eq!(d.severity, code.severity(), "{file}: severity drifted");
+        assert!(
+            d.primary_span().is_some(),
+            "{file}: {code} carries no source span"
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_at_least_eight_distinct_codes() {
+    let codes: BTreeSet<&str> = CORPUS.iter().map(|(_, c)| c.as_str()).collect();
+    assert!(codes.len() >= 8, "only {} codes covered", codes.len());
+}
+
+#[test]
+fn error_witnesses_are_error_level_rejects() {
+    for (file, code) in CORPUS {
+        let report = lint_file(&corpus_dir().join(file));
+        if code.severity() == Severity::Error {
+            assert!(
+                report.has_errors(),
+                "{file}: expected an error-level report"
+            );
+        }
+    }
+}
+
+#[test]
+fn shipped_specs_lint_error_clean() {
+    let assets = Path::new(env!("CARGO_MANIFEST_DIR")).join("assets");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&assets).expect("assets/ directory") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "pasdl") {
+            let report = lint_file(&path);
+            assert_eq!(
+                report.error_count(),
+                0,
+                "{}: shipped spec has lint errors: {:?}",
+                path.display(),
+                report.diagnostics()
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 4,
+        "expected the four shipped specs, saw {checked}"
+    );
+}

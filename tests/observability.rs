@@ -25,7 +25,7 @@ fn recorded_stream_replays_to_pipeline_stats() {
     let replayed: SchedulerStats = EventCounts::from_events(&events).into();
     assert_eq!(replayed, outcome.stats);
 
-    // The stream brackets both pipeline stages, in order.
+    // The stream brackets every pipeline stage, guard first, in order.
     let starts: Vec<StageKind> = events
         .iter()
         .filter_map(|e| match e {
@@ -33,7 +33,10 @@ fn recorded_stream_replays_to_pipeline_stats() {
             _ => None,
         })
         .collect();
-    assert_eq!(starts, [StageKind::MaxPower, StageKind::MinPower]);
+    assert_eq!(
+        starts,
+        [StageKind::Lint, StageKind::MaxPower, StageKind::MinPower]
+    );
 }
 
 /// A `NullObserver` run is byte-identical to an observed run — the

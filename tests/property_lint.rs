@@ -1,0 +1,182 @@
+//! Property tests for the static analyzer: lint errors are *proofs*
+//! of scheduler failure, and lint never falsely rejects a schedulable
+//! problem.
+//!
+//! Soundness direction: sabotaged instances (known-infeasible by
+//! construction) must both carry an error-level lint finding and
+//! actually defeat the schedulers when the guard is bypassed.
+//! Completeness direction (no false positives): generated instances
+//! and every shipped model lint clean at error level, so the
+//! default-on guard never rejects anything the pipeline could have
+//! scheduled.
+
+use impacct::core::{analyze, example::paper_example};
+use impacct::lint::{lint, LintCode};
+use impacct::rover::{build_rover_problem, EnvCase};
+use impacct::sched::{
+    schedule_timing, PowerAwareScheduler, ScheduleError, SchedulerConfig, SchedulerStats,
+};
+use impacct::workload::strategies::generator_configs;
+use impacct::workload::{generate, sabotage, Sabotage};
+use proptest::prelude::*;
+
+fn sabotages() -> impl Strategy<Value = Sabotage> {
+    prop_oneof![
+        Just(Sabotage::OverloadTask),
+        Just(Sabotage::ContradictoryWindow),
+        Just(Sabotage::ForcedResourceOverlap),
+    ]
+}
+
+/// [`Sabotage::ForcedResourceOverlap`] needs a same-resource task
+/// pair; random configs may map every task to its own resource.
+/// Substitute the always-applicable contradictory window then.
+fn applicable(kind: Sabotage, problem: &impacct::core::Problem) -> Sabotage {
+    let g = problem.graph();
+    let has_pair = g
+        .task_ids()
+        .any(|u| g.task_ids().any(|v| u < v && g.same_resource(u, v)));
+    if kind == Sabotage::ForcedResourceOverlap && !has_pair {
+        Sabotage::ContradictoryWindow
+    } else {
+        kind
+    }
+}
+
+/// A bounded scheduler with the lint guard bypassed, so failures come
+/// from the search itself, not the guard under test.
+fn unguarded() -> PowerAwareScheduler {
+    PowerAwareScheduler::new(SchedulerConfig {
+        lint_guard: false,
+        max_backtracks: 200,
+        ..SchedulerConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Timing-class lint errors (positive cycle, forced resource
+    /// overlap) defeat the raw timing scheduler — no guard involved.
+    #[test]
+    fn timing_lint_errors_defeat_the_timing_scheduler(
+        cfg in generator_configs(16),
+        timing_kind in prop_oneof![
+            Just(Sabotage::ContradictoryWindow),
+            Just(Sabotage::ForcedResourceOverlap),
+        ],
+        seed in 0u64..1_000,
+    ) {
+        let mut problem = generate(&cfg);
+        let timing_kind = applicable(timing_kind, &problem);
+        sabotage(&mut problem, timing_kind, seed);
+        let report = lint(&problem);
+        prop_assert!(report.has_errors(), "{timing_kind:?} left no lint error");
+        prop_assert!(
+            report.diagnostics().iter().any(|d| d.code.implies_scheduler_failure()),
+            "{timing_kind:?} finding does not prove failure"
+        );
+        let mut stats = SchedulerStats::default();
+        let result =
+            schedule_timing(problem.graph_mut(), &SchedulerConfig::default(), &mut stats);
+        prop_assert!(result.is_err(), "{timing_kind:?}: timing scheduler succeeded");
+    }
+
+    /// Every sabotage kind defeats the full (unguarded, bounded)
+    /// pipeline, and the guard-on pipeline rejects it *before*
+    /// searching.
+    #[test]
+    fn sabotaged_problems_fail_with_and_without_the_guard(
+        cfg in generator_configs(12),
+        kind in sabotages(),
+        seed in 0u64..1_000,
+    ) {
+        let mut problem = generate(&cfg);
+        let kind = applicable(kind, &problem);
+        sabotage(&mut problem, kind, seed);
+
+        let mut unguarded_problem = problem.clone();
+        prop_assert!(
+            unguarded().schedule(&mut unguarded_problem).is_err(),
+            "{kind:?}: unguarded pipeline found a schedule"
+        );
+
+        let guarded = PowerAwareScheduler::default().schedule(&mut problem);
+        prop_assert!(
+            matches!(guarded, Err(ScheduleError::LintRejected { .. })),
+            "{kind:?}: guard did not early-reject"
+        );
+    }
+
+    /// No false positives: generated (unsabotaged) instances never
+    /// carry an error-level finding that proves scheduler failure, so
+    /// the default-on guard is invisible on them; and whenever the
+    /// pipeline succeeds, the independent validity oracle agrees.
+    #[test]
+    fn lint_clean_schedules_pass_the_oracle(cfg in generator_configs(20)) {
+        let mut problem = generate(&cfg);
+        let report = lint(&problem);
+        prop_assert!(
+            !report.diagnostics().iter()
+                .any(|d| d.code.implies_scheduler_failure()
+                     && d.severity == impacct::lint::Severity::Error),
+            "generator produced a provably infeasible instance: {:?}",
+            report.diagnostics()
+        );
+        match PowerAwareScheduler::default().schedule(&mut problem) {
+            Ok(outcome) => {
+                let a = analyze(&problem, &outcome.schedule);
+                prop_assert!(a.timing_violations.is_empty(), "{:?}", a.timing_violations);
+                prop_assert!(a.spikes.is_empty(), "peak {}", a.peak_power);
+            }
+            Err(e) => prop_assert!(
+                !matches!(e, ScheduleError::LintRejected { .. }),
+                "guard rejected a generated instance: {e}"
+            ),
+        }
+    }
+}
+
+/// Deterministic zero-false-positive check over every shipped model:
+/// the paper's 9-task example and the three rover cases are all
+/// schedulable, so lint must not report a single error on them.
+#[test]
+fn shipped_models_lint_error_clean() {
+    let (example, _) = paper_example();
+    let mut models = vec![("paper_example".to_string(), example)];
+    for case in EnvCase::ALL {
+        models.push((
+            format!("rover_{}", case.label()),
+            build_rover_problem(case, 1).problem,
+        ));
+    }
+    for (name, problem) in models {
+        let report = lint(&problem);
+        assert_eq!(
+            report.error_count(),
+            0,
+            "{name}: {:?}",
+            report.diagnostics()
+        );
+        // And the guard therefore schedules them untouched.
+        let mut p = problem.clone();
+        PowerAwareScheduler::default()
+            .schedule(&mut p)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+/// The witness corpus promise, programmatically: every code that
+/// claims to prove scheduler failure is error-level.
+#[test]
+fn failure_proving_codes_are_error_level() {
+    for code in LintCode::ALL {
+        if code.implies_scheduler_failure() {
+            assert_eq!(
+                code.severity(),
+                impacct::lint::Severity::Error,
+                "{code} proves failure but is not an error"
+            );
+        }
+    }
+}

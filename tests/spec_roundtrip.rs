@@ -1,0 +1,95 @@
+//! Printer round-trip over every shipped PASDL spec: parsing a file,
+//! printing it, and reparsing must reproduce the same problem —
+//! names, tasks, resources, budgets, deadline, corners and
+//! user-visible constraint edges.
+
+use pas_core::Problem;
+use pas_graph::EdgeKind;
+use pas_spec::{parse_problem_full, print_problem_full};
+use std::path::Path;
+
+fn user_edges(p: &Problem) -> Vec<(usize, usize, bool, i64)> {
+    let mut edges: Vec<_> = p
+        .graph()
+        .edges()
+        .filter(|(_, e)| matches!(e.kind(), EdgeKind::MinSeparation | EdgeKind::MaxSeparation))
+        .map(|(_, e)| {
+            (
+                e.from().index(),
+                e.to().index(),
+                e.kind() == EdgeKind::MinSeparation,
+                e.weight().as_secs(),
+            )
+        })
+        .collect();
+    edges.sort();
+    edges
+}
+
+#[test]
+fn every_shipped_spec_round_trips_through_the_printer() {
+    let assets = Path::new(env!("CARGO_MANIFEST_DIR")).join("assets");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&assets).expect("assets/ directory") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "pasdl") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path).unwrap();
+        let first =
+            parse_problem_full(&source).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let printed = print_problem_full(&first.problem, Some(&first.ranges));
+        let second = parse_problem_full(&printed)
+            .unwrap_or_else(|e| panic!("{}: reparse of printed form: {e}", path.display()));
+
+        let (p, q) = (&first.problem, &second.problem);
+        let label = path.display();
+        assert_eq!(p.name(), q.name(), "{label}: name");
+        assert_eq!(p.constraints(), q.constraints(), "{label}: budgets");
+        assert_eq!(
+            p.background_power(),
+            q.background_power(),
+            "{label}: background"
+        );
+        assert_eq!(p.deadline(), q.deadline(), "{label}: deadline");
+        assert_eq!(
+            p.graph().num_resources(),
+            q.graph().num_resources(),
+            "{label}: resources"
+        );
+        assert_eq!(
+            p.graph().num_tasks(),
+            q.graph().num_tasks(),
+            "{label}: tasks"
+        );
+        for (id, task) in p.graph().tasks() {
+            let other = q.graph().task(id);
+            assert_eq!(task.name(), other.name(), "{label}: task name");
+            assert_eq!(
+                task.delay(),
+                other.delay(),
+                "{label}: {} delay",
+                task.name()
+            );
+            assert_eq!(
+                task.power(),
+                other.power(),
+                "{label}: {} power",
+                task.name()
+            );
+            assert_eq!(
+                p.graph().resource(task.resource()).name(),
+                q.graph().resource(other.resource()).name(),
+                "{label}: {} resource",
+                task.name()
+            );
+        }
+        assert_eq!(user_edges(p), user_edges(q), "{label}: constraint edges");
+        assert_eq!(first.ranges, second.ranges, "{label}: power corners");
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "expected the four shipped specs, saw {checked}"
+    );
+}
