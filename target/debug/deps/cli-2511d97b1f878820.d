@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-2511d97b1f878820.d: crates/spec/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-2511d97b1f878820.rmeta: crates/spec/tests/cli.rs Cargo.toml
+
+crates/spec/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_impacct-cli=placeholder:impacct-cli
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

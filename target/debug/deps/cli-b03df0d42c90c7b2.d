@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-b03df0d42c90c7b2.d: crates/spec/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-b03df0d42c90c7b2: crates/spec/tests/cli.rs
+
+crates/spec/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_impacct-cli=/root/repo/target/debug/impacct-cli

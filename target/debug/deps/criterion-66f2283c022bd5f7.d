@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-66f2283c022bd5f7.d: /tmp/depstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-66f2283c022bd5f7.rmeta: /tmp/depstubs/criterion/src/lib.rs
+
+/tmp/depstubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-d4e39a8e60b8394c.d: /tmp/depstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d4e39a8e60b8394c.rlib: /tmp/depstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d4e39a8e60b8394c.rmeta: /tmp/depstubs/criterion/src/lib.rs
+
+/tmp/depstubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-69b102f5e61996e0.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-69b102f5e61996e0: tests/end_to_end.rs
+
+tests/end_to_end.rs:

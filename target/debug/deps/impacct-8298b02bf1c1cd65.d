@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/impacct-8298b02bf1c1cd65.d: src/lib.rs
+
+/root/repo/target/debug/deps/libimpacct-8298b02bf1c1cd65.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libimpacct-8298b02bf1c1cd65.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/impacct-b6e9aabf35a9a7a1.d: src/lib.rs
+
+/root/repo/target/debug/deps/impacct-b6e9aabf35a9a7a1: src/lib.rs
+
+src/lib.rs:

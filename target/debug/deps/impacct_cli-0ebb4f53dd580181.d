@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/impacct_cli-0ebb4f53dd580181.d: crates/spec/src/bin/impacct_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libimpacct_cli-0ebb4f53dd580181.rmeta: crates/spec/src/bin/impacct_cli.rs Cargo.toml
+
+crates/spec/src/bin/impacct_cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/impacct_cli-248b2d423130fb9d.d: crates/spec/src/bin/impacct_cli.rs
+
+/root/repo/target/debug/deps/impacct_cli-248b2d423130fb9d: crates/spec/src/bin/impacct_cli.rs
+
+crates/spec/src/bin/impacct_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/impacct_cli-2617d8122baa2a7b.d: crates/spec/src/bin/impacct_cli.rs
+
+/root/repo/target/debug/deps/impacct_cli-2617d8122baa2a7b: crates/spec/src/bin/impacct_cli.rs
+
+crates/spec/src/bin/impacct_cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/impacct_cli-f52054a65e517e14.d: crates/spec/src/bin/impacct_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libimpacct_cli-f52054a65e517e14.rmeta: crates/spec/src/bin/impacct_cli.rs Cargo.toml
+
+crates/spec/src/bin/impacct_cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint_corpus-4e73e4426bfae95b.d: tests/lint_corpus.rs
+
+/root/repo/target/debug/deps/lint_corpus-4e73e4426bfae95b: tests/lint_corpus.rs
+
+tests/lint_corpus.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lint_corpus-d156cf725dbd6763.d: tests/lint_corpus.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint_corpus-d156cf725dbd6763.rmeta: tests/lint_corpus.rs Cargo.toml
+
+tests/lint_corpus.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/max_power-9930926025a760bf.d: crates/bench/benches/max_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmax_power-9930926025a760bf.rmeta: crates/bench/benches/max_power.rs Cargo.toml
+
+crates/bench/benches/max_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/min_power-4d75de0b9c16d097.d: crates/bench/benches/min_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmin_power-4d75de0b9c16d097.rmeta: crates/bench/benches/min_power.rs Cargo.toml
+
+crates/bench/benches/min_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mission_table4-841f597bc05c8d11.d: tests/mission_table4.rs
+
+/root/repo/target/debug/deps/mission_table4-841f597bc05c8d11: tests/mission_table4.rs
+
+tests/mission_table4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mission_table4-fc8bad964d5b45f4.d: tests/mission_table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmission_table4-fc8bad964d5b45f4.rmeta: tests/mission_table4.rs Cargo.toml
+
+tests/mission_table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

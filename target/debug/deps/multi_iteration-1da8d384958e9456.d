@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_iteration-1da8d384958e9456.d: crates/rover/tests/multi_iteration.rs
+
+/root/repo/target/debug/deps/multi_iteration-1da8d384958e9456: crates/rover/tests/multi_iteration.rs
+
+crates/rover/tests/multi_iteration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_iteration-d5953f77c35d3728.d: crates/rover/tests/multi_iteration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_iteration-d5953f77c35d3728.rmeta: crates/rover/tests/multi_iteration.rs Cargo.toml
+
+crates/rover/tests/multi_iteration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

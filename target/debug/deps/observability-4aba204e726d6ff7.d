@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-4aba204e726d6ff7.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-4aba204e726d6ff7: tests/observability.rs
+
+tests/observability.rs:

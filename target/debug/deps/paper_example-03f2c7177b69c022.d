@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_example-03f2c7177b69c022.d: tests/paper_example.rs
+
+/root/repo/target/debug/deps/paper_example-03f2c7177b69c022: tests/paper_example.rs
+
+tests/paper_example.rs:

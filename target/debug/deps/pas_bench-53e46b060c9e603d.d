@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pas_bench-53e46b060c9e603d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpas_bench-53e46b060c9e603d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pas_bench-8ec8764397079453.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pas_bench-8ec8764397079453: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pas_bench-e692c6dbf823893c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpas_bench-e692c6dbf823893c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpas_bench-e692c6dbf823893c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pas_core-5130c4108f7f88b4.d: crates/core/src/lib.rs crates/core/src/example.rs crates/core/src/metrics.rs crates/core/src/power_model.rs crates/core/src/problem.rs crates/core/src/profile.rs crates/core/src/ratio.rs crates/core/src/schedule.rs crates/core/src/slack.rs crates/core/src/validity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpas_core-5130c4108f7f88b4.rmeta: crates/core/src/lib.rs crates/core/src/example.rs crates/core/src/metrics.rs crates/core/src/power_model.rs crates/core/src/problem.rs crates/core/src/profile.rs crates/core/src/ratio.rs crates/core/src/schedule.rs crates/core/src/slack.rs crates/core/src/validity.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/example.rs:
+crates/core/src/metrics.rs:
+crates/core/src/power_model.rs:
+crates/core/src/problem.rs:
+crates/core/src/profile.rs:
+crates/core/src/ratio.rs:
+crates/core/src/schedule.rs:
+crates/core/src/slack.rs:
+crates/core/src/validity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

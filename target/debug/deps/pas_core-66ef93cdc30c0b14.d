@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pas_core-66ef93cdc30c0b14.d: crates/core/src/lib.rs crates/core/src/example.rs crates/core/src/metrics.rs crates/core/src/power_model.rs crates/core/src/problem.rs crates/core/src/profile.rs crates/core/src/ratio.rs crates/core/src/schedule.rs crates/core/src/slack.rs crates/core/src/validity.rs
+
+/root/repo/target/debug/deps/libpas_core-66ef93cdc30c0b14.rlib: crates/core/src/lib.rs crates/core/src/example.rs crates/core/src/metrics.rs crates/core/src/power_model.rs crates/core/src/problem.rs crates/core/src/profile.rs crates/core/src/ratio.rs crates/core/src/schedule.rs crates/core/src/slack.rs crates/core/src/validity.rs
+
+/root/repo/target/debug/deps/libpas_core-66ef93cdc30c0b14.rmeta: crates/core/src/lib.rs crates/core/src/example.rs crates/core/src/metrics.rs crates/core/src/power_model.rs crates/core/src/problem.rs crates/core/src/profile.rs crates/core/src/ratio.rs crates/core/src/schedule.rs crates/core/src/slack.rs crates/core/src/validity.rs
+
+crates/core/src/lib.rs:
+crates/core/src/example.rs:
+crates/core/src/metrics.rs:
+crates/core/src/power_model.rs:
+crates/core/src/problem.rs:
+crates/core/src/profile.rs:
+crates/core/src/ratio.rs:
+crates/core/src/schedule.rs:
+crates/core/src/slack.rs:
+crates/core/src/validity.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pas_exec-0462a6a13f91ca1d.d: crates/exec/src/lib.rs crates/exec/src/campaign.rs crates/exec/src/dispatch.rs crates/exec/src/jitter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpas_exec-0462a6a13f91ca1d.rmeta: crates/exec/src/lib.rs crates/exec/src/campaign.rs crates/exec/src/dispatch.rs crates/exec/src/jitter.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+crates/exec/src/campaign.rs:
+crates/exec/src/dispatch.rs:
+crates/exec/src/jitter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

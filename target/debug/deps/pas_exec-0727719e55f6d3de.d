@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pas_exec-0727719e55f6d3de.d: crates/exec/src/lib.rs crates/exec/src/campaign.rs crates/exec/src/dispatch.rs crates/exec/src/jitter.rs
+
+/root/repo/target/debug/deps/pas_exec-0727719e55f6d3de: crates/exec/src/lib.rs crates/exec/src/campaign.rs crates/exec/src/dispatch.rs crates/exec/src/jitter.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/campaign.rs:
+crates/exec/src/dispatch.rs:
+crates/exec/src/jitter.rs:

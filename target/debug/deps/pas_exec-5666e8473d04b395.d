@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pas_exec-5666e8473d04b395.d: crates/exec/src/lib.rs crates/exec/src/campaign.rs crates/exec/src/dispatch.rs crates/exec/src/jitter.rs
+
+/root/repo/target/debug/deps/libpas_exec-5666e8473d04b395.rlib: crates/exec/src/lib.rs crates/exec/src/campaign.rs crates/exec/src/dispatch.rs crates/exec/src/jitter.rs
+
+/root/repo/target/debug/deps/libpas_exec-5666e8473d04b395.rmeta: crates/exec/src/lib.rs crates/exec/src/campaign.rs crates/exec/src/dispatch.rs crates/exec/src/jitter.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/campaign.rs:
+crates/exec/src/dispatch.rs:
+crates/exec/src/jitter.rs:

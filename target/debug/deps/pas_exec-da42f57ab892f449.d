@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pas_exec-da42f57ab892f449.d: crates/exec/src/lib.rs crates/exec/src/campaign.rs crates/exec/src/dispatch.rs crates/exec/src/jitter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpas_exec-da42f57ab892f449.rmeta: crates/exec/src/lib.rs crates/exec/src/campaign.rs crates/exec/src/dispatch.rs crates/exec/src/jitter.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+crates/exec/src/campaign.rs:
+crates/exec/src/dispatch.rs:
+crates/exec/src/jitter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

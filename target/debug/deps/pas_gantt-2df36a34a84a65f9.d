@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pas_gantt-2df36a34a84a65f9.d: crates/gantt/src/lib.rs crates/gantt/src/ascii.rs crates/gantt/src/chart.rs crates/gantt/src/edit.rs crates/gantt/src/summary.rs crates/gantt/src/svg.rs
+
+/root/repo/target/debug/deps/pas_gantt-2df36a34a84a65f9: crates/gantt/src/lib.rs crates/gantt/src/ascii.rs crates/gantt/src/chart.rs crates/gantt/src/edit.rs crates/gantt/src/summary.rs crates/gantt/src/svg.rs
+
+crates/gantt/src/lib.rs:
+crates/gantt/src/ascii.rs:
+crates/gantt/src/chart.rs:
+crates/gantt/src/edit.rs:
+crates/gantt/src/summary.rs:
+crates/gantt/src/svg.rs:

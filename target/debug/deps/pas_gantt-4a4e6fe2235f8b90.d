@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pas_gantt-4a4e6fe2235f8b90.d: crates/gantt/src/lib.rs crates/gantt/src/ascii.rs crates/gantt/src/chart.rs crates/gantt/src/edit.rs crates/gantt/src/summary.rs crates/gantt/src/svg.rs
+
+/root/repo/target/debug/deps/libpas_gantt-4a4e6fe2235f8b90.rlib: crates/gantt/src/lib.rs crates/gantt/src/ascii.rs crates/gantt/src/chart.rs crates/gantt/src/edit.rs crates/gantt/src/summary.rs crates/gantt/src/svg.rs
+
+/root/repo/target/debug/deps/libpas_gantt-4a4e6fe2235f8b90.rmeta: crates/gantt/src/lib.rs crates/gantt/src/ascii.rs crates/gantt/src/chart.rs crates/gantt/src/edit.rs crates/gantt/src/summary.rs crates/gantt/src/svg.rs
+
+crates/gantt/src/lib.rs:
+crates/gantt/src/ascii.rs:
+crates/gantt/src/chart.rs:
+crates/gantt/src/edit.rs:
+crates/gantt/src/summary.rs:
+crates/gantt/src/svg.rs:

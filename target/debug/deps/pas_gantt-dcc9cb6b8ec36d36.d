@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pas_gantt-dcc9cb6b8ec36d36.d: crates/gantt/src/lib.rs crates/gantt/src/ascii.rs crates/gantt/src/chart.rs crates/gantt/src/edit.rs crates/gantt/src/summary.rs crates/gantt/src/svg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpas_gantt-dcc9cb6b8ec36d36.rmeta: crates/gantt/src/lib.rs crates/gantt/src/ascii.rs crates/gantt/src/chart.rs crates/gantt/src/edit.rs crates/gantt/src/summary.rs crates/gantt/src/svg.rs Cargo.toml
+
+crates/gantt/src/lib.rs:
+crates/gantt/src/ascii.rs:
+crates/gantt/src/chart.rs:
+crates/gantt/src/edit.rs:
+crates/gantt/src/summary.rs:
+crates/gantt/src/svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

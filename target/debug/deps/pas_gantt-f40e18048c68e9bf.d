@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pas_gantt-f40e18048c68e9bf.d: crates/gantt/src/lib.rs crates/gantt/src/ascii.rs crates/gantt/src/chart.rs crates/gantt/src/edit.rs crates/gantt/src/summary.rs crates/gantt/src/svg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpas_gantt-f40e18048c68e9bf.rmeta: crates/gantt/src/lib.rs crates/gantt/src/ascii.rs crates/gantt/src/chart.rs crates/gantt/src/edit.rs crates/gantt/src/summary.rs crates/gantt/src/svg.rs Cargo.toml
+
+crates/gantt/src/lib.rs:
+crates/gantt/src/ascii.rs:
+crates/gantt/src/chart.rs:
+crates/gantt/src/edit.rs:
+crates/gantt/src/summary.rs:
+crates/gantt/src/svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pas_graph-53017ed8dec2679f.d: crates/graph/src/lib.rs crates/graph/src/alap.rs crates/graph/src/dot.rs crates/graph/src/edge.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/id.rs crates/graph/src/longest_path.rs crates/graph/src/task.rs crates/graph/src/topo.rs crates/graph/src/units.rs
+
+/root/repo/target/debug/deps/pas_graph-53017ed8dec2679f: crates/graph/src/lib.rs crates/graph/src/alap.rs crates/graph/src/dot.rs crates/graph/src/edge.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/id.rs crates/graph/src/longest_path.rs crates/graph/src/task.rs crates/graph/src/topo.rs crates/graph/src/units.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/alap.rs:
+crates/graph/src/dot.rs:
+crates/graph/src/edge.rs:
+crates/graph/src/error.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/id.rs:
+crates/graph/src/longest_path.rs:
+crates/graph/src/task.rs:
+crates/graph/src/topo.rs:
+crates/graph/src/units.rs:

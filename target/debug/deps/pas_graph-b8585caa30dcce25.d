@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pas_graph-b8585caa30dcce25.d: crates/graph/src/lib.rs crates/graph/src/alap.rs crates/graph/src/dot.rs crates/graph/src/edge.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/id.rs crates/graph/src/longest_path.rs crates/graph/src/task.rs crates/graph/src/topo.rs crates/graph/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpas_graph-b8585caa30dcce25.rmeta: crates/graph/src/lib.rs crates/graph/src/alap.rs crates/graph/src/dot.rs crates/graph/src/edge.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/id.rs crates/graph/src/longest_path.rs crates/graph/src/task.rs crates/graph/src/topo.rs crates/graph/src/units.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/alap.rs:
+crates/graph/src/dot.rs:
+crates/graph/src/edge.rs:
+crates/graph/src/error.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/id.rs:
+crates/graph/src/longest_path.rs:
+crates/graph/src/task.rs:
+crates/graph/src/topo.rs:
+crates/graph/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

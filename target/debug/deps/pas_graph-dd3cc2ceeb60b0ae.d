@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pas_graph-dd3cc2ceeb60b0ae.d: crates/graph/src/lib.rs crates/graph/src/alap.rs crates/graph/src/dot.rs crates/graph/src/edge.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/id.rs crates/graph/src/longest_path.rs crates/graph/src/task.rs crates/graph/src/topo.rs crates/graph/src/units.rs
+
+/root/repo/target/debug/deps/libpas_graph-dd3cc2ceeb60b0ae.rlib: crates/graph/src/lib.rs crates/graph/src/alap.rs crates/graph/src/dot.rs crates/graph/src/edge.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/id.rs crates/graph/src/longest_path.rs crates/graph/src/task.rs crates/graph/src/topo.rs crates/graph/src/units.rs
+
+/root/repo/target/debug/deps/libpas_graph-dd3cc2ceeb60b0ae.rmeta: crates/graph/src/lib.rs crates/graph/src/alap.rs crates/graph/src/dot.rs crates/graph/src/edge.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/id.rs crates/graph/src/longest_path.rs crates/graph/src/task.rs crates/graph/src/topo.rs crates/graph/src/units.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/alap.rs:
+crates/graph/src/dot.rs:
+crates/graph/src/edge.rs:
+crates/graph/src/error.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/id.rs:
+crates/graph/src/longest_path.rs:
+crates/graph/src/task.rs:
+crates/graph/src/topo.rs:
+crates/graph/src/units.rs:

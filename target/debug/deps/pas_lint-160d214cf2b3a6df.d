@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pas_lint-160d214cf2b3a6df.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/power.rs crates/lint/src/passes/resource.rs crates/lint/src/passes/structural.rs crates/lint/src/passes/timing.rs crates/lint/src/render.rs crates/lint/src/span.rs
+
+/root/repo/target/debug/deps/libpas_lint-160d214cf2b3a6df.rlib: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/power.rs crates/lint/src/passes/resource.rs crates/lint/src/passes/structural.rs crates/lint/src/passes/timing.rs crates/lint/src/render.rs crates/lint/src/span.rs
+
+/root/repo/target/debug/deps/libpas_lint-160d214cf2b3a6df.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/power.rs crates/lint/src/passes/resource.rs crates/lint/src/passes/structural.rs crates/lint/src/passes/timing.rs crates/lint/src/render.rs crates/lint/src/span.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/passes/mod.rs:
+crates/lint/src/passes/power.rs:
+crates/lint/src/passes/resource.rs:
+crates/lint/src/passes/structural.rs:
+crates/lint/src/passes/timing.rs:
+crates/lint/src/render.rs:
+crates/lint/src/span.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pas_lint-9bd61b4f1fb1b1dc.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/power.rs crates/lint/src/passes/resource.rs crates/lint/src/passes/structural.rs crates/lint/src/passes/timing.rs crates/lint/src/render.rs crates/lint/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpas_lint-9bd61b4f1fb1b1dc.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/power.rs crates/lint/src/passes/resource.rs crates/lint/src/passes/structural.rs crates/lint/src/passes/timing.rs crates/lint/src/render.rs crates/lint/src/span.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/passes/mod.rs:
+crates/lint/src/passes/power.rs:
+crates/lint/src/passes/resource.rs:
+crates/lint/src/passes/structural.rs:
+crates/lint/src/passes/timing.rs:
+crates/lint/src/render.rs:
+crates/lint/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

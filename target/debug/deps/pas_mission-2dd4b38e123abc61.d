@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pas_mission-2dd4b38e123abc61.d: crates/mission/src/lib.rs crates/mission/src/battery.rs crates/mission/src/plan.rs crates/mission/src/sim.rs crates/mission/src/solar.rs
+
+/root/repo/target/debug/deps/pas_mission-2dd4b38e123abc61: crates/mission/src/lib.rs crates/mission/src/battery.rs crates/mission/src/plan.rs crates/mission/src/sim.rs crates/mission/src/solar.rs
+
+crates/mission/src/lib.rs:
+crates/mission/src/battery.rs:
+crates/mission/src/plan.rs:
+crates/mission/src/sim.rs:
+crates/mission/src/solar.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pas_mission-b3ed318d064614a5.d: crates/mission/src/lib.rs crates/mission/src/battery.rs crates/mission/src/plan.rs crates/mission/src/sim.rs crates/mission/src/solar.rs
+
+/root/repo/target/debug/deps/libpas_mission-b3ed318d064614a5.rlib: crates/mission/src/lib.rs crates/mission/src/battery.rs crates/mission/src/plan.rs crates/mission/src/sim.rs crates/mission/src/solar.rs
+
+/root/repo/target/debug/deps/libpas_mission-b3ed318d064614a5.rmeta: crates/mission/src/lib.rs crates/mission/src/battery.rs crates/mission/src/plan.rs crates/mission/src/sim.rs crates/mission/src/solar.rs
+
+crates/mission/src/lib.rs:
+crates/mission/src/battery.rs:
+crates/mission/src/plan.rs:
+crates/mission/src/sim.rs:
+crates/mission/src/solar.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pas_mission-c848633c27ba450f.d: crates/mission/src/lib.rs crates/mission/src/battery.rs crates/mission/src/plan.rs crates/mission/src/sim.rs crates/mission/src/solar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpas_mission-c848633c27ba450f.rmeta: crates/mission/src/lib.rs crates/mission/src/battery.rs crates/mission/src/plan.rs crates/mission/src/sim.rs crates/mission/src/solar.rs Cargo.toml
+
+crates/mission/src/lib.rs:
+crates/mission/src/battery.rs:
+crates/mission/src/plan.rs:
+crates/mission/src/sim.rs:
+crates/mission/src/solar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pas_obs-2364fcb8549eb445.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/jsonl.rs crates/obs/src/observer.rs crates/obs/src/profile.rs
+
+/root/repo/target/debug/deps/libpas_obs-2364fcb8549eb445.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/jsonl.rs crates/obs/src/observer.rs crates/obs/src/profile.rs
+
+/root/repo/target/debug/deps/libpas_obs-2364fcb8549eb445.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/jsonl.rs crates/obs/src/observer.rs crates/obs/src/profile.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/jsonl.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/profile.rs:

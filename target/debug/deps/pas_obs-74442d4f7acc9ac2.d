@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pas_obs-74442d4f7acc9ac2.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/jsonl.rs crates/obs/src/observer.rs crates/obs/src/profile.rs
+
+/root/repo/target/debug/deps/pas_obs-74442d4f7acc9ac2: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/jsonl.rs crates/obs/src/observer.rs crates/obs/src/profile.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/jsonl.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/profile.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pas_obs-8721c8c98ff86303.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/jsonl.rs crates/obs/src/observer.rs crates/obs/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpas_obs-8721c8c98ff86303.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/jsonl.rs crates/obs/src/observer.rs crates/obs/src/profile.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/jsonl.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

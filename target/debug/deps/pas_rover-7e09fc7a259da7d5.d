@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pas_rover-7e09fc7a259da7d5.d: crates/rover/src/lib.rs crates/rover/src/analysis.rs crates/rover/src/model.rs crates/rover/src/params.rs
+
+/root/repo/target/debug/deps/libpas_rover-7e09fc7a259da7d5.rlib: crates/rover/src/lib.rs crates/rover/src/analysis.rs crates/rover/src/model.rs crates/rover/src/params.rs
+
+/root/repo/target/debug/deps/libpas_rover-7e09fc7a259da7d5.rmeta: crates/rover/src/lib.rs crates/rover/src/analysis.rs crates/rover/src/model.rs crates/rover/src/params.rs
+
+crates/rover/src/lib.rs:
+crates/rover/src/analysis.rs:
+crates/rover/src/model.rs:
+crates/rover/src/params.rs:

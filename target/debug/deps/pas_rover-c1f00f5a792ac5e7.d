@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pas_rover-c1f00f5a792ac5e7.d: crates/rover/src/lib.rs crates/rover/src/analysis.rs crates/rover/src/model.rs crates/rover/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpas_rover-c1f00f5a792ac5e7.rmeta: crates/rover/src/lib.rs crates/rover/src/analysis.rs crates/rover/src/model.rs crates/rover/src/params.rs Cargo.toml
+
+crates/rover/src/lib.rs:
+crates/rover/src/analysis.rs:
+crates/rover/src/model.rs:
+crates/rover/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pas_rover-de4ffeac86fd5086.d: crates/rover/src/lib.rs crates/rover/src/analysis.rs crates/rover/src/model.rs crates/rover/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpas_rover-de4ffeac86fd5086.rmeta: crates/rover/src/lib.rs crates/rover/src/analysis.rs crates/rover/src/model.rs crates/rover/src/params.rs Cargo.toml
+
+crates/rover/src/lib.rs:
+crates/rover/src/analysis.rs:
+crates/rover/src/model.rs:
+crates/rover/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pas_rover-ec9b3c8e94147d4f.d: crates/rover/src/lib.rs crates/rover/src/analysis.rs crates/rover/src/model.rs crates/rover/src/params.rs
+
+/root/repo/target/debug/deps/pas_rover-ec9b3c8e94147d4f: crates/rover/src/lib.rs crates/rover/src/analysis.rs crates/rover/src/model.rs crates/rover/src/params.rs
+
+crates/rover/src/lib.rs:
+crates/rover/src/analysis.rs:
+crates/rover/src/model.rs:
+crates/rover/src/params.rs:

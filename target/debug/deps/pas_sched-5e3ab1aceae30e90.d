@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pas_sched-5e3ab1aceae30e90.d: crates/sched/src/lib.rs crates/sched/src/baseline.rs crates/sched/src/compact.rs crates/sched/src/config.rs crates/sched/src/error.rs crates/sched/src/max_power.rs crates/sched/src/min_power.rs crates/sched/src/optimal.rs crates/sched/src/pipeline.rs crates/sched/src/runtime.rs crates/sched/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpas_sched-5e3ab1aceae30e90.rmeta: crates/sched/src/lib.rs crates/sched/src/baseline.rs crates/sched/src/compact.rs crates/sched/src/config.rs crates/sched/src/error.rs crates/sched/src/max_power.rs crates/sched/src/min_power.rs crates/sched/src/optimal.rs crates/sched/src/pipeline.rs crates/sched/src/runtime.rs crates/sched/src/timing.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/baseline.rs:
+crates/sched/src/compact.rs:
+crates/sched/src/config.rs:
+crates/sched/src/error.rs:
+crates/sched/src/max_power.rs:
+crates/sched/src/min_power.rs:
+crates/sched/src/optimal.rs:
+crates/sched/src/pipeline.rs:
+crates/sched/src/runtime.rs:
+crates/sched/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

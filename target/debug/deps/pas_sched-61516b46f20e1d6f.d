@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pas_sched-61516b46f20e1d6f.d: crates/sched/src/lib.rs crates/sched/src/baseline.rs crates/sched/src/compact.rs crates/sched/src/config.rs crates/sched/src/error.rs crates/sched/src/max_power.rs crates/sched/src/min_power.rs crates/sched/src/optimal.rs crates/sched/src/pipeline.rs crates/sched/src/runtime.rs crates/sched/src/timing.rs
+
+/root/repo/target/debug/deps/libpas_sched-61516b46f20e1d6f.rlib: crates/sched/src/lib.rs crates/sched/src/baseline.rs crates/sched/src/compact.rs crates/sched/src/config.rs crates/sched/src/error.rs crates/sched/src/max_power.rs crates/sched/src/min_power.rs crates/sched/src/optimal.rs crates/sched/src/pipeline.rs crates/sched/src/runtime.rs crates/sched/src/timing.rs
+
+/root/repo/target/debug/deps/libpas_sched-61516b46f20e1d6f.rmeta: crates/sched/src/lib.rs crates/sched/src/baseline.rs crates/sched/src/compact.rs crates/sched/src/config.rs crates/sched/src/error.rs crates/sched/src/max_power.rs crates/sched/src/min_power.rs crates/sched/src/optimal.rs crates/sched/src/pipeline.rs crates/sched/src/runtime.rs crates/sched/src/timing.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/baseline.rs:
+crates/sched/src/compact.rs:
+crates/sched/src/config.rs:
+crates/sched/src/error.rs:
+crates/sched/src/max_power.rs:
+crates/sched/src/min_power.rs:
+crates/sched/src/optimal.rs:
+crates/sched/src/pipeline.rs:
+crates/sched/src/runtime.rs:
+crates/sched/src/timing.rs:

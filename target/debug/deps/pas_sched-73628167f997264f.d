@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pas_sched-73628167f997264f.d: crates/sched/src/lib.rs crates/sched/src/baseline.rs crates/sched/src/compact.rs crates/sched/src/config.rs crates/sched/src/error.rs crates/sched/src/max_power.rs crates/sched/src/min_power.rs crates/sched/src/optimal.rs crates/sched/src/pipeline.rs crates/sched/src/runtime.rs crates/sched/src/timing.rs
+
+/root/repo/target/debug/deps/pas_sched-73628167f997264f: crates/sched/src/lib.rs crates/sched/src/baseline.rs crates/sched/src/compact.rs crates/sched/src/config.rs crates/sched/src/error.rs crates/sched/src/max_power.rs crates/sched/src/min_power.rs crates/sched/src/optimal.rs crates/sched/src/pipeline.rs crates/sched/src/runtime.rs crates/sched/src/timing.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/baseline.rs:
+crates/sched/src/compact.rs:
+crates/sched/src/config.rs:
+crates/sched/src/error.rs:
+crates/sched/src/max_power.rs:
+crates/sched/src/min_power.rs:
+crates/sched/src/optimal.rs:
+crates/sched/src/pipeline.rs:
+crates/sched/src/runtime.rs:
+crates/sched/src/timing.rs:

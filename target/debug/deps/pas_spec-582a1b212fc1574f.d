@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pas_spec-582a1b212fc1574f.d: crates/spec/src/lib.rs crates/spec/src/lexer.rs crates/spec/src/parser.rs crates/spec/src/printer.rs
+
+/root/repo/target/debug/deps/libpas_spec-582a1b212fc1574f.rlib: crates/spec/src/lib.rs crates/spec/src/lexer.rs crates/spec/src/parser.rs crates/spec/src/printer.rs
+
+/root/repo/target/debug/deps/libpas_spec-582a1b212fc1574f.rmeta: crates/spec/src/lib.rs crates/spec/src/lexer.rs crates/spec/src/parser.rs crates/spec/src/printer.rs
+
+crates/spec/src/lib.rs:
+crates/spec/src/lexer.rs:
+crates/spec/src/parser.rs:
+crates/spec/src/printer.rs:

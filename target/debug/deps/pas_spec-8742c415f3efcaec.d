@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pas_spec-8742c415f3efcaec.d: crates/spec/src/lib.rs crates/spec/src/lexer.rs crates/spec/src/parser.rs crates/spec/src/printer.rs
+
+/root/repo/target/debug/deps/pas_spec-8742c415f3efcaec: crates/spec/src/lib.rs crates/spec/src/lexer.rs crates/spec/src/parser.rs crates/spec/src/printer.rs
+
+crates/spec/src/lib.rs:
+crates/spec/src/lexer.rs:
+crates/spec/src/parser.rs:
+crates/spec/src/printer.rs:

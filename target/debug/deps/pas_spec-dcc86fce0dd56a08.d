@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pas_spec-dcc86fce0dd56a08.d: crates/spec/src/lib.rs crates/spec/src/lexer.rs crates/spec/src/parser.rs crates/spec/src/printer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpas_spec-dcc86fce0dd56a08.rmeta: crates/spec/src/lib.rs crates/spec/src/lexer.rs crates/spec/src/parser.rs crates/spec/src/printer.rs Cargo.toml
+
+crates/spec/src/lib.rs:
+crates/spec/src/lexer.rs:
+crates/spec/src/parser.rs:
+crates/spec/src/printer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

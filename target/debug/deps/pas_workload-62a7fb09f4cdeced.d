@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pas_workload-62a7fb09f4cdeced.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/sabotage.rs crates/workload/src/strategies.rs crates/workload/src/suite.rs
+
+/root/repo/target/debug/deps/libpas_workload-62a7fb09f4cdeced.rlib: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/sabotage.rs crates/workload/src/strategies.rs crates/workload/src/suite.rs
+
+/root/repo/target/debug/deps/libpas_workload-62a7fb09f4cdeced.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/sabotage.rs crates/workload/src/strategies.rs crates/workload/src/suite.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/sabotage.rs:
+crates/workload/src/strategies.rs:
+crates/workload/src/suite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pas_workload-9e4bcf5f585a5dc0.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/sabotage.rs crates/workload/src/strategies.rs crates/workload/src/suite.rs
+
+/root/repo/target/debug/deps/pas_workload-9e4bcf5f585a5dc0: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/sabotage.rs crates/workload/src/strategies.rs crates/workload/src/suite.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/sabotage.rs:
+crates/workload/src/strategies.rs:
+crates/workload/src/suite.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pas_workload-ea342ed0e28e0b60.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/sabotage.rs crates/workload/src/strategies.rs crates/workload/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpas_workload-ea342ed0e28e0b60.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/sabotage.rs crates/workload/src/strategies.rs crates/workload/src/suite.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/sabotage.rs:
+crates/workload/src/strategies.rs:
+crates/workload/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_lint-b6390631be91695a.d: tests/property_lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_lint-b6390631be91695a.rmeta: tests/property_lint.rs Cargo.toml
+
+tests/property_lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

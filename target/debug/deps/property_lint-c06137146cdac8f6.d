@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_lint-c06137146cdac8f6.d: tests/property_lint.rs
+
+/root/repo/target/debug/deps/property_lint-c06137146cdac8f6: tests/property_lint.rs
+
+tests/property_lint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_scheduler-4f6e32b363fbb66c.d: tests/property_scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_scheduler-4f6e32b363fbb66c.rmeta: tests/property_scheduler.rs Cargo.toml
+
+tests/property_scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

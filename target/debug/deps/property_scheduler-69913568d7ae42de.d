@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_scheduler-69913568d7ae42de.d: tests/property_scheduler.rs
+
+/root/repo/target/debug/deps/property_scheduler-69913568d7ae42de: tests/property_scheduler.rs
+
+tests/property_scheduler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-3e1647046d6da26d.d: /tmp/depstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3e1647046d6da26d.rmeta: /tmp/depstubs/proptest/src/lib.rs
+
+/tmp/depstubs/proptest/src/lib.rs:

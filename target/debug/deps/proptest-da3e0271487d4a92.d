@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-da3e0271487d4a92.d: /tmp/depstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-da3e0271487d4a92.rlib: /tmp/depstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-da3e0271487d4a92.rmeta: /tmp/depstubs/proptest/src/lib.rs
+
+/tmp/depstubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_graph-a00d126f5ca08599.d: crates/graph/tests/proptest_graph.rs
+
+/root/repo/target/debug/deps/proptest_graph-a00d126f5ca08599: crates/graph/tests/proptest_graph.rs
+
+crates/graph/tests/proptest_graph.rs:

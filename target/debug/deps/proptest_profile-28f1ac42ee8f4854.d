@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_profile-28f1ac42ee8f4854.d: crates/core/tests/proptest_profile.rs
+
+/root/repo/target/debug/deps/proptest_profile-28f1ac42ee8f4854: crates/core/tests/proptest_profile.rs
+
+crates/core/tests/proptest_profile.rs:

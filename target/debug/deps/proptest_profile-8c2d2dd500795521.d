@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_profile-8c2d2dd500795521.d: crates/core/tests/proptest_profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_profile-8c2d2dd500795521.rmeta: crates/core/tests/proptest_profile.rs Cargo.toml
+
+crates/core/tests/proptest_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

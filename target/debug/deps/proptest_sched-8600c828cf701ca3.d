@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_sched-8600c828cf701ca3.d: crates/sched/tests/proptest_sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_sched-8600c828cf701ca3.rmeta: crates/sched/tests/proptest_sched.rs Cargo.toml
+
+crates/sched/tests/proptest_sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_sched-ba3db140136b33f3.d: crates/sched/tests/proptest_sched.rs
+
+/root/repo/target/debug/deps/proptest_sched-ba3db140136b33f3: crates/sched/tests/proptest_sched.rs
+
+crates/sched/tests/proptest_sched.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-f0f90cfc12b7e3ee.d: /tmp/depstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f0f90cfc12b7e3ee.rlib: /tmp/depstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f0f90cfc12b7e3ee.rmeta: /tmp/depstubs/rand/src/lib.rs
+
+/tmp/depstubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-f445077d9e382270.d: /tmp/depstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f445077d9e382270.rmeta: /tmp/depstubs/rand/src/lib.rs
+
+/tmp/depstubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-46f87fa101ea3b81.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-46f87fa101ea3b81: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-cde01f774363dea6.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-cde01f774363dea6: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

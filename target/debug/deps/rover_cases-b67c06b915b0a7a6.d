@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rover_cases-b67c06b915b0a7a6.d: crates/bench/benches/rover_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/librover_cases-b67c06b915b0a7a6.rmeta: crates/bench/benches/rover_cases.rs Cargo.toml
+
+crates/bench/benches/rover_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rover_table3-8a0fb3bc9bfe5986.d: tests/rover_table3.rs
+
+/root/repo/target/debug/deps/rover_table3-8a0fb3bc9bfe5986: tests/rover_table3.rs
+
+tests/rover_table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rover_table3-ed842661bc90c7ea.d: tests/rover_table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/librover_table3-ed842661bc90c7ea.rmeta: tests/rover_table3.rs Cargo.toml
+
+tests/rover_table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_execution-c4088ae2abd33c3c.d: tests/runtime_execution.rs
+
+/root/repo/target/debug/deps/runtime_execution-c4088ae2abd33c3c: tests/runtime_execution.rs
+
+tests/runtime_execution.rs:

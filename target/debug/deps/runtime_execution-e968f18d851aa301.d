@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_execution-e968f18d851aa301.d: tests/runtime_execution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_execution-e968f18d851aa301.rmeta: tests/runtime_execution.rs Cargo.toml
+
+tests/runtime_execution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spec_roundtrip-64788ad1ebe1a798.d: tests/spec_roundtrip.rs
+
+/root/repo/target/debug/deps/spec_roundtrip-64788ad1ebe1a798: tests/spec_roundtrip.rs
+
+tests/spec_roundtrip.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spec_roundtrip-89aa8308b48993eb.d: tests/spec_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspec_roundtrip-89aa8308b48993eb.rmeta: tests/spec_roundtrip.rs Cargo.toml
+
+tests/spec_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

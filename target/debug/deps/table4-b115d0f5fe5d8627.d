@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4-b115d0f5fe5d8627.d: crates/bench/benches/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4-b115d0f5fe5d8627.rmeta: crates/bench/benches/table4.rs Cargo.toml
+
+crates/bench/benches/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timing-966d6857f0969bbc.d: crates/bench/benches/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiming-966d6857f0969bbc.rmeta: crates/bench/benches/timing.rs Cargo.toml
+
+crates/bench/benches/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

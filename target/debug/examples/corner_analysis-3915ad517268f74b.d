@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/corner_analysis-3915ad517268f74b.d: examples/corner_analysis.rs
+
+/root/repo/target/debug/examples/corner_analysis-3915ad517268f74b: examples/corner_analysis.rs
+
+examples/corner_analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/corner_analysis-4e34aa7e78b67129.d: examples/corner_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcorner_analysis-4e34aa7e78b67129.rmeta: examples/corner_analysis.rs Cargo.toml
+
+examples/corner_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

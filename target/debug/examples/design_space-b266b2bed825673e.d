@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-b266b2bed825673e.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-b266b2bed825673e: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diurnal_mission-af7275d1534afdb6.d: examples/diurnal_mission.rs
+
+/root/repo/target/debug/examples/diurnal_mission-af7275d1534afdb6: examples/diurnal_mission.rs
+
+examples/diurnal_mission.rs:

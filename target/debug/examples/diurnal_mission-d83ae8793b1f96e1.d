@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diurnal_mission-d83ae8793b1f96e1.d: examples/diurnal_mission.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiurnal_mission-d83ae8793b1f96e1.rmeta: examples/diurnal_mission.rs Cargo.toml
+
+examples/diurnal_mission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

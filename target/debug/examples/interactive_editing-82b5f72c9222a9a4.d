@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interactive_editing-82b5f72c9222a9a4.d: examples/interactive_editing.rs
+
+/root/repo/target/debug/examples/interactive_editing-82b5f72c9222a9a4: examples/interactive_editing.rs
+
+examples/interactive_editing.rs:

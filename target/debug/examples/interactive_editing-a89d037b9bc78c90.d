@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interactive_editing-a89d037b9bc78c90.d: examples/interactive_editing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinteractive_editing-a89d037b9bc78c90.rmeta: examples/interactive_editing.rs Cargo.toml
+
+examples/interactive_editing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lint_early_reject-17ad01350bae2f4d.d: examples/lint_early_reject.rs
+
+/root/repo/target/debug/examples/lint_early_reject-17ad01350bae2f4d: examples/lint_early_reject.rs
+
+examples/lint_early_reject.rs:

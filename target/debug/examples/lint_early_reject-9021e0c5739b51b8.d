@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lint_early_reject-9021e0c5739b51b8.d: examples/lint_early_reject.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblint_early_reject-9021e0c5739b51b8.rmeta: examples/lint_early_reject.rs Cargo.toml
+
+examples/lint_early_reject.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

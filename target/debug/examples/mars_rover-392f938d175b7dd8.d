@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mars_rover-392f938d175b7dd8.d: examples/mars_rover.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmars_rover-392f938d175b7dd8.rmeta: examples/mars_rover.rs Cargo.toml
+
+examples/mars_rover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

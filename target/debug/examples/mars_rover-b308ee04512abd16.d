@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mars_rover-b308ee04512abd16.d: examples/mars_rover.rs
+
+/root/repo/target/debug/examples/mars_rover-b308ee04512abd16: examples/mars_rover.rs
+
+examples/mars_rover.rs:

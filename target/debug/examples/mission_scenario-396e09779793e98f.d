@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mission_scenario-396e09779793e98f.d: examples/mission_scenario.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmission_scenario-396e09779793e98f.rmeta: examples/mission_scenario.rs Cargo.toml
+
+examples/mission_scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

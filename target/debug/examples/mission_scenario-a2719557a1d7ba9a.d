@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mission_scenario-a2719557a1d7ba9a.d: examples/mission_scenario.rs
+
+/root/repo/target/debug/examples/mission_scenario-a2719557a1d7ba9a: examples/mission_scenario.rs
+
+examples/mission_scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pasdl_io-9a7f50797a9701ae.d: examples/pasdl_io.rs
+
+/root/repo/target/debug/examples/pasdl_io-9a7f50797a9701ae: examples/pasdl_io.rs
+
+examples/pasdl_io.rs:

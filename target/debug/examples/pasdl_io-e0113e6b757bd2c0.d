@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pasdl_io-e0113e6b757bd2c0.d: examples/pasdl_io.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpasdl_io-e0113e6b757bd2c0.rmeta: examples/pasdl_io.rs Cargo.toml
+
+examples/pasdl_io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a0bd255ca5b80e2b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a0bd255ca5b80e2b: examples/quickstart.rs
+
+examples/quickstart.rs:

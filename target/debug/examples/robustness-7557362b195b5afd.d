@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/robustness-7557362b195b5afd.d: examples/robustness.rs Cargo.toml
+
+/root/repo/target/debug/examples/librobustness-7557362b195b5afd.rmeta: examples/robustness.rs Cargo.toml
+
+examples/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

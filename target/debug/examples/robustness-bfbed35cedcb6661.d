@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/robustness-bfbed35cedcb6661.d: examples/robustness.rs
+
+/root/repo/target/debug/examples/robustness-bfbed35cedcb6661: examples/robustness.rs
+
+examples/robustness.rs:

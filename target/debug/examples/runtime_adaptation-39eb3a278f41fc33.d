@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/runtime_adaptation-39eb3a278f41fc33.d: examples/runtime_adaptation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libruntime_adaptation-39eb3a278f41fc33.rmeta: examples/runtime_adaptation.rs Cargo.toml
+
+examples/runtime_adaptation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/runtime_adaptation-686fd88281a82cbb.d: examples/runtime_adaptation.rs
+
+/root/repo/target/debug/examples/runtime_adaptation-686fd88281a82cbb: examples/runtime_adaptation.rs
+
+examples/runtime_adaptation.rs:

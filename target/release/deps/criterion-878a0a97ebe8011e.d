@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-878a0a97ebe8011e.d: /tmp/depstubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-878a0a97ebe8011e.rlib: /tmp/depstubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-878a0a97ebe8011e.rmeta: /tmp/depstubs/criterion/src/lib.rs
+
+/tmp/depstubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/impacct-1a642646a32e34fd.d: src/lib.rs
+
+/root/repo/target/release/deps/libimpacct-1a642646a32e34fd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libimpacct-1a642646a32e34fd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/impacct_cli-19b5ff9e71f55d87.d: crates/spec/src/bin/impacct_cli.rs
+
+/root/repo/target/release/deps/impacct_cli-19b5ff9e71f55d87: crates/spec/src/bin/impacct_cli.rs
+
+crates/spec/src/bin/impacct_cli.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pas_bench-137bea8a8ccfa464.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpas_bench-137bea8a8ccfa464.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpas_bench-137bea8a8ccfa464.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pas_core-5ae82e19133985d6.d: crates/core/src/lib.rs crates/core/src/example.rs crates/core/src/metrics.rs crates/core/src/power_model.rs crates/core/src/problem.rs crates/core/src/profile.rs crates/core/src/ratio.rs crates/core/src/schedule.rs crates/core/src/slack.rs crates/core/src/validity.rs
+
+/root/repo/target/release/deps/libpas_core-5ae82e19133985d6.rlib: crates/core/src/lib.rs crates/core/src/example.rs crates/core/src/metrics.rs crates/core/src/power_model.rs crates/core/src/problem.rs crates/core/src/profile.rs crates/core/src/ratio.rs crates/core/src/schedule.rs crates/core/src/slack.rs crates/core/src/validity.rs
+
+/root/repo/target/release/deps/libpas_core-5ae82e19133985d6.rmeta: crates/core/src/lib.rs crates/core/src/example.rs crates/core/src/metrics.rs crates/core/src/power_model.rs crates/core/src/problem.rs crates/core/src/profile.rs crates/core/src/ratio.rs crates/core/src/schedule.rs crates/core/src/slack.rs crates/core/src/validity.rs
+
+crates/core/src/lib.rs:
+crates/core/src/example.rs:
+crates/core/src/metrics.rs:
+crates/core/src/power_model.rs:
+crates/core/src/problem.rs:
+crates/core/src/profile.rs:
+crates/core/src/ratio.rs:
+crates/core/src/schedule.rs:
+crates/core/src/slack.rs:
+crates/core/src/validity.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pas_exec-06ec876c3b1ee5b0.d: crates/exec/src/lib.rs crates/exec/src/campaign.rs crates/exec/src/dispatch.rs crates/exec/src/jitter.rs
+
+/root/repo/target/release/deps/libpas_exec-06ec876c3b1ee5b0.rlib: crates/exec/src/lib.rs crates/exec/src/campaign.rs crates/exec/src/dispatch.rs crates/exec/src/jitter.rs
+
+/root/repo/target/release/deps/libpas_exec-06ec876c3b1ee5b0.rmeta: crates/exec/src/lib.rs crates/exec/src/campaign.rs crates/exec/src/dispatch.rs crates/exec/src/jitter.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/campaign.rs:
+crates/exec/src/dispatch.rs:
+crates/exec/src/jitter.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pas_gantt-f3048246cb920d5e.d: crates/gantt/src/lib.rs crates/gantt/src/ascii.rs crates/gantt/src/chart.rs crates/gantt/src/edit.rs crates/gantt/src/summary.rs crates/gantt/src/svg.rs
+
+/root/repo/target/release/deps/libpas_gantt-f3048246cb920d5e.rlib: crates/gantt/src/lib.rs crates/gantt/src/ascii.rs crates/gantt/src/chart.rs crates/gantt/src/edit.rs crates/gantt/src/summary.rs crates/gantt/src/svg.rs
+
+/root/repo/target/release/deps/libpas_gantt-f3048246cb920d5e.rmeta: crates/gantt/src/lib.rs crates/gantt/src/ascii.rs crates/gantt/src/chart.rs crates/gantt/src/edit.rs crates/gantt/src/summary.rs crates/gantt/src/svg.rs
+
+crates/gantt/src/lib.rs:
+crates/gantt/src/ascii.rs:
+crates/gantt/src/chart.rs:
+crates/gantt/src/edit.rs:
+crates/gantt/src/summary.rs:
+crates/gantt/src/svg.rs:

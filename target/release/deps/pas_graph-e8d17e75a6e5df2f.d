@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pas_graph-e8d17e75a6e5df2f.d: crates/graph/src/lib.rs crates/graph/src/alap.rs crates/graph/src/dot.rs crates/graph/src/edge.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/id.rs crates/graph/src/longest_path.rs crates/graph/src/task.rs crates/graph/src/topo.rs crates/graph/src/units.rs
+
+/root/repo/target/release/deps/libpas_graph-e8d17e75a6e5df2f.rlib: crates/graph/src/lib.rs crates/graph/src/alap.rs crates/graph/src/dot.rs crates/graph/src/edge.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/id.rs crates/graph/src/longest_path.rs crates/graph/src/task.rs crates/graph/src/topo.rs crates/graph/src/units.rs
+
+/root/repo/target/release/deps/libpas_graph-e8d17e75a6e5df2f.rmeta: crates/graph/src/lib.rs crates/graph/src/alap.rs crates/graph/src/dot.rs crates/graph/src/edge.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/id.rs crates/graph/src/longest_path.rs crates/graph/src/task.rs crates/graph/src/topo.rs crates/graph/src/units.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/alap.rs:
+crates/graph/src/dot.rs:
+crates/graph/src/edge.rs:
+crates/graph/src/error.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/id.rs:
+crates/graph/src/longest_path.rs:
+crates/graph/src/task.rs:
+crates/graph/src/topo.rs:
+crates/graph/src/units.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pas_lint-42a26436ab79958c.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/power.rs crates/lint/src/passes/resource.rs crates/lint/src/passes/structural.rs crates/lint/src/passes/timing.rs crates/lint/src/render.rs crates/lint/src/span.rs
+
+/root/repo/target/release/deps/libpas_lint-42a26436ab79958c.rlib: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/power.rs crates/lint/src/passes/resource.rs crates/lint/src/passes/structural.rs crates/lint/src/passes/timing.rs crates/lint/src/render.rs crates/lint/src/span.rs
+
+/root/repo/target/release/deps/libpas_lint-42a26436ab79958c.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/power.rs crates/lint/src/passes/resource.rs crates/lint/src/passes/structural.rs crates/lint/src/passes/timing.rs crates/lint/src/render.rs crates/lint/src/span.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/passes/mod.rs:
+crates/lint/src/passes/power.rs:
+crates/lint/src/passes/resource.rs:
+crates/lint/src/passes/structural.rs:
+crates/lint/src/passes/timing.rs:
+crates/lint/src/render.rs:
+crates/lint/src/span.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pas_mission-0251db65be3e4106.d: crates/mission/src/lib.rs crates/mission/src/battery.rs crates/mission/src/plan.rs crates/mission/src/sim.rs crates/mission/src/solar.rs
+
+/root/repo/target/release/deps/libpas_mission-0251db65be3e4106.rlib: crates/mission/src/lib.rs crates/mission/src/battery.rs crates/mission/src/plan.rs crates/mission/src/sim.rs crates/mission/src/solar.rs
+
+/root/repo/target/release/deps/libpas_mission-0251db65be3e4106.rmeta: crates/mission/src/lib.rs crates/mission/src/battery.rs crates/mission/src/plan.rs crates/mission/src/sim.rs crates/mission/src/solar.rs
+
+crates/mission/src/lib.rs:
+crates/mission/src/battery.rs:
+crates/mission/src/plan.rs:
+crates/mission/src/sim.rs:
+crates/mission/src/solar.rs:

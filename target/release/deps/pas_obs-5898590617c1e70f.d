@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pas_obs-5898590617c1e70f.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/jsonl.rs crates/obs/src/observer.rs crates/obs/src/profile.rs
+
+/root/repo/target/release/deps/libpas_obs-5898590617c1e70f.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/jsonl.rs crates/obs/src/observer.rs crates/obs/src/profile.rs
+
+/root/repo/target/release/deps/libpas_obs-5898590617c1e70f.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/jsonl.rs crates/obs/src/observer.rs crates/obs/src/profile.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/jsonl.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/profile.rs:

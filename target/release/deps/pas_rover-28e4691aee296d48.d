@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pas_rover-28e4691aee296d48.d: crates/rover/src/lib.rs crates/rover/src/analysis.rs crates/rover/src/model.rs crates/rover/src/params.rs
+
+/root/repo/target/release/deps/libpas_rover-28e4691aee296d48.rlib: crates/rover/src/lib.rs crates/rover/src/analysis.rs crates/rover/src/model.rs crates/rover/src/params.rs
+
+/root/repo/target/release/deps/libpas_rover-28e4691aee296d48.rmeta: crates/rover/src/lib.rs crates/rover/src/analysis.rs crates/rover/src/model.rs crates/rover/src/params.rs
+
+crates/rover/src/lib.rs:
+crates/rover/src/analysis.rs:
+crates/rover/src/model.rs:
+crates/rover/src/params.rs:

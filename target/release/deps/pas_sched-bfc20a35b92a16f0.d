@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pas_sched-bfc20a35b92a16f0.d: crates/sched/src/lib.rs crates/sched/src/baseline.rs crates/sched/src/compact.rs crates/sched/src/config.rs crates/sched/src/error.rs crates/sched/src/max_power.rs crates/sched/src/min_power.rs crates/sched/src/optimal.rs crates/sched/src/pipeline.rs crates/sched/src/runtime.rs crates/sched/src/timing.rs
+
+/root/repo/target/release/deps/libpas_sched-bfc20a35b92a16f0.rlib: crates/sched/src/lib.rs crates/sched/src/baseline.rs crates/sched/src/compact.rs crates/sched/src/config.rs crates/sched/src/error.rs crates/sched/src/max_power.rs crates/sched/src/min_power.rs crates/sched/src/optimal.rs crates/sched/src/pipeline.rs crates/sched/src/runtime.rs crates/sched/src/timing.rs
+
+/root/repo/target/release/deps/libpas_sched-bfc20a35b92a16f0.rmeta: crates/sched/src/lib.rs crates/sched/src/baseline.rs crates/sched/src/compact.rs crates/sched/src/config.rs crates/sched/src/error.rs crates/sched/src/max_power.rs crates/sched/src/min_power.rs crates/sched/src/optimal.rs crates/sched/src/pipeline.rs crates/sched/src/runtime.rs crates/sched/src/timing.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/baseline.rs:
+crates/sched/src/compact.rs:
+crates/sched/src/config.rs:
+crates/sched/src/error.rs:
+crates/sched/src/max_power.rs:
+crates/sched/src/min_power.rs:
+crates/sched/src/optimal.rs:
+crates/sched/src/pipeline.rs:
+crates/sched/src/runtime.rs:
+crates/sched/src/timing.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pas_spec-be424c97e41f7d18.d: crates/spec/src/lib.rs crates/spec/src/lexer.rs crates/spec/src/parser.rs crates/spec/src/printer.rs
+
+/root/repo/target/release/deps/libpas_spec-be424c97e41f7d18.rlib: crates/spec/src/lib.rs crates/spec/src/lexer.rs crates/spec/src/parser.rs crates/spec/src/printer.rs
+
+/root/repo/target/release/deps/libpas_spec-be424c97e41f7d18.rmeta: crates/spec/src/lib.rs crates/spec/src/lexer.rs crates/spec/src/parser.rs crates/spec/src/printer.rs
+
+crates/spec/src/lib.rs:
+crates/spec/src/lexer.rs:
+crates/spec/src/parser.rs:
+crates/spec/src/printer.rs:

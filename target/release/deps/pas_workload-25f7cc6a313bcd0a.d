@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pas_workload-25f7cc6a313bcd0a.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/sabotage.rs crates/workload/src/strategies.rs crates/workload/src/suite.rs
+
+/root/repo/target/release/deps/libpas_workload-25f7cc6a313bcd0a.rlib: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/sabotage.rs crates/workload/src/strategies.rs crates/workload/src/suite.rs
+
+/root/repo/target/release/deps/libpas_workload-25f7cc6a313bcd0a.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/sabotage.rs crates/workload/src/strategies.rs crates/workload/src/suite.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/sabotage.rs:
+crates/workload/src/strategies.rs:
+crates/workload/src/suite.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-72b1e61d2bca24a5.d: /tmp/depstubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-72b1e61d2bca24a5.rlib: /tmp/depstubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-72b1e61d2bca24a5.rmeta: /tmp/depstubs/proptest/src/lib.rs
+
+/tmp/depstubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-53fa347e007e91c6.d: /tmp/depstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-53fa347e007e91c6.rlib: /tmp/depstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-53fa347e007e91c6.rmeta: /tmp/depstubs/rand/src/lib.rs
+
+/tmp/depstubs/rand/src/lib.rs:

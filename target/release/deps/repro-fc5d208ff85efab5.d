@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-fc5d208ff85efab5.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-fc5d208ff85efab5: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/interactive_editing-554028d9becd19f5.d: examples/interactive_editing.rs
+
+/root/repo/target/release/examples/interactive_editing-554028d9becd19f5: examples/interactive_editing.rs
+
+examples/interactive_editing.rs:

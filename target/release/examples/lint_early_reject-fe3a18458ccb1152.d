@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lint_early_reject-fe3a18458ccb1152.d: examples/lint_early_reject.rs
+
+/root/repo/target/release/examples/lint_early_reject-fe3a18458ccb1152: examples/lint_early_reject.rs
+
+examples/lint_early_reject.rs:
