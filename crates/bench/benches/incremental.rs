@@ -1,0 +1,65 @@
+//! Bench: incremental engine vs full recompute (not in the paper —
+//! measures the PR 3 delta-maintenance machinery). The definitive
+//! numbers come from the `bench_incremental` binary (which also
+//! writes `BENCH_incremental.json`); this Criterion harness keeps
+//! the comparison in the standard bench suite.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pas_rover::{build_rover_problem, EnvCase};
+use pas_sched::{PowerAwareScheduler, SchedulerConfig};
+use pas_workload::{generate, GeneratorConfig, Topology};
+
+fn scheduler(incremental: bool) -> PowerAwareScheduler {
+    PowerAwareScheduler::new(SchedulerConfig {
+        incremental,
+        ..SchedulerConfig::default()
+    })
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+
+    for incremental in [true, false] {
+        let tag = if incremental { "incr" } else { "full" };
+        group.bench_function(format!("rover_best_{tag}"), |b| {
+            b.iter_batched(
+                || build_rover_problem(EnvCase::Best, 1),
+                |mut rover| scheduler(incremental).schedule(&mut rover.problem).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    for tasks in [100usize, 500] {
+        let problem = generate(&GeneratorConfig {
+            seed: 0xB0B5,
+            tasks,
+            resources: (tasks / 8).max(4),
+            topology: Topology::Layered { layers: 10 },
+            ..GeneratorConfig::default()
+        });
+        for incremental in [true, false] {
+            let tag = if incremental { "incr" } else { "full" };
+            group.bench_function(format!("generated_{tasks}_{tag}"), |b| {
+                b.iter_batched(
+                    || problem.clone(),
+                    |mut problem| {
+                        // Tight generated instances may legitimately
+                        // fail; both paths are the measured behaviour.
+                        let _ = scheduler(incremental).schedule(&mut problem);
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_incremental
+}
+criterion_main!(benches);

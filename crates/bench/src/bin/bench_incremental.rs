@@ -1,0 +1,156 @@
+//! Incremental-engine benchmark: wall-clock of the full pipeline
+//! with `SchedulerConfig::incremental` on vs off, on the paper's
+//! rover instances and synthetic generated workloads up to 500
+//! tasks. Writes `BENCH_incremental.json` and prints a stage/
+//! counter breakdown for the largest workload.
+//!
+//! ```text
+//! cargo run --release -p pas-bench --bin bench_incremental [-- reps]
+//! ```
+
+use std::time::Instant;
+
+use pas_core::Problem;
+use pas_obs::StageProfiler;
+use pas_rover::{build_rover_problem, EnvCase};
+use pas_sched::{PowerAwareScheduler, SchedulerConfig, SchedulerStats};
+use pas_workload::{generate, GeneratorConfig, Topology};
+
+struct Workload {
+    label: String,
+    problem: Problem,
+    reps: usize,
+}
+
+struct Measured {
+    median_ms: f64,
+    solved: bool,
+    stats: SchedulerStats,
+}
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn run(problem: &Problem, incremental: bool, reps: usize) -> Measured {
+    let config = SchedulerConfig {
+        incremental,
+        ..SchedulerConfig::default()
+    };
+    let scheduler = PowerAwareScheduler::new(config);
+    // Warm-up run (also supplies the decision stats).
+    let mut warm = problem.clone();
+    let outcome = scheduler.schedule(&mut warm);
+    let solved = outcome.is_ok();
+    let stats = outcome.map(|o| o.stats).unwrap_or_default();
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut p = problem.clone();
+        let started = Instant::now();
+        let _ = scheduler.schedule(&mut p);
+        samples.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    Measured {
+        median_ms: median_ms(samples),
+        solved,
+        stats,
+    }
+}
+
+fn generated(label: &str, tasks: usize, layers: usize, seed: u64, reps: usize) -> Workload {
+    let problem = generate(&GeneratorConfig {
+        seed,
+        tasks,
+        resources: (tasks / 8).max(4),
+        topology: Topology::Layered { layers },
+        ..GeneratorConfig::default()
+    });
+    Workload {
+        label: label.to_string(),
+        problem,
+        reps,
+    }
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+
+    let mut workloads = Vec::new();
+    for case in EnvCase::ALL {
+        workloads.push(Workload {
+            label: format!("rover_{}", case.label()),
+            problem: build_rover_problem(case, 1).problem,
+            reps,
+        });
+    }
+    workloads.push(Workload {
+        label: "rover_best_2it".into(),
+        problem: build_rover_problem(EnvCase::Best, 2).problem,
+        reps,
+    });
+    workloads.push(generated("generated_100", 100, 6, 0xA11CE, reps));
+    workloads.push(generated(
+        "generated_500",
+        500,
+        10,
+        0xB0B5,
+        reps.clamp(1, 3),
+    ));
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<16} {:>6} {:>12} {:>12} {:>8}  hits/deltas/fallbacks",
+        "workload", "tasks", "incr ms", "full ms", "speedup"
+    );
+    for w in &workloads {
+        let incr = run(&w.problem, true, w.reps);
+        let full = run(&w.problem, false, w.reps);
+        let speedup = full.median_ms / incr.median_ms;
+        println!(
+            "{:<16} {:>6} {:>12.3} {:>12.3} {:>7.2}x  {}/{}/{}",
+            w.label,
+            w.problem.graph().num_tasks(),
+            incr.median_ms,
+            full.median_ms,
+            speedup,
+            incr.stats.incremental_cache_hits,
+            incr.stats.incremental_deltas,
+            incr.stats.incremental_fallbacks,
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"tasks\": {}, \"solved\": {}, ",
+                "\"incremental_ms\": {:.3}, \"full_ms\": {:.3}, \"speedup\": {:.3}, ",
+                "\"cache_hits\": {}, \"deltas\": {}, \"fallbacks\": {}}}"
+            ),
+            w.label,
+            w.problem.graph().num_tasks(),
+            incr.solved && full.solved,
+            incr.median_ms,
+            full.median_ms,
+            speedup,
+            incr.stats.incremental_cache_hits,
+            incr.stats.incremental_deltas,
+            incr.stats.incremental_fallbacks,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"incremental\",\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_incremental.json", &json).expect("write BENCH_incremental.json");
+    println!("\nwrote BENCH_incremental.json");
+
+    // Stage breakdown of the largest workload, incremental engine on.
+    let largest = workloads.last().expect("workloads non-empty");
+    let mut profiler = StageProfiler::new();
+    let mut p = largest.problem.clone();
+    let _ = PowerAwareScheduler::default().schedule_with(&mut p, &mut profiler);
+    println!("\nstage breakdown ({}):", largest.label);
+    println!("{}", profiler.render_table());
+}

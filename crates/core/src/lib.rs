@@ -64,12 +64,12 @@ pub use metrics::{
     analyze, energy_cost, free_energy_used, power_jitter, utilization, ScheduleAnalysis,
 };
 pub use problem::{PowerConstraints, Problem};
-pub use profile::{Interval, PowerProfile, Segment};
+pub use profile::{Interval, PowerProfile, ProfileMove, Segment};
 pub use ratio::Ratio;
 pub use schedule::Schedule;
 pub use slack::{slack, slacks};
 pub use validity::{
-    describe_spike, is_power_valid, is_time_valid, time_violations, TimingViolation,
+    describe_spike, is_move_valid, is_power_valid, is_time_valid, time_violations, TimingViolation,
 };
 
 #[cfg(test)]

@@ -79,7 +79,11 @@ impl PowerProfile {
     ) -> Self {
         let mut events: Vec<(Time, Power, bool)> = Vec::with_capacity(graph.num_tasks() * 2);
         for (id, task) in graph.tasks() {
-            if !include(id) {
+            // Zero-span executions contribute no energy; skip them so
+            // they can never perturb the event sweep. ([`Task::new`]
+            // rejects non-positive delays, so this is a hardening
+            // guard, not a reachable branch.)
+            if !include(id) || task.delay().is_zero() {
                 continue;
             }
             let s = schedule.start(id);
@@ -117,6 +121,14 @@ impl PowerProfile {
                 levels.push(level);
             }
         }
+        // Matched start/end pairs cancel exactly, so the profile must
+        // be back at the background level at the horizon — a non-zero
+        // residue means an event leaked power past the end of the
+        // schedule.
+        debug_assert!(
+            level == background,
+            "profile does not return to background at the horizon"
+        );
         // Merge adjacent equal levels.
         let mut mt = Vec::with_capacity(times.len());
         let mut ml = Vec::with_capacity(levels.len());
@@ -132,6 +144,109 @@ impl PowerProfile {
             levels: ml,
             end,
             background,
+        }
+    }
+
+    /// Rebuilds the profile after moving one task's execution window,
+    /// without touching the other tasks' events: the result is
+    /// **identical** (by `==`) to calling
+    /// [`of_schedule`](Self::of_schedule) on the updated schedule.
+    /// `new_end` is the updated schedule finish time `τ_σ`.
+    pub fn with_task_moved(
+        &self,
+        power: Power,
+        from: Interval,
+        to: Interval,
+        new_end: Time,
+    ) -> Self {
+        self.with_moves(&[ProfileMove { power, from, to }], new_end)
+    }
+
+    /// Applies a batch of task window moves (see
+    /// [`with_task_moved`](Self::with_task_moved)). The moved
+    /// intervals are interpreted against this profile's schedule: each
+    /// `from` window stops contributing its power and the matching
+    /// `to` window starts.
+    pub fn with_moves(&self, moves: &[ProfileMove], new_end: Time) -> Self {
+        // Candidate breakpoints: every instant where the new function
+        // can change level — the old breakpoints plus the moved window
+        // boundaries (clamped to the origin like the event sweep).
+        let mut extra: Vec<Time> = Vec::with_capacity(moves.len() * 4 + 1);
+        for m in moves {
+            extra.push(m.from.start.max(Time::ZERO));
+            extra.push(m.from.end.max(Time::ZERO));
+            extra.push(m.to.start.max(Time::ZERO));
+            extra.push(m.to.end.max(Time::ZERO));
+        }
+        extra.push(new_end);
+        extra.sort();
+        extra.dedup();
+
+        // The new level at `t`: the old function (background outside
+        // `[0, old_end)`, exactly like `power_at`) minus the moved-out
+        // windows plus the moved-in windows.
+        let eval = |t: Time| {
+            let mut level = self.power_at(t);
+            for m in moves {
+                if m.power == Power::ZERO {
+                    continue;
+                }
+                if m.from.contains(t) && m.from.start.max(Time::ZERO) <= t {
+                    level -= m.power;
+                }
+                if m.to.contains(t) && m.to.start.max(Time::ZERO) <= t {
+                    level += m.power;
+                }
+            }
+            level
+        };
+
+        // Merge-sweep the two sorted breakpoint sources, keeping only
+        // level changes — the same canonical form `from_events`
+        // produces (first entry at 0, trailing entry at the horizon
+        // only when the level just before it differs from background).
+        let mut times = Vec::with_capacity(self.times.len() + extra.len());
+        let mut levels = Vec::with_capacity(self.times.len() + extra.len());
+        times.push(Time::ZERO);
+        levels.push(eval(Time::ZERO));
+        let push = |t: Time, times: &mut Vec<Time>, levels: &mut Vec<Power>| {
+            if t <= Time::ZERO || t > new_end {
+                return;
+            }
+            let level = eval(t);
+            if *levels.last().expect("seeded with origin") != level {
+                times.push(t);
+                levels.push(level);
+            }
+        };
+        let (mut i, mut j) = (0, 0);
+        while i < self.times.len() || j < extra.len() {
+            let t = match (self.times.get(i), extra.get(j)) {
+                (Some(&a), Some(&b)) if a <= b => {
+                    i += 1;
+                    if a == b {
+                        j += 1;
+                    }
+                    a
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (_, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            push(t, &mut times, &mut levels);
+        }
+
+        PowerProfile {
+            times,
+            levels,
+            end: new_end,
+            background: self.background,
         }
     }
 
@@ -268,6 +383,18 @@ impl PowerProfile {
         }
         out
     }
+}
+
+/// One task-window move for [`PowerProfile::with_moves`]: the task's
+/// `power` stops drawing over `from` and starts drawing over `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProfileMove {
+    /// The task's constant power draw.
+    pub power: Power,
+    /// The execution window in the profile's current schedule.
+    pub from: Interval,
+    /// The execution window in the updated schedule.
+    pub to: Interval,
 }
 
 /// A half-open time interval `[start, end)`.
@@ -490,6 +617,141 @@ mod tests {
         assert_eq!(without_b.power_at(Time::from_secs(5)), Power::from_watts(1));
         // Domain still runs to b's end (finish time of the schedule).
         assert_eq!(without_b.end(), Time::from_secs(8));
+    }
+
+    #[test]
+    fn zero_span_events_never_leak_into_the_tail() {
+        // ISSUE 3 regression guard: a start/end pair at the same
+        // instant must cancel exactly — the equal-instant overwrite in
+        // the event sweep already guarantees this (and `Task::new`
+        // rejects zero delays, so such pairs cannot even be produced
+        // by a schedule), but the invariant is pinned here against the
+        // raw event interface.
+        let bg = Power::from_watts(1);
+        let end = Time::from_secs(10);
+        let base = vec![
+            (Time::from_secs(2), Power::from_watts(3), true),
+            (Time::from_secs(6), Power::from_watts(3), false),
+        ];
+        let mut with_zero_span = base.clone();
+        with_zero_span.push((Time::from_secs(4), Power::from_watts(7), true));
+        with_zero_span.push((Time::from_secs(4), Power::from_watts(7), false));
+        let clean = PowerProfile::from_events(base, end, bg);
+        let noisy = PowerProfile::from_events(with_zero_span, end, bg);
+        assert_eq!(clean, noisy, "zero-span pair must contribute nothing");
+        // The profile returns to background at (and beyond) the horizon.
+        assert_eq!(noisy.power_at(Time::from_secs(7)), bg);
+        assert_eq!(noisy.power_at(end), bg);
+        assert_eq!(
+            noisy.segments().last().map(|s| s.power),
+            Some(bg),
+            "tail level must be the background"
+        );
+    }
+
+    #[test]
+    fn moved_task_delta_matches_full_rebuild() {
+        // Exhaustive small sweep: move task b to every start in
+        // [0, 12] and compare the delta-maintained profile against a
+        // full rebuild — they must be identical, not just equivalent.
+        let (g, s) = sample();
+        let b = TaskId::from_index(1);
+        let bg = Power::from_watts(1);
+        let profile = PowerProfile::of_schedule(&g, &s, bg);
+        let d = g.task(b).delay();
+        let p = g.task(b).power();
+        for secs in 0..=12 {
+            let to_start = Time::from_secs(secs);
+            let mut moved = s.clone();
+            moved = Schedule::from_starts(vec![moved.start(TaskId::from_index(0)), to_start]);
+            let new_end = moved.finish_time(&g);
+            let delta = profile.with_task_moved(
+                p,
+                Interval {
+                    start: s.start(b),
+                    end: s.start(b) + d,
+                },
+                Interval {
+                    start: to_start,
+                    end: to_start + d,
+                },
+                new_end,
+            );
+            let full = PowerProfile::of_schedule(&g, &moved, bg);
+            assert_eq!(delta, full, "delta != rebuild for b@{secs}s");
+        }
+    }
+
+    #[test]
+    fn batched_moves_match_full_rebuild() {
+        let (g, s) = sample();
+        let a = TaskId::from_index(0);
+        let b = TaskId::from_index(1);
+        let bg = Power::from_watts(2);
+        let profile = PowerProfile::of_schedule(&g, &s, bg);
+        let moved = Schedule::from_starts(vec![Time::from_secs(5), Time::ZERO]);
+        let mk = |t: TaskId, sch: &Schedule| Interval {
+            start: sch.start(t),
+            end: sch.start(t) + g.task(t).delay(),
+        };
+        let delta = profile.with_moves(
+            &[
+                ProfileMove {
+                    power: g.task(a).power(),
+                    from: mk(a, &s),
+                    to: mk(a, &moved),
+                },
+                ProfileMove {
+                    power: g.task(b).power(),
+                    from: mk(b, &s),
+                    to: mk(b, &moved),
+                },
+            ],
+            moved.finish_time(&g),
+        );
+        assert_eq!(delta, PowerProfile::of_schedule(&g, &moved, bg));
+    }
+
+    #[test]
+    fn delta_handles_cancelling_boundaries() {
+        // a ends exactly where b starts with equal power: the old
+        // profile has no breakpoint there. Moving b away must
+        // re-expose the jump — this is the case a naive "old
+        // breakpoints only" sweep would miss.
+        let mut g = ConstraintGraph::new();
+        let r0 = g.add_resource(Resource::new("A", ResourceKind::Compute));
+        let r1 = g.add_resource(Resource::new("B", ResourceKind::Compute));
+        g.add_task(Task::new(
+            "a",
+            r0,
+            TimeSpan::from_secs(3),
+            Power::from_watts(5),
+        ));
+        g.add_task(Task::new(
+            "b",
+            r1,
+            TimeSpan::from_secs(3),
+            Power::from_watts(5),
+        ));
+        let s = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(3)]);
+        let profile = PowerProfile::of_schedule(&g, &s, Power::ZERO);
+        assert_eq!(profile.segments().count(), 1, "boundary cancels");
+        let b = TaskId::from_index(1);
+        let moved = Schedule::from_starts(vec![Time::ZERO, Time::from_secs(8)]);
+        let delta = profile.with_task_moved(
+            Power::from_watts(5),
+            Interval {
+                start: Time::from_secs(3),
+                end: Time::from_secs(6),
+            },
+            Interval {
+                start: Time::from_secs(8),
+                end: Time::from_secs(11),
+            },
+            moved.finish_time(&g),
+        );
+        assert_eq!(delta, PowerProfile::of_schedule(&g, &moved, Power::ZERO));
+        assert_eq!(delta.power_at(s.start(b)), Power::ZERO);
     }
 
     #[test]

@@ -183,6 +183,36 @@ pub fn is_time_valid(graph: &ConstraintGraph, schedule: &Schedule) -> bool {
     time_violations(graph, schedule).is_empty()
 }
 
+/// Incremental time-validity check after moving a single task.
+///
+/// **Precondition:** `schedule` with `moved` at its previous start was
+/// time-valid. Only constraints the move can affect are re-checked —
+/// edges incident to `moved`, overlaps on `moved`'s resource, and its
+/// origin bound — so this is `O(deg(moved) + |tasks on r(moved)|)`
+/// instead of `O(V + E)`. Under the precondition the result equals
+/// [`is_time_valid`] on the whole schedule (pinned by a property
+/// test); without it the answer may miss violations among unmoved
+/// tasks.
+pub fn is_move_valid(graph: &ConstraintGraph, schedule: &Schedule, moved: TaskId) -> bool {
+    if schedule.start(moved) < Time::ZERO {
+        return false;
+    }
+    let vnode = moved.node();
+    let edge_ok = |e: &pas_graph::Edge| {
+        node_time(schedule, e.to()) - node_time(schedule, e.from()) >= e.weight()
+    };
+    if !graph.out_edges(vnode).all(|(_, e)| edge_ok(e))
+        || !graph.in_edges(vnode).all(|(_, e)| edge_ok(e))
+    {
+        return false;
+    }
+    let (s, e) = (schedule.start(moved), schedule.end(moved, graph));
+    graph
+        .tasks_on(graph.task(moved).resource())
+        .filter(|&t| t != moved)
+        .all(|t| schedule.start(t) >= e || schedule.end(t, graph) <= s)
+}
+
 /// `true` when `schedule` is time-valid **and** its power profile
 /// never exceeds the problem's `P_max` — the paper's *valid* schedule.
 pub fn is_power_valid(problem: &Problem, schedule: &Schedule) -> bool {
@@ -312,6 +342,64 @@ mod tests {
         let s = Schedule::from_starts(vec![Time::ZERO, Time::ZERO]);
         let p = Problem::new("p", g, PowerConstraints::unconstrained());
         assert!(!is_power_valid(&p, &s));
+    }
+
+    #[test]
+    fn move_validity_agrees_with_full_check_on_random_moves() {
+        // From a valid base schedule, move one task to a random
+        // instant: the incremental check must agree with the full
+        // checker in every case.
+        let mut state = 0xA5A5_1234_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..300 {
+            let mut g = ConstraintGraph::new();
+            let n = 2 + (next() % 4) as usize;
+            let shared = g.add_resource(Resource::new("S", ResourceKind::Compute));
+            let mut ids = Vec::new();
+            for i in 0..n {
+                let r = if next() % 2 == 0 {
+                    shared
+                } else {
+                    g.add_resource(Resource::new(format!("R{i}"), ResourceKind::Compute))
+                };
+                ids.push(g.add_task(Task::new(
+                    format!("t{i}"),
+                    r,
+                    TimeSpan::from_secs(1 + (next() % 4) as i64),
+                    Power::ZERO,
+                )));
+            }
+            for w in ids.windows(2) {
+                if next() % 2 == 0 {
+                    g.precedence(w[0], w[1]);
+                }
+            }
+            // Valid base: serialize everything end-to-end.
+            let mut t = Time::ZERO;
+            let starts: Vec<Time> = ids
+                .iter()
+                .map(|&id| {
+                    let s = t;
+                    t += g.task(id).delay();
+                    s
+                })
+                .collect();
+            let base = Schedule::from_starts(starts);
+            assert!(is_time_valid(&g, &base), "base must be valid");
+            let victim = ids[(next() % n as u64) as usize];
+            let to = Time::from_secs((next() % 12) as i64 - 2);
+            let moved = base.with_delayed(victim, to - base.start(victim));
+            assert_eq!(
+                is_move_valid(&g, &moved, victim),
+                is_time_valid(&g, &moved),
+                "incremental and full validity disagree"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Regression sweep: the profile tail and zero-length events.
+//!
+//! Guards the canonical-form invariants of `PowerProfile` around the
+//! horizon: `power_at` returns exactly the background level at and
+//! after `τ_σ` (no "tail leak" of a task's level past the last
+//! breakpoint), and the whole profile matches a naive per-second
+//! oracle on random instances. Zero-delay tasks cannot be constructed
+//! (`Task::new` rejects non-positive delays), so the sweep stresses
+//! the nearest reachable shapes instead: coincident starts/ends,
+//! tasks ending exactly at the horizon, and zero-power tasks.
+
+use pas_core::{PowerProfile, Schedule};
+use pas_graph::units::{Power, Time, TimeSpan};
+use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task};
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+#[test]
+fn profile_matches_naive_oracle_and_returns_to_background() {
+    let mut state = 0x1234_5678_u64;
+    for case in 0..1000 {
+        let mut g = ConstraintGraph::new();
+        let n = 1 + (xorshift(&mut state) % 5) as usize;
+        let mut starts = Vec::new();
+        for i in 0..n {
+            let r = g.add_resource(Resource::new(format!("R{i}"), ResourceKind::Compute));
+            let d = 1 + (xorshift(&mut state) % 6) as i64;
+            // Zero-power tasks are legal and must be invisible in the
+            // profile.
+            let p = (xorshift(&mut state) % 8) as i64;
+            g.add_task(Task::new(
+                format!("t{i}"),
+                r,
+                TimeSpan::from_secs(d),
+                Power::from_watts(p),
+            ));
+            starts.push(Time::from_secs((xorshift(&mut state) % 10) as i64));
+        }
+        let sigma = Schedule::from_starts(starts);
+        let background = Power::from_watts((xorshift(&mut state) % 3) as i64);
+        let profile = PowerProfile::of_schedule(&g, &sigma, background);
+        let end = sigma.finish_time(&g);
+        assert_eq!(profile.end(), end, "case {case}: horizon mismatch");
+
+        // Naive per-second oracle over the whole span.
+        for s in 0..end.as_secs() {
+            let t = Time::from_secs(s);
+            let mut expect = background;
+            for (id, task) in g.tasks() {
+                let st = sigma.start(id);
+                if st <= t && t < st + task.delay() {
+                    expect += task.power();
+                }
+            }
+            assert_eq!(profile.power_at(t), expect, "case {case}: t={s}");
+        }
+
+        // No tail leak: background exactly at and beyond the horizon.
+        assert_eq!(profile.power_at(end), background, "case {case}: at end");
+        assert_eq!(
+            profile.power_at(end + TimeSpan::from_secs(1)),
+            background,
+            "case {case}: past end"
+        );
+        if let Some(last) = profile.segments().last() {
+            assert_eq!(last.end, end, "case {case}: last segment short");
+        }
+    }
+}

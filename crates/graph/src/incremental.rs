@@ -1,0 +1,673 @@
+//! Incremental single-source longest paths.
+//!
+//! The backtracking schedulers perturb the constraint graph one edge
+//! (or one small batch of edges) at a time: a speculative
+//! serialization edge, a release edge delaying a victim, a lock pair.
+//! Recomputing [`single_source_longest_paths`] from scratch after each
+//! perturbation is O(V·E) work for what is usually a local change.
+//! [`IncrementalLongestPaths`] instead keeps the distance vector alive
+//! and, on [`refresh`], re-relaxes only from the edges appended to the
+//! journal since the last call.
+//!
+//! # Invariants
+//!
+//! * After a successful [`refresh`], the maintained distances are
+//!   **identical** to what [`single_source_longest_paths`] would
+//!   return on the same graph — longest-path distances are unique, so
+//!   the delta path and the full path cannot disagree. The property
+//!   tests drive random edit sequences against
+//!   [`bellman_ford_reference`] to pin this.
+//! * Edge *additions* only ever increase distances, so seeding the
+//!   worklist with the endpoints of the new edges reaches every node
+//!   whose distance can change.
+//! * The per-node hop counters persist across refreshes and always
+//!   record the edge count of the path witnessing the current
+//!   distance; a counter reaching |V| therefore still proves a
+//!   positive cycle, exactly as in the from-scratch SPFA.
+//!
+//! # Fallback conditions
+//!
+//! [`refresh`] transparently falls back to a full recomputation (and
+//! reports it in the returned [`Refresh`]) when the delta path is not
+//! applicable or not worthwhile:
+//!
+//! * `"init"` — first call, or never successfully computed;
+//! * `"resize"` — tasks were added since the last refresh;
+//! * `"removal"` — the edge journal shrank or diverged under the
+//!   applied prefix (an undo without a paired [`restore`]);
+//! * `"cycle-suspect"` — a hop counter reached |V| while relaxing the
+//!   delta, so the update is handed to the full SPFA for canonical
+//!   positive-cycle extraction;
+//! * `"budget"` — the delta relaxation exceeded its operation budget,
+//!   so a fresh computation is at least as cheap.
+//!
+//! Because [`refresh`] validates the applied journal prefix against
+//! the live graph before trusting its cache, a caller that undoes the
+//! graph without restoring the checkpoint gets a (slow) full
+//! recomputation, never a wrong answer.
+//!
+//! [`refresh`]: IncrementalLongestPaths::refresh
+//! [`restore`]: IncrementalLongestPaths::restore
+
+use crate::graph::ConstraintGraph;
+use crate::id::{NodeId, TaskId};
+use crate::longest_path::{single_source_longest_paths, LongestPaths, PositiveCycle};
+use crate::units::{Time, TimeSpan};
+
+/// Why a [`refresh`] could not apply (or chose not to apply) the delta
+/// path. The string form is the fixed vocabulary used by trace events.
+///
+/// [`refresh`]: IncrementalLongestPaths::refresh
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FullReason {
+    /// First computation (nothing cached yet).
+    Init,
+    /// The node count changed since the last refresh.
+    Resize,
+    /// The edge journal shrank or diverged under the applied prefix.
+    Removal,
+    /// A hop counter reached |V| during delta relaxation.
+    CycleSuspect,
+    /// The delta relaxation exceeded its operation budget.
+    Budget,
+}
+
+impl FullReason {
+    /// Fixed-vocabulary string form (used in trace events).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FullReason::Init => "init",
+            FullReason::Resize => "resize",
+            FullReason::Removal => "removal",
+            FullReason::CycleSuspect => "cycle-suspect",
+            FullReason::Budget => "budget",
+        }
+    }
+
+    /// Parses the string form back; inverse of [`FullReason::as_str`].
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        Some(match s {
+            "init" => FullReason::Init,
+            "resize" => FullReason::Resize,
+            "removal" => FullReason::Removal,
+            "cycle-suspect" => FullReason::CycleSuspect,
+            "budget" => FullReason::Budget,
+            _ => return None,
+        })
+    }
+}
+
+impl core::fmt::Display for FullReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How a [`refresh`](IncrementalLongestPaths::refresh) satisfied its
+/// caller. A closed set: callers match on it to translate refresh
+/// outcomes into trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refresh {
+    /// The journal was unchanged: the cached distances were served.
+    CacheHit,
+    /// Only the appended edges were relaxed.
+    Delta {
+        /// Number of journal edges applied by this refresh.
+        new_edges: usize,
+        /// Number of distance improvements performed.
+        relaxations: u64,
+    },
+    /// A full from-scratch recomputation ran.
+    Full(FullReason),
+}
+
+/// Running counters, exposed for benches and the property tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Refreshes answered from cache without any relaxation.
+    pub cache_hits: u64,
+    /// Refreshes that applied only the journal suffix.
+    pub delta_refreshes: u64,
+    /// Refreshes that fell back to the full SPFA.
+    pub full_recomputes: u64,
+    /// Total distance improvements across all delta refreshes.
+    pub relaxations: u64,
+    /// Checkpoint restores.
+    pub restores: u64,
+}
+
+/// A saved distance state, created by
+/// [`IncrementalLongestPaths::checkpoint`] and consumed by
+/// [`IncrementalLongestPaths::restore`].
+///
+/// Like [`GraphMark`](crate::GraphMark), checkpoints follow the LIFO
+/// discipline of the edge journal: restore a checkpoint only in a
+/// state whose journal prefix below the checkpoint is unchanged
+/// (i.e. paired with the matching
+/// [`undo_to`](crate::ConstraintGraph::undo_to)).
+#[derive(Debug, Clone)]
+pub struct LpCheckpoint {
+    applied_len: usize,
+    dist: Vec<Option<TimeSpan>>,
+    hops: Vec<u32>,
+    feasible: bool,
+    cycle: Option<PositiveCycle>,
+    initialized: bool,
+}
+
+/// Longest distances from a fixed source, maintained incrementally
+/// under journal-append edge insertions, with checkpoint/restore for
+/// backtracking and a transparent fallback to
+/// [`single_source_longest_paths`].
+///
+/// # Examples
+/// ```
+/// use pas_graph::incremental::{IncrementalLongestPaths, Refresh};
+/// use pas_graph::units::{Power, TimeSpan};
+/// use pas_graph::{ConstraintGraph, NodeId, Resource, ResourceKind, Task};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = ConstraintGraph::new();
+/// let r = g.add_resource(Resource::new("R", ResourceKind::Compute));
+/// let a = g.add_task(Task::new("a", r, TimeSpan::from_secs(2), Power::ZERO));
+/// let b = g.add_task(Task::new("b", r, TimeSpan::from_secs(1), Power::ZERO));
+///
+/// let mut inc = IncrementalLongestPaths::new(NodeId::ANCHOR);
+/// inc.refresh(&g)?; // full (first call)
+/// assert_eq!(inc.start_time(b).as_secs(), 0);
+///
+/// g.precedence(a, b);
+/// assert!(matches!(inc.refresh(&g)?, Refresh::Delta { .. }));
+/// assert_eq!(inc.start_time(b).as_secs(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalLongestPaths {
+    source: NodeId,
+    dist: Vec<Option<TimeSpan>>,
+    hops: Vec<u32>,
+    /// Copy of the journal prefix the cached distances were computed
+    /// from; validated against the live graph on every refresh.
+    applied: Vec<crate::edge::Edge>,
+    feasible: bool,
+    cycle: Option<PositiveCycle>,
+    initialized: bool,
+    stats: IncrementalStats,
+}
+
+impl IncrementalLongestPaths {
+    /// Creates an empty engine; the first
+    /// [`refresh`](Self::refresh) performs the initial full
+    /// computation.
+    pub fn new(source: NodeId) -> Self {
+        IncrementalLongestPaths {
+            source,
+            dist: Vec::new(),
+            hops: Vec::new(),
+            applied: Vec::new(),
+            feasible: false,
+            cycle: None,
+            initialized: false,
+            stats: IncrementalStats::default(),
+        }
+    }
+
+    /// The source node distances are maintained from.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Running counters.
+    #[inline]
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Brings the cached distances up to date with `graph` and reports
+    /// how much work that took.
+    ///
+    /// # Errors
+    /// Returns the offending [`PositiveCycle`] when the constraints
+    /// are unsatisfiable (identical to what the full recomputation
+    /// reports on the same graph).
+    pub fn refresh(&mut self, graph: &ConstraintGraph) -> Result<Refresh, PositiveCycle> {
+        let n = graph.num_nodes();
+        if !self.initialized {
+            return self.full(graph, FullReason::Init);
+        }
+        if self.dist.len() != n {
+            return self.full(graph, FullReason::Resize);
+        }
+        // Validate that what we applied is still a prefix of the live
+        // journal; a plain length check is not enough because an undo
+        // followed by different additions can restore the old length.
+        if graph.num_edges() < self.applied.len()
+            || graph
+                .edges()
+                .zip(self.applied.iter())
+                .any(|((_, live), applied)| live != applied)
+        {
+            return self.full(graph, FullReason::Removal);
+        }
+        if graph.num_edges() == self.applied.len() {
+            self.stats.cache_hits += 1;
+            return match &self.cycle {
+                None => Ok(Refresh::CacheHit),
+                Some(c) => Err(c.clone()),
+            };
+        }
+        if !self.feasible {
+            // Adding edges cannot repair a positive cycle, but the
+            // cached distances are stale; recompute so the reported
+            // cycle matches what the full path would find.
+            return self.full(graph, FullReason::Init);
+        }
+
+        // Delta path: relax only from the appended journal suffix.
+        let first_new = self.applied.len();
+        let new_edges = graph.num_edges() - first_new;
+        // Beyond this many improvements a fresh SPFA is at least as
+        // cheap; generous enough that genuine local deltas never hit
+        // it.
+        let budget: u64 = 64 + 16 * graph.num_edges() as u64;
+        let mut relaxations: u64 = 0;
+        let mut in_queue = vec![false; n];
+        let mut queue: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
+
+        // Seed: relax each new edge once; its source distance is
+        // already correct (or None and the edge is inert for now).
+        for idx in first_new..graph.num_edges() {
+            let e = *graph.edge(crate::id::EdgeId(idx as u32));
+            if let Some(du) = self.dist[e.from().index()] {
+                let cand = du + e.weight();
+                let v = e.to();
+                if self.dist[v.index()].is_none_or(|dv| cand > dv) {
+                    self.dist[v.index()] = Some(cand);
+                    self.hops[v.index()] = self.hops[e.from().index()] + 1;
+                    relaxations += 1;
+                    if self.hops[v.index()] as usize >= n {
+                        return self.full(graph, FullReason::CycleSuspect);
+                    }
+                    if !in_queue[v.index()] {
+                        queue.push_back(v);
+                        in_queue[v.index()] = true;
+                    }
+                }
+            }
+        }
+
+        while let Some(u) = queue.pop_front() {
+            in_queue[u.index()] = false;
+            let du = self.dist[u.index()].expect("queued nodes have distances");
+            for (_, e) in graph.out_edges(u) {
+                let v = e.to();
+                let cand = du + e.weight();
+                if self.dist[v.index()].is_none_or(|dv| cand > dv) {
+                    self.dist[v.index()] = Some(cand);
+                    self.hops[v.index()] = self.hops[u.index()] + 1;
+                    relaxations += 1;
+                    if self.hops[v.index()] as usize >= n {
+                        return self.full(graph, FullReason::CycleSuspect);
+                    }
+                    if relaxations > budget {
+                        return self.full(graph, FullReason::Budget);
+                    }
+                    if !in_queue[v.index()] {
+                        queue.push_back(v);
+                        in_queue[v.index()] = true;
+                    }
+                }
+            }
+        }
+
+        self.applied
+            .extend(graph.edges().skip(first_new).map(|(_, e)| *e));
+        self.stats.delta_refreshes += 1;
+        self.stats.relaxations += relaxations;
+        Ok(Refresh::Delta {
+            new_edges,
+            relaxations,
+        })
+    }
+
+    /// Full recomputation via [`single_source_longest_paths`],
+    /// replacing the cached state.
+    fn full(
+        &mut self,
+        graph: &ConstraintGraph,
+        reason: FullReason,
+    ) -> Result<Refresh, PositiveCycle> {
+        self.stats.full_recomputes += 1;
+        let n = graph.num_nodes();
+        self.applied.clear();
+        self.applied.extend(graph.edges().map(|(_, e)| *e));
+        self.initialized = true;
+        match single_source_longest_paths(graph, self.source) {
+            Ok(lp) => {
+                self.dist.clear();
+                self.dist
+                    .extend((0..n).map(|i| lp.distance(NodeId(i as u32))));
+                // Recompute witness path lengths for the fresh
+                // distances so later deltas can keep proving acyclicity:
+                // a BFS-free upper bound is enough — re-derive hops by
+                // one relaxation sweep that never changes distances.
+                self.hops = rebuild_hops(graph, &self.dist, self.source);
+                self.feasible = true;
+                self.cycle = None;
+                Ok(Refresh::Full(reason))
+            }
+            Err(cycle) => {
+                self.feasible = false;
+                self.cycle = Some(cycle.clone());
+                Err(cycle)
+            }
+        }
+    }
+
+    /// Longest distance from the source to `node`, or `None` when
+    /// unreachable.
+    ///
+    /// # Panics
+    /// Panics if called before a successful
+    /// [`refresh`](Self::refresh).
+    #[inline]
+    pub fn distance(&self, node: NodeId) -> Option<TimeSpan> {
+        assert!(
+            self.initialized && self.feasible,
+            "distance() requires a successful refresh"
+        );
+        self.dist[node.index()]
+    }
+
+    /// Earliest start time of `task` (distance from the anchor).
+    ///
+    /// # Panics
+    /// Panics if called before a successful
+    /// [`refresh`](Self::refresh), or if the task is unreachable.
+    #[inline]
+    pub fn start_time(&self, task: TaskId) -> Time {
+        let d = self
+            .distance(task.node())
+            .expect("task unreachable from source");
+        Time::ZERO + d
+    }
+
+    /// Clones the cached distances into a standalone
+    /// [`LongestPaths`] (bit-identical to what the full computation
+    /// returns on the same graph).
+    ///
+    /// # Panics
+    /// Panics if called before a successful
+    /// [`refresh`](Self::refresh).
+    pub fn to_longest_paths(&self) -> LongestPaths {
+        assert!(
+            self.initialized && self.feasible,
+            "to_longest_paths() requires a successful refresh"
+        );
+        LongestPaths::from_parts(self.source, self.dist.clone())
+    }
+
+    /// Saves the current state; pair with [`restore`](Self::restore)
+    /// around speculative edge additions.
+    pub fn checkpoint(&self) -> LpCheckpoint {
+        LpCheckpoint {
+            applied_len: self.applied.len(),
+            dist: self.dist.clone(),
+            hops: self.hops.clone(),
+            feasible: self.feasible,
+            cycle: self.cycle.clone(),
+            initialized: self.initialized,
+        }
+    }
+
+    /// Restores a previously saved state. Must be paired with the
+    /// [`ConstraintGraph::undo_to`] that pops the same edges (LIFO,
+    /// like the journal itself).
+    pub fn restore(&mut self, cp: &LpCheckpoint) {
+        self.applied.truncate(cp.applied_len);
+        self.dist.clone_from(&cp.dist);
+        self.hops.clone_from(&cp.hops);
+        self.feasible = cp.feasible;
+        self.cycle.clone_from(&cp.cycle);
+        self.initialized = cp.initialized;
+        self.stats.restores += 1;
+    }
+}
+
+/// Derives hop counters consistent with `dist`: for each node, the
+/// edge count of some path from `source` achieving its distance.
+///
+/// Every prefix of a distance-optimal path is itself optimal, so every
+/// reachable node is reachable through *tight* edges
+/// (`dist[u] + w == dist[v]`). A BFS over the tight subgraph therefore
+/// assigns each node the minimum witness length, which is a simple
+/// path: always `< n` on a feasible graph.
+fn rebuild_hops(graph: &ConstraintGraph, dist: &[Option<TimeSpan>], source: NodeId) -> Vec<u32> {
+    let n = graph.num_nodes();
+    let mut hops = vec![0u32; n];
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    if dist[source.index()].is_some() {
+        seen[source.index()] = true;
+        queue.push_back(source);
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("BFS visits reachable nodes");
+        for (_, e) in graph.out_edges(u) {
+            let v = e.to();
+            if seen[v.index()] {
+                continue;
+            }
+            if dist[v.index()] == Some(du + e.weight()) {
+                hops[v.index()] = hops[u.index()] + 1;
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    debug_assert!(
+        (0..n).all(|i| dist[i].is_none() || seen[i]),
+        "every reachable node has a tight-edge witness path"
+    );
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::longest_path::bellman_ford_reference;
+    use crate::task::{Resource, ResourceKind, Task};
+    use crate::units::Power;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_graph(seed: u64, n: usize) -> (ConstraintGraph, Vec<TaskId>) {
+        let mut s = seed.max(1);
+        let mut g = ConstraintGraph::new();
+        let r = g.add_resource(Resource::new("R", ResourceKind::Compute));
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                let d = 1 + (xorshift(&mut s) % 7) as i64;
+                g.add_task(Task::new(
+                    format!("t{i}"),
+                    r,
+                    TimeSpan::from_secs(d),
+                    Power::ZERO,
+                ))
+            })
+            .collect();
+        (g, ids)
+    }
+
+    fn assert_matches_oracle(inc: &IncrementalLongestPaths, g: &ConstraintGraph) {
+        let oracle = bellman_ford_reference(g, NodeId::ANCHOR).expect("oracle feasible");
+        for i in 0..g.num_nodes() {
+            assert_eq!(
+                inc.dist[i],
+                oracle.distance(NodeId(i as u32)),
+                "distance mismatch at node {i}"
+            );
+        }
+        // Hop invariant: each counter is a valid path length (< n).
+        for i in 0..g.num_nodes() {
+            assert!((inc.hops[i] as usize) < g.num_nodes().max(1));
+        }
+    }
+
+    #[test]
+    fn first_refresh_is_full_then_cache_hits() {
+        let (g, _) = random_graph(7, 5);
+        let mut inc = IncrementalLongestPaths::new(NodeId::ANCHOR);
+        assert_eq!(inc.refresh(&g).unwrap(), Refresh::Full(FullReason::Init));
+        assert_eq!(inc.refresh(&g).unwrap(), Refresh::CacheHit);
+        assert_eq!(inc.stats().cache_hits, 1);
+        assert_matches_oracle(&inc, &g);
+    }
+
+    #[test]
+    fn delta_matches_oracle_over_random_edit_sequences() {
+        for seed in 0..40u64 {
+            let n = 3 + (seed % 6) as usize;
+            let (mut g, ids) = random_graph(seed * 77 + 1, n);
+            let mut s = seed * 1337 + 11;
+            let mut inc = IncrementalLongestPaths::new(NodeId::ANCHOR);
+            inc.refresh(&g).unwrap();
+            let mut marks = Vec::new();
+            for _ in 0..60 {
+                match xorshift(&mut s) % 6 {
+                    // Append a random constraint edge.
+                    0..=2 => {
+                        let a = ids[(xorshift(&mut s) % n as u64) as usize];
+                        let b = ids[(xorshift(&mut s) % n as u64) as usize];
+                        if a == b {
+                            continue;
+                        }
+                        let before = (inc.checkpoint(), g.mark());
+                        match xorshift(&mut s) % 3 {
+                            0 => {
+                                g.min_separation(
+                                    a,
+                                    b,
+                                    TimeSpan::from_secs((xorshift(&mut s) % 9) as i64),
+                                );
+                            }
+                            1 => {
+                                g.release(a, Time::from_secs((xorshift(&mut s) % 20) as i64));
+                            }
+                            _ => {
+                                g.max_separation(
+                                    a,
+                                    b,
+                                    TimeSpan::from_secs((xorshift(&mut s) % 25) as i64),
+                                );
+                            }
+                        }
+                        match inc.refresh(&g) {
+                            Ok(_) => assert_matches_oracle(&inc, &g),
+                            Err(_) => {
+                                // Infeasible: the oracle must agree;
+                                // roll back so the walk continues.
+                                assert!(bellman_ford_reference(&g, NodeId::ANCHOR).is_err());
+                                g.undo_to(before.1);
+                                inc.restore(&before.0);
+                                assert_matches_oracle(&inc, &g);
+                            }
+                        }
+                    }
+                    // Checkpoint.
+                    3 => marks.push((inc.checkpoint(), g.mark())),
+                    // Restore the newest checkpoint.
+                    4 => {
+                        if let Some((cp, m)) = marks.pop() {
+                            g.undo_to(m);
+                            inc.restore(&cp);
+                            assert_matches_oracle(&inc, &g);
+                        }
+                    }
+                    // Undo WITHOUT restore: the prefix check must
+                    // force a full recompute, never a wrong answer.
+                    _ => {
+                        if let Some((_, m)) = marks.pop() {
+                            g.undo_to(m);
+                            marks.clear(); // older lp checkpoints stay valid, but keep the walk simple
+                            let out = inc.refresh(&g).unwrap();
+                            if g.num_edges() != inc.applied.len() {
+                                unreachable!("refresh must sync the applied prefix");
+                            }
+                            if let Refresh::Delta { .. } = out {
+                                panic!("undo without restore must not take the delta path");
+                            }
+                            assert_matches_oracle(&inc, &g);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_delta_reports_cycle_and_caches_it() {
+        let (mut g, ids) = random_graph(3, 3);
+        let mut inc = IncrementalLongestPaths::new(NodeId::ANCHOR);
+        inc.refresh(&g).unwrap();
+        g.precedence(ids[0], ids[1]);
+        inc.refresh(&g).unwrap();
+        // Contradictory window: b ≥ a + d(a) but b ≤ a + 0.
+        g.max_separation(ids[0], ids[1], TimeSpan::ZERO);
+        let e1 = inc.refresh(&g).unwrap_err();
+        // Unchanged graph: the cached cycle is served.
+        let e2 = inc.refresh(&g).unwrap_err();
+        assert_eq!(e1, e2);
+        let full = single_source_longest_paths(&g, NodeId::ANCHOR).unwrap_err();
+        assert_eq!(e1, full, "incremental error must match the full path");
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_across_infeasibility() {
+        let (mut g, ids) = random_graph(5, 4);
+        let mut inc = IncrementalLongestPaths::new(NodeId::ANCHOR);
+        inc.refresh(&g).unwrap();
+        let cp = inc.checkpoint();
+        let m = g.mark();
+        g.precedence(ids[0], ids[1]);
+        g.max_separation(ids[0], ids[1], TimeSpan::ZERO);
+        assert!(inc.refresh(&g).is_err());
+        g.undo_to(m);
+        inc.restore(&cp);
+        assert_eq!(inc.refresh(&g).unwrap(), Refresh::CacheHit);
+        assert_matches_oracle(&inc, &g);
+    }
+
+    #[test]
+    fn resize_falls_back_to_full() {
+        let (mut g, _) = random_graph(9, 3);
+        let mut inc = IncrementalLongestPaths::new(NodeId::ANCHOR);
+        inc.refresh(&g).unwrap();
+        let r = g.add_resource(Resource::new("S", ResourceKind::Compute));
+        g.add_task(Task::new("late", r, TimeSpan::from_secs(2), Power::ZERO));
+        assert_eq!(inc.refresh(&g).unwrap(), Refresh::Full(FullReason::Resize));
+        assert_matches_oracle(&inc, &g);
+    }
+
+    #[test]
+    fn reason_vocab_round_trips() {
+        for r in [
+            FullReason::Init,
+            FullReason::Resize,
+            FullReason::Removal,
+            FullReason::CycleSuspect,
+            FullReason::Budget,
+        ] {
+            assert_eq!(FullReason::from_str_opt(r.as_str()), Some(r));
+        }
+        assert_eq!(FullReason::from_str_opt("nope"), None);
+    }
+}

@@ -57,6 +57,7 @@ mod edge;
 mod error;
 mod graph;
 mod id;
+pub mod incremental;
 pub mod longest_path;
 mod task;
 pub mod topo;
@@ -66,6 +67,7 @@ pub use edge::{Edge, EdgeKind};
 pub use error::GraphError;
 pub use graph::{ConstraintGraph, GraphMark};
 pub use id::{EdgeId, NodeId, ResourceId, TaskId};
+pub use incremental::IncrementalLongestPaths;
 pub use longest_path::{LongestPaths, PositiveCycle};
 pub use task::{Resource, ResourceKind, Task};
 

@@ -305,6 +305,31 @@ pub enum TraceEvent {
         /// Power utilization ρ the move would have produced.
         rho_after: Ratio,
     },
+    /// The incremental engine served a longest-paths query straight
+    /// from its cache (the constraint graph was unchanged).
+    IncrementalCacheHit {
+        /// The stage whose query was served.
+        stage: StageKind,
+    },
+    /// The incremental engine brought its cache up to date by
+    /// relaxing only the newly added constraint edges.
+    IncrementalDelta {
+        /// The stage whose query was served.
+        stage: StageKind,
+        /// Number of journal edges applied by the delta.
+        edges: u64,
+        /// Number of distance improvements performed.
+        relaxations: u64,
+    },
+    /// The incremental engine fell back to a full recomputation.
+    IncrementalFallback {
+        /// The stage whose query was served.
+        stage: StageKind,
+        /// Why the delta path was not applicable (fixed vocabulary:
+        /// `"init"`, `"resize"`, `"removal"`, `"cycle-suspect"`,
+        /// `"budget"`).
+        reason: String,
+    },
     /// Runtime dispatcher released a task.
     TaskDispatched {
         /// The released task.
@@ -356,6 +381,9 @@ impl TraceEvent {
             TraceEvent::GapFound { .. } => "GapFound",
             TraceEvent::MoveAccepted { .. } => "MoveAccepted",
             TraceEvent::MoveRejected { .. } => "MoveRejected",
+            TraceEvent::IncrementalCacheHit { .. } => "IncrementalCacheHit",
+            TraceEvent::IncrementalDelta { .. } => "IncrementalDelta",
+            TraceEvent::IncrementalFallback { .. } => "IncrementalFallback",
             TraceEvent::TaskDispatched { .. } => "TaskDispatched",
             TraceEvent::TaskCompleted { .. } => "TaskCompleted",
             TraceEvent::WindowFaultDetected { .. } => "WindowFaultDetected",
@@ -447,6 +475,22 @@ impl TraceEvent {
                 w.int_field("delta", delta.as_secs() as i128);
                 w.ratio_field("rho_before", *rho_before);
                 w.ratio_field("rho_after", *rho_after);
+            }
+            TraceEvent::IncrementalCacheHit { stage } => {
+                w.str_field("stage", stage.as_str());
+            }
+            TraceEvent::IncrementalDelta {
+                stage,
+                edges,
+                relaxations,
+            } => {
+                w.str_field("stage", stage.as_str());
+                w.int_field("edges", *edges as i128);
+                w.int_field("relaxations", *relaxations as i128);
+            }
+            TraceEvent::IncrementalFallback { stage, reason } => {
+                w.str_field("stage", stage.as_str());
+                w.str_field("reason", reason);
             }
             TraceEvent::TaskDispatched {
                 task,
@@ -557,6 +601,18 @@ impl TraceEvent {
                 rho_before: ctx.ratio("rho_before")?,
                 rho_after: ctx.ratio("rho_after")?,
             },
+            "IncrementalCacheHit" => TraceEvent::IncrementalCacheHit {
+                stage: ctx.stage("stage")?,
+            },
+            "IncrementalDelta" => TraceEvent::IncrementalDelta {
+                stage: ctx.stage("stage")?,
+                edges: ctx.u64("edges")?,
+                relaxations: ctx.u64("relaxations")?,
+            },
+            "IncrementalFallback" => TraceEvent::IncrementalFallback {
+                stage: ctx.stage("stage")?,
+                reason: ctx.str("reason")?.to_string(),
+            },
             "TaskDispatched" => TraceEvent::TaskDispatched {
                 task: ctx.task("task")?,
                 planned: ctx.time("planned")?,
@@ -604,6 +660,9 @@ impl TraceEvent {
             | TraceEvent::GapFound { .. }
             | TraceEvent::MoveAccepted { .. }
             | TraceEvent::MoveRejected { .. } => StageKind::MinPower,
+            TraceEvent::IncrementalCacheHit { stage }
+            | TraceEvent::IncrementalDelta { stage, .. }
+            | TraceEvent::IncrementalFallback { stage, .. } => *stage,
             TraceEvent::TaskDispatched { .. }
             | TraceEvent::TaskCompleted { .. }
             | TraceEvent::WindowFaultDetected { .. } => StageKind::Dispatch,
@@ -991,6 +1050,18 @@ mod tests {
                 rho_after: Ratio::new(1, 2),
             },
             TraceEvent::GapScanFinished { pass: 1, moves: 1 },
+            TraceEvent::IncrementalCacheHit {
+                stage: StageKind::Timing,
+            },
+            TraceEvent::IncrementalDelta {
+                stage: StageKind::MinPower,
+                edges: 2,
+                relaxations: 7,
+            },
+            TraceEvent::IncrementalFallback {
+                stage: StageKind::MaxPower,
+                reason: "removal".to_string(),
+            },
             TraceEvent::TaskDispatched {
                 task: t(0),
                 planned: Time::from_secs(0),

@@ -103,6 +103,12 @@ pub struct EventCounts {
     pub lint_findings: u64,
     /// `LintVerdict` events with `rejected == true`.
     pub lint_rejections: u64,
+    /// `IncrementalCacheHit` events.
+    pub incremental_cache_hits: u64,
+    /// `IncrementalDelta` events.
+    pub incremental_deltas: u64,
+    /// `IncrementalFallback` events.
+    pub incremental_fallbacks: u64,
 }
 
 impl EventCounts {
@@ -135,6 +141,9 @@ impl EventCounts {
                     self.lint_rejections += 1;
                 }
             }
+            TraceEvent::IncrementalCacheHit { .. } => self.incremental_cache_hits += 1,
+            TraceEvent::IncrementalDelta { .. } => self.incremental_deltas += 1,
+            TraceEvent::IncrementalFallback { .. } => self.incremental_fallbacks += 1,
         }
     }
 

@@ -158,6 +158,15 @@ pub struct SchedulerConfig {
     /// force the full search on known-broken inputs, e.g. to measure
     /// the guard's early-reject savings.
     pub lint_guard: bool,
+    /// Use the incremental scheduling engine: delta-maintained anchor
+    /// longest paths across the timing scheduler's search tree (see
+    /// [`pas_graph::IncrementalLongestPaths`]) and delta-rebuilt power
+    /// profiles in the max-/min-power stages. Results are bit-identical
+    /// to the full recomputation path — longest-path distances are
+    /// unique and the profile deltas reproduce the canonical profile —
+    /// so this is purely a performance knob (DESIGN.md §10). Disabling
+    /// it is an ablation / oracle for the equivalence tests.
+    pub incremental: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -182,6 +191,7 @@ impl Default for SchedulerConfig {
             max_respins: 4,
             exact_portfolio_limit: 10,
             lint_guard: true,
+            incremental: true,
         }
     }
 }
@@ -202,6 +212,12 @@ pub struct SchedulerStats {
     pub min_power_scans: usize,
     /// Accepted gap-filling moves.
     pub min_power_moves: usize,
+    /// Longest-path / profile refreshes served from cache.
+    pub incremental_cache_hits: usize,
+    /// Refreshes served by delta re-relaxation or profile deltas.
+    pub incremental_deltas: usize,
+    /// Refreshes that fell back to a full recomputation.
+    pub incremental_fallbacks: usize,
 }
 
 impl SchedulerStats {
@@ -229,6 +245,9 @@ impl AddAssign for SchedulerStats {
         self.power_recursions += other.power_recursions;
         self.min_power_scans += other.min_power_scans;
         self.min_power_moves += other.min_power_moves;
+        self.incremental_cache_hits += other.incremental_cache_hits;
+        self.incremental_deltas += other.incremental_deltas;
+        self.incremental_fallbacks += other.incremental_fallbacks;
     }
 }
 
@@ -249,6 +268,9 @@ impl From<EventCounts> for SchedulerStats {
             power_recursions: c.power_recursions as usize,
             min_power_scans: c.gap_scans as usize,
             min_power_moves: c.moves_accepted as usize,
+            incremental_cache_hits: c.incremental_cache_hits as usize,
+            incremental_deltas: c.incremental_deltas as usize,
+            incremental_fallbacks: c.incremental_fallbacks as usize,
         }
     }
 }
@@ -265,6 +287,7 @@ mod tests {
         assert_eq!(cfg.scan_orders.len(), 3);
         assert!(cfg.max_scans >= 2, "paper requires multiple scans");
         assert!(cfg.lint_guard, "static guard is on by default");
+        assert!(cfg.incremental, "incremental engine is on by default");
     }
 
     fn sample_stats() -> SchedulerStats {
@@ -275,6 +298,7 @@ mod tests {
             power_recursions: 4,
             min_power_scans: 5,
             min_power_moves: 6,
+            ..SchedulerStats::default()
         }
     }
 

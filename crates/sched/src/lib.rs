@@ -54,6 +54,7 @@
 pub mod baseline;
 mod compact;
 mod config;
+mod context;
 mod error;
 mod max_power;
 mod min_power;

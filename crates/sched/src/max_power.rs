@@ -21,12 +21,13 @@
 //! instances that are technically schedulable.
 
 use crate::config::{DelayPolicy, SchedulerConfig, SchedulerStats, VictimOrder};
+use crate::context::ScheduleContext;
 use crate::error::ScheduleError;
-use crate::timing::schedule_timing_observed;
-use pas_core::{slack, PowerProfile, Schedule};
+use crate::timing::schedule_timing_ctx;
+use pas_core::{slack, Interval, PowerProfile, ProfileMove, Schedule};
 use pas_graph::units::{Power, Time, TimeSpan};
 use pas_graph::{ConstraintGraph, TaskId};
-use pas_obs::{CountingObserver, Observer, TraceEvent};
+use pas_obs::{CountingObserver, Observer, StageKind, TraceEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -140,8 +141,13 @@ pub fn schedule_max_power_observed<O: Observer>(
         }
         let mut rng = StdRng::seed_from_u64(attempt.seed);
         let mut recursions = 0usize;
+        // One incremental context per attempt: the timing re-runs of
+        // the recursion share it, so the speculative release/lock
+        // edges are absorbed as longest-path deltas.
+        let mut ctx = ScheduleContext::new(attempt.incremental, StageKind::MaxPower);
         let result = solve(
             graph,
+            &mut ctx,
             p_max,
             background,
             attempt,
@@ -171,8 +177,10 @@ pub fn schedule_max_power_observed<O: Observer>(
 }
 
 /// One level of the recursive `MaxPowerScheduler`.
+#[allow(clippy::too_many_arguments)]
 fn solve<O: Observer>(
     graph: &mut ConstraintGraph,
+    ctx: &mut ScheduleContext,
     p_max: Power,
     background: Power,
     config: &SchedulerConfig,
@@ -180,10 +188,14 @@ fn solve<O: Observer>(
     recursions: &mut usize,
     obs: &mut O,
 ) -> Result<Schedule, ScheduleError> {
-    let mut sigma = schedule_timing_observed(graph, config, obs)?;
+    let mut sigma = schedule_timing_ctx(graph, config, ctx, obs)?;
 
+    // The profile is rebuilt in full once per timing run and then
+    // delta-maintained across spike rounds: each round moves a handful
+    // of victims, and `with_moves` reproduces the canonical profile of
+    // the updated schedule exactly (see `pas_core::PowerProfile`).
+    let mut profile = PowerProfile::of_schedule(graph, &sigma, background);
     for _round in 0..MAX_SPIKE_ROUNDS {
-        let profile = PowerProfile::of_schedule(graph, &sigma, background);
         let Some(spike) = profile.segments().find(|s| s.power > p_max) else {
             return Ok(sigma); // power-valid
         };
@@ -201,11 +213,24 @@ fn solve<O: Observer>(
         let mut resolved_locally = false;
         for attempt in 0..=config.max_respins {
             match eliminate_spike(
-                graph, &sigma, &profile, t, spike_end, attempt, p_max, background, config, rng,
-                recursions, obs,
+                graph, ctx, &sigma, &profile, t, spike_end, attempt, p_max, background, config,
+                rng, recursions, obs,
             ) {
-                Ok(Elimination::Local(new_sigma)) => {
+                Ok(Elimination::Local(new_sigma, moves)) => {
                     sigma = new_sigma;
+                    profile = if config.incremental {
+                        let updated = profile.with_moves(&moves, sigma.finish_time(graph));
+                        if obs.is_enabled() {
+                            obs.on_event(&TraceEvent::IncrementalDelta {
+                                stage: StageKind::MaxPower,
+                                edges: moves.len() as u64,
+                                relaxations: updated.segments().count() as u64,
+                            });
+                        }
+                        updated
+                    } else {
+                        PowerProfile::of_schedule(graph, &sigma, background)
+                    };
                     resolved_locally = true;
                     break;
                 }
@@ -231,7 +256,9 @@ fn solve<O: Observer>(
 enum Elimination {
     /// The spike was removed purely by within-slack delays; the
     /// updated (still time-valid) schedule continues the outer scan.
-    Local(Schedule),
+    /// Carries the applied window moves so the caller can
+    /// delta-rebuild its power profile.
+    Local(Schedule, Vec<ProfileMove>),
     /// A global reschedule was required and succeeded all the way to a
     /// power-valid schedule.
     Rescheduled(Schedule),
@@ -242,6 +269,7 @@ enum Elimination {
 #[allow(clippy::too_many_arguments)]
 fn eliminate_spike<O: Observer>(
     graph: &mut ConstraintGraph,
+    ctx: &mut ScheduleContext,
     sigma: &Schedule,
     profile: &PowerProfile,
     t: Time,
@@ -254,18 +282,19 @@ fn eliminate_spike<O: Observer>(
     recursions: &mut usize,
     obs: &mut O,
 ) -> Result<Elimination, ScheduleError> {
-    let mark = graph.mark();
+    let mark = ctx.mark(graph);
     let mut sigma = sigma.clone();
     let mut active: Vec<TaskId> = sigma.active_tasks_at(t, graph);
     let mut level = profile.power_at(t);
     let mut reschedule = false;
     let mut remaining_extra = extra;
+    let mut moves: Vec<ProfileMove> = Vec::new();
 
     while level > p_max || remaining_extra > 0 {
         let over_budget = level > p_max;
         let Some(v) = extract_victim(graph, &sigma, &mut active, config, rng) else {
             if over_budget {
-                graph.undo_to(mark);
+                ctx.undo_to(graph, &mark);
                 return Err(ScheduleError::SpikeUnresolvable {
                     at: t,
                     level,
@@ -300,6 +329,17 @@ fn eliminate_spike<O: Observer>(
             graph.release(v, start + delta);
             sigma = sigma.with_delayed(v, delta);
             level -= graph.task(v).power();
+            moves.push(ProfileMove {
+                power: graph.task(v).power(),
+                from: Interval {
+                    start,
+                    end: start + d_v,
+                },
+                to: Interval {
+                    start: start + delta,
+                    end: start + delta + d_v,
+                },
+            });
         } else {
             // Case (2): not enough slack — force the exit and demand a
             // global reschedule. Rescheduling is expensive (a full
@@ -329,7 +369,7 @@ fn eliminate_spike<O: Observer>(
     }
 
     if !reschedule {
-        return Ok(Elimination::Local(sigma));
+        return Ok(Elimination::Local(sigma, moves));
     }
 
     *recursions += 1;
@@ -339,7 +379,7 @@ fn eliminate_spike<O: Observer>(
         });
     }
     if *recursions > config.max_recursions {
-        graph.undo_to(mark);
+        ctx.undo_to(graph, &mark);
         return Err(ScheduleError::RecursionLimit {
             limit: config.max_recursions,
         });
@@ -361,10 +401,10 @@ fn eliminate_spike<O: Observer>(
         }
     }
 
-    match solve(graph, p_max, background, config, rng, recursions, obs) {
+    match solve(graph, ctx, p_max, background, config, rng, recursions, obs) {
         Ok(s) => Ok(Elimination::Rescheduled(s)),
         Err(e) => {
-            graph.undo_to(mark);
+            ctx.undo_to(graph, &mark);
             Err(e)
         }
     }

@@ -21,10 +21,12 @@
 use crate::config::{ScanOrder, SchedulerConfig, SchedulerStats, SlotPolicy};
 use crate::error::ScheduleError;
 use crate::max_power::schedule_max_power_observed;
-use pas_core::{is_time_valid, slack, utilization, PowerProfile, Ratio, Schedule};
+use pas_core::{
+    is_move_valid, is_time_valid, slack, utilization, Interval, PowerProfile, Schedule,
+};
 use pas_graph::units::{Power, Time, TimeSpan};
 use pas_graph::{ConstraintGraph, TaskId};
-use pas_obs::{CountingObserver, Observer, ScanKind, SlotKind, TraceEvent};
+use pas_obs::{CountingObserver, Observer, ScanKind, SlotKind, StageKind, TraceEvent};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -95,6 +97,13 @@ pub fn schedule_min_power_observed<O: Observer>(
 /// Best-effort gap filling on an already-valid schedule (the tail of
 /// Fig. 6). Exposed separately so callers holding a valid schedule
 /// from elsewhere (e.g. a hand schedule) can improve it too.
+///
+/// `sigma` must be time-valid (as the paper's Fig. 6 assumes). With
+/// [`SchedulerConfig::incremental`] enabled, tentative moves are
+/// validated with the localized [`is_move_valid`] check and the power
+/// profile is delta-maintained across accepted moves — both are
+/// decision-identical to the full recomputation path on a valid input
+/// schedule.
 pub fn improve_gaps(
     graph: &ConstraintGraph,
     sigma: Schedule,
@@ -123,7 +132,13 @@ pub fn improve_gaps_observed<O: Observer>(
     obs: &mut O,
 ) -> Schedule {
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_6A95);
-    let mut rho = current_utilization(graph, &sigma, background, p_min);
+    // Invariant (incremental path): `current_profile` always equals
+    // `PowerProfile::of_schedule(graph, &sigma, background)` — the
+    // delta update on accepted moves reproduces the canonical profile
+    // exactly, so decisions based on it are bit-identical to the
+    // rebuild-every-time path.
+    let mut current_profile = PowerProfile::of_schedule(graph, &sigma, background);
+    let mut rho = utilization(&current_profile, p_min);
     if rho.is_one() {
         return sigma;
     }
@@ -150,8 +165,17 @@ pub fn improve_gaps_observed<O: Observer>(
         let mut pass_moves = 0u64;
         let mut improved = false;
 
-        let profile = PowerProfile::of_schedule(graph, &sigma, background);
-        let mut instants: Vec<Time> = profile
+        if config.incremental {
+            // The maintained profile already matches `sigma`.
+            if obs.is_enabled() {
+                obs.on_event(&TraceEvent::IncrementalCacheHit {
+                    stage: StageKind::MinPower,
+                });
+            }
+        } else {
+            current_profile = PowerProfile::of_schedule(graph, &sigma, background);
+        }
+        let mut instants: Vec<Time> = current_profile
             .segments()
             .filter(|s| s.power < p_min)
             .map(|s| s.start)
@@ -165,7 +189,10 @@ pub fn improve_gaps_observed<O: Observer>(
         for t in instants {
             // The schedule may have changed since the pass started;
             // re-check that t is still a gap.
-            let profile = PowerProfile::of_schedule(graph, &sigma, background);
+            if !config.incremental {
+                current_profile = PowerProfile::of_schedule(graph, &sigma, background);
+            }
+            let profile = &current_profile;
             if profile.power_at(t) >= p_min || t >= profile.end() {
                 continue;
             }
@@ -199,16 +226,40 @@ pub fn improve_gaps_observed<O: Observer>(
                     continue;
                 }
                 let tentative = sigma.with_delayed(v, delta);
-                let tentative_profile = PowerProfile::of_schedule(graph, &tentative, background);
-                let valid =
-                    is_time_valid(graph, &tentative) && tentative_profile.spikes(p_max).is_empty();
+                // Incremental path: the tentative profile is a
+                // single-window delta off the maintained one, and the
+                // single-move validity check replaces the full oracle
+                // (equivalent on a valid base schedule).
+                let (tentative_profile, time_ok) = if config.incremental {
+                    let from = Interval {
+                        start: sigma.start(v),
+                        end: sigma.end(v, graph),
+                    };
+                    let to = Interval {
+                        start: from.start + delta,
+                        end: from.end + delta,
+                    };
+                    let p = current_profile.with_task_moved(
+                        graph.task(v).power(),
+                        from,
+                        to,
+                        tentative.finish_time(graph),
+                    );
+                    (p, is_move_valid(graph, &tentative, v))
+                } else {
+                    (
+                        PowerProfile::of_schedule(graph, &tentative, background),
+                        is_time_valid(graph, &tentative),
+                    )
+                };
+                let valid = time_ok && tentative_profile.spikes(p_max).is_empty();
                 let new_rho = utilization(&tentative_profile, p_min);
                 // Optional secondary objective: flatten the power
                 // curve when utilization ties.
                 let jitter_win = config.reduce_jitter && new_rho == rho && {
-                    let current = PowerProfile::of_schedule(graph, &sigma, background);
-                    pas_core::power_jitter(&tentative_profile) < pas_core::power_jitter(&current)
-                        && tentative_profile.end() <= current.end()
+                    pas_core::power_jitter(&tentative_profile)
+                        < pas_core::power_jitter(&current_profile)
+                        && tentative_profile.end() <= current_profile.end()
                 };
                 if valid && (new_rho > rho || jitter_win) {
                     if obs.is_enabled() {
@@ -218,8 +269,18 @@ pub fn improve_gaps_observed<O: Observer>(
                             rho_before: rho,
                             rho_after: new_rho,
                         });
+                        if config.incremental {
+                            obs.on_event(&TraceEvent::IncrementalDelta {
+                                stage: StageKind::MinPower,
+                                edges: 1,
+                                relaxations: tentative_profile.segments().count() as u64,
+                            });
+                        }
                     }
                     sigma = tentative;
+                    if config.incremental {
+                        current_profile = tentative_profile;
+                    }
                     rho = new_rho;
                     improved = true;
                     pass_moves += 1;
@@ -278,16 +339,6 @@ fn slot_kind(policy: SlotPolicy) -> SlotKind {
         SlotPolicy::FinishAtGapEnd => SlotKind::FinishAtGapEnd,
         SlotPolicy::Random => SlotKind::Random,
     }
-}
-
-fn current_utilization(
-    graph: &ConstraintGraph,
-    sigma: &Schedule,
-    background: Power,
-    p_min: Power,
-) -> Ratio {
-    let profile = PowerProfile::of_schedule(graph, sigma, background);
-    utilization(&profile, p_min)
 }
 
 fn cycle<T: Copy>(items: &[T], index: usize, default: T) -> T {

@@ -17,11 +17,11 @@
 //! budget allows).
 
 use crate::config::{CommitOrder, SchedulerConfig, SchedulerStats};
+use crate::context::ScheduleContext;
 use crate::error::ScheduleError;
 use pas_core::Schedule;
-use pas_graph::longest_path::single_source_longest_paths;
-use pas_graph::{ConstraintGraph, NodeId, TaskId};
-use pas_obs::{CountingObserver, Observer, TraceEvent};
+use pas_graph::{ConstraintGraph, TaskId};
+use pas_obs::{CountingObserver, Observer, StageKind, TraceEvent};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -82,13 +82,28 @@ pub fn schedule_timing_observed<O: Observer>(
     config: &SchedulerConfig,
     obs: &mut O,
 ) -> Result<Schedule, ScheduleError> {
+    let mut ctx = ScheduleContext::new(config.incremental, StageKind::Timing);
+    schedule_timing_ctx(graph, config, &mut ctx, obs)
+}
+
+/// [`schedule_timing_observed`] against a caller-owned
+/// [`ScheduleContext`]: the max-power scheduler threads one context
+/// through all its internal timing re-runs so the release/lock edges
+/// added between runs are absorbed as longest-path deltas instead of
+/// full recomputations.
+pub(crate) fn schedule_timing_ctx<O: Observer>(
+    graph: &mut ConstraintGraph,
+    config: &SchedulerConfig,
+    ctx: &mut ScheduleContext,
+    obs: &mut O,
+) -> Result<Schedule, ScheduleError> {
     // Fail fast (and distinguish "inherently infeasible" from "no
     // ordering found"): the original constraints must be satisfiable.
-    if let Err(cycle) = single_source_longest_paths(graph, NodeId::ANCHOR) {
+    if let Err(cycle) = ctx.longest_paths(graph, obs) {
         return Err(ScheduleError::Infeasible(cycle));
     }
 
-    let outer_mark = graph.mark();
+    let outer_mark = ctx.mark(graph);
     let mut committed = vec![false; graph.num_tasks()];
     let mut budget = config.max_backtracks;
     let mut rng = match config.commit_order {
@@ -101,6 +116,7 @@ pub fn schedule_timing_observed<O: Observer>(
     };
     match commit_all(
         graph,
+        ctx,
         &mut committed,
         0,
         &mut budget,
@@ -109,18 +125,13 @@ pub fn schedule_timing_observed<O: Observer>(
         obs,
     ) {
         CommitOutcome::Done => {
-            let lp = single_source_longest_paths(graph, NodeId::ANCHOR)
+            let lp = ctx
+                .longest_paths(graph, obs)
                 .expect("final serialization was checked feasible");
             Ok(Schedule::from_longest_paths(graph, &lp))
         }
-        CommitOutcome::Dead => {
-            graph.undo_to(outer_mark);
-            Err(ScheduleError::TimingSearchExhausted {
-                backtracks: config.max_backtracks,
-            })
-        }
-        CommitOutcome::OutOfBudget => {
-            graph.undo_to(outer_mark);
+        CommitOutcome::Dead | CommitOutcome::OutOfBudget => {
+            ctx.undo_to(graph, &outer_mark);
             Err(ScheduleError::TimingSearchExhausted {
                 backtracks: config.max_backtracks,
             })
@@ -140,6 +151,7 @@ enum CommitOutcome {
 #[allow(clippy::too_many_arguments)]
 fn commit_all<O: Observer>(
     graph: &mut ConstraintGraph,
+    ctx: &mut ScheduleContext,
     committed: &mut [bool],
     num_committed: usize,
     budget: &mut usize,
@@ -153,7 +165,7 @@ fn commit_all<O: Observer>(
 
     // Current longest paths order the candidate frontier (earliest
     // ASAP time first — the most natural topological ordering to try).
-    let lp = match single_source_longest_paths(graph, NodeId::ANCHOR) {
+    let lp = match ctx.longest_paths(graph, obs) {
         Ok(lp) => lp,
         Err(_) => return CommitOutcome::Dead,
     };
@@ -182,7 +194,7 @@ fn commit_all<O: Observer>(
         if *budget == 0 {
             return CommitOutcome::OutOfBudget;
         }
-        let mark = graph.mark();
+        let mark = ctx.mark(graph);
         committed[c.index()] = true;
         if obs.is_enabled() {
             obs.on_event(&TraceEvent::TaskCommitted { task: c });
@@ -205,9 +217,10 @@ fn commit_all<O: Observer>(
 
         // Feasibility check before descending saves exploring the
         // whole subtree of an already-dead serialization.
-        if single_source_longest_paths(graph, NodeId::ANCHOR).is_ok() {
+        if ctx.feasible(graph, obs) {
             match commit_all(
                 graph,
+                ctx,
                 committed,
                 num_committed + 1,
                 budget,
@@ -222,7 +235,7 @@ fn commit_all<O: Observer>(
         }
 
         committed[c.index()] = false;
-        graph.undo_to(mark);
+        ctx.undo_to(graph, &mark);
         if obs.is_enabled() {
             obs.on_event(&TraceEvent::TopoBacktrack { task: c });
         }

@@ -4,7 +4,7 @@
 //! impacct-cli schedule <problem.pasdl> [--stage timing|max|min]
 //!                      [--svg <out.svg>] [--emit-schedule] [--report]
 //!                      [--corners] [--restarts <n>] [--seed <n>] [--quiet]
-//!                      [--trace <out.jsonl>] [--profile]
+//!                      [--trace <out.jsonl>] [--profile] [--no-incremental]
 //! impacct-cli validate <problem.pasdl> <schedule.pasdl>
 //! impacct-cli lint <problem.pasdl> [--format human|json]
 //! impacct-cli print <problem.pasdl>       # parse + pretty-print
@@ -15,7 +15,11 @@
 //! metrics, and optionally writes an SVG and/or the schedule as
 //! PASDL. `--trace` streams every scheduling decision as JSONL
 //! [`pas_obs::TraceEvent`]s; `--profile` prints a per-stage profile
-//! table. `validate` checks a hand-written schedule against a
+//! table; `--no-incremental` disables the incremental scheduling
+//! engine (delta longest paths + cached power profiles, DESIGN.md
+//! §10) and forces full recomputation — results are identical, only
+//! slower, so the flag exists for ablation and cross-checking.
+//! `validate` checks a hand-written schedule against a
 //! problem, reporting every violation. `lint` runs the `pas-lint`
 //! static passes over a problem without scheduling it and exits
 //! non-zero when any error-level diagnostic fires.
@@ -64,7 +68,7 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  impacct-cli schedule <problem.pasdl> [--stage timing|max|min] \
      [--svg <out.svg>] [--emit-schedule] [--report] [--corners] [--restarts <n>] \
-     [--seed <n>] [--quiet] [--trace <out.jsonl>] [--profile]\n  \
+     [--seed <n>] [--quiet] [--trace <out.jsonl>] [--profile] [--no-incremental]\n  \
      impacct-cli validate <problem.pasdl> <schedule.pasdl>\n  \
      impacct-cli lint <problem.pasdl> [--format human|json]\n  \
      impacct-cli print <problem.pasdl>"
@@ -87,6 +91,7 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     let mut restarts = 0usize;
     let mut trace_out = None;
     let mut profile = false;
+    let mut incremental = true;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -98,6 +103,7 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
             "--quiet" => quiet = true,
             "--trace" => trace_out = Some(it.next().ok_or("--trace needs a path")?.clone()),
             "--profile" => profile = true,
+            "--no-incremental" => incremental = false,
             "--restarts" => {
                 restarts = it
                     .next()
@@ -126,6 +132,7 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     if let Some(seed) = seed {
         config.seed = seed;
     }
+    config.incremental = incremental;
     let scheduler = PowerAwareScheduler::new(config);
 
     // Compose the optional trace and profile sinks; a NullObserver
