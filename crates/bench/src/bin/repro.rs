@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [fig2|fig5|fig7|fig8|fig9|fig10|fig11|table3|table4|all]
-//!       [--trace <file.jsonl>] [--profile]
+//!       [--trace <file.jsonl|->] [--profile]
 //! ```
 //!
 //! Figures are printed as ASCII power-aware Gantt charts (Fig. 8 as
@@ -11,8 +11,8 @@
 //!
 //! `--trace <path>` streams every scheduling decision of the
 //! instrumented targets (figs 2/5/7 and 9–11) as JSONL
-//! [`TraceEvent`]s; `--profile` prints a per-stage wall-time and
-//! decision-count table after the run.
+//! [`TraceEvent`]s (`-` streams to stdout); `--profile` prints a
+//! per-stage wall-time and decision-count table after the run.
 
 use pas_bench::{figure_block, metrics_row};
 use pas_core::analyze;
@@ -24,15 +24,14 @@ use pas_mission::{
 use pas_obs::{JsonlWriter, Observer, StageProfiler, TraceEvent};
 use pas_rover::{build_rover_problem, jpl_schedule, power_aware_schedule, EnvCase};
 use pas_sched::{PowerAwareScheduler, SchedulerConfig};
-use std::fs::File;
-use std::io::BufWriter;
+use std::io::Write;
 use std::process::ExitCode;
 
 /// The optional sinks behind `--trace` and `--profile`, composed into
 /// one observer handed down to the instrumented targets.
 #[derive(Default)]
 struct ReproObserver {
-    trace: Option<JsonlWriter<BufWriter<File>>>,
+    trace: Option<JsonlWriter<Box<dyn Write>>>,
     profiler: Option<StageProfiler>,
 }
 
@@ -86,9 +85,9 @@ fn cli(args: Vec<String>) -> Result<(), String> {
 
     let mut obs = ReproObserver {
         trace: match &trace_path {
-            Some(path) => {
-                Some(JsonlWriter::create(path).map_err(|e| format!("--trace {path}: {e}"))?)
-            }
+            Some(path) => Some(
+                JsonlWriter::create_or_stdout(path).map_err(|e| format!("--trace {path}: {e}"))?,
+            ),
             None => None,
         },
         profiler: profile.then(StageProfiler::new),
@@ -102,11 +101,15 @@ fn cli(args: Vec<String>) -> Result<(), String> {
     }
     if let Some(writer) = obs.trace.take() {
         let path = trace_path.unwrap_or_default();
-        let lines = writer.lines();
-        writer
+        let lines = writer
             .finish()
             .map_err(|e| format!("--trace {path}: {e}"))?;
-        println!("wrote {lines} trace events to {path}");
+        if path == "-" {
+            // The trace itself went to stdout; keep it parseable.
+            eprintln!("wrote {lines} trace events to stdout");
+        } else {
+            println!("wrote {lines} trace events to {path}");
+        }
     }
     Ok(())
 }

@@ -1,0 +1,35 @@
+//! Dispatch events feed the `pas-obs` metrics registry: a dispatcher
+//! run piped into a [`MetricsRegistry`] surfaces its task counts in
+//! the Prometheus exposition.
+
+use pas_core::example::paper_example;
+use pas_exec::{execute, execute_observed, JitterModel};
+use pas_obs::MetricsRegistry;
+use pas_sched::PowerAwareScheduler;
+
+#[test]
+fn dispatch_events_land_in_the_metrics_registry() {
+    let (mut problem, _) = paper_example();
+    let outcome = PowerAwareScheduler::default()
+        .schedule(&mut problem)
+        .expect("paper example schedules");
+    let durations = JitterModel::nominal_durations(problem.graph());
+
+    let mut registry = MetricsRegistry::new();
+    let observed = execute_observed(&problem, &outcome.schedule, &durations, &mut registry);
+    assert_eq!(
+        observed,
+        execute(&problem, &outcome.schedule, &durations),
+        "metrics collection must not perturb dispatch"
+    );
+
+    let n = problem.graph().num_tasks() as u64;
+    let text = registry.render_prometheus();
+    assert!(text.contains(&format!(
+        "pas_events_total{{counter=\"tasks_dispatched\"}} {n}"
+    )));
+    assert!(text.contains(&format!(
+        "pas_events_total{{counter=\"tasks_completed\"}} {n}"
+    )));
+    assert!(text.contains("pas_events_total{counter=\"window_faults\"} 0"));
+}

@@ -68,7 +68,7 @@ pub use error::GraphError;
 pub use graph::{ConstraintGraph, GraphMark};
 pub use id::{EdgeId, NodeId, ResourceId, TaskId};
 pub use incremental::IncrementalLongestPaths;
-pub use longest_path::{LongestPaths, PositiveCycle};
+pub use longest_path::{binding_in_edge, LongestPaths, PositiveCycle};
 pub use task::{Resource, ResourceKind, Task};
 
 #[cfg(test)]

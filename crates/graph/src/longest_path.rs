@@ -14,7 +14,7 @@
 //!   independent oracle for property tests.
 
 use crate::graph::ConstraintGraph;
-use crate::id::{NodeId, TaskId};
+use crate::id::{EdgeId, NodeId, TaskId};
 use crate::units::{Time, TimeSpan};
 
 /// Longest distances from a source node to every reachable node.
@@ -68,6 +68,43 @@ impl LongestPaths {
             .enumerate()
             .filter_map(|(i, d)| d.map(|d| (NodeId(i as u32), d)))
     }
+
+    /// The **binding** in-edge of `node`: the constraint whose
+    /// inequality `σ(node) ≥ σ(from) + w` holds with equality under
+    /// these distances — the edge that pins the node's start time.
+    ///
+    /// Ties (several simultaneously tight in-edges) break toward the
+    /// smallest [`EdgeId`], so the answer is deterministic. Returns
+    /// `None` for the source itself, for unreachable nodes, and for
+    /// nodes with no tight in-edge.
+    pub fn binding_edge(&self, graph: &ConstraintGraph, node: NodeId) -> Option<EdgeId> {
+        if node == self.source {
+            return None;
+        }
+        binding_in_edge(graph, node, |n| self.distance(n))
+    }
+}
+
+/// The in-edge of `node` that is *tight* under an arbitrary start-time
+/// assignment: the smallest-id edge `(u → node, w)` with
+/// `value(u) + w == value(node)`.
+///
+/// For [`LongestPaths`] distances this is the binding predecessor of
+/// the longest-path computation (see [`LongestPaths::binding_edge`]);
+/// for a committed schedule it identifies which recorded constraint
+/// pins the task where it is. Returns `None` when `node` has no value
+/// or sits strictly above every in-edge bound (e.g. held there by a
+/// non-timing decision).
+pub fn binding_in_edge<F>(graph: &ConstraintGraph, node: NodeId, value: F) -> Option<EdgeId>
+where
+    F: Fn(NodeId) -> Option<TimeSpan>,
+{
+    let dn = value(node)?;
+    graph
+        .in_edges(node)
+        .filter(|(_, e)| value(e.from()).map(|du| du + e.weight()) == Some(dn))
+        .map(|(id, _)| id)
+        .min()
 }
 
 /// A positive cycle found in the constraint graph: the timing
@@ -378,6 +415,55 @@ mod tests {
         let est = earliest_start_times(&g).unwrap();
         assert_eq!(est.len(), ids.len());
         assert_eq!(est[3].1.as_secs(), 9);
+    }
+
+    #[test]
+    fn binding_edge_names_the_tight_constraint() {
+        let (mut g, ids) = chain(3);
+        // A slack max window (t2 ≤ t0 + 100) is never tight.
+        g.max_separation(ids[0], ids[2], TimeSpan::from_secs(100));
+        let lp = single_source_longest_paths(&g, NodeId::ANCHOR).unwrap();
+
+        // t0 is pinned by its automatic anchor release edge.
+        let e0 = lp.binding_edge(&g, ids[0].node()).unwrap();
+        assert!(g.edge(e0).from().is_anchor());
+
+        // t1 and t2 are pinned by the precedence chain.
+        for w in ids.windows(2) {
+            let e = lp.binding_edge(&g, w[1].node()).unwrap();
+            assert_eq!(g.edge(e).from(), w[0].node());
+            assert_eq!(
+                lp.distance(w[0].node()).unwrap() + g.edge(e).weight(),
+                lp.distance(w[1].node()).unwrap()
+            );
+        }
+
+        // The source has no binding edge.
+        assert_eq!(lp.binding_edge(&g, NodeId::ANCHOR), None);
+    }
+
+    #[test]
+    fn binding_in_edge_follows_the_assignment_not_the_graph() {
+        let (g, ids) = chain(2);
+        // Under ASAP times the precedence is tight...
+        let asap = |n: NodeId| {
+            Some(if n == ids[1].node() {
+                TimeSpan::from_secs(3)
+            } else {
+                TimeSpan::ZERO
+            })
+        };
+        let e = binding_in_edge(&g, ids[1].node(), asap).unwrap();
+        assert_eq!(g.edge(e).from(), ids[0].node());
+        // ...but a start time above every bound has no binding edge.
+        let held = |n: NodeId| {
+            Some(if n == ids[1].node() {
+                TimeSpan::from_secs(42)
+            } else {
+                TimeSpan::ZERO
+            })
+        };
+        assert_eq!(binding_in_edge(&g, ids[1].node(), held), None);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use std::fmt;
 
 use pas_core::Ratio;
-use pas_graph::units::{Power, Time, TimeSpan};
+use pas_graph::units::{Energy, Power, Time, TimeSpan};
 use pas_graph::TaskId;
 
 /// Pipeline stage (or runtime phase) a trace span belongs to.
@@ -162,6 +162,35 @@ impl fmt::Display for SlotKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
     }
+}
+
+/// What pins a task's committed start time — the payload of
+/// [`TraceEvent::TaskBound`].
+///
+/// A schedule assigns every task the largest lower bound among its
+/// in-edges (`σ(v) ≥ σ(u) + w`), unless a power-stage decision holds
+/// it even later. The binding records which case applied, giving
+/// `explain` its causal chain without re-running the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Binding {
+    /// An anchor edge is tight: the task sits at its release/lock
+    /// offset from `t = 0` and no task-to-task constraint pins it.
+    Anchor,
+    /// A task-to-task constraint edge is tight:
+    /// `start == start(pred) + weight`.
+    Edge {
+        /// The binding predecessor task.
+        pred: TaskId,
+        /// Edge-kind wire name (fixed vocabulary: `"min"`, `"max"`,
+        /// `"serialize"`).
+        kind: String,
+        /// The tight edge's weight (negative for max windows).
+        weight: TimeSpan,
+    },
+    /// The task sits strictly above every timing bound: a power-stage
+    /// decision (max-power compaction or a min-power gap move) holds
+    /// it there.
+    Power,
 }
 
 /// One algorithmic decision somewhere in the scheduling pipeline.
@@ -357,11 +386,51 @@ pub enum TraceEvent {
         /// Observed separation.
         actual: TimeSpan,
     },
+    /// Provenance for one task of a stage's committed schedule: its
+    /// final start time and the constraint that pins it there. Emitted
+    /// once per task after each stage outcome, so the last group in a
+    /// trace describes the final schedule.
+    TaskBound {
+        /// The stage whose outcome this belongs to.
+        stage: StageKind,
+        /// The task.
+        task: TaskId,
+        /// Its committed start time.
+        start: Time,
+        /// What pins the start time.
+        binding: Binding,
+    },
+    /// Committed metrics of a stage's outcome schedule, closing the
+    /// stage's `TaskBound` group.
+    OutcomeRecorded {
+        /// The stage whose outcome this summarizes.
+        stage: StageKind,
+        /// Finish time τ of the schedule.
+        tau: Time,
+        /// Energy cost `Ec` (energy drawn above the free/background
+        /// supply).
+        energy_cost: Energy,
+        /// Min-power utilization ρ.
+        utilization: Ratio,
+        /// Peak aggregate power.
+        peak: Power,
+    },
+    /// An event this build of the codec does not understand — a trace
+    /// written by a newer binary. The raw line is preserved verbatim
+    /// so re-encoding is lossless.
+    Unknown {
+        /// The wire name carried in the `"event"` field.
+        name: String,
+        /// The trimmed original JSON line.
+        line: String,
+    },
 }
 
 impl TraceEvent {
-    /// The variant name, as spelled on the wire.
-    pub const fn name(&self) -> &'static str {
+    /// The variant name, as spelled on the wire. For
+    /// [`TraceEvent::Unknown`] this is the foreign name the line
+    /// carried.
+    pub fn name(&self) -> &str {
         match self {
             TraceEvent::StageStarted { .. } => "StageStarted",
             TraceEvent::StageFinished { .. } => "StageFinished",
@@ -387,12 +456,19 @@ impl TraceEvent {
             TraceEvent::TaskDispatched { .. } => "TaskDispatched",
             TraceEvent::TaskCompleted { .. } => "TaskCompleted",
             TraceEvent::WindowFaultDetected { .. } => "WindowFaultDetected",
+            TraceEvent::TaskBound { .. } => "TaskBound",
+            TraceEvent::OutcomeRecorded { .. } => "OutcomeRecorded",
+            TraceEvent::Unknown { name, .. } => name,
         }
     }
 
     /// Serializes the event as one flat JSON object (no trailing
-    /// newline).
+    /// newline). [`TraceEvent::Unknown`] returns its preserved
+    /// original line, so re-encoding a replayed trace is lossless.
     pub fn to_json(&self) -> String {
+        if let TraceEvent::Unknown { line, .. } = self {
+            return line.clone();
+        }
         let mut w = JsonObject::new(self.name());
         match self {
             TraceEvent::StageStarted { stage } | TraceEvent::StageFinished { stage } => {
@@ -516,15 +592,70 @@ impl TraceEvent {
                 w.int_field("allowed", allowed.as_secs() as i128);
                 w.int_field("actual", actual.as_secs() as i128);
             }
+            TraceEvent::TaskBound {
+                stage,
+                task,
+                start,
+                binding,
+            } => {
+                w.str_field("stage", stage.as_str());
+                w.int_field("task", task.index() as i128);
+                w.int_field("start", start.as_secs() as i128);
+                match binding {
+                    Binding::Anchor => w.str_field("via", "anchor"),
+                    Binding::Power => w.str_field("via", "power"),
+                    Binding::Edge { pred, kind, weight } => {
+                        w.str_field("via", "edge");
+                        w.int_field("pred", pred.index() as i128);
+                        w.str_field("kind", kind);
+                        w.int_field("weight", weight.as_secs() as i128);
+                    }
+                }
+            }
+            TraceEvent::OutcomeRecorded {
+                stage,
+                tau,
+                energy_cost,
+                utilization,
+                peak,
+            } => {
+                w.str_field("stage", stage.as_str());
+                w.int_field("tau", tau.as_secs() as i128);
+                w.int_field("ec", energy_cost.as_millijoules() as i128);
+                w.ratio_field("rho", *utilization);
+                w.int_field("peak", peak.as_milliwatts() as i128);
+            }
+            TraceEvent::Unknown { .. } => unreachable!("handled above"),
         }
         w.finish()
     }
 
     /// Parses one JSON line produced by [`TraceEvent::to_json`].
+    ///
+    /// Forward compatibility: a structurally valid line that this
+    /// build cannot interpret exactly — an unknown event name,
+    /// missing/extra fields, or unknown vocabulary strings written by
+    /// a newer binary — parses as a lossless [`TraceEvent::Unknown`]
+    /// instead of an error, so old binaries can replay newer traces.
+    /// Only malformed JSON (or a line without the `"event"`
+    /// discriminant) is rejected.
     pub fn from_json(line: &str) -> Result<Self, TraceParseError> {
         let fields = parse_flat_object(line)?;
         let ctx = Fields::new(&fields);
         let name = ctx.str("event")?;
+        match Self::parse_known(name, &ctx) {
+            Ok(event) if event.field_keys_match(&fields) => Ok(event),
+            _ => Ok(TraceEvent::Unknown {
+                name: name.to_string(),
+                line: line.trim().to_string(),
+            }),
+        }
+    }
+
+    /// Parses a known variant from its decoded fields. Any mismatch
+    /// (including an unrecognized `name`) is an error; `from_json`
+    /// degrades those to [`TraceEvent::Unknown`].
+    fn parse_known(name: &str, ctx: &Fields<'_>) -> Result<Self, TraceParseError> {
         let event = match name {
             "StageStarted" => TraceEvent::StageStarted {
                 stage: ctx.stage("stage")?,
@@ -628,6 +759,32 @@ impl TraceEvent {
                 allowed: ctx.span("allowed")?,
                 actual: ctx.span("actual")?,
             },
+            "TaskBound" => TraceEvent::TaskBound {
+                stage: ctx.stage("stage")?,
+                task: ctx.task("task")?,
+                start: ctx.time("start")?,
+                binding: match ctx.str("via")? {
+                    "anchor" => Binding::Anchor,
+                    "power" => Binding::Power,
+                    "edge" => Binding::Edge {
+                        pred: ctx.task("pred")?,
+                        kind: ctx.str("kind")?.to_string(),
+                        weight: ctx.span("weight")?,
+                    },
+                    other => {
+                        return Err(TraceParseError::new(format!(
+                            "field \"via\" has unknown binding {other:?}"
+                        )))
+                    }
+                },
+            },
+            "OutcomeRecorded" => TraceEvent::OutcomeRecorded {
+                stage: ctx.stage("stage")?,
+                tau: ctx.time("tau")?,
+                energy_cost: ctx.energy("ec")?,
+                utilization: ctx.ratio("rho")?,
+                peak: ctx.power("peak")?,
+            },
             other => {
                 return Err(TraceParseError::new(format!(
                     "unknown event name {other:?}"
@@ -637,12 +794,26 @@ impl TraceEvent {
         Ok(event)
     }
 
+    /// Whether the decoded input carried exactly the fields this
+    /// event's canonical encoding has — catches extra (newer-writer)
+    /// fields that `parse_known`'s by-name lookups would silently
+    /// ignore.
+    fn field_keys_match(&self, fields: &[(String, JsonValue)]) -> bool {
+        let own = parse_flat_object(&self.to_json()).expect("to_json emits valid flat objects");
+        own.len() == fields.len()
+            && own
+                .iter()
+                .all(|(k, _)| fields.iter().any(|(k2, _)| k2 == k))
+    }
+
     /// Which pipeline stage this event is intrinsic to, if any.
     ///
     /// Stage markers themselves return their payload stage; events
     /// that can only be emitted by one stage return that stage.
+    /// [`TraceEvent::Unknown`] has no known stage.
     pub const fn stage(&self) -> Option<StageKind> {
         Some(match self {
+            TraceEvent::Unknown { .. } => return None,
             TraceEvent::StageStarted { stage } | TraceEvent::StageFinished { stage } => *stage,
             TraceEvent::LintStarted { .. }
             | TraceEvent::LintFinding { .. }
@@ -666,6 +837,9 @@ impl TraceEvent {
             TraceEvent::TaskDispatched { .. }
             | TraceEvent::TaskCompleted { .. }
             | TraceEvent::WindowFaultDetected { .. } => StageKind::Dispatch,
+            TraceEvent::TaskBound { stage, .. } | TraceEvent::OutcomeRecorded { stage, .. } => {
+                *stage
+            }
         })
     }
 }
@@ -936,6 +1110,10 @@ impl<'a> Fields<'a> {
         Ok(Power::from_watts_milli(self.i64(key)?))
     }
 
+    fn energy(&self, key: &str) -> Result<Energy, TraceParseError> {
+        Ok(Energy::from_millijoules(self.i64(key)?))
+    }
+
     fn ratio(&self, key: &str) -> Result<Ratio, TraceParseError> {
         let s = self.str(key)?;
         let (num, den) = s
@@ -1077,6 +1255,39 @@ mod tests {
                 allowed: TimeSpan::from_secs(10),
                 actual: TimeSpan::from_secs(12),
             },
+            TraceEvent::TaskBound {
+                stage: StageKind::Timing,
+                task: t(1),
+                start: Time::from_secs(5),
+                binding: Binding::Edge {
+                    pred: t(0),
+                    kind: "min".to_string(),
+                    weight: TimeSpan::from_secs(5),
+                },
+            },
+            TraceEvent::TaskBound {
+                stage: StageKind::MaxPower,
+                task: t(0),
+                start: Time::from_secs(0),
+                binding: Binding::Anchor,
+            },
+            TraceEvent::TaskBound {
+                stage: StageKind::MinPower,
+                task: t(4),
+                start: Time::from_secs(17),
+                binding: Binding::Power,
+            },
+            TraceEvent::OutcomeRecorded {
+                stage: StageKind::MinPower,
+                tau: Time::from_secs(45),
+                energy_cost: Energy::from_millijoules(388_000),
+                utilization: Ratio::new(449, 500),
+                peak: Power::from_watts_milli(16_000),
+            },
+            TraceEvent::Unknown {
+                name: "FutureEvent".to_string(),
+                line: r#"{"event":"FutureEvent","frobs":3}"#.to_string(),
+            },
         ]
     }
 
@@ -1123,21 +1334,63 @@ mod tests {
     }
 
     #[test]
-    fn parser_rejects_malformed_lines() {
+    fn parser_rejects_structurally_malformed_lines() {
         for bad in [
             "",
             "{",
             "{}",
-            r#"{"event":"NoSuchEvent"}"#,
-            r#"{"event":"PowerRecursion"}"#,
-            r#"{"event":"PowerRecursion","depth":"three"}"#,
             r#"{"event":"PowerRecursion","depth":3} trailing"#,
-            r#"{"event":"MoveAccepted","task":1,"delta":0,"rho_before":"1:2","rho_after":"1/2"}"#,
-            r#"{"event":"MoveAccepted","task":1,"delta":0,"rho_before":"1/0","rho_after":"1/2"}"#,
         ] {
             assert!(
                 TraceEvent::from_json(bad).is_err(),
                 "expected parse failure for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unrecognized_lines_degrade_to_lossless_unknown() {
+        for (line, name) in [
+            (r#"{"event":"NoSuchEvent"}"#, "NoSuchEvent"),
+            (r#"{"event":"PowerRecursion"}"#, "PowerRecursion"),
+            (
+                r#"{"event":"PowerRecursion","depth":"three"}"#,
+                "PowerRecursion",
+            ),
+            (
+                r#"{"event":"TaskCommitted","task":3,"flux":9}"#,
+                "TaskCommitted",
+            ),
+            (
+                r#"{"event":"MoveAccepted","task":1,"delta":0,"rho_before":"1:2","rho_after":"1/2"}"#,
+                "MoveAccepted",
+            ),
+            (
+                r#"{"event":"MoveAccepted","task":1,"delta":0,"rho_before":"1/0","rho_after":"1/2"}"#,
+                "MoveAccepted",
+            ),
+            (
+                r#" {"event":"TaskBound","stage":"timing","task":0,"start":0,"via":"teleport"} "#,
+                "TaskBound",
+            ),
+        ] {
+            let parsed = TraceEvent::from_json(line)
+                .unwrap_or_else(|e| panic!("expected Unknown for {line:?}, got error {e}"));
+            match &parsed {
+                TraceEvent::Unknown {
+                    name: got_name,
+                    line: got_line,
+                } => {
+                    assert_eq!(got_name, name, "wrong name for {line:?}");
+                    assert_eq!(got_line, line.trim(), "Unknown must store the raw line");
+                }
+                other => panic!("expected Unknown for {line:?}, got {other:?}"),
+            }
+            assert_eq!(parsed.stage(), None, "Unknown events carry no stage");
+            assert_eq!(
+                parsed.to_json(),
+                line.trim(),
+                "Unknown must round-trip losslessly"
             );
         }
     }

@@ -13,9 +13,12 @@ use crate::observer::Observer;
 /// stashed (see [`JsonlWriter::last_error`]) and further writes are
 /// skipped, so a full disk degrades tracing instead of aborting a
 /// scheduling run.
+///
+/// Dropping the writer flushes best-effort; call [`JsonlWriter::finish`]
+/// to surface deferred errors and get the line count.
 #[derive(Debug)]
 pub struct JsonlWriter<W: Write> {
-    out: W,
+    out: Option<W>,
     lines: u64,
     error: Option<io::Error>,
 }
@@ -27,12 +30,28 @@ impl JsonlWriter<BufWriter<File>> {
     }
 }
 
+impl JsonlWriter<Box<dyn Write>> {
+    /// Creates a trace sink at `path`, with `"-"` meaning stdout.
+    ///
+    /// This is the shared CLI convention: file paths get a buffered
+    /// truncating writer, `-` streams lines straight to stdout so the
+    /// trace can be piped into other tools.
+    pub fn create_or_stdout(path: &str) -> io::Result<Self> {
+        let out: Box<dyn Write> = if path == "-" {
+            Box::new(io::stdout())
+        } else {
+            Box::new(BufWriter::new(File::create(path)?))
+        };
+        Ok(JsonlWriter::new(out))
+    }
+}
+
 impl<W: Write> JsonlWriter<W> {
     /// Wraps an arbitrary writer. Callers should pass something
     /// buffered; one `write_all` is issued per event.
     pub fn new(out: W) -> Self {
         JsonlWriter {
-            out,
+            out: Some(out),
             lines: 0,
             error: None,
         }
@@ -51,17 +70,44 @@ impl<W: Write> JsonlWriter<W> {
 
     /// Flushes the underlying writer.
     pub fn flush(&mut self) -> io::Result<()> {
-        self.out.flush()
+        match self.out.as_mut() {
+            Some(out) => out.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Flushes, surfaces any deferred write error, and returns the
+    /// number of lines written.
+    pub fn finish(mut self) -> io::Result<u64> {
+        if let Some(err) = self.error.take() {
+            return Err(err);
+        }
+        if let Some(mut out) = self.out.take() {
+            out.flush()?;
+        }
+        Ok(self.lines)
     }
 
     /// Flushes and returns the underlying writer, surfacing any
     /// deferred write error first.
-    pub fn finish(mut self) -> io::Result<W> {
+    pub fn into_inner(mut self) -> io::Result<W> {
         if let Some(err) = self.error.take() {
             return Err(err);
         }
-        self.out.flush()?;
-        Ok(self.out)
+        let mut out = self.out.take().expect("writer only vacated by consumers");
+        out.flush()?;
+        Ok(out)
+    }
+}
+
+impl<W: Write> Drop for JsonlWriter<W> {
+    fn drop(&mut self) {
+        // finish()/into_inner() already flushed and vacated `out`; a
+        // writer dropped without either still gets its buffer pushed
+        // out, errors ignored (Drop cannot report them).
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
     }
 }
 
@@ -70,9 +116,12 @@ impl<W: Write> Observer for JsonlWriter<W> {
         if self.error.is_some() {
             return;
         }
+        let Some(out) = self.out.as_mut() else {
+            return;
+        };
         let mut line = event.to_json();
         line.push('\n');
-        match self.out.write_all(line.as_bytes()) {
+        match out.write_all(line.as_bytes()) {
             Ok(()) => self.lines += 1,
             Err(err) => self.error = Some(err),
         }
@@ -81,8 +130,10 @@ impl<W: Write> Observer for JsonlWriter<W> {
 
 /// Parses a whole JSONL trace back into events, skipping blank lines.
 ///
-/// Returns the first malformed line as an error with its 1-based line
-/// number.
+/// Returns the first structurally malformed line as an error with its
+/// 1-based line number. Lines that are valid flat JSON objects but not
+/// recognized events come back as [`TraceEvent::Unknown`] (see the
+/// forward-compat policy on [`TraceEvent::from_json`]).
 pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
     let mut events = Vec::new();
     for (i, line) in text.lines().enumerate() {
@@ -100,6 +151,8 @@ mod tests {
     use super::*;
     use crate::event::StageKind;
     use pas_graph::TaskId;
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     #[test]
     fn writes_one_line_per_event_and_round_trips() {
@@ -119,10 +172,19 @@ mod tests {
             w.on_event(e);
         }
         assert_eq!(w.lines(), 3);
-        let bytes = w.finish().unwrap();
+        let bytes = w.into_inner().unwrap();
         let text = String::from_utf8(bytes).unwrap();
         assert_eq!(text.lines().count(), 3);
         assert_eq!(parse_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn finish_reports_the_line_count() {
+        let mut w = JsonlWriter::new(Vec::new());
+        for depth in 0..5 {
+            w.on_event(&TraceEvent::PowerRecursion { depth });
+        }
+        assert_eq!(w.finish().unwrap(), 5);
     }
 
     #[test]
@@ -145,9 +207,47 @@ mod tests {
     }
 
     #[test]
+    fn drop_flushes_the_underlying_writer() {
+        #[derive(Clone)]
+        struct FlushCounter(Rc<RefCell<u32>>);
+        impl Write for FlushCounter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                *self.0.borrow_mut() += 1;
+                Ok(())
+            }
+        }
+        let flushes = Rc::new(RefCell::new(0));
+        {
+            let mut w = JsonlWriter::new(FlushCounter(Rc::clone(&flushes)));
+            w.on_event(&TraceEvent::PowerRecursion { depth: 1 });
+        }
+        assert_eq!(*flushes.borrow(), 1, "drop must flush");
+
+        // finish() flushes once itself; drop must not double-flush.
+        let w = JsonlWriter::new(FlushCounter(Rc::clone(&flushes)));
+        assert_eq!(w.finish().unwrap(), 0);
+        assert_eq!(*flushes.borrow(), 2);
+    }
+
+    #[test]
     fn parse_jsonl_reports_line_numbers() {
         let text = "{\"event\":\"PowerRecursion\",\"depth\":1}\n\nnot json\n";
         let err = parse_jsonl(text).unwrap_err();
         assert!(err.starts_with("line 3:"), "got: {err}");
+    }
+
+    #[test]
+    fn parse_jsonl_passes_unknown_lines_through() {
+        let text =
+            "{\"event\":\"PowerRecursion\",\"depth\":1}\n{\"event\":\"FutureEvent\",\"frobs\":3}\n";
+        let events = parse_jsonl(text).unwrap();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            &events[1],
+            TraceEvent::Unknown { name, .. } if name == "FutureEvent"
+        ));
     }
 }

@@ -14,7 +14,10 @@
 //!   out to two sinks at once;
 //! * [`StageProfiler`] — turns `StageStarted`/`StageFinished` markers
 //!   into per-stage wall-clock [`StageProfile`]s without perturbing
-//!   the deterministic event payloads.
+//!   the deterministic event payloads, and keeps individual
+//!   [`SpanRecord`]s for Chrome-trace (Perfetto-loadable) export;
+//! * [`MetricsRegistry`] — counters plus log-bucketed [`Histogram`]s
+//!   over the event stream, rendered as Prometheus text exposition.
 //!
 //! ## Event vocabulary
 //!
@@ -25,7 +28,13 @@
 //! | max-power (Fig. 4) | `SpikeDetected`, `VictimDelayed`, `ZeroSlackLocked`, `PowerRecursion`, `RespinStarted` |
 //! | min-power (Fig. 6) | `GapScanStarted`, `GapFound`, `MoveAccepted`, `MoveRejected`, `GapScanFinished` |
 //! | dispatch | `TaskDispatched`, `TaskCompleted`, `WindowFaultDetected` |
+//! | incremental engine | `IncrementalCacheHit`, `IncrementalDelta`, `IncrementalFallback` |
+//! | provenance (per stage outcome) | `TaskBound` (with a [`Binding`]), `OutcomeRecorded` |
 //! | all | `StageStarted`, `StageFinished` |
+//!
+//! Lines written by newer binaries that this build does not recognize
+//! parse as `TraceEvent::Unknown`, preserving the raw line losslessly
+//! so replay and diff tools can pass them through.
 //!
 //! ## Example
 //!
@@ -52,10 +61,12 @@
 
 mod event;
 mod jsonl;
+mod metrics;
 mod observer;
 mod profile;
 
-pub use event::{ScanKind, SlotKind, StageKind, TraceEvent, TraceParseError};
+pub use event::{Binding, ScanKind, SlotKind, StageKind, TraceEvent, TraceParseError};
 pub use jsonl::{parse_jsonl, JsonlWriter};
+pub use metrics::{Histogram, MetricsRegistry};
 pub use observer::{CountingObserver, EventCounts, NullObserver, Observer, RecordingObserver, Tee};
-pub use profile::{render_profile_table, StageProfile, StageProfiler};
+pub use profile::{render_profile_table, SpanRecord, StageProfile, StageProfiler};

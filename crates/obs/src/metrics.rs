@@ -1,0 +1,338 @@
+//! Metrics registry: counters and log-bucketed histograms over the
+//! event stream, exportable as Prometheus text exposition and
+//! Chrome-trace JSON.
+//!
+//! [`MetricsRegistry`] is an [`Observer`] meant to be [`crate::Tee`]d
+//! next to a trace writer: it folds every event into
+//! [`EventCounts`]-backed counters, drives an internal
+//! [`StageProfiler`] for wall-clock spans, and feeds a handful of
+//! [`Histogram`]s with decision magnitudes (victim delay sizes, gap
+//! move distances, backtrack depths, respin attempts, incremental
+//! relaxation counts, per-pass move counts).
+//!
+//! The exposition format is the Prometheus *text exposition format*
+//! (`# HELP` / `# TYPE` comments, `metric{label="value"} 1234` sample
+//! lines, histograms as cumulative `_bucket{le="..."}` series plus
+//! `_sum`/`_count`). The Chrome-trace export delegates to
+//! [`StageProfiler::chrome_trace`].
+
+use std::fmt::Write as _;
+
+use crate::event::TraceEvent;
+use crate::observer::{EventCounts, Observer};
+use crate::profile::StageProfiler;
+
+/// Number of power-of-two buckets in a [`Histogram`]; values of
+/// `2^31` or less land in a finite bucket, larger ones in `+Inf`.
+const BUCKETS: usize = 32;
+
+/// Fixed log₂-bucketed histogram of `u64` observations.
+///
+/// Bucket `i` holds observations with value `≤ 2^i` (upper bounds
+/// 1, 2, 4, …, 2³¹); anything larger counts toward `+Inf` only. The
+/// fixed power-of-two layout keeps recording allocation-free and makes
+/// merged output stable across runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    overflow: u64,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        match (0..BUCKETS).find(|&i| value <= 1u64 << i) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Renders the histogram as Prometheus text exposition lines.
+    ///
+    /// Buckets are cumulative as the format requires; trailing empty
+    /// buckets are elided (the mandatory `+Inf` bucket always carries
+    /// the full count).
+    pub fn render(&self, out: &mut String, name: &str, help: &str) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let last = (0..BUCKETS).rev().find(|&i| self.counts[i] > 0);
+        let mut cumulative = 0u64;
+        if let Some(last) = last {
+            for (i, bucket) in self.counts.iter().enumerate().take(last + 1) {
+                cumulative += bucket;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", 1u64 << i);
+            }
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.count);
+        let _ = writeln!(out, "{name}_sum {}", self.sum);
+        let _ = writeln!(out, "{name}_count {}", self.count);
+    }
+}
+
+/// Observer that aggregates the event stream into exportable metrics.
+///
+/// Tee it beside the trace writer:
+///
+/// ```
+/// use pas_obs::{MetricsRegistry, Observer, Tee, TraceEvent};
+/// use pas_obs::StageKind;
+///
+/// let mut metrics = MetricsRegistry::new();
+/// let mut tee = Tee(&mut metrics, pas_obs::NullObserver);
+/// tee.on_event(&TraceEvent::StageStarted { stage: StageKind::Timing });
+/// tee.on_event(&TraceEvent::StageFinished { stage: StageKind::Timing });
+/// let text = metrics.render_prometheus();
+/// assert!(text.contains("pas_events_total{counter=\"stage_starts\"} 1"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counts: EventCounts,
+    profiler: StageProfiler,
+    victim_delay_secs: Histogram,
+    move_delta_secs: Histogram,
+    backtrack_depth: Histogram,
+    respin_attempts: Histogram,
+    delta_relaxations: Histogram,
+    scan_moves: Histogram,
+    commit_depth: u64,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The per-variant event tallies folded in so far.
+    pub fn counts(&self) -> EventCounts {
+        self.counts
+    }
+
+    /// The internal stage profiler (wall clocks, spans).
+    pub fn profiler(&self) -> &StageProfiler {
+        &self.profiler
+    }
+
+    /// Renders every metric in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        let _ = writeln!(
+            out,
+            "# HELP pas_events_total Scheduling pipeline events by kind."
+        );
+        let _ = writeln!(out, "# TYPE pas_events_total counter");
+        for (name, value) in self.counts.named() {
+            let _ = writeln!(out, "pas_events_total{{counter=\"{name}\"}} {value}");
+        }
+
+        let profiles = self.profiler.profiles();
+        let _ = writeln!(
+            out,
+            "# HELP pas_stage_wall_seconds Wall-clock time spent per pipeline stage."
+        );
+        let _ = writeln!(out, "# TYPE pas_stage_wall_seconds gauge");
+        for (stage, profile) in &profiles {
+            let _ = writeln!(
+                out,
+                "pas_stage_wall_seconds{{stage=\"{stage}\"}} {}",
+                profile.wall.as_secs_f64()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP pas_stage_runs_total Completed runs per pipeline stage."
+        );
+        let _ = writeln!(out, "# TYPE pas_stage_runs_total counter");
+        for (stage, profile) in &profiles {
+            let _ = writeln!(
+                out,
+                "pas_stage_runs_total{{stage=\"{stage}\"}} {}",
+                profile.runs
+            );
+        }
+
+        let mut stage_latency = Histogram::new();
+        for span in self.profiler.spans() {
+            stage_latency.record(span.wall.as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+        stage_latency.render(
+            &mut out,
+            "pas_stage_latency_microseconds",
+            "Wall-clock latency of completed stage spans.",
+        );
+        self.victim_delay_secs.render(
+            &mut out,
+            "pas_victim_delay_seconds",
+            "Max-power victim delay magnitudes.",
+        );
+        self.move_delta_secs.render(
+            &mut out,
+            "pas_move_delta_seconds",
+            "Accepted min-power gap move distances.",
+        );
+        self.backtrack_depth.render(
+            &mut out,
+            "pas_backtrack_depth",
+            "Commit-stack depth at each timing backtrack.",
+        );
+        self.respin_attempts.render(
+            &mut out,
+            "pas_respin_attempts",
+            "Max-power respin attempt numbers.",
+        );
+        self.delta_relaxations.render(
+            &mut out,
+            "pas_delta_relaxations",
+            "Relaxations performed per incremental longest-path delta.",
+        );
+        self.scan_moves.render(
+            &mut out,
+            "pas_scan_moves",
+            "Accepted moves per min-power gap-scan pass.",
+        );
+        out
+    }
+
+    /// Renders the stage spans as Chrome-trace JSON (Perfetto-loadable).
+    pub fn chrome_trace(&self) -> String {
+        self.profiler.chrome_trace()
+    }
+}
+
+impl Observer for MetricsRegistry {
+    fn on_event(&mut self, event: &TraceEvent) {
+        self.counts.record(event);
+        self.profiler.on_event(event);
+        match event {
+            TraceEvent::TaskCommitted { .. } => self.commit_depth += 1,
+            TraceEvent::TopoBacktrack { .. } => {
+                self.backtrack_depth.record(self.commit_depth);
+                self.commit_depth = self.commit_depth.saturating_sub(1);
+            }
+            TraceEvent::VictimDelayed { delta, .. } => {
+                self.victim_delay_secs
+                    .record(delta.as_secs().unsigned_abs());
+            }
+            TraceEvent::MoveAccepted { delta, .. } => {
+                self.move_delta_secs.record(delta.as_secs().unsigned_abs());
+            }
+            TraceEvent::RespinStarted { attempt } => {
+                self.respin_attempts.record(u64::from(*attempt));
+            }
+            TraceEvent::IncrementalDelta { relaxations, .. } => {
+                self.delta_relaxations.record(*relaxations);
+            }
+            TraceEvent::GapScanFinished { moves, .. } => {
+                self.scan_moves.record(*moves);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StageKind;
+    use pas_graph::units::TimeSpan;
+    use pas_graph::TaskId;
+
+    #[test]
+    fn histogram_buckets_are_log2_and_cumulative() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 5, 1 << 20, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        let mut out = String::new();
+        h.render(&mut out, "test_metric", "help text");
+        assert!(out.contains("# TYPE test_metric histogram"));
+        // le="1" covers 0 and 1; le="2" adds 2; le="4" adds 3; le="8" adds 5.
+        assert!(out.contains("test_metric_bucket{le=\"1\"} 2"));
+        assert!(out.contains("test_metric_bucket{le=\"2\"} 3"));
+        assert!(out.contains("test_metric_bucket{le=\"4\"} 4"));
+        assert!(out.contains("test_metric_bucket{le=\"8\"} 5"));
+        // u64::MAX exceeds every finite bucket: only +Inf sees it.
+        assert!(out.contains("test_metric_bucket{le=\"+Inf\"} 7"));
+        assert!(out.contains("test_metric_count 7"));
+    }
+
+    #[test]
+    fn empty_histogram_still_renders_the_mandatory_series() {
+        let mut out = String::new();
+        Histogram::new().render(&mut out, "empty_metric", "nothing yet");
+        assert!(out.contains("empty_metric_bucket{le=\"+Inf\"} 0"));
+        assert!(out.contains("empty_metric_sum 0"));
+        assert!(out.contains("empty_metric_count 0"));
+    }
+
+    #[test]
+    fn registry_folds_counters_histograms_and_spans() {
+        let mut reg = MetricsRegistry::new();
+        reg.on_event(&TraceEvent::StageStarted {
+            stage: StageKind::Timing,
+        });
+        for i in 0..3 {
+            reg.on_event(&TraceEvent::TaskCommitted {
+                task: TaskId::from_index(i),
+            });
+        }
+        reg.on_event(&TraceEvent::TopoBacktrack {
+            task: TaskId::from_index(2),
+        });
+        reg.on_event(&TraceEvent::StageFinished {
+            stage: StageKind::Timing,
+        });
+        reg.on_event(&TraceEvent::VictimDelayed {
+            task: TaskId::from_index(1),
+            slack: TimeSpan::from_secs(5),
+            delta: TimeSpan::from_secs(3),
+        });
+
+        assert_eq!(reg.counts().tasks_committed, 3);
+        assert_eq!(reg.backtrack_depth.count(), 1);
+        // Depth was 3 when the backtrack arrived.
+        assert_eq!(reg.backtrack_depth.sum(), 3);
+        assert_eq!(reg.victim_delay_secs.sum(), 3);
+
+        let text = reg.render_prometheus();
+        assert!(text.contains("pas_events_total{counter=\"tasks_committed\"} 3"));
+        assert!(text.contains("pas_stage_runs_total{stage=\"timing\"} 1"));
+        assert!(text.contains("pas_stage_latency_microseconds_count 1"));
+        assert!(text.contains("pas_victim_delay_seconds_sum 3"));
+
+        let chrome = reg.chrome_trace();
+        assert!(chrome.contains("\"name\":\"timing\""));
+    }
+}

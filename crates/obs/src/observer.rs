@@ -109,6 +109,12 @@ pub struct EventCounts {
     pub incremental_deltas: u64,
     /// `IncrementalFallback` events.
     pub incremental_fallbacks: u64,
+    /// `TaskBound` events.
+    pub tasks_bound: u64,
+    /// `OutcomeRecorded` events.
+    pub outcomes_recorded: u64,
+    /// `Unknown` events (forward-compat lines from newer writers).
+    pub unknown_events: u64,
 }
 
 impl EventCounts {
@@ -144,7 +150,47 @@ impl EventCounts {
             TraceEvent::IncrementalCacheHit { .. } => self.incremental_cache_hits += 1,
             TraceEvent::IncrementalDelta { .. } => self.incremental_deltas += 1,
             TraceEvent::IncrementalFallback { .. } => self.incremental_fallbacks += 1,
+            TraceEvent::TaskBound { .. } => self.tasks_bound += 1,
+            TraceEvent::OutcomeRecorded { .. } => self.outcomes_recorded += 1,
+            TraceEvent::Unknown { .. } => self.unknown_events += 1,
         }
+    }
+
+    /// The per-variant tallies as `(name, value)` pairs, in declaration
+    /// order, excluding `total`.
+    ///
+    /// The names double as stable label values for metrics exposition
+    /// and as row keys for trace diffing.
+    pub fn named(&self) -> [(&'static str, u64); 27] {
+        [
+            ("stage_starts", self.stage_starts),
+            ("stage_finishes", self.stage_finishes),
+            ("tasks_committed", self.tasks_committed),
+            ("topo_backtracks", self.topo_backtracks),
+            ("serializations", self.serializations),
+            ("spikes_detected", self.spikes_detected),
+            ("victim_delays", self.victim_delays),
+            ("zero_slack_locks", self.zero_slack_locks),
+            ("power_recursions", self.power_recursions),
+            ("respins", self.respins),
+            ("gap_scans", self.gap_scans),
+            ("gap_scan_finishes", self.gap_scan_finishes),
+            ("gaps_found", self.gaps_found),
+            ("moves_accepted", self.moves_accepted),
+            ("moves_rejected", self.moves_rejected),
+            ("tasks_dispatched", self.tasks_dispatched),
+            ("tasks_completed", self.tasks_completed),
+            ("window_faults", self.window_faults),
+            ("lint_runs", self.lint_runs),
+            ("lint_findings", self.lint_findings),
+            ("lint_rejections", self.lint_rejections),
+            ("incremental_cache_hits", self.incremental_cache_hits),
+            ("incremental_deltas", self.incremental_deltas),
+            ("incremental_fallbacks", self.incremental_fallbacks),
+            ("tasks_bound", self.tasks_bound),
+            ("outcomes_recorded", self.outcomes_recorded),
+            ("unknown_events", self.unknown_events),
+        ]
     }
 
     /// Tallies a whole recorded stream, e.g. to reconcile a trace file
@@ -351,6 +397,25 @@ mod tests {
         let dynamic: &mut dyn Observer = &mut counter;
         dynamic.on_event(&ev(1));
         assert_eq!(counter.counts().total, 2);
+    }
+
+    #[test]
+    fn named_counts_mirror_the_fields() {
+        let mut counts = EventCounts::default();
+        counts.record(&ev(0));
+        counts.record(&TraceEvent::Unknown {
+            name: "FutureEvent".to_string(),
+            line: r#"{"event":"FutureEvent"}"#.to_string(),
+        });
+        let named = counts.named();
+        let mut names: Vec<_> = named.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), named.len(), "counter names must be unique");
+        let get = |key: &str| named.iter().find(|(n, _)| *n == key).unwrap().1;
+        assert_eq!(get("tasks_committed"), 1);
+        assert_eq!(get("unknown_events"), 1);
+        assert_eq!(counts.total, 2);
     }
 
     #[test]

@@ -38,6 +38,21 @@ impl StageProfile {
     }
 }
 
+/// One completed stage span, relative to the profiler's first event.
+///
+/// Spans are the raw material for the Chrome-trace export: each
+/// `StageStarted`/`StageFinished` pair becomes one complete (`"ph":"X"`)
+/// trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Which stage ran.
+    pub stage: StageKind,
+    /// Start offset from the first observed event.
+    pub start: Duration,
+    /// Wall-clock duration of the span.
+    pub wall: Duration,
+}
+
 /// Observer that turns stage markers into [`StageProfile`]s.
 ///
 /// * `StageStarted`/`StageFinished` pairs are timed with a monotonic
@@ -46,6 +61,10 @@ impl StageProfile {
 ///   to its intrinsic stage ([`TraceEvent::stage`]) when none is open.
 /// * `GapScanStarted`/`GapScanFinished` additionally time individual
 ///   min-power passes into [`StageProfile::scan_walls`].
+/// * Each completed span is also kept individually (see
+///   [`StageProfiler::spans`]) and can be exported as Chrome-trace
+///   JSON ([`StageProfiler::chrome_trace`]) loadable in Perfetto or
+///   `chrome://tracing`.
 ///
 /// Usually combined with another sink via [`crate::Tee`].
 #[derive(Debug, Clone, Default)]
@@ -53,6 +72,8 @@ pub struct StageProfiler {
     profiles: [StageProfile; StageKind::ALL.len()],
     open: Vec<(StageKind, Instant)>,
     scan_open: Option<Instant>,
+    origin: Option<Instant>,
+    spans: Vec<SpanRecord>,
 }
 
 impl StageProfiler {
@@ -82,6 +103,33 @@ impl StageProfiler {
         render_profile_table(&self.profiles())
     }
 
+    /// Completed stage spans in completion order, offsets relative to
+    /// the first observed event.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Renders the completed spans as Chrome-trace JSON (the
+    /// "JSON Array Format" with complete events), loadable in Perfetto
+    /// and `chrome://tracing`.
+    pub fn chrome_trace(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"stage\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":1}}",
+                span.stage,
+                span.start.as_micros(),
+                span.wall.as_micros(),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
     fn attribute(&mut self, event: &TraceEvent) -> Option<StageKind> {
         self.open
             .last()
@@ -93,6 +141,7 @@ impl StageProfiler {
 impl Observer for StageProfiler {
     fn on_event(&mut self, event: &TraceEvent) {
         let now = Instant::now();
+        let origin = *self.origin.get_or_insert(now);
         match event {
             TraceEvent::StageStarted { stage } => {
                 self.profiles[stage.index()].counts.record(event);
@@ -105,8 +154,14 @@ impl Observer for StageProfiler {
                 // finish with no matching start.
                 if let Some(pos) = self.open.iter().rposition(|(s, _)| s == stage) {
                     let (_, started) = self.open.remove(pos);
-                    profile.wall += now.duration_since(started);
+                    let wall = now.duration_since(started);
+                    profile.wall += wall;
                     profile.runs += 1;
+                    self.spans.push(SpanRecord {
+                        stage: *stage,
+                        start: started.duration_since(origin),
+                        wall,
+                    });
                 }
             }
             _ => {
@@ -301,6 +356,27 @@ mod tests {
         assert!(table.contains("timing"));
         assert!(!table.contains("dispatch"));
         assert!(table.lines().count() >= 3, "header + rule + row");
+    }
+
+    #[test]
+    fn spans_and_chrome_trace_cover_each_completed_stage() {
+        let mut prof = StageProfiler::new();
+        for stage in [StageKind::Timing, StageKind::MaxPower] {
+            prof.on_event(&TraceEvent::StageStarted { stage });
+            prof.on_event(&TraceEvent::StageFinished { stage });
+        }
+        let spans = prof.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].stage, StageKind::Timing);
+        assert_eq!(spans[1].stage, StageKind::MaxPower);
+        assert!(spans[1].start >= spans[0].start, "spans ordered by start");
+
+        let json = prof.chrome_trace();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"name\":\"timing\""));
+        assert!(json.contains("\"name\":\"max-power\""));
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Structural validation of the exported metric formats.
+//!
+//! The Prometheus check is a hand-written validator for the text
+//! exposition format (comment lines, sample-line grammar, histogram
+//! invariants); the Chrome-trace check is a minimal recursive JSON
+//! parser plus a schema walk over the parsed value. Neither pulls in a
+//! dependency — the point is to fail when the exporters drift from
+//! what real consumers (Prometheus scrapers, Perfetto) accept.
+
+use std::collections::HashMap;
+
+use pas_core::Ratio;
+use pas_graph::units::TimeSpan;
+use pas_graph::TaskId;
+use pas_obs::{MetricsRegistry, Observer, ScanKind, SlotKind, StageKind, TraceEvent};
+
+/// Feeds the registry a synthetic but representative pipeline run.
+fn populated_registry() -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    let t = TaskId::from_index;
+    let events = [
+        TraceEvent::StageStarted {
+            stage: StageKind::Timing,
+        },
+        TraceEvent::TaskCommitted { task: t(0) },
+        TraceEvent::TaskCommitted { task: t(1) },
+        TraceEvent::TopoBacktrack { task: t(1) },
+        TraceEvent::TaskCommitted { task: t(1) },
+        TraceEvent::StageFinished {
+            stage: StageKind::Timing,
+        },
+        TraceEvent::StageStarted {
+            stage: StageKind::MaxPower,
+        },
+        TraceEvent::VictimDelayed {
+            task: t(0),
+            slack: TimeSpan::from_secs(9),
+            delta: TimeSpan::from_secs(4),
+        },
+        TraceEvent::RespinStarted { attempt: 1 },
+        TraceEvent::StageFinished {
+            stage: StageKind::MaxPower,
+        },
+        TraceEvent::StageStarted {
+            stage: StageKind::MinPower,
+        },
+        TraceEvent::GapScanStarted {
+            pass: 1,
+            order: ScanKind::Forward,
+            slot: SlotKind::StartAtGap,
+        },
+        TraceEvent::MoveAccepted {
+            task: t(1),
+            delta: TimeSpan::from_secs(-2),
+            rho_before: Ratio::new(440, 500),
+            rho_after: Ratio::new(449, 500),
+        },
+        TraceEvent::GapScanFinished { pass: 1, moves: 1 },
+        TraceEvent::StageFinished {
+            stage: StageKind::MinPower,
+        },
+    ];
+    for e in &events {
+        reg.on_event(e);
+    }
+    reg
+}
+
+#[test]
+fn prometheus_exposition_is_structurally_valid() {
+    let text = populated_registry().render_prometheus();
+    validate_prometheus(&text).unwrap_or_else(|e| panic!("invalid exposition: {e}\n---\n{text}"));
+}
+
+#[test]
+fn chrome_trace_is_structurally_valid_json_with_the_expected_schema() {
+    let chrome = populated_registry().chrome_trace();
+    let value = Json::parse(&chrome).unwrap_or_else(|e| panic!("invalid JSON: {e}\n---\n{chrome}"));
+
+    let Json::Object(top) = &value else {
+        panic!("top level must be an object");
+    };
+    assert!(
+        matches!(top.get("displayTimeUnit"), Some(Json::String(s)) if s == "ms"),
+        "displayTimeUnit must be the string \"ms\""
+    );
+    let Some(Json::Array(events)) = top.get("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    assert_eq!(events.len(), 3, "one complete span per finished stage");
+    for event in events {
+        let Json::Object(fields) = event else {
+            panic!("every trace event must be an object");
+        };
+        for key in ["name", "cat", "ph"] {
+            assert!(
+                matches!(fields.get(key), Some(Json::String(_))),
+                "trace event field {key:?} must be a string"
+            );
+        }
+        for key in ["ts", "dur", "pid", "tid"] {
+            assert!(
+                matches!(fields.get(key), Some(Json::Number(_))),
+                "trace event field {key:?} must be a number"
+            );
+        }
+        assert!(
+            matches!(fields.get("ph"), Some(Json::String(s)) if s == "X"),
+            "stage spans are complete events (ph = X)"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text exposition validator
+// ---------------------------------------------------------------------
+
+/// Validates `text` against the Prometheus text exposition format and
+/// the histogram invariants (cumulative buckets, mandatory series).
+fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    // name -> (bucket cumulative counts in order, has_sum, has_count, count value)
+    let mut histograms: HashMap<String, (Vec<u64>, bool, bool, u64)> = HashMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut words = rest.splitn(3, ' ');
+            match (words.next(), words.next(), words.next()) {
+                (Some("HELP"), Some(name), Some(help)) => {
+                    check_metric_name(name).map_err(|e| format!("line {n}: {e}"))?;
+                    if help.trim().is_empty() {
+                        return Err(format!("line {n}: empty HELP text"));
+                    }
+                }
+                (Some("TYPE"), Some(name), Some(kind)) => {
+                    check_metric_name(name).map_err(|e| format!("line {n}: {e}"))?;
+                    if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                        return Err(format!("line {n}: unknown metric type {kind:?}"));
+                    }
+                    types.insert(name.to_string(), kind.to_string());
+                }
+                _ => return Err(format!("line {n}: malformed comment {line:?}")),
+            }
+            continue;
+        }
+
+        // Sample line: name[{labels}] value
+        let (name_and_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: no sample value in {line:?}"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {n}: bad sample value {value:?}"))?;
+        let (name, labels) = match name_and_labels.split_once('{') {
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {n}: unterminated label set"))?;
+                (
+                    name,
+                    parse_labels(body).map_err(|e| format!("line {n}: {e}"))?,
+                )
+            }
+            None => (name_and_labels, Vec::new()),
+        };
+        check_metric_name(name).map_err(|e| format!("line {n}: {e}"))?;
+
+        // Resolve the histogram family for _bucket/_sum/_count series.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| name.strip_suffix(suffix).map(|base| (base, *suffix)))
+            .filter(|(base, _)| types.get(*base).map(String::as_str) == Some("histogram"));
+        match family {
+            Some((base, "_bucket")) => {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| format!("line {n}: histogram bucket without le label"))?;
+                if le != "+Inf" {
+                    le.parse::<f64>()
+                        .map_err(|_| format!("line {n}: bad le bound {le:?}"))?;
+                }
+                histograms
+                    .entry(base.to_string())
+                    .or_default()
+                    .0
+                    .push(value as u64);
+            }
+            Some((base, "_sum")) => histograms.entry(base.to_string()).or_default().1 = true,
+            Some((base, "_count")) => {
+                let entry = histograms.entry(base.to_string()).or_default();
+                entry.2 = true;
+                entry.3 = value as u64;
+            }
+            _ => {
+                if !types.contains_key(name) {
+                    return Err(format!("line {n}: sample {name:?} has no # TYPE"));
+                }
+            }
+        }
+    }
+
+    for (name, (buckets, has_sum, has_count, count)) in &histograms {
+        if buckets.is_empty() {
+            return Err(format!("histogram {name}: no buckets"));
+        }
+        if !buckets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(format!("histogram {name}: buckets are not cumulative"));
+        }
+        if !(*has_sum && *has_count) {
+            return Err(format!("histogram {name}: missing _sum or _count"));
+        }
+        if buckets.last() != Some(count) {
+            return Err(format!("histogram {name}: +Inf bucket != _count"));
+        }
+    }
+    Ok(())
+}
+
+fn check_metric_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    let ok_first = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    if ok_first && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        Ok(())
+    } else {
+        Err(format!("bad metric name {name:?}"))
+    }
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    for pair in body.split(',') {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("bad label pair {pair:?}"))?;
+        check_metric_name(key)?;
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted label value in {pair:?}"))?;
+        if value.contains(['"', '\\', '\n']) {
+            return Err(format!("label value needs escaping: {value:?}"));
+        }
+        labels.push((key.to_string(), value.to_string()));
+    }
+    Ok(labels)
+}
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON parser
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Json {
+    Object(HashMap<String, Json>),
+    Array(Vec<Json>),
+    String(String),
+    // The schema walk only checks kinds, so the payloads of number and
+    // bool values are parsed but never read back out.
+    Number(#[allow(dead_code)] f64),
+    Bool(#[allow(dead_code)] bool),
+    Null,
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {pos}, found {:?}",
+            byte as char,
+            bytes.get(*pos).map(|&b| b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = HashMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            other => return Err(format!("expected ',' or ']', found {other:?}")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = bytes
+                    .get(*pos)
+                    .ok_or_else(|| "unterminated escape".to_string())?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    other => return Err(format!("unsupported escape \\{}", *other as char)),
+                }
+            }
+            other => out.push(other as char),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Number)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}

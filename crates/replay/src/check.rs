@@ -1,0 +1,245 @@
+//! Cross-checking a replayed outcome against the original problem.
+//!
+//! The trace records *claims*: per-task start times, binding
+//! constraints, and headline metrics. [`cross_check`] re-derives
+//! everything it can from the untouched problem definition — the
+//! schedule analysis is recomputed from scratch, every claimed
+//! binding edge is checked for tightness against the reconstructed
+//! schedule, and `Power` bindings are verified to be bound by *no*
+//! timing constraint (including the serialization chains implied by
+//! the schedule itself). Metrics must match bit-exactly; anything
+//! else is reported as a divergence.
+
+use pas_core::{analyze, Problem, Schedule, ScheduleAnalysis};
+use pas_graph::units::{Time, TimeSpan};
+use pas_graph::TaskId;
+use pas_obs::{Binding, StageKind};
+
+use crate::state::{OutcomeRecord, Replay};
+
+/// A replayed schedule that survived [`cross_check`]: bit-identical
+/// metrics and consistent provenance.
+#[derive(Debug, Clone)]
+pub struct CheckedSchedule {
+    /// The stage the outcome belongs to.
+    pub stage: StageKind,
+    /// The schedule reconstructed from the trace.
+    pub schedule: Schedule,
+    /// Fresh analysis of the reconstructed schedule against the
+    /// problem (independently recomputed, then compared against the
+    /// traced metrics).
+    pub analysis: ScheduleAnalysis,
+}
+
+/// Cross-checks the replay's *final* outcome against `problem`.
+///
+/// # Errors
+/// Returns every divergence found (missing/duplicated tasks, metric
+/// mismatches, untight binding edges, spurious `Power` bindings).
+pub fn cross_check(problem: &Problem, replay: &Replay) -> Result<CheckedSchedule, Vec<String>> {
+    match replay.final_outcome() {
+        Some(outcome) => check_outcome(problem, outcome),
+        None => Err(vec!["trace contains no OutcomeRecorded group".to_string()]),
+    }
+}
+
+/// Cross-checks the replay's last outcome for `stage`.
+///
+/// # Errors
+/// As [`cross_check`]; also fails when the trace has no provenance
+/// group for `stage`.
+pub fn cross_check_stage(
+    problem: &Problem,
+    replay: &Replay,
+    stage: StageKind,
+) -> Result<CheckedSchedule, Vec<String>> {
+    match replay.outcome_for(stage) {
+        Some(outcome) => check_outcome(problem, outcome),
+        None => Err(vec![format!("trace has no outcome for stage {stage}")]),
+    }
+}
+
+fn check_outcome(
+    problem: &Problem,
+    outcome: &OutcomeRecord,
+) -> Result<CheckedSchedule, Vec<String>> {
+    let graph = problem.graph();
+    let n = graph.num_tasks();
+    let mut errors = Vec::new();
+
+    // 1. The bound set must name every task exactly once.
+    let mut starts: Vec<Option<Time>> = vec![None; n];
+    for bound in &outcome.bound {
+        let idx = bound.task.index();
+        if idx >= n {
+            errors.push(format!("trace binds unknown task {}", bound.task));
+            continue;
+        }
+        if starts[idx].replace(bound.start).is_some() {
+            errors.push(format!("trace binds task {} twice", bound.task));
+        }
+    }
+    for (i, start) in starts.iter().enumerate() {
+        if start.is_none() {
+            errors.push(format!("trace never binds task {}", TaskId::from_index(i)));
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+    let schedule = Schedule::from_starts(starts.into_iter().map(Option::unwrap).collect());
+
+    // 2. Recompute the analysis from scratch; the traced headline
+    //    metrics must match bit-exactly.
+    let analysis = analyze(problem, &schedule);
+    if analysis.finish_time != outcome.tau {
+        errors.push(format!(
+            "finish time diverges: recomputed {:?}, traced {:?}",
+            analysis.finish_time, outcome.tau
+        ));
+    }
+    if analysis.energy_cost != outcome.energy_cost {
+        errors.push(format!(
+            "energy cost diverges: recomputed {:?}, traced {:?}",
+            analysis.energy_cost, outcome.energy_cost
+        ));
+    }
+    if analysis.utilization != outcome.utilization {
+        errors.push(format!(
+            "utilization diverges: recomputed {:?}, traced {:?}",
+            analysis.utilization, outcome.utilization
+        ));
+    }
+    if analysis.peak_power != outcome.peak {
+        errors.push(format!(
+            "peak power diverges: recomputed {:?}, traced {:?}",
+            analysis.peak_power, outcome.peak
+        ));
+    }
+
+    // 3. Every claimed binding must hold under the reconstructed
+    //    schedule.
+    let sigma = |t: TaskId| schedule.start(t).since_origin();
+    for bound in &outcome.bound {
+        let task = bound.task;
+        match &bound.binding {
+            Binding::Edge { pred, kind, weight } => {
+                if pred.index() >= n {
+                    errors.push(format!("{task}: binding names unknown pred {pred}"));
+                    continue;
+                }
+                if sigma(*pred) + *weight != sigma(task) {
+                    errors.push(format!(
+                        "{task}: claimed binding edge from {pred} (+{}s) is not tight",
+                        weight.as_secs()
+                    ));
+                }
+                match kind.as_str() {
+                    "serialize" => {
+                        // Serialization edges are not part of the
+                        // original graph; check their shape instead:
+                        // same resource, weight = pred's delay.
+                        let pt = graph.task(*pred);
+                        if pt.resource() != graph.task(task).resource() {
+                            errors.push(format!(
+                                "{task}: serialized after {pred} on a different resource"
+                            ));
+                        }
+                        if pt.delay() != *weight {
+                            errors.push(format!(
+                                "{task}: serialization weight {}s != delay({pred}) = {}s",
+                                weight.as_secs(),
+                                pt.delay().as_secs()
+                            ));
+                        }
+                    }
+                    "min" | "max" => {
+                        let exists = graph.in_edges(task.node()).any(|(_, e)| {
+                            e.from() == pred.node()
+                                && e.weight() == *weight
+                                && e.kind().to_string() == *kind
+                        });
+                        if !exists {
+                            errors.push(format!(
+                                "{task}: no {kind} edge from {pred} with weight {}s in the problem",
+                                weight.as_secs()
+                            ));
+                        }
+                    }
+                    other => {
+                        errors.push(format!("{task}: unexpected binding edge kind {other:?}"));
+                    }
+                }
+            }
+            Binding::Anchor => {
+                let tight_anchor = graph.in_edges(task.node()).any(|(_, e)| {
+                    e.from().is_anchor() && TimeSpan::ZERO + e.weight() == sigma(task)
+                });
+                if !tight_anchor && sigma(task) != TimeSpan::ZERO {
+                    errors.push(format!(
+                        "{task}: claimed anchor binding but no anchor edge is tight"
+                    ));
+                }
+            }
+            Binding::Power => {
+                // No original timing in-edge may be tight or violated…
+                for (_, e) in graph.in_edges(task.node()) {
+                    let from_value = if e.from().is_anchor() {
+                        TimeSpan::ZERO
+                    } else {
+                        match e.from().task() {
+                            Some(p) => sigma(p),
+                            None => continue,
+                        }
+                    };
+                    if from_value + e.weight() >= sigma(task) {
+                        errors.push(format!(
+                            "{task}: claimed power binding but a {} edge bound is not strictly below σ",
+                            e.kind()
+                        ));
+                    }
+                }
+                // …and the resource itself must not be overbooked: the
+                // previous task on the resource has to finish by this
+                // start. (Exact equality is allowed — a schedule from
+                // the exact portfolio attempt carries no serialization
+                // edges, so a back-to-back placement is still `Power`.)
+                if let Some(pred) = resource_predecessor(problem, &schedule, task) {
+                    let finish = sigma(pred) + graph.task(pred).delay();
+                    if finish > sigma(task) {
+                        errors.push(format!(
+                            "{task}: claimed power binding but overlaps {pred} on its resource"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(CheckedSchedule {
+            stage: outcome.stage,
+            schedule,
+            analysis,
+        })
+    } else {
+        Err(errors)
+    }
+}
+
+/// The task scheduled immediately before `task` on its resource, by
+/// `(start, id)` order — the serialization-chain predecessor the
+/// schedulers would have used.
+pub fn resource_predecessor(
+    problem: &Problem,
+    schedule: &Schedule,
+    task: TaskId,
+) -> Option<TaskId> {
+    let graph = problem.graph();
+    let rid = graph.task(task).resource();
+    let key = (schedule.start(task), task);
+    graph
+        .tasks_on(rid)
+        .filter(|&t| t != task && (schedule.start(t), t) < key)
+        .max_by_key(|&t| (schedule.start(t), t))
+}

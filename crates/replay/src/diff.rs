@@ -1,0 +1,198 @@
+//! Aligning two traces: first divergence, per-stage event-count
+//! deltas, and headline metric deltas.
+
+use std::fmt::Write as _;
+
+use pas_obs::StageKind;
+
+use crate::state::{OutcomeRecord, Replay};
+
+/// The structured result of comparing two traces.
+#[derive(Debug, Clone)]
+pub struct TraceDiff {
+    /// First position where the event streams differ, with both lines
+    /// (`None` for a stream that ended early).
+    pub first_divergence: Option<(usize, Option<String>, Option<String>)>,
+    /// Event count of trace A.
+    pub len_a: usize,
+    /// Event count of trace B.
+    pub len_b: usize,
+    /// `(stage, counter, a, b)` rows where per-stage per-variant
+    /// tallies differ.
+    pub count_deltas: Vec<(StageKind, &'static str, u64, u64)>,
+    /// The final outcome of each trace, when present.
+    pub outcomes: (Option<OutcomeRecord>, Option<OutcomeRecord>),
+}
+
+/// Compares two replayed traces.
+pub fn diff_traces(a: &Replay, b: &Replay) -> TraceDiff {
+    let first_divergence = a
+        .events
+        .iter()
+        .zip(b.events.iter())
+        .position(|(ea, eb)| ea != eb)
+        .map(|i| (i, Some(a.events[i].to_json()), Some(b.events[i].to_json())))
+        .or_else(|| match a.len().cmp(&b.len()) {
+            std::cmp::Ordering::Equal => None,
+            std::cmp::Ordering::Less => Some((a.len(), None, Some(b.events[a.len()].to_json()))),
+            std::cmp::Ordering::Greater => Some((b.len(), Some(a.events[b.len()].to_json()), None)),
+        });
+
+    let mut count_deltas = Vec::new();
+    for stage in StageKind::ALL {
+        let ca = a.stage_counts[stage.index()].named();
+        let cb = b.stage_counts[stage.index()].named();
+        for ((name, va), (_, vb)) in ca.iter().zip(cb.iter()) {
+            if va != vb {
+                count_deltas.push((stage, *name, *va, *vb));
+            }
+        }
+    }
+
+    TraceDiff {
+        first_divergence,
+        len_a: a.len(),
+        len_b: b.len(),
+        count_deltas,
+        outcomes: (a.final_outcome().cloned(), b.final_outcome().cloned()),
+    }
+}
+
+impl TraceDiff {
+    /// `true` when the traces are event-for-event identical.
+    pub fn is_clean(&self) -> bool {
+        self.first_divergence.is_none() && self.len_a == self.len_b
+    }
+
+    /// Renders the diff as a short human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.is_clean() {
+            let _ = writeln!(out, "traces are identical ({} events)", self.len_a);
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "traces diverge ({} vs {} events)",
+            self.len_a, self.len_b
+        );
+        if let Some((i, line_a, line_b)) = &self.first_divergence {
+            let _ = writeln!(out, "first divergence at event {i}:");
+            let _ = writeln!(
+                out,
+                "  a: {}",
+                line_a.as_deref().unwrap_or("<end of trace>")
+            );
+            let _ = writeln!(
+                out,
+                "  b: {}",
+                line_b.as_deref().unwrap_or("<end of trace>")
+            );
+        }
+        if !self.count_deltas.is_empty() {
+            let _ = writeln!(out, "per-stage event-count deltas:");
+            for (stage, counter, va, vb) in &self.count_deltas {
+                let delta = *vb as i128 - *va as i128;
+                let _ = writeln!(
+                    out,
+                    "  {stage:<10} {counter:<24} {va:>8} -> {vb:<8} ({delta:+})"
+                );
+            }
+        }
+        match &self.outcomes {
+            (Some(oa), Some(ob)) => {
+                if (oa.tau, oa.energy_cost, oa.utilization, oa.peak)
+                    != (ob.tau, ob.energy_cost, ob.utilization, ob.peak)
+                {
+                    let _ = writeln!(out, "final outcome deltas:");
+                    let _ = writeln!(
+                        out,
+                        "  tau: {}s -> {}s",
+                        oa.tau.since_origin().as_secs(),
+                        ob.tau.since_origin().as_secs()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "  Ec: {}mJ -> {}mJ",
+                        oa.energy_cost.as_millijoules(),
+                        ob.energy_cost.as_millijoules()
+                    );
+                    let _ = writeln!(out, "  rho: {} -> {}", oa.utilization, ob.utilization);
+                    let _ = writeln!(
+                        out,
+                        "  peak: {}mW -> {}mW",
+                        oa.peak.as_milliwatts(),
+                        ob.peak.as_milliwatts()
+                    );
+                }
+            }
+            (Some(_), None) => {
+                let _ = writeln!(out, "final outcome: present in a, missing in b");
+            }
+            (None, Some(_)) => {
+                let _ = writeln!(out, "final outcome: missing in a, present in b");
+            }
+            (None, None) => {}
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Replay;
+    use pas_graph::TaskId;
+    use pas_obs::TraceEvent;
+
+    fn committed(i: usize) -> TraceEvent {
+        TraceEvent::TaskCommitted {
+            task: TaskId::from_index(i),
+        }
+    }
+
+    #[test]
+    fn identical_traces_diff_clean() {
+        let events = vec![committed(0), committed(1)];
+        let a = Replay::from_events(events.clone());
+        let b = Replay::from_events(events);
+        let diff = diff_traces(&a, &b);
+        assert!(diff.is_clean());
+        assert!(diff.count_deltas.is_empty());
+        assert!(diff.render().contains("identical"));
+    }
+
+    #[test]
+    fn divergence_reports_position_and_both_lines() {
+        let a = Replay::from_events(vec![committed(0), committed(1)]);
+        let b = Replay::from_events(vec![committed(0), committed(2)]);
+        let diff = diff_traces(&a, &b);
+        assert!(!diff.is_clean());
+        let (i, la, lb) = diff.first_divergence.clone().unwrap();
+        assert_eq!(i, 1);
+        assert!(la.unwrap().contains("\"task\":1"));
+        assert!(lb.unwrap().contains("\"task\":2"));
+        assert_eq!(diff.count_deltas.len(), 0, "same per-variant counts");
+    }
+
+    #[test]
+    fn length_mismatch_is_a_divergence() {
+        let a = Replay::from_events(vec![committed(0)]);
+        let b = Replay::from_events(vec![committed(0), committed(1)]);
+        let diff = diff_traces(&a, &b);
+        assert!(!diff.is_clean());
+        let (i, la, lb) = diff.first_divergence.clone().unwrap();
+        assert_eq!(i, 1);
+        assert!(la.is_none());
+        assert!(lb.is_some());
+        // The extra commit shows up in the timing counters.
+        assert!(diff
+            .count_deltas
+            .iter()
+            .any(|(s, name, va, vb)| *s == pas_obs::StageKind::Timing
+                && *name == "tasks_committed"
+                && *va == 1
+                && *vb == 2));
+        assert!(diff.render().contains("first divergence at event 1"));
+    }
+}

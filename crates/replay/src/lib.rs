@@ -1,0 +1,54 @@
+//! # pas-replay — trace replay, causal explanation, and trace diffing
+//!
+//! Turns recorded `pas-obs` JSONL traces into first-class artifacts:
+//!
+//! * [`Replay`] — deterministic reconstruction of the scheduling
+//!   state machine from an event stream: stage progression,
+//!   commit/backtrack history, serializations, victims, locks, gap
+//!   moves, incremental cache activity, and the per-stage provenance
+//!   groups (`TaskBound` + `OutcomeRecorded`). Reconstruction is
+//!   infallible; surprises land in [`Replay::anomalies`].
+//! * [`cross_check`] / [`cross_check_stage`] — verify a replayed
+//!   outcome against the untouched problem definition: the schedule
+//!   is rebuilt from the trace, its analysis recomputed from scratch
+//!   (bit-exact τ/Ec/ρ/peak required), and every claimed binding
+//!   constraint re-validated.
+//! * [`explain`] — the causal "why this start time" report for one
+//!   task: the binding-predecessor chain back to the anchor plus
+//!   power-stage notes, in human-readable and JSON forms.
+//! * [`diff_traces`] — aligns two traces: first divergence, per-stage
+//!   event-count deltas, and final-outcome metric deltas.
+//!
+//! ## Example
+//!
+//! ```
+//! use pas_core::example::paper_example;
+//! use pas_obs::RecordingObserver;
+//! use pas_replay::{cross_check, Replay};
+//! use pas_sched::PowerAwareScheduler;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (mut problem, _) = paper_example();
+//! let original = problem.clone();
+//! let mut rec = RecordingObserver::new();
+//! let live = PowerAwareScheduler::default().schedule_with(&mut problem, &mut rec)?;
+//!
+//! let replay = Replay::from_events(rec.into_events());
+//! let checked = cross_check(&original, &replay).expect("trace must reconstruct");
+//! assert_eq!(checked.schedule, live.schedule);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod check;
+mod diff;
+mod explain;
+mod state;
+
+pub use check::{cross_check, cross_check_stage, resource_predecessor, CheckedSchedule};
+pub use diff::{diff_traces, TraceDiff};
+pub use explain::{explain, ChainLink, Explanation, PowerNote};
+pub use state::{BoundTask, OutcomeRecord, Replay};

@@ -1,0 +1,305 @@
+//! Deterministic trace reconstruction: fold a recorded event stream
+//! back into the scheduling state machine it came from.
+
+use pas_core::Ratio;
+use pas_graph::units::{Energy, Power, Time, TimeSpan};
+use pas_graph::TaskId;
+use pas_obs::{Binding, EventCounts, StageKind, TraceEvent};
+
+/// One task's committed start time and the constraint that pinned it,
+/// as recorded by a `TaskBound` event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundTask {
+    /// The task.
+    pub task: TaskId,
+    /// Its committed start time.
+    pub start: Time,
+    /// The binding constraint under the committed schedule.
+    pub binding: Binding,
+}
+
+/// One provenance group: the `TaskBound` events of a stage outcome
+/// plus the headline metrics of its closing `OutcomeRecorded`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutcomeRecord {
+    /// The stage whose committed schedule this describes.
+    pub stage: StageKind,
+    /// One entry per task, in emission order.
+    pub bound: Vec<BoundTask>,
+    /// Finish time `τ_σ`.
+    pub tau: Time,
+    /// Energy cost `Ec_σ(P_min)`.
+    pub energy_cost: Energy,
+    /// Min-power utilization `ρ_σ(P_min)`.
+    pub utilization: Ratio,
+    /// Peak power of the profile.
+    pub peak: Power,
+}
+
+/// A reconstructed scheduling run.
+///
+/// [`Replay::from_events`] is infallible by design: a trace from a
+/// newer or partially corrupted writer still reconstructs, with
+/// everything surprising reported in [`Replay::anomalies`] instead of
+/// aborting the analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    /// The events the replay was built from, in arrival order.
+    pub events: Vec<TraceEvent>,
+    /// Per-stage event tallies, attributed exactly like the live
+    /// `StageProfiler`: innermost open stage span first, then the
+    /// event's intrinsic stage.
+    pub stage_counts: [EventCounts; StageKind::ALL.len()],
+    /// Events that could not be attributed to any stage (unknown
+    /// events, or stage-less events outside any span).
+    pub unattributed: EventCounts,
+    /// Completed stage spans in completion order.
+    pub stage_sequence: Vec<StageKind>,
+    /// Provenance groups in emission order (the portfolio emits one
+    /// final group per run; within a stage, the *last* group wins).
+    pub outcomes: Vec<OutcomeRecord>,
+    /// Net timing commit order after backtracking.
+    pub commits: Vec<TaskId>,
+    /// Serialization pairs `(committed, serialized)` still standing
+    /// after backtracking.
+    pub serializations: Vec<(TaskId, TaskId)>,
+    /// Max-power victim delays `(task, delta)` in order.
+    pub victim_delays: Vec<(TaskId, TimeSpan)>,
+    /// Zero-slack locks `(task, at)` in order.
+    pub locks: Vec<(TaskId, Time)>,
+    /// Accepted min-power moves `(task, delta)` in order.
+    pub moves: Vec<(TaskId, TimeSpan)>,
+    /// Incremental-engine activity: `(cache_hits, deltas, fallbacks)`.
+    pub incremental: (u64, u64, u64),
+    /// Oddities found while folding (unmatched stage markers,
+    /// backtracks past the root, provenance groups with no tasks, …).
+    pub anomalies: Vec<String>,
+}
+
+impl Replay {
+    /// Reconstructs the state machine from a recorded event stream.
+    pub fn from_events(events: Vec<TraceEvent>) -> Replay {
+        let mut replay = Replay {
+            ..Replay::default()
+        };
+        let mut open: Vec<StageKind> = Vec::new();
+        let mut pending: [Vec<BoundTask>; StageKind::ALL.len()] = Default::default();
+
+        for (i, event) in events.iter().enumerate() {
+            // Stage attribution, mirroring the live profiler.
+            let attributed = match event {
+                TraceEvent::StageStarted { stage } | TraceEvent::StageFinished { stage } => {
+                    Some(*stage)
+                }
+                _ => open.last().copied().or_else(|| event.stage()),
+            };
+            match attributed {
+                Some(stage) => replay.stage_counts[stage.index()].record(event),
+                None => replay.unattributed.record(event),
+            }
+
+            match event {
+                TraceEvent::StageStarted { stage } => open.push(*stage),
+                TraceEvent::StageFinished { stage } => {
+                    match open.iter().rposition(|s| s == stage) {
+                        Some(pos) => {
+                            open.remove(pos);
+                            replay.stage_sequence.push(*stage);
+                        }
+                        None => replay.anomalies.push(format!(
+                            "event {i}: StageFinished({stage}) with no open span"
+                        )),
+                    }
+                }
+                TraceEvent::TaskCommitted { task } => replay.commits.push(*task),
+                TraceEvent::TopoBacktrack { task } => match replay.commits.pop() {
+                    Some(popped) => {
+                        if popped != *task {
+                            replay.anomalies.push(format!(
+                                "event {i}: backtrack of {task} but last commit was {popped}"
+                            ));
+                        }
+                        replay
+                            .serializations
+                            .retain(|(committed, _)| *committed != popped);
+                    }
+                    None => replay
+                        .anomalies
+                        .push(format!("event {i}: backtrack of {task} past the root")),
+                },
+                TraceEvent::SerializationAdded {
+                    committed,
+                    serialized,
+                } => replay.serializations.push((*committed, *serialized)),
+                TraceEvent::VictimDelayed { task, delta, .. } => {
+                    replay.victim_delays.push((*task, *delta))
+                }
+                TraceEvent::ZeroSlackLocked { task, at } => replay.locks.push((*task, *at)),
+                TraceEvent::MoveAccepted { task, delta, .. } => replay.moves.push((*task, *delta)),
+                TraceEvent::IncrementalCacheHit { .. } => replay.incremental.0 += 1,
+                TraceEvent::IncrementalDelta { .. } => replay.incremental.1 += 1,
+                TraceEvent::IncrementalFallback { .. } => replay.incremental.2 += 1,
+                TraceEvent::TaskBound {
+                    stage,
+                    task,
+                    start,
+                    binding,
+                } => pending[stage.index()].push(BoundTask {
+                    task: *task,
+                    start: *start,
+                    binding: binding.clone(),
+                }),
+                TraceEvent::OutcomeRecorded {
+                    stage,
+                    tau,
+                    energy_cost,
+                    utilization,
+                    peak,
+                } => {
+                    let bound = std::mem::take(&mut pending[stage.index()]);
+                    if bound.is_empty() {
+                        replay.anomalies.push(format!(
+                            "event {i}: OutcomeRecorded({stage}) with no TaskBound group"
+                        ));
+                    }
+                    replay.outcomes.push(OutcomeRecord {
+                        stage: *stage,
+                        bound,
+                        tau: *tau,
+                        energy_cost: *energy_cost,
+                        utilization: *utilization,
+                        peak: *peak,
+                    });
+                }
+                TraceEvent::Unknown { name, .. } => {
+                    replay
+                        .anomalies
+                        .push(format!("event {i}: unknown event kind {name:?}"));
+                }
+                _ => {}
+            }
+        }
+
+        for stage in open {
+            replay
+                .anomalies
+                .push(format!("stage span {stage} never finished"));
+        }
+        for (idx, group) in pending.iter().enumerate() {
+            if !group.is_empty() {
+                replay.anomalies.push(format!(
+                    "{} TaskBound events for {} without a closing OutcomeRecorded",
+                    group.len(),
+                    StageKind::ALL[idx],
+                ));
+            }
+        }
+        replay.events = events;
+        replay
+    }
+
+    /// The last provenance group of the run — the schedule the
+    /// pipeline actually returned.
+    pub fn final_outcome(&self) -> Option<&OutcomeRecord> {
+        self.outcomes.last()
+    }
+
+    /// The last provenance group recorded for `stage` (the portfolio
+    /// re-emits the winner last, so last-wins is the right rule).
+    pub fn outcome_for(&self, stage: StageKind) -> Option<&OutcomeRecord> {
+        self.outcomes.iter().rev().find(|o| o.stage == stage)
+    }
+
+    /// Total events folded in.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the trace was empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    #[test]
+    fn backtrack_pops_commits_and_their_serializations() {
+        let events = vec![
+            TraceEvent::StageStarted {
+                stage: StageKind::Timing,
+            },
+            TraceEvent::TaskCommitted { task: t(0) },
+            TraceEvent::TaskCommitted { task: t(1) },
+            TraceEvent::SerializationAdded {
+                committed: t(1),
+                serialized: t(2),
+            },
+            TraceEvent::TopoBacktrack { task: t(1) },
+            TraceEvent::TaskCommitted { task: t(2) },
+            TraceEvent::StageFinished {
+                stage: StageKind::Timing,
+            },
+        ];
+        let replay = Replay::from_events(events);
+        assert!(replay.anomalies.is_empty(), "{:?}", replay.anomalies);
+        assert_eq!(replay.commits, vec![t(0), t(2)]);
+        assert!(replay.serializations.is_empty());
+        assert_eq!(replay.stage_sequence, vec![StageKind::Timing]);
+        assert_eq!(replay.stage_counts[StageKind::Timing.index()].total, 7);
+    }
+
+    #[test]
+    fn provenance_groups_attach_to_their_outcome() {
+        let events = vec![
+            TraceEvent::TaskBound {
+                stage: StageKind::Timing,
+                task: t(0),
+                start: Time::from_secs(0),
+                binding: Binding::Anchor,
+            },
+            TraceEvent::OutcomeRecorded {
+                stage: StageKind::Timing,
+                tau: Time::from_secs(10),
+                energy_cost: Energy::from_millijoules(0),
+                utilization: Ratio::new(1, 1),
+                peak: Power::from_watts_milli(4_000),
+            },
+        ];
+        let replay = Replay::from_events(events);
+        assert!(replay.anomalies.is_empty());
+        assert_eq!(replay.outcomes.len(), 1);
+        let outcome = replay.final_outcome().unwrap();
+        assert_eq!(outcome.stage, StageKind::Timing);
+        assert_eq!(outcome.bound.len(), 1);
+        assert_eq!(outcome.tau, Time::from_secs(10));
+        assert_eq!(replay.outcome_for(StageKind::Timing).unwrap(), outcome);
+        assert!(replay.outcome_for(StageKind::MinPower).is_none());
+    }
+
+    #[test]
+    fn oddities_are_reported_not_fatal() {
+        let events = vec![
+            TraceEvent::StageFinished {
+                stage: StageKind::Timing,
+            },
+            TraceEvent::TopoBacktrack { task: t(0) },
+            TraceEvent::Unknown {
+                name: "FutureEvent".to_string(),
+                line: r#"{"event":"FutureEvent"}"#.to_string(),
+            },
+            TraceEvent::StageStarted {
+                stage: StageKind::MinPower,
+            },
+        ];
+        let replay = Replay::from_events(events);
+        assert_eq!(replay.anomalies.len(), 4);
+        assert_eq!(replay.unattributed.unknown_events, 1);
+    }
+}

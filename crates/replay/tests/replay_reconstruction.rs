@@ -1,0 +1,166 @@
+//! Acceptance tests for trace replay: recorded JSONL traces must
+//! reconstruct the live schedules bit-identically (start times and all
+//! four headline metrics), for the paper example and for generated
+//! workloads, and every claimed binding constraint must survive an
+//! independent longest-path recomputation.
+
+use pas_core::example::paper_example;
+use pas_graph::longest_path::bellman_ford_reference;
+use pas_graph::units::TimeSpan;
+use pas_graph::{NodeId, TaskId};
+use pas_obs::{parse_jsonl, JsonlWriter, RecordingObserver, StageKind, Tee};
+use pas_replay::{cross_check, cross_check_stage, diff_traces, Replay};
+use pas_sched::PowerAwareScheduler;
+use pas_workload::{generate, GeneratorConfig, Topology};
+
+use proptest::prelude::*;
+
+/// Every stage of the paper example's pipeline run replays from its
+/// JSONL trace to the exact live schedule and analysis.
+#[test]
+fn paper_example_trace_replays_bit_identically_per_stage() {
+    let (mut problem, _) = paper_example();
+    let original = problem.clone();
+
+    let mut rec = RecordingObserver::new();
+    let mut jsonl = JsonlWriter::new(Vec::new());
+    let live = PowerAwareScheduler::default()
+        .schedule_stages_with(&mut problem, &mut Tee(&mut rec, &mut jsonl))
+        .expect("paper example schedules");
+
+    // The replay is built from the serialized text, not the in-memory
+    // events: the JSONL round trip is part of the contract.
+    let text = String::from_utf8(jsonl.into_inner().expect("no I/O error")).unwrap();
+    let events = parse_jsonl(&text).expect("every line parses");
+    assert_eq!(events, rec.into_events());
+
+    let replay = Replay::from_events(events);
+    assert_eq!(replay.anomalies, Vec::<String>::new());
+
+    for (stage, outcome) in [
+        (StageKind::Timing, &live.time_valid),
+        (StageKind::MaxPower, &live.power_valid),
+        (StageKind::MinPower, &live.improved),
+    ] {
+        let checked = cross_check_stage(&original, &replay, stage)
+            .unwrap_or_else(|e| panic!("{stage} stage cross-check: {e:?}"));
+        assert_eq!(checked.schedule, outcome.schedule, "{stage} schedule");
+        assert_eq!(
+            checked.analysis.finish_time, outcome.analysis.finish_time,
+            "{stage} tau"
+        );
+        assert_eq!(
+            checked.analysis.energy_cost, outcome.analysis.energy_cost,
+            "{stage} Ec"
+        );
+        assert_eq!(
+            checked.analysis.utilization, outcome.analysis.utilization,
+            "{stage} rho"
+        );
+        assert_eq!(
+            checked.analysis.peak_power, outcome.analysis.peak_power,
+            "{stage} peak"
+        );
+    }
+}
+
+/// A 100-task generated workload's trace also replays bit-identically,
+/// and a trace diffed against itself is clean.
+#[test]
+fn generated_100_task_trace_replays_bit_identically() {
+    // Mirror the large-instance shape the incremental benchmarks use:
+    // ~8 tasks per resource keeps the power stages tractable at n=100.
+    let config = GeneratorConfig {
+        seed: 7,
+        tasks: 100,
+        resources: 12,
+        topology: Topology::Layered { layers: 10 },
+        ..GeneratorConfig::default()
+    };
+    let mut problem = generate(&config);
+    let original = problem.clone();
+
+    let mut rec = RecordingObserver::new();
+    let live = PowerAwareScheduler::default()
+        .schedule_with(&mut problem, &mut rec)
+        .expect("generated workload schedules");
+
+    let events = rec.into_events();
+    let replay = Replay::from_events(events.clone());
+    assert_eq!(replay.anomalies, Vec::<String>::new());
+
+    let checked = cross_check(&original, &replay).expect("trace must reconstruct");
+    assert_eq!(checked.schedule, live.schedule);
+    assert_eq!(checked.analysis.finish_time, live.analysis.finish_time);
+    assert_eq!(checked.analysis.energy_cost, live.analysis.energy_cost);
+    assert_eq!(checked.analysis.utilization, live.analysis.utilization);
+    assert_eq!(checked.analysis.peak_power, live.analysis.peak_power);
+
+    let self_diff = diff_traces(&Replay::from_events(events.clone()), &replay);
+    assert!(self_diff.is_clean(), "self-diff: {}", self_diff.render());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The timing stage's claimed bindings name true constraints: with
+    /// the serialization chains implied by the schedule re-added to the
+    /// *original* graph, an independent Bellman–Ford longest-path pass
+    /// from the anchor lands on exactly the traced start times — every
+    /// task starts at the earliest instant its binding chain allows.
+    #[test]
+    fn timing_bindings_survive_independent_longest_path_recomputation(
+        seed in 0u64..1_000,
+        tasks in 6usize..=28,
+        resources in 2usize..=5,
+    ) {
+        let config = GeneratorConfig {
+            seed,
+            tasks,
+            resources,
+            ..GeneratorConfig::default()
+        };
+        let mut problem = generate(&config);
+        let original = problem.clone();
+
+        let mut rec = RecordingObserver::new();
+        let Ok(live) = PowerAwareScheduler::default()
+            .schedule_timing_only_with(&mut problem, &mut rec)
+        else {
+            // Generated instance was infeasible; nothing to replay.
+            return Ok(());
+        };
+
+        let replay = Replay::from_events(rec.into_events());
+        prop_assert_eq!(&replay.anomalies, &Vec::<String>::new());
+        let checked = cross_check_stage(&original, &replay, StageKind::Timing)
+            .expect("timing trace must reconstruct");
+        prop_assert_eq!(&checked.schedule, &live.schedule);
+
+        // Rebuild the serialization chains from the schedule alone, on
+        // a pristine copy of the problem graph.
+        let sigma = |t: TaskId| checked.schedule.start(t).since_origin();
+        let mut oracle = original.graph().clone();
+        for (rid, _) in original.graph().resources() {
+            let mut chain: Vec<TaskId> = original.graph().tasks_on(rid).collect();
+            chain.sort_by_key(|&t| (checked.schedule.start(t), t));
+            for pair in chain.windows(2) {
+                oracle.serialize_after(pair[0], pair[1]);
+            }
+        }
+
+        let lp = bellman_ford_reference(&oracle, NodeId::ANCHOR)
+            .expect("a scheduled instance has no positive cycle");
+        for (task, _) in original.graph().tasks() {
+            prop_assert_eq!(
+                lp.distance(task.node()),
+                Some(sigma(task)),
+                "task {} start is not the longest-path distance",
+                task
+            );
+        }
+        // The anchor itself must stay at the origin — no negative-side
+        // drift from reversed max edges.
+        prop_assert_eq!(lp.distance(NodeId::ANCHOR), Some(TimeSpan::ZERO));
+    }
+}

@@ -12,7 +12,9 @@ use crate::max_power::schedule_max_power_observed;
 use crate::min_power::improve_gaps_observed;
 use crate::timing::schedule_timing_observed;
 use pas_core::{analyze, Problem, Schedule, ScheduleAnalysis};
-use pas_obs::{CountingObserver, NullObserver, Observer, StageKind, Tee, TraceEvent};
+use pas_graph::units::TimeSpan;
+use pas_graph::{binding_in_edge, NodeId};
+use pas_obs::{Binding, CountingObserver, NullObserver, Observer, StageKind, Tee, TraceEvent};
 
 /// Result of a pipeline run: the schedule, its analysis against the
 /// problem, and the work counters.
@@ -167,7 +169,13 @@ impl PowerAwareScheduler {
             },
         );
         let schedule = result?;
-        Ok(self.outcome(problem, schedule, counter.counts().into()))
+        Ok(self.outcome_observed(
+            problem,
+            schedule,
+            counter.counts().into(),
+            StageKind::Timing,
+            obs,
+        ))
     }
 
     /// Stages 1–2: timing + max-power scheduling (§5.2).
@@ -213,7 +221,13 @@ impl PowerAwareScheduler {
             },
         );
         let schedule = result?;
-        Ok(self.outcome(problem, schedule, counter.counts().into()))
+        Ok(self.outcome_observed(
+            problem,
+            schedule,
+            counter.counts().into(),
+            StageKind::MaxPower,
+            obs,
+        ))
     }
 
     /// The full pipeline (§5.1–5.3): returns the final improved
@@ -284,7 +298,13 @@ impl PowerAwareScheduler {
                 stage: StageKind::MinPower,
             },
         );
-        Ok(self.outcome(problem, improved, counter.counts().into()))
+        Ok(self.outcome_observed(
+            problem,
+            improved,
+            counter.counts().into(),
+            StageKind::MinPower,
+            obs,
+        ))
     }
 
     /// Runs the pipeline capturing every intermediate schedule
@@ -332,7 +352,13 @@ impl PowerAwareScheduler {
             },
         );
         let time_valid_schedule = result?;
-        let time_valid = self.outcome(problem, time_valid_schedule, counter1.counts().into());
+        let time_valid = self.outcome_observed(
+            problem,
+            time_valid_schedule,
+            counter1.counts().into(),
+            StageKind::Timing,
+            obs,
+        );
 
         let mut counter2 = CountingObserver::new();
         emit(
@@ -355,10 +381,12 @@ impl PowerAwareScheduler {
             },
         );
         let power_valid_schedule = result?;
-        let power_valid = self.outcome(
+        let power_valid = self.outcome_observed(
             problem,
             power_valid_schedule.clone(),
             counter2.counts().into(),
+            StageKind::MaxPower,
+            obs,
         );
 
         let mut counter3 = CountingObserver::new();
@@ -383,7 +411,13 @@ impl PowerAwareScheduler {
                 stage: StageKind::MinPower,
             },
         );
-        let improved = self.outcome(problem, improved_schedule, counter3.counts().into());
+        let improved = self.outcome_observed(
+            problem,
+            improved_schedule,
+            counter3.counts().into(),
+            StageKind::MinPower,
+            obs,
+        );
 
         Ok(StageOutcomes {
             time_valid,
@@ -526,6 +560,13 @@ impl PowerAwareScheduler {
         match best {
             Some((winning_problem, outcome)) => {
                 *problem = winning_problem;
+                // Re-emit the winner's provenance as the final group:
+                // replay tooling takes the last group per stage, so
+                // this also covers an exact-B&B winner (which ran
+                // outside the observed attempts).
+                if obs.is_enabled() {
+                    emit_provenance(problem, &outcome, StageKind::MinPower, obs);
+                }
                 Ok(outcome)
             }
             None => Err(first_err.expect("at least one attempt ran")),
@@ -540,6 +581,72 @@ impl PowerAwareScheduler {
             stats,
         }
     }
+
+    /// [`Self::outcome`] followed by a provenance group: one
+    /// `TaskBound` per task naming its binding constraint in the
+    /// committed schedule, closed by an `OutcomeRecorded` with the
+    /// stage's headline metrics.
+    fn outcome_observed(
+        &self,
+        problem: &Problem,
+        schedule: Schedule,
+        stats: SchedulerStats,
+        stage: StageKind,
+        obs: &mut dyn Observer,
+    ) -> Outcome {
+        let outcome = self.outcome(problem, schedule, stats);
+        if obs.is_enabled() {
+            emit_provenance(problem, &outcome, stage, obs);
+        }
+        outcome
+    }
+}
+
+/// Emits the causal provenance of a committed schedule: for every
+/// task, the in-edge that is *tight* under the schedule (the paper's
+/// binding constraint — the longest-path predecessor once
+/// serialization edges are in place), or [`Binding::Power`] when no
+/// timing constraint is tight and the start time is held purely by a
+/// power-stage decision (max-power delay or min-power move).
+fn emit_provenance(problem: &Problem, outcome: &Outcome, stage: StageKind, obs: &mut dyn Observer) {
+    let graph = problem.graph();
+    let sigma = &outcome.schedule;
+    let value = |n: NodeId| -> Option<TimeSpan> {
+        if n.is_anchor() {
+            Some(TimeSpan::ZERO)
+        } else {
+            n.task().map(|t| sigma.start(t).since_origin())
+        }
+    };
+    for (task, _) in graph.tasks() {
+        let binding = match binding_in_edge(graph, task.node(), value) {
+            Some(edge_id) => {
+                let edge = graph.edge(edge_id);
+                match edge.from().task() {
+                    Some(pred) => Binding::Edge {
+                        pred,
+                        kind: edge.kind().to_string(),
+                        weight: edge.weight(),
+                    },
+                    None => Binding::Anchor,
+                }
+            }
+            None => Binding::Power,
+        };
+        obs.on_event(&TraceEvent::TaskBound {
+            stage,
+            task,
+            start: sigma.start(task),
+            binding,
+        });
+    }
+    obs.on_event(&TraceEvent::OutcomeRecorded {
+        stage,
+        tau: outcome.analysis.finish_time,
+        energy_cost: outcome.analysis.energy_cost,
+        utilization: outcome.analysis.utilization,
+        peak: outcome.analysis.peak_power,
+    });
 }
 
 /// Emits `event` to `obs` unless observation is disabled.
@@ -653,16 +760,81 @@ mod tests {
                 stage: StageKind::MinPower
             }
         )));
+        // After the final StageFinished comes the provenance group,
+        // closed by the run's OutcomeRecorded.
         assert!(matches!(
             events.last(),
-            Some(TraceEvent::StageFinished {
-                stage: StageKind::MinPower
+            Some(TraceEvent::OutcomeRecorded {
+                stage: StageKind::MinPower,
+                ..
             })
         ));
 
         // Replaying the recorded stream reproduces the stats exactly.
         let replayed: SchedulerStats = pas_obs::EventCounts::from_events(&events).into();
         assert_eq!(replayed, observed.stats);
+    }
+
+    #[test]
+    fn provenance_names_one_binding_per_task_and_the_true_metrics() {
+        let (mut problem, _) = paper_example();
+        let mut recorder = pas_obs::RecordingObserver::new();
+        let stages = PowerAwareScheduler::default()
+            .schedule_stages_with(&mut problem, &mut recorder)
+            .unwrap();
+        let events: Vec<_> = recorder.into_events();
+        let n = problem.graph().num_tasks();
+
+        for (stage, outcome) in [
+            (StageKind::Timing, &stages.time_valid),
+            (StageKind::MaxPower, &stages.power_valid),
+            (StageKind::MinPower, &stages.improved),
+        ] {
+            let bound: Vec<_> = events
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::TaskBound {
+                        stage: s,
+                        task,
+                        start,
+                        binding,
+                    } if *s == stage => Some((*task, *start, binding)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(bound.len(), n, "one TaskBound per task for {stage}");
+            for (task, start, binding) in &bound {
+                assert_eq!(*start, outcome.schedule.start(*task));
+                // An Edge binding must actually be tight under σ.
+                if let pas_obs::Binding::Edge { pred, weight, .. } = binding {
+                    assert_eq!(
+                        outcome.schedule.start(*pred).since_origin() + *weight,
+                        outcome.schedule.start(*task).since_origin(),
+                        "binding edge not tight for {task} in {stage}"
+                    );
+                }
+            }
+            let recorded = events.iter().find_map(|e| match e {
+                TraceEvent::OutcomeRecorded {
+                    stage: s,
+                    tau,
+                    energy_cost,
+                    utilization,
+                    peak,
+                } if *s == stage => Some((*tau, *energy_cost, *utilization, *peak)),
+                _ => None,
+            });
+            assert_eq!(
+                recorded,
+                Some((
+                    outcome.analysis.finish_time,
+                    outcome.analysis.energy_cost,
+                    outcome.analysis.utilization,
+                    outcome.analysis.peak_power,
+                )),
+                "OutcomeRecorded mismatch for {stage}"
+            );
+        }
     }
 
     #[test]

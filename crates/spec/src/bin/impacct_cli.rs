@@ -4,7 +4,13 @@
 //! impacct-cli schedule <problem.pasdl> [--stage timing|max|min]
 //!                      [--svg <out.svg>] [--emit-schedule] [--report]
 //!                      [--corners] [--restarts <n>] [--seed <n>] [--quiet]
-//!                      [--trace <out.jsonl>] [--profile] [--no-incremental]
+//!                      [--trace <out.jsonl|->] [--profile] [--no-incremental]
+//!                      [--metrics <out.prom>] [--chrome-trace <out.json>]
+//! impacct-cli replay <problem.pasdl> <trace.jsonl> [--stage timing|max|min]
+//!                    [--live]
+//! impacct-cli explain <problem.pasdl> <trace.jsonl> <task-name>
+//!                     [--stage timing|max|min] [--json]
+//! impacct-cli diff <a.jsonl> <b.jsonl>
 //! impacct-cli validate <problem.pasdl> <schedule.pasdl>
 //! impacct-cli lint <problem.pasdl> [--format human|json]
 //! impacct-cli print <problem.pasdl>       # parse + pretty-print
@@ -14,11 +20,24 @@
 //! `min`, the full pipeline), prints the power-aware Gantt chart and
 //! metrics, and optionally writes an SVG and/or the schedule as
 //! PASDL. `--trace` streams every scheduling decision as JSONL
-//! [`pas_obs::TraceEvent`]s; `--profile` prints a per-stage profile
-//! table; `--no-incremental` disables the incremental scheduling
-//! engine (delta longest paths + cached power profiles, DESIGN.md
-//! §10) and forces full recomputation — results are identical, only
-//! slower, so the flag exists for ablation and cross-checking.
+//! [`pas_obs::TraceEvent`]s (`-` streams to stdout for piping);
+//! `--profile` prints a per-stage profile table; `--metrics` writes a
+//! Prometheus text exposition of the run's counters and histograms;
+//! `--chrome-trace` writes the stage spans as a Chrome-trace JSON
+//! loadable in Perfetto; `--no-incremental` disables the incremental
+//! scheduling engine (delta longest paths + cached power profiles,
+//! DESIGN.md §10) and forces full recomputation — results are
+//! identical, only slower, so the flag exists for ablation and
+//! cross-checking.
+//!
+//! `replay` reconstructs the schedule recorded in a trace and
+//! cross-checks it against the problem (bit-exact metrics, every
+//! binding re-validated); `--live` additionally re-runs the scheduler
+//! and requires the reconstruction to match it bit-identically.
+//! `explain` prints the causal "why this start time" report for one
+//! task. `diff` aligns two traces and exits non-zero when they
+//! diverge.
+//!
 //! `validate` checks a hand-written schedule against a
 //! problem, reporting every violation. `lint` runs the `pas-lint`
 //! static passes over a problem without scheduling it and exits
@@ -29,7 +48,11 @@ use pas_core::describe_spike;
 use pas_core::power_model::analyze_corners;
 use pas_gantt::{render_ascii, render_svg, summary_report, AsciiOptions, GanttChart, SvgOptions};
 use pas_lint::{lint_problem, render_human, render_json, LintConfig, SourceFile};
-use pas_obs::{JsonlWriter, NullObserver, Observer, StageProfiler, Tee};
+use pas_obs::{
+    parse_jsonl, JsonlWriter, MetricsRegistry, NullObserver, Observer, StageKind, StageProfiler,
+    Tee,
+};
+use pas_replay::{cross_check_stage, diff_traces, explain, Replay};
 use pas_sched::{PowerAwareScheduler, SchedulerConfig};
 use pas_spec::{
     parse_problem, parse_problem_full, parse_problem_spanned, parse_schedule, print_problem,
@@ -54,6 +77,9 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     match command.as_str() {
         "schedule" => cmd_schedule(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
+        "explain" => cmd_explain(&args[1..]),
+        "diff" => cmd_diff(&args[1..]),
         "validate" => cmd_validate(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "print" => cmd_print(&args[1..]),
@@ -68,11 +94,33 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  impacct-cli schedule <problem.pasdl> [--stage timing|max|min] \
      [--svg <out.svg>] [--emit-schedule] [--report] [--corners] [--restarts <n>] \
-     [--seed <n>] [--quiet] [--trace <out.jsonl>] [--profile] [--no-incremental]\n  \
+     [--seed <n>] [--quiet] [--trace <out.jsonl|->] [--profile] [--no-incremental] \
+     [--metrics <out.prom>] [--chrome-trace <out.json>]\n  \
+     impacct-cli replay <problem.pasdl> <trace.jsonl> [--stage timing|max|min] [--live]\n  \
+     impacct-cli explain <problem.pasdl> <trace.jsonl> <task-name> \
+     [--stage timing|max|min] [--json]\n  \
+     impacct-cli diff <a.jsonl> <b.jsonl>\n  \
      impacct-cli validate <problem.pasdl> <schedule.pasdl>\n  \
      impacct-cli lint <problem.pasdl> [--format human|json]\n  \
      impacct-cli print <problem.pasdl>"
         .to_string()
+}
+
+/// Maps the user-facing stage spelling onto the pipeline stage whose
+/// committed schedule is meant.
+fn parse_stage(stage: &str) -> Result<StageKind, String> {
+    match stage {
+        "timing" => Ok(StageKind::Timing),
+        "max" => Ok(StageKind::MaxPower),
+        "min" => Ok(StageKind::MinPower),
+        other => Err(format!("unknown stage {other:?} (timing|max|min)")),
+    }
+}
+
+/// Reads and parses a JSONL trace file into a replayed state machine.
+fn read_replay(path: &str) -> Result<Replay, String> {
+    let events = parse_jsonl(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+    Ok(Replay::from_events(events))
 }
 
 fn read(path: &str) -> Result<String, String> {
@@ -92,6 +140,8 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     let mut trace_out = None;
     let mut profile = false;
     let mut incremental = true;
+    let mut metrics_out = None;
+    let mut chrome_out = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -104,6 +154,10 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
             "--trace" => trace_out = Some(it.next().ok_or("--trace needs a path")?.clone()),
             "--profile" => profile = true,
             "--no-incremental" => incremental = false,
+            "--metrics" => metrics_out = Some(it.next().ok_or("--metrics needs a path")?.clone()),
+            "--chrome-trace" => {
+                chrome_out = Some(it.next().ok_or("--chrome-trace needs a path")?.clone())
+            }
             "--restarts" => {
                 restarts = it
                     .next()
@@ -135,17 +189,19 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     config.incremental = incremental;
     let scheduler = PowerAwareScheduler::new(config);
 
-    // Compose the optional trace and profile sinks; a NullObserver
-    // stands in for either missing side, so with neither flag the
-    // whole observation path folds to the unobserved one.
+    // Compose the optional trace, profile, and metrics sinks; a
+    // NullObserver stands in for every missing side, so with no flags
+    // the whole observation path folds to the unobserved one.
     let mut trace_writer = match &trace_out {
-        Some(path) => {
-            Some(JsonlWriter::create(path).map_err(|e| format!("cannot create {path}: {e}"))?)
-        }
+        Some(path) => Some(
+            JsonlWriter::create_or_stdout(path)
+                .map_err(|e| format!("cannot create {path}: {e}"))?,
+        ),
         None => None,
     };
     let mut profiler = profile.then(StageProfiler::new);
-    let (mut null_a, mut null_b) = (NullObserver, NullObserver);
+    let mut registry = (metrics_out.is_some() || chrome_out.is_some()).then(MetricsRegistry::new);
+    let (mut null_a, mut null_b, mut null_c) = (NullObserver, NullObserver, NullObserver);
     let trace_side: &mut dyn Observer = match trace_writer.as_mut() {
         Some(w) => w,
         None => &mut null_a,
@@ -154,7 +210,11 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
         Some(p) => p,
         None => &mut null_b,
     };
-    let mut obs = Tee(trace_side, profile_side);
+    let metrics_side: &mut dyn Observer = match registry.as_mut() {
+        Some(r) => r,
+        None => &mut null_c,
+    };
+    let mut obs = Tee(trace_side, Tee(profile_side, metrics_side));
 
     let outcome = match stage.as_str() {
         "timing" => scheduler.schedule_timing_only_with(&mut problem, &mut obs),
@@ -172,12 +232,32 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     }
     if let Some(writer) = trace_writer.take() {
         let path = trace_out.unwrap_or_default();
-        let lines = writer.lines();
-        writer
+        let lines = writer
             .finish()
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         if !quiet {
-            println!("wrote {lines} trace events to {path}");
+            // Keep stdout clean when the trace itself streams there.
+            if path == "-" {
+                eprintln!("wrote {lines} trace events to stdout");
+            } else {
+                println!("wrote {lines} trace events to {path}");
+            }
+        }
+    }
+    if let Some(registry) = &registry {
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, registry.render_prometheus())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            if !quiet {
+                println!("wrote {path}");
+            }
+        }
+        if let Some(path) = &chrome_out {
+            std::fs::write(path, registry.chrome_trace())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            if !quiet {
+                println!("wrote {path}");
+            }
         }
     }
 
@@ -220,6 +300,125 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let mut problem_path = None;
+    let mut trace_path = None;
+    let mut stage = "min".to_string();
+    let mut live = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stage" => stage = it.next().ok_or("--stage needs a value")?.clone(),
+            "--live" => live = true,
+            other if problem_path.is_none() => problem_path = Some(other.to_string()),
+            other if trace_path.is_none() => trace_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let problem_path = problem_path.ok_or_else(usage)?;
+    let trace_path = trace_path.ok_or_else(usage)?;
+    let stage = parse_stage(&stage)?;
+
+    let problem = parse_problem(&read(&problem_path)?).map_err(|e| e.to_string())?;
+    let replay = read_replay(&trace_path)?;
+    for anomaly in &replay.anomalies {
+        eprintln!("warning: {anomaly}");
+    }
+
+    let checked = cross_check_stage(&problem, &replay, stage).map_err(|errors| {
+        for e in &errors {
+            eprintln!("divergence: {e}");
+        }
+        format!(
+            "trace does not reconstruct ({} divergence(s))",
+            errors.len()
+        )
+    })?;
+    let a = &checked.analysis;
+    println!(
+        "replayed {} events: {} stage tau={} Ec={} rho={} peak={}",
+        replay.len(),
+        checked.stage,
+        a.finish_time,
+        a.energy_cost,
+        a.utilization,
+        a.peak_power
+    );
+
+    if live {
+        let mut fresh = problem.clone();
+        let scheduler = PowerAwareScheduler::default();
+        let mut obs = NullObserver;
+        let outcome = match stage {
+            StageKind::Timing => scheduler.schedule_timing_only_with(&mut fresh, &mut obs),
+            StageKind::MaxPower => scheduler.schedule_power_valid_with(&mut fresh, &mut obs),
+            _ => scheduler.schedule_with(&mut fresh, &mut obs),
+        }
+        .map_err(|e| format!("live run failed: {e}"))?;
+        if outcome.schedule != checked.schedule {
+            return Err("replayed schedule differs from a live run".to_string());
+        }
+        println!("live run matches the replayed schedule bit-identically");
+    }
+    println!("OK");
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let mut problem_path = None;
+    let mut trace_path = None;
+    let mut task_name = None;
+    let mut stage = "min".to_string();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stage" => stage = it.next().ok_or("--stage needs a value")?.clone(),
+            "--json" => json = true,
+            other if problem_path.is_none() => problem_path = Some(other.to_string()),
+            other if trace_path.is_none() => trace_path = Some(other.to_string()),
+            other if task_name.is_none() => task_name = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let problem_path = problem_path.ok_or_else(usage)?;
+    let trace_path = trace_path.ok_or_else(usage)?;
+    let task_name = task_name.ok_or_else(usage)?;
+    let stage = parse_stage(&stage)?;
+
+    let problem = parse_problem(&read(&problem_path)?).map_err(|e| e.to_string())?;
+    let task = problem
+        .graph()
+        .tasks()
+        .find(|(_, t)| t.name() == task_name)
+        .map(|(id, _)| id)
+        .ok_or_else(|| format!("problem has no task named {task_name:?}"))?;
+    let replay = read_replay(&trace_path)?;
+
+    let explanation = explain(&problem, &replay, task, stage)?;
+    if json {
+        println!("{}", explanation.render_json());
+    } else {
+        print!("{}", explanation.render_human(&problem));
+    }
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let [a_path, b_path] = args else {
+        return Err(usage());
+    };
+    let a = read_replay(a_path)?;
+    let b = read_replay(b_path)?;
+    let diff = diff_traces(&a, &b);
+    print!("{}", diff.render());
+    if diff.is_clean() {
+        Ok(())
+    } else {
+        Err("traces diverge".to_string())
+    }
 }
 
 fn cmd_validate(args: &[String]) -> Result<(), String> {

@@ -224,3 +224,166 @@ fn unschedulable_problem_reports_failure() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("scheduling failed"));
 }
+
+#[test]
+fn trace_replay_explain_diff_round_trip() {
+    let problem = write_temp("p10.pasdl", PROBLEM);
+    let trace = problem.with_extension("jsonl");
+
+    let out = run(&[
+        "schedule",
+        problem.to_str().unwrap(),
+        "--quiet",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // replay: reconstructs and cross-checks, --live re-runs and compares.
+    let out = run(&[
+        "replay",
+        problem.to_str().unwrap(),
+        trace.to_str().unwrap(),
+        "--live",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("live run matches the replayed schedule bit-identically"));
+    assert!(stdout.contains("OK"));
+
+    // explain: human and JSON forms for a real task.
+    let out = run(&[
+        "explain",
+        problem.to_str().unwrap(),
+        trace.to_str().unwrap(),
+        "uplink",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let human = String::from_utf8(out.stdout).unwrap();
+    assert!(human.contains("why"), "{human}");
+    assert!(human.contains("\"uplink\""), "{human}");
+
+    let out = run(&[
+        "explain",
+        problem.to_str().unwrap(),
+        trace.to_str().unwrap(),
+        "uplink",
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"name\":\"uplink\""), "{json}");
+    assert!(json.contains("\"chain\":["), "{json}");
+
+    let out = run(&[
+        "explain",
+        problem.to_str().unwrap(),
+        trace.to_str().unwrap(),
+        "no-such-task",
+    ]);
+    assert!(!out.status.success());
+
+    // diff: a trace against itself is clean; against a different run
+    // (timing-only) it diverges with exit code 1.
+    let out = run(&["diff", trace.to_str().unwrap(), trace.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("traces are identical"));
+
+    let timing_trace = problem.with_extension("timing.jsonl");
+    let out = run(&[
+        "schedule",
+        problem.to_str().unwrap(),
+        "--quiet",
+        "--stage",
+        "timing",
+        "--trace",
+        timing_trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = run(&[
+        "diff",
+        trace.to_str().unwrap(),
+        timing_trace.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("first divergence"));
+}
+
+#[test]
+fn trace_dash_streams_jsonl_to_stdout() {
+    let problem = write_temp("p11.pasdl", PROBLEM);
+    let out = run(&[
+        "schedule",
+        problem.to_str().unwrap(),
+        "--quiet",
+        "--trace",
+        "-",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // With --quiet, every stdout line is a JSON event object — the
+    // stream stays machine-readable.
+    assert!(stdout.lines().count() > 0);
+    for line in stdout.lines() {
+        assert!(
+            line.starts_with("{\"event\":"),
+            "non-JSONL line on stdout: {line:?}"
+        );
+    }
+
+    // Without --quiet the chart joins stdout, but the trace summary
+    // goes to stderr so it never corrupts the piped stream.
+    let out = run(&["schedule", problem.to_str().unwrap(), "--trace", "-"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("trace events to stdout"));
+}
+
+#[test]
+fn metrics_and_chrome_trace_files_are_written() {
+    let problem = write_temp("p12.pasdl", PROBLEM);
+    let prom = problem.with_extension("prom");
+    let chrome = problem.with_extension("chrome.json");
+    let out = run(&[
+        "schedule",
+        problem.to_str().unwrap(),
+        "--quiet",
+        "--metrics",
+        prom.to_str().unwrap(),
+        "--chrome-trace",
+        chrome.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let prom_text = std::fs::read_to_string(&prom).unwrap();
+    assert!(prom_text.contains("# TYPE pas_events_total counter"));
+    assert!(prom_text.contains("pas_events_total{counter=\"tasks_committed\"}"));
+    assert!(prom_text.contains("pas_stage_latency_microseconds_bucket{le=\"+Inf\"}"));
+
+    let chrome_text = std::fs::read_to_string(&chrome).unwrap();
+    assert!(chrome_text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(chrome_text.contains("\"ph\":\"X\""));
+}

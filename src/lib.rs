@@ -32,7 +32,11 @@
 //!   execution-time jitter;
 //! * [`obs`] ([`pas_obs`]) — structured decision tracing
 //!   ([`pas_obs::TraceEvent`]), counting/recording/JSONL observers,
-//!   and per-stage wall-clock profiling.
+//!   metrics registry with Prometheus/Chrome-trace exporters, and
+//!   per-stage wall-clock profiling;
+//! * [`replay`] ([`pas_replay`]) — deterministic trace replay with
+//!   cross-checking, causal "why this start time" explanations, and
+//!   trace diffing.
 //!
 //! ## Quickstart
 //!
@@ -70,6 +74,7 @@ pub use pas_graph as graph;
 pub use pas_lint as lint;
 pub use pas_mission as mission;
 pub use pas_obs as obs;
+pub use pas_replay as replay;
 pub use pas_rover as rover;
 pub use pas_sched as sched;
 pub use pas_spec as spec;

@@ -1,0 +1,46 @@
+//! Golden test: the causal explanations for the paper example's
+//! timing-only schedule (Fig. 2) are locked byte-for-byte.
+//!
+//! Regenerate with `BLESS=1 cargo test --test golden_explain` after an
+//! intentional format change, and review the diff like any other code.
+
+use impacct::core::example::paper_example;
+use impacct::obs::{RecordingObserver, StageKind};
+use impacct::replay::{explain, Replay};
+use impacct::sched::PowerAwareScheduler;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/explain_paper_fig2.txt"
+);
+
+#[test]
+fn paper_fig2_explanations_match_the_golden_file() {
+    let (mut problem, _) = paper_example();
+    let original = problem.clone();
+
+    let mut rec = RecordingObserver::new();
+    PowerAwareScheduler::default()
+        .schedule_timing_only_with(&mut problem, &mut rec)
+        .expect("paper example schedules");
+    let replay = Replay::from_events(rec.into_events());
+
+    let mut actual = String::new();
+    for (task, _) in original.graph().tasks() {
+        let explanation =
+            explain(&original, &replay, task, StageKind::Timing).expect("every task is bound");
+        actual.push_str(&explanation.render_human(&original));
+        actual.push('\n');
+    }
+
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN, &actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN).expect("golden file exists");
+    assert_eq!(
+        actual, expected,
+        "explanations drifted from the golden file; \
+         run with BLESS=1 to regenerate after an intentional change"
+    );
+}

@@ -5,8 +5,8 @@
 use impacct::core::example::paper_example;
 use impacct::exec::{execute, execute_observed, JitterModel};
 use impacct::obs::{
-    parse_jsonl, EventCounts, JsonlWriter, NullObserver, RecordingObserver, StageKind, Tee,
-    TraceEvent,
+    parse_jsonl, CountingObserver, EventCounts, JsonlWriter, NullObserver, RecordingObserver,
+    StageKind, Tee, TraceEvent,
 };
 use impacct::sched::{PowerAwareScheduler, SchedulerStats};
 
@@ -99,7 +99,84 @@ fn trace_round_trips_through_jsonl() {
         .expect("paper example schedules");
 
     let events = rec.into_events();
-    let text = String::from_utf8(jsonl.finish().expect("no deferred I/O error")).unwrap();
+    let text = String::from_utf8(jsonl.into_inner().expect("no deferred I/O error")).unwrap();
     assert_eq!(text.lines().count(), events.len());
     assert_eq!(parse_jsonl(&text).expect("every line parses"), events);
+}
+
+/// Observer that appends a tag to a shared log on every event, for
+/// asserting fan-out order.
+struct Logging(
+    &'static str,
+    std::rc::Rc<std::cell::RefCell<Vec<&'static str>>>,
+);
+
+impl impacct::obs::Observer for Logging {
+    fn on_event(&mut self, _event: &TraceEvent) {
+        self.1.borrow_mut().push(self.0);
+    }
+}
+
+/// `Tee` delivers every event to its first sink before its second, and
+/// nested tees preserve left-to-right order.
+#[test]
+fn tee_fans_out_in_declaration_order() {
+    let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let mut tee = Tee(
+        Logging("a", log.clone()),
+        Tee(Logging("b", log.clone()), Logging("c", log.clone())),
+    );
+
+    let (mut problem, _) = paper_example();
+    PowerAwareScheduler::default()
+        .schedule_with(&mut problem, &mut tee)
+        .expect("paper example schedules");
+
+    let log = log.borrow();
+    assert!(!log.is_empty(), "an observed run must emit events");
+    assert_eq!(log.len() % 3, 0, "every event reaches all three sinks");
+    for chunk in log.chunks(3) {
+        assert_eq!(chunk, ["a", "b", "c"]);
+    }
+}
+
+/// A bounded `RecordingObserver` keeps exactly the last `capacity`
+/// events of a pipeline run and tallies the evicted remainder.
+#[test]
+fn bounded_recorder_wraps_and_keeps_the_tail() {
+    let (mut full_problem, _) = paper_example();
+    let mut full = RecordingObserver::new();
+    PowerAwareScheduler::default()
+        .schedule_with(&mut full_problem, &mut full)
+        .expect("paper example schedules");
+    let all = full.into_events();
+    assert!(all.len() > 8, "need enough events to overflow the ring");
+
+    let cap = 8;
+    let (mut ring_problem, _) = paper_example();
+    let mut ring = RecordingObserver::with_capacity(cap);
+    PowerAwareScheduler::default()
+        .schedule_with(&mut ring_problem, &mut ring)
+        .expect("paper example schedules");
+
+    assert_eq!(ring.len(), cap);
+    assert_eq!(ring.dropped(), (all.len() - cap) as u64);
+    let tail: Vec<TraceEvent> = all[all.len() - cap..].to_vec();
+    assert_eq!(ring.into_events(), tail);
+}
+
+/// A `CountingObserver` teed beside a recorder tallies exactly as many
+/// events as the recorder captures on a full pipeline run.
+#[test]
+fn counting_observer_total_matches_recorded_event_count() {
+    let (mut problem, _) = paper_example();
+    let mut rec = RecordingObserver::new();
+    let mut counter = CountingObserver::new();
+    PowerAwareScheduler::default()
+        .schedule_stages_with(&mut problem, &mut Tee(&mut rec, &mut counter))
+        .expect("paper example schedules");
+
+    let counts = counter.counts();
+    assert_eq!(counts.total, rec.len() as u64);
+    assert_eq!(counts, EventCounts::from_events(rec.events()));
 }
