@@ -1,0 +1,167 @@
+//! Bench regression gate: compares a freshly generated bench JSON
+//! against the committed baseline and fails (non-zero exit) when any
+//! speedup regresses by more than the tolerance.
+//!
+//! ```text
+//! cargo run --release -p pas-bench --bin bench_gate -- \
+//!     <baseline.json> <fresh.json> [--tolerance 0.25]
+//! ```
+//!
+//! The gate compares **dimensionless speedup ratios**, never raw
+//! wall-clock: `BENCH_incremental.json` speedups are incremental-vs-
+//! full on the same run, and `BENCH_parallel.json` speedups are the
+//! queue-model projection from per-attempt durations measured on the
+//! same run. Both are stable across runner hardware, so a failure
+//! means the *code* got slower (or the decomposition got worse), not
+//! that CI drew a noisy neighbor.
+//!
+//! Rows are keyed by `workload` (plus `threads` where present). A row
+//! present in the baseline but missing from the fresh results fails
+//! the gate; new rows in the fresh results are allowed (the next
+//! baseline refresh picks them up).
+
+use std::process::ExitCode;
+
+/// One comparable bench row.
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    workload: String,
+    threads: Option<u64>,
+    speedup: f64,
+}
+
+impl Row {
+    fn key(&self) -> String {
+        match self.threads {
+            Some(t) => format!("{}@{}", self.workload, t),
+            None => self.workload.clone(),
+        }
+    }
+}
+
+/// Pulls `"field": "value"` out of a JSON object line.
+fn string_field(line: &str, field: &str) -> Option<String> {
+    let marker = format!("\"{field}\": \"");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Pulls `"field": <number>` out of a JSON object line.
+fn number_field(line: &str, field: &str) -> Option<f64> {
+    let marker = format!("\"{field}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the bench JSON files this repo emits: one result object per
+/// line inside a `"results"` array.
+fn parse_rows(text: &str) -> Vec<Row> {
+    text.lines()
+        .filter_map(|line| {
+            let workload = string_field(line, "workload")?;
+            let speedup = number_field(line, "speedup")?;
+            Some(Row {
+                workload,
+                threads: number_field(line, "threads").map(|t| t as u64),
+                speedup,
+            })
+        })
+        .collect()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut paths = Vec::new();
+    let mut tolerance = 0.25f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .ok_or("--tolerance needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad tolerance: {e}"))?
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        return Err("usage: bench_gate <baseline.json> <fresh.json> [--tolerance 0.25]".into());
+    };
+    let read = |path: &str| -> Result<Vec<Row>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let rows = parse_rows(&text);
+        if rows.is_empty() {
+            return Err(format!("{path}: no bench rows found"));
+        }
+        Ok(rows)
+    };
+    let baseline = read(baseline_path)?;
+    let fresh = read(fresh_path)?;
+
+    let mut failures = Vec::new();
+    println!(
+        "{:<28} {:>10} {:>10} {:>9}  verdict",
+        "row", "baseline", "fresh", "ratio"
+    );
+    for b in &baseline {
+        let Some(f) = fresh.iter().find(|f| f.key() == b.key()) else {
+            println!(
+                "{:<28} {:>10.3} {:>10} {:>9}  MISSING",
+                b.key(),
+                b.speedup,
+                "-",
+                "-"
+            );
+            failures.push(format!("{}: missing from fresh results", b.key()));
+            continue;
+        };
+        let floor = b.speedup * (1.0 - tolerance);
+        let ratio = f.speedup / b.speedup;
+        let ok = f.speedup >= floor;
+        println!(
+            "{:<28} {:>9.3}x {:>9.3}x {:>8.2}x  {}",
+            b.key(),
+            b.speedup,
+            f.speedup,
+            ratio,
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            failures.push(format!(
+                "{}: speedup {:.3} fell below {:.3} (baseline {:.3}, tolerance {:.0}%)",
+                b.key(),
+                f.speedup,
+                floor,
+                b.speedup,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "gate passed: {} row(s) within {:.0}%",
+            baseline.len(),
+            tolerance * 100.0
+        );
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bench_gate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [fig2|fig5|fig7|fig8|fig9|fig10|fig11|table3|table4|all]
-//!       [--trace <file.jsonl|->] [--profile]
+//!       [--trace <file.jsonl|->] [--profile] [--threads off|auto|<n>]
 //! ```
 //!
 //! Figures are printed as ASCII power-aware Gantt charts (Fig. 8 as
@@ -13,6 +13,9 @@
 //! instrumented targets (figs 2/5/7 and 9–11) as JSONL
 //! [`TraceEvent`]s (`-` streams to stdout); `--profile` prints a
 //! per-stage wall-time and decision-count table after the run.
+//! `--threads` selects [`Parallelism`] for the instrumented targets;
+//! every figure and table is bit-identical at any setting (that
+//! contract is what the determinism CI job checks).
 
 use pas_bench::{figure_block, metrics_row};
 use pas_core::analyze;
@@ -23,7 +26,7 @@ use pas_mission::{
 };
 use pas_obs::{JsonlWriter, Observer, StageProfiler, TraceEvent};
 use pas_rover::{build_rover_problem, jpl_schedule, power_aware_schedule, EnvCase};
-use pas_sched::{PowerAwareScheduler, SchedulerConfig};
+use pas_sched::{Parallelism, PowerAwareScheduler, SchedulerConfig};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -64,6 +67,7 @@ fn cli(args: Vec<String>) -> Result<(), String> {
     let mut what: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut profile = false;
+    let mut threads = Parallelism::Off;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -72,8 +76,17 @@ fn cli(args: Vec<String>) -> Result<(), String> {
                 trace_path = Some(path);
             }
             "--profile" => profile = true,
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads requires off, auto, or a thread count")?
+                    .parse::<Parallelism>()
+                    .map_err(|e| e.to_string())?;
+            }
             flag if flag.starts_with("--") => {
-                return Err(format!("unknown flag {flag:?} (--trace <path>|--profile)"))
+                return Err(format!(
+                    "unknown flag {flag:?} (--trace <path>|--profile|--threads <p>)"
+                ))
             }
             target => {
                 if let Some(prev) = what.replace(target.to_string()) {
@@ -93,7 +106,7 @@ fn cli(args: Vec<String>) -> Result<(), String> {
         profiler: profile.then(StageProfiler::new),
     };
 
-    run(what.as_deref().unwrap_or("all"), &mut obs)?;
+    run(what.as_deref().unwrap_or("all"), threads, &mut obs)?;
 
     if let Some(profiler) = &obs.profiler {
         println!("---- Stage profile ----");
@@ -114,13 +127,19 @@ fn cli(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-fn run(what: &str, obs: &mut ReproObserver) -> Result<(), String> {
+fn run(what: &str, threads: Parallelism, obs: &mut ReproObserver) -> Result<(), String> {
     match what {
-        "fig2" | "fig5" | "fig7" => figs257(what, obs),
+        "fig2" | "fig5" | "fig7" => figs257(what, threads, obs),
         "fig8" => fig8(),
-        "fig9" => rover_fig(EnvCase::Best, "Fig. 9 (best case, 2 iterations)", 2, obs),
-        "fig10" => rover_fig(EnvCase::Typical, "Fig. 10 (typical case)", 1, obs),
-        "fig11" => rover_fig(EnvCase::Worst, "Fig. 11 (worst case)", 1, obs),
+        "fig9" => rover_fig(
+            EnvCase::Best,
+            "Fig. 9 (best case, 2 iterations)",
+            2,
+            threads,
+            obs,
+        ),
+        "fig10" => rover_fig(EnvCase::Typical, "Fig. 10 (typical case)", 1, threads, obs),
+        "fig11" => rover_fig(EnvCase::Worst, "Fig. 11 (worst case)", 1, threads, obs),
         "table3" => table3(),
         "table4" => table4(),
         "ablation" => ablation(),
@@ -131,7 +150,7 @@ fn run(what: &str, obs: &mut ReproObserver) -> Result<(), String> {
                 "fig2", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "table3", "table4",
                 "ablation", "optgap",
             ] {
-                run(w, obs)?;
+                run(w, threads, obs)?;
                 println!();
             }
             Ok(())
@@ -144,11 +163,14 @@ fn run(what: &str, obs: &mut ReproObserver) -> Result<(), String> {
 }
 
 /// Figs. 2, 5, 7: the pipeline stages on the 9-task example.
-fn figs257(which: &str, obs: &mut ReproObserver) -> Result<(), String> {
+fn figs257(which: &str, threads: Parallelism, obs: &mut ReproObserver) -> Result<(), String> {
     let (mut problem, _) = pas_core::example::paper_example();
-    let stages = PowerAwareScheduler::default()
-        .schedule_stages_with(&mut problem, obs)
-        .map_err(|e| e.to_string())?;
+    let stages = PowerAwareScheduler::new(SchedulerConfig {
+        parallelism: threads,
+        ..SchedulerConfig::default()
+    })
+    .schedule_stages_with(&mut problem, obs)
+    .map_err(|e| e.to_string())?;
     let (title, outcome) = match which {
         "fig2" => (
             "Fig. 2 — time-valid schedule (spikes + gaps)",
@@ -199,12 +221,16 @@ fn rover_fig(
     case: EnvCase,
     title: &str,
     iterations: usize,
+    threads: Parallelism,
     obs: &mut ReproObserver,
 ) -> Result<(), String> {
     let mut rover = build_rover_problem(case, iterations);
-    let outcome = PowerAwareScheduler::default()
-        .schedule_with(&mut rover.problem, obs)
-        .map_err(|e| e.to_string())?;
+    let outcome = PowerAwareScheduler::new(SchedulerConfig {
+        parallelism: threads,
+        ..SchedulerConfig::default()
+    })
+    .schedule_with(&mut rover.problem, obs)
+    .map_err(|e| e.to_string())?;
     print!("{}", figure_block(title, &rover.problem, &outcome.schedule));
     Ok(())
 }

@@ -16,7 +16,7 @@
 //!   return on the same graph — longest-path distances are unique, so
 //!   the delta path and the full path cannot disagree. The property
 //!   tests drive random edit sequences against
-//!   [`bellman_ford_reference`] to pin this.
+//!   [`crate::longest_path::bellman_ford_reference`] to pin this.
 //! * Edge *additions* only ever increase distances, so seeding the
 //!   worklist with the endpoints of the new edges reaches every node
 //!   whose distance can change.
@@ -284,7 +284,7 @@ impl IncrementalLongestPaths {
             if let Some(du) = self.dist[e.from().index()] {
                 let cand = du + e.weight();
                 let v = e.to();
-                if self.dist[v.index()].is_none_or(|dv| cand > dv) {
+                if self.dist[v.index()].map_or(true, |dv| cand > dv) {
                     self.dist[v.index()] = Some(cand);
                     self.hops[v.index()] = self.hops[e.from().index()] + 1;
                     relaxations += 1;
@@ -305,7 +305,7 @@ impl IncrementalLongestPaths {
             for (_, e) in graph.out_edges(u) {
                 let v = e.to();
                 let cand = du + e.weight();
-                if self.dist[v.index()].is_none_or(|dv| cand > dv) {
+                if self.dist[v.index()].map_or(true, |dv| cand > dv) {
                     self.dist[v.index()] = Some(cand);
                     self.hops[v.index()] = self.hops[u.index()] + 1;
                     relaxations += 1;

@@ -241,7 +241,7 @@ pub fn bellman_ford_reference(
     for (_, e) in graph.edges() {
         if let Some(du) = dist[e.from().index()] {
             let cand = du + e.weight();
-            if dist[e.to().index()].is_none_or(|dv| cand > dv) {
+            if dist[e.to().index()].map_or(true, |dv| cand > dv) {
                 pred[e.to().index()] = Some(e.from());
                 return Err(extract_cycle(graph, &pred, e.to()));
             }

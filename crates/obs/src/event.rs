@@ -415,6 +415,22 @@ pub enum TraceEvent {
         /// Peak aggregate power.
         peak: Power,
     },
+    /// A parallel worker's stitched trace segment begins. Emitted by
+    /// the trace stitcher when per-worker buffers are merged into one
+    /// causally-ordered stream; the id is the worker's *deterministic*
+    /// unit-of-work index (portfolio attempt, B&B frontier branch),
+    /// never an OS thread id, so stitched traces are identical across
+    /// thread counts.
+    WorkerStarted {
+        /// Deterministic worker id.
+        worker: u32,
+    },
+    /// A parallel worker's stitched trace segment ends, closing the
+    /// matching [`TraceEvent::WorkerStarted`].
+    WorkerFinished {
+        /// Deterministic worker id.
+        worker: u32,
+    },
     /// An event this build of the codec does not understand — a trace
     /// written by a newer binary. The raw line is preserved verbatim
     /// so re-encoding is lossless.
@@ -458,6 +474,8 @@ impl TraceEvent {
             TraceEvent::WindowFaultDetected { .. } => "WindowFaultDetected",
             TraceEvent::TaskBound { .. } => "TaskBound",
             TraceEvent::OutcomeRecorded { .. } => "OutcomeRecorded",
+            TraceEvent::WorkerStarted { .. } => "WorkerStarted",
+            TraceEvent::WorkerFinished { .. } => "WorkerFinished",
             TraceEvent::Unknown { name, .. } => name,
         }
     }
@@ -625,6 +643,9 @@ impl TraceEvent {
                 w.ratio_field("rho", *utilization);
                 w.int_field("peak", peak.as_milliwatts() as i128);
             }
+            TraceEvent::WorkerStarted { worker } | TraceEvent::WorkerFinished { worker } => {
+                w.int_field("worker", *worker as i128);
+            }
             TraceEvent::Unknown { .. } => unreachable!("handled above"),
         }
         w.finish()
@@ -785,6 +806,12 @@ impl TraceEvent {
                 utilization: ctx.ratio("rho")?,
                 peak: ctx.power("peak")?,
             },
+            "WorkerStarted" => TraceEvent::WorkerStarted {
+                worker: ctx.u32("worker")?,
+            },
+            "WorkerFinished" => TraceEvent::WorkerFinished {
+                worker: ctx.u32("worker")?,
+            },
             other => {
                 return Err(TraceParseError::new(format!(
                     "unknown event name {other:?}"
@@ -814,6 +841,9 @@ impl TraceEvent {
     pub const fn stage(&self) -> Option<StageKind> {
         Some(match self {
             TraceEvent::Unknown { .. } => return None,
+            // Worker markers bracket a whole unit of parallel work,
+            // which may span multiple stages: intrinsically stage-less.
+            TraceEvent::WorkerStarted { .. } | TraceEvent::WorkerFinished { .. } => return None,
             TraceEvent::StageStarted { stage } | TraceEvent::StageFinished { stage } => *stage,
             TraceEvent::LintStarted { .. }
             | TraceEvent::LintFinding { .. }
@@ -1284,6 +1314,8 @@ mod tests {
                 utilization: Ratio::new(449, 500),
                 peak: Power::from_watts_milli(16_000),
             },
+            TraceEvent::WorkerStarted { worker: 3 },
+            TraceEvent::WorkerFinished { worker: 3 },
             TraceEvent::Unknown {
                 name: "FutureEvent".to_string(),
                 line: r#"{"event":"FutureEvent","frobs":3}"#.to_string(),
@@ -1429,5 +1461,7 @@ mod tests {
             .stage(),
             Some(StageKind::Dispatch)
         );
+        assert_eq!(TraceEvent::WorkerStarted { worker: 0 }.stage(), None);
+        assert_eq!(TraceEvent::WorkerFinished { worker: 7 }.stage(), None);
     }
 }

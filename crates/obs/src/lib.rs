@@ -30,6 +30,7 @@
 //! | dispatch | `TaskDispatched`, `TaskCompleted`, `WindowFaultDetected` |
 //! | incremental engine | `IncrementalCacheHit`, `IncrementalDelta`, `IncrementalFallback` |
 //! | provenance (per stage outcome) | `TaskBound` (with a [`Binding`]), `OutcomeRecorded` |
+//! | parallel trace stitching | `WorkerStarted`, `WorkerFinished` |
 //! | all | `StageStarted`, `StageFinished` |
 //!
 //! Lines written by newer binaries that this build does not recognize
@@ -64,9 +65,11 @@ mod jsonl;
 mod metrics;
 mod observer;
 mod profile;
+mod stitch;
 
 pub use event::{Binding, ScanKind, SlotKind, StageKind, TraceEvent, TraceParseError};
 pub use jsonl::{parse_jsonl, JsonlWriter};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use observer::{CountingObserver, EventCounts, NullObserver, Observer, RecordingObserver, Tee};
 pub use profile::{render_profile_table, SpanRecord, StageProfile, StageProfiler};
+pub use stitch::{stitch_all, stitch_segment};

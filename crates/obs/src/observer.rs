@@ -113,6 +113,10 @@ pub struct EventCounts {
     pub tasks_bound: u64,
     /// `OutcomeRecorded` events.
     pub outcomes_recorded: u64,
+    /// `WorkerStarted` events (stitched parallel trace segments).
+    pub worker_starts: u64,
+    /// `WorkerFinished` events.
+    pub worker_finishes: u64,
     /// `Unknown` events (forward-compat lines from newer writers).
     pub unknown_events: u64,
 }
@@ -152,6 +156,8 @@ impl EventCounts {
             TraceEvent::IncrementalFallback { .. } => self.incremental_fallbacks += 1,
             TraceEvent::TaskBound { .. } => self.tasks_bound += 1,
             TraceEvent::OutcomeRecorded { .. } => self.outcomes_recorded += 1,
+            TraceEvent::WorkerStarted { .. } => self.worker_starts += 1,
+            TraceEvent::WorkerFinished { .. } => self.worker_finishes += 1,
             TraceEvent::Unknown { .. } => self.unknown_events += 1,
         }
     }
@@ -161,7 +167,7 @@ impl EventCounts {
     ///
     /// The names double as stable label values for metrics exposition
     /// and as row keys for trace diffing.
-    pub fn named(&self) -> [(&'static str, u64); 27] {
+    pub fn named(&self) -> [(&'static str, u64); 29] {
         [
             ("stage_starts", self.stage_starts),
             ("stage_finishes", self.stage_finishes),
@@ -189,6 +195,8 @@ impl EventCounts {
             ("incremental_fallbacks", self.incremental_fallbacks),
             ("tasks_bound", self.tasks_bound),
             ("outcomes_recorded", self.outcomes_recorded),
+            ("worker_starts", self.worker_starts),
+            ("worker_finishes", self.worker_finishes),
             ("unknown_events", self.unknown_events),
         ]
     }

@@ -1,0 +1,105 @@
+//! Stitching per-worker trace buffers into one causally-ordered
+//! stream.
+//!
+//! Parallel pipeline stages record into private [`RecordingObserver`]
+//! buffers — one per deterministic unit of work (portfolio attempt,
+//! B&B frontier branch) — instead of streaming into the shared
+//! observer from multiple threads. After the scoped threads join, the
+//! buffers are emitted **in unit index order**, each bracketed by
+//! [`TraceEvent::WorkerStarted`] / [`TraceEvent::WorkerFinished`]
+//! markers carrying the unit index as the worker id.
+//!
+//! Because the id is the unit index (never an OS thread id) and the
+//! merge order is the unit order (never the completion order), the
+//! stitched stream is byte-identical for any thread count — the
+//! determinism CI job diffs `--threads 1` against `--threads 8`
+//! traces and requires a clean result.
+
+use crate::event::TraceEvent;
+use crate::observer::Observer;
+
+/// Emits one worker's buffered segment into `obs`, bracketed by
+/// worker markers. Empty segments still emit their bracket so the
+/// stitched trace enumerates every unit of work.
+pub fn stitch_segment<O: Observer + ?Sized>(obs: &mut O, worker: u32, events: Vec<TraceEvent>) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.on_event(&TraceEvent::WorkerStarted { worker });
+    for event in &events {
+        obs.on_event(event);
+    }
+    obs.on_event(&TraceEvent::WorkerFinished { worker });
+}
+
+/// Stitches a batch of per-worker buffers into `obs` in index order.
+///
+/// `segments[i]` is emitted with worker id `i` (plus `base`), so the
+/// caller can fan several stitched regions into one trace without id
+/// collisions.
+pub fn stitch_all<O: Observer + ?Sized>(obs: &mut O, base: u32, segments: Vec<Vec<TraceEvent>>) {
+    for (index, events) in segments.into_iter().enumerate() {
+        stitch_segment(obs, base + index as u32, events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::RecordingObserver;
+    use crate::StageKind;
+
+    fn marker(stage: StageKind) -> TraceEvent {
+        TraceEvent::StageStarted { stage }
+    }
+
+    #[test]
+    fn segments_are_bracketed_in_index_order() {
+        let mut obs = RecordingObserver::new();
+        stitch_all(
+            &mut obs,
+            0,
+            vec![
+                vec![marker(StageKind::Timing)],
+                vec![],
+                vec![marker(StageKind::MinPower)],
+            ],
+        );
+        let events = obs.into_events();
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::WorkerStarted { worker: 0 },
+                marker(StageKind::Timing),
+                TraceEvent::WorkerFinished { worker: 0 },
+                TraceEvent::WorkerStarted { worker: 1 },
+                TraceEvent::WorkerFinished { worker: 1 },
+                TraceEvent::WorkerStarted { worker: 2 },
+                marker(StageKind::MinPower),
+                TraceEvent::WorkerFinished { worker: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn disabled_observers_skip_stitching_entirely() {
+        let mut obs = crate::observer::NullObserver;
+        // Must not panic and must stay a no-op.
+        stitch_segment(&mut obs, 9, vec![marker(StageKind::Timing)]);
+    }
+
+    #[test]
+    fn base_offsets_worker_ids() {
+        let mut obs = RecordingObserver::new();
+        stitch_all(&mut obs, 10, vec![vec![], vec![]]);
+        let ids: Vec<u32> = obs
+            .into_events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::WorkerStarted { worker } => Some(*worker),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![10, 11]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Deterministic parallel execution primitives.
+//!
+//! The scheduling pipeline parallelizes three independent searches —
+//! portfolio restarts, the exact B&B frontier, and min-power candidate
+//! evaluation — and in every case the contract is the same: the result
+//! must be **bit-identical** to the sequential run, regardless of the
+//! worker count or of how the OS interleaves the threads. This crate
+//! provides the two primitives that make that contract easy to keep:
+//!
+//! * [`par_map`] — an indexed map over owned items on scoped threads.
+//!   Items are handed out through a shared queue (so the *execution*
+//!   order is nondeterministic) but the results are returned in item
+//!   order (so the *observable* order is deterministic). Any reduction
+//!   applied to the returned `Vec` in index order therefore matches
+//!   the sequential fold exactly.
+//! * [`SharedMin`] — a monotonically decreasing atomic bound, used as
+//!   the shared incumbent in parallel branch-and-bound. Workers may
+//!   only use it for *strict* pruning (discarding subtrees that are
+//!   strictly worse than some already-found solution), which removes
+//!   work without ever removing a potential winner.
+//!
+//! Everything here is plain `std`: scoped threads, a mutex-guarded
+//! queue, and atomics. No work-stealing runtime is spun up, which
+//! keeps the primitives predictable and the crate dependency-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How much parallelism a pipeline stage may use.
+///
+/// The default is [`Parallelism::Off`], which keeps every legacy code
+/// path byte-for-byte unchanged (including streamed traces). The
+/// parallel paths — selected by `Threads` or `Auto`, *even with one
+/// worker* — produce schedules bit-identical to `Off` but stitch their
+/// traces from per-worker buffers, tagging each segment with a
+/// deterministic worker id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Fully sequential legacy behavior (the default).
+    #[default]
+    Off,
+    /// Use exactly `n` workers (clamped to at least 1).
+    Threads(usize),
+    /// Use one worker per available hardware thread.
+    Auto,
+}
+
+impl Parallelism {
+    /// The number of workers this setting resolves to on this machine.
+    ///
+    /// `Off` resolves to 1; `Auto` queries
+    /// [`std::thread::available_parallelism`] and falls back to 1 when
+    /// the query fails (e.g. in restricted sandboxes).
+    pub fn worker_count(self) -> usize {
+        match self {
+            Parallelism::Off => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// `true` when the parallel (worker-tagged) code paths are
+    /// selected, even if they resolve to a single worker.
+    pub fn is_enabled(self) -> bool {
+        !matches!(self, Parallelism::Off)
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Parallelism::Off => write!(f, "off"),
+            Parallelism::Threads(n) => write!(f, "{n}"),
+            Parallelism::Auto => write!(f, "auto"),
+        }
+    }
+}
+
+/// Error returned when a `--threads` style value fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseParallelismError(String);
+
+impl fmt::Display for ParseParallelismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid parallelism {:?}: expected \"off\", \"auto\", or a thread count",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseParallelismError {}
+
+impl FromStr for Parallelism {
+    type Err = ParseParallelismError;
+
+    /// Parses the CLI surface syntax: `off`, `auto`, or a positive
+    /// integer thread count.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(Parallelism::Off),
+            "auto" => Ok(Parallelism::Auto),
+            _ => s
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n > 0)
+                .map(Parallelism::Threads)
+                .ok_or_else(|| ParseParallelismError(s.to_string())),
+        }
+    }
+}
+
+/// Maps `f` over `items` on up to `workers` scoped threads, returning
+/// the results **in item order**.
+///
+/// `f` receives each item's original index alongside the item, so
+/// per-item seeding (`derive(base_seed, index)`) stays identical to
+/// the sequential loop. With `workers <= 1` or fewer than two items
+/// the map runs inline on the caller's thread — same closure, same
+/// order, no spawn cost.
+///
+/// Panics in `f` are propagated to the caller after the scope joins.
+pub fn par_map<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        // Take the lock only to pop; run `f` outside it.
+                        let next = queue.lock().expect("par_map queue poisoned").pop_front();
+                        match next {
+                            Some((index, item)) => done.push((index, f(index, item))),
+                            None => break,
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(done) => {
+                    for (index, result) in done {
+                        slots[index] = Some(result);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("par_map: worker exited without producing its result"))
+        .collect()
+}
+
+/// A shared, monotonically decreasing bound — the global incumbent of
+/// a parallel branch-and-bound.
+///
+/// The bound only ever moves *down* ([`SharedMin::refine`] is a
+/// `fetch_min`), so a reader can rely on any observed value being an
+/// upper bound on the final one. Crucially for determinism, callers
+/// must prune only **strictly** against it (`cost > bound.get()`):
+/// a strict prune discards subtrees that some worker has already
+/// matched or beaten, which can never change which solution the
+/// deterministic index-ordered reduction ultimately picks — it only
+/// changes how much work is spent finding it.
+#[derive(Debug)]
+pub struct SharedMin(AtomicU64);
+
+impl SharedMin {
+    /// Creates the bound at `initial` (typically `u64::MAX`).
+    pub fn new(initial: u64) -> SharedMin {
+        SharedMin(AtomicU64::new(initial))
+    }
+
+    /// The current bound. Monotone: never larger than any previously
+    /// observed value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Lowers the bound to `candidate` if it improves on the current
+    /// value; returns `true` when `candidate` strictly lowered it.
+    pub fn refine(&self, candidate: u64) -> bool {
+        let previous = self.0.fetch_min(candidate, Ordering::AcqRel);
+        candidate < previous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_resolves_worker_counts() {
+        assert_eq!(Parallelism::Off.worker_count(), 1);
+        assert_eq!(Parallelism::Threads(0).worker_count(), 1);
+        assert_eq!(Parallelism::Threads(6).worker_count(), 6);
+        assert!(Parallelism::Auto.worker_count() >= 1);
+        assert!(!Parallelism::Off.is_enabled());
+        assert!(Parallelism::Threads(1).is_enabled());
+        assert!(Parallelism::Auto.is_enabled());
+    }
+
+    #[test]
+    fn parallelism_parses_cli_syntax() {
+        assert_eq!("off".parse(), Ok(Parallelism::Off));
+        assert_eq!("auto".parse(), Ok(Parallelism::Auto));
+        assert_eq!("4".parse(), Ok(Parallelism::Threads(4)));
+        assert!("0".parse::<Parallelism>().is_err());
+        assert!("-2".parse::<Parallelism>().is_err());
+        assert!("fast".parse::<Parallelism>().is_err());
+        assert_eq!(Parallelism::Threads(8).to_string(), "8");
+        assert_eq!(Parallelism::Auto.to_string(), "auto");
+    }
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = par_map(workers, items.clone(), |i, x| {
+                assert_eq!(i as u64, x);
+                x * 3 + 1
+            });
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_degenerate_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(8, empty, |_, x: u32| x).is_empty());
+        assert_eq!(par_map(8, vec![7u32], |i, x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn par_map_propagates_worker_panics() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(4, (0..64).collect::<Vec<u32>>(), |_, x| {
+                assert!(x != 13, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn shared_min_refines_downward() {
+        let bound = SharedMin::new(u64::MAX);
+        assert!(bound.refine(100));
+        assert!(!bound.refine(100));
+        assert!(!bound.refine(250));
+        assert_eq!(bound.get(), 100);
+        assert!(bound.refine(40));
+        assert_eq!(bound.get(), 40);
+    }
+
+    /// Stress test for the shared incumbent bound (the issue's
+    /// loom-or-stress requirement): many workers race refinements
+    /// while observing that the bound is monotone non-increasing and
+    /// never below the true minimum.
+    #[test]
+    fn shared_min_stress_monotone_under_contention() {
+        let bound = SharedMin::new(u64::MAX);
+        let workers = 8;
+        let per_worker = 20_000u64;
+        // Deterministic per-worker value streams via a splitmix step;
+        // the true global minimum is planted at a known value.
+        let true_min = 3u64;
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let bound = &bound;
+                scope.spawn(move || {
+                    let mut state = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w + 1);
+                    let mut last_seen = u64::MAX;
+                    for i in 0..per_worker {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        let candidate = if w == 3 && i == per_worker / 2 {
+                            true_min
+                        } else {
+                            // Keep ordinary candidates above the planted min.
+                            true_min + 1 + (state % 1_000_000)
+                        };
+                        bound.refine(candidate);
+                        let seen = bound.get();
+                        assert!(seen <= last_seen, "bound rose: {last_seen} -> {seen}");
+                        assert!(seen >= true_min, "bound below any candidate");
+                        last_seen = seen;
+                    }
+                });
+            }
+        });
+        assert_eq!(bound.get(), true_min);
+    }
+}

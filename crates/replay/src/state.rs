@@ -71,6 +71,11 @@ pub struct Replay {
     pub moves: Vec<(TaskId, TimeSpan)>,
     /// Incremental-engine activity: `(cache_hits, deltas, fallbacks)`.
     pub incremental: (u64, u64, u64),
+    /// Completed parallel worker segments, in stitch order. Empty for
+    /// sequential traces; for stitched parallel traces the ids are the
+    /// deterministic unit-of-work indices, so this sequence is
+    /// identical across thread counts.
+    pub workers: Vec<u32>,
     /// Oddities found while folding (unmatched stage markers,
     /// backtracks past the root, provenance groups with no tasks, …).
     pub anomalies: Vec<String>,
@@ -83,6 +88,7 @@ impl Replay {
             ..Replay::default()
         };
         let mut open: Vec<StageKind> = Vec::new();
+        let mut open_workers: Vec<u32> = Vec::new();
         let mut pending: [Vec<BoundTask>; StageKind::ALL.len()] = Default::default();
 
         for (i, event) in events.iter().enumerate() {
@@ -171,6 +177,20 @@ impl Replay {
                         peak: *peak,
                     });
                 }
+                TraceEvent::WorkerStarted { worker } => open_workers.push(*worker),
+                TraceEvent::WorkerFinished { worker } => match open_workers.pop() {
+                    Some(started) => {
+                        if started != *worker {
+                            replay.anomalies.push(format!(
+                                "event {i}: WorkerFinished({worker}) closes worker {started}"
+                            ));
+                        }
+                        replay.workers.push(*worker);
+                    }
+                    None => replay.anomalies.push(format!(
+                        "event {i}: WorkerFinished({worker}) with no open worker segment"
+                    )),
+                },
                 TraceEvent::Unknown { name, .. } => {
                     replay
                         .anomalies
@@ -184,6 +204,11 @@ impl Replay {
             replay
                 .anomalies
                 .push(format!("stage span {stage} never finished"));
+        }
+        for worker in open_workers {
+            replay
+                .anomalies
+                .push(format!("worker segment {worker} never finished"));
         }
         for (idx, group) in pending.iter().enumerate() {
             if !group.is_empty() {
@@ -281,6 +306,44 @@ mod tests {
         assert_eq!(outcome.tau, Time::from_secs(10));
         assert_eq!(replay.outcome_for(StageKind::Timing).unwrap(), outcome);
         assert!(replay.outcome_for(StageKind::MinPower).is_none());
+    }
+
+    #[test]
+    fn worker_segments_fold_in_stitch_order() {
+        let events = vec![
+            TraceEvent::WorkerStarted { worker: 0 },
+            TraceEvent::StageStarted {
+                stage: StageKind::Timing,
+            },
+            TraceEvent::TaskCommitted { task: t(0) },
+            TraceEvent::StageFinished {
+                stage: StageKind::Timing,
+            },
+            TraceEvent::WorkerFinished { worker: 0 },
+            TraceEvent::WorkerStarted { worker: 1 },
+            TraceEvent::WorkerFinished { worker: 1 },
+        ];
+        let replay = Replay::from_events(events);
+        assert!(replay.anomalies.is_empty(), "{:?}", replay.anomalies);
+        assert_eq!(replay.workers, vec![0, 1]);
+        assert_eq!(replay.commits, vec![t(0)]);
+        // Worker markers outside any stage span are unattributed.
+        assert_eq!(replay.unattributed.worker_starts, 2);
+        assert_eq!(replay.unattributed.worker_finishes, 2);
+    }
+
+    #[test]
+    fn unbalanced_worker_markers_are_anomalies() {
+        let events = vec![
+            TraceEvent::WorkerFinished { worker: 3 },
+            TraceEvent::WorkerStarted { worker: 4 },
+            TraceEvent::WorkerStarted { worker: 5 },
+            TraceEvent::WorkerFinished { worker: 4 },
+        ];
+        let replay = Replay::from_events(events);
+        // Orphan close, mismatched close (5 closed as 4), and the
+        // still-open worker 4 segment.
+        assert_eq!(replay.anomalies.len(), 3, "{:?}", replay.anomalies);
     }
 
     #[test]

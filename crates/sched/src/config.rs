@@ -5,6 +5,7 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign};
 
 use pas_obs::EventCounts;
+use pas_par::Parallelism;
 
 /// How the timing scheduler orders commit candidates when exploring
 /// topological orderings (Fig. 3 traverses successors in an
@@ -167,6 +168,24 @@ pub struct SchedulerConfig {
     /// so this is purely a performance knob (DESIGN.md §10). Disabling
     /// it is an ablation / oracle for the equivalence tests.
     pub incremental: bool,
+    /// Parallel execution of the independent searches: portfolio
+    /// restarts, the exact-B&B top-level frontier, and min-power
+    /// candidate evaluation. Results are **bit-identical** to the
+    /// sequential run for every setting (DESIGN.md §12) — the winner
+    /// reduction, frontier order, and move-accept rule are all keyed
+    /// on deterministic unit indices, never on completion order — so
+    /// this is purely a wall-clock knob. [`Parallelism::Off`] (the
+    /// default) additionally preserves the legacy *streamed* trace
+    /// shape; the enabled settings stitch per-worker trace buffers
+    /// with `WorkerStarted`/`WorkerFinished` tags instead.
+    pub parallelism: Parallelism,
+    /// Base seed for the portfolio's restart diversification. `None`
+    /// (the default) derives restart seeds from [`SchedulerConfig::seed`]
+    /// exactly as previous releases did, so two runs with the same
+    /// config are reproducible by construction; `Some(b)` decouples
+    /// the restart stream from the heuristic seed so sweeps can vary
+    /// one without the other.
+    pub portfolio_base_seed: Option<u64>,
 }
 
 impl Default for SchedulerConfig {
@@ -192,6 +211,8 @@ impl Default for SchedulerConfig {
             exact_portfolio_limit: 10,
             lint_guard: true,
             incremental: true,
+            parallelism: Parallelism::Off,
+            portfolio_base_seed: None,
         }
     }
 }
@@ -288,6 +309,11 @@ mod tests {
         assert!(cfg.max_scans >= 2, "paper requires multiple scans");
         assert!(cfg.lint_guard, "static guard is on by default");
         assert!(cfg.incremental, "incremental engine is on by default");
+        assert_eq!(cfg.parallelism, Parallelism::Off, "sequential by default");
+        assert_eq!(
+            cfg.portfolio_base_seed, None,
+            "restart seeds derive from `seed` by default"
+        );
     }
 
     fn sample_stats() -> SchedulerStats {

@@ -72,6 +72,7 @@ pub use max_power::{schedule_max_power, schedule_max_power_observed};
 pub use min_power::{
     improve_gaps, improve_gaps_observed, schedule_min_power, schedule_min_power_observed,
 };
+pub use pas_par::Parallelism;
 pub use pipeline::{Outcome, PowerAwareScheduler, StageOutcomes};
 pub use runtime::{RepertoireEntry, ScheduleRepertoire, ValidityRegion};
 pub use timing::{schedule_timing, schedule_timing_observed};

@@ -46,7 +46,7 @@ const MAX_SPIKE_ROUNDS: usize = 100_000;
 /// it is fully restored.
 ///
 /// # Errors
-/// Everything [`schedule_timing`] returns, plus
+/// Everything [`crate::schedule_timing`] returns, plus
 /// [`ScheduleError::SpikeUnresolvable`] and
 /// [`ScheduleError::RecursionLimit`].
 ///

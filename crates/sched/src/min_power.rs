@@ -22,7 +22,7 @@ use crate::config::{ScanOrder, SchedulerConfig, SchedulerStats, SlotPolicy};
 use crate::error::ScheduleError;
 use crate::max_power::schedule_max_power_observed;
 use pas_core::{
-    is_move_valid, is_time_valid, slack, utilization, Interval, PowerProfile, Schedule,
+    is_move_valid, is_time_valid, slack, utilization, Interval, PowerProfile, Ratio, Schedule,
 };
 use pas_graph::units::{Power, Time, TimeSpan};
 use pas_graph::{ConstraintGraph, TaskId};
@@ -31,12 +31,17 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+/// Minimum candidate count before a gap's evaluation fans out to the
+/// worker pool: below this, thread handoff costs more than the
+/// speculative profile evaluations it saves.
+const PARALLEL_EVAL_MIN_CANDIDATES: usize = 8;
+
 /// Runs the full three-stage pipeline ending with min-power gap
 /// filling. The graph retains only the serialization edges matching
 /// the returned schedule (gap filling itself never mutates it).
 ///
 /// # Errors
-/// Everything [`schedule_max_power`] can return; gap filling itself is
+/// Everything [`crate::schedule_max_power`] can return; gap filling itself is
 /// best-effort and never fails.
 ///
 /// # Examples
@@ -132,6 +137,7 @@ pub fn improve_gaps_observed<O: Observer>(
     obs: &mut O,
 ) -> Schedule {
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_6A95);
+    let workers = config.parallelism.worker_count();
     // Invariant (incremental path): `current_profile` always equals
     // `PowerProfile::of_schedule(graph, &sigma, background)` — the
     // delta update on accepted moves reproduces the canonical profile
@@ -220,88 +226,106 @@ pub fn improve_gaps_observed<O: Observer>(
                 })
                 .collect();
 
-            for v in candidates {
-                let delta = slot_delta(graph, &sigma, v, t, gap_end, slot_policy, &mut rng);
-                if !delta.is_positive() {
-                    continue;
-                }
-                let tentative = sigma.with_delayed(v, delta);
-                // Incremental path: the tentative profile is a
-                // single-window delta off the maintained one, and the
-                // single-move validity check replaces the full oracle
-                // (equivalent on a valid base schedule).
-                let (tentative_profile, time_ok) = if config.incremental {
-                    let from = Interval {
-                        start: sigma.start(v),
-                        end: sigma.end(v, graph),
-                    };
-                    let to = Interval {
-                        start: from.start + delta,
-                        end: from.end + delta,
-                    };
-                    let p = current_profile.with_task_moved(
-                        graph.task(v).power(),
-                        from,
-                        to,
-                        tentative.finish_time(graph),
-                    );
-                    (p, is_move_valid(graph, &tentative, v))
-                } else {
-                    (
-                        PowerProfile::of_schedule(graph, &tentative, background),
-                        is_time_valid(graph, &tentative),
-                    )
-                };
-                let valid = time_ok && tentative_profile.spikes(p_max).is_empty();
-                let new_rho = utilization(&tentative_profile, p_min);
-                // Optional secondary objective: flatten the power
-                // curve when utilization ties.
-                let jitter_win = config.reduce_jitter && new_rho == rho && {
-                    pas_core::power_jitter(&tentative_profile)
-                        < pas_core::power_jitter(&current_profile)
-                        && tentative_profile.end() <= current_profile.end()
-                };
-                if valid && (new_rho > rho || jitter_win) {
-                    if obs.is_enabled() {
-                        obs.on_event(&TraceEvent::MoveAccepted {
-                            task: v,
-                            delta,
-                            rho_before: rho,
-                            rho_after: new_rho,
-                        });
-                        if config.incremental {
-                            obs.on_event(&TraceEvent::IncrementalDelta {
-                                stage: StageKind::MinPower,
-                                edges: 1,
-                                relaxations: tentative_profile.segments().count() as u64,
-                            });
-                        }
-                    }
-                    sigma = tentative;
-                    if config.incremental {
-                        current_profile = tentative_profile;
-                    }
-                    rho = new_rho;
-                    improved = true;
-                    pass_moves += 1;
-                    if rho.is_one() {
-                        if obs.is_enabled() {
-                            obs.on_event(&TraceEvent::GapScanFinished {
-                                pass: pass as u32 + 1,
-                                moves: pass_moves,
-                            });
-                        }
-                        return sigma;
-                    }
-                    break; // re-derive gap structure for this t
-                } else if obs.is_enabled() {
-                    obs.on_event(&TraceEvent::MoveRejected {
-                        task: v,
+            // Random-slot passes draw from the shared RNG per
+            // candidate, so their evaluation stays on the sequential
+            // path; the pure policies are stateless per candidate and
+            // may be evaluated speculatively in parallel.
+            let mut accepted = false;
+            if workers > 1
+                && slot_policy != SlotPolicy::Random
+                && candidates.len() >= PARALLEL_EVAL_MIN_CANDIDATES
+            {
+                let pairs: Vec<(TaskId, TimeSpan)> = candidates
+                    .iter()
+                    .map(|&v| {
+                        (
+                            v,
+                            slot_delta(graph, &sigma, v, t, gap_end, slot_policy, &mut rng),
+                        )
+                    })
+                    .filter(|(_, delta)| delta.is_positive())
+                    .collect();
+                // Speculative evaluation: every candidate is scored
+                // against the same base schedule/profile the lazy
+                // sequential loop would use (they only change on an
+                // accept, which ends the loop), so committing the
+                // first accepting candidate *in candidate order* —
+                // and rejecting exactly the ones before it —
+                // reproduces the sequential decisions and trace
+                // bit-for-bit (DESIGN.md §12).
+                let evals = pas_par::par_map(workers, pairs, |_, (v, delta)| {
+                    evaluate_candidate(
+                        graph,
+                        &sigma,
+                        &current_profile,
+                        config,
+                        p_max,
+                        p_min,
+                        background,
+                        rho,
+                        v,
                         delta,
-                        rho_before: rho,
-                        rho_after: new_rho,
-                    });
+                    )
+                });
+                for eval in evals {
+                    if commit_candidate(
+                        eval,
+                        config,
+                        obs,
+                        &mut sigma,
+                        &mut current_profile,
+                        &mut rho,
+                        &mut pass_moves,
+                    ) {
+                        accepted = true;
+                        break;
+                    }
                 }
+            } else {
+                for v in candidates {
+                    let delta = slot_delta(graph, &sigma, v, t, gap_end, slot_policy, &mut rng);
+                    if !delta.is_positive() {
+                        continue;
+                    }
+                    let eval = evaluate_candidate(
+                        graph,
+                        &sigma,
+                        &current_profile,
+                        config,
+                        p_max,
+                        p_min,
+                        background,
+                        rho,
+                        v,
+                        delta,
+                    );
+                    if commit_candidate(
+                        eval,
+                        config,
+                        obs,
+                        &mut sigma,
+                        &mut current_profile,
+                        &mut rho,
+                        &mut pass_moves,
+                    ) {
+                        accepted = true;
+                        break;
+                    }
+                }
+            }
+            if accepted {
+                improved = true;
+                if rho.is_one() {
+                    if obs.is_enabled() {
+                        obs.on_event(&TraceEvent::GapScanFinished {
+                            pass: pass as u32 + 1,
+                            moves: pass_moves,
+                        });
+                    }
+                    return sigma;
+                }
+                // Re-derive the gap structure for this t on the next
+                // instant.
             }
         }
 
@@ -321,6 +345,127 @@ pub fn improve_gaps_observed<O: Observer>(
         }
     }
     sigma
+}
+
+/// One scored gap-fill candidate: the tentative schedule/profile a
+/// move would produce and whether the Fig. 6 accept rule takes it.
+struct CandidateEval {
+    task: TaskId,
+    delta: TimeSpan,
+    accept: bool,
+    new_rho: Ratio,
+    tentative: Schedule,
+    tentative_profile: PowerProfile,
+}
+
+/// Scores one candidate move against the current schedule and
+/// profile. Pure: reads only shared state, so evaluations of distinct
+/// candidates are independent and may run on worker threads.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_candidate(
+    graph: &ConstraintGraph,
+    sigma: &Schedule,
+    current_profile: &PowerProfile,
+    config: &SchedulerConfig,
+    p_max: Power,
+    p_min: Power,
+    background: Power,
+    rho: Ratio,
+    v: TaskId,
+    delta: TimeSpan,
+) -> CandidateEval {
+    let tentative = sigma.with_delayed(v, delta);
+    // Incremental path: the tentative profile is a single-window
+    // delta off the maintained one, and the single-move validity
+    // check replaces the full oracle (equivalent on a valid base
+    // schedule).
+    let (tentative_profile, time_ok) = if config.incremental {
+        let from = Interval {
+            start: sigma.start(v),
+            end: sigma.end(v, graph),
+        };
+        let to = Interval {
+            start: from.start + delta,
+            end: from.end + delta,
+        };
+        let p = current_profile.with_task_moved(
+            graph.task(v).power(),
+            from,
+            to,
+            tentative.finish_time(graph),
+        );
+        (p, is_move_valid(graph, &tentative, v))
+    } else {
+        (
+            PowerProfile::of_schedule(graph, &tentative, background),
+            is_time_valid(graph, &tentative),
+        )
+    };
+    let valid = time_ok && tentative_profile.spikes(p_max).is_empty();
+    let new_rho = utilization(&tentative_profile, p_min);
+    // Optional secondary objective: flatten the power curve when
+    // utilization ties.
+    let jitter_win = config.reduce_jitter && new_rho == rho && {
+        pas_core::power_jitter(&tentative_profile) < pas_core::power_jitter(current_profile)
+            && tentative_profile.end() <= current_profile.end()
+    };
+    CandidateEval {
+        task: v,
+        delta,
+        accept: valid && (new_rho > rho || jitter_win),
+        new_rho,
+        tentative,
+        tentative_profile,
+    }
+}
+
+/// Applies one evaluated candidate: emits `MoveAccepted` (plus the
+/// incremental delta event) and installs the tentative state when the
+/// move was accepted, or emits `MoveRejected` otherwise. Returns
+/// whether the move was accepted.
+fn commit_candidate<O: Observer>(
+    eval: CandidateEval,
+    config: &SchedulerConfig,
+    obs: &mut O,
+    sigma: &mut Schedule,
+    current_profile: &mut PowerProfile,
+    rho: &mut Ratio,
+    pass_moves: &mut u64,
+) -> bool {
+    if eval.accept {
+        if obs.is_enabled() {
+            obs.on_event(&TraceEvent::MoveAccepted {
+                task: eval.task,
+                delta: eval.delta,
+                rho_before: *rho,
+                rho_after: eval.new_rho,
+            });
+            if config.incremental {
+                obs.on_event(&TraceEvent::IncrementalDelta {
+                    stage: StageKind::MinPower,
+                    edges: 1,
+                    relaxations: eval.tentative_profile.segments().count() as u64,
+                });
+            }
+        }
+        *sigma = eval.tentative;
+        if config.incremental {
+            *current_profile = eval.tentative_profile;
+        }
+        *rho = eval.new_rho;
+        *pass_moves += 1;
+        true
+    } else {
+        if obs.is_enabled() {
+            obs.on_event(&TraceEvent::MoveRejected {
+                task: eval.task,
+                delta: eval.delta,
+                rho_before: *rho,
+                rho_after: eval.new_rho,
+            });
+        }
+        false
+    }
 }
 
 /// Wire representation of a [`ScanOrder`].

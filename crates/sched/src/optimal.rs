@@ -20,6 +20,7 @@ use pas_core::{is_time_valid, Schedule};
 use pas_graph::longest_path::single_source_longest_paths;
 use pas_graph::units::{Power, Time, TimeSpan};
 use pas_graph::{ConstraintGraph, NodeId, TaskId};
+use pas_par::SharedMin;
 
 /// Limits for the exhaustive search.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +42,10 @@ impl Default for OptimalConfig {
         }
     }
 }
+
+/// What one depth-0 branch of a fanned-out search returns: the best
+/// `(finish, starts)` it found (if any) and its explored-node count.
+type BranchResult = Result<(Option<(Time, Vec<Time>)>, u64), ScheduleError>;
 
 /// The outcome of an exact search.
 #[derive(Debug, Clone)]
@@ -92,37 +97,10 @@ pub fn minimize_finish_time(
     background: Power,
     config: &OptimalConfig,
 ) -> Result<OptimalOutcome, ScheduleError> {
-    let asap =
-        single_source_longest_paths(graph, NodeId::ANCHOR).map_err(ScheduleError::Infeasible)?;
-    for (_, task) in graph.tasks() {
-        let alone = task.power().saturating_add(background);
-        if alone > p_max {
-            return Err(ScheduleError::SpikeUnresolvable {
-                at: Time::ZERO,
-                level: alone,
-                budget: p_max,
-            });
-        }
-    }
-
+    let Some(horizon) = prepare(graph, p_max, background, config)? else {
+        return Ok(empty_outcome());
+    };
     let n = graph.num_tasks();
-    if n == 0 {
-        return Ok(OptimalOutcome {
-            schedule: Schedule::from_starts(vec![]),
-            finish_time: Time::ZERO,
-            nodes_explored: 0,
-        });
-    }
-
-    let horizon = config.horizon.unwrap_or_else(|| {
-        let serial: i64 = graph.tasks().map(|(_, t)| t.delay().as_secs()).sum();
-        let max_lb: i64 = graph
-            .task_ids()
-            .map(|t| asap.start_time(t).as_secs())
-            .max()
-            .unwrap_or(0);
-        Time::from_secs(serial + max_lb)
-    });
 
     let mut search = Search {
         graph,
@@ -134,6 +112,7 @@ pub fn minimize_finish_time(
         best_finish: horizon + TimeSpan::from_secs(1),
         starts: vec![None; n],
         horizon,
+        shared: None,
     };
     search.descend(0, Time::ZERO)?;
 
@@ -155,6 +134,302 @@ pub fn minimize_finish_time(
     }
 }
 
+/// Frontier-parallel variant of [`minimize_finish_time`]: the
+/// top-level branch frontier (every topologically ready task at its
+/// constraint lower bound, in task order) is split across `workers`
+/// threads. Each branch runs an independent search with its own
+/// local incumbent, plus a [`SharedMin`] global bound used for
+/// *strictly-greater* pruning only; branch winners are reduced in
+/// frontier order by strict finish-time improvement.
+///
+/// The returned schedule is bit-identical to the sequential search's:
+/// both resolve to the first complete assignment, in depth-first
+/// branch order, that achieves the global minimum finish time.
+/// Strict-only pruning against the shared bound can never discard
+/// that assignment (its prefix finish never exceeds the global
+/// minimum), and the frontier-order reduction restores the
+/// sequential tie-break. See `DESIGN.md` §12 for the full argument.
+///
+/// `nodes_explored` is the one field that is *not* deterministic:
+/// cross-branch pruning depends on thread timing, so the count may
+/// vary between runs (and is always at least the sequential count,
+/// since each branch starts without the earlier branches'
+/// incumbents). Callers must not fold it into reproducible output.
+///
+/// # Errors
+/// Same classes as [`minimize_finish_time`]. The `max_nodes` budget
+/// is enforced *per branch* at the full cap, and cross-branch pruning
+/// depends on thread timing — so near the budget boundary this
+/// function may succeed where the sequential search exhausts (or vice
+/// versa), and a run that exhausts is not guaranteed to exhaust
+/// again. Callers that need budget behaviour to be reproducible and
+/// identical at every worker count — the portfolio is one — must use
+/// [`minimize_finish_time_partitioned`] instead (`DESIGN.md` §12).
+pub fn minimize_finish_time_parallel(
+    graph: &ConstraintGraph,
+    p_max: Power,
+    background: Power,
+    config: &OptimalConfig,
+    workers: usize,
+) -> Result<OptimalOutcome, ScheduleError> {
+    if workers <= 1 {
+        return minimize_finish_time(graph, p_max, background, config);
+    }
+    let Some(horizon) = prepare(graph, p_max, background, config)? else {
+        return Ok(empty_outcome());
+    };
+    let n = graph.num_tasks();
+    let frontier = depth0_frontier(graph, p_max, background, horizon);
+
+    let shared = SharedMin::new(u64::MAX);
+    let branches: Vec<BranchResult> = pas_par::par_map(workers, frontier, |_, (v, s)| {
+        let mut starts = vec![None; n];
+        starts[v.index()] = Some(s);
+        let mut search = Search {
+            graph,
+            p_max,
+            background,
+            max_nodes: config.max_nodes,
+            nodes: 0,
+            best: None,
+            best_finish: horizon + TimeSpan::from_secs(1),
+            starts,
+            horizon,
+            shared: Some(&shared),
+        };
+        search.descend(1, s + graph.task(v).delay())?;
+        Ok((search.best.map(|b| (search.best_finish, b)), search.nodes))
+    });
+
+    // Reduce in frontier order: the root node plus every branch's
+    // count, the first strictly-better finish, and the first error.
+    let mut nodes_total: u64 = 1;
+    let mut best: Option<(Time, Vec<Time>)> = None;
+    for branch in branches {
+        let (local, nodes) = branch?;
+        nodes_total = nodes_total.saturating_add(nodes);
+        if let Some((finish, starts)) = local {
+            let strictly_better = match &best {
+                None => true,
+                Some((incumbent, _)) => finish < *incumbent,
+            };
+            if strictly_better {
+                best = Some((finish, starts));
+            }
+        }
+    }
+
+    match best {
+        Some((_, starts)) => {
+            let schedule = Schedule::from_starts(starts);
+            debug_assert!(is_time_valid(graph, &schedule));
+            Ok(OptimalOutcome {
+                finish_time: schedule.finish_time(graph),
+                schedule,
+                nodes_explored: nodes_total,
+            })
+        }
+        None => Err(ScheduleError::SpikeUnresolvable {
+            at: Time::ZERO,
+            level: Power::MAX,
+            budget: p_max,
+        }),
+    }
+}
+
+/// Deterministic frontier-partitioned variant of
+/// [`minimize_finish_time`]: the depth-0 frontier is split into fully
+/// independent branches and `config.max_nodes` is divided evenly
+/// among them, so every branch's node count — and therefore the
+/// overall success-or-exhaustion outcome — is a pure function of the
+/// problem, identical at every `workers` value (including 1, which
+/// runs the same branches inline).
+///
+/// This trades the cross-branch pruning of
+/// [`minimize_finish_time_parallel`] for reproducible budget
+/// behaviour: branches share no incumbent bound, so whether any
+/// branch exhausts its slice of the budget cannot depend on thread
+/// timing. On success the schedule is the same one both other
+/// variants return — the first complete assignment in depth-first
+/// frontier order achieving the minimum finish time. The portfolio's
+/// exact attempt uses this variant at *every* parallelism setting so
+/// `schedule_portfolio` stays bit-identical across thread counts even
+/// on instances that blow the node budget (`DESIGN.md` §12).
+///
+/// # Errors
+/// Same classes as [`minimize_finish_time`].
+/// [`ScheduleError::TimingSearchExhausted`] is reported when any
+/// branch exceeds `max_nodes / frontier_len` nodes; the budget
+/// boundary differs from the sequential search's single global
+/// budget, but unlike the other variants it is deterministic.
+pub fn minimize_finish_time_partitioned(
+    graph: &ConstraintGraph,
+    p_max: Power,
+    background: Power,
+    config: &OptimalConfig,
+    workers: usize,
+) -> Result<OptimalOutcome, ScheduleError> {
+    let Some(horizon) = prepare(graph, p_max, background, config)? else {
+        return Ok(empty_outcome());
+    };
+    let n = graph.num_tasks();
+    let frontier = depth0_frontier(graph, p_max, background, horizon);
+    if frontier.is_empty() {
+        return Err(ScheduleError::SpikeUnresolvable {
+            at: Time::ZERO,
+            level: Power::MAX,
+            budget: p_max,
+        });
+    }
+    let branch_budget = (config.max_nodes / frontier.len() as u64).max(1);
+
+    let run_branch = |(v, s): (TaskId, Time)| -> BranchResult {
+        let mut starts = vec![None; n];
+        starts[v.index()] = Some(s);
+        let mut search = Search {
+            graph,
+            p_max,
+            background,
+            max_nodes: branch_budget,
+            nodes: 0,
+            best: None,
+            best_finish: horizon + TimeSpan::from_secs(1),
+            starts,
+            horizon,
+            shared: None,
+        };
+        search.descend(1, s + graph.task(v).delay())?;
+        Ok((search.best.map(|b| (search.best_finish, b)), search.nodes))
+    };
+    let branches: Vec<BranchResult> = if workers <= 1 {
+        frontier.into_iter().map(run_branch).collect()
+    } else {
+        pas_par::par_map(workers, frontier, |_, item| run_branch(item))
+    };
+
+    // The reduction is byte-for-byte the one in
+    // `minimize_finish_time_parallel`, and with independent branches
+    // every reduced quantity (winner, error, node count) is
+    // deterministic.
+    let mut nodes_total: u64 = 1;
+    let mut best: Option<(Time, Vec<Time>)> = None;
+    for branch in branches {
+        let (local, nodes) = branch?;
+        nodes_total = nodes_total.saturating_add(nodes);
+        if let Some((finish, starts)) = local {
+            let strictly_better = match &best {
+                None => true,
+                Some((incumbent, _)) => finish < *incumbent,
+            };
+            if strictly_better {
+                best = Some((finish, starts));
+            }
+        }
+    }
+
+    match best {
+        Some((_, starts)) => {
+            let schedule = Schedule::from_starts(starts);
+            debug_assert!(is_time_valid(graph, &schedule));
+            Ok(OptimalOutcome {
+                finish_time: schedule.finish_time(graph),
+                schedule,
+                nodes_explored: nodes_total,
+            })
+        }
+        None => Err(ScheduleError::SpikeUnresolvable {
+            at: Time::ZERO,
+            level: Power::MAX,
+            budget: p_max,
+        }),
+    }
+}
+
+/// Shared preamble of every search variant: timing feasibility, the
+/// single-task spike check, and the horizon. `Ok(None)` flags the
+/// trivial empty instance.
+fn prepare(
+    graph: &ConstraintGraph,
+    p_max: Power,
+    background: Power,
+    config: &OptimalConfig,
+) -> Result<Option<Time>, ScheduleError> {
+    let asap =
+        single_source_longest_paths(graph, NodeId::ANCHOR).map_err(ScheduleError::Infeasible)?;
+    for (_, task) in graph.tasks() {
+        let alone = task.power().saturating_add(background);
+        if alone > p_max {
+            return Err(ScheduleError::SpikeUnresolvable {
+                at: Time::ZERO,
+                level: alone,
+                budget: p_max,
+            });
+        }
+    }
+    if graph.num_tasks() == 0 {
+        return Ok(None);
+    }
+    let horizon = config.horizon.unwrap_or_else(|| {
+        let serial: i64 = graph.tasks().map(|(_, t)| t.delay().as_secs()).sum();
+        let max_lb: i64 = graph
+            .task_ids()
+            .map(|t| asap.start_time(t).as_secs())
+            .max()
+            .unwrap_or(0);
+        Time::from_secs(serial + max_lb)
+    });
+    Ok(Some(horizon))
+}
+
+/// The zero-task outcome shared by every variant.
+fn empty_outcome() -> OptimalOutcome {
+    OptimalOutcome {
+        schedule: Schedule::from_starts(vec![]),
+        finish_time: Time::ZERO,
+        nodes_explored: 0,
+    }
+}
+
+/// Replicates the sequential depth-0 expansion: with nothing placed
+/// the dominant candidate set for each ready task is exactly its
+/// lower bound, visited in task order.
+fn depth0_frontier(
+    graph: &ConstraintGraph,
+    p_max: Power,
+    background: Power,
+    horizon: Time,
+) -> Vec<(TaskId, Time)> {
+    let proto = Search {
+        graph,
+        p_max,
+        background,
+        max_nodes: 0,
+        nodes: 0,
+        best: None,
+        best_finish: horizon + TimeSpan::from_secs(1),
+        starts: vec![None; graph.num_tasks()],
+        horizon,
+        shared: None,
+    };
+    let mut frontier: Vec<(TaskId, Time)> = Vec::new();
+    for v in graph.task_ids() {
+        let Some(lb) = proto.lower_bound(v) else {
+            continue;
+        };
+        if lb > horizon || !proto.placement_ok(v, lb) {
+            continue;
+        }
+        frontier.push((v, lb));
+    }
+    frontier
+}
+
+/// Order-preserving embedding of a finish time into the
+/// [`SharedMin`] key space (all search times are non-negative).
+fn bound_key(t: Time) -> u64 {
+    t.as_secs().max(0) as u64
+}
+
 struct Search<'g> {
     graph: &'g ConstraintGraph,
     p_max: Power,
@@ -165,6 +440,11 @@ struct Search<'g> {
     best_finish: Time,
     starts: Vec<Option<Time>>,
     horizon: Time,
+    /// Cross-branch incumbent bound for the frontier-parallel search.
+    /// Pruning against it is *strictly greater only*: a partial whose
+    /// finish merely ties the global bound may still complete into
+    /// the assignment that wins the frontier-order tie-break.
+    shared: Option<&'g SharedMin>,
 }
 
 impl Search<'_> {
@@ -180,6 +460,9 @@ impl Search<'_> {
         if depth == self.starts.len() {
             if current_finish < self.best_finish {
                 self.best_finish = current_finish;
+                if let Some(shared) = self.shared {
+                    shared.refine(bound_key(current_finish));
+                }
                 self.best = Some(
                     self.starts
                         .iter()
@@ -223,6 +506,13 @@ impl Search<'_> {
                 let finish = (s + d).max(current_finish);
                 if finish >= self.best_finish {
                     break; // candidates are sorted: all later ones worse
+                }
+                if let Some(shared) = self.shared {
+                    // Strict-only global pruning (candidates are
+                    // sorted, so later ones are at least as bad).
+                    if bound_key(finish) > shared.get() {
+                        break;
+                    }
                 }
                 if !self.placement_ok(v, s) {
                     continue;
@@ -431,6 +721,182 @@ mod tests {
         assert!(matches!(
             result,
             Err(ScheduleError::TimingSearchExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical_to_sequential() {
+        let cases: Vec<ConstraintGraph> = vec![
+            parallel_tasks(&[3, 3, 3], 5),
+            parallel_tasks(&[5, 5, 5, 5], 4),
+            {
+                let mut g = parallel_tasks(&[4, 4, 2], 3);
+                g.precedence(TaskId::from_index(0), TaskId::from_index(1));
+                g.max_separation(
+                    TaskId::from_index(0),
+                    TaskId::from_index(1),
+                    TimeSpan::from_secs(10),
+                );
+                g
+            },
+        ];
+        for g in &cases {
+            let seq = minimize_finish_time(
+                g,
+                Power::from_watts(10),
+                Power::ZERO,
+                &OptimalConfig::default(),
+            )
+            .unwrap();
+            for workers in [1, 2, 4, 8] {
+                let par = minimize_finish_time_parallel(
+                    g,
+                    Power::from_watts(10),
+                    Power::ZERO,
+                    &OptimalConfig::default(),
+                    workers,
+                )
+                .unwrap();
+                assert_eq!(par.finish_time, seq.finish_time, "workers={workers}");
+                assert_eq!(
+                    par.schedule, seq.schedule,
+                    "schedule must be bit-identical at workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_search_is_bit_identical_across_worker_counts() {
+        let cases: Vec<ConstraintGraph> = vec![
+            parallel_tasks(&[3, 3, 3], 5),
+            parallel_tasks(&[5, 5, 5, 5], 4),
+            {
+                let mut g = parallel_tasks(&[4, 4, 2], 3);
+                g.precedence(TaskId::from_index(0), TaskId::from_index(1));
+                g.max_separation(
+                    TaskId::from_index(0),
+                    TaskId::from_index(1),
+                    TimeSpan::from_secs(10),
+                );
+                g
+            },
+        ];
+        for g in &cases {
+            let seq = minimize_finish_time(
+                g,
+                Power::from_watts(10),
+                Power::ZERO,
+                &OptimalConfig::default(),
+            )
+            .unwrap();
+            for workers in [1, 2, 4, 8] {
+                let part = minimize_finish_time_partitioned(
+                    g,
+                    Power::from_watts(10),
+                    Power::ZERO,
+                    &OptimalConfig::default(),
+                    workers,
+                )
+                .unwrap();
+                assert_eq!(
+                    part.schedule, seq.schedule,
+                    "schedule must be bit-identical at workers={workers}"
+                );
+            }
+        }
+    }
+
+    /// The property the portfolio relies on: the partitioned search's
+    /// *entire result* — including whether it exhausts the budget and
+    /// the node count it reports — is identical at every worker
+    /// count, because branch budgets are fixed up front and branches
+    /// share no state.
+    #[test]
+    fn partitioned_budget_outcome_is_worker_count_invariant() {
+        let g = parallel_tasks(&[1, 1, 1, 1, 1, 1], 2);
+        let tight = OptimalConfig {
+            max_nodes: 30,
+            horizon: None,
+        };
+        let reference =
+            minimize_finish_time_partitioned(&g, Power::from_watts(2), Power::ZERO, &tight, 1);
+        assert!(matches!(
+            reference,
+            Err(ScheduleError::TimingSearchExhausted { .. })
+        ));
+        for workers in [2, 4, 8] {
+            let got = minimize_finish_time_partitioned(
+                &g,
+                Power::from_watts(2),
+                Power::ZERO,
+                &tight,
+                workers,
+            );
+            assert!(
+                matches!(got, Err(ScheduleError::TimingSearchExhausted { .. })),
+                "workers={workers}: exhaustion must not depend on the worker count"
+            );
+        }
+
+        // And with an adequate budget, every worker count succeeds
+        // with the same schedule *and* the same deterministic node
+        // count.
+        let roomy = OptimalConfig::default();
+        let one =
+            minimize_finish_time_partitioned(&g, Power::from_watts(2), Power::ZERO, &roomy, 1)
+                .unwrap();
+        for workers in [2, 4, 8] {
+            let got = minimize_finish_time_partitioned(
+                &g,
+                Power::from_watts(2),
+                Power::ZERO,
+                &roomy,
+                workers,
+            )
+            .unwrap();
+            assert_eq!(got.schedule, one.schedule, "workers={workers}");
+            assert_eq!(
+                got.nodes_explored, one.nodes_explored,
+                "partitioned node counts must be deterministic (workers={workers})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_search_reports_same_error_classes() {
+        let mut g = parallel_tasks(&[4, 4], 3);
+        g.min_separation(
+            TaskId::from_index(0),
+            TaskId::from_index(1),
+            TimeSpan::from_secs(5),
+        );
+        g.max_separation(
+            TaskId::from_index(0),
+            TaskId::from_index(1),
+            TimeSpan::from_secs(4),
+        );
+        assert!(matches!(
+            minimize_finish_time_parallel(
+                &g,
+                Power::from_watts(100),
+                Power::ZERO,
+                &OptimalConfig::default(),
+                4,
+            ),
+            Err(ScheduleError::Infeasible(_))
+        ));
+
+        let g2 = parallel_tasks(&[12], 3);
+        assert!(matches!(
+            minimize_finish_time_parallel(
+                &g2,
+                Power::from_watts(9),
+                Power::ZERO,
+                &OptimalConfig::default(),
+                4,
+            ),
+            Err(ScheduleError::SpikeUnresolvable { .. })
         ));
     }
 

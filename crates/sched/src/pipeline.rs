@@ -14,7 +14,11 @@ use crate::timing::schedule_timing_observed;
 use pas_core::{analyze, Problem, Schedule, ScheduleAnalysis};
 use pas_graph::units::TimeSpan;
 use pas_graph::{binding_in_edge, NodeId};
-use pas_obs::{Binding, CountingObserver, NullObserver, Observer, StageKind, Tee, TraceEvent};
+use pas_obs::{
+    stitch_segment, Binding, CountingObserver, NullObserver, Observer, RecordingObserver,
+    StageKind, Tee, TraceEvent,
+};
+use pas_par::Parallelism;
 
 /// Result of a pipeline run: the schedule, its analysis against the
 /// problem, and the work counters.
@@ -458,6 +462,18 @@ impl PowerAwareScheduler {
     /// attempt's events are forwarded, so the trace contains one pair
     /// of max-power/min-power stage spans per attempt.
     ///
+    /// With [`SchedulerConfig::parallelism`] off, attempts run
+    /// sequentially and stream their events inline — the trace shape
+    /// of previous releases. With parallelism enabled (any thread
+    /// count, including 1), attempts fan out across a thread pool,
+    /// each recording into a private buffer; the buffers are stitched
+    /// into `obs` in attempt order, bracketed by
+    /// [`TraceEvent::WorkerStarted`]/[`TraceEvent::WorkerFinished`]
+    /// markers carrying the attempt index. The winner is reduced in
+    /// attempt order by strict `(finish_time, energy_cost)`
+    /// improvement, so the chosen schedule — and the stitched trace —
+    /// are bit-identical for any thread count (`DESIGN.md` §12).
+    ///
     /// # Errors
     /// See [`Self::schedule_portfolio`].
     pub fn schedule_portfolio_with(
@@ -469,51 +485,74 @@ impl PowerAwareScheduler {
         // Guard once up front; the attempts all see the same problem,
         // so re-linting every restart would only repeat the verdict.
         self.lint_guard(problem, obs)?;
+        // Attempts never re-lint and never parallelize internally: in
+        // the fan-out path each attempt *is* the unit of parallel
+        // work, and in the sequential path the inner stages must
+        // behave exactly as previous releases.
         let base = SchedulerConfig {
             lint_guard: false,
+            parallelism: Parallelism::Off,
             ..self.config.clone()
         };
         let mut best: Option<(Problem, Outcome)> = None;
         let mut first_err = None;
 
-        for attempt in 0..=restarts {
-            let mut candidate_problem = problem.clone();
-            let config = if attempt == 0 {
-                base.clone()
-            } else if attempt % 2 == 1 {
-                SchedulerConfig {
-                    commit_order: crate::config::CommitOrder::Random,
-                    seed: self
-                        .config
-                        .seed
-                        .wrapping_add((attempt as u64).wrapping_mul(0xA24B_AED4_963E_E407)),
-                    ..base.clone()
-                }
-            } else {
-                SchedulerConfig {
-                    commit_order: crate::config::CommitOrder::Rotated(attempt / 2),
-                    ..base.clone()
-                }
-            };
-            match PowerAwareScheduler::new(config).schedule_with(&mut candidate_problem, obs) {
-                Ok(outcome) => {
-                    let better = match &best {
-                        None => true,
-                        Some((_, incumbent)) => {
-                            (outcome.analysis.finish_time, outcome.analysis.energy_cost)
-                                < (
-                                    incumbent.analysis.finish_time,
-                                    incumbent.analysis.energy_cost,
-                                )
+        if self.config.parallelism.is_enabled() {
+            let workers = self.config.parallelism.worker_count();
+            let observing = obs.is_enabled();
+            let shared_problem: &Problem = problem;
+            let runs = pas_par::par_map(
+                workers,
+                (0..=restarts).collect::<Vec<usize>>(),
+                |_, attempt| {
+                    let mut candidate_problem = shared_problem.clone();
+                    let scheduler = PowerAwareScheduler::new(self.attempt_config(&base, attempt));
+                    if observing {
+                        let mut recorder = RecordingObserver::new();
+                        let result = scheduler.schedule_with(&mut candidate_problem, &mut recorder);
+                        (
+                            result.map(|outcome| (candidate_problem, outcome)),
+                            recorder.into_events(),
+                        )
+                    } else {
+                        let result =
+                            scheduler.schedule_with(&mut candidate_problem, &mut NullObserver);
+                        (
+                            result.map(|outcome| (candidate_problem, outcome)),
+                            Vec::new(),
+                        )
+                    }
+                },
+            );
+            for (attempt, (result, events)) in runs.into_iter().enumerate() {
+                stitch_segment(&mut *obs, attempt as u32, events);
+                match result {
+                    Ok((candidate_problem, outcome)) => {
+                        if strictly_better(&outcome, &best) {
+                            best = Some((candidate_problem, outcome));
                         }
-                    };
-                    if better {
-                        best = Some((candidate_problem, outcome));
+                    }
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
                     }
                 }
-                Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
+            }
+        } else {
+            for attempt in 0..=restarts {
+                let mut candidate_problem = problem.clone();
+                let config = self.attempt_config(&base, attempt);
+                match PowerAwareScheduler::new(config).schedule_with(&mut candidate_problem, obs) {
+                    Ok(outcome) => {
+                        if strictly_better(&outcome, &best) {
+                            best = Some((candidate_problem, outcome));
+                        }
+                    }
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
                     }
                 }
             }
@@ -522,36 +561,42 @@ impl PowerAwareScheduler {
         // Final exact attempt on small instances: random restarts
         // sample serializations blindly, while branch and bound
         // certifies the optimum — and is affordable below the
-        // configured task-count ceiling.
+        // configured task-count ceiling. Both paths run the
+        // *partitioned* frontier search: its success-or-exhaustion
+        // outcome is a pure function of the problem (the node budget
+        // is split evenly across independent branches), so the
+        // portfolio winner cannot depend on the thread count even on
+        // instances that blow the budget. The shared-bound variant
+        // (`minimize_finish_time_parallel`) prunes harder but makes
+        // exhaustion timing-dependent, which would break the
+        // bit-identity contract exactly at the budget boundary
+        // (DESIGN.md §12).
         if restarts > 0 && problem.graph().num_tasks() <= self.config.exact_portfolio_limit {
             let constraints = problem.constraints();
             let exact_config = crate::optimal::OptimalConfig {
                 max_nodes: 5_000_000,
                 horizon: None,
             };
-            if let Ok(exact) = crate::optimal::minimize_finish_time(
+            let exact_workers = if self.config.parallelism.is_enabled() {
+                self.config.parallelism.worker_count()
+            } else {
+                1
+            };
+            let exact = crate::optimal::minimize_finish_time_partitioned(
                 problem.graph(),
                 constraints.p_max(),
                 problem.background_power(),
                 &exact_config,
-            ) {
+                exact_workers,
+            );
+            if let Ok(exact) = exact {
                 let candidate_problem = problem.clone();
                 let outcome = self.outcome(
                     &candidate_problem,
                     exact.schedule,
                     SchedulerStats::default(),
                 );
-                let better = match &best {
-                    None => true,
-                    Some((_, incumbent)) => {
-                        (outcome.analysis.finish_time, outcome.analysis.energy_cost)
-                            < (
-                                incumbent.analysis.finish_time,
-                                incumbent.analysis.energy_cost,
-                            )
-                    }
-                };
-                if better {
+                if strictly_better(&outcome, &best) {
                     best = Some((candidate_problem, outcome));
                 }
             }
@@ -570,6 +615,62 @@ impl PowerAwareScheduler {
                 Ok(outcome)
             }
             None => Err(first_err.expect("at least one attempt ran")),
+        }
+    }
+
+    /// The exact configuration the portfolio gives `attempt`
+    /// (0 = the configured deterministic heuristics). Public so
+    /// benches and tooling can run or time attempts individually —
+    /// the portfolio derives its attempts from this same method, so
+    /// a standalone run reproduces an attempt bit-exactly.
+    pub fn portfolio_attempt_config(&self, attempt: usize) -> SchedulerConfig {
+        let base = SchedulerConfig {
+            lint_guard: false,
+            parallelism: Parallelism::Off,
+            ..self.config.clone()
+        };
+        self.attempt_config(&base, attempt)
+    }
+
+    /// The diversified configuration for portfolio `attempt`
+    /// (attempt 0 is always the configured deterministic heuristics;
+    /// odd attempts use seeded-random commit orders, even attempts
+    /// RNG-free rotations).
+    fn attempt_config(&self, base: &SchedulerConfig, attempt: usize) -> SchedulerConfig {
+        if attempt == 0 {
+            base.clone()
+        } else if attempt % 2 == 1 {
+            SchedulerConfig {
+                commit_order: crate::config::CommitOrder::Random,
+                seed: self.restart_seed(attempt as u64),
+                ..base.clone()
+            }
+        } else {
+            SchedulerConfig {
+                commit_order: crate::config::CommitOrder::Rotated(attempt / 2),
+                ..base.clone()
+            }
+        }
+    }
+
+    /// Seed for restart `attempt`'s random commit order.
+    ///
+    /// Without [`SchedulerConfig::portfolio_base_seed`] the
+    /// derivation is the affine walk from the timing seed that
+    /// previous releases used, preserving every published trace.
+    /// With a base seed set, each attempt seeds from the splitmix64
+    /// hash of `base + attempt·φ`, so two portfolios with different
+    /// base seeds explore decorrelated serialization orders while
+    /// each remains fully reproducible.
+    fn restart_seed(&self, attempt: u64) -> u64 {
+        match self.config.portfolio_base_seed {
+            None => self
+                .config
+                .seed
+                .wrapping_add(attempt.wrapping_mul(0xA24B_AED4_963E_E407)),
+            Some(base) => {
+                splitmix64(base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            }
         }
     }
 
@@ -600,6 +701,32 @@ impl PowerAwareScheduler {
         }
         outcome
     }
+}
+
+/// The portfolio's total-order winner predicate: strictly better on
+/// `(finish_time, energy_cost)`. Reducing candidates with it in
+/// attempt order selects the minimum under the total order
+/// `(finish_time, energy_cost, attempt_index)` — the same winner
+/// whether attempts ran sequentially or fanned out across threads.
+fn strictly_better(candidate: &Outcome, incumbent: &Option<(Problem, Outcome)>) -> bool {
+    match incumbent {
+        None => true,
+        Some((_, best)) => {
+            (
+                candidate.analysis.finish_time,
+                candidate.analysis.energy_cost,
+            ) < (best.analysis.finish_time, best.analysis.energy_cost)
+        }
+    }
+}
+
+/// splitmix64 finalizer (Steele et al. 2014): spreads a structured
+/// base-seed-plus-stride input over the full 64-bit space.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Emits the causal provenance of a committed schedule: for every
@@ -713,6 +840,92 @@ mod tests {
         assert!(portfolio.analysis.finish_time <= single.analysis.finish_time);
         // The winner's schedule is valid against the returned problem.
         assert!(pas_core::is_time_valid(p2.graph(), &portfolio.schedule));
+    }
+
+    #[test]
+    fn parallel_portfolio_is_bit_identical_to_sequential() {
+        let (mut seq_problem, _) = paper_example();
+        let sequential = PowerAwareScheduler::default()
+            .schedule_portfolio(&mut seq_problem, 8)
+            .unwrap();
+        for threads in [1, 2, 4, 8] {
+            let (mut par_problem, _) = paper_example();
+            let config = SchedulerConfig {
+                parallelism: Parallelism::Threads(threads),
+                ..SchedulerConfig::default()
+            };
+            let parallel = PowerAwareScheduler::new(config)
+                .schedule_portfolio(&mut par_problem, 8)
+                .unwrap();
+            assert_eq!(
+                parallel.schedule, sequential.schedule,
+                "threads={threads}: schedule must be bit-identical"
+            );
+            assert_eq!(
+                parallel.analysis.finish_time,
+                sequential.analysis.finish_time
+            );
+            assert_eq!(
+                parallel.analysis.energy_cost,
+                sequential.analysis.energy_cost
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_portfolio_traces_are_identical_across_thread_counts() {
+        let trace_at = |threads: usize| {
+            let (mut problem, _) = paper_example();
+            let config = SchedulerConfig {
+                parallelism: Parallelism::Threads(threads),
+                ..SchedulerConfig::default()
+            };
+            let mut recorder = pas_obs::RecordingObserver::new();
+            PowerAwareScheduler::new(config)
+                .schedule_portfolio_with(&mut problem, 6, &mut recorder)
+                .unwrap();
+            recorder.into_events()
+        };
+        let one = trace_at(1);
+        assert_eq!(
+            one,
+            trace_at(8),
+            "stitched trace must not depend on threads"
+        );
+        // Every attempt is bracketed by worker markers carrying the
+        // attempt index.
+        let starts: Vec<u32> = one
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::WorkerStarted { worker } => Some(*worker),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts, (0..=6).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn portfolio_base_seed_default_preserves_legacy_seed_walk() {
+        let sched = PowerAwareScheduler::default();
+        let legacy = sched
+            .config
+            .seed
+            .wrapping_add(3u64.wrapping_mul(0xA24B_AED4_963E_E407));
+        assert_eq!(sched.restart_seed(3), legacy);
+
+        let seeded = PowerAwareScheduler::new(SchedulerConfig {
+            portfolio_base_seed: Some(42),
+            ..SchedulerConfig::default()
+        });
+        assert_ne!(seeded.restart_seed(3), legacy);
+        // Reproducible: the same base seed gives the same walk.
+        assert_eq!(seeded.restart_seed(3), seeded.restart_seed(3));
+        // Decorrelated: nearby bases diverge.
+        let other = PowerAwareScheduler::new(SchedulerConfig {
+            portfolio_base_seed: Some(43),
+            ..SchedulerConfig::default()
+        });
+        assert_ne!(seeded.restart_seed(3), other.restart_seed(3));
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn locked_task_sweep(incremental: bool) {
         let shared = g.add_resource(Resource::new("S", ResourceKind::Compute));
         let mut ids = Vec::new();
         for i in 0..n {
-            let r = if xorshift(&mut state).is_multiple_of(2) {
+            let r = if xorshift(&mut state) % 2 == 0 {
                 shared
             } else {
                 g.add_resource(Resource::new(format!("R{i}"), ResourceKind::Compute))

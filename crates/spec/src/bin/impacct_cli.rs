@@ -4,22 +4,29 @@
 //! impacct-cli schedule <problem.pasdl> [--stage timing|max|min]
 //!                      [--svg <out.svg>] [--emit-schedule] [--report]
 //!                      [--corners] [--restarts <n>] [--seed <n>] [--quiet]
+//!                      [--threads off|auto|<n>]
 //!                      [--trace <out.jsonl|->] [--profile] [--no-incremental]
 //!                      [--metrics <out.prom>] [--chrome-trace <out.json>]
 //! impacct-cli replay <problem.pasdl> <trace.jsonl> [--stage timing|max|min]
-//!                    [--live]
+//!                    [--live] [--restarts <n>] [--threads off|auto|<n>]
+//!                    [--seed <n>]
 //! impacct-cli explain <problem.pasdl> <trace.jsonl> <task-name>
 //!                     [--stage timing|max|min] [--json]
 //! impacct-cli diff <a.jsonl> <b.jsonl>
 //! impacct-cli validate <problem.pasdl> <schedule.pasdl>
 //! impacct-cli lint <problem.pasdl> [--format human|json]
 //! impacct-cli print <problem.pasdl>       # parse + pretty-print
+//! impacct-cli generate <tasks> [--seed <n>] [--layers <n>]  # synthetic PASDL
 //! ```
 //!
 //! `schedule` runs the pipeline up to the requested stage (default
 //! `min`, the full pipeline), prints the power-aware Gantt chart and
 //! metrics, and optionally writes an SVG and/or the schedule as
-//! PASDL. `--trace` streams every scheduling decision as JSONL
+//! PASDL. `--threads` enables the deterministic parallel engine
+//! (portfolio fan-out, frontier-split branch and bound, speculative
+//! min-power evaluation); the schedule is bit-identical for any
+//! thread count, and with a trace enabled the per-attempt buffers
+//! are stitched in attempt order so traces are identical too. `--trace` streams every scheduling decision as JSONL
 //! [`pas_obs::TraceEvent`]s (`-` streams to stdout for piping);
 //! `--profile` prints a per-stage profile table; `--metrics` writes a
 //! Prometheus text exposition of the run's counters and histograms;
@@ -53,7 +60,7 @@ use pas_obs::{
     Tee,
 };
 use pas_replay::{cross_check_stage, diff_traces, explain, Replay};
-use pas_sched::{PowerAwareScheduler, SchedulerConfig};
+use pas_sched::{Parallelism, PowerAwareScheduler, SchedulerConfig};
 use pas_spec::{
     parse_problem, parse_problem_full, parse_problem_spanned, parse_schedule, print_problem,
     print_schedule,
@@ -83,6 +90,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "validate" => cmd_validate(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "print" => cmd_print(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -94,15 +102,18 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  impacct-cli schedule <problem.pasdl> [--stage timing|max|min] \
      [--svg <out.svg>] [--emit-schedule] [--report] [--corners] [--restarts <n>] \
-     [--seed <n>] [--quiet] [--trace <out.jsonl|->] [--profile] [--no-incremental] \
+     [--seed <n>] [--quiet] [--threads off|auto|<n>] [--trace <out.jsonl|->] \
+     [--profile] [--no-incremental] \
      [--metrics <out.prom>] [--chrome-trace <out.json>]\n  \
-     impacct-cli replay <problem.pasdl> <trace.jsonl> [--stage timing|max|min] [--live]\n  \
+     impacct-cli replay <problem.pasdl> <trace.jsonl> [--stage timing|max|min] [--live] \
+     [--restarts <n>] [--threads off|auto|<n>] [--seed <n>]\n  \
      impacct-cli explain <problem.pasdl> <trace.jsonl> <task-name> \
      [--stage timing|max|min] [--json]\n  \
      impacct-cli diff <a.jsonl> <b.jsonl>\n  \
      impacct-cli validate <problem.pasdl> <schedule.pasdl>\n  \
      impacct-cli lint <problem.pasdl> [--format human|json]\n  \
-     impacct-cli print <problem.pasdl>"
+     impacct-cli print <problem.pasdl>\n  \
+     impacct-cli generate <tasks> [--seed <n>] [--layers <n>]"
         .to_string()
 }
 
@@ -142,10 +153,18 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     let mut incremental = true;
     let mut metrics_out = None;
     let mut chrome_out = None;
+    let mut threads = Parallelism::Off;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--stage" => stage = it.next().ok_or("--stage needs a value")?.clone(),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads needs a value (off|auto|<n>)")?
+                    .parse::<Parallelism>()
+                    .map_err(|e| format!("bad --threads value: {e}"))?
+            }
             "--svg" => svg_out = Some(it.next().ok_or("--svg needs a path")?.clone()),
             "--emit-schedule" => emit_schedule = true,
             "--report" => report = true,
@@ -187,6 +206,7 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
         config.seed = seed;
     }
     config.incremental = incremental;
+    config.parallelism = threads;
     let scheduler = PowerAwareScheduler::new(config);
 
     // Compose the optional trace, profile, and metrics sinks; a
@@ -307,11 +327,36 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let mut trace_path = None;
     let mut stage = "min".to_string();
     let mut live = false;
+    let mut restarts = 0usize;
+    let mut threads = Parallelism::Off;
+    let mut seed = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--stage" => stage = it.next().ok_or("--stage needs a value")?.clone(),
             "--live" => live = true,
+            "--restarts" => {
+                restarts = it
+                    .next()
+                    .ok_or("--restarts needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad restart count: {e}"))?
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads needs a value (off|auto|<n>)")?
+                    .parse::<Parallelism>()
+                    .map_err(|e| format!("bad --threads value: {e}"))?
+            }
+            "--seed" => {
+                seed = Some(
+                    it.next()
+                        .ok_or("--seed needs a value")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad seed: {e}"))?,
+                )
+            }
             other if problem_path.is_none() => problem_path = Some(other.to_string()),
             other if trace_path.is_none() => trace_path = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other:?}")),
@@ -349,11 +394,22 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
 
     if live {
         let mut fresh = problem.clone();
-        let scheduler = PowerAwareScheduler::default();
+        // The live rerun must use the same configuration the trace
+        // was recorded under: a portfolio trace reconstructs to the
+        // portfolio *winner*, which a plain single-attempt run only
+        // matches by luck. Pass the recording run's --restarts (and
+        // --threads / --seed, if any) to reproduce it.
+        let mut config = SchedulerConfig::default();
+        if let Some(seed) = seed {
+            config.seed = seed;
+        }
+        config.parallelism = threads;
+        let scheduler = PowerAwareScheduler::new(config);
         let mut obs = NullObserver;
         let outcome = match stage {
             StageKind::Timing => scheduler.schedule_timing_only_with(&mut fresh, &mut obs),
             StageKind::MaxPower => scheduler.schedule_power_valid_with(&mut fresh, &mut obs),
+            _ if restarts > 0 => scheduler.schedule_portfolio_with(&mut fresh, restarts, &mut obs),
             _ => scheduler.schedule_with(&mut fresh, &mut obs),
         }
         .map_err(|e| format!("live run failed: {e}"))?;
@@ -496,6 +552,52 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
 fn cmd_print(args: &[String]) -> Result<(), String> {
     let [path] = args else { return Err(usage()) };
     let problem = parse_problem(&read(path)?).map_err(|e| e.to_string())?;
+    print!("{}", print_problem(&problem));
+    Ok(())
+}
+
+/// Emits a synthetic layered workload as PASDL on stdout: the same
+/// generator the benches use, so CI determinism checks can schedule
+/// a reproducible 100-task instance without committing fixture files.
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let mut tasks = None;
+    let mut seed = 0xA11CEu64;
+    let mut layers = 6usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--layers" => {
+                layers = it
+                    .next()
+                    .ok_or("--layers needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad layer count: {e}"))?
+            }
+            other if tasks.is_none() => {
+                tasks = Some(
+                    other
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad task count {other:?}: {e}"))?,
+                )
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let tasks = tasks.ok_or_else(usage)?;
+    let problem = pas_workload::generate(&pas_workload::GeneratorConfig {
+        seed,
+        tasks,
+        resources: (tasks / 8).max(4),
+        topology: pas_workload::Topology::Layered { layers },
+        ..pas_workload::GeneratorConfig::default()
+    });
     print!("{}", print_problem(&problem));
     Ok(())
 }
