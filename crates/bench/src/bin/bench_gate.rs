@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p pas-bench --bin bench_gate -- \
-//!     <baseline.json> <fresh.json> [--tolerance 0.25]
+//!     <baseline.json> <fresh.json> [--tolerance 0.25] [--measured-tolerance 0.5]
 //! ```
 //!
 //! The gate compares **dimensionless speedup ratios**, never raw
@@ -14,6 +14,14 @@
 //! same run. Both are stable across runner hardware, so a failure
 //! means the *code* got slower (or the decomposition got worse), not
 //! that CI drew a noisy neighbor.
+//!
+//! Rows carrying a `measured_speedup` (sequential measured wall over
+//! this row's measured wall, from `bench_parallel`) are additionally
+//! gated under the laxer `--measured-tolerance`: real wall-clock is
+//! hardware-sensitive, but a collapse — the 8-thread cliff — still
+//! trips the gate. The measured comparison only runs when *both*
+//! baseline and fresh rows carry the field, so old baselines stay
+//! valid.
 //!
 //! Rows are keyed by `workload` (plus `threads` where present). A row
 //! present in the baseline but missing from the fresh results fails
@@ -28,6 +36,7 @@ struct Row {
     workload: String,
     threads: Option<u64>,
     speedup: f64,
+    measured_speedup: Option<f64>,
 }
 
 impl Row {
@@ -69,6 +78,7 @@ fn parse_rows(text: &str) -> Vec<Row> {
                 workload,
                 threads: number_field(line, "threads").map(|t| t as u64),
                 speedup,
+                measured_speedup: number_field(line, "measured_speedup"),
             })
         })
         .collect()
@@ -77,6 +87,7 @@ fn parse_rows(text: &str) -> Vec<Row> {
 fn run(args: &[String]) -> Result<(), String> {
     let mut paths = Vec::new();
     let mut tolerance = 0.25f64;
+    let mut measured_tolerance = 0.5f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -87,11 +98,22 @@ fn run(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad tolerance: {e}"))?
             }
+            "--measured-tolerance" => {
+                measured_tolerance = it
+                    .next()
+                    .ok_or("--measured-tolerance needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad measured tolerance: {e}"))?
+            }
             other => paths.push(other.to_string()),
         }
     }
     let [baseline_path, fresh_path] = paths.as_slice() else {
-        return Err("usage: bench_gate <baseline.json> <fresh.json> [--tolerance 0.25]".into());
+        return Err(
+            "usage: bench_gate <baseline.json> <fresh.json> [--tolerance 0.25] \
+             [--measured-tolerance 0.5]"
+                .into(),
+        );
     };
     let read = |path: &str| -> Result<Vec<Row>, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -141,6 +163,29 @@ fn run(args: &[String]) -> Result<(), String> {
                 b.speedup,
                 tolerance * 100.0
             ));
+        }
+        if let (Some(bm), Some(fm)) = (b.measured_speedup, f.measured_speedup) {
+            let floor = bm * (1.0 - measured_tolerance);
+            let ok = fm >= floor;
+            println!(
+                "{:<28} {:>9.3}x {:>9.3}x {:>8.2}x  {} (measured)",
+                b.key(),
+                bm,
+                fm,
+                if bm > 0.0 { fm / bm } else { 0.0 },
+                if ok { "ok" } else { "REGRESSED" }
+            );
+            if !ok {
+                failures.push(format!(
+                    "{}: measured speedup {:.3} fell below {:.3} (baseline {:.3}, \
+                     measured tolerance {:.0}%)",
+                    b.key(),
+                    fm,
+                    floor,
+                    bm,
+                    measured_tolerance * 100.0
+                ));
+            }
         }
     }
     if failures.is_empty() {

@@ -1,0 +1,114 @@
+//! Telemetry overhead gate: the `_observed` exact branch-and-bound
+//! driven by a [`pas_obs::NullObserver`] must cost within a small
+//! tolerance of the plain, unobserved search.
+//!
+//! ```text
+//! cargo run --release -p pas-bench --bin bench_overhead [-- tolerance_pct]
+//! ```
+//!
+//! The search telemetry is designed to be branch-free counter updates
+//! on the hot path, with event emission gated on
+//! `Observer::is_enabled()` — so with the null observer the observed
+//! variant must do essentially the same work as the plain one. Both
+//! variants run the same fixed node budget (the search exhausts it,
+//! so the work is identical and deterministic), interleaved, and the
+//! min-of-N wall times are compared: min-of-N discards scheduler
+//! noise, and interleaving cancels thermal drift. The gate fails
+//! (non-zero exit) when the observed minimum exceeds the plain
+//! minimum by more than the tolerance (default 2%).
+
+use std::time::{Duration, Instant};
+
+use pas_core::example::paper_example;
+use pas_obs::NullObserver;
+use pas_sched::optimal::{minimize_finish_time, minimize_finish_time_observed, OptimalConfig};
+use pas_sched::SEARCH_SAMPLE_INTERVAL;
+use std::process::ExitCode;
+
+const ROUNDS: usize = 7;
+
+fn main() -> ExitCode {
+    let tolerance_pct: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2.0);
+
+    let (problem, _) = paper_example();
+    let graph = problem.graph();
+    let p_max = problem.constraints().p_max();
+    let background = problem.background_power();
+    // A budget the 9-task search always exhausts: both variants
+    // expand exactly the same fixed number of nodes.
+    let config = OptimalConfig {
+        max_nodes: 150_000,
+        horizon: None,
+    };
+
+    let mut plain_min = Duration::MAX;
+    let mut observed_min = Duration::MAX;
+    let mut reference_nodes = None;
+    for round in 0..ROUNDS {
+        let started = Instant::now();
+        let plain = minimize_finish_time(graph, p_max, background, &config);
+        let plain_elapsed = started.elapsed();
+        plain_min = plain_min.min(plain_elapsed);
+
+        let started = Instant::now();
+        let observed = minimize_finish_time_observed(
+            graph,
+            p_max,
+            background,
+            &config,
+            SEARCH_SAMPLE_INTERVAL,
+            &mut NullObserver,
+        );
+        let observed_elapsed = started.elapsed();
+        observed_min = observed_min.min(observed_elapsed);
+
+        // Identical work, identical outcome class — otherwise the
+        // comparison is meaningless.
+        let plain_nodes = match &plain {
+            Ok(o) => o.nodes_explored,
+            Err(_) => 0,
+        };
+        let observed_nodes = match &observed {
+            Ok(o) => o.nodes_explored,
+            Err(_) => 0,
+        };
+        assert_eq!(
+            plain_nodes, observed_nodes,
+            "observed search did different work than the plain search"
+        );
+        match reference_nodes {
+            None => reference_nodes = Some(plain_nodes),
+            Some(n) => assert_eq!(n, plain_nodes, "node count drifted between rounds"),
+        }
+        println!(
+            "round {round}: plain {:>8.3} ms, null-observed {:>8.3} ms",
+            plain_elapsed.as_secs_f64() * 1e3,
+            observed_elapsed.as_secs_f64() * 1e3,
+        );
+    }
+
+    let plain_ms = plain_min.as_secs_f64() * 1e3;
+    let observed_ms = observed_min.as_secs_f64() * 1e3;
+    let overhead_pct = if plain_ms > 0.0 {
+        (observed_ms / plain_ms - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "min-of-{ROUNDS}: plain {plain_ms:.3} ms, null-observed {observed_ms:.3} ms, \
+         overhead {overhead_pct:+.2}% (tolerance {tolerance_pct:.1}%)"
+    );
+    if overhead_pct <= tolerance_pct {
+        println!("overhead gate passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_overhead: null-observer overhead {overhead_pct:.2}% exceeds \
+             {tolerance_pct:.1}%"
+        );
+        ExitCode::FAILURE
+    }
+}

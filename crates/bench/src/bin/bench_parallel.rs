@@ -21,7 +21,12 @@
 //!   that thread count on *this* machine. On a loaded or small host
 //!   this degenerates toward the sequential time (threads time-slice
 //!   one core) while the projection stays stable; both are recorded
-//!   so the divergence itself is visible.
+//!   so the divergence itself is visible. `measured_speedup`
+//!   (sequential measured wall over this row's measured wall) is the
+//!   dimensionless form `bench_gate` can gate with its laxer
+//!   `--measured-tolerance`, so a real-hardware cliff — like a
+//!   regression appearing only at 8 threads — fails CI even when the
+//!   queue-model projection stays flat.
 //!
 //! Every parallel run is also checked **bit-identical** to the
 //! sequential (`Parallelism::Off`) run — the benchmark doubles as an
@@ -148,10 +153,10 @@ fn main() {
             durations.iter().cloned().fold(0.0, f64::max),
         );
 
-        let (reference, _) = run_portfolio(w, Parallelism::Off);
+        let (reference, off_wall_ms) = run_portfolio(w, Parallelism::Off);
         println!(
-            "{:>10} {:>12} {:>10} {:>14}",
-            "threads", "wall ms", "speedup", "bit-identical"
+            "{:>10} {:>12} {:>10} {:>12} {:>14}",
+            "threads", "wall ms", "speedup", "measured", "bit-identical"
         );
         for &threads in &THREAD_COUNTS {
             let (schedule, wall_ms) = run_portfolio(w, Parallelism::Threads(threads));
@@ -162,11 +167,19 @@ fn main() {
                 w.label
             );
             let speedup = serial_ms / queue_makespan_ms(&durations, threads);
-            println!("{threads:>10} {wall_ms:>12.1} {speedup:>9.2}x {identical:>14}");
+            let measured_speedup = if wall_ms > 0.0 {
+                off_wall_ms / wall_ms
+            } else {
+                0.0
+            };
+            println!(
+                "{threads:>10} {wall_ms:>12.1} {speedup:>9.2}x {measured_speedup:>11.2}x {identical:>14}"
+            );
             rows.push(format!(
                 concat!(
                     "    {{\"workload\": \"{}\", \"tasks\": {}, \"restarts\": {}, ",
                     "\"threads\": {}, \"speedup\": {:.3}, \"wall_ms\": {:.3}, ",
+                    "\"measured_speedup\": {:.3}, \"sequential_wall_ms\": {:.3}, ",
                     "\"serial_attempts_ms\": {:.3}, \"bit_identical\": {}}}"
                 ),
                 w.label,
@@ -175,6 +188,8 @@ fn main() {
                 threads,
                 speedup,
                 wall_ms,
+                measured_speedup,
+                off_wall_ms,
                 serial_ms,
                 identical,
             ));

@@ -431,6 +431,58 @@ pub enum TraceEvent {
         /// Deterministic worker id.
         worker: u32,
     },
+    /// Periodic search-telemetry sample, emitted every N expanded
+    /// nodes by the exact B&B and the backtracking timing scheduler.
+    /// Sampling is **node-count-triggered, never wall-clock**, so a
+    /// trace with telemetry enabled is still bit-identical across
+    /// thread counts (see DESIGN.md §13).
+    SearchSample {
+        /// Deterministic worker id (frontier branch / portfolio
+        /// attempt), `0` for sequential searches.
+        worker: u32,
+        /// Nodes expanded by this worker when the sample fired.
+        nodes: u64,
+        /// Search depth at the sampling instant.
+        depth: u32,
+        /// Incumbent finish time in seconds, or `-1` while no
+        /// incumbent exists yet.
+        best: i64,
+    },
+    /// The search found a new incumbent (a strictly better complete
+    /// solution), timestamped in *nodes expanded* — the deterministic
+    /// clock of the search.
+    IncumbentImproved {
+        /// Deterministic worker id, `0` for sequential searches.
+        worker: u32,
+        /// Nodes expanded by this worker when the incumbent improved.
+        nodes: u64,
+        /// The new incumbent finish time.
+        finish: Time,
+    },
+    /// End-of-search summary for one worker: nodes, prunes by reason,
+    /// deepest level reached, and the node budget the worker was
+    /// given (so budget utilization is `nodes / budget`).
+    SearchStatsRecorded {
+        /// Deterministic worker id, `0` for sequential searches.
+        worker: u32,
+        /// Total nodes expanded.
+        nodes: u64,
+        /// Subtrees cut because they could not beat the incumbent
+        /// (or the shared bound in partitioned searches).
+        pruned_incumbent: u64,
+        /// Candidate placements skipped by dominance/feasibility
+        /// checks.
+        pruned_dominance: u64,
+        /// Candidate start times past the optimality horizon.
+        pruned_horizon: u64,
+        /// Searches cut short by the node/backtrack budget (0 or 1
+        /// for the B&B; backtracks consumed for the timing stage).
+        pruned_budget: u64,
+        /// Deepest search level reached.
+        max_depth: u32,
+        /// The node (or backtrack) budget this worker was given.
+        budget: u64,
+    },
     /// An event this build of the codec does not understand — a trace
     /// written by a newer binary. The raw line is preserved verbatim
     /// so re-encoding is lossless.
@@ -476,6 +528,9 @@ impl TraceEvent {
             TraceEvent::OutcomeRecorded { .. } => "OutcomeRecorded",
             TraceEvent::WorkerStarted { .. } => "WorkerStarted",
             TraceEvent::WorkerFinished { .. } => "WorkerFinished",
+            TraceEvent::SearchSample { .. } => "SearchSample",
+            TraceEvent::IncumbentImproved { .. } => "IncumbentImproved",
+            TraceEvent::SearchStatsRecorded { .. } => "SearchStatsRecorded",
             TraceEvent::Unknown { name, .. } => name,
         }
     }
@@ -646,6 +701,45 @@ impl TraceEvent {
             TraceEvent::WorkerStarted { worker } | TraceEvent::WorkerFinished { worker } => {
                 w.int_field("worker", *worker as i128);
             }
+            TraceEvent::SearchSample {
+                worker,
+                nodes,
+                depth,
+                best,
+            } => {
+                w.int_field("worker", *worker as i128);
+                w.int_field("nodes", *nodes as i128);
+                w.int_field("depth", *depth as i128);
+                w.int_field("best", *best as i128);
+            }
+            TraceEvent::IncumbentImproved {
+                worker,
+                nodes,
+                finish,
+            } => {
+                w.int_field("worker", *worker as i128);
+                w.int_field("nodes", *nodes as i128);
+                w.int_field("finish", finish.as_secs() as i128);
+            }
+            TraceEvent::SearchStatsRecorded {
+                worker,
+                nodes,
+                pruned_incumbent,
+                pruned_dominance,
+                pruned_horizon,
+                pruned_budget,
+                max_depth,
+                budget,
+            } => {
+                w.int_field("worker", *worker as i128);
+                w.int_field("nodes", *nodes as i128);
+                w.int_field("pruned_incumbent", *pruned_incumbent as i128);
+                w.int_field("pruned_dominance", *pruned_dominance as i128);
+                w.int_field("pruned_horizon", *pruned_horizon as i128);
+                w.int_field("pruned_budget", *pruned_budget as i128);
+                w.int_field("max_depth", *max_depth as i128);
+                w.int_field("budget", *budget as i128);
+            }
             TraceEvent::Unknown { .. } => unreachable!("handled above"),
         }
         w.finish()
@@ -812,6 +906,27 @@ impl TraceEvent {
             "WorkerFinished" => TraceEvent::WorkerFinished {
                 worker: ctx.u32("worker")?,
             },
+            "SearchSample" => TraceEvent::SearchSample {
+                worker: ctx.u32("worker")?,
+                nodes: ctx.u64("nodes")?,
+                depth: ctx.u32("depth")?,
+                best: ctx.i64("best")?,
+            },
+            "IncumbentImproved" => TraceEvent::IncumbentImproved {
+                worker: ctx.u32("worker")?,
+                nodes: ctx.u64("nodes")?,
+                finish: ctx.time("finish")?,
+            },
+            "SearchStatsRecorded" => TraceEvent::SearchStatsRecorded {
+                worker: ctx.u32("worker")?,
+                nodes: ctx.u64("nodes")?,
+                pruned_incumbent: ctx.u64("pruned_incumbent")?,
+                pruned_dominance: ctx.u64("pruned_dominance")?,
+                pruned_horizon: ctx.u64("pruned_horizon")?,
+                pruned_budget: ctx.u64("pruned_budget")?,
+                max_depth: ctx.u32("max_depth")?,
+                budget: ctx.u64("budget")?,
+            },
             other => {
                 return Err(TraceParseError::new(format!(
                     "unknown event name {other:?}"
@@ -844,6 +959,12 @@ impl TraceEvent {
             // Worker markers bracket a whole unit of parallel work,
             // which may span multiple stages: intrinsically stage-less.
             TraceEvent::WorkerStarted { .. } | TraceEvent::WorkerFinished { .. } => return None,
+            // Search telemetry comes from both the timing scheduler
+            // and the exact B&B (which is not a pipeline stage), so
+            // the events carry a worker id rather than a stage.
+            TraceEvent::SearchSample { .. }
+            | TraceEvent::IncumbentImproved { .. }
+            | TraceEvent::SearchStatsRecorded { .. } => return None,
             TraceEvent::StageStarted { stage } | TraceEvent::StageFinished { stage } => *stage,
             TraceEvent::LintStarted { .. }
             | TraceEvent::LintFinding { .. }
@@ -1315,6 +1436,27 @@ mod tests {
                 peak: Power::from_watts_milli(16_000),
             },
             TraceEvent::WorkerStarted { worker: 3 },
+            TraceEvent::SearchSample {
+                worker: 3,
+                nodes: 4096,
+                depth: 7,
+                best: -1,
+            },
+            TraceEvent::IncumbentImproved {
+                worker: 3,
+                nodes: 5000,
+                finish: Time::from_secs(45),
+            },
+            TraceEvent::SearchStatsRecorded {
+                worker: 3,
+                nodes: 6200,
+                pruned_incumbent: 410,
+                pruned_dominance: 77,
+                pruned_horizon: 12,
+                pruned_budget: 0,
+                max_depth: 9,
+                budget: 10_000,
+            },
             TraceEvent::WorkerFinished { worker: 3 },
             TraceEvent::Unknown {
                 name: "FutureEvent".to_string(),
@@ -1463,5 +1605,24 @@ mod tests {
         );
         assert_eq!(TraceEvent::WorkerStarted { worker: 0 }.stage(), None);
         assert_eq!(TraceEvent::WorkerFinished { worker: 7 }.stage(), None);
+        assert_eq!(
+            TraceEvent::SearchSample {
+                worker: 0,
+                nodes: 1024,
+                depth: 3,
+                best: 45
+            }
+            .stage(),
+            None
+        );
+        assert_eq!(
+            TraceEvent::IncumbentImproved {
+                worker: 1,
+                nodes: 10,
+                finish: Time::from_secs(45)
+            }
+            .stage(),
+            None
+        );
     }
 }

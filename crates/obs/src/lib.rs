@@ -31,6 +31,7 @@
 //! | incremental engine | `IncrementalCacheHit`, `IncrementalDelta`, `IncrementalFallback` |
 //! | provenance (per stage outcome) | `TaskBound` (with a [`Binding`]), `OutcomeRecorded` |
 //! | parallel trace stitching | `WorkerStarted`, `WorkerFinished` |
+//! | search telemetry (B&B + timing backtracker) | `SearchSample`, `IncumbentImproved`, `SearchStatsRecorded` |
 //! | all | `StageStarted`, `StageFinished` |
 //!
 //! Lines written by newer binaries that this build does not recognize
@@ -69,7 +70,7 @@ mod stitch;
 
 pub use event::{Binding, ScanKind, SlotKind, StageKind, TraceEvent, TraceParseError};
 pub use jsonl::{parse_jsonl, JsonlWriter};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{collapsed_stacks, escape_label_value, Histogram, MetricsRegistry};
 pub use observer::{CountingObserver, EventCounts, NullObserver, Observer, RecordingObserver, Tee};
 pub use profile::{render_profile_table, SpanRecord, StageProfile, StageProfiler};
 pub use stitch::{stitch_all, stitch_segment};

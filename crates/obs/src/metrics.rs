@@ -16,15 +16,70 @@
 //! `_sum`/`_count`). The Chrome-trace export delegates to
 //! [`StageProfiler::chrome_trace`].
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::event::TraceEvent;
 use crate::observer::{EventCounts, Observer};
 use crate::profile::StageProfiler;
 
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote and newline become `\\`, `\"` and `\n`.
+///
+/// Values without those characters are returned unchanged (borrowed).
+pub fn escape_label_value(value: &str) -> std::borrow::Cow<'_, str> {
+    if !value.contains(['\\', '"', '\n']) {
+        return std::borrow::Cow::Borrowed(value);
+    }
+    let mut escaped = String::with_capacity(value.len() + 4);
+    for c in value.chars() {
+        match c {
+            '\\' => escaped.push_str("\\\\"),
+            '"' => escaped.push_str("\\\""),
+            '\n' => escaped.push_str("\\n"),
+            _ => escaped.push(c),
+        }
+    }
+    std::borrow::Cow::Owned(escaped)
+}
+
+/// Folds the [`TraceEvent::SearchSample`] events of a recorded stream
+/// into collapsed-stack lines (`flamegraph.pl` / inferno input).
+///
+/// Each sample contributes one stack `worker-N;d0;d1;…;d<depth>` —
+/// the node-expansion tree sampled by depth — and identical stacks
+/// are merged with their sample counts. Lines are sorted, so the
+/// output is deterministic.
+pub fn collapsed_stacks<'a, I: IntoIterator<Item = &'a TraceEvent>>(events: I) -> String {
+    let mut folded: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    for event in events {
+        if let TraceEvent::SearchSample { worker, depth, .. } = event {
+            *folded.entry((*worker, *depth)).or_insert(0) += 1;
+        }
+    }
+    render_collapsed(&folded)
+}
+
+fn render_collapsed(folded: &BTreeMap<(u32, u32), u64>) -> String {
+    let mut out = String::new();
+    for (&(worker, depth), &count) in folded {
+        let _ = write!(out, "worker-{worker}");
+        for level in 0..=depth {
+            let _ = write!(out, ";d{level}");
+        }
+        let _ = writeln!(out, " {count}");
+    }
+    out
+}
+
 /// Number of power-of-two buckets in a [`Histogram`]; values of
 /// `2^31` or less land in a finite bucket, larger ones in `+Inf`.
 const BUCKETS: usize = 32;
+
+/// Prune-reason label values, index-aligned with
+/// `MetricsRegistry::search_prunes` and with the wire fields of
+/// [`TraceEvent::SearchStatsRecorded`].
+const PRUNE_REASONS: [&str; 4] = ["incumbent", "dominance", "horizon", "budget"];
 
 /// Fixed log₂-bucketed histogram of `u64` observations.
 ///
@@ -125,6 +180,13 @@ pub struct MetricsRegistry {
     delta_relaxations: Histogram,
     scan_moves: Histogram,
     commit_depth: u64,
+    search_sample_depth: Histogram,
+    search_nodes: Histogram,
+    search_prunes: [u64; 4],
+    search_budget_total: u64,
+    search_nodes_total: u64,
+    search_stacks: BTreeMap<(u32, u32), u64>,
+    source: Option<String>,
 }
 
 impl MetricsRegistry {
@@ -143,6 +205,21 @@ impl MetricsRegistry {
         &self.profiler
     }
 
+    /// Names the model the metrics describe; rendered as a
+    /// `pas_source_info{model="..."}` gauge. The name is free-form
+    /// (it may come from a PASDL task or file name) and is escaped on
+    /// render.
+    pub fn set_source(&mut self, name: &str) {
+        self.source = Some(name.to_string());
+    }
+
+    /// Renders the sampled node-expansion tree as collapsed-stack
+    /// lines (`flamegraph.pl` / inferno input). Empty when no
+    /// [`TraceEvent::SearchSample`] events were folded in.
+    pub fn render_collapsed(&self) -> String {
+        render_collapsed(&self.search_stacks)
+    }
+
     /// Renders every metric in Prometheus text exposition format.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
@@ -153,6 +230,7 @@ impl MetricsRegistry {
         );
         let _ = writeln!(out, "# TYPE pas_events_total counter");
         for (name, value) in self.counts.named() {
+            let name = escape_label_value(name);
             let _ = writeln!(out, "pas_events_total{{counter=\"{name}\"}} {value}");
         }
 
@@ -221,6 +299,50 @@ impl MetricsRegistry {
             "pas_scan_moves",
             "Accepted moves per min-power gap-scan pass.",
         );
+        self.search_sample_depth.render(
+            &mut out,
+            "pas_search_sample_depth",
+            "Search depth at each deterministic telemetry sample.",
+        );
+        self.search_nodes.render(
+            &mut out,
+            "pas_search_nodes",
+            "Nodes expanded per search worker (end-of-search summaries).",
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP pas_search_prunes_total Search subtrees cut, by prune reason."
+        );
+        let _ = writeln!(out, "# TYPE pas_search_prunes_total counter");
+        for (reason, value) in PRUNE_REASONS.iter().zip(self.search_prunes) {
+            let reason = escape_label_value(reason);
+            let _ = writeln!(
+                out,
+                "pas_search_prunes_total{{reason=\"{reason}\"}} {value}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP pas_search_budget_utilization Nodes expanded over nodes budgeted, all workers."
+        );
+        let _ = writeln!(out, "# TYPE pas_search_budget_utilization gauge");
+        let utilization = if self.search_budget_total == 0 {
+            0.0
+        } else {
+            self.search_nodes_total as f64 / self.search_budget_total as f64
+        };
+        let _ = writeln!(out, "pas_search_budget_utilization {utilization}");
+
+        if let Some(source) = &self.source {
+            let _ = writeln!(
+                out,
+                "# HELP pas_source_info The model these metrics describe."
+            );
+            let _ = writeln!(out, "# TYPE pas_source_info gauge");
+            let model = escape_label_value(source);
+            let _ = writeln!(out, "pas_source_info{{model=\"{model}\"}} 1");
+        }
         out
     }
 
@@ -255,6 +377,27 @@ impl Observer for MetricsRegistry {
             }
             TraceEvent::GapScanFinished { moves, .. } => {
                 self.scan_moves.record(*moves);
+            }
+            TraceEvent::SearchSample { worker, depth, .. } => {
+                self.search_sample_depth.record(u64::from(*depth));
+                *self.search_stacks.entry((*worker, *depth)).or_insert(0) += 1;
+            }
+            TraceEvent::SearchStatsRecorded {
+                nodes,
+                pruned_incumbent,
+                pruned_dominance,
+                pruned_horizon,
+                pruned_budget,
+                budget,
+                ..
+            } => {
+                self.search_nodes.record(*nodes);
+                self.search_prunes[0] += pruned_incumbent;
+                self.search_prunes[1] += pruned_dominance;
+                self.search_prunes[2] += pruned_horizon;
+                self.search_prunes[3] += pruned_budget;
+                self.search_nodes_total += nodes;
+                self.search_budget_total += budget;
             }
             _ => {}
         }
@@ -334,5 +477,144 @@ mod tests {
 
         let chrome = reg.chrome_trace();
         assert!(chrome.contains("\"name\":\"timing\""));
+    }
+
+    #[test]
+    fn histogram_edge_values_land_in_the_documented_buckets() {
+        // Value 0 shares the le="1" bucket with value 1.
+        let mut h = Histogram::new();
+        h.record(0);
+        let mut out = String::new();
+        h.render(&mut out, "m", "h");
+        assert!(out.contains("m_bucket{le=\"1\"} 1"));
+        assert!(out.contains("m_bucket{le=\"+Inf\"} 1"));
+        assert!(out.contains("m_sum 0"));
+
+        // u64::MAX overflows every finite bucket and saturates the sum.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let mut out = String::new();
+        h.render(&mut out, "m", "h");
+        assert!(
+            !out.contains("m_bucket{le=\"1\""),
+            "no finite buckets:\n{out}"
+        );
+        assert!(out.contains("m_bucket{le=\"+Inf\"} 2"));
+        assert!(out.contains(&format!("m_sum {}", u64::MAX)));
+
+        // Exact powers of two sit in the bucket whose bound they equal
+        // (le is inclusive); one past the bound spills into the next.
+        for i in 0..31u32 {
+            let bound = 1u64 << i;
+            let mut h = Histogram::new();
+            h.record(bound);
+            h.record(bound + 1);
+            let mut out = String::new();
+            h.render(&mut out, "m", "h");
+            assert!(
+                out.contains(&format!("m_bucket{{le=\"{bound}\"}} 1")),
+                "2^{i} must fill its own bucket:\n{out}"
+            );
+            assert!(
+                out.contains(&format!("m_bucket{{le=\"{}\"}} 2", bound * 2)),
+                "2^{i}+1 must land one bucket up:\n{out}"
+            );
+        }
+
+        // The largest finite bound is 2^31; one past it is +Inf-only.
+        let mut h = Histogram::new();
+        h.record(1u64 << 31);
+        h.record((1u64 << 31) + 1);
+        let mut out = String::new();
+        h.render(&mut out, "m", "h");
+        assert!(out.contains(&format!("m_bucket{{le=\"{}\"}} 1", 1u64 << 31)));
+        assert!(out.contains("m_bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn label_values_are_escaped_per_exposition_format() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("a\nb"), r"a\nb");
+        assert_eq!(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+
+        let mut reg = MetricsRegistry::new();
+        reg.set_source("task \"a\"b\\c\nd");
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains(r#"pas_source_info{model="task \"a\"b\\c\nd"} 1"#),
+            "hostile model name must render escaped:\n{text}"
+        );
+        // The rendered text must stay line-oriented: no raw newline
+        // inside a sample line.
+        for line in text.lines() {
+            assert!(!line.is_empty() || text.ends_with('\n'));
+        }
+    }
+
+    #[test]
+    fn registry_folds_search_telemetry() {
+        let mut reg = MetricsRegistry::new();
+        reg.on_event(&TraceEvent::SearchSample {
+            worker: 1,
+            nodes: 1024,
+            depth: 2,
+            best: -1,
+        });
+        reg.on_event(&TraceEvent::SearchSample {
+            worker: 1,
+            nodes: 2048,
+            depth: 2,
+            best: 45,
+        });
+        reg.on_event(&TraceEvent::SearchStatsRecorded {
+            worker: 1,
+            nodes: 2500,
+            pruned_incumbent: 10,
+            pruned_dominance: 20,
+            pruned_horizon: 3,
+            pruned_budget: 1,
+            max_depth: 4,
+            budget: 5000,
+        });
+
+        let text = reg.render_prometheus();
+        assert!(text.contains("pas_search_prunes_total{reason=\"incumbent\"} 10"));
+        assert!(text.contains("pas_search_prunes_total{reason=\"dominance\"} 20"));
+        assert!(text.contains("pas_search_prunes_total{reason=\"horizon\"} 3"));
+        assert!(text.contains("pas_search_prunes_total{reason=\"budget\"} 1"));
+        assert!(text.contains("pas_search_budget_utilization 0.5"));
+        assert!(text.contains("pas_search_sample_depth_count 2"));
+
+        let collapsed = reg.render_collapsed();
+        assert_eq!(collapsed, "worker-1;d0;d1;d2 2\n");
+    }
+
+    #[test]
+    fn collapsed_stacks_merge_and_sort_deterministically() {
+        let events = vec![
+            TraceEvent::SearchSample {
+                worker: 2,
+                nodes: 10,
+                depth: 1,
+                best: -1,
+            },
+            TraceEvent::SearchSample {
+                worker: 0,
+                nodes: 20,
+                depth: 0,
+                best: -1,
+            },
+            TraceEvent::SearchSample {
+                worker: 2,
+                nodes: 30,
+                depth: 1,
+                best: 9,
+            },
+        ];
+        let folded = collapsed_stacks(&events);
+        assert_eq!(folded, "worker-0;d0 1\nworker-2;d0;d1 2\n");
     }
 }

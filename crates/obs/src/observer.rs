@@ -117,6 +117,12 @@ pub struct EventCounts {
     pub worker_starts: u64,
     /// `WorkerFinished` events.
     pub worker_finishes: u64,
+    /// `SearchSample` events (periodic search telemetry).
+    pub search_samples: u64,
+    /// `IncumbentImproved` events.
+    pub incumbent_improvements: u64,
+    /// `SearchStatsRecorded` events (end-of-search summaries).
+    pub search_stats: u64,
     /// `Unknown` events (forward-compat lines from newer writers).
     pub unknown_events: u64,
 }
@@ -158,6 +164,9 @@ impl EventCounts {
             TraceEvent::OutcomeRecorded { .. } => self.outcomes_recorded += 1,
             TraceEvent::WorkerStarted { .. } => self.worker_starts += 1,
             TraceEvent::WorkerFinished { .. } => self.worker_finishes += 1,
+            TraceEvent::SearchSample { .. } => self.search_samples += 1,
+            TraceEvent::IncumbentImproved { .. } => self.incumbent_improvements += 1,
+            TraceEvent::SearchStatsRecorded { .. } => self.search_stats += 1,
             TraceEvent::Unknown { .. } => self.unknown_events += 1,
         }
     }
@@ -167,7 +176,7 @@ impl EventCounts {
     ///
     /// The names double as stable label values for metrics exposition
     /// and as row keys for trace diffing.
-    pub fn named(&self) -> [(&'static str, u64); 29] {
+    pub fn named(&self) -> [(&'static str, u64); 32] {
         [
             ("stage_starts", self.stage_starts),
             ("stage_finishes", self.stage_finishes),
@@ -197,6 +206,9 @@ impl EventCounts {
             ("outcomes_recorded", self.outcomes_recorded),
             ("worker_starts", self.worker_starts),
             ("worker_finishes", self.worker_finishes),
+            ("search_samples", self.search_samples),
+            ("incumbent_improvements", self.incumbent_improvements),
+            ("search_stats", self.search_stats),
             ("unknown_events", self.unknown_events),
         ]
     }

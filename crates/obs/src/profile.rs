@@ -74,6 +74,29 @@ pub struct StageProfiler {
     scan_open: Option<Instant>,
     origin: Option<Instant>,
     spans: Vec<SpanRecord>,
+    worker_open: Vec<(u32, Instant)>,
+    worker_spans: Vec<WorkerSpan>,
+    counter_points: Vec<CounterPoint>,
+}
+
+/// One stitched worker segment (`WorkerStarted`→`WorkerFinished`),
+/// exported as its own Chrome-trace lane. Offsets are observer-side
+/// arrival times: live in sequential runs, stitch-time in parallel
+/// runs (per-worker wall clocks come from `pas-par`, not the trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WorkerSpan {
+    worker: u32,
+    start: Duration,
+    wall: Duration,
+}
+
+/// One `SearchSample` folded into a Chrome counter track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CounterPoint {
+    worker: u32,
+    at: Duration,
+    nodes: u64,
+    best: i64,
 }
 
 impl StageProfiler {
@@ -112,18 +135,51 @@ impl StageProfiler {
     /// Renders the completed spans as Chrome-trace JSON (the
     /// "JSON Array Format" with complete events), loadable in Perfetto
     /// and `chrome://tracing`.
+    ///
+    /// Stage spans render on `tid 1`; each stitched worker segment
+    /// gets its own lane (`tid = worker + 2`) named `worker-N`, and
+    /// `SearchSample` telemetry becomes per-worker counter tracks
+    /// (`"ph":"C"`) plotting nodes expanded and the incumbent bound.
     pub fn chrome_trace(&self) -> String {
         let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-        for (i, span) in self.spans.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if !first {
                 out.push(',');
             }
+            first = false;
+        };
+        for span in &self.spans {
+            sep(&mut out);
             let _ = write!(
                 out,
                 "{{\"name\":\"{}\",\"cat\":\"stage\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":1}}",
                 span.stage,
                 span.start.as_micros(),
                 span.wall.as_micros(),
+            );
+        }
+        for span in &self.worker_spans {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"worker-{}\",\"cat\":\"worker\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+                span.worker,
+                span.start.as_micros(),
+                span.wall.as_micros(),
+                u64::from(span.worker) + 2,
+            );
+        }
+        for point in &self.counter_points {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"search worker-{}\",\"cat\":\"search\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"nodes\":{},\"best\":{}}}}}",
+                point.worker,
+                point.at.as_micros(),
+                u64::from(point.worker) + 2,
+                point.nodes,
+                point.best,
             );
         }
         out.push_str("]}");
@@ -142,6 +198,35 @@ impl Observer for StageProfiler {
     fn on_event(&mut self, event: &TraceEvent) {
         let now = Instant::now();
         let origin = *self.origin.get_or_insert(now);
+        // Worker lanes and counter tracks, orthogonal to stage
+        // attribution below.
+        match event {
+            TraceEvent::WorkerStarted { worker } => self.worker_open.push((*worker, now)),
+            TraceEvent::WorkerFinished { worker } => {
+                if let Some(pos) = self.worker_open.iter().rposition(|(w, _)| w == worker) {
+                    let (_, started) = self.worker_open.remove(pos);
+                    self.worker_spans.push(WorkerSpan {
+                        worker: *worker,
+                        start: started.duration_since(origin),
+                        wall: now.duration_since(started),
+                    });
+                }
+            }
+            TraceEvent::SearchSample {
+                worker,
+                nodes,
+                best,
+                ..
+            } => {
+                self.counter_points.push(CounterPoint {
+                    worker: *worker,
+                    at: now.duration_since(origin),
+                    nodes: *nodes,
+                    best: *best,
+                });
+            }
+            _ => {}
+        }
         match event {
             TraceEvent::StageStarted { stage } => {
                 self.profiles[stage.index()].counts.record(event);
@@ -377,6 +462,37 @@ mod tests {
         assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
         assert!(json.contains("\"name\":\"timing\""));
         assert!(json.contains("\"name\":\"max-power\""));
+    }
+
+    #[test]
+    fn chrome_trace_gains_worker_lanes_and_counter_tracks() {
+        let mut prof = StageProfiler::new();
+        prof.on_event(&TraceEvent::WorkerStarted { worker: 0 });
+        prof.on_event(&TraceEvent::SearchSample {
+            worker: 0,
+            nodes: 1024,
+            depth: 3,
+            best: -1,
+        });
+        prof.on_event(&TraceEvent::SearchSample {
+            worker: 0,
+            nodes: 2048,
+            depth: 5,
+            best: 45,
+        });
+        prof.on_event(&TraceEvent::WorkerFinished { worker: 0 });
+        prof.on_event(&TraceEvent::WorkerStarted { worker: 1 });
+        prof.on_event(&TraceEvent::WorkerFinished { worker: 1 });
+
+        let json = prof.chrome_trace();
+        assert!(json.contains("\"name\":\"worker-0\""));
+        assert!(json.contains("\"name\":\"worker-1\""));
+        // Worker lanes are offset past the stage lane (tid 1).
+        assert!(json.contains("\"cat\":\"worker\",\"ph\":\"X\""));
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("\"tid\":3"));
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 2);
+        assert!(json.contains("\"args\":{\"nodes\":2048,\"best\":45}"));
     }
 
     #[test]

@@ -111,6 +111,109 @@ fn chrome_trace_is_structurally_valid_json_with_the_expected_schema() {
     }
 }
 
+#[test]
+fn hostile_source_names_render_valid_escaped_exposition() {
+    // A PASDL task (or model file) named with quotes, backslashes, and
+    // newlines must not corrupt the exposition text.
+    let hostile = "a\"b\\c\nd";
+    let mut reg = populated_registry();
+    reg.set_source(hostile);
+    let text = reg.render_prometheus();
+    validate_prometheus(&text).unwrap_or_else(|e| panic!("invalid exposition: {e}\n---\n{text}"));
+
+    // The escaped value must decode back to the original name.
+    let info_line = text
+        .lines()
+        .find(|l| l.starts_with("pas_source_info{"))
+        .expect("pas_source_info sample present");
+    let body = info_line
+        .split_once('{')
+        .and_then(|(_, rest)| rest.rsplit_once('}'))
+        .map(|(body, _)| body)
+        .expect("label set present");
+    let labels = parse_labels(body).expect("labels parse");
+    assert_eq!(labels, vec![("model".to_string(), hostile.to_string())]);
+}
+
+#[test]
+fn search_telemetry_metrics_pass_the_validator() {
+    let mut reg = populated_registry();
+    let events = [
+        TraceEvent::WorkerStarted { worker: 0 },
+        TraceEvent::SearchSample {
+            worker: 0,
+            nodes: 4096,
+            depth: 7,
+            best: -1,
+        },
+        TraceEvent::IncumbentImproved {
+            worker: 0,
+            nodes: 5000,
+            finish: pas_graph::units::Time::from_secs(45),
+        },
+        TraceEvent::SearchSample {
+            worker: 0,
+            nodes: 8192,
+            depth: 9,
+            best: 45,
+        },
+        TraceEvent::SearchStatsRecorded {
+            worker: 0,
+            nodes: 9000,
+            pruned_incumbent: 410,
+            pruned_dominance: 77,
+            pruned_horizon: 12,
+            pruned_budget: 0,
+            max_depth: 11,
+            budget: 10_000,
+        },
+        TraceEvent::WorkerFinished { worker: 0 },
+    ];
+    for e in &events {
+        reg.on_event(e);
+    }
+    let text = reg.render_prometheus();
+    validate_prometheus(&text).unwrap_or_else(|e| panic!("invalid exposition: {e}\n---\n{text}"));
+    for needle in [
+        "pas_search_sample_depth_bucket",
+        "pas_search_nodes_bucket",
+        "pas_search_prunes_total{reason=\"incumbent\"} 410",
+        "pas_search_budget_utilization 0.9",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // The Chrome export gains a worker lane and counter samples while
+    // staying structurally valid JSON.
+    let chrome = reg.chrome_trace();
+    let value = Json::parse(&chrome).unwrap_or_else(|e| panic!("invalid JSON: {e}\n---\n{chrome}"));
+    let Json::Object(top) = &value else {
+        panic!("top level must be an object");
+    };
+    let Some(Json::Array(events)) = top.get("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    let mut phases: Vec<&str> = Vec::new();
+    for event in events {
+        let Json::Object(fields) = event else {
+            panic!("every trace event must be an object");
+        };
+        let Some(Json::String(ph)) = fields.get("ph") else {
+            panic!("trace event without ph");
+        };
+        phases.push(ph);
+    }
+    assert_eq!(
+        phases.iter().filter(|p| **p == "C").count(),
+        2,
+        "one counter sample per SearchSample"
+    );
+    assert!(
+        chrome.contains(r#""name":"worker-0""#),
+        "worker lane present in:\n{chrome}"
+    );
+}
+
 // ---------------------------------------------------------------------
 // Prometheus text exposition validator
 // ---------------------------------------------------------------------
@@ -234,21 +337,56 @@ fn check_metric_name(name: &str) -> Result<(), String> {
     }
 }
 
+/// Parses a label body (`key="value",...`), decoding the exposition
+/// format's escapes (`\\`, `\"`, `\n`) and rejecting raw `"` / `\` /
+/// newline bytes inside values — exactly what a Prometheus scraper
+/// enforces.
 fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
     let mut labels = Vec::new();
-    for pair in body.split(',') {
-        let (key, value) = pair
-            .split_once('=')
-            .ok_or_else(|| format!("bad label pair {pair:?}"))?;
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("missing '=' in label set {body:?}"))?;
+        let key = &rest[..eq];
         check_metric_name(key)?;
-        let value = value
-            .strip_prefix('"')
-            .and_then(|v| v.strip_suffix('"'))
-            .ok_or_else(|| format!("unquoted label value in {pair:?}"))?;
-        if value.contains(['"', '\\', '\n']) {
-            return Err(format!("label value needs escaping: {value:?}"));
+        rest = &rest[eq + 1..];
+        let mut chars = rest.char_indices();
+        if !matches!(chars.next(), Some((_, '"'))) {
+            return Err(format!("unquoted label value for {key:?}"));
         }
-        labels.push((key.to_string(), value.to_string()));
+        let mut value = String::new();
+        let mut after_quote = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(format!(
+                            "bad escape in label value for {key:?}: \\{:?}",
+                            other.map(|(_, c)| c)
+                        ))
+                    }
+                },
+                '"' => {
+                    after_quote = Some(i + 1);
+                    break;
+                }
+                '\n' => return Err(format!("raw newline in label value for {key:?}")),
+                c => value.push(c),
+            }
+        }
+        let after_quote =
+            after_quote.ok_or_else(|| format!("unterminated label value for {key:?}"))?;
+        labels.push((key.to_string(), value));
+        rest = &rest[after_quote..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped;
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' between labels, found {rest:?}"));
+        }
     }
     Ok(labels)
 }

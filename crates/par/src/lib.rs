@@ -22,6 +22,17 @@
 //! Everything here is plain `std`: scoped threads, a mutex-guarded
 //! queue, and atomics. No work-stealing runtime is spun up, which
 //! keeps the primitives predictable and the crate dependency-free.
+//!
+//! ## Telemetry side channel
+//!
+//! Both primitives expose *wall-clock* measurements for the profiler —
+//! [`par_map_profiled`] returns a [`PoolProfile`] of per-worker
+//! busy/idle time, and [`SharedMin::stats`] snapshots contention
+//! counters ([`SharedMinStats`]). These numbers are inherently
+//! nondeterministic (they measure the OS, not the algorithm), so per
+//! the determinism contract (`DESIGN.md` §12) they are **never**
+//! folded into traces or reproducible output: they travel only through
+//! this side channel into profile reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +43,7 @@ use std::num::NonZeroUsize;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// How much parallelism a pipeline stage may use.
 ///
@@ -181,37 +193,310 @@ where
         .collect()
 }
 
+/// Per-worker wall-clock accounting for one [`par_map_profiled`] run.
+///
+/// `busy` is time spent inside the mapped closure; `wait` is time
+/// spent acquiring the queue lock and popping. Anything left over up
+/// to the pool's wall time — start-up, join, and the tail after the
+/// queue drains — is idle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerProfile {
+    /// Worker index within the pool (`0..workers`).
+    pub worker: u32,
+    /// Items this worker pulled from the queue.
+    pub items: u64,
+    /// Total time spent executing the mapped closure.
+    pub busy: Duration,
+    /// Total time spent waiting on the shared queue.
+    pub wait: Duration,
+}
+
+impl WorkerProfile {
+    /// Fraction of `wall` this worker spent in the closure.
+    pub fn busy_fraction(&self, wall: Duration) -> f64 {
+        if wall.is_zero() {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / wall.as_secs_f64()).min(1.0)
+        }
+    }
+
+    /// Fraction of `wall` this worker spent *not* in the closure
+    /// (queue waits, start-up, and the post-drain tail).
+    pub fn idle_fraction(&self, wall: Duration) -> f64 {
+        1.0 - self.busy_fraction(wall)
+    }
+}
+
+/// Wall-clock profile of one [`par_map_profiled`] session: total wall
+/// time plus one [`WorkerProfile`] per spawned worker (or the single
+/// inline pseudo-worker when the map ran on the caller's thread).
+///
+/// These are OS-level measurements — nondeterministic by nature — and
+/// must never be folded into traces or reproducible output
+/// (`DESIGN.md` §12); they exist for profile reports only.
+#[derive(Debug, Clone, Default)]
+pub struct PoolProfile {
+    /// Wall time from just before item distribution to after the join.
+    pub wall: Duration,
+    /// Per-worker accounting, indexed by worker id.
+    pub workers: Vec<WorkerProfile>,
+}
+
+impl PoolProfile {
+    /// Mean idle fraction across workers — the "workers are starved"
+    /// signal. `0.0` for an empty pool.
+    pub fn mean_idle_fraction(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .workers
+            .iter()
+            .map(|w| w.idle_fraction(self.wall))
+            .sum();
+        total / self.workers.len() as f64
+    }
+
+    /// The largest per-worker idle fraction — the worst-starved worker.
+    pub fn max_idle_fraction(&self) -> f64 {
+        self.workers
+            .iter()
+            .map(|w| w.idle_fraction(self.wall))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// [`par_map`] plus a [`PoolProfile`] side channel: identical results
+/// and ordering guarantees, with per-worker busy/wait wall-clock
+/// accounting. The inline path (`workers <= 1` or fewer than two
+/// items) reports a single pseudo-worker so callers can treat the
+/// shape uniformly.
+pub fn par_map_profiled<T, R, F>(workers: usize, items: Vec<T>, f: F) -> (Vec<R>, PoolProfile)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let session = Instant::now();
+    if workers <= 1 || n <= 1 {
+        let mut busy = Duration::ZERO;
+        let results: Vec<R> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let begun = Instant::now();
+                let r = f(i, t);
+                busy += begun.elapsed();
+                r
+            })
+            .collect();
+        let profile = PoolProfile {
+            wall: session.elapsed(),
+            workers: vec![WorkerProfile {
+                worker: 0,
+                items: n as u64,
+                busy,
+                wait: Duration::ZERO,
+            }],
+        };
+        return (results, profile);
+    }
+
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut profiles: Vec<WorkerProfile> = Vec::with_capacity(workers.min(n));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|w| {
+                let queue = &queue;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    let mut profile = WorkerProfile {
+                        worker: w as u32,
+                        ..WorkerProfile::default()
+                    };
+                    loop {
+                        let waited = Instant::now();
+                        let next = queue.lock().expect("par_map queue poisoned").pop_front();
+                        profile.wait += waited.elapsed();
+                        match next {
+                            Some((index, item)) => {
+                                let begun = Instant::now();
+                                let result = f(index, item);
+                                profile.busy += begun.elapsed();
+                                profile.items += 1;
+                                done.push((index, result));
+                            }
+                            None => break,
+                        }
+                    }
+                    (done, profile)
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok((done, profile)) => {
+                    for (index, result) in done {
+                        slots[index] = Some(result);
+                    }
+                    profiles.push(profile);
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let profile = PoolProfile {
+        wall: session.elapsed(),
+        workers: profiles,
+    };
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.expect("par_map: worker exited without producing its result"))
+        .collect();
+    (results, profile)
+}
+
+/// Snapshot of [`SharedMin`]'s contention counters.
+///
+/// All counts are relaxed-atomic tallies taken while workers race, so
+/// a snapshot read mid-search is approximate; one taken after the
+/// joining scope ends is exact. Like [`PoolProfile`], these are
+/// side-channel numbers only — never traced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharedMinStats {
+    /// Total [`SharedMin::refine`] calls.
+    pub refine_calls: u64,
+    /// Refines that strictly lowered the bound.
+    pub refine_wins: u64,
+    /// Refines that arrived already knowing-no-better: the caller
+    /// finished a solution the shared bound had already matched or
+    /// beaten. High values mean workers duplicate discovery work off
+    /// stale bounds.
+    pub stale_refines: u64,
+    /// Refines that were improving at first read but lost the
+    /// compare-exchange race to a better concurrent refinement.
+    pub lost_races: u64,
+    /// Failed compare-exchange attempts (each retry counts once).
+    pub cas_failures: u64,
+    /// Total [`SharedMin::get`] reads.
+    pub get_calls: u64,
+}
+
+impl SharedMinStats {
+    /// Failed CAS attempts per refine call — the raw write-contention
+    /// signal. `0.0` when no refines happened.
+    pub fn contention_rate(&self) -> f64 {
+        if self.refine_calls == 0 {
+            0.0
+        } else {
+            self.cas_failures as f64 / self.refine_calls as f64
+        }
+    }
+
+    /// Fraction of refines wasted on stale bounds (already-beaten
+    /// discoveries plus lost races). `0.0` when no refines happened.
+    pub fn staleness_rate(&self) -> f64 {
+        if self.refine_calls == 0 {
+            0.0
+        } else {
+            (self.stale_refines + self.lost_races) as f64 / self.refine_calls as f64
+        }
+    }
+}
+
 /// A shared, monotonically decreasing bound — the global incumbent of
 /// a parallel branch-and-bound.
 ///
-/// The bound only ever moves *down* ([`SharedMin::refine`] is a
-/// `fetch_min`), so a reader can rely on any observed value being an
+/// The bound only ever moves *down* ([`SharedMin::refine`] never
+/// raises it), so a reader can rely on any observed value being an
 /// upper bound on the final one. Crucially for determinism, callers
 /// must prune only **strictly** against it (`cost > bound.get()`):
 /// a strict prune discards subtrees that some worker has already
 /// matched or beaten, which can never change which solution the
 /// deterministic index-ordered reduction ultimately picks — it only
 /// changes how much work is spent finding it.
+///
+/// Every operation also bumps a relaxed contention counter (snapshot
+/// via [`SharedMin::stats`]); the counters share no ordering with the
+/// bound itself and cost one uncontended-cacheline add per call.
 #[derive(Debug)]
-pub struct SharedMin(AtomicU64);
+pub struct SharedMin {
+    bound: AtomicU64,
+    refine_calls: AtomicU64,
+    refine_wins: AtomicU64,
+    stale_refines: AtomicU64,
+    lost_races: AtomicU64,
+    cas_failures: AtomicU64,
+    get_calls: AtomicU64,
+}
 
 impl SharedMin {
     /// Creates the bound at `initial` (typically `u64::MAX`).
     pub fn new(initial: u64) -> SharedMin {
-        SharedMin(AtomicU64::new(initial))
+        SharedMin {
+            bound: AtomicU64::new(initial),
+            refine_calls: AtomicU64::new(0),
+            refine_wins: AtomicU64::new(0),
+            stale_refines: AtomicU64::new(0),
+            lost_races: AtomicU64::new(0),
+            cas_failures: AtomicU64::new(0),
+            get_calls: AtomicU64::new(0),
+        }
     }
 
     /// The current bound. Monotone: never larger than any previously
     /// observed value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Acquire)
+        self.get_calls.fetch_add(1, Ordering::Relaxed);
+        self.bound.load(Ordering::Acquire)
     }
 
     /// Lowers the bound to `candidate` if it improves on the current
     /// value; returns `true` when `candidate` strictly lowered it.
     pub fn refine(&self, candidate: u64) -> bool {
-        let previous = self.0.fetch_min(candidate, Ordering::AcqRel);
-        candidate < previous
+        self.refine_calls.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.bound.load(Ordering::Acquire);
+        if candidate >= current {
+            self.stale_refines.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        loop {
+            match self.bound.compare_exchange(
+                current,
+                candidate,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.refine_wins.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(actual) => {
+                    self.cas_failures.fetch_add(1, Ordering::Relaxed);
+                    if candidate >= actual {
+                        self.lost_races.fetch_add(1, Ordering::Relaxed);
+                        return false;
+                    }
+                    current = actual;
+                }
+            }
+        }
+    }
+
+    /// Snapshots the contention counters.
+    pub fn stats(&self) -> SharedMinStats {
+        SharedMinStats {
+            refine_calls: self.refine_calls.load(Ordering::Relaxed),
+            refine_wins: self.refine_wins.load(Ordering::Relaxed),
+            stale_refines: self.stale_refines.load(Ordering::Relaxed),
+            lost_races: self.lost_races.load(Ordering::Relaxed),
+            cas_failures: self.cas_failures.load(Ordering::Relaxed),
+            get_calls: self.get_calls.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -282,6 +567,91 @@ mod tests {
         assert_eq!(bound.get(), 100);
         assert!(bound.refine(40));
         assert_eq!(bound.get(), 40);
+    }
+
+    #[test]
+    fn shared_min_counts_contention_events() {
+        let bound = SharedMin::new(u64::MAX);
+        assert!(bound.refine(100));
+        assert!(!bound.refine(100)); // stale: already matched
+        assert!(!bound.refine(250)); // stale: already beaten
+        assert!(bound.refine(40));
+        let _ = bound.get();
+        let _ = bound.get();
+        let stats = bound.stats();
+        assert_eq!(stats.refine_calls, 4);
+        assert_eq!(stats.refine_wins, 2);
+        assert_eq!(stats.stale_refines, 2);
+        assert_eq!(stats.lost_races, 0);
+        assert_eq!(stats.cas_failures, 0, "no concurrency, no failed CAS");
+        assert_eq!(stats.get_calls, 2);
+        assert!((stats.staleness_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.contention_rate(), 0.0);
+        assert_eq!(SharedMinStats::default().staleness_rate(), 0.0);
+    }
+
+    #[test]
+    fn shared_min_stats_balance_under_contention() {
+        let bound = SharedMin::new(u64::MAX);
+        std::thread::scope(|scope| {
+            for w in 0..8u64 {
+                let bound = &bound;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        bound.refine(1 + ((w * 7919 + i * 104_729) % 100_000));
+                        let _ = bound.get();
+                    }
+                });
+            }
+        });
+        let stats = bound.stats();
+        assert_eq!(stats.refine_calls, 80_000);
+        assert_eq!(stats.get_calls, 80_000);
+        // Every refine resolves to exactly one of the three outcomes.
+        assert_eq!(
+            stats.refine_wins + stats.stale_refines + stats.lost_races,
+            stats.refine_calls
+        );
+        assert!(stats.refine_wins >= 1);
+    }
+
+    #[test]
+    fn par_map_profiled_matches_par_map_and_accounts_workers() {
+        let items: Vec<u64> = (0..100).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 4, 8] {
+            let (got, profile) = par_map_profiled(workers, items.clone(), |_, x| {
+                // Make busy time observable even on coarse clocks.
+                std::hint::black_box((0..2_000u64).fold(x, |a, b| a.wrapping_add(b)));
+                x * x
+            });
+            assert_eq!(got, expected, "workers={workers}");
+            assert_eq!(profile.workers.len(), workers.min(items.len()));
+            let pulled: u64 = profile.workers.iter().map(|w| w.items).sum();
+            assert_eq!(pulled, items.len() as u64, "workers={workers}");
+            for (i, w) in profile.workers.iter().enumerate() {
+                assert_eq!(w.worker, i as u32);
+                assert!(w.busy <= profile.wall + Duration::from_millis(50));
+            }
+            let idle = profile.mean_idle_fraction();
+            assert!((0.0..=1.0).contains(&idle), "idle={idle}");
+            assert!(profile.max_idle_fraction() >= idle);
+        }
+    }
+
+    #[test]
+    fn par_map_profiled_inline_path_reports_one_pseudo_worker() {
+        let (got, profile) = par_map_profiled(1, vec![1u32, 2, 3], |_, x| x + 1);
+        assert_eq!(got, vec![2, 3, 4]);
+        assert_eq!(profile.workers.len(), 1);
+        assert_eq!(profile.workers[0].items, 3);
+        assert_eq!(profile.workers[0].wait, Duration::ZERO);
+        let empty: Vec<u32> = Vec::new();
+        let (none, profile) = par_map_profiled(8, empty, |_, x: u32| x);
+        assert!(none.is_empty());
+        assert_eq!(profile.workers.len(), 1);
+        assert_eq!(profile.workers[0].items, 0);
+        assert_eq!(PoolProfile::default().mean_idle_fraction(), 0.0);
     }
 
     /// Stress test for the shared incumbent bound (the issue's

@@ -61,6 +61,7 @@ mod min_power;
 pub mod optimal;
 mod pipeline;
 mod runtime;
+pub mod telemetry;
 mod timing;
 
 pub use compact::compact_schedule;
@@ -72,9 +73,10 @@ pub use max_power::{schedule_max_power, schedule_max_power_observed};
 pub use min_power::{
     improve_gaps, improve_gaps_observed, schedule_min_power, schedule_min_power_observed,
 };
-pub use pas_par::Parallelism;
+pub use pas_par::{Parallelism, PoolProfile, SharedMinStats, WorkerProfile};
 pub use pipeline::{Outcome, PowerAwareScheduler, StageOutcomes};
 pub use runtime::{RepertoireEntry, ScheduleRepertoire, ValidityRegion};
+pub use telemetry::{SearchStats, SEARCH_SAMPLE_INTERVAL};
 pub use timing::{schedule_timing, schedule_timing_observed};
 
 #[cfg(test)]

@@ -27,13 +27,23 @@ use crate::timing::schedule_timing_ctx;
 use pas_core::{slack, Interval, PowerProfile, ProfileMove, Schedule};
 use pas_graph::units::{Power, Time, TimeSpan};
 use pas_graph::{ConstraintGraph, TaskId};
-use pas_obs::{CountingObserver, Observer, StageKind, TraceEvent};
+use pas_obs::{CountingObserver, NullObserver, Observer, RecordingObserver, StageKind, TraceEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Hard cap on spike-elimination rounds, independent of problem size;
 /// purely a guard against pathological non-termination.
 const MAX_SPIKE_ROUNDS: usize = 100_000;
+
+/// Stack reservation for the solver thread each attempt runs on.
+///
+/// The `solve`/`eliminate_spike` mutual recursion can legitimately
+/// nest up to [`SchedulerConfig::max_recursions`] levels (the counter
+/// is cumulative, so nesting never exceeds it) — ~2k frames at the
+/// default, far past what a default 2 MiB thread stack tolerates in
+/// debug builds. The reservation is address space, not memory: pages
+/// are only committed as the recursion actually touches them.
+const SOLVE_STACK_BYTES: usize = 64 * 1024 * 1024;
 
 /// Runs the max-power scheduler: timing scheduling, spike elimination
 /// under `p_max`, and a final left-edge compaction pass (see
@@ -145,7 +155,7 @@ pub fn schedule_max_power_observed<O: Observer>(
         // the recursion share it, so the speculative release/lock
         // edges are absorbed as longest-path deltas.
         let mut ctx = ScheduleContext::new(attempt.incremental, StageKind::MaxPower);
-        let result = solve(
+        let result = solve_on_solver_stack(
             graph,
             &mut ctx,
             p_max,
@@ -174,6 +184,70 @@ pub fn schedule_max_power_observed<O: Observer>(
         }
     }
     Err(last_err.expect("at least one attempt ran"))
+}
+
+/// Runs one attempt's [`solve`] on a dedicated scoped thread with a
+/// [`SOLVE_STACK_BYTES`] stack, so the deep `solve`/`eliminate_spike`
+/// descent cannot overflow the calling thread's default stack.
+///
+/// Trace events are buffered on the solver thread and replayed into
+/// `obs` in emission order after the join, so the observable trace is
+/// byte-identical to running `solve` inline (the buffered-replay
+/// idiom the partitioned B&B already uses, DESIGN.md §12). When `obs`
+/// is disabled the solver runs against a [`NullObserver`] and nothing
+/// is buffered.
+#[allow(clippy::too_many_arguments)]
+fn solve_on_solver_stack<O: Observer>(
+    graph: &mut ConstraintGraph,
+    ctx: &mut ScheduleContext,
+    p_max: Power,
+    background: Power,
+    config: &SchedulerConfig,
+    rng: &mut StdRng,
+    recursions: &mut usize,
+    obs: &mut O,
+) -> Result<Schedule, ScheduleError> {
+    let enabled = obs.is_enabled();
+    let (result, log) = std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name("pas-max-power".into())
+            .stack_size(SOLVE_STACK_BYTES)
+            .spawn_scoped(scope, move || {
+                if enabled {
+                    let mut recorder = RecordingObserver::new();
+                    let result = solve(
+                        graph,
+                        ctx,
+                        p_max,
+                        background,
+                        config,
+                        rng,
+                        recursions,
+                        &mut recorder,
+                    );
+                    (result, recorder.into_events())
+                } else {
+                    let result = solve(
+                        graph,
+                        ctx,
+                        p_max,
+                        background,
+                        config,
+                        rng,
+                        recursions,
+                        &mut NullObserver,
+                    );
+                    (result, Vec::new())
+                }
+            })
+            .expect("spawn max-power solver thread")
+            .join()
+            .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+    });
+    for event in &log {
+        obs.on_event(event);
+    }
+    result
 }
 
 /// One level of the recursive `MaxPowerScheduler`.

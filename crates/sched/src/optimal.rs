@@ -16,10 +16,12 @@
 //! pruned against the incumbent finish time and the `P_max` budget.
 
 use crate::error::ScheduleError;
+use crate::telemetry::SearchStats;
 use pas_core::{is_time_valid, Schedule};
 use pas_graph::longest_path::single_source_longest_paths;
 use pas_graph::units::{Power, Time, TimeSpan};
 use pas_graph::{ConstraintGraph, NodeId, TaskId};
+use pas_obs::{Observer, TraceEvent};
 use pas_par::SharedMin;
 
 /// Limits for the exhaustive search.
@@ -44,8 +46,18 @@ impl Default for OptimalConfig {
 }
 
 /// What one depth-0 branch of a fanned-out search returns: the best
-/// `(finish, starts)` it found (if any) and its explored-node count.
-type BranchResult = Result<(Option<(Time, Vec<Time>)>, u64), ScheduleError>;
+/// `(finish, starts)` it found (if any), its explored-node count, and
+/// its search counters.
+type BranchResult = Result<(Option<(Time, Vec<Time>)>, u64, SearchStats), ScheduleError>;
+
+/// What one branch of an *observed* search returns: its result plus
+/// the telemetry it buffered (kept even when the branch errors, so
+/// budget exhaustion still shows up in the trace).
+struct ObservedBranch {
+    result: BranchResult,
+    stats: SearchStats,
+    log: Vec<TraceEvent>,
+}
 
 /// The outcome of an exact search.
 #[derive(Debug, Clone)]
@@ -56,6 +68,13 @@ pub struct OptimalOutcome {
     pub finish_time: Time,
     /// Search nodes explored.
     pub nodes_explored: u64,
+    /// Search counters (nodes, prunes by reason, depth, budget). For
+    /// the sequential and partitioned variants these are a pure
+    /// function of the problem; for the shared-bound parallel variant
+    /// they are timing-dependent, like
+    /// [`OptimalOutcome::nodes_explored`], and must not be folded into
+    /// reproducible output.
+    pub stats: SearchStats,
 }
 
 /// Finds a minimum-finish-time schedule satisfying all timing
@@ -102,19 +121,17 @@ pub fn minimize_finish_time(
     };
     let n = graph.num_tasks();
 
-    let mut search = Search {
+    let mut search = Search::new(
         graph,
         p_max,
         background,
-        max_nodes: config.max_nodes,
-        nodes: 0,
-        best: None,
-        best_finish: horizon + TimeSpan::from_secs(1),
-        starts: vec![None; n],
+        config.max_nodes,
         horizon,
-        shared: None,
-    };
+        vec![None; n],
+        None,
+    );
     search.descend(0, Time::ZERO)?;
+    let stats = search.stats_snapshot();
 
     match search.best {
         Some(starts) => {
@@ -124,6 +141,71 @@ pub fn minimize_finish_time(
                 finish_time: schedule.finish_time(graph),
                 schedule,
                 nodes_explored: search.nodes,
+                stats,
+            })
+        }
+        None => Err(ScheduleError::SpikeUnresolvable {
+            at: Time::ZERO,
+            level: Power::MAX,
+            budget: p_max,
+        }),
+    }
+}
+
+/// [`minimize_finish_time`] with deterministic search telemetry: a
+/// [`TraceEvent::SearchSample`] every `sample_every` nodes (0 =
+/// unsampled), a [`TraceEvent::IncumbentImproved`] per incumbent, and
+/// one final [`TraceEvent::SearchStatsRecorded`] — emitted even when
+/// the search exhausts its budget, so the trace explains the failure.
+/// Sampling is node-count-triggered, never wall-clock, so the event
+/// stream is a pure function of the problem (`DESIGN.md` §12).
+///
+/// # Errors
+/// Same classes as [`minimize_finish_time`].
+pub fn minimize_finish_time_observed<O: Observer + ?Sized>(
+    graph: &ConstraintGraph,
+    p_max: Power,
+    background: Power,
+    config: &OptimalConfig,
+    sample_every: u64,
+    obs: &mut O,
+) -> Result<OptimalOutcome, ScheduleError> {
+    let Some(horizon) = prepare(graph, p_max, background, config)? else {
+        return Ok(empty_outcome());
+    };
+    let n = graph.num_tasks();
+
+    let mut search = Search::new(
+        graph,
+        p_max,
+        background,
+        config.max_nodes,
+        horizon,
+        vec![None; n],
+        None,
+    );
+    if obs.is_enabled() {
+        search.sample_every = sample_every;
+    }
+    let descended = search.descend(0, Time::ZERO);
+    let stats = search.stats_snapshot();
+    if obs.is_enabled() {
+        for event in &search.log {
+            obs.on_event(event);
+        }
+        stats.emit(0, obs);
+    }
+    descended?;
+
+    match search.best {
+        Some(starts) => {
+            let schedule = Schedule::from_starts(starts);
+            debug_assert!(is_time_valid(graph, &schedule));
+            Ok(OptimalOutcome {
+                finish_time: schedule.finish_time(graph),
+                schedule,
+                nodes_explored: search.nodes,
+                stats,
             })
         }
         None => Err(ScheduleError::SpikeUnresolvable {
@@ -185,56 +267,89 @@ pub fn minimize_finish_time_parallel(
     let branches: Vec<BranchResult> = pas_par::par_map(workers, frontier, |_, (v, s)| {
         let mut starts = vec![None; n];
         starts[v.index()] = Some(s);
-        let mut search = Search {
+        let mut search = Search::new(
             graph,
             p_max,
             background,
-            max_nodes: config.max_nodes,
-            nodes: 0,
-            best: None,
-            best_finish: horizon + TimeSpan::from_secs(1),
-            starts,
+            config.max_nodes,
             horizon,
-            shared: Some(&shared),
-        };
+            starts,
+            Some(&shared),
+        );
         search.descend(1, s + graph.task(v).delay())?;
-        Ok((search.best.map(|b| (search.best_finish, b)), search.nodes))
+        let stats = search.stats_snapshot();
+        let (nodes, best_finish) = (search.nodes, search.best_finish);
+        Ok((search.best.map(|b| (best_finish, b)), nodes, stats))
     });
 
-    // Reduce in frontier order: the root node plus every branch's
-    // count, the first strictly-better finish, and the first error.
-    let mut nodes_total: u64 = 1;
-    let mut best: Option<(Time, Vec<Time>)> = None;
-    for branch in branches {
-        let (local, nodes) = branch?;
-        nodes_total = nodes_total.saturating_add(nodes);
-        if let Some((finish, starts)) = local {
-            let strictly_better = match &best {
-                None => true,
-                Some((incumbent, _)) => finish < *incumbent,
-            };
-            if strictly_better {
-                best = Some((finish, starts));
-            }
-        }
-    }
+    reduce_branches(graph, p_max, branches)
+}
 
-    match best {
-        Some((_, starts)) => {
-            let schedule = Schedule::from_starts(starts);
-            debug_assert!(is_time_valid(graph, &schedule));
-            Ok(OptimalOutcome {
-                finish_time: schedule.finish_time(graph),
-                schedule,
-                nodes_explored: nodes_total,
-            })
+/// [`minimize_finish_time_parallel`] with the profiler's side channel:
+/// alongside the (bit-identical) outcome it returns the [`SharedMin`]
+/// contention counters and the thread pool's per-worker wall-clock
+/// profile. Unlike the plain variant this does **not** fall back to
+/// the sequential search at `workers <= 1` — it runs the same
+/// shared-bound frontier fan-out inline, so a threads sweep compares
+/// like with like. Wall-clock and contention numbers are
+/// nondeterministic by nature and must never be traced (`DESIGN.md`
+/// §12); the schedule itself remains deterministic.
+pub fn minimize_finish_time_parallel_profiled(
+    graph: &ConstraintGraph,
+    p_max: Power,
+    background: Power,
+    config: &OptimalConfig,
+    workers: usize,
+) -> (
+    Result<OptimalOutcome, ScheduleError>,
+    pas_par::SharedMinStats,
+    pas_par::PoolProfile,
+) {
+    let horizon = match prepare(graph, p_max, background, config) {
+        Ok(Some(h)) => h,
+        Ok(None) => {
+            return (
+                Ok(empty_outcome()),
+                pas_par::SharedMinStats::default(),
+                pas_par::PoolProfile::default(),
+            )
         }
-        None => Err(ScheduleError::SpikeUnresolvable {
-            at: Time::ZERO,
-            level: Power::MAX,
-            budget: p_max,
-        }),
-    }
+        Err(e) => {
+            return (
+                Err(e),
+                pas_par::SharedMinStats::default(),
+                pas_par::PoolProfile::default(),
+            )
+        }
+    };
+    let n = graph.num_tasks();
+    let frontier = depth0_frontier(graph, p_max, background, horizon);
+
+    let shared = SharedMin::new(u64::MAX);
+    let (branches, pool): (Vec<BranchResult>, pas_par::PoolProfile) =
+        pas_par::par_map_profiled(workers, frontier, |_, (v, s)| {
+            let mut starts = vec![None; n];
+            starts[v.index()] = Some(s);
+            let mut search = Search::new(
+                graph,
+                p_max,
+                background,
+                config.max_nodes,
+                horizon,
+                starts,
+                Some(&shared),
+            );
+            search.descend(1, s + graph.task(v).delay())?;
+            let stats = search.stats_snapshot();
+            let (nodes, best_finish) = (search.nodes, search.best_finish);
+            Ok((search.best.map(|b| (best_finish, b)), nodes, stats))
+        });
+
+    (
+        reduce_branches(graph, p_max, branches),
+        shared.stats(),
+        pool,
+    )
 }
 
 /// Deterministic frontier-partitioned variant of
@@ -286,20 +401,19 @@ pub fn minimize_finish_time_partitioned(
     let run_branch = |(v, s): (TaskId, Time)| -> BranchResult {
         let mut starts = vec![None; n];
         starts[v.index()] = Some(s);
-        let mut search = Search {
+        let mut search = Search::new(
             graph,
             p_max,
             background,
-            max_nodes: branch_budget,
-            nodes: 0,
-            best: None,
-            best_finish: horizon + TimeSpan::from_secs(1),
-            starts,
+            branch_budget,
             horizon,
-            shared: None,
-        };
+            starts,
+            None,
+        );
         search.descend(1, s + graph.task(v).delay())?;
-        Ok((search.best.map(|b| (search.best_finish, b)), search.nodes))
+        let stats = search.stats_snapshot();
+        let (nodes, best_finish) = (search.nodes, search.best_finish);
+        Ok((search.best.map(|b| (best_finish, b)), nodes, stats))
     };
     let branches: Vec<BranchResult> = if workers <= 1 {
         frontier.into_iter().map(run_branch).collect()
@@ -307,15 +421,151 @@ pub fn minimize_finish_time_partitioned(
         pas_par::par_map(workers, frontier, |_, item| run_branch(item))
     };
 
-    // The reduction is byte-for-byte the one in
-    // `minimize_finish_time_parallel`, and with independent branches
-    // every reduced quantity (winner, error, node count) is
-    // deterministic.
+    reduce_branches(graph, p_max, branches)
+}
+
+/// [`minimize_finish_time_partitioned`] with deterministic per-branch
+/// search telemetry. Each depth-0 branch buffers its own
+/// [`TraceEvent::SearchSample`] / [`TraceEvent::IncumbentImproved`]
+/// events (`worker` = branch index in frontier order) and the buffers
+/// are replayed in frontier order after the join, followed by one
+/// [`TraceEvent::SearchStatsRecorded`] per branch carrying its slice
+/// of the node budget — the per-worker budget-utilization evidence the
+/// profiler uses. Because branch budgets are fixed up front and
+/// branches share no state, the emitted event stream is identical at
+/// every `workers` value, including the inline `workers <= 1` path
+/// (`DESIGN.md` §12). Telemetry is emitted for *every* branch before
+/// the first error (if any) is propagated, so budget exhaustion is
+/// visible in the trace.
+///
+/// # Errors
+/// Same classes as [`minimize_finish_time_partitioned`].
+pub fn minimize_finish_time_partitioned_observed<O: Observer + ?Sized>(
+    graph: &ConstraintGraph,
+    p_max: Power,
+    background: Power,
+    config: &OptimalConfig,
+    workers: usize,
+    sample_every: u64,
+    obs: &mut O,
+) -> Result<OptimalOutcome, ScheduleError> {
+    minimize_finish_time_partitioned_profiled(
+        graph,
+        p_max,
+        background,
+        config,
+        workers,
+        sample_every,
+        obs,
+    )
+    .0
+}
+
+/// [`minimize_finish_time_partitioned_observed`] plus the thread
+/// pool's [`pas_par::PoolProfile`] side channel — per-worker busy/wait
+/// wall-clock accounting over the branch fan-out. The outcome and the
+/// emitted trace are exactly those of the observed variant (still
+/// bit-identical at every `workers` value); only the returned profile
+/// is nondeterministic, and per `DESIGN.md` §12 it must never be
+/// folded into traces or reproducible output.
+#[allow(clippy::too_many_arguments)]
+pub fn minimize_finish_time_partitioned_profiled<O: Observer + ?Sized>(
+    graph: &ConstraintGraph,
+    p_max: Power,
+    background: Power,
+    config: &OptimalConfig,
+    workers: usize,
+    sample_every: u64,
+    obs: &mut O,
+) -> (Result<OptimalOutcome, ScheduleError>, pas_par::PoolProfile) {
+    let horizon = match prepare(graph, p_max, background, config) {
+        Ok(Some(h)) => h,
+        Ok(None) => return (Ok(empty_outcome()), pas_par::PoolProfile::default()),
+        Err(e) => return (Err(e), pas_par::PoolProfile::default()),
+    };
+    let n = graph.num_tasks();
+    let frontier = depth0_frontier(graph, p_max, background, horizon);
+    if frontier.is_empty() {
+        return (
+            Err(ScheduleError::SpikeUnresolvable {
+                at: Time::ZERO,
+                level: Power::MAX,
+                budget: p_max,
+            }),
+            pas_par::PoolProfile::default(),
+        );
+    }
+    let branch_budget = (config.max_nodes / frontier.len() as u64).max(1);
+    let sample_every = if obs.is_enabled() { sample_every } else { 0 };
+
+    let run_branch = |branch_idx: usize, (v, s): (TaskId, Time)| -> ObservedBranch {
+        let mut starts = vec![None; n];
+        starts[v.index()] = Some(s);
+        let mut search = Search::new(
+            graph,
+            p_max,
+            background,
+            branch_budget,
+            horizon,
+            starts,
+            None,
+        );
+        search.sample_every = sample_every;
+        search.worker = branch_idx as u32;
+        let descended = search.descend(1, s + graph.task(v).delay());
+        let stats = search.stats_snapshot();
+        let (nodes, best_finish) = (search.nodes, search.best_finish);
+        ObservedBranch {
+            result: descended.map(|()| (search.best.map(|b| (best_finish, b)), nodes, stats)),
+            stats,
+            log: search.log,
+        }
+    };
+    // The profiled pool's inline path (`workers <= 1`) runs the same
+    // closure in the same frontier order as the spawned path, so the
+    // buffered telemetry — and therefore the replayed trace — is
+    // identical either way.
+    let indexed: Vec<(usize, (TaskId, Time))> = frontier.into_iter().enumerate().collect();
+    let (branches, pool): (Vec<ObservedBranch>, pas_par::PoolProfile) =
+        pas_par::par_map_profiled(workers, indexed, |_, (i, item)| run_branch(i, item));
+
+    // All telemetry first (deterministic frontier order, errored
+    // branches included), then the usual reduction.
+    if obs.is_enabled() {
+        for (branch_idx, branch) in branches.iter().enumerate() {
+            for event in &branch.log {
+                obs.on_event(event);
+            }
+            branch.stats.emit(branch_idx as u32, obs);
+        }
+    }
+    (
+        reduce_branches(
+            graph,
+            p_max,
+            branches.into_iter().map(|b| b.result).collect(),
+        ),
+        pool,
+    )
+}
+
+/// The branch reduction shared by every fanned-out variant: the root
+/// node plus every branch's count, the first strictly-better finish in
+/// frontier order, and the first error. With independent branches
+/// every reduced quantity (winner, error, node count, stats) is
+/// deterministic.
+fn reduce_branches(
+    graph: &ConstraintGraph,
+    p_max: Power,
+    branches: Vec<BranchResult>,
+) -> Result<OptimalOutcome, ScheduleError> {
     let mut nodes_total: u64 = 1;
+    let mut stats_total = SearchStats::default();
     let mut best: Option<(Time, Vec<Time>)> = None;
     for branch in branches {
-        let (local, nodes) = branch?;
+        let (local, nodes, stats) = branch?;
         nodes_total = nodes_total.saturating_add(nodes);
+        stats_total.absorb(&stats);
         if let Some((finish, starts)) = local {
             let strictly_better = match &best {
                 None => true,
@@ -335,6 +585,7 @@ pub fn minimize_finish_time_partitioned(
                 finish_time: schedule.finish_time(graph),
                 schedule,
                 nodes_explored: nodes_total,
+                stats: stats_total,
             })
         }
         None => Err(ScheduleError::SpikeUnresolvable {
@@ -387,6 +638,7 @@ fn empty_outcome() -> OptimalOutcome {
         schedule: Schedule::from_starts(vec![]),
         finish_time: Time::ZERO,
         nodes_explored: 0,
+        stats: SearchStats::default(),
     }
 }
 
@@ -399,18 +651,15 @@ fn depth0_frontier(
     background: Power,
     horizon: Time,
 ) -> Vec<(TaskId, Time)> {
-    let proto = Search {
+    let proto = Search::new(
         graph,
         p_max,
         background,
-        max_nodes: 0,
-        nodes: 0,
-        best: None,
-        best_finish: horizon + TimeSpan::from_secs(1),
-        starts: vec![None; graph.num_tasks()],
+        0,
         horizon,
-        shared: None,
-    };
+        vec![None; graph.num_tasks()],
+        None,
+    );
     let mut frontier: Vec<(TaskId, Time)> = Vec::new();
     for v in graph.task_ids() {
         let Some(lb) = proto.lower_bound(v) else {
@@ -445,21 +694,91 @@ struct Search<'g> {
     /// finish merely ties the global bound may still complete into
     /// the assignment that wins the frontier-order tie-break.
     shared: Option<&'g SharedMin>,
+    /// Prune/depth counters, always collected (plain increments).
+    stats: SearchStats,
+    /// Emit a [`TraceEvent::SearchSample`] every this many nodes into
+    /// [`Search::log`]; `0` disables sampling (the unobserved path).
+    sample_every: u64,
+    /// Worker/branch id stamped on sampled events.
+    worker: u32,
+    /// Buffered telemetry events, replayed by the observed variants in
+    /// a deterministic order after the search returns.
+    log: Vec<TraceEvent>,
 }
 
-impl Search<'_> {
+impl<'g> Search<'g> {
+    fn new(
+        graph: &'g ConstraintGraph,
+        p_max: Power,
+        background: Power,
+        max_nodes: u64,
+        horizon: Time,
+        starts: Vec<Option<Time>>,
+        shared: Option<&'g SharedMin>,
+    ) -> Self {
+        Search {
+            graph,
+            p_max,
+            background,
+            max_nodes,
+            nodes: 0,
+            best: None,
+            best_finish: horizon + TimeSpan::from_secs(1),
+            starts,
+            horizon,
+            shared,
+            stats: SearchStats::default(),
+            sample_every: 0,
+            worker: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// The counters with the derived fields (nodes, budget) filled in.
+    fn stats_snapshot(&self) -> SearchStats {
+        SearchStats {
+            nodes: self.nodes,
+            budget: self.max_nodes,
+            ..self.stats
+        }
+    }
     /// Places the `depth`-th task (tasks whose placed makespan is
     /// `current_finish` so far).
     fn descend(&mut self, depth: usize, current_finish: Time) -> Result<(), ScheduleError> {
         self.nodes += 1;
         if self.nodes > self.max_nodes {
+            self.stats.pruned_budget += 1;
             return Err(ScheduleError::TimingSearchExhausted {
                 backtracks: self.max_nodes as usize,
+            });
+        }
+        let depth32 = depth as u32;
+        if depth32 > self.stats.max_depth {
+            self.stats.max_depth = depth32;
+        }
+        if self.sample_every != 0 && self.nodes % self.sample_every == 0 {
+            self.log.push(TraceEvent::SearchSample {
+                worker: self.worker,
+                nodes: self.nodes,
+                depth: depth32,
+                best: if self.best.is_some() {
+                    self.best_finish.as_secs()
+                } else {
+                    -1
+                },
             });
         }
         if depth == self.starts.len() {
             if current_finish < self.best_finish {
                 self.best_finish = current_finish;
+                self.stats.incumbent_improvements += 1;
+                if self.sample_every != 0 {
+                    self.log.push(TraceEvent::IncumbentImproved {
+                        worker: self.worker,
+                        nodes: self.nodes,
+                        finish: current_finish,
+                    });
+                }
                 if let Some(shared) = self.shared {
                     shared.refine(bound_key(current_finish));
                 }
@@ -501,20 +820,24 @@ impl Search<'_> {
 
             for s in candidates {
                 if s > self.horizon {
+                    self.stats.pruned_horizon += 1;
                     break;
                 }
                 let finish = (s + d).max(current_finish);
                 if finish >= self.best_finish {
+                    self.stats.pruned_incumbent += 1;
                     break; // candidates are sorted: all later ones worse
                 }
                 if let Some(shared) = self.shared {
                     // Strict-only global pruning (candidates are
                     // sorted, so later ones are at least as bad).
                     if bound_key(finish) > shared.get() {
+                        self.stats.pruned_incumbent += 1;
                         break;
                     }
                 }
                 if !self.placement_ok(v, s) {
+                    self.stats.pruned_dominance += 1;
                     continue;
                 }
                 self.starts[v.index()] = Some(s);
@@ -898,6 +1221,123 @@ mod tests {
             ),
             Err(ScheduleError::SpikeUnresolvable { .. })
         ));
+    }
+
+    #[test]
+    fn observed_search_matches_unobserved_and_reports_prunes() {
+        let g = parallel_tasks(&[5, 5, 5, 5], 4);
+        let plain = minimize_finish_time(
+            &g,
+            Power::from_watts(10),
+            Power::ZERO,
+            &OptimalConfig::default(),
+        )
+        .unwrap();
+        let mut rec = pas_obs::RecordingObserver::new();
+        let observed = minimize_finish_time_observed(
+            &g,
+            Power::from_watts(10),
+            Power::ZERO,
+            &OptimalConfig::default(),
+            8, // small interval so the test sees samples
+            &mut rec,
+        )
+        .unwrap();
+        assert_eq!(observed.schedule, plain.schedule);
+        assert_eq!(observed.nodes_explored, plain.nodes_explored);
+        assert_eq!(observed.stats, plain.stats, "counters are observation-free");
+        assert!(observed.stats.total_prunes() > 0, "a bounded search prunes");
+        assert_eq!(observed.stats.nodes, observed.nodes_explored);
+
+        let events = rec.into_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::SearchSample { .. })),
+            "interval 8 must produce samples over {} nodes",
+            observed.nodes_explored
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::IncumbentImproved { .. })),
+            "the optimum was found, so the incumbent improved"
+        );
+        let last = events.last().expect("telemetry recorded");
+        assert!(
+            matches!(last, TraceEvent::SearchStatsRecorded { nodes, .. }
+                     if *nodes == observed.nodes_explored),
+            "final event must be the stats record, got {last:?}"
+        );
+    }
+
+    #[test]
+    fn observed_partitioned_trace_is_identical_across_worker_counts() {
+        let mut g = parallel_tasks(&[4, 4, 2, 3], 3);
+        g.precedence(TaskId::from_index(0), TaskId::from_index(1));
+        let record = |workers: usize| {
+            let mut rec = pas_obs::RecordingObserver::new();
+            let outcome = minimize_finish_time_partitioned_observed(
+                &g,
+                Power::from_watts(8),
+                Power::ZERO,
+                &OptimalConfig::default(),
+                workers,
+                4,
+                &mut rec,
+            )
+            .unwrap();
+            (outcome, rec.into_events())
+        };
+        let (one, events_one) = record(1);
+        assert!(!events_one.is_empty());
+        for workers in [2, 4, 8] {
+            let (got, events) = record(workers);
+            assert_eq!(got.schedule, one.schedule, "workers={workers}");
+            assert_eq!(got.stats, one.stats, "workers={workers}");
+            assert_eq!(
+                events, events_one,
+                "telemetry must be byte-identical at workers={workers}"
+            );
+        }
+        // Per-branch budget slices sum to the stats total.
+        let branch_budgets: u64 = events_one
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::SearchStatsRecorded { budget, .. } => Some(*budget),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(branch_budgets, one.stats.budget);
+    }
+
+    #[test]
+    fn exhausted_observed_search_still_records_stats() {
+        let g = parallel_tasks(&[1, 1, 1, 1, 1, 1], 2);
+        let mut rec = pas_obs::RecordingObserver::new();
+        let result = minimize_finish_time_observed(
+            &g,
+            Power::from_watts(2),
+            Power::ZERO,
+            &OptimalConfig {
+                max_nodes: 10,
+                horizon: None,
+            },
+            0, // sampling off: the stats record must still appear
+            &mut rec,
+        );
+        assert!(matches!(
+            result,
+            Err(ScheduleError::TimingSearchExhausted { .. })
+        ));
+        let events = rec.into_events();
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                TraceEvent::SearchStatsRecorded { pruned_budget, .. } if *pruned_budget > 0
+            )),
+            "budget exhaustion must be visible in the trace: {events:?}"
+        );
     }
 
     /// The heuristic pipeline lands close to the exact optimum on the

@@ -582,12 +582,18 @@ impl PowerAwareScheduler {
             } else {
                 1
             };
-            let exact = crate::optimal::minimize_finish_time_partitioned(
+            // The observed variant's telemetry (per-branch samples and
+            // SearchStatsRecorded events) is replayed in frontier
+            // order with fixed per-branch budgets, so the trace stays
+            // byte-identical at every thread count (DESIGN.md §12).
+            let exact = crate::optimal::minimize_finish_time_partitioned_observed(
                 problem.graph(),
                 constraints.p_max(),
                 problem.background_power(),
                 &exact_config,
                 exact_workers,
+                crate::telemetry::SEARCH_SAMPLE_INTERVAL,
+                obs,
             );
             if let Ok(exact) = exact {
                 let candidate_problem = problem.clone();

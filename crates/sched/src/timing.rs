@@ -19,6 +19,7 @@
 use crate::config::{CommitOrder, SchedulerConfig, SchedulerStats};
 use crate::context::ScheduleContext;
 use crate::error::ScheduleError;
+use crate::telemetry::{SearchStats, SEARCH_SAMPLE_INTERVAL};
 use pas_core::Schedule;
 use pas_graph::{ConstraintGraph, TaskId};
 use pas_obs::{CountingObserver, Observer, StageKind, TraceEvent};
@@ -114,7 +115,18 @@ pub(crate) fn schedule_timing_ctx<O: Observer>(
         CommitOrder::Rotated(k) => k,
         _ => 0,
     };
-    match commit_all(
+    let mut meter = TimingMeter {
+        stats: SearchStats {
+            budget: config.max_backtracks as u64,
+            ..SearchStats::default()
+        },
+        sample_every: if obs.is_enabled() {
+            SEARCH_SAMPLE_INTERVAL
+        } else {
+            0
+        },
+    };
+    let outcome = commit_all(
         graph,
         ctx,
         &mut committed,
@@ -122,16 +134,29 @@ pub(crate) fn schedule_timing_ctx<O: Observer>(
         &mut budget,
         rotation,
         &mut rng,
+        &mut meter,
         obs,
-    ) {
+    );
+    match outcome {
         CommitOutcome::Done => {
             let lp = ctx
                 .longest_paths(graph, obs)
                 .expect("final serialization was checked feasible");
-            Ok(Schedule::from_longest_paths(graph, &lp))
+            let schedule = Schedule::from_longest_paths(graph, &lp);
+            meter.stats.incumbent_improvements = 1;
+            if obs.is_enabled() {
+                obs.on_event(&TraceEvent::IncumbentImproved {
+                    worker: 0,
+                    nodes: meter.stats.nodes,
+                    finish: schedule.finish_time(graph),
+                });
+            }
+            meter.stats.emit(0, obs);
+            Ok(schedule)
         }
         CommitOutcome::Dead | CommitOutcome::OutOfBudget => {
             ctx.undo_to(graph, &outer_mark);
+            meter.stats.emit(0, obs);
             Err(ScheduleError::TimingSearchExhausted {
                 backtracks: config.max_backtracks,
             })
@@ -143,6 +168,19 @@ enum CommitOutcome {
     Done,
     Dead,
     OutOfBudget,
+}
+
+/// Branch-free search counters for one timing-scheduler run plus the
+/// deterministic sampling rule (`SearchSample` every
+/// [`SEARCH_SAMPLE_INTERVAL`] commits — commit-count-triggered, never
+/// wall-clock, so traces stay byte-identical across thread counts).
+/// For this search `nodes` counts task commits, `pruned_dominance`
+/// counts serializations abandoned as infeasible, and `budget` is the
+/// backtrack budget (its utilization is tracked by `TopoBacktrack`
+/// events, not `nodes`).
+struct TimingMeter {
+    stats: SearchStats,
+    sample_every: u64,
 }
 
 /// Recursively commits tasks in every feasible topological order until
@@ -157,6 +195,7 @@ fn commit_all<O: Observer>(
     budget: &mut usize,
     rotation: usize,
     rng: &mut Option<StdRng>,
+    meter: &mut TimingMeter,
     obs: &mut O,
 ) -> CommitOutcome {
     if num_committed == graph.num_tasks() {
@@ -192,12 +231,26 @@ fn commit_all<O: Observer>(
 
     for c in candidates {
         if *budget == 0 {
+            meter.stats.pruned_budget += 1;
             return CommitOutcome::OutOfBudget;
         }
         let mark = ctx.mark(graph);
         committed[c.index()] = true;
+        meter.stats.nodes += 1;
+        let depth = (num_committed + 1) as u32;
+        if depth > meter.stats.max_depth {
+            meter.stats.max_depth = depth;
+        }
         if obs.is_enabled() {
             obs.on_event(&TraceEvent::TaskCommitted { task: c });
+            if meter.sample_every != 0 && meter.stats.nodes % meter.sample_every == 0 {
+                obs.on_event(&TraceEvent::SearchSample {
+                    worker: 0,
+                    nodes: meter.stats.nodes,
+                    depth,
+                    best: -1, // the timing search has no incumbent
+                });
+            }
         }
 
         // Serialize every uncommitted same-resource task after c.
@@ -226,12 +279,15 @@ fn commit_all<O: Observer>(
                 budget,
                 rotation,
                 rng,
+                meter,
                 obs,
             ) {
                 CommitOutcome::Done => return CommitOutcome::Done,
                 CommitOutcome::OutOfBudget => return CommitOutcome::OutOfBudget,
                 CommitOutcome::Dead => {}
             }
+        } else {
+            meter.stats.pruned_dominance += 1;
         }
 
         committed[c.index()] = false;

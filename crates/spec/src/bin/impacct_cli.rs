@@ -17,6 +17,10 @@
 //! impacct-cli lint <problem.pasdl> [--format human|json]
 //! impacct-cli print <problem.pasdl>       # parse + pretty-print
 //! impacct-cli generate <tasks> [--seed <n>] [--layers <n>]  # synthetic PASDL
+//! impacct-cli profile <problem.pasdl> [--threads-list 1,2,4,8]
+//!                     [--max-nodes <n>] [--sample-every <n>]
+//!                     [--out BENCH_profile.json] [--chrome-trace <out.json>]
+//!                     [--metrics <out.prom>] [--collapsed <out.txt>] [--quiet]
 //! ```
 //!
 //! `schedule` runs the pipeline up to the requested stage (default
@@ -49,6 +53,19 @@
 //! problem, reporting every violation. `lint` runs the `pas-lint`
 //! static passes over a problem without scheduling it and exits
 //! non-zero when any error-level diagnostic fires.
+//!
+//! `profile` sweeps the exact branch-and-bound over a list of thread
+//! counts and reports, per count, the measured wall time, per-worker
+//! busy/idle fractions, the prune-reason breakdown, and per-branch
+//! budget utilization — then runs an explicit heuristic over the
+//! evidence to name the dominant cause of any parallel regression
+//! (oversubscription, frontier shortage, budget skew, shared-bound
+//! contention, or generic starvation). The search telemetry is
+//! deterministic (node-count-sampled, DESIGN.md §12/§13), and the
+//! command cross-checks that the trace is byte-identical at every
+//! thread count; wall-clock and contention numbers come from the
+//! `pas-par` side channel and are never traced. Results are written
+//! as `BENCH_profile.json`.
 
 use pas_core::analyze;
 use pas_core::describe_spike;
@@ -91,6 +108,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "lint" => cmd_lint(&args[1..]),
         "print" => cmd_print(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
+        "profile" => cmd_profile(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -113,7 +131,10 @@ fn usage() -> String {
      impacct-cli validate <problem.pasdl> <schedule.pasdl>\n  \
      impacct-cli lint <problem.pasdl> [--format human|json]\n  \
      impacct-cli print <problem.pasdl>\n  \
-     impacct-cli generate <tasks> [--seed <n>] [--layers <n>]"
+     impacct-cli generate <tasks> [--seed <n>] [--layers <n>]\n  \
+     impacct-cli profile <problem.pasdl> [--threads-list 1,2,4,8] [--max-nodes <n>] \
+     [--sample-every <n>] [--out BENCH_profile.json] [--chrome-trace <out.json>] \
+     [--metrics <out.prom>] [--collapsed <out.txt>] [--quiet]"
         .to_string()
 }
 
@@ -599,5 +620,500 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         ..pas_workload::GeneratorConfig::default()
     });
     print!("{}", print_problem(&problem));
+    Ok(())
+}
+
+/// One thread count's worth of profile evidence.
+struct SweepPoint {
+    threads: usize,
+    outcome: String,
+    wall_s: f64,
+    nodes: u64,
+    prunes: [u64; 4],
+    max_depth: u32,
+    budget_utilization: f64,
+    branch_nodes: Vec<u64>,
+    workers: Vec<pas_sched::WorkerProfile>,
+    pool_wall: std::time::Duration,
+    shared_wall_s: f64,
+    shared: pas_sched::SharedMinStats,
+}
+
+/// Coefficient of variation (stddev / mean) of per-branch node
+/// counts — the budget-skew signal. `0.0` for fewer than two branches.
+fn nodes_cov(branch_nodes: &[u64]) -> f64 {
+    if branch_nodes.len() < 2 {
+        return 0.0;
+    }
+    let n = branch_nodes.len() as f64;
+    let mean = branch_nodes.iter().map(|&x| x as f64).sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = branch_nodes
+        .iter()
+        .map(|&x| (x as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    var.sqrt() / mean
+}
+
+/// Classifies a search result for the profile report.
+fn outcome_label(
+    result: &Result<pas_sched::optimal::OptimalOutcome, pas_sched::ScheduleError>,
+) -> String {
+    match result {
+        Ok(_) => "optimal".to_string(),
+        Err(pas_sched::ScheduleError::TimingSearchExhausted { .. }) => "exhausted".to_string(),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+/// Minimal JSON string escaping for model names embedded in the
+/// profile report.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The explicit dominant-cause heuristic over the max-thread-count
+/// evidence, checked in order of diagnostic specificity. Returns
+/// `(cause, explanation)`.
+fn diagnose(point: &SweepPoint, available: usize, frontier: usize) -> (String, String) {
+    let threads = point.threads;
+    let idle: f64 = if point.workers.is_empty() {
+        0.0
+    } else {
+        point
+            .workers
+            .iter()
+            .map(|w| w.idle_fraction(point.pool_wall))
+            .sum::<f64>()
+            / point.workers.len() as f64
+    };
+    let cov = nodes_cov(&point.branch_nodes);
+    let contention = point.shared.contention_rate();
+    let staleness = point.shared.staleness_rate();
+    if available < threads {
+        return (
+            "oversubscription".into(),
+            format!(
+                "the host exposes {available} hardware thread(s) but the sweep asked for \
+                 {threads}; extra workers time-slice cores instead of adding throughput"
+            ),
+        );
+    }
+    if frontier < threads {
+        return (
+            "frontier-shortage".into(),
+            format!(
+                "the depth-0 frontier has only {frontier} branch(es) for {threads} workers; \
+                 {excess} worker(s) have no work by construction (mean idle {idle:.0}%)",
+                excess = threads - frontier,
+                idle = idle * 100.0
+            ),
+        );
+    }
+    if cov > 0.75 && idle > 0.25 {
+        return (
+            "budget-skew".into(),
+            format!(
+                "per-branch node counts vary wildly (CoV {cov:.2}) while workers sit idle \
+                 {idle:.0}% of the wall on average: the even max_nodes split starves small \
+                 branches and the big branch serializes the tail",
+                idle = idle * 100.0
+            ),
+        );
+    }
+    if staleness > 0.25 || contention > 0.05 {
+        return (
+            "contention".into(),
+            format!(
+                "the shared incumbent bound shows {staleness:.0}% wasted refinements and \
+                 {cas:.2} failed CAS per refine: workers duplicate discovery work off \
+                 stale bounds",
+                staleness = staleness * 100.0,
+                cas = contention
+            ),
+        );
+    }
+    if idle > 0.5 {
+        return (
+            "idle-starvation".into(),
+            format!(
+                "workers average {idle:.0}% idle with no single dominating signal; the \
+                 search does not decompose into enough parallel work at this size",
+                idle = idle * 100.0
+            ),
+        );
+    }
+    (
+        "none".into(),
+        "workers stay busy, branch sizes are balanced, and the shared bound is quiet".into(),
+    )
+}
+
+/// `profile` — threads sweep over the exact B&B with the search
+/// telemetry and the `pas-par` wall-clock side channel, plus the
+/// dominant-cause heuristic. See the module docs for the report's
+/// shape.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut threads_list = vec![1usize, 2, 4, 8];
+    let mut max_nodes = 200_000u64;
+    let mut sample_every_flag: Option<u64> = None;
+    let mut out = "BENCH_profile.json".to_string();
+    let mut chrome_out = None;
+    let mut metrics_out = None;
+    let mut collapsed_out = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads-list" => {
+                threads_list = it
+                    .next()
+                    .ok_or("--threads-list needs a comma-separated list")?
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|n| *n > 0)
+                            .ok_or_else(|| format!("bad thread count {t:?}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if threads_list.is_empty() {
+                    return Err("--threads-list needs at least one thread count".into());
+                }
+            }
+            "--max-nodes" => {
+                max_nodes = it
+                    .next()
+                    .ok_or("--max-nodes needs a value")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --max-nodes: {e}"))?
+            }
+            "--sample-every" => {
+                sample_every_flag = Some(
+                    it.next()
+                        .ok_or("--sample-every needs a value")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad --sample-every: {e}"))?,
+                )
+            }
+            "--out" => out = it.next().ok_or("--out needs a path")?.clone(),
+            "--chrome-trace" => {
+                chrome_out = Some(it.next().ok_or("--chrome-trace needs a path")?.clone())
+            }
+            "--metrics" => metrics_out = Some(it.next().ok_or("--metrics needs a path")?.clone()),
+            "--collapsed" => {
+                collapsed_out = Some(it.next().ok_or("--collapsed needs a path")?.clone())
+            }
+            "--quiet" => quiet = true,
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.ok_or_else(usage)?;
+    let problem = parse_problem(&read(&path)?).map_err(|e| e.to_string())?;
+    let model = problem.name().to_string();
+    let graph = problem.graph();
+    let p_max = problem.constraints().p_max();
+    let background = problem.background_power();
+    let config = pas_sched::optimal::OptimalConfig {
+        max_nodes,
+        horizon: None,
+    };
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // Default the sample interval to ~256 samples over the node
+    // budget (still node-count-triggered, so still deterministic);
+    // the library default interval would under-sample small budgets.
+    let sample_every = sample_every_flag
+        .unwrap_or_else(|| pas_sched::SEARCH_SAMPLE_INTERVAL.min((max_nodes / 256).max(1)));
+
+    let mut reference_trace: Option<Vec<pas_obs::TraceEvent>> = None;
+    let mut points: Vec<SweepPoint> = Vec::new();
+    for &threads in &threads_list {
+        // Deterministic partitioned search: telemetry + pool profile.
+        let mut rec = pas_obs::RecordingObserver::new();
+        let (result, pool) = pas_sched::optimal::minimize_finish_time_partitioned_profiled(
+            graph,
+            p_max,
+            background,
+            &config,
+            threads,
+            sample_every,
+            &mut rec,
+        );
+        let events = rec.into_events();
+        // The determinism contract, enforced: the sampled trace must
+        // be byte-identical at every thread count.
+        match &reference_trace {
+            None => reference_trace = Some(events.clone()),
+            Some(reference) => {
+                if *reference != events {
+                    return Err(format!(
+                        "telemetry diverged at {threads} thread(s): the search trace must \
+                         be identical at every thread count (DESIGN.md §12)"
+                    ));
+                }
+            }
+        }
+        let mut prunes = [0u64; 4];
+        let mut nodes = 0u64;
+        let mut budget_total = 0u64;
+        let mut max_depth = 0u32;
+        let mut branch_nodes = Vec::new();
+        for event in &events {
+            if let pas_obs::TraceEvent::SearchStatsRecorded {
+                nodes: n,
+                pruned_incumbent,
+                pruned_dominance,
+                pruned_horizon,
+                pruned_budget,
+                max_depth: depth,
+                budget,
+                ..
+            } = event
+            {
+                prunes[0] += pruned_incumbent;
+                prunes[1] += pruned_dominance;
+                prunes[2] += pruned_horizon;
+                prunes[3] += pruned_budget;
+                nodes += n;
+                budget_total += budget;
+                max_depth = max_depth.max(*depth);
+                branch_nodes.push(*n);
+            }
+        }
+
+        // Shared-bound probe: contention evidence (nondeterministic
+        // side channel, never traced).
+        let shared_started = std::time::Instant::now();
+        let (shared_result, shared_stats, _shared_pool) =
+            pas_sched::optimal::minimize_finish_time_parallel_profiled(
+                graph, p_max, background, &config, threads,
+            );
+        let shared_wall_s = shared_started.elapsed().as_secs_f64();
+        drop(shared_result);
+
+        points.push(SweepPoint {
+            threads,
+            outcome: outcome_label(&result),
+            wall_s: pool.wall.as_secs_f64(),
+            nodes,
+            prunes,
+            max_depth,
+            budget_utilization: if budget_total == 0 {
+                0.0
+            } else {
+                nodes as f64 / budget_total as f64
+            },
+            branch_nodes,
+            workers: pool.workers.clone(),
+            pool_wall: pool.wall,
+            shared_wall_s,
+            shared: shared_stats,
+        });
+    }
+
+    let frontier = points.first().map(|p| p.branch_nodes.len()).unwrap_or(0);
+    let max_point = points
+        .iter()
+        .max_by_key(|p| p.threads)
+        .expect("at least one thread count");
+    let best_other_wall = points
+        .iter()
+        .filter(|p| p.threads < max_point.threads)
+        .map(|p| p.wall_s)
+        .fold(f64::INFINITY, f64::min);
+    let regression = best_other_wall.is_finite() && max_point.wall_s > best_other_wall * 1.05;
+    let (cause, explanation) = diagnose(max_point, available, frontier);
+
+    if !quiet {
+        println!("profile: {model} ({} tasks, frontier {frontier}, max_nodes {max_nodes}, host parallelism {available})",
+                 graph.num_tasks());
+        println!(
+            "{:>8} {:>10} {:>12} {:>10} {:>10} {:>12} {:>12}",
+            "threads", "wall s", "nodes", "outcome", "idle %", "budget use", "staleness %"
+        );
+        for p in &points {
+            let idle = if p.workers.is_empty() {
+                0.0
+            } else {
+                p.workers
+                    .iter()
+                    .map(|w| w.idle_fraction(p.pool_wall))
+                    .sum::<f64>()
+                    / p.workers.len() as f64
+            };
+            println!(
+                "{:>8} {:>10.3} {:>12} {:>10} {:>9.0}% {:>11.0}% {:>11.0}%",
+                p.threads,
+                p.wall_s,
+                p.nodes,
+                p.outcome,
+                idle * 100.0,
+                p.budget_utilization * 100.0,
+                p.shared.staleness_rate() * 100.0,
+            );
+        }
+        println!(
+            "prune breakdown (all branches): incumbent={} dominance={} horizon={} budget={}",
+            max_point.prunes[0], max_point.prunes[1], max_point.prunes[2], max_point.prunes[3]
+        );
+        println!("per-worker accounting at {} thread(s):", max_point.threads);
+        for w in &max_point.workers {
+            println!(
+                "  worker {:>2}: items={:>4} busy={:>8.3}s wait={:>8.3}s busy_fraction={:.2}",
+                w.worker,
+                w.items,
+                w.busy.as_secs_f64(),
+                w.wait.as_secs_f64(),
+                w.busy_fraction(max_point.pool_wall),
+            );
+        }
+        if regression {
+            println!(
+                "regression: wall at {} thread(s) ({:.3}s) exceeds the best smaller-count wall ({:.3}s)",
+                max_point.threads, max_point.wall_s, best_other_wall
+            );
+        }
+        println!("dominant cause: {cause} — {explanation}");
+    }
+
+    // Fold the (thread-count-invariant) telemetry into a registry for
+    // the optional Prometheus / Chrome-trace / collapsed-stack exports.
+    if metrics_out.is_some() || chrome_out.is_some() || collapsed_out.is_some() {
+        let mut registry = MetricsRegistry::new();
+        registry.set_source(&model);
+        if let Some(events) = &reference_trace {
+            for event in events {
+                registry.on_event(event);
+            }
+        }
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, registry.render_prometheus())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            if !quiet {
+                println!("wrote {path}");
+            }
+        }
+        if let Some(path) = &chrome_out {
+            std::fs::write(path, registry.chrome_trace())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            if !quiet {
+                println!("wrote {path}");
+            }
+        }
+        if let Some(path) = &collapsed_out {
+            std::fs::write(path, registry.render_collapsed())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            if !quiet {
+                println!("wrote {path}");
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for p in &points {
+        let workers = p
+            .workers
+            .iter()
+            .map(|w| {
+                format!(
+                    concat!(
+                        "{{\"worker\": {}, \"items\": {}, \"busy_s\": {:.6}, ",
+                        "\"wait_s\": {:.6}, \"busy_fraction\": {:.4}, \"idle_fraction\": {:.4}}}"
+                    ),
+                    w.worker,
+                    w.items,
+                    w.busy.as_secs_f64(),
+                    w.wait.as_secs_f64(),
+                    w.busy_fraction(p.pool_wall),
+                    w.idle_fraction(p.pool_wall),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let branch_nodes = p
+            .branch_nodes
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        rows.push(format!(
+            concat!(
+                "    {{\"threads\": {}, \"outcome\": \"{}\", \"wall_s\": {:.6}, ",
+                "\"shared_bound_wall_s\": {:.6}, \"nodes\": {}, \"max_depth\": {}, ",
+                "\"prunes\": {{\"incumbent\": {}, \"dominance\": {}, \"horizon\": {}, ",
+                "\"budget\": {}}}, \"budget_utilization\": {:.4}, ",
+                "\"branch_nodes\": [{}], \"branch_nodes_cov\": {:.4}, ",
+                "\"shared_min\": {{\"refine_calls\": {}, \"refine_wins\": {}, ",
+                "\"stale_refines\": {}, \"lost_races\": {}, \"cas_failures\": {}, ",
+                "\"get_calls\": {}, \"contention_rate\": {:.4}, \"staleness_rate\": {:.4}}}, ",
+                "\"workers\": [{}]}}"
+            ),
+            p.threads,
+            json_escape(&p.outcome),
+            p.wall_s,
+            p.shared_wall_s,
+            p.nodes,
+            p.max_depth,
+            p.prunes[0],
+            p.prunes[1],
+            p.prunes[2],
+            p.prunes[3],
+            p.budget_utilization,
+            branch_nodes,
+            nodes_cov(&p.branch_nodes),
+            p.shared.refine_calls,
+            p.shared.refine_wins,
+            p.shared.stale_refines,
+            p.shared.lost_races,
+            p.shared.cas_failures,
+            p.shared.get_calls,
+            p.shared.contention_rate(),
+            p.shared.staleness_rate(),
+            workers,
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n  \"schema\": \"impacct-profile/v1\",\n  \"model\": \"{}\",\n",
+            "  \"tasks\": {},\n  \"frontier\": {},\n  \"available_parallelism\": {},\n",
+            "  \"max_nodes\": {},\n  \"sample_every\": {},\n",
+            "  \"sweep\": [\n{}\n  ],\n",
+            "  \"diagnosis\": {{\"regression_at_max_threads\": {}, ",
+            "\"dominant_cause\": \"{}\", \"explanation\": \"{}\"}}\n}}\n"
+        ),
+        json_escape(&model),
+        graph.num_tasks(),
+        frontier,
+        available,
+        max_nodes,
+        sample_every,
+        rows.join(",\n"),
+        regression,
+        json_escape(&cause),
+        json_escape(&explanation),
+    );
+    std::fs::write(&out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    if !quiet {
+        println!("wrote {out}");
+    }
     Ok(())
 }

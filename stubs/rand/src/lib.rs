@@ -1,0 +1,215 @@
+//! Deterministic, dependency-free stand-in for the subset of the
+//! `rand` 0.8 API this workspace uses (`StdRng`, `SeedableRng`,
+//! `Rng::gen_range`/`gen_bool`, `SliceRandom::shuffle`).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace patches `rand` to this stub (see `[patch.crates-io]` in
+//! the root manifest and `stubs/README.md`). The generator is
+//! SplitMix64: fully deterministic for a given seed, which is all the
+//! repo's seeded heuristics and workload generators require. It is
+//! NOT a cryptographic or statistically rigorous RNG.
+
+#![forbid(unsafe_code)]
+
+/// Constructs a generator from seed material. Only the `seed_from_u64`
+/// entry point the workspace uses is provided.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing random-value methods, generic over the generator.
+pub trait Rng {
+    /// The core 64-bit output all other methods derive from.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `range` (half-open or inclusive integer and
+    /// float ranges). Panics on an empty range, like `rand` does.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(&mut |bound| next_below(self, bound))
+    }
+
+    /// `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        to_unit_f64(self.next_u64()) < p
+    }
+}
+
+fn to_unit_f64(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1).
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uniform `u64` below `bound` (`bound == 0` means the full domain).
+fn next_below<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    if bound == 0 {
+        return rng.next_u64();
+    }
+    // Multiply-shift bounding; the slight bias is irrelevant for the
+    // deterministic heuristics this stub feeds.
+    let wide = u128::from(rng.next_u64()) * u128::from(bound);
+    (wide >> 64) as u64
+}
+
+/// A range a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one value; `draw(bound)` returns a uniform `u64` below
+    /// `bound` (full domain when `bound == 0`).
+    fn sample_from(self, draw: &mut dyn FnMut(u64) -> u64) -> T;
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(self, draw: &mut dyn FnMut(u64) -> u64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = if span > u128::from(u64::MAX) {
+                    u128::from(draw(0))
+                } else {
+                    u128::from(draw(span as u64))
+                };
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(self, draw: &mut dyn FnMut(u64) -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = if span > u128::from(u64::MAX) {
+                    u128::from(draw(0))
+                } else {
+                    u128::from(draw(span as u64))
+                };
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from(self, draw: &mut dyn FnMut(u64) -> u64) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + to_unit_f64(draw(0)) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_from(self, draw: &mut dyn FnMut(u64) -> u64) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + to_unit_f64(draw(0)) * (hi - lo)
+    }
+}
+
+/// Generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard deterministic generator (SplitMix64 here; the
+    /// real crate's `StdRng` is ChaCha12 — callers only rely on
+    /// determinism for a fixed seed, which both provide).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling (Fisher–Yates), the only `SliceRandom` method
+    /// the workspace uses.
+    pub trait SliceRandom {
+        /// Uniformly permutes the slice in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let bound = (i + 1) as u64;
+                let wide = u128::from(rng.next_u64()) * u128::from(bound);
+                let j = (wide >> 64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-5i64..=9);
+            assert!((-5..=9).contains(&v));
+            let u: usize = rng.gen_range(0..3usize);
+            assert!(u < 3);
+            let f: f64 = rng.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..64 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..32).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 32-element shuffle should move something");
+    }
+}
