@@ -42,6 +42,7 @@ fn main() -> ExitCode {
     let config = OptimalConfig {
         max_nodes: 150_000,
         horizon: None,
+        use_lint_bounds: false,
     };
 
     let mut plain_min = Duration::MAX;

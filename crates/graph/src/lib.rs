@@ -62,6 +62,7 @@ pub mod longest_path;
 mod task;
 pub mod topo;
 pub mod units;
+pub mod window;
 
 pub use edge::{Edge, EdgeKind};
 pub use error::GraphError;
@@ -70,6 +71,7 @@ pub use id::{EdgeId, NodeId, ResourceId, TaskId};
 pub use incremental::IncrementalLongestPaths;
 pub use longest_path::{binding_in_edge, LongestPaths, PositiveCycle};
 pub use task::{Resource, ResourceKind, Task};
+pub use window::{completion_tails, propagate_windows, TaskWindows};
 
 #[cfg(test)]
 mod crate_tests {

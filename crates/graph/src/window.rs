@@ -1,0 +1,375 @@
+//! Joint ASAP/ALAP interval-window propagation with widening.
+//!
+//! The deep lint pass (`pas-lint::passes::interval`) interprets every
+//! task abstractly as a start-time interval `[asap(v), alap(v)]` under
+//! a completion deadline. This module computes all windows in one
+//! chaotic-iteration fixpoint over the constraint graph:
+//!
+//! ```text
+//! asap(v) = max( 0,            max over edges u→v of asap(u) + w )
+//! alap(v) = min( D − d(v),     min over edges v→u of alap(u) − w )
+//! ```
+//!
+//! Both transfer functions are monotone on the interval lattice
+//! (ordered by inclusion, ⊥ = `[0, D − d(v)]`, ⊤ = the empty
+//! interval), so chaotic iteration converges — and on a feasible
+//! graph it converges within `n` rounds, because each bound is a sum
+//! of edge weights along a simple path. A round counter acts as the
+//! **widening** operator: once `n + 1` rounds pass without
+//! stabilising, some bound is riding a positive cycle, and the value
+//! is widened straight to ⊤ — reported as the offending
+//! [`PositiveCycle`] via the independent Bellman–Ford oracle rather
+//! than iterated further. `DESIGN.md` §14 gives the full termination
+//! argument.
+//!
+//! The results are pinned to the two existing single-direction
+//! analyses ([`single_source_longest_paths`] and
+//! [`latest_start_times`]) by property tests: the fixpoint must agree
+//! with them bound-for-bound on every feasible graph.
+
+use crate::alap::latest_start_times;
+use crate::graph::ConstraintGraph;
+use crate::id::{NodeId, TaskId};
+use crate::longest_path::{bellman_ford_reference, PositiveCycle};
+use crate::units::{Time, TimeSpan};
+
+/// Per-task start-time windows `[asap, alap]` under a deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskWindows {
+    deadline: Time,
+    asap: Vec<Time>,
+    alap: Vec<Time>,
+}
+
+impl TaskWindows {
+    /// The deadline the windows were propagated under.
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// Earliest feasible start of `task`.
+    ///
+    /// # Panics
+    /// Panics if `task` is out of range.
+    pub fn asap(&self, task: TaskId) -> Time {
+        self.asap[task.index()]
+    }
+
+    /// Latest start of `task` compatible with the deadline.
+    ///
+    /// # Panics
+    /// Panics if `task` is out of range.
+    pub fn alap(&self, task: TaskId) -> Time {
+        self.alap[task.index()]
+    }
+
+    /// Scheduling freedom `alap − asap` of `task` (never negative on a
+    /// successfully propagated result).
+    ///
+    /// # Panics
+    /// Panics if `task` is out of range.
+    pub fn slack(&self, task: TaskId) -> TimeSpan {
+        self.alap[task.index()] - self.asap[task.index()]
+    }
+}
+
+/// Propagates ASAP/ALAP windows for every task under `deadline` by a
+/// joint forward/backward interval fixpoint (see the module docs for
+/// the lattice and widening argument).
+///
+/// # Errors
+/// Returns the offending [`PositiveCycle`] when the timing constraints
+/// are unsatisfiable, or a degenerate single-node cycle when a task's
+/// window is empty (`alap < asap`: the deadline cannot be met).
+///
+/// # Examples
+/// ```
+/// use pas_graph::units::{Power, Time, TimeSpan};
+/// use pas_graph::window::propagate_windows;
+/// use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = ConstraintGraph::new();
+/// let r = g.add_resource(Resource::new("R", ResourceKind::Compute));
+/// let a = g.add_task(Task::new("a", r, TimeSpan::from_secs(3), Power::ZERO));
+/// let b = g.add_task(Task::new("b", r, TimeSpan::from_secs(2), Power::ZERO));
+/// g.precedence(a, b);
+/// let w = propagate_windows(&g, Time::from_secs(10))?;
+/// assert_eq!(w.asap(b).as_secs(), 3);
+/// assert_eq!(w.alap(b).as_secs(), 8);
+/// assert_eq!(w.alap(a).as_secs(), 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn propagate_windows(
+    graph: &ConstraintGraph,
+    deadline: Time,
+) -> Result<TaskWindows, PositiveCycle> {
+    let n = graph.num_nodes();
+    // Bottom element per node: the anchor is pinned at [0, 0]; a task
+    // starts no earlier than 0 and no later than D − d(v).
+    let mut asap: Vec<Time> = vec![Time::ZERO; n];
+    let mut alap: Vec<Time> = (0..n)
+        .map(|i| {
+            if i == 0 {
+                Time::ZERO
+            } else {
+                deadline - graph.task(TaskId::from_index(i - 1)).delay()
+            }
+        })
+        .collect();
+
+    let mut changed = true;
+    let mut rounds = 0usize;
+    while changed {
+        changed = false;
+        rounds += 1;
+        if rounds > n + 1 {
+            // Widening: a bound still moving after n rounds cannot be
+            // a simple-path sum, so it rides a positive cycle. Jump to
+            // ⊤ and let the oracle extract the witness.
+            return Err(bellman_ford_reference(graph, NodeId::ANCHOR)
+                .err()
+                .unwrap_or_else(|| PositiveCycle {
+                    nodes: vec![NodeId::ANCHOR],
+                    total_weight: TimeSpan::from_secs(1),
+                }));
+        }
+        for (_, e) in graph.edges() {
+            // Forward: σ(to) ≥ σ(from) + w tightens asap(to).
+            let lo = asap[e.from().index()] + e.weight();
+            if lo > asap[e.to().index()] {
+                asap[e.to().index()] = lo;
+                changed = true;
+            }
+            // Backward: the same inequality read right-to-left
+            // tightens alap(from). The anchor's time is fixed at 0
+            // and never relaxed.
+            if !e.from().is_anchor() {
+                let hi = alap[e.to().index()] - e.weight();
+                if hi < alap[e.from().index()] {
+                    alap[e.from().index()] = hi;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Empty window ⇒ the deadline is unmeetable for that task; report
+    // the same degenerate witness shape as `latest_start_times`.
+    for t in graph.task_ids() {
+        let (lo, hi) = (asap[t.node().index()], alap[t.node().index()]);
+        if hi < lo {
+            return Err(PositiveCycle {
+                nodes: vec![t.node()],
+                total_weight: lo - hi,
+            });
+        }
+    }
+
+    let asap = graph.task_ids().map(|t| asap[t.node().index()]).collect();
+    let alap = graph.task_ids().map(|t| alap[t.node().index()]).collect();
+    Ok(TaskWindows {
+        deadline,
+        asap,
+        alap,
+    })
+}
+
+/// Completion tails: for every task `v`, a lower bound on
+/// `finish(σ) − σ(v)` valid for **every** feasible schedule `σ` — the
+/// weight of the heaviest precedence chain out of `v`, plus the delay
+/// of the chain's last task:
+///
+/// ```text
+/// tail(v) = max( d(v),  max over precedence edges v→u of w + tail(u) )
+/// ```
+///
+/// The exact B&B uses tails as admissible pruning bounds: a partial
+/// schedule placing `v` at `s` can never finish before `s + tail(v)`
+/// (`DESIGN.md` §14). Only precedence edges (forward, non-negative)
+/// contribute; backward max-separation edges would form cycles and
+/// can only weaken the bound. A degenerate zero-weight precedence
+/// cycle is broken conservatively (the bound stays valid, it just
+/// stops growing).
+pub fn completion_tails(graph: &ConstraintGraph) -> Vec<TimeSpan> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Fresh,
+        Visiting,
+        Done,
+    }
+    let n = graph.num_tasks();
+    let mut tails: Vec<TimeSpan> = (0..n)
+        .map(|i| graph.task(TaskId::from_index(i)).delay())
+        .collect();
+    let mut marks = vec![Mark::Fresh; n];
+
+    // Iterative DFS so deep chains cannot overflow the stack.
+    for root in graph.task_ids() {
+        if marks[root.index()] != Mark::Fresh {
+            continue;
+        }
+        let mut stack: Vec<(TaskId, bool)> = vec![(root, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                let mut best = graph.task(v).delay();
+                for (_, e) in graph.out_edges(v.node()) {
+                    if !e.is_precedence() {
+                        continue;
+                    }
+                    if let Some(u) = e.to().task() {
+                        if marks[u.index()] == Mark::Done {
+                            best = best.max(e.weight() + tails[u.index()]);
+                        }
+                    }
+                }
+                tails[v.index()] = best;
+                marks[v.index()] = Mark::Done;
+                continue;
+            }
+            if marks[v.index()] != Mark::Fresh {
+                continue;
+            }
+            marks[v.index()] = Mark::Visiting;
+            stack.push((v, true));
+            for (_, e) in graph.out_edges(v.node()) {
+                if !e.is_precedence() {
+                    continue;
+                }
+                if let Some(u) = e.to().task() {
+                    if marks[u.index()] == Mark::Fresh {
+                        stack.push((u, false));
+                    }
+                }
+            }
+        }
+    }
+    tails
+}
+
+/// Convenience wrapper pairing [`propagate_windows`] with the
+/// single-direction ALAP analysis it must agree with — used by tests
+/// and kept public as the cheap "is this deadline even window-
+/// consistent" probe.
+///
+/// # Errors
+/// Same conditions as [`propagate_windows`].
+pub fn windows_agree_with_alap(
+    graph: &ConstraintGraph,
+    deadline: Time,
+) -> Result<bool, PositiveCycle> {
+    let w = propagate_windows(graph, deadline)?;
+    let alap = latest_start_times(graph, deadline)?;
+    Ok(graph.task_ids().all(|t| w.alap(t) == alap.start_time(t)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::longest_path::single_source_longest_paths;
+    use crate::task::{Resource, ResourceKind, Task};
+    use crate::units::Power;
+
+    fn chain(n: usize, d: i64) -> (ConstraintGraph, Vec<TaskId>) {
+        let mut g = ConstraintGraph::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                let r = g.add_resource(Resource::new(format!("R{i}"), ResourceKind::Compute));
+                g.add_task(Task::new(
+                    format!("t{i}"),
+                    r,
+                    TimeSpan::from_secs(d),
+                    Power::ZERO,
+                ))
+            })
+            .collect();
+        for w in ids.windows(2) {
+            g.precedence(w[0], w[1]);
+        }
+        (g, ids)
+    }
+
+    /// The joint fixpoint is pinned to the Bellman–Ford-based
+    /// single-direction analyses, bound for bound.
+    #[test]
+    fn fixpoint_matches_the_single_direction_oracles() {
+        let (mut g, ids) = chain(6, 4);
+        g.min_separation(ids[0], ids[4], TimeSpan::from_secs(20));
+        g.max_separation(ids[1], ids[5], TimeSpan::from_secs(90));
+        g.release(ids[2], Time::from_secs(11));
+        let deadline = Time::from_secs(60);
+
+        let w = propagate_windows(&g, deadline).unwrap();
+        let asap = single_source_longest_paths(&g, NodeId::ANCHOR).unwrap();
+        let alap = latest_start_times(&g, deadline).unwrap();
+        for t in g.task_ids() {
+            assert_eq!(w.asap(t), asap.start_time(t), "{t:?} asap");
+            assert_eq!(w.alap(t), alap.start_time(t), "{t:?} alap");
+            assert!(!w.slack(t).is_negative());
+        }
+        assert!(windows_agree_with_alap(&g, deadline).unwrap());
+    }
+
+    #[test]
+    fn positive_cycle_is_widened_to_an_error() {
+        let (mut g, ids) = chain(3, 4);
+        g.max_separation(ids[0], ids[2], TimeSpan::from_secs(2)); // chain needs 8
+        let err = propagate_windows(&g, Time::from_secs(100)).unwrap_err();
+        assert!(err.total_weight.is_positive());
+    }
+
+    #[test]
+    fn unmeetable_deadline_is_an_empty_window() {
+        let (g, _) = chain(3, 4);
+        // Critical path 12 > deadline 11.
+        let err = propagate_windows(&g, Time::from_secs(11)).unwrap_err();
+        assert!(err.total_weight.is_positive());
+        assert!(propagate_windows(&g, Time::from_secs(12)).is_ok());
+    }
+
+    #[test]
+    fn tails_accumulate_along_the_heaviest_chain() {
+        let (mut g, ids) = chain(4, 3);
+        // A heavier side chain out of t1.
+        let r = g.add_resource(Resource::new("S", ResourceKind::Compute));
+        let s = g.add_task(Task::new("s", r, TimeSpan::from_secs(20), Power::ZERO));
+        g.precedence(ids[1], s);
+        let tails = completion_tails(&g);
+        // t3: just itself. t2: 3 + 3. t1: max(3+3+3, 3+20) = 23.
+        assert_eq!(tails[ids[3].index()].as_secs(), 3);
+        assert_eq!(tails[ids[2].index()].as_secs(), 6);
+        assert_eq!(tails[ids[1].index()].as_secs(), 23);
+        assert_eq!(tails[ids[0].index()].as_secs(), 26);
+        assert_eq!(tails[s.index()].as_secs(), 20);
+    }
+
+    /// Admissibility: for the ASAP schedule (a feasible one), every
+    /// task's start plus its tail stays within the schedule finish.
+    #[test]
+    fn tails_are_admissible_on_the_asap_schedule() {
+        let (mut g, ids) = chain(5, 2);
+        g.min_separation(ids[0], ids[3], TimeSpan::from_secs(9));
+        let asap = single_source_longest_paths(&g, NodeId::ANCHOR).unwrap();
+        let finish = g
+            .task_ids()
+            .map(|t| asap.start_time(t) + g.task(t).delay())
+            .max()
+            .unwrap();
+        let tails = completion_tails(&g);
+        for t in g.task_ids() {
+            assert!(
+                asap.start_time(t) + tails[t.index()] <= finish,
+                "{t:?}: tail overshoots the ASAP finish"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_precedence_cycle_does_not_hang_tails() {
+        let (mut g, ids) = chain(2, 3);
+        g.min_separation(ids[1], ids[0], TimeSpan::ZERO);
+        let tails = completion_tails(&g);
+        assert!(tails[ids[0].index()].as_secs() >= 3);
+    }
+}

@@ -1,0 +1,192 @@
+//! Admissible lower bounds exported by the deep lint pass for
+//! `pas-sched`'s exact branch-and-bound (the *bound-reuse contract*,
+//! DESIGN.md §14).
+//!
+//! Everything here is a pure function of the constraint graph and the
+//! power constraints, and every bound is **admissible**: it never
+//! exceeds the optimum of any schedule the search could return. The
+//! B&B may therefore prune with these bounds without changing which
+//! schedule it finds (only how many nodes it explores to find it).
+
+use pas_core::Problem;
+use pas_graph::longest_path::single_source_longest_paths;
+use pas_graph::units::{Power, Time, TimeSpan};
+use pas_graph::{completion_tails, NodeId, ResourceId};
+
+/// Aggregate execution demand pinned to one resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowDemand {
+    /// The resource.
+    pub resource: ResourceId,
+    /// Earliest start any of its tasks can manage.
+    pub release: Time,
+    /// Total serial execution time of its tasks.
+    pub demand: TimeSpan,
+}
+
+/// Lower bounds the deep lint pass proves about every feasible
+/// schedule, consumed by the exact B&B as admissible pruning bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintBounds {
+    /// No feasible schedule finishes before this instant. The max of
+    /// the critical-path, energy and resource-serial bounds.
+    pub makespan_lb: Time,
+    /// Total task energy `Σ p(v)·d(v)` in milliwatt-seconds — a lower
+    /// bound on the energy of every schedule.
+    pub energy_lb_mws: i128,
+    /// Per-resource release + serial demand, one entry per resource
+    /// that hosts at least one task.
+    pub per_window_demand: Vec<WindowDemand>,
+    /// `tails[v]`: a lower bound on `finish(σ) − σ(v)` in every
+    /// feasible schedule (see [`completion_tails`]).
+    pub tails: Vec<TimeSpan>,
+}
+
+/// Computes [`LintBounds`] for `problem`.
+///
+/// Infeasible timing graphs (positive cycles) get trivial bounds —
+/// the schedulers reject those before any bound is consulted.
+pub fn lint_bounds(problem: &Problem) -> LintBounds {
+    let graph = problem.graph();
+    let Ok(asap) = single_source_longest_paths(graph, NodeId::ANCHOR) else {
+        return LintBounds {
+            makespan_lb: Time::ZERO,
+            energy_lb_mws: 0,
+            per_window_demand: Vec::new(),
+            tails: Vec::new(),
+        };
+    };
+    let tails = completion_tails(graph);
+
+    // Critical path, strengthened by tails: finish ≥ σ(v) + tail(v)
+    // ≥ asap(v) + tail(v) for every task v.
+    let mut makespan_lb = Time::ZERO;
+    for t in graph.task_ids() {
+        makespan_lb = makespan_lb.max(asap.start_time(t) + tails[t.index()]);
+    }
+
+    // Energy: pushing Σ p·d through a P_max − background pipe needs
+    // ⌈E / headroom⌉ seconds.
+    let energy_lb_mws: i128 = graph
+        .tasks()
+        .map(|(_, t)| t.delay().as_secs() as i128 * t.power().as_milliwatts() as i128)
+        .sum();
+    let p_max = problem.constraints().p_max();
+    if p_max != Power::MAX {
+        let headroom = (p_max - problem.background_power()).as_milliwatts() as i128;
+        if headroom > 0 {
+            let lb = crate::certificate::ceil_div(energy_lb_mws, headroom);
+            makespan_lb = makespan_lb.max(Time::from_secs(lb.min(i64::MAX as i128) as i64));
+        }
+    }
+
+    // Resource-serial: tasks sharing an exclusive resource execute
+    // back-to-back, no earlier than their common release.
+    let mut per_window_demand = Vec::new();
+    for (r, _) in graph.resources() {
+        let mut release: Option<Time> = None;
+        let mut demand = TimeSpan::ZERO;
+        for t in graph.tasks_on(r) {
+            let s = asap.start_time(t);
+            release = Some(release.map_or(s, |cur| cur.min(s)));
+            demand += graph.task(t).delay();
+        }
+        if let Some(release) = release {
+            makespan_lb = makespan_lb.max(release + demand);
+            per_window_demand.push(WindowDemand {
+                resource: r,
+                release,
+                demand,
+            });
+        }
+    }
+
+    LintBounds {
+        makespan_lb,
+        energy_lb_mws,
+        per_window_demand,
+        tails,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_core::PowerConstraints;
+    use pas_graph::{ConstraintGraph, Resource, ResourceKind, Task};
+
+    fn chain_with_shared_resource() -> Problem {
+        let mut g = ConstraintGraph::new();
+        let cpu = g.add_resource(Resource::new("cpu", ResourceKind::Compute));
+        let io = g.add_resource(Resource::new("io", ResourceKind::Other));
+        let a = g.add_task(Task::new(
+            "a",
+            cpu,
+            TimeSpan::from_secs(4),
+            Power::from_watts(2),
+        ));
+        let b = g.add_task(Task::new(
+            "b",
+            cpu,
+            TimeSpan::from_secs(4),
+            Power::from_watts(2),
+        ));
+        let c = g.add_task(Task::new(
+            "c",
+            io,
+            TimeSpan::from_secs(3),
+            Power::from_watts(1),
+        ));
+        let _ = c;
+        g.precedence(a, b);
+        Problem::new("t", g, PowerConstraints::max_only(Power::from_watts(10)))
+    }
+
+    #[test]
+    fn bounds_compose_critical_path_energy_and_resources() {
+        let p = chain_with_shared_resource();
+        let b = lint_bounds(&p);
+        // Critical path a→b: 8 s; cpu serial: 0 + 8 s; energy
+        // (2·4 + 2·4 + 1·3) = 19 W·s over 10 W headroom → 2 s.
+        assert_eq!(b.makespan_lb, Time::from_secs(8));
+        assert_eq!(b.energy_lb_mws, 19_000);
+        assert_eq!(b.per_window_demand.len(), 2);
+        assert_eq!(b.tails.len(), 3);
+        assert_eq!(b.tails[0], TimeSpan::from_secs(8)); // a: 4 + 4
+    }
+
+    #[test]
+    fn energy_bound_dominates_when_power_starved() {
+        let mut g = ConstraintGraph::new();
+        let r0 = g.add_resource(Resource::new("r0", ResourceKind::Compute));
+        let r1 = g.add_resource(Resource::new("r1", ResourceKind::Compute));
+        // Two parallel 10 s / 4 W tasks against 5 W: energy 80 W·s
+        // needs 16 s even though the critical path is 10 s.
+        g.add_task(Task::new(
+            "a",
+            r0,
+            TimeSpan::from_secs(10),
+            Power::from_watts(4),
+        ));
+        g.add_task(Task::new(
+            "b",
+            r1,
+            TimeSpan::from_secs(10),
+            Power::from_watts(4),
+        ));
+        let p = Problem::new("t", g, PowerConstraints::max_only(Power::from_watts(5)));
+        assert_eq!(lint_bounds(&p).makespan_lb, Time::from_secs(16));
+    }
+
+    #[test]
+    fn infeasible_graph_gets_trivial_bounds() {
+        let mut g = ConstraintGraph::new();
+        let r = g.add_resource(Resource::new("r", ResourceKind::Compute));
+        let a = g.add_task(Task::new("a", r, TimeSpan::from_secs(1), Power::ZERO));
+        let b = g.add_task(Task::new("b", r, TimeSpan::from_secs(1), Power::ZERO));
+        g.min_separation(a, b, TimeSpan::from_secs(5));
+        g.max_separation(a, b, TimeSpan::from_secs(2));
+        let p = Problem::new("t", g, PowerConstraints::unconstrained());
+        assert_eq!(lint_bounds(&p).makespan_lb, Time::ZERO);
+    }
+}

@@ -1,16 +1,17 @@
 //! Diagnostic model: codes, severities, span-carrying diagnostics and
 //! the report that collects them.
 
+use crate::certificate::Certificate;
 use crate::span::Span;
 use core::fmt;
 
 /// How serious a finding is.
 ///
 /// `Error`-level findings are *proofs of trouble*: every error code
-/// except the deadline-relative ones ([`LintCode::DeadlineUnreachable`]
-/// and [`LintCode::WindowOverload`]) implies that the scheduling
-/// pipeline cannot produce a valid schedule, which is what licenses
-/// the pipeline's early-reject guard.
+/// except the deadline-relative ones ([`LintCode::DeadlineUnreachable`],
+/// [`LintCode::WindowOverload`] and the `PAS04x` family) implies that
+/// the scheduling pipeline cannot produce a valid schedule, which is
+/// what licenses the pipeline's early-reject guard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
     /// Suspicious but harmless: the problem is still schedulable.
@@ -75,11 +76,21 @@ pub enum LintCode {
     /// `PAS030` — two same-resource tasks whose separations force them
     /// to overlap.
     ForcedResourceOverlap,
+    /// `PAS040` — the mandatory energy inside an ASAP/ALAP window
+    /// exceeds the energy the budget can deliver over that window.
+    EnergyInfeasibleWindow,
+    /// `PAS041` — tasks sharing an exclusive resource demand more
+    /// execution time inside a window than the window holds.
+    DemandOverCapacity,
+    /// `PAS042` — an energy or resource-packing lower bound on the
+    /// makespan exceeds the declared deadline even though the critical
+    /// path fits (the bound *tightens* PAS012).
+    TightenedDeadlineMiss,
 }
 
 impl LintCode {
     /// Every code, in report order.
-    pub const ALL: [LintCode; 13] = [
+    pub const ALL: [LintCode; 16] = [
         LintCode::TaskOverBudget,
         LintCode::SelfLoop,
         LintCode::DuplicateEdge,
@@ -93,6 +104,9 @@ impl LintCode {
         LintCode::WindowOverload,
         LintCode::HopelessUtilization,
         LintCode::ForcedResourceOverlap,
+        LintCode::EnergyInfeasibleWindow,
+        LintCode::DemandOverCapacity,
+        LintCode::TightenedDeadlineMiss,
     ];
 
     /// The stable `PASnnn` code string.
@@ -111,6 +125,9 @@ impl LintCode {
             LintCode::WindowOverload => "PAS021",
             LintCode::HopelessUtilization => "PAS022",
             LintCode::ForcedResourceOverlap => "PAS030",
+            LintCode::EnergyInfeasibleWindow => "PAS040",
+            LintCode::DemandOverCapacity => "PAS041",
+            LintCode::TightenedDeadlineMiss => "PAS042",
         }
     }
 
@@ -125,7 +142,10 @@ impl LintCode {
             | LintCode::DeadlineUnreachable
             | LintCode::ForcedOverlapPower
             | LintCode::WindowOverload
-            | LintCode::ForcedResourceOverlap => Severity::Error,
+            | LintCode::ForcedResourceOverlap
+            | LintCode::EnergyInfeasibleWindow
+            | LintCode::DemandOverCapacity
+            | LintCode::TightenedDeadlineMiss => Severity::Error,
             LintCode::DuplicateEdge
             | LintCode::DanglingResource
             | LintCode::RedundantEdge
@@ -140,7 +160,11 @@ impl LintCode {
     pub fn implies_scheduler_failure(self) -> bool {
         !matches!(
             self,
-            LintCode::DeadlineUnreachable | LintCode::WindowOverload
+            LintCode::DeadlineUnreachable
+                | LintCode::WindowOverload
+                | LintCode::EnergyInfeasibleWindow
+                | LintCode::DemandOverCapacity
+                | LintCode::TightenedDeadlineMiss
         ) && self.severity() == Severity::Error
     }
 
@@ -163,6 +187,42 @@ impl fmt::Display for LintCode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
     }
+}
+
+/// How safe it is to apply a [`Fix`] without human review, mirroring
+/// rustc's applicability levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Applicability {
+    /// The replacement is semantics-preserving (or removes something
+    /// provably redundant); `--fix` applies it automatically.
+    MachineApplicable,
+    /// The replacement makes the diagnostic go away but changes the
+    /// spec's meaning (e.g. extending a deadline); `--fix` only
+    /// applies it under `--fix-maybe-incorrect`.
+    MaybeIncorrect,
+}
+
+impl Applicability {
+    /// Stable lowercase name for JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Applicability::MachineApplicable => "machine-applicable",
+            Applicability::MaybeIncorrect => "maybe-incorrect",
+        }
+    }
+}
+
+/// A concrete source edit that resolves the finding: replace the
+/// bytes of `span` with `replacement` (empty to delete the
+/// statement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// Byte range of the spec source to replace.
+    pub span: Span,
+    /// Replacement text; empty means delete the spanned statement.
+    pub replacement: String,
+    /// Whether the edit is safe to apply unattended.
+    pub applicability: Applicability,
 }
 
 /// A source span with a short label explaining its role in the
@@ -191,6 +251,14 @@ pub struct Diagnostic {
     pub spans: Vec<LabeledSpan>,
     /// An actionable remediation hint, when one is known.
     pub suggestion: Option<String>,
+    /// A concrete source edit that resolves the finding, when the
+    /// offending statement was parsed from spec source.
+    pub fix: Option<Fix>,
+    /// For the deep (`PAS04x`) codes: the machine-checkable
+    /// infeasibility proof, validated by
+    /// [`verify_certificate`](crate::verify_certificate) before the
+    /// diagnostic is emitted.
+    pub certificate: Option<Certificate>,
 }
 
 impl Diagnostic {
@@ -202,6 +270,8 @@ impl Diagnostic {
             message: message.into(),
             spans: Vec::new(),
             suggestion: None,
+            fix: None,
+            certificate: None,
         }
     }
 
@@ -226,6 +296,30 @@ impl Diagnostic {
     /// Attaches a fix suggestion (builder style).
     pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
         self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// Attaches a concrete source fix (builder style); a `None` span
+    /// (programmatic problem) skips the fix entirely.
+    pub fn with_fix(
+        mut self,
+        span: Option<Span>,
+        replacement: impl Into<String>,
+        applicability: Applicability,
+    ) -> Self {
+        if let Some(span) = span {
+            self.fix = Some(Fix {
+                span,
+                replacement: replacement.into(),
+                applicability,
+            });
+        }
+        self
+    }
+
+    /// Attaches an infeasibility certificate (builder style).
+    pub fn with_certificate(mut self, certificate: Certificate) -> Self {
+        self.certificate = Some(certificate);
         self
     }
 

@@ -1,0 +1,246 @@
+//! Extended per-code help for `impacct-cli lint --explain PASnnn`:
+//! what the rule means, a minimal witness spec, and how to fix it.
+
+use crate::diag::LintCode;
+
+/// Extended help text for `code`: cause, example witness and fix,
+/// rustc `--explain` style. Stable plain text, safe to print
+/// verbatim.
+pub fn explain(code: LintCode) -> &'static str {
+    match code {
+        LintCode::TaskOverBudget => {
+            "\
+PAS001: task over budget
+
+A single task's power draw (plus the background draw) exceeds pmax.
+The task spikes the budget every time it runs, so no schedule is
+valid, whatever the ordering.
+
+Example:
+    problem \"w\" {
+      pmax 16W
+      resource arm
+      task drill on arm delay 10s power 20W
+    }
+
+Fix: lower the task's power below pmax - background, or raise pmax."
+        }
+        LintCode::SelfLoop => {
+            "\
+PAS002: self-looping constraint
+
+A separation constraint relates a task to itself. With positive
+weight it demands the task start after itself (a one-node positive
+cycle, error); otherwise it is vacuous (warning).
+
+Fix: delete the self-referential constraint."
+        }
+        LintCode::DuplicateEdge => {
+            "\
+PAS003: duplicate constraint
+
+Two identical constraint edges (same endpoints, kind and weight)
+were declared. The second adds nothing and usually indicates a
+copy-paste slip.
+
+Fix: delete one of the two statements. `lint --fix` does this
+automatically."
+        }
+        LintCode::DanglingResource => {
+            "\
+PAS004: dangling resource
+
+A declared resource has no tasks mapped to it — usually a typo in a
+`task ... on ...` clause pointing at a different name.
+
+Fix: map a task onto the resource or delete the declaration."
+        }
+        LintCode::BackgroundOverBudget => {
+            "\
+PAS005: background over budget
+
+The platform's background draw alone exceeds pmax, so every instant
+of every schedule is over budget before any task runs.
+
+Fix: raise pmax above the background draw, or model a smaller
+background."
+        }
+        LintCode::NonPositiveDelay => {
+            "\
+PAS006: non-positive delay
+
+A task's execution delay is zero or negative. The scheduling model
+requires d(v) >= 1s; zero-length tasks degenerate the half-open
+interval logic.
+
+Fix: give the task a delay of at least 1s."
+        }
+        LintCode::PositiveCycle => {
+            "\
+PAS010: positive timing cycle
+
+The min/max separation system is mutually unsatisfiable: following
+the constraints around a loop demands a task start strictly after
+itself. The diagnostic renders the offending chain with per-edge
+weights.
+
+Example:
+    min a -> b 10s        # b at least 10s after a
+    max a -> b 4s         # b at most 4s after a
+
+Fix: widen the max separations (or shrink the min separations) on
+the reported cycle."
+        }
+        LintCode::RedundantEdge => {
+            "\
+PAS011: redundant separation
+
+A min/max separation is strictly dominated by a longer path through
+other constraints; deleting it changes nothing. Harmless, but it
+obscures which constraints actually bind.
+
+Fix: delete it (`lint --fix` does), or tighten it if it was meant
+to bind."
+        }
+        LintCode::DeadlineUnreachable => {
+            "\
+PAS012: deadline unreachable
+
+The critical path through the precedence/separation graph is longer
+than the declared deadline, so no time-valid schedule can meet it.
+The diagnostic names the critical chain.
+
+Fix: extend the deadline past the critical path, or shorten the
+chain. `lint --fix --fix-maybe-incorrect` rewrites the deadline."
+        }
+        LintCode::ForcedOverlapPower => {
+            "\
+PAS020: forced overlap over budget
+
+Two tasks on different resources are forced by their separations to
+run simultaneously at some instant, and their summed draw (plus
+background) exceeds pmax. Every time-valid schedule spikes.
+
+Fix: widen the separation window between them so one can wait for
+the other, or lower their power."
+        }
+        LintCode::WindowOverload => {
+            "\
+PAS021: mandatory-interval overload
+
+Under the declared deadline each task must run throughout
+[alap(v), asap(v)+d(v)) whenever that interval is non-empty. Summing
+those mandatory intervals already pushes the power profile over
+pmax, so no deadline-meeting schedule exists.
+
+Fix: extend the deadline (shrinking the mandatory intervals) or
+reduce the overlapping tasks' power."
+        }
+        LintCode::HopelessUtilization => {
+            "\
+PAS022: hopeless min-power utilization
+
+A static upper bound proves no schedule can keep the platform near
+pmin: the available task energy is too small relative to pmin times
+the makespan. The regulator will idle-burn whatever the scheduler
+does.
+
+Fix: lower pmin towards the average demand, or accept the wasted
+free power."
+        }
+        LintCode::ForcedResourceOverlap => {
+            "\
+PAS030: forced resource overlap
+
+Two tasks on the *same* exclusive resource are forced by their
+separations to overlap. The timing stage must fail: the resource
+can only run one of them at a time.
+
+Fix: widen the separation window so the tasks can serialize, or
+move one to another resource."
+        }
+        LintCode::EnergyInfeasibleWindow => {
+            "\
+PAS040: energy-infeasible window
+
+Deep lint propagates joint ASAP/ALAP start-time windows and sums
+each task's *mandatory* execution overlap with a candidate time
+window [a, b). If the mandatory energy exceeds
+(pmax - background) * (b - a), no deadline-meeting schedule can
+push that much energy through the budget inside the window.
+
+The diagnostic carries a machine-checkable certificate: the window,
+the contributing tasks' claimed start windows, the constraint-graph
+paths proving each bound, and the violated inequality. Validate it
+independently with pas-lint's verify_certificate (the CLI JSON
+output embeds it).
+
+Fix: extend the deadline, raise pmax, or spread the tasks' windows
+apart."
+        }
+        LintCode::DemandOverCapacity => {
+            "\
+PAS041: demand over window capacity
+
+Tasks sharing one exclusive resource must run serially, yet their
+mandatory overlaps with a window [a, b) sum to more than b - a
+seconds. No deadline-meeting schedule can pack them.
+
+Like all PAS04x codes the diagnostic carries a machine-checkable
+certificate validated by an independent checker before emission.
+
+Fix: extend the deadline or move one of the packed tasks to another
+resource."
+        }
+        LintCode::TightenedDeadlineMiss => {
+            "\
+PAS042: bound-tightened deadline miss
+
+The critical path fits the deadline, but a stronger admissible
+lower bound proves the deadline unreachable anyway: either total
+task energy cannot flow through pmax - background fast enough, or
+one resource must run its tasks back-to-back past the deadline.
+These are the same bounds the exact scheduler reuses for pruning
+(LintBounds).
+
+The certificate carries the violated bound and its evidence.
+
+Fix: extend the deadline to at least the reported lower bound
+(`lint --fix --fix-maybe-incorrect` rewrites it)."
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_code_has_distinct_nonempty_help_naming_itself() {
+        let mut seen = Vec::new();
+        for c in LintCode::ALL {
+            let text = explain(c);
+            assert!(!text.is_empty(), "{c}");
+            assert!(
+                text.starts_with(c.as_str()),
+                "{c} help must open with its code"
+            );
+            assert!(text.contains("Fix:"), "{c} help must offer a fix");
+            seen.push(text);
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), LintCode::ALL.len());
+    }
+
+    #[test]
+    fn deep_codes_mention_their_certificates() {
+        for c in [
+            LintCode::EnergyInfeasibleWindow,
+            LintCode::DemandOverCapacity,
+            LintCode::TightenedDeadlineMiss,
+        ] {
+            assert!(explain(c).contains("certificate"), "{c}");
+        }
+    }
+}

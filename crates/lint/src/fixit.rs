@@ -1,0 +1,161 @@
+//! Applying diagnostic fixes to PASDL source (`impacct-cli lint
+//! --fix`).
+//!
+//! Only [`Applicability::MachineApplicable`] fixes are applied by
+//! default; `MaybeIncorrect` ones (deadline bumps) need an explicit
+//! opt-in. Callers are expected to round-trip the result through
+//! `parse_problem_spanned` and re-lint, which the CLI does.
+
+use crate::diag::{Applicability, Fix, LintReport};
+use crate::span::Span;
+
+/// What [`apply_fixes`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixOutcome {
+    /// The rewritten source.
+    pub source: String,
+    /// Number of fixes applied.
+    pub applied: usize,
+    /// Number of eligible fixes skipped because they overlapped an
+    /// already-applied edit.
+    pub skipped: usize,
+}
+
+/// Applies the report's fixes to `source`, last-span-first so earlier
+/// byte offsets stay valid. Overlapping fixes are applied
+/// first-come-by-position; later overlappers are skipped and counted.
+///
+/// Empty replacements delete the whole statement line when the span
+/// is alone on its line (the common case for constraint statements);
+/// otherwise just the spanned bytes are removed.
+pub fn apply_fixes(source: &str, report: &LintReport, include_maybe_incorrect: bool) -> FixOutcome {
+    let mut fixes: Vec<&Fix> = report
+        .diagnostics()
+        .iter()
+        .filter_map(|d| d.fix.as_ref())
+        .filter(|f| include_maybe_incorrect || f.applicability == Applicability::MachineApplicable)
+        .filter(|f| f.span.end <= source.len())
+        .collect();
+    fixes.sort_by_key(|f| (f.span.start, f.span.end));
+    fixes.dedup_by_key(|f| (f.span.start, f.span.end, f.replacement.clone()));
+
+    let mut out = source.to_string();
+    let mut applied = 0usize;
+    let mut skipped = 0usize;
+    let mut low_water = usize::MAX; // start of the last applied edit
+    for f in fixes.iter().rev() {
+        let span = if f.replacement.is_empty() {
+            line_extent(source, f.span)
+        } else {
+            f.span
+        };
+        if span.end > low_water {
+            skipped += 1;
+            continue;
+        }
+        out.replace_range(span.start..span.end, &f.replacement);
+        low_water = span.start;
+        applied += 1;
+    }
+    FixOutcome {
+        source: out,
+        applied,
+        skipped,
+    }
+}
+
+/// Widens a deletion span to its whole line (leading indentation
+/// through the trailing newline) when nothing but whitespace or a
+/// trailing comment shares the line; otherwise returns the span
+/// unchanged.
+fn line_extent(source: &str, span: Span) -> Span {
+    let line_start = source[..span.start].rfind('\n').map_or(0, |i| i + 1);
+    let line_end = source[span.end..]
+        .find('\n')
+        .map_or(source.len(), |i| span.end + i + 1);
+    let prefix = &source[line_start..span.start];
+    let suffix = source[span.end..line_end].trim_end_matches('\n');
+    let suffix_ok = suffix.trim_start().is_empty() || suffix.trim_start().starts_with('#');
+    if prefix.trim().is_empty() && suffix_ok {
+        Span::new(line_start, line_end)
+    } else {
+        span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, LintCode};
+
+    fn report_with_fix(span: Span, replacement: &str, app: Applicability) -> LintReport {
+        let mut r = LintReport::new();
+        r.push(Diagnostic::new(LintCode::DuplicateEdge, "dup").with_fix(
+            Some(span),
+            replacement,
+            app,
+        ));
+        r
+    }
+
+    #[test]
+    fn deletion_takes_the_whole_line() {
+        let src = "a\n  min x -> y 3s\nb\n";
+        let span = Span::new(4, src.find('\n').map(|_| 17).unwrap()); // the min stmt
+        let r = report_with_fix(span, "", Applicability::MachineApplicable);
+        let out = apply_fixes(src, &r, false);
+        assert_eq!(out.source, "a\nb\n");
+        assert_eq!(out.applied, 1);
+    }
+
+    #[test]
+    fn replacement_swaps_in_place() {
+        let src = "deadline 10s\n";
+        let r = report_with_fix(
+            Span::new(0, 12),
+            "deadline 16s",
+            Applicability::MaybeIncorrect,
+        );
+        assert_eq!(apply_fixes(src, &r, false).applied, 0); // needs opt-in
+        let out = apply_fixes(src, &r, true);
+        assert_eq!(out.source, "deadline 16s\n");
+        assert_eq!(out.applied, 1);
+    }
+
+    #[test]
+    fn overlapping_fixes_are_skipped_not_corrupted() {
+        let src = "abcdef\n";
+        let mut r = LintReport::new();
+        r.push(Diagnostic::new(LintCode::DuplicateEdge, "x").with_fix(
+            Some(Span::new(0, 4)),
+            "XY",
+            Applicability::MachineApplicable,
+        ));
+        r.push(Diagnostic::new(LintCode::DuplicateEdge, "y").with_fix(
+            Some(Span::new(2, 6)),
+            "Z",
+            Applicability::MachineApplicable,
+        ));
+        let out = apply_fixes(src, &r, false);
+        assert_eq!(out.applied, 1);
+        assert_eq!(out.skipped, 1);
+        assert_eq!(out.source, "abZ\n");
+    }
+
+    #[test]
+    fn identical_fixes_from_two_diagnostics_apply_once() {
+        let src = "  min a -> b 2s\n";
+        let mut r = LintReport::new();
+        for _ in 0..2 {
+            r.push(Diagnostic::new(LintCode::RedundantEdge, "r").with_fix(
+                Some(Span::new(2, 15)),
+                "",
+                Applicability::MachineApplicable,
+            ));
+        }
+        let out = apply_fixes(src, &r, false);
+        assert_eq!(out.applied, 1);
+        assert_eq!(out.skipped, 0);
+        assert_eq!(out.source, "");
+    }
+}

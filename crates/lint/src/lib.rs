@@ -17,7 +17,16 @@
 //!   profile bound under a deadline, `PAS022` static upper bound on
 //!   the min-power utilization `ρ_σ(P_min)`;
 //! * **resource analysis** — `PAS030` same-resource pairs forced to
-//!   overlap.
+//!   overlap;
+//! * **deep abstract interpretation** — joint ASAP/ALAP interval
+//!   windows with per-window energy/demand envelopes: `PAS040`
+//!   energy-infeasible windows, `PAS041` demand-over-capacity
+//!   interval packing, `PAS042` bound-tightened deadline misses.
+//!   Every `PAS04x` diagnostic carries a machine-checkable
+//!   [`Certificate`] validated by the independent zero-trust
+//!   [`verify_certificate`] checker before emission, and the same
+//!   analysis exports [`LintBounds`] that `pas-sched`'s exact B&B
+//!   reuses as admissible pruning bounds.
 //!
 //! Error-level findings of every non-deadline code are *proofs* that
 //! the scheduling pipeline must fail (see
@@ -51,12 +60,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bounds;
+mod certificate;
 mod diag;
+mod explain;
+mod fixit;
 mod passes;
 mod render;
 mod span;
 
-pub use diag::{Diagnostic, LabeledSpan, LintCode, LintReport, Severity};
+pub use bounds::{lint_bounds, LintBounds, WindowDemand};
+pub use certificate::{
+    verify_certificate, Certificate, CertificateError, MakespanBound, StartClaim, WindowClaim,
+};
+pub use diag::{Applicability, Diagnostic, Fix, LabeledSpan, LintCode, LintReport, Severity};
+pub use explain::explain;
+pub use fixit::{apply_fixes, FixOutcome};
 pub use passes::{lint, lint_problem, LintConfig};
 pub use render::{render_human, render_json, SourceFile};
 pub use span::{Span, SpanTable};

@@ -6,6 +6,7 @@
 //! all-pairs longest-path relaxation lives here because both the
 //! power and resource passes consume it.
 
+mod interval;
 mod power;
 mod resource;
 mod structural;
@@ -28,9 +29,9 @@ pub struct LintConfig {
     /// `PAS022` warns when the static utilization upper bound falls
     /// below this ratio. Default `1/2`.
     pub utilization_warn_threshold: Ratio,
-    /// The quadratic pairwise passes (`PAS020`, `PAS030`) are skipped
-    /// above this task count to keep linting `O(V·E)`-ish on huge
-    /// graphs. Default `1024`.
+    /// The quadratic pairwise/window passes (`PAS020`, `PAS030`,
+    /// `PAS040`, `PAS041`) are skipped above this task count to keep
+    /// linting `O(V·E)`-ish on huge graphs. Default `1024`.
     pub max_pairwise_tasks: usize,
 }
 
@@ -71,6 +72,7 @@ pub fn lint_problem(problem: &Problem, spans: &SpanTable, config: &LintConfig) -
             }
             power::check_windows(problem, spans, &asap, deadline, &mut report);
             power::check_utilization(problem, spans, config, &asap, &mut report);
+            interval::check(problem, spans, deadline, config, &mut report);
         }
     }
 

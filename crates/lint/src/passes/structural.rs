@@ -1,7 +1,7 @@
 //! Structural sanity: findings that need no path analysis at all.
 
 use super::task_label;
-use crate::diag::{Diagnostic, LintCode, LintReport, Severity};
+use crate::diag::{Applicability, Diagnostic, LintCode, LintReport, Severity};
 use crate::span::SpanTable;
 use pas_core::Problem;
 use pas_graph::units::{Power, TimeSpan};
@@ -139,7 +139,8 @@ pub(super) fn check(problem: &Problem, spans: &SpanTable, report: &mut LintRepor
                 )
                 .with_span(spans.edge(id), "duplicate here")
                 .with_span(spans.edge(*first), "first declared here")
-                .with_suggestion("delete one of the two identical constraints"),
+                .with_suggestion("delete one of the two identical constraints")
+                .with_fix(spans.edge(id), "", Applicability::MachineApplicable),
             );
         } else {
             seen.insert(key, id);

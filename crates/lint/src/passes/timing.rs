@@ -2,7 +2,7 @@
 //! and the deadline-vs-critical-path precheck.
 
 use super::{node_label, signed};
-use crate::diag::{Diagnostic, LintCode, LintReport};
+use crate::diag::{Applicability, Diagnostic, LintCode, LintReport};
 use crate::span::SpanTable;
 use pas_graph::longest_path::{single_source_longest_paths, LongestPaths, PositiveCycle};
 use pas_graph::units::{Time, TimeSpan};
@@ -182,7 +182,8 @@ fn check_redundant_edges(graph: &ConstraintGraph, spans: &SpanTable, report: &mu
                         ),
                     )
                     .with_span(spans.edge(id), "dominated constraint")
-                    .with_suggestion("delete it, or tighten it if it was meant to bind"),
+                    .with_suggestion("delete it, or tighten it if it was meant to bind")
+                    .with_fix(spans.edge(id), "", Applicability::MachineApplicable),
                 );
             }
         }
@@ -229,7 +230,12 @@ fn check_deadline(
         )
         .with_suggestion(format!(
             "extend the deadline to at least {finish} or shorten the chain"
-        )),
+        ))
+        .with_fix(
+            spans.deadline,
+            format!("deadline {finish}"),
+            Applicability::MaybeIncorrect,
+        ),
     );
 }
 

@@ -71,6 +71,29 @@ fn render_one(out: &mut String, d: &Diagnostic, source: Option<SourceFile<'_>>) 
     if let Some(help) = &d.suggestion {
         let _ = writeln!(out, "  = help: {help}");
     }
+    if let Some(fix) = &d.fix {
+        if fix.replacement.is_empty() {
+            let _ = writeln!(
+                out,
+                "  = fix ({}): delete the statement",
+                fix.applicability.as_str()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  = fix ({}): replace with `{}`",
+                fix.applicability.as_str(),
+                fix.replacement
+            );
+        }
+    }
+    if let Some(cert) = &d.certificate {
+        let _ = writeln!(
+            out,
+            "  = certificate: {} proof attached (machine-checkable; emitted in JSON output)",
+            cert.kind()
+        );
+    }
 }
 
 /// The 1-based `line`-th line of `text`, without its newline.
@@ -140,6 +163,19 @@ pub fn render_json(report: &LintReport, source: Option<SourceFile<'_>>) -> Strin
         out.push(']');
         if let Some(s) = &d.suggestion {
             let _ = write!(out, ",\"suggestion\":\"{}\"", escape_json(s));
+        }
+        if let Some(fix) = &d.fix {
+            let _ = write!(
+                out,
+                ",\"fix\":{{\"start\":{},\"end\":{},\"replacement\":\"{}\",\"applicability\":\"{}\"}}",
+                fix.span.start,
+                fix.span.end,
+                escape_json(&fix.replacement),
+                fix.applicability.as_str(),
+            );
+        }
+        if let Some(cert) = &d.certificate {
+            let _ = write!(out, ",\"certificate\":{}", cert.to_json());
         }
         out.push('}');
     }
@@ -237,6 +273,70 @@ mod tests {
         assert!(json.contains(r#""file":"x.pasdl""#));
         assert!(json.contains(r#""line":2,"col":3"#));
         assert!(json.contains(r#""errors":1"#));
+    }
+
+    #[test]
+    fn hostile_names_are_escaped_everywhere_in_json() {
+        use crate::certificate::{Certificate, WindowClaim};
+        use pas_graph::units::Time;
+        use pas_graph::{ResourceId, TaskId};
+        // Names with quotes, backslashes, newlines and control bytes
+        // must survive both the message and the embedded certificate.
+        let hostile = "evil\"name\\\n\u{1}";
+        let cert = Certificate::ResourcePacking {
+            deadline: Time::from_secs(9),
+            resource: ResourceId::from_index(0),
+            resource_name: hostile.to_string(),
+            window: (Time::ZERO, Time::from_secs(9)),
+            claims: vec![WindowClaim {
+                task: TaskId::from_index(0),
+                task_name: hostile.to_string(),
+                asap: Time::ZERO,
+                alap: Time::from_secs(4),
+                asap_path: Vec::new(),
+                alap_path: vec![TaskId::from_index(0).node()],
+            }],
+            demand_secs: 10,
+            capacity_secs: 9,
+        };
+        let mut r = LintReport::new();
+        r.push(
+            Diagnostic::new(
+                LintCode::DemandOverCapacity,
+                format!("resource \"{hostile}\" is packed"),
+            )
+            .with_certificate(cert),
+        );
+        let json = render_json(&r, None);
+        assert!(json.contains(r#"evil\"name\\\n"#), "{json}");
+        // No raw control bytes or unescaped quotes-in-strings leak out.
+        assert!(!json.contains('\u{1}'), "{json}");
+        assert!(json.contains(r#""certificate":{"kind":"resource-packing""#));
+    }
+
+    #[test]
+    fn fix_and_certificate_render_in_both_formats() {
+        use crate::diag::Applicability;
+        let mut r = LintReport::new();
+        r.push(
+            Diagnostic::new(LintCode::DeadlineUnreachable, "deadline 10s unreachable").with_fix(
+                Some(Span::new(5, 17)),
+                "deadline 16s",
+                Applicability::MaybeIncorrect,
+            ),
+        );
+        let human = render_human(&r, None);
+        assert!(
+            human.contains("= fix (maybe-incorrect): replace with `deadline 16s`"),
+            "{human}"
+        );
+        let json = render_json(&r, None);
+        assert!(
+            json.contains(
+                r#""fix":{"start":5,"end":17,"replacement":"deadline 16s","applicability":"maybe-incorrect"}"#
+            ),
+            "{json}"
+        );
     }
 
     #[test]

@@ -478,6 +478,10 @@ pub enum TraceEvent {
         /// Searches cut short by the node/backtrack budget (0 or 1
         /// for the B&B; backtracks consumed for the timing stage).
         pruned_budget: u64,
+        /// Subtrees cut by lint-derived admissible bounds (completion
+        /// tails / makespan lower-bound early stop); 0 when the
+        /// search ran without lint bounds.
+        pruned_bound: u64,
         /// Deepest search level reached.
         max_depth: u32,
         /// The node (or backtrack) budget this worker was given.
@@ -728,6 +732,7 @@ impl TraceEvent {
                 pruned_dominance,
                 pruned_horizon,
                 pruned_budget,
+                pruned_bound,
                 max_depth,
                 budget,
             } => {
@@ -737,6 +742,7 @@ impl TraceEvent {
                 w.int_field("pruned_dominance", *pruned_dominance as i128);
                 w.int_field("pruned_horizon", *pruned_horizon as i128);
                 w.int_field("pruned_budget", *pruned_budget as i128);
+                w.int_field("pruned_bound", *pruned_bound as i128);
                 w.int_field("max_depth", *max_depth as i128);
                 w.int_field("budget", *budget as i128);
             }
@@ -924,6 +930,7 @@ impl TraceEvent {
                 pruned_dominance: ctx.u64("pruned_dominance")?,
                 pruned_horizon: ctx.u64("pruned_horizon")?,
                 pruned_budget: ctx.u64("pruned_budget")?,
+                pruned_bound: ctx.u64("pruned_bound")?,
                 max_depth: ctx.u32("max_depth")?,
                 budget: ctx.u64("budget")?,
             },
@@ -1454,6 +1461,7 @@ mod tests {
                 pruned_dominance: 77,
                 pruned_horizon: 12,
                 pruned_budget: 0,
+                pruned_bound: 5,
                 max_depth: 9,
                 budget: 10_000,
             },

@@ -79,7 +79,7 @@ const BUCKETS: usize = 32;
 /// Prune-reason label values, index-aligned with
 /// `MetricsRegistry::search_prunes` and with the wire fields of
 /// [`TraceEvent::SearchStatsRecorded`].
-const PRUNE_REASONS: [&str; 4] = ["incumbent", "dominance", "horizon", "budget"];
+const PRUNE_REASONS: [&str; 5] = ["incumbent", "dominance", "horizon", "budget", "bound"];
 
 /// Fixed log₂-bucketed histogram of `u64` observations.
 ///
@@ -182,7 +182,7 @@ pub struct MetricsRegistry {
     commit_depth: u64,
     search_sample_depth: Histogram,
     search_nodes: Histogram,
-    search_prunes: [u64; 4],
+    search_prunes: [u64; 5],
     search_budget_total: u64,
     search_nodes_total: u64,
     search_stacks: BTreeMap<(u32, u32), u64>,
@@ -388,6 +388,7 @@ impl Observer for MetricsRegistry {
                 pruned_dominance,
                 pruned_horizon,
                 pruned_budget,
+                pruned_bound,
                 budget,
                 ..
             } => {
@@ -396,6 +397,7 @@ impl Observer for MetricsRegistry {
                 self.search_prunes[1] += pruned_dominance;
                 self.search_prunes[2] += pruned_horizon;
                 self.search_prunes[3] += pruned_budget;
+                self.search_prunes[4] += pruned_bound;
                 self.search_nodes_total += nodes;
                 self.search_budget_total += budget;
             }
@@ -576,6 +578,7 @@ mod tests {
             pruned_dominance: 20,
             pruned_horizon: 3,
             pruned_budget: 1,
+            pruned_bound: 7,
             max_depth: 4,
             budget: 5000,
         });
@@ -585,6 +588,7 @@ mod tests {
         assert!(text.contains("pas_search_prunes_total{reason=\"dominance\"} 20"));
         assert!(text.contains("pas_search_prunes_total{reason=\"horizon\"} 3"));
         assert!(text.contains("pas_search_prunes_total{reason=\"budget\"} 1"));
+        assert!(text.contains("pas_search_prunes_total{reason=\"bound\"} 7"));
         assert!(text.contains("pas_search_budget_utilization 0.5"));
         assert!(text.contains("pas_search_sample_depth_count 2"));
 

@@ -164,6 +164,7 @@ fn search_telemetry_metrics_pass_the_validator() {
             pruned_dominance: 77,
             pruned_horizon: 12,
             pruned_budget: 0,
+            pruned_bound: 3,
             max_depth: 11,
             budget: 10_000,
         },

@@ -159,6 +159,17 @@ pub struct SchedulerConfig {
     /// force the full search on known-broken inputs, e.g. to measure
     /// the guard's early-reject savings.
     pub lint_guard: bool,
+    /// Feed lint-derived admissible bounds
+    /// ([`pas_lint::lint_bounds`]) to the portfolio's exact
+    /// branch-and-bound attempt: per-task completion tails prune
+    /// never-winning subtrees and the makespan lower bound stops the
+    /// search once the incumbent provably cannot be beaten. The
+    /// schedule is bit-identical either way (the bounds are
+    /// admissible); only the node counts and
+    /// `SearchStats::pruned_bound` telemetry change, so this is purely
+    /// a performance knob. Disable to measure the bounds' pruning
+    /// efficacy (`impacct-cli profile` reports both).
+    pub lint_bounds: bool,
     /// Use the incremental scheduling engine: delta-maintained anchor
     /// longest paths across the timing scheduler's search tree (see
     /// [`pas_graph::IncrementalLongestPaths`]) and delta-rebuilt power
@@ -210,6 +221,7 @@ impl Default for SchedulerConfig {
             max_respins: 4,
             exact_portfolio_limit: 10,
             lint_guard: true,
+            lint_bounds: true,
             incremental: true,
             parallelism: Parallelism::Off,
             portfolio_base_seed: None,
@@ -308,6 +320,7 @@ mod tests {
         assert_eq!(cfg.scan_orders.len(), 3);
         assert!(cfg.max_scans >= 2, "paper requires multiple scans");
         assert!(cfg.lint_guard, "static guard is on by default");
+        assert!(cfg.lint_bounds, "lint-derived B&B bounds on by default");
         assert!(cfg.incremental, "incremental engine is on by default");
         assert_eq!(cfg.parallelism, Parallelism::Off, "sequential by default");
         assert_eq!(

@@ -34,6 +34,18 @@ pub struct OptimalConfig {
     /// delays plus the largest window, which always admits a
     /// solution when one exists).
     pub horizon: Option<Time>,
+    /// Prune with lint-derived admissible bounds
+    /// ([`pas_lint::lint_bounds`]): per-task completion tails cut
+    /// candidate starts whose forced completion cannot beat the
+    /// incumbent, and the makespan lower bound stops the search the
+    /// moment the incumbent meets it (no strictly better schedule can
+    /// exist). Both cuts only discard subtrees that cannot *strictly*
+    /// improve the incumbent, so the returned schedule is
+    /// bit-identical with the flag on or off — only `nodes_explored`
+    /// and the prune counters change
+    /// ([`SearchStats::pruned_bound`]). Off by default so legacy node
+    /// counts stay reproducible.
+    pub use_lint_bounds: bool,
 }
 
 impl Default for OptimalConfig {
@@ -41,8 +53,45 @@ impl Default for OptimalConfig {
         OptimalConfig {
             max_nodes: 20_000_000,
             horizon: None,
+            use_lint_bounds: false,
         }
     }
+}
+
+/// The slice of [`pas_lint::LintBounds`] the search consumes: the
+/// admissible makespan lower bound and the per-task completion tails.
+type SearchBounds = (Time, Vec<TimeSpan>);
+
+/// Computes the lint bounds for a search over `graph`, or `None` when
+/// disabled (or when the bounds are unusable — e.g. a positive cycle
+/// left no per-task tails, a case [`prepare`] rejects anyway).
+///
+/// Admissibility against this search space: the search enforces every
+/// constraint edge, `σ ≥ 0`, resource exclusivity and the `p_max`
+/// budget — exactly the premises `lint_bounds` derives its lower
+/// bounds from — so no feasible schedule can finish before
+/// `makespan_lb`, and no task `v` started at `s` can finish the
+/// schedule before `s + tail(v)`.
+fn lint_search_bounds(
+    graph: &ConstraintGraph,
+    p_max: Power,
+    background: Power,
+    enabled: bool,
+) -> Option<SearchBounds> {
+    if !enabled || graph.num_tasks() == 0 {
+        return None;
+    }
+    let problem = pas_core::Problem::with_background(
+        "lint-bounds",
+        graph.clone(),
+        pas_core::PowerConstraints::max_only(p_max),
+        background,
+    );
+    let bounds = pas_lint::lint_bounds(&problem);
+    if bounds.tails.len() != graph.num_tasks() {
+        return None;
+    }
+    Some((bounds.makespan_lb, bounds.tails))
 }
 
 /// What one depth-0 branch of a fanned-out search returns: the best
@@ -120,6 +169,7 @@ pub fn minimize_finish_time(
         return Ok(empty_outcome());
     };
     let n = graph.num_tasks();
+    let bounds = lint_search_bounds(graph, p_max, background, config.use_lint_bounds);
 
     let mut search = Search::new(
         graph,
@@ -129,6 +179,7 @@ pub fn minimize_finish_time(
         horizon,
         vec![None; n],
         None,
+        bounds.as_ref(),
     );
     search.descend(0, Time::ZERO)?;
     let stats = search.stats_snapshot();
@@ -174,6 +225,7 @@ pub fn minimize_finish_time_observed<O: Observer + ?Sized>(
         return Ok(empty_outcome());
     };
     let n = graph.num_tasks();
+    let bounds = lint_search_bounds(graph, p_max, background, config.use_lint_bounds);
 
     let mut search = Search::new(
         graph,
@@ -183,6 +235,7 @@ pub fn minimize_finish_time_observed<O: Observer + ?Sized>(
         horizon,
         vec![None; n],
         None,
+        bounds.as_ref(),
     );
     if obs.is_enabled() {
         search.sample_every = sample_every;
@@ -262,6 +315,7 @@ pub fn minimize_finish_time_parallel(
     };
     let n = graph.num_tasks();
     let frontier = depth0_frontier(graph, p_max, background, horizon);
+    let bounds = lint_search_bounds(graph, p_max, background, config.use_lint_bounds);
 
     let shared = SharedMin::new(u64::MAX);
     let branches: Vec<BranchResult> = pas_par::par_map(workers, frontier, |_, (v, s)| {
@@ -275,6 +329,7 @@ pub fn minimize_finish_time_parallel(
             horizon,
             starts,
             Some(&shared),
+            bounds.as_ref(),
         );
         search.descend(1, s + graph.task(v).delay())?;
         let stats = search.stats_snapshot();
@@ -324,6 +379,7 @@ pub fn minimize_finish_time_parallel_profiled(
     };
     let n = graph.num_tasks();
     let frontier = depth0_frontier(graph, p_max, background, horizon);
+    let bounds = lint_search_bounds(graph, p_max, background, config.use_lint_bounds);
 
     let shared = SharedMin::new(u64::MAX);
     let (branches, pool): (Vec<BranchResult>, pas_par::PoolProfile) =
@@ -338,6 +394,7 @@ pub fn minimize_finish_time_parallel_profiled(
                 horizon,
                 starts,
                 Some(&shared),
+                bounds.as_ref(),
             );
             search.descend(1, s + graph.task(v).delay())?;
             let stats = search.stats_snapshot();
@@ -397,6 +454,7 @@ pub fn minimize_finish_time_partitioned(
         });
     }
     let branch_budget = (config.max_nodes / frontier.len() as u64).max(1);
+    let bounds = lint_search_bounds(graph, p_max, background, config.use_lint_bounds);
 
     let run_branch = |(v, s): (TaskId, Time)| -> BranchResult {
         let mut starts = vec![None; n];
@@ -409,6 +467,7 @@ pub fn minimize_finish_time_partitioned(
             horizon,
             starts,
             None,
+            bounds.as_ref(),
         );
         search.descend(1, s + graph.task(v).delay())?;
         let stats = search.stats_snapshot();
@@ -497,6 +556,7 @@ pub fn minimize_finish_time_partitioned_profiled<O: Observer + ?Sized>(
     }
     let branch_budget = (config.max_nodes / frontier.len() as u64).max(1);
     let sample_every = if obs.is_enabled() { sample_every } else { 0 };
+    let bounds = lint_search_bounds(graph, p_max, background, config.use_lint_bounds);
 
     let run_branch = |branch_idx: usize, (v, s): (TaskId, Time)| -> ObservedBranch {
         let mut starts = vec![None; n];
@@ -509,6 +569,7 @@ pub fn minimize_finish_time_partitioned_profiled<O: Observer + ?Sized>(
             horizon,
             starts,
             None,
+            bounds.as_ref(),
         );
         search.sample_every = sample_every;
         search.worker = branch_idx as u32;
@@ -659,6 +720,7 @@ fn depth0_frontier(
         horizon,
         vec![None; graph.num_tasks()],
         None,
+        None,
     );
     let mut frontier: Vec<(TaskId, Time)> = Vec::new();
     for v in graph.task_ids() {
@@ -694,6 +756,13 @@ struct Search<'g> {
     /// finish merely ties the global bound may still complete into
     /// the assignment that wins the frontier-order tie-break.
     shared: Option<&'g SharedMin>,
+    /// Lint-derived `(makespan_lb, completion tails)`; `None` when
+    /// [`OptimalConfig::use_lint_bounds`] is off.
+    bounds: Option<&'g SearchBounds>,
+    /// Set once the incumbent meets the lint makespan lower bound: no
+    /// strictly better schedule exists, so the search unwinds without
+    /// expanding further nodes (the incumbent is kept).
+    stop: bool,
     /// Prune/depth counters, always collected (plain increments).
     stats: SearchStats,
     /// Emit a [`TraceEvent::SearchSample`] every this many nodes into
@@ -707,6 +776,9 @@ struct Search<'g> {
 }
 
 impl<'g> Search<'g> {
+    // Private constructor mirroring the struct's fields one-to-one;
+    // bundling them into a config struct would just rename the list.
+    #[allow(clippy::too_many_arguments)]
     fn new(
         graph: &'g ConstraintGraph,
         p_max: Power,
@@ -715,6 +787,7 @@ impl<'g> Search<'g> {
         horizon: Time,
         starts: Vec<Option<Time>>,
         shared: Option<&'g SharedMin>,
+        bounds: Option<&'g SearchBounds>,
     ) -> Self {
         Search {
             graph,
@@ -727,6 +800,8 @@ impl<'g> Search<'g> {
             starts,
             horizon,
             shared,
+            bounds,
+            stop: false,
             stats: SearchStats::default(),
             sample_every: 0,
             worker: 0,
@@ -745,6 +820,9 @@ impl<'g> Search<'g> {
     /// Places the `depth`-th task (tasks whose placed makespan is
     /// `current_finish` so far).
     fn descend(&mut self, depth: usize, current_finish: Time) -> Result<(), ScheduleError> {
+        if self.stop {
+            return Ok(());
+        }
         self.nodes += 1;
         if self.nodes > self.max_nodes {
             self.stats.pruned_budget += 1;
@@ -788,6 +866,17 @@ impl<'g> Search<'g> {
                         .map(|s| s.expect("complete assignment"))
                         .collect(),
                 );
+                // A feasible schedule at the admissible lower bound is
+                // provably optimal; nothing strictly better exists, so
+                // unwind. The incumbent is already the first
+                // minimum-achieving assignment in depth-first order,
+                // so the returned schedule is unchanged.
+                if let Some((makespan_lb, _)) = self.bounds {
+                    if self.best_finish <= *makespan_lb {
+                        self.stop = true;
+                        self.stats.pruned_bound += 1;
+                    }
+                }
             }
             return Ok(());
         }
@@ -828,6 +917,19 @@ impl<'g> Search<'g> {
                     self.stats.pruned_incumbent += 1;
                     break; // candidates are sorted: all later ones worse
                 }
+                if let Some((_, tails)) = self.bounds {
+                    // Completion-tail bound: starting v at s forces the
+                    // schedule to run until at least s + tail(v), so a
+                    // branch whose tail bound cannot *strictly* beat
+                    // the incumbent cannot improve it. tail(v) ≥ d(v),
+                    // so this subsumes the incumbent cut above and the
+                    // sorted-candidates break stays valid.
+                    let bound_finish = (s + tails[v.index()]).max(current_finish);
+                    if bound_finish >= self.best_finish {
+                        self.stats.pruned_bound += 1;
+                        break;
+                    }
+                }
                 if let Some(shared) = self.shared {
                     // Strict-only global pruning (candidates are
                     // sorted, so later ones are at least as bad).
@@ -843,6 +945,9 @@ impl<'g> Search<'g> {
                 self.starts[v.index()] = Some(s);
                 self.descend(depth + 1, finish)?;
                 self.starts[v.index()] = None;
+                if self.stop {
+                    return Ok(());
+                }
             }
         }
         Ok(())
@@ -1029,6 +1134,73 @@ mod tests {
         ));
     }
 
+    /// The lint-bound contract: with `use_lint_bounds` on, the search
+    /// returns the byte-identical schedule while exploring strictly
+    /// fewer nodes (tail prunes plus the makespan-lower-bound early
+    /// stop), and the cuts are visible in `pruned_bound`.
+    #[test]
+    fn lint_bounds_preserve_schedule_and_cut_nodes() {
+        // A 6-task chain plus one free task: the baseline search
+        // re-explores every interleaving point of the free task, while
+        // the chain pins the critical path to the lint makespan lower
+        // bound — so the bounded search stops right after its first
+        // (greedy, optimal) descent.
+        let mut g = parallel_tasks(&[2, 2, 2, 2, 2, 2, 1], 3);
+        for i in 0..5 {
+            g.precedence(TaskId::from_index(i), TaskId::from_index(i + 1));
+        }
+        let baseline = minimize_finish_time(
+            &g,
+            Power::from_watts(50),
+            Power::ZERO,
+            &OptimalConfig::default(),
+        )
+        .unwrap();
+        let bounded = minimize_finish_time(
+            &g,
+            Power::from_watts(50),
+            Power::ZERO,
+            &OptimalConfig {
+                use_lint_bounds: true,
+                ..OptimalConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(bounded.schedule, baseline.schedule, "bit-identical");
+        assert_eq!(bounded.finish_time, baseline.finish_time);
+        assert!(
+            bounded.nodes_explored < baseline.nodes_explored,
+            "bounds must cut nodes: {} vs {}",
+            bounded.nodes_explored,
+            baseline.nodes_explored
+        );
+        assert!(bounded.stats.pruned_bound > 0, "{:?}", bounded.stats);
+        assert_eq!(baseline.stats.pruned_bound, 0, "off switch stays off");
+
+        // The partitioned variant keeps its worker-count invariance
+        // with the bounds enabled.
+        let config = OptimalConfig {
+            use_lint_bounds: true,
+            ..OptimalConfig::default()
+        };
+        let one =
+            minimize_finish_time_partitioned(&g, Power::from_watts(50), Power::ZERO, &config, 1)
+                .unwrap();
+        assert_eq!(one.schedule, baseline.schedule);
+        for workers in [2, 4, 8] {
+            let got = minimize_finish_time_partitioned(
+                &g,
+                Power::from_watts(50),
+                Power::ZERO,
+                &config,
+                workers,
+            )
+            .unwrap();
+            assert_eq!(got.schedule, one.schedule, "workers={workers}");
+            assert_eq!(got.nodes_explored, one.nodes_explored, "workers={workers}");
+        }
+    }
+
     #[test]
     fn node_cap_is_enforced() {
         let g = parallel_tasks(&[1, 1, 1, 1, 1, 1], 2);
@@ -1039,6 +1211,7 @@ mod tests {
             &OptimalConfig {
                 max_nodes: 10,
                 horizon: None,
+                use_lint_bounds: false,
             },
         );
         assert!(matches!(
@@ -1141,6 +1314,7 @@ mod tests {
         let tight = OptimalConfig {
             max_nodes: 30,
             horizon: None,
+            use_lint_bounds: false,
         };
         let reference =
             minimize_finish_time_partitioned(&g, Power::from_watts(2), Power::ZERO, &tight, 1);
@@ -1322,6 +1496,7 @@ mod tests {
             &OptimalConfig {
                 max_nodes: 10,
                 horizon: None,
+                use_lint_bounds: false,
             },
             0, // sampling off: the stats record must still appear
             &mut rec,

@@ -576,6 +576,7 @@ impl PowerAwareScheduler {
             let exact_config = crate::optimal::OptimalConfig {
                 max_nodes: 5_000_000,
                 horizon: None,
+                use_lint_bounds: self.config.lint_bounds,
             };
             let exact_workers = if self.config.parallelism.is_enabled() {
                 self.config.parallelism.worker_count()

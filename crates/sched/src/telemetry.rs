@@ -40,6 +40,10 @@ pub struct SearchStats {
     pub pruned_horizon: u64,
     /// Searches (or branches) stopped by the node/backtrack budget.
     pub pruned_budget: u64,
+    /// Candidate branches cut by lint-derived admissible bounds
+    /// (completion tails) or unwound by the makespan lower-bound
+    /// early stop. Zero when the search runs without lint bounds.
+    pub pruned_bound: u64,
     /// Times the incumbent (best complete schedule) improved.
     pub incumbent_improvements: u64,
     /// Deepest node expanded.
@@ -55,6 +59,7 @@ impl SearchStats {
             .saturating_add(self.pruned_dominance)
             .saturating_add(self.pruned_horizon)
             .saturating_add(self.pruned_budget)
+            .saturating_add(self.pruned_bound)
     }
 
     /// Fraction of the budget consumed (`0.0` when no budget).
@@ -74,6 +79,7 @@ impl SearchStats {
         self.pruned_dominance = self.pruned_dominance.saturating_add(other.pruned_dominance);
         self.pruned_horizon = self.pruned_horizon.saturating_add(other.pruned_horizon);
         self.pruned_budget = self.pruned_budget.saturating_add(other.pruned_budget);
+        self.pruned_bound = self.pruned_bound.saturating_add(other.pruned_bound);
         self.incumbent_improvements = self
             .incumbent_improvements
             .saturating_add(other.incumbent_improvements);
@@ -91,6 +97,7 @@ impl SearchStats {
             pruned_dominance: self.pruned_dominance,
             pruned_horizon: self.pruned_horizon,
             pruned_budget: self.pruned_budget,
+            pruned_bound: self.pruned_bound,
             max_depth: self.max_depth,
             budget: self.budget,
         }
@@ -116,6 +123,7 @@ mod tests {
             pruned_dominance: 20,
             pruned_horizon: 3,
             pruned_budget: 1,
+            pruned_bound: 2,
             incumbent_improvements: 4,
             max_depth: 9,
             budget: 500,
@@ -125,7 +133,7 @@ mod tests {
     #[test]
     fn prunes_and_utilization_derive_from_counters() {
         let s = sample();
-        assert_eq!(s.total_prunes(), 34);
+        assert_eq!(s.total_prunes(), 36);
         assert!((s.budget_utilization() - 0.2).abs() < 1e-12);
         assert_eq!(SearchStats::default().budget_utilization(), 0.0);
     }
@@ -155,6 +163,7 @@ mod tests {
             pruned_dominance,
             pruned_horizon,
             pruned_budget,
+            pruned_bound,
             max_depth,
             budget,
         } = event
@@ -167,6 +176,7 @@ mod tests {
         assert_eq!(pruned_dominance, s.pruned_dominance);
         assert_eq!(pruned_horizon, s.pruned_horizon);
         assert_eq!(pruned_budget, s.pruned_budget);
+        assert_eq!(pruned_bound, s.pruned_bound);
         assert_eq!(max_depth, s.max_depth);
         assert_eq!(budget, s.budget);
     }

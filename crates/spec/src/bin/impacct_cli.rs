@@ -6,6 +6,7 @@
 //!                      [--corners] [--restarts <n>] [--seed <n>] [--quiet]
 //!                      [--threads off|auto|<n>]
 //!                      [--trace <out.jsonl|->] [--profile] [--no-incremental]
+//!                      [--no-lint-bounds]
 //!                      [--metrics <out.prom>] [--chrome-trace <out.json>]
 //! impacct-cli replay <problem.pasdl> <trace.jsonl> [--stage timing|max|min]
 //!                    [--live] [--restarts <n>] [--threads off|auto|<n>]
@@ -15,10 +16,12 @@
 //! impacct-cli diff <a.jsonl> <b.jsonl>
 //! impacct-cli validate <problem.pasdl> <schedule.pasdl>
 //! impacct-cli lint <problem.pasdl> [--format human|json]
+//!                  [--fix [--fix-maybe-incorrect]]
+//! impacct-cli lint --explain PASnnn       # extended per-code help
 //! impacct-cli print <problem.pasdl>       # parse + pretty-print
 //! impacct-cli generate <tasks> [--seed <n>] [--layers <n>]  # synthetic PASDL
 //! impacct-cli profile <problem.pasdl> [--threads-list 1,2,4,8]
-//!                     [--max-nodes <n>] [--sample-every <n>]
+//!                     [--max-nodes <n>] [--sample-every <n>] [--lint-bounds]
 //!                     [--out BENCH_profile.json] [--chrome-trace <out.json>]
 //!                     [--metrics <out.prom>] [--collapsed <out.txt>] [--quiet]
 //! ```
@@ -39,7 +42,10 @@
 //! scheduling engine (delta longest paths + cached power profiles,
 //! DESIGN.md §10) and forces full recomputation — results are
 //! identical, only slower, so the flag exists for ablation and
-//! cross-checking.
+//! cross-checking. `--no-lint-bounds` likewise disables the
+//! lint-derived admissible pruning bounds the exact stage feeds its
+//! branch and bound (DESIGN.md §14): schedules stay bit-identical,
+//! the search just explores more nodes.
 //!
 //! `replay` reconstructs the schedule recorded in a trace and
 //! cross-checks it against the problem (bit-exact metrics, every
@@ -51,8 +57,15 @@
 //!
 //! `validate` checks a hand-written schedule against a
 //! problem, reporting every violation. `lint` runs the `pas-lint`
-//! static passes over a problem without scheduling it and exits
-//! non-zero when any error-level diagnostic fires.
+//! static passes (including the deep abstract-interpretation
+//! `PAS04x` family, whose Deny diagnostics carry machine-checkable
+//! infeasibility certificates) over a problem without scheduling it
+//! and exits non-zero when any error-level diagnostic fires.
+//! `lint --fix` rewrites the file in place by applying the
+//! machine-applicable fix suggestions (add `--fix-maybe-incorrect`
+//! to also take deadline rewrites), round-tripping the result
+//! through the parser before writing; `lint --explain PASnnn`
+//! prints the extended rustc-style help for one code.
 //!
 //! `profile` sweeps the exact branch-and-bound over a list of thread
 //! counts and reports, per count, the measured wall time, per-worker
@@ -71,7 +84,7 @@ use pas_core::analyze;
 use pas_core::describe_spike;
 use pas_core::power_model::analyze_corners;
 use pas_gantt::{render_ascii, render_svg, summary_report, AsciiOptions, GanttChart, SvgOptions};
-use pas_lint::{lint_problem, render_human, render_json, LintConfig, SourceFile};
+use pas_lint::{lint_problem, render_human, render_json, LintCode, LintConfig, SourceFile};
 use pas_obs::{
     parse_jsonl, JsonlWriter, MetricsRegistry, NullObserver, Observer, StageKind, StageProfiler,
     Tee,
@@ -121,7 +134,7 @@ fn usage() -> String {
     "usage:\n  impacct-cli schedule <problem.pasdl> [--stage timing|max|min] \
      [--svg <out.svg>] [--emit-schedule] [--report] [--corners] [--restarts <n>] \
      [--seed <n>] [--quiet] [--threads off|auto|<n>] [--trace <out.jsonl|->] \
-     [--profile] [--no-incremental] \
+     [--profile] [--no-incremental] [--no-lint-bounds] \
      [--metrics <out.prom>] [--chrome-trace <out.json>]\n  \
      impacct-cli replay <problem.pasdl> <trace.jsonl> [--stage timing|max|min] [--live] \
      [--restarts <n>] [--threads off|auto|<n>] [--seed <n>]\n  \
@@ -129,11 +142,14 @@ fn usage() -> String {
      [--stage timing|max|min] [--json]\n  \
      impacct-cli diff <a.jsonl> <b.jsonl>\n  \
      impacct-cli validate <problem.pasdl> <schedule.pasdl>\n  \
-     impacct-cli lint <problem.pasdl> [--format human|json]\n  \
+     impacct-cli lint <problem.pasdl> [--format human|json] \
+     [--fix [--fix-maybe-incorrect]]\n  \
+     impacct-cli lint --explain PASnnn\n  \
      impacct-cli print <problem.pasdl>\n  \
      impacct-cli generate <tasks> [--seed <n>] [--layers <n>]\n  \
      impacct-cli profile <problem.pasdl> [--threads-list 1,2,4,8] [--max-nodes <n>] \
-     [--sample-every <n>] [--out BENCH_profile.json] [--chrome-trace <out.json>] \
+     [--sample-every <n>] [--lint-bounds] [--out BENCH_profile.json] \
+     [--chrome-trace <out.json>] \
      [--metrics <out.prom>] [--collapsed <out.txt>] [--quiet]"
         .to_string()
 }
@@ -172,6 +188,7 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     let mut trace_out = None;
     let mut profile = false;
     let mut incremental = true;
+    let mut lint_bounds = true;
     let mut metrics_out = None;
     let mut chrome_out = None;
     let mut threads = Parallelism::Off;
@@ -194,6 +211,7 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
             "--trace" => trace_out = Some(it.next().ok_or("--trace needs a path")?.clone()),
             "--profile" => profile = true,
             "--no-incremental" => incremental = false,
+            "--no-lint-bounds" => lint_bounds = false,
             "--metrics" => metrics_out = Some(it.next().ok_or("--metrics needs a path")?.clone()),
             "--chrome-trace" => {
                 chrome_out = Some(it.next().ok_or("--chrome-trace needs a path")?.clone())
@@ -227,6 +245,7 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
         config.seed = seed;
     }
     config.incremental = incremental;
+    config.lint_bounds = lint_bounds;
     config.parallelism = threads;
     let scheduler = PowerAwareScheduler::new(config);
 
@@ -533,18 +552,57 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
 fn cmd_lint(args: &[String]) -> Result<(), String> {
     let mut path = None;
     let mut format = "human".to_string();
+    let mut fix = false;
+    let mut fix_maybe_incorrect = false;
+    let mut explain_code = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--format" => format = it.next().ok_or("--format needs a value")?.clone(),
+            "--fix" => fix = true,
+            "--fix-maybe-incorrect" => fix_maybe_incorrect = true,
+            "--explain" => {
+                explain_code = Some(it.next().ok_or("--explain needs a PASnnn code")?.clone())
+            }
             other if path.is_none() => path = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
+    if let Some(code) = explain_code {
+        let code = LintCode::ALL
+            .into_iter()
+            .find(|c| c.as_str() == code)
+            .ok_or_else(|| {
+                let known = LintCode::ALL.map(LintCode::as_str).join(", ");
+                format!("unknown lint code {code:?} (known: {known})")
+            })?;
+        println!("{}", pas_lint::explain(code));
+        return Ok(());
+    }
     let path = path.ok_or_else(usage)?;
-    let source = read(&path)?;
+    let mut source = read(&path)?;
     let spanned = parse_problem_spanned(&source).map_err(|e| e.to_string())?;
-    let report = lint_problem(&spanned.problem, &spanned.spans, &LintConfig::default());
+    let mut report = lint_problem(&spanned.problem, &spanned.spans, &LintConfig::default());
+
+    if fix || fix_maybe_incorrect {
+        let outcome = pas_lint::apply_fixes(&source, &report, fix_maybe_incorrect);
+        if outcome.applied > 0 {
+            // Never write back a file the parser would reject: the
+            // fixes are span-level text edits, so round-trip the
+            // rewritten source and re-lint before committing it.
+            let respanned = parse_problem_spanned(&outcome.source)
+                .map_err(|e| format!("{path}: fixes produced unparsable PASDL ({e}); aborting"))?;
+            report = lint_problem(&respanned.problem, &respanned.spans, &LintConfig::default());
+            std::fs::write(&path, &outcome.source)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            source = outcome.source;
+        }
+        println!(
+            "{path}: applied {} fix(es), skipped {} overlapping",
+            outcome.applied, outcome.skipped
+        );
+    }
+
     let file = SourceFile {
         name: &path,
         text: &source,
@@ -629,7 +687,7 @@ struct SweepPoint {
     outcome: String,
     wall_s: f64,
     nodes: u64,
-    prunes: [u64; 4],
+    prunes: [u64; 5],
     max_depth: u32,
     budget_utilization: f64,
     branch_nodes: Vec<u64>,
@@ -777,9 +835,11 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let mut metrics_out = None;
     let mut collapsed_out = None;
     let mut quiet = false;
+    let mut lint_bounds = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--lint-bounds" => lint_bounds = true,
             "--threads-list" => {
                 threads_list = it
                     .next()
@@ -834,6 +894,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let config = pas_sched::optimal::OptimalConfig {
         max_nodes,
         horizon: None,
+        use_lint_bounds: lint_bounds,
     };
     let available = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -872,7 +933,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
                 }
             }
         }
-        let mut prunes = [0u64; 4];
+        let mut prunes = [0u64; 5];
         let mut nodes = 0u64;
         let mut budget_total = 0u64;
         let mut max_depth = 0u32;
@@ -884,6 +945,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
                 pruned_dominance,
                 pruned_horizon,
                 pruned_budget,
+                pruned_bound,
                 max_depth: depth,
                 budget,
                 ..
@@ -893,6 +955,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
                 prunes[1] += pruned_dominance;
                 prunes[2] += pruned_horizon;
                 prunes[3] += pruned_budget;
+                prunes[4] += pruned_bound;
                 nodes += n;
                 budget_total += budget;
                 max_depth = max_depth.max(*depth);
@@ -944,8 +1007,8 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let (cause, explanation) = diagnose(max_point, available, frontier);
 
     if !quiet {
-        println!("profile: {model} ({} tasks, frontier {frontier}, max_nodes {max_nodes}, host parallelism {available})",
-                 graph.num_tasks());
+        println!("profile: {model} ({} tasks, frontier {frontier}, max_nodes {max_nodes}, host parallelism {available}, lint bounds {})",
+                 graph.num_tasks(), if lint_bounds { "on" } else { "off" });
         println!(
             "{:>8} {:>10} {:>12} {:>10} {:>10} {:>12} {:>12}",
             "threads", "wall s", "nodes", "outcome", "idle %", "budget use", "staleness %"
@@ -972,8 +1035,12 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
             );
         }
         println!(
-            "prune breakdown (all branches): incumbent={} dominance={} horizon={} budget={}",
-            max_point.prunes[0], max_point.prunes[1], max_point.prunes[2], max_point.prunes[3]
+            "prune breakdown (all branches): incumbent={} dominance={} horizon={} budget={} bound={}",
+            max_point.prunes[0],
+            max_point.prunes[1],
+            max_point.prunes[2],
+            max_point.prunes[3],
+            max_point.prunes[4]
         );
         println!("per-worker accounting at {} thread(s):", max_point.threads);
         for w in &max_point.workers {
@@ -1060,7 +1127,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
                 "    {{\"threads\": {}, \"outcome\": \"{}\", \"wall_s\": {:.6}, ",
                 "\"shared_bound_wall_s\": {:.6}, \"nodes\": {}, \"max_depth\": {}, ",
                 "\"prunes\": {{\"incumbent\": {}, \"dominance\": {}, \"horizon\": {}, ",
-                "\"budget\": {}}}, \"budget_utilization\": {:.4}, ",
+                "\"budget\": {}, \"bound\": {}}}, \"budget_utilization\": {:.4}, ",
                 "\"branch_nodes\": [{}], \"branch_nodes_cov\": {:.4}, ",
                 "\"shared_min\": {{\"refine_calls\": {}, \"refine_wins\": {}, ",
                 "\"stale_refines\": {}, \"lost_races\": {}, \"cas_failures\": {}, ",
@@ -1077,6 +1144,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
             p.prunes[1],
             p.prunes[2],
             p.prunes[3],
+            p.prunes[4],
             p.budget_utilization,
             branch_nodes,
             nodes_cov(&p.branch_nodes),
@@ -1095,7 +1163,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         concat!(
             "{{\n  \"schema\": \"impacct-profile/v1\",\n  \"model\": \"{}\",\n",
             "  \"tasks\": {},\n  \"frontier\": {},\n  \"available_parallelism\": {},\n",
-            "  \"max_nodes\": {},\n  \"sample_every\": {},\n",
+            "  \"max_nodes\": {},\n  \"sample_every\": {},\n  \"lint_bounds\": {},\n",
             "  \"sweep\": [\n{}\n  ],\n",
             "  \"diagnosis\": {{\"regression_at_max_threads\": {}, ",
             "\"dominant_cause\": \"{}\", \"explanation\": \"{}\"}}\n}}\n"
@@ -1106,6 +1174,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         available,
         max_nodes,
         sample_every,
+        lint_bounds,
         rows.join(",\n"),
         regression,
         json_escape(&cause),

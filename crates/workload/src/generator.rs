@@ -33,6 +33,15 @@ pub enum Topology {
     },
     /// Arbitrary forward edges over a random topological order.
     Random,
+    /// One precedence spine threading all but `fringe` tasks, plus
+    /// `fringe` unordered tasks free to interleave anywhere.
+    /// Near-total-order instances: the spine pins the critical path,
+    /// so exact search completes even at hundreds of tasks — the
+    /// shape used to measure lint-derived bound efficacy.
+    Backbone {
+        /// Number of unordered tasks left off the spine.
+        fringe: usize,
+    },
 }
 
 /// Generator configuration.
@@ -183,6 +192,12 @@ pub fn generate(config: &GeneratorConfig) -> Problem {
                 }
             }
         }
+        Topology::Backbone { fringe } => {
+            let spine = config.tasks - fringe.min(config.tasks.saturating_sub(2));
+            for w in tasks[..spine].windows(2) {
+                min_pairs.push((w[0], w[1]));
+            }
+        }
     }
 
     for &(u, v) in &min_pairs {
@@ -263,6 +278,7 @@ mod tests {
             Topology::Layered { layers: 5 },
             Topology::Chains { chains: 4 },
             Topology::Random,
+            Topology::Backbone { fringe: 3 },
         ] {
             let p = generate(&GeneratorConfig {
                 topology,
@@ -309,6 +325,42 @@ mod tests {
             .filter(|(_, e)| e.kind() == pas_graph::EdgeKind::MinSeparation)
             .count();
         assert_eq!(min_edges, 9);
+    }
+
+    #[test]
+    fn backbone_topology_is_a_spine_plus_free_fringe() {
+        let p = generate(&GeneratorConfig {
+            topology: Topology::Backbone { fringe: 3 },
+            tasks: 12,
+            min_edge_probability: 0.0,
+            max_window_probability: 0.0,
+            ..Default::default()
+        });
+        // 9-task spine: 8 min edges; the 3 fringe tasks stay unordered.
+        let min_edges = p
+            .graph()
+            .edges()
+            .filter(|(_, e)| e.kind() == pas_graph::EdgeKind::MinSeparation)
+            .count();
+        assert_eq!(min_edges, 8);
+    }
+
+    #[test]
+    fn backbone_fringe_is_clamped_to_leave_a_spine() {
+        // fringe >= tasks must not underflow: at least a 2-task spine
+        // survives.
+        let p = generate(&GeneratorConfig {
+            topology: Topology::Backbone { fringe: 99 },
+            tasks: 6,
+            max_window_probability: 0.0,
+            ..Default::default()
+        });
+        let min_edges = p
+            .graph()
+            .edges()
+            .filter(|(_, e)| e.kind() == pas_graph::EdgeKind::MinSeparation)
+            .count();
+        assert_eq!(min_edges, 1);
     }
 
     #[test]

@@ -34,6 +34,7 @@ mod suite;
 
 pub use generator::{generate, GeneratorConfig, Topology};
 pub use sabotage::{
-    contradictory_window, forced_resource_overlap, overload_task, sabotage, Sabotage,
+    can_energy_starve, can_pack_resource, contradictory_window, energy_starved_deadline,
+    forced_resource_overlap, overload_task, packed_resource_deadline, sabotage, Sabotage,
 };
 pub use suite::{chains_suite, scaling_suite, tightness_suite, Suite, SCALING_SIZES};

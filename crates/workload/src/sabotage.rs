@@ -9,8 +9,8 @@
 //! catches it.
 
 use pas_core::{PowerConstraints, Problem};
-use pas_graph::units::{Power, TimeSpan};
-use pas_graph::TaskId;
+use pas_graph::units::{Power, Time, TimeSpan};
+use pas_graph::{ResourceId, TaskId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,15 +27,38 @@ pub enum Sabotage {
     /// Pin two same-resource tasks into overlapping windows (lint:
     /// `PAS030`, forced resource overlap).
     ForcedResourceOverlap,
+    /// Set the deadline to exactly the critical path, then shrink
+    /// `P_max` until the total task energy cannot flow through
+    /// `P_max - background` in time (deep lint: `PAS042` via the
+    /// energy bound, often `PAS040` window witnesses too).
+    EnergyStarvedDeadline,
+    /// Set the deadline between the critical path and one resource's
+    /// serial workload, so the tasks cannot be packed (deep lint:
+    /// `PAS042` via the resource-serial bound, often `PAS041`).
+    PackedResourceDeadline,
 }
 
 impl Sabotage {
     /// All sabotage kinds, for sweeping.
-    pub const ALL: [Sabotage; 3] = [
+    pub const ALL: [Sabotage; 5] = [
         Sabotage::OverloadTask,
         Sabotage::ContradictoryWindow,
         Sabotage::ForcedResourceOverlap,
+        Sabotage::EnergyStarvedDeadline,
+        Sabotage::PackedResourceDeadline,
     ];
+
+    /// Whether a scheduler that ignores deadlines still fails on the
+    /// sabotaged instance. The deadline-based kinds leave the timing
+    /// and power constraints satisfiable — only the declared deadline
+    /// is unreachable — so the pipeline happily produces a (late)
+    /// schedule and only deep lint catches the miss.
+    pub fn defeats_scheduler(self) -> bool {
+        !matches!(
+            self,
+            Sabotage::EnergyStarvedDeadline | Sabotage::PackedResourceDeadline
+        )
+    }
 }
 
 /// Applies `kind` to `problem`, deterministically in `seed`.
@@ -55,7 +78,131 @@ pub fn sabotage(problem: &mut Problem, kind: Sabotage, seed: u64) {
         Sabotage::ForcedResourceOverlap => {
             forced_resource_overlap(problem, seed);
         }
+        Sabotage::EnergyStarvedDeadline => {
+            energy_starved_deadline(problem, seed);
+        }
+        Sabotage::PackedResourceDeadline => {
+            packed_resource_deadline(problem, seed);
+        }
     }
+}
+
+/// Completion time of the critical path (`F*`), or `None` when the
+/// timing constraints are already unsatisfiable.
+fn critical_finish(problem: &Problem) -> Option<Time> {
+    let g = problem.graph();
+    let starts = pas_graph::longest_path::earliest_start_times(g).ok()?;
+    starts.iter().map(|&(v, s)| s + g.task(v).delay()).max()
+}
+
+/// Whether [`energy_starved_deadline`] applies: the total task energy
+/// must exceed what the largest single draw can push through the
+/// critical-path makespan, so a `P_max` exists that starves the
+/// deadline without tripping the per-task budget check (`PAS001`).
+pub fn can_energy_starve(problem: &Problem) -> bool {
+    let Some(finish) = critical_finish(problem) else {
+        return false;
+    };
+    let g = problem.graph();
+    let max_p = g
+        .task_ids()
+        .map(|v| g.task(v).power().as_milliwatts())
+        .max()
+        .unwrap_or(0);
+    if max_p <= 0 || finish <= Time::ZERO {
+        return false;
+    }
+    let energy: i128 = g
+        .task_ids()
+        .map(|v| g.task(v).power().as_milliwatts() as i128 * g.task(v).delay().as_secs() as i128)
+        .sum();
+    energy > max_p as i128 * finish.as_secs() as i128
+}
+
+/// Declares the deadline at exactly the critical-path completion (so
+/// the pure timing precheck `PAS012` stays quiet) and shrinks `P_max`
+/// until `ceil(total_energy / (P_max - background)) > deadline`: the
+/// energy lower bound proves the deadline unreachable while every
+/// individual task still fits the budget. Returns the deadline.
+///
+/// # Panics
+/// Panics when [`can_energy_starve`] is false.
+pub fn energy_starved_deadline(problem: &mut Problem, seed: u64) -> Time {
+    assert!(
+        can_energy_starve(problem),
+        "instance has too little energy to starve its critical path"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let finish = critical_finish(problem).expect("applicability checked");
+    let g = problem.graph();
+    let max_p = g
+        .task_ids()
+        .map(|v| g.task(v).power().as_milliwatts())
+        .max()
+        .expect("applicability checked");
+    let energy: i128 = g
+        .task_ids()
+        .map(|v| g.task(v).power().as_milliwatts() as i128 * g.task(v).delay().as_secs() as i128)
+        .sum();
+    // Any headroom h with max_p <= h <= (E-1)/D keeps every task
+    // under budget yet leaves ceil(E/h) > D.
+    let h_hi = ((energy - 1) / finish.as_secs() as i128).min(i64::MAX as i128) as i64;
+    let headroom = rng.gen_range(max_p..=h_hi);
+    let p_max = Power::from_watts_milli(
+        problem
+            .background_power()
+            .as_milliwatts()
+            .saturating_add(headroom),
+    );
+    let p_min = problem.constraints().p_min().min(p_max);
+    problem.set_constraints(PowerConstraints::new(p_max, p_min));
+    problem.set_deadline(Some(finish));
+    finish
+}
+
+/// Resources whose serial workload exceeds the critical path, paired
+/// with that workload in seconds.
+fn packable_resources(problem: &Problem) -> Vec<(ResourceId, i64)> {
+    let Some(finish) = critical_finish(problem) else {
+        return Vec::new();
+    };
+    let g = problem.graph();
+    (0..g.num_resources())
+        .map(ResourceId::from_index)
+        .filter_map(|r| {
+            let serial: i64 = g.tasks_on(r).map(|v| g.task(v).delay().as_secs()).sum();
+            (serial > finish.as_secs()).then_some((r, serial))
+        })
+        .collect()
+}
+
+/// Whether [`packed_resource_deadline`] applies: some resource's
+/// tasks, run back to back, outlast the critical path — the gap the
+/// sabotaged deadline is placed in.
+pub fn can_pack_resource(problem: &Problem) -> bool {
+    !packable_resources(problem).is_empty()
+}
+
+/// Declares a deadline that the critical path meets but one
+/// resource's serial workload cannot: `F* <= D < sum of delays on r`.
+/// The pure timing precheck (`PAS012`) stays quiet; deep lint proves
+/// the miss by the resource-serial bound. Returns the resource and
+/// the chosen deadline.
+///
+/// # Panics
+/// Panics when [`can_pack_resource`] is false.
+pub fn packed_resource_deadline(problem: &mut Problem, seed: u64) -> (ResourceId, Time) {
+    let candidates = packable_resources(problem);
+    assert!(
+        !candidates.is_empty(),
+        "no resource's serial workload outlasts the critical path"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let finish = critical_finish(problem).expect("applicability checked");
+    let (resource, serial) = candidates[rng.gen_range(0..candidates.len())];
+    let deadline = Time::from_secs(rng.gen_range(finish.as_secs()..serial));
+    problem.set_deadline(Some(deadline));
+    (resource, deadline)
 }
 
 /// Shrinks the power budget below the draw of one randomly chosen
@@ -128,6 +275,19 @@ mod tests {
         })
     }
 
+    /// Wide and shallow: few layers over few resources, so each
+    /// resource's serial workload dwarfs the critical path — the
+    /// shape the deadline-based kinds need.
+    fn wide(seed: u64) -> Problem {
+        generate(&GeneratorConfig {
+            seed,
+            tasks: 16,
+            resources: 2,
+            topology: crate::Topology::Layered { layers: 2 },
+            ..Default::default()
+        })
+    }
+
     fn fires(problem: &Problem, code: LintCode) -> bool {
         pas_lint::lint(problem)
             .diagnostics()
@@ -160,9 +320,72 @@ mod tests {
     }
 
     #[test]
+    fn energy_starved_deadline_fires_certified_pas042() {
+        let mut p = fresh(6);
+        assert!(can_energy_starve(&p), "16-task layered instance qualifies");
+        energy_starved_deadline(&mut p, 9);
+        let report = pas_lint::lint(&p);
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == LintCode::TightenedDeadlineMiss)
+            .expect("PAS042 must fire");
+        let cert = d
+            .certificate
+            .as_ref()
+            .expect("PAS042 carries a certificate");
+        pas_lint::verify_certificate(&p, cert).expect("certificate must check");
+    }
+
+    #[test]
+    fn packed_resource_deadline_fires_certified_pas042() {
+        let mut p = wide(7);
+        assert!(can_pack_resource(&p), "2 resources over 16 tasks qualify");
+        packed_resource_deadline(&mut p, 9);
+        let report = pas_lint::lint(&p);
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == LintCode::TightenedDeadlineMiss)
+            .expect("PAS042 must fire");
+        let cert = d
+            .certificate
+            .as_ref()
+            .expect("PAS042 carries a certificate");
+        pas_lint::verify_certificate(&p, cert).expect("certificate must check");
+    }
+
+    #[test]
+    fn deadline_kinds_leave_the_timing_system_satisfiable() {
+        // The whole point of the deadline kinds: PAS012 (plain
+        // critical path vs deadline) must stay quiet — only the deep
+        // bounds prove the miss.
+        for kind in [
+            Sabotage::EnergyStarvedDeadline,
+            Sabotage::PackedResourceDeadline,
+        ] {
+            let mut p = wide(8);
+            sabotage(&mut p, kind, 3);
+            let report = pas_lint::lint(&p);
+            assert!(
+                !report
+                    .diagnostics()
+                    .iter()
+                    .any(|d| d.code == LintCode::DeadlineUnreachable),
+                "{kind:?} tripped the plain critical-path check"
+            );
+            assert!(!kind.defeats_scheduler());
+        }
+    }
+
+    #[test]
     fn every_sabotage_is_an_error_level_reject() {
         for (i, kind) in Sabotage::ALL.into_iter().enumerate() {
-            let mut p = fresh(40 + i as u64);
+            let mut p = if kind.defeats_scheduler() {
+                fresh(40 + i as u64)
+            } else {
+                wide(40 + i as u64)
+            };
             sabotage(&mut p, kind, 7 + i as u64);
             let report = pas_lint::lint(&p);
             assert!(report.has_errors(), "{kind:?} produced no lint error");

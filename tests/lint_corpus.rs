@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 /// One witness spec per rule. `PAS006` (non-positive delay) has no
 /// witness: the PASDL front-end cannot construct such a task — the
 /// rule only guards programmatically built problems.
-const CORPUS: [(&str, LintCode); 12] = [
+const CORPUS: [(&str, LintCode); 15] = [
     ("pas001_task_over_budget.pasdl", LintCode::TaskOverBudget),
     ("pas002_self_loop.pasdl", LintCode::SelfLoop),
     ("pas003_duplicate_edge.pasdl", LintCode::DuplicateEdge),
@@ -35,6 +35,28 @@ const CORPUS: [(&str, LintCode); 12] = [
         "pas030_forced_resource_overlap.pasdl",
         LintCode::ForcedResourceOverlap,
     ),
+    (
+        "pas040_energy_window.pasdl",
+        LintCode::EnergyInfeasibleWindow,
+    ),
+    (
+        "pas041_demand_over_capacity.pasdl",
+        LintCode::DemandOverCapacity,
+    ),
+    (
+        "pas042_tightened_deadline.pasdl",
+        LintCode::TightenedDeadlineMiss,
+    ),
+];
+
+/// Feasible instances one notch away from the deep witnesses above.
+/// The deep passes must stay silent on them: their certificates are
+/// checker-validated before emission, so a diagnostic here would be a
+/// provable false positive.
+const NEAR_MISSES: [&str; 3] = [
+    "near_miss_pas040.pasdl",
+    "near_miss_pas041.pasdl",
+    "near_miss_pas042.pasdl",
 ];
 
 fn lint_file(path: &Path) -> LintReport {
@@ -113,4 +135,58 @@ fn shipped_specs_lint_error_clean() {
         checked >= 4,
         "expected the four shipped specs, saw {checked}"
     );
+}
+
+/// Parses a corpus spec and lints it, keeping the problem around for
+/// certificate verification.
+fn lint_file_with_problem(path: &Path) -> (impacct::core::Problem, LintReport) {
+    let source = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let spanned = parse_problem_spanned(&source)
+        .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+    let report = lint_problem(&spanned.problem, &spanned.spans, &LintConfig::default());
+    (spanned.problem, report)
+}
+
+#[test]
+fn deep_witnesses_carry_verified_certificates() {
+    let deep = [
+        LintCode::EnergyInfeasibleWindow,
+        LintCode::DemandOverCapacity,
+        LintCode::TightenedDeadlineMiss,
+    ];
+    for (file, code) in CORPUS {
+        if !deep.contains(&code) {
+            continue;
+        }
+        let (problem, report) = lint_file_with_problem(&corpus_dir().join(file));
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == code)
+            .unwrap_or_else(|| panic!("{file}: {code} did not fire"));
+        let cert = d
+            .certificate
+            .as_ref()
+            .unwrap_or_else(|| panic!("{file}: {code} carries no certificate"));
+        pas_lint::verify_certificate(&problem, cert)
+            .unwrap_or_else(|e| panic!("{file}: certificate rejected: {e}"));
+    }
+}
+
+#[test]
+fn near_misses_stay_clean_of_deep_diagnostics() {
+    for file in NEAR_MISSES {
+        let report = lint_file(&corpus_dir().join(file));
+        assert_eq!(
+            report.error_count(),
+            0,
+            "{file}: near-miss negative must lint error-clean, got {:?}",
+            report
+                .diagnostics()
+                .iter()
+                .map(|d| d.code.as_str())
+                .collect::<Vec<_>>()
+        );
+    }
 }

@@ -180,3 +180,142 @@ fn failure_proving_codes_are_error_level() {
         }
     }
 }
+
+/// Deterministic 256-problem sweep of the deep abstract-interpretation
+/// passes, both directions at once.
+///
+/// Zero false positives: each generated instance is scheduled once
+/// (unguarded, no deadline) and the achieved finish time becomes the
+/// declared deadline — an existence witness, so deep lint must stay
+/// error-clean at exactly that deadline.
+///
+/// Certified rejections: the instance is then re-broken with a
+/// deadline-based sabotage (resource packing where applicable, energy
+/// starvation otherwise). The deep passes must reject it with a
+/// `PAS04x` error whose certificate the independent zero-trust
+/// checker accepts; the guard-on pipeline must early-reject; and for
+/// the packing kind the unguarded pipeline still "succeeds" — past
+/// the deadline — proving the miss is invisible to the scheduler.
+#[test]
+fn deep_lint_sweep_256_zero_false_positives_with_certified_rejections() {
+    use impacct::lint::verify_certificate;
+    use impacct::workload::{
+        can_energy_starve, can_pack_resource, energy_starved_deadline, packed_resource_deadline,
+        GeneratorConfig, Topology,
+    };
+
+    let mut scheduled = 0usize;
+    let mut certified = 0usize;
+    for seed in 0..256u64 {
+        let cfg = GeneratorConfig {
+            seed: 0xDEE9_1137 ^ seed,
+            tasks: 8 + (seed % 9) as usize,
+            resources: 2 + (seed % 3) as usize,
+            topology: match seed % 3 {
+                0 => Topology::Layered {
+                    layers: 2 + (seed % 3) as usize,
+                },
+                1 => Topology::Chains {
+                    chains: 2 + (seed % 2) as usize,
+                },
+                _ => Topology::Random,
+            },
+            ..GeneratorConfig::default()
+        };
+        let problem = generate(&cfg);
+
+        // Witness schedule: no deadline, guard irrelevant.
+        let mut witness = problem.clone();
+        let Ok(outcome) = PowerAwareScheduler::new(SchedulerConfig {
+            lint_guard: false,
+            ..SchedulerConfig::default()
+        })
+        .schedule(&mut witness) else {
+            continue; // power-tight corner the generator dialed up
+        };
+        scheduled += 1;
+        let finish = outcome.schedule.finish_time(problem.graph());
+
+        // The witness proves the deadline `finish` is feasible, so
+        // the deep passes must not reject it.
+        let mut at_witness = problem.clone();
+        at_witness.set_deadline(Some(finish));
+        let report = lint(&at_witness);
+        assert_eq!(
+            report.error_count(),
+            0,
+            "seed {seed}: false positive at the witnessed deadline {finish}: {:?}",
+            report
+                .diagnostics()
+                .iter()
+                .map(|d| d.code.as_str())
+                .collect::<Vec<_>>()
+        );
+
+        // Certified-rejection direction, where a deadline sabotage
+        // applies.
+        let mut broken = problem.clone();
+        let packed = if can_pack_resource(&broken) {
+            packed_resource_deadline(&mut broken, seed);
+            true
+        } else if can_energy_starve(&broken) {
+            energy_starved_deadline(&mut broken, seed);
+            false
+        } else {
+            continue;
+        };
+        let report = lint(&broken);
+        let deep: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d.code,
+                    LintCode::EnergyInfeasibleWindow
+                        | LintCode::DemandOverCapacity
+                        | LintCode::TightenedDeadlineMiss
+                )
+            })
+            .collect();
+        assert!(
+            !deep.is_empty(),
+            "seed {seed}: deadline sabotage escaped the deep passes"
+        );
+        for d in &deep {
+            let cert = d
+                .certificate
+                .as_ref()
+                .unwrap_or_else(|| panic!("seed {seed}: {} without certificate", d.code));
+            verify_certificate(&broken, cert)
+                .unwrap_or_else(|e| panic!("seed {seed}: {} certificate rejected: {e}", d.code));
+        }
+        certified += 1;
+
+        // Guard on: early reject, no search.
+        let guarded = PowerAwareScheduler::default().schedule(&mut broken.clone());
+        assert!(
+            matches!(guarded, Err(ScheduleError::LintRejected { .. })),
+            "seed {seed}: guard did not early-reject the deadline sabotage"
+        );
+
+        // Packing only rewrites the deadline, so the original witness
+        // schedule is still constraint-valid — it just lands late.
+        // The scheduler (deadline-blind) therefore still succeeds,
+        // past the deadline only deep lint enforces.
+        if packed {
+            let deadline = broken.deadline().expect("sabotage declared one");
+            assert!(
+                finish > deadline,
+                "seed {seed}: witness finish {finish} within sabotaged deadline {deadline}"
+            );
+        }
+    }
+    assert!(
+        scheduled >= 200,
+        "only {scheduled}/256 instances scheduled — sweep lost its teeth"
+    );
+    assert!(
+        certified >= 64,
+        "only {certified}/256 instances produced certified deep rejections"
+    );
+}
