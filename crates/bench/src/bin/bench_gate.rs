@@ -27,6 +27,19 @@
 //! present in the baseline but missing from the fresh results fails
 //! the gate; new rows in the fresh results are allowed (the next
 //! baseline refresh picks them up).
+//!
+//! Thread-sweep wall-clock checks are **host-core-aware**: when the
+//! fresh file carries a `host_cores` field and the host has fewer
+//! cores than a row's thread count, that row's measured-wall-clock
+//! comparison is skipped with a logged warning — an N-thread run
+//! time-slicing fewer cores measures the OS scheduler, not the code.
+//! The queue-model `speedup` comparison always runs (it is projected
+//! from per-attempt durations and does not depend on core count).
+//!
+//! When the fresh file has ≥8 host cores, the gate additionally
+//! enforces **threads monotonicity** on `generated_500`: the 8-thread
+//! measured wall must be ≤ 1.05× the 4-thread wall. This is the
+//! regression check for the "8-thread cliff".
 
 use std::process::ExitCode;
 
@@ -37,6 +50,7 @@ struct Row {
     threads: Option<u64>,
     speedup: f64,
     measured_speedup: Option<f64>,
+    wall_ms: Option<f64>,
 }
 
 impl Row {
@@ -79,9 +93,19 @@ fn parse_rows(text: &str) -> Vec<Row> {
                 threads: number_field(line, "threads").map(|t| t as u64),
                 speedup,
                 measured_speedup: number_field(line, "measured_speedup"),
+                wall_ms: number_field(line, "wall_ms"),
             })
         })
         .collect()
+}
+
+/// The `host_cores` header a bench file was recorded with, when
+/// present (absent in files written before the field existed).
+fn parse_host_cores(text: &str) -> Option<u64> {
+    text.lines()
+        .find(|l| l.contains("\"host_cores\""))
+        .and_then(|l| number_field(l, "host_cores"))
+        .map(|c| c as u64)
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -115,16 +139,17 @@ fn run(args: &[String]) -> Result<(), String> {
                 .into(),
         );
     };
-    let read = |path: &str| -> Result<Vec<Row>, String> {
+    let read = |path: &str| -> Result<(Vec<Row>, Option<u64>), String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let rows = parse_rows(&text);
         if rows.is_empty() {
             return Err(format!("{path}: no bench rows found"));
         }
-        Ok(rows)
+        let host_cores = parse_host_cores(&text);
+        Ok((rows, host_cores))
     };
-    let baseline = read(baseline_path)?;
-    let fresh = read(fresh_path)?;
+    let (baseline, _) = read(baseline_path)?;
+    let (fresh, fresh_host_cores) = read(fresh_path)?;
 
     let mut failures = Vec::new();
     println!(
@@ -165,6 +190,22 @@ fn run(args: &[String]) -> Result<(), String> {
             ));
         }
         if let (Some(bm), Some(fm)) = (b.measured_speedup, f.measured_speedup) {
+            // Wall-clock thread-sweep rows are only meaningful when
+            // the fresh run actually had that many cores: time-sliced
+            // threads measure the OS scheduler, not the code.
+            if let (Some(host), Some(threads)) = (fresh_host_cores, f.threads) {
+                if host < threads {
+                    println!(
+                        "{:<28} {:>10} {:>10} {:>9}  SKIPPED (measured: host has \
+                         {host} core(s) < {threads} threads)",
+                        b.key(),
+                        "-",
+                        "-",
+                        "-"
+                    );
+                    continue;
+                }
+            }
             let floor = bm * (1.0 - measured_tolerance);
             let ok = fm >= floor;
             println!(
@@ -188,6 +229,49 @@ fn run(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    // Threads-monotonicity check on the fresh sweep: going from 4 to
+    // 8 workers must not cost wall-clock (≤ 5% slack) on the 500-task
+    // workload — the 8-thread-cliff regression guard. Only meaningful
+    // on a host that can actually run 8 threads in parallel.
+    const MONO_WORKLOAD: &str = "generated_500";
+    const MONO_SLACK: f64 = 1.05;
+    let wall_at = |threads: u64| -> Option<f64> {
+        fresh
+            .iter()
+            .find(|r| r.workload == MONO_WORKLOAD && r.threads == Some(threads))
+            .and_then(|r| r.wall_ms)
+    };
+    match (fresh_host_cores, wall_at(4), wall_at(8)) {
+        (Some(host), _, _) if host < 8 => {
+            println!(
+                "threads-monotonicity: SKIPPED (host has {host} core(s) < 8; \
+                 an oversubscribed sweep cannot witness the cliff)"
+            );
+        }
+        (None, _, _) => {
+            println!("threads-monotonicity: SKIPPED (fresh file has no host_cores field)");
+        }
+        (Some(_), Some(w4), Some(w8)) => {
+            let ok = w8 <= w4 * MONO_SLACK;
+            println!(
+                "threads-monotonicity ({MONO_WORKLOAD}): 4t {w4:.1} ms, 8t {w8:.1} ms  {}",
+                if ok { "ok" } else { "REGRESSED" }
+            );
+            if !ok {
+                failures.push(format!(
+                    "{MONO_WORKLOAD}: 8-thread wall {w8:.1} ms exceeds {MONO_SLACK}x \
+                     the 4-thread wall {w4:.1} ms (the 8-thread cliff)"
+                ));
+            }
+        }
+        (Some(_), w4, w8) => {
+            println!(
+                "threads-monotonicity: SKIPPED (missing {MONO_WORKLOAD} wall_ms rows: \
+                 4t={w4:?}, 8t={w8:?})"
+            );
+        }
+    }
+
     if failures.is_empty() {
         println!(
             "gate passed: {} row(s) within {:.0}%",

@@ -43,6 +43,7 @@ fn main() -> ExitCode {
         max_nodes: 150_000,
         horizon: None,
         use_lint_bounds: false,
+        use_dominance: false,
     };
 
     let mut plain_min = Duration::MAX;

@@ -166,6 +166,19 @@ fn main() {
                 "{}: threads={threads} diverged from the sequential portfolio",
                 w.label
             );
+            if threads == 1 {
+                // `Threads(1)` with no observer routes through the
+                // portfolio's sequential loop (pipeline.rs), so its
+                // wall-clock must match `Parallelism::Off` within
+                // measurement noise — a regression here means the
+                // 1-thread buffer/stitch tax is back.
+                assert!(
+                    wall_ms <= off_wall_ms * 1.15 + 5.0,
+                    "{}: Threads(1) wall {wall_ms:.1} ms is not at parity \
+                     with Off {off_wall_ms:.1} ms",
+                    w.label
+                );
+            }
             let speedup = serial_ms / queue_makespan_ms(&durations, threads);
             let measured_speedup = if wall_ms > 0.0 {
                 off_wall_ms / wall_ms
@@ -196,13 +209,22 @@ fn main() {
         }
     }
 
+    // Host core count: lets consumers (bench_gate) tell real
+    // multi-core measurements from time-sliced single-core runs, where
+    // measured wall-clock comparisons between thread counts are
+    // vacuous.
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let json = format!(
         concat!(
             "{{\n  \"bench\": \"parallel\",\n  \"restarts\": {},\n",
+            "  \"host_cores\": {},\n",
             "  \"speedup_model\": \"queue projection over measured attempt durations\",\n",
             "  \"results\": [\n{}\n  ]\n}}\n"
         ),
         restarts,
+        host_cores,
         rows.join(",\n")
     );
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");

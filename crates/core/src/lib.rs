@@ -64,7 +64,7 @@ pub use metrics::{
     analyze, energy_cost, free_energy_used, power_jitter, utilization, ScheduleAnalysis,
 };
 pub use problem::{PowerConstraints, Problem};
-pub use profile::{Interval, PowerProfile, ProfileMove, Segment};
+pub use profile::{DeltaArena, Interval, PowerProfile, ProfileMove, Segment};
 pub use ratio::Ratio;
 pub use schedule::Schedule;
 pub use slack::{slack, slacks};

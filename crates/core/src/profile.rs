@@ -168,10 +168,29 @@ impl PowerProfile {
     /// `from` window stops contributing its power and the matching
     /// `to` window starts.
     pub fn with_moves(&self, moves: &[ProfileMove], new_end: Time) -> Self {
+        self.with_moves_in(moves, new_end, &mut DeltaArena::new())
+    }
+
+    /// [`with_moves`](Self::with_moves) against a caller-owned
+    /// [`DeltaArena`]: the candidate-breakpoint scratch and the
+    /// result's breakpoint vectors are drawn from the arena instead of
+    /// fresh heap allocations, so a rebuild loop that
+    /// [recycles](DeltaArena::recycle) superseded profiles runs
+    /// allocation-free in the steady state. The returned profile is
+    /// identical (by `==`) to the plain variant's — `Vec` equality
+    /// ignores capacity.
+    pub fn with_moves_in(
+        &self,
+        moves: &[ProfileMove],
+        new_end: Time,
+        arena: &mut DeltaArena,
+    ) -> Self {
         // Candidate breakpoints: every instant where the new function
         // can change level — the old breakpoints plus the moved window
         // boundaries (clamped to the origin like the event sweep).
-        let mut extra: Vec<Time> = Vec::with_capacity(moves.len() * 4 + 1);
+        let extra: &mut Vec<Time> = &mut arena.extra;
+        extra.clear();
+        extra.reserve(moves.len() * 4 + 1);
         for m in moves {
             extra.push(m.from.start.max(Time::ZERO));
             extra.push(m.from.end.max(Time::ZERO));
@@ -205,8 +224,9 @@ impl PowerProfile {
         // level changes — the same canonical form `from_events`
         // produces (first entry at 0, trailing entry at the horizon
         // only when the level just before it differs from background).
-        let mut times = Vec::with_capacity(self.times.len() + extra.len());
-        let mut levels = Vec::with_capacity(self.times.len() + extra.len());
+        let (mut times, mut levels) = arena.pool.pop().unwrap_or_default();
+        times.reserve(self.times.len() + extra.len());
+        levels.reserve(self.times.len() + extra.len());
         times.push(Time::ZERO);
         levels.push(eval(Time::ZERO));
         let push = |t: Time, times: &mut Vec<Time>, levels: &mut Vec<Power>| {
@@ -382,6 +402,41 @@ impl PowerProfile {
             }
         }
         out
+    }
+}
+
+/// Reusable storage for delta profile rebuilds
+/// ([`PowerProfile::with_moves_in`]): a scratch vector for candidate
+/// breakpoints plus a free pool of retired breakpoint vectors. The
+/// max-power spike-elimination loop rebuilds the standing profile
+/// once per accepted move; recycling the superseded profile into the
+/// arena makes the steady state allocation-free (`DESIGN.md` §15).
+#[derive(Debug, Default)]
+pub struct DeltaArena {
+    /// Candidate-breakpoint scratch (cleared per rebuild).
+    extra: Vec<Time>,
+    /// Retired `(times, levels)` breakpoint storage, cleared and ready
+    /// for reuse.
+    pool: Vec<(Vec<Time>, Vec<Power>)>,
+}
+
+impl DeltaArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a superseded profile's breakpoint storage to the free
+    /// pool for the next [`PowerProfile::with_moves_in`] call.
+    pub fn recycle(&mut self, profile: PowerProfile) {
+        let PowerProfile {
+            mut times,
+            mut levels,
+            ..
+        } = profile;
+        times.clear();
+        levels.clear();
+        self.pool.push((times, levels));
     }
 }
 

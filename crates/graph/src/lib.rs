@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod alap;
+pub mod csr;
 pub mod dot;
 mod edge;
 mod error;

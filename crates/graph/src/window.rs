@@ -23,7 +23,7 @@
 //! argument.
 //!
 //! The results are pinned to the two existing single-direction
-//! analyses ([`single_source_longest_paths`] and
+//! analyses ([`single_source_longest_paths`](crate::longest_path::single_source_longest_paths) and
 //! [`latest_start_times`]) by property tests: the fixpoint must agree
 //! with them bound-for-bound on every feasible graph.
 

@@ -132,6 +132,23 @@ impl FromStr for Parallelism {
     }
 }
 
+/// The number of OS threads actually worth spawning for a pool of
+/// `workers` logical workers over `n` items: never more than the
+/// host's [`std::thread::available_parallelism`]. Spawning past the
+/// core count cannot add throughput — the items drain from one shared
+/// queue, so fewer threads process exactly the same work — and it
+/// actively hurts: oversubscribed threads evict each other's caches
+/// and inflate the join tail (the "8-thread cliff" on small hosts,
+/// `DESIGN.md` §15). Results are **unchanged** by the clamp: the
+/// queue hands out items in index order and results are reassembled
+/// by index, so every pool size produces identical output.
+fn spawn_count(workers: usize, n: usize) -> usize {
+    let host = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    workers.min(n).min(host).max(1)
+}
+
 /// Maps `f` over `items` on up to `workers` scoped threads, returning
 /// the results **in item order**.
 ///
@@ -139,7 +156,9 @@ impl FromStr for Parallelism {
 /// per-item seeding (`derive(base_seed, index)`) stays identical to
 /// the sequential loop. With `workers <= 1` or fewer than two items
 /// the map runs inline on the caller's thread — same closure, same
-/// order, no spawn cost.
+/// order, no spawn cost. Spawned thread counts are additionally
+/// clamped to the host's available parallelism (see `spawn_count`);
+/// the result is identical either way.
 ///
 /// Panics in `f` are propagated to the caller after the scope joins.
 pub fn par_map<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
@@ -160,7 +179,7 @@ where
     let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers.min(n))
+        let handles: Vec<_> = (0..spawn_count(workers, n))
             .map(|_| {
                 scope.spawn(|| {
                     let mut done: Vec<(usize, R)> = Vec::new();
@@ -306,9 +325,10 @@ where
 
     let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let mut profiles: Vec<WorkerProfile> = Vec::with_capacity(workers.min(n));
+    let spawned = spawn_count(workers, n);
+    let mut profiles: Vec<WorkerProfile> = Vec::with_capacity(spawned);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers.min(n))
+        let handles: Vec<_> = (0..spawned)
             .map(|w| {
                 let queue = &queue;
                 let f = &f;
@@ -626,7 +646,7 @@ mod tests {
                 x * x
             });
             assert_eq!(got, expected, "workers={workers}");
-            assert_eq!(profile.workers.len(), workers.min(items.len()));
+            assert_eq!(profile.workers.len(), spawn_count(workers, items.len()));
             let pulled: u64 = profile.workers.iter().map(|w| w.items).sum();
             assert_eq!(pulled, items.len() as u64, "workers={workers}");
             for (i, w) in profile.workers.iter().enumerate() {

@@ -170,6 +170,18 @@ pub struct SchedulerConfig {
     /// a performance knob. Disable to measure the bounds' pruning
     /// efficacy (`impacct-cli profile` reports both).
     pub lint_bounds: bool,
+    /// Enable dominance/symmetry breaking in the portfolio's exact
+    /// branch-and-bound attempt: interchangeable tasks (identical
+    /// delay, power, resource, and precedence signature — see
+    /// `DESIGN.md` §15) are branched in canonical id order only, so
+    /// the search skips permutations of task sets it has already
+    /// explored. The returned schedule is bit-identical either way —
+    /// every pruned branch has an already-enumerated twin with the
+    /// same finish time — so, like [`SchedulerConfig::lint_bounds`],
+    /// this is purely a performance knob; only node counts and
+    /// `SearchStats::pruned_dominance` telemetry change. Disable to
+    /// measure the rule's pruning efficacy.
+    pub dominance: bool,
     /// Use the incremental scheduling engine: delta-maintained anchor
     /// longest paths across the timing scheduler's search tree (see
     /// [`pas_graph::IncrementalLongestPaths`]) and delta-rebuilt power
@@ -222,6 +234,7 @@ impl Default for SchedulerConfig {
             exact_portfolio_limit: 10,
             lint_guard: true,
             lint_bounds: true,
+            dominance: true,
             incremental: true,
             parallelism: Parallelism::Off,
             portfolio_base_seed: None,
@@ -321,6 +334,7 @@ mod tests {
         assert!(cfg.max_scans >= 2, "paper requires multiple scans");
         assert!(cfg.lint_guard, "static guard is on by default");
         assert!(cfg.lint_bounds, "lint-derived B&B bounds on by default");
+        assert!(cfg.dominance, "dominance/symmetry breaking on by default");
         assert!(cfg.incremental, "incremental engine is on by default");
         assert_eq!(cfg.parallelism, Parallelism::Off, "sequential by default");
         assert_eq!(

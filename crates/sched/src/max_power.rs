@@ -269,6 +269,12 @@ fn solve<O: Observer>(
     // of victims, and `with_moves` reproduces the canonical profile of
     // the updated schedule exactly (see `pas_core::PowerProfile`).
     let mut profile = PowerProfile::of_schedule(graph, &sigma, background);
+    // Breakpoint arena for the delta rebuilds: each accepted move
+    // batch retires the previous profile, whose storage is recycled
+    // into the next rebuild — the loop is allocation-free in the
+    // steady state (`DESIGN.md` §15). This loop is sequential (one
+    // standing profile per solve frame), so arena reuse cannot race.
+    let mut delta_arena = pas_core::DeltaArena::new();
     for _round in 0..MAX_SPIKE_ROUNDS {
         let Some(spike) = profile.segments().find(|s| s.power > p_max) else {
             return Ok(sigma); // power-valid
@@ -292,8 +298,12 @@ fn solve<O: Observer>(
             ) {
                 Ok(Elimination::Local(new_sigma, moves)) => {
                     sigma = new_sigma;
-                    profile = if config.incremental {
-                        let updated = profile.with_moves(&moves, sigma.finish_time(graph));
+                    if config.incremental {
+                        let updated = profile.with_moves_in(
+                            &moves,
+                            sigma.finish_time(graph),
+                            &mut delta_arena,
+                        );
                         if obs.is_enabled() {
                             obs.on_event(&TraceEvent::IncrementalDelta {
                                 stage: StageKind::MaxPower,
@@ -301,10 +311,10 @@ fn solve<O: Observer>(
                                 relaxations: updated.segments().count() as u64,
                             });
                         }
-                        updated
+                        delta_arena.recycle(std::mem::replace(&mut profile, updated));
                     } else {
-                        PowerProfile::of_schedule(graph, &sigma, background)
-                    };
+                        profile = PowerProfile::of_schedule(graph, &sigma, background);
+                    }
                     resolved_locally = true;
                     break;
                 }

@@ -18,6 +18,7 @@
 use crate::error::ScheduleError;
 use crate::telemetry::SearchStats;
 use pas_core::{is_time_valid, Schedule};
+use pas_graph::csr::{CsrAdjacency, FixedBitset};
 use pas_graph::longest_path::single_source_longest_paths;
 use pas_graph::units::{Power, Time, TimeSpan};
 use pas_graph::{ConstraintGraph, NodeId, TaskId};
@@ -46,6 +47,17 @@ pub struct OptimalConfig {
     /// ([`SearchStats::pruned_bound`]). Off by default so legacy node
     /// counts stay reproducible.
     pub use_lint_bounds: bool,
+    /// Symmetry breaking for interchangeable tasks (DESIGN.md §15):
+    /// tasks with identical delay, power, resource and constraint
+    /// signature are only ever branched in canonical (id) order — a
+    /// task is skipped while a smaller interchangeable twin is still
+    /// unplaced, because any completion below it has an
+    /// identical-finish twin in an earlier subtree. The returned
+    /// schedule is bit-identical with the flag on or off (given an
+    /// ample node budget); only `nodes_explored` and
+    /// [`SearchStats::pruned_dominance`] change. Off by default so
+    /// legacy node counts stay reproducible.
+    pub use_dominance: bool,
 }
 
 impl Default for OptimalConfig {
@@ -54,6 +66,7 @@ impl Default for OptimalConfig {
             max_nodes: 20_000_000,
             horizon: None,
             use_lint_bounds: false,
+            use_dominance: false,
         }
     }
 }
@@ -170,9 +183,10 @@ pub fn minimize_finish_time(
     };
     let n = graph.num_tasks();
     let bounds = lint_search_bounds(graph, p_max, background, config.use_lint_bounds);
+    let arena = SearchArena::build(graph, config.use_dominance);
 
     let mut search = Search::new(
-        graph,
+        &arena,
         p_max,
         background,
         config.max_nodes,
@@ -226,9 +240,10 @@ pub fn minimize_finish_time_observed<O: Observer + ?Sized>(
     };
     let n = graph.num_tasks();
     let bounds = lint_search_bounds(graph, p_max, background, config.use_lint_bounds);
+    let arena = SearchArena::build(graph, config.use_dominance);
 
     let mut search = Search::new(
-        graph,
+        &arena,
         p_max,
         background,
         config.max_nodes,
@@ -314,7 +329,8 @@ pub fn minimize_finish_time_parallel(
         return Ok(empty_outcome());
     };
     let n = graph.num_tasks();
-    let frontier = depth0_frontier(graph, p_max, background, horizon);
+    let arena = SearchArena::build(graph, config.use_dominance);
+    let frontier = depth0_frontier(&arena, p_max, background, horizon);
     let bounds = lint_search_bounds(graph, p_max, background, config.use_lint_bounds);
 
     let shared = SharedMin::new(u64::MAX);
@@ -322,7 +338,7 @@ pub fn minimize_finish_time_parallel(
         let mut starts = vec![None; n];
         starts[v.index()] = Some(s);
         let mut search = Search::new(
-            graph,
+            &arena,
             p_max,
             background,
             config.max_nodes,
@@ -378,7 +394,8 @@ pub fn minimize_finish_time_parallel_profiled(
         }
     };
     let n = graph.num_tasks();
-    let frontier = depth0_frontier(graph, p_max, background, horizon);
+    let arena = SearchArena::build(graph, config.use_dominance);
+    let frontier = depth0_frontier(&arena, p_max, background, horizon);
     let bounds = lint_search_bounds(graph, p_max, background, config.use_lint_bounds);
 
     let shared = SharedMin::new(u64::MAX);
@@ -387,7 +404,7 @@ pub fn minimize_finish_time_parallel_profiled(
             let mut starts = vec![None; n];
             starts[v.index()] = Some(s);
             let mut search = Search::new(
-                graph,
+                &arena,
                 p_max,
                 background,
                 config.max_nodes,
@@ -445,7 +462,8 @@ pub fn minimize_finish_time_partitioned(
         return Ok(empty_outcome());
     };
     let n = graph.num_tasks();
-    let frontier = depth0_frontier(graph, p_max, background, horizon);
+    let arena = SearchArena::build(graph, config.use_dominance);
+    let frontier = depth0_frontier(&arena, p_max, background, horizon);
     if frontier.is_empty() {
         return Err(ScheduleError::SpikeUnresolvable {
             at: Time::ZERO,
@@ -460,7 +478,7 @@ pub fn minimize_finish_time_partitioned(
         let mut starts = vec![None; n];
         starts[v.index()] = Some(s);
         let mut search = Search::new(
-            graph,
+            &arena,
             p_max,
             background,
             branch_budget,
@@ -543,7 +561,8 @@ pub fn minimize_finish_time_partitioned_profiled<O: Observer + ?Sized>(
         Err(e) => return (Err(e), pas_par::PoolProfile::default()),
     };
     let n = graph.num_tasks();
-    let frontier = depth0_frontier(graph, p_max, background, horizon);
+    let arena = SearchArena::build(graph, config.use_dominance);
+    let frontier = depth0_frontier(&arena, p_max, background, horizon);
     if frontier.is_empty() {
         return (
             Err(ScheduleError::SpikeUnresolvable {
@@ -562,7 +581,7 @@ pub fn minimize_finish_time_partitioned_profiled<O: Observer + ?Sized>(
         let mut starts = vec![None; n];
         starts[v.index()] = Some(s);
         let mut search = Search::new(
-            graph,
+            &arena,
             p_max,
             background,
             branch_budget,
@@ -705,28 +724,37 @@ fn empty_outcome() -> OptimalOutcome {
 
 /// Replicates the sequential depth-0 expansion: with nothing placed
 /// the dominant candidate set for each ready task is exactly its
-/// lower bound, visited in task order.
+/// lower bound, visited in task order. With dominance enabled the
+/// same symmetry rule the sequential loop applies is applied here, so
+/// the partitioned variants branch on the identical frontier.
 fn depth0_frontier(
-    graph: &ConstraintGraph,
+    arena: &SearchArena,
     p_max: Power,
     background: Power,
     horizon: Time,
 ) -> Vec<(TaskId, Time)> {
-    let proto = Search::new(
-        graph,
+    let n = arena.num_tasks();
+    let mut proto = Search::new(
+        arena,
         p_max,
         background,
         0,
         horizon,
-        vec![None; graph.num_tasks()],
+        vec![None; n],
         None,
         None,
     );
     let mut frontier: Vec<(TaskId, Time)> = Vec::new();
-    for v in graph.task_ids() {
-        let Some(lb) = proto.lower_bound(v) else {
+    let ready: Vec<usize> = proto.ready.ones().collect();
+    for i in ready {
+        let v = TaskId::from_index(i);
+        // At depth 0 every task is unplaced, so the symmetry rule
+        // reduces to "only the smallest member of each class
+        // branches".
+        if arena.dominance && arena.class_prev[i].is_some() {
             continue;
-        };
+        }
+        let lb = proto.lower_bound(v);
         if lb > horizon || !proto.placement_ok(v, lb) {
             continue;
         }
@@ -741,8 +769,133 @@ fn bound_key(t: Time) -> u64 {
     t.as_secs().max(0) as u64
 }
 
+/// Frozen, cache-friendly view of the problem shared by every branch
+/// of one search invocation (DESIGN.md §15): CSR adjacency plus flat
+/// per-task attribute arrays, so the hot loop never touches the
+/// pointer-chasing `ConstraintGraph` arenas, and the precomputed
+/// interchangeability chain for the symmetry rule. Immutable and
+/// `Sync`, so the fanned-out variants build it once and share it
+/// across workers.
+struct SearchArena {
+    csr: CsrAdjacency,
+    delay: Vec<TimeSpan>,
+    power: Vec<Power>,
+    resource: Vec<u32>,
+    /// `class_prev[v]` is the nearest smaller task interchangeable
+    /// with `v` (identical delay, power, resource, and in/out
+    /// constraint signature by node id — which automatically excludes
+    /// classes whose members constrain each other). `None` for class
+    /// leaders and when dominance is off.
+    class_prev: Vec<Option<TaskId>>,
+    /// Whether the symmetry rule is applied ([`OptimalConfig::use_dominance`]).
+    dominance: bool,
+}
+
+impl SearchArena {
+    fn build(graph: &ConstraintGraph, dominance: bool) -> Self {
+        let n = graph.num_tasks();
+        let mut delay = Vec::with_capacity(n);
+        let mut power = Vec::with_capacity(n);
+        let mut resource = Vec::with_capacity(n);
+        for (_, task) in graph.tasks() {
+            delay.push(task.delay());
+            power.push(task.power());
+            resource.push(task.resource().index() as u32);
+        }
+        let csr = CsrAdjacency::build(graph);
+        let class_prev = if dominance {
+            interchangeable_prev(graph, &csr)
+        } else {
+            vec![None; n]
+        };
+        SearchArena {
+            csr,
+            delay,
+            power,
+            resource,
+            class_prev,
+            dominance,
+        }
+    }
+
+    #[inline]
+    fn num_tasks(&self) -> usize {
+        self.delay.len()
+    }
+}
+
+/// Computes the interchangeability chain: for every task, the nearest
+/// smaller task with an identical `(delay, power, resource, in-edges,
+/// out-edges)` signature, where edge signatures are `(other node id,
+/// weight, kind)` multisets. Equal signatures imply the two tasks are
+/// fully exchangeable in any schedule (swapping their start times
+/// maps feasible schedules to feasible schedules with the same
+/// finish), which is what the symmetry rule in [`Search::descend`]
+/// relies on; see DESIGN.md §15 for the soundness argument.
+fn interchangeable_prev(graph: &ConstraintGraph, csr: &CsrAdjacency) -> Vec<Option<TaskId>> {
+    fn kind_rank(kind: pas_graph::EdgeKind) -> u8 {
+        match kind {
+            pas_graph::EdgeKind::MinSeparation => 0,
+            pas_graph::EdgeKind::MaxSeparation => 1,
+            pas_graph::EdgeKind::Serialization => 2,
+            pas_graph::EdgeKind::Release => 3,
+            pas_graph::EdgeKind::Lock => 4,
+            _ => 5,
+        }
+    }
+    type EdgeSig = Vec<(u32, i64, u8)>;
+    type Sig = (i64, i64, u32, EdgeSig, EdgeSig);
+
+    let n = graph.num_tasks();
+    let mut keyed: Vec<(Sig, usize)> = Vec::with_capacity(n);
+    for (t, task) in graph.tasks() {
+        let mut ins: EdgeSig = csr
+            .in_edges(t.node())
+            .iter()
+            .map(|e| {
+                (
+                    e.other.index() as u32,
+                    e.weight.as_secs(),
+                    kind_rank(e.kind),
+                )
+            })
+            .collect();
+        ins.sort_unstable();
+        let mut outs: EdgeSig = csr
+            .out_edges(t.node())
+            .iter()
+            .map(|e| {
+                (
+                    e.other.index() as u32,
+                    e.weight.as_secs(),
+                    kind_rank(e.kind),
+                )
+            })
+            .collect();
+        outs.sort_unstable();
+        keyed.push((
+            (
+                task.delay().as_secs(),
+                task.power().as_milliwatts(),
+                task.resource().index() as u32,
+                ins,
+                outs,
+            ),
+            t.index(),
+        ));
+    }
+    keyed.sort();
+    let mut class_prev = vec![None; n];
+    for pair in keyed.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            class_prev[pair[1].1] = Some(TaskId::from_index(pair[0].1));
+        }
+    }
+    class_prev
+}
+
 struct Search<'g> {
-    graph: &'g ConstraintGraph,
+    arena: &'g SearchArena,
     p_max: Power,
     background: Power,
     max_nodes: u64,
@@ -750,6 +903,36 @@ struct Search<'g> {
     best: Option<Vec<Time>>,
     best_finish: Time,
     starts: Vec<Option<Time>>,
+    /// SoA mirror of `starts.is_some()` for the hot membership tests
+    /// (dominance twin checks, ready-frontier maintenance).
+    placed: FixedBitset,
+    /// Per-task count of precedence in-edges whose task source is
+    /// still unplaced; 0 means the task is branchable.
+    pending_preds: Vec<u32>,
+    /// Unplaced tasks with `pending_preds == 0` — the branch frontier,
+    /// iterated in ascending id order (the legacy task-scan order).
+    ready: FixedBitset,
+    /// Completion times of placed tasks, kept sorted (duplicates
+    /// kept). Replaces the per-node candidate re-sort: the dominant
+    /// candidate set of a task with lower bound `lb` is `lb` followed
+    /// by the distinct ends after `lb`, read off this array in order.
+    ends_sorted: Vec<Time>,
+    /// Stack-disciplined scratch for candidate start times (one frame
+    /// per recursion depth), reused across the whole search.
+    cand_buf: Vec<Time>,
+    /// Stack-disciplined scratch snapshotting the ready frontier per
+    /// node expansion.
+    ready_buf: Vec<u32>,
+    /// Placed tasks as a contiguous `(start, end, power, resource)`
+    /// stack (pushed by [`Search::place`], popped by
+    /// [`Search::unplace`] — the two are strictly LIFO in `descend`).
+    /// `placement_ok` scans this instead of decoding the `placed`
+    /// bitset and chasing `starts`/arena lookups per placed task: the
+    /// overlap sweep's verdict is order-invariant (see the proof at
+    /// the scan), so placement order is as good as id order.
+    placed_ivals: Vec<(Time, Time, Power, u32)>,
+    /// Scratch for `placement_ok`'s overlap sweep events.
+    events: Vec<(Time, Power, bool)>,
     horizon: Time,
     /// Cross-branch incumbent bound for the frontier-parallel search.
     /// Pruning against it is *strictly greater only*: a partial whose
@@ -778,9 +961,12 @@ struct Search<'g> {
 impl<'g> Search<'g> {
     // Private constructor mirroring the struct's fields one-to-one;
     // bundling them into a config struct would just rename the list.
+    // The SoA state (placed set, pending-predecessor counts, ready
+    // frontier, sorted ends) is derived from `starts`, so branch
+    // searches seeded with a pre-placed task start consistent.
     #[allow(clippy::too_many_arguments)]
     fn new(
-        graph: &'g ConstraintGraph,
+        arena: &'g SearchArena,
         p_max: Power,
         background: Power,
         max_nodes: u64,
@@ -789,8 +975,37 @@ impl<'g> Search<'g> {
         shared: Option<&'g SharedMin>,
         bounds: Option<&'g SearchBounds>,
     ) -> Self {
+        let n = starts.len();
+        debug_assert_eq!(n, arena.num_tasks());
+        let mut placed = FixedBitset::new(n);
+        let mut ends_sorted = Vec::with_capacity(n);
+        let mut placed_ivals = Vec::with_capacity(n);
+        for (i, s) in starts.iter().enumerate() {
+            if let Some(s) = s {
+                placed.insert(i);
+                ends_sorted.push(*s + arena.delay[i]);
+                placed_ivals.push((*s, *s + arena.delay[i], arena.power[i], arena.resource[i]));
+            }
+        }
+        ends_sorted.sort_unstable();
+        let mut pending_preds = vec![0u32; n];
+        for (i, pending) in pending_preds.iter_mut().enumerate() {
+            *pending = arena
+                .csr
+                .in_edges(TaskId::from_index(i).node())
+                .iter()
+                .filter(|e| e.is_precedence())
+                .filter(|e| e.other.task().is_some_and(|u| starts[u.index()].is_none()))
+                .count() as u32;
+        }
+        let mut ready = FixedBitset::new(n);
+        for i in 0..n {
+            if starts[i].is_none() && pending_preds[i] == 0 {
+                ready.insert(i);
+            }
+        }
         Search {
-            graph,
+            arena,
             p_max,
             background,
             max_nodes,
@@ -798,6 +1013,14 @@ impl<'g> Search<'g> {
             best: None,
             best_finish: horizon + TimeSpan::from_secs(1),
             starts,
+            placed,
+            pending_preds,
+            ready,
+            ends_sorted,
+            cand_buf: Vec::new(),
+            ready_buf: Vec::new(),
+            placed_ivals,
+            events: Vec::new(),
             horizon,
             shared,
             bounds,
@@ -807,6 +1030,57 @@ impl<'g> Search<'g> {
             worker: 0,
             log: Vec::new(),
         }
+    }
+
+    /// Places `v` at `s`, maintaining every SoA structure. Returns the
+    /// insertion index into [`Search::ends_sorted`] for the matching
+    /// [`Search::unplace`].
+    fn place(&mut self, v: TaskId, s: Time) -> usize {
+        let i = v.index();
+        self.starts[i] = Some(s);
+        self.placed.insert(i);
+        self.ready.remove(i);
+        for e in self.arena.csr.out_edges(v.node()) {
+            if !e.is_precedence() {
+                continue;
+            }
+            if let Some(w) = e.other.task() {
+                let w = w.index();
+                self.pending_preds[w] -= 1;
+                if self.pending_preds[w] == 0 && !self.placed.contains(w) {
+                    self.ready.insert(w);
+                }
+            }
+        }
+        let end = s + self.arena.delay[i];
+        self.placed_ivals
+            .push((s, end, self.arena.power[i], self.arena.resource[i]));
+        let at = self.ends_sorted.partition_point(|&e| e <= end);
+        self.ends_sorted.insert(at, end);
+        at
+    }
+
+    /// Exact inverse of [`Search::place`].
+    fn unplace(&mut self, v: TaskId, end_idx: usize) {
+        let i = v.index();
+        let top = self.placed_ivals.pop();
+        debug_assert_eq!(top.map(|(s, ..)| Some(s)), Some(self.starts[i]));
+        self.ends_sorted.remove(end_idx);
+        for e in self.arena.csr.out_edges(v.node()) {
+            if !e.is_precedence() {
+                continue;
+            }
+            if let Some(w) = e.other.task() {
+                let w = w.index();
+                if self.pending_preds[w] == 0 {
+                    self.ready.remove(w);
+                }
+                self.pending_preds[w] += 1;
+            }
+        }
+        self.placed.remove(i);
+        self.ready.insert(i);
+        self.starts[i] = None;
     }
 
     /// The counters with the derived fields (nodes, budget) filled in.
@@ -881,33 +1155,64 @@ impl<'g> Search<'g> {
             return Ok(());
         }
 
-        // Branch over every unplaced task whose placed predecessors
-        // allow a lower bound (dynamic topological order), at each
-        // dominant candidate start.
-        for v in self.graph.task_ids() {
-            if self.starts[v.index()].is_some() {
-                continue;
-            }
-            let Some(lb) = self.lower_bound(v) else {
-                continue;
-            };
-            let d = self.graph.task(v).delay();
+        // One shared-bound load per node expansion (not per
+        // candidate): the bound only ever decreases, so pruning
+        // against a value loaded at expansion time is still
+        // strict-only admissible — at worst it prunes less than a
+        // fresh load would. This is what keeps `SharedMinStats::
+        // get_calls` proportional to nodes instead of nodes ×
+        // frontier × candidates.
+        let shared_bound = self.shared.map(SharedMin::get);
 
-            // Dominant candidates: lb and completions of placed tasks
-            // after lb.
-            let mut candidates: Vec<Time> = vec![lb];
-            for u in self.graph.task_ids() {
-                if let Some(su) = self.starts[u.index()] {
-                    let end = su + self.graph.task(u).delay();
-                    if end > lb {
-                        candidates.push(end);
+        // Branch over the ready frontier (unplaced tasks whose
+        // precedence predecessors are all placed — the dynamic
+        // topological order), in ascending id order, at each dominant
+        // candidate start. The frontier is snapshotted into a
+        // stack-disciplined scratch because recursion below mutates
+        // `ready` (and restores it before the next iteration reads
+        // the snapshot).
+        let ready_base = self.ready_buf.len();
+        for i in self.ready.ones() {
+            self.ready_buf.push(i as u32);
+        }
+        let ready_end = self.ready_buf.len();
+        let mut outcome = Ok(());
+        'tasks: for ri in ready_base..ready_end {
+            let v = TaskId::from_index(self.ready_buf[ri] as usize);
+            if self.arena.dominance {
+                // Symmetry rule: while a smaller interchangeable twin
+                // is unplaced, branching v is dominated — every
+                // completion below (v, s) has an identical-finish
+                // twin under the earlier (u, s) branch of this same
+                // node (swap the two tasks' start times).
+                if let Some(u) = self.arena.class_prev[v.index()] {
+                    if !self.placed.contains(u.index()) {
+                        self.stats.pruned_dominance += 1;
+                        continue;
                     }
                 }
             }
-            candidates.sort_unstable();
-            candidates.dedup();
+            let lb = self.lower_bound(v);
+            let d = self.arena.delay[v.index()];
 
-            for s in candidates {
+            // Dominant candidates: lb, then the distinct completions
+            // of placed tasks after lb — `ends_sorted` is maintained
+            // sorted, so this reads off exactly the sorted+deduped
+            // candidate sequence the legacy per-node re-sort built.
+            let cand_base = self.cand_buf.len();
+            self.cand_buf.push(lb);
+            let mut prev = lb;
+            for ei in self.ends_sorted.partition_point(|&e| e <= lb)..self.ends_sorted.len() {
+                let e = self.ends_sorted[ei];
+                if e != prev {
+                    self.cand_buf.push(e);
+                    prev = e;
+                }
+            }
+            let cand_end = self.cand_buf.len();
+
+            for ci in cand_base..cand_end {
+                let s = self.cand_buf[ci];
                 if s > self.horizon {
                     self.stats.pruned_horizon += 1;
                     break;
@@ -930,10 +1235,10 @@ impl<'g> Search<'g> {
                         break;
                     }
                 }
-                if let Some(shared) = self.shared {
+                if let Some(bound) = shared_bound {
                     // Strict-only global pruning (candidates are
                     // sorted, so later ones are at least as bad).
-                    if bound_key(finish) > shared.get() {
+                    if bound_key(finish) > bound {
                         self.stats.pruned_incumbent += 1;
                         break;
                     }
@@ -942,92 +1247,99 @@ impl<'g> Search<'g> {
                     self.stats.pruned_dominance += 1;
                     continue;
                 }
-                self.starts[v.index()] = Some(s);
-                self.descend(depth + 1, finish)?;
-                self.starts[v.index()] = None;
-                if self.stop {
-                    return Ok(());
+                let end_idx = self.place(v, s);
+                let descended = self.descend(depth + 1, finish);
+                self.unplace(v, end_idx);
+                if descended.is_err() || self.stop {
+                    outcome = descended;
+                    self.cand_buf.truncate(cand_base);
+                    break 'tasks;
                 }
             }
+            self.cand_buf.truncate(cand_base);
         }
-        Ok(())
+        self.ready_buf.truncate(ready_base);
+        outcome
     }
 
-    /// The earliest start of `v` permitted by edges whose sources are
-    /// placed (or the anchor); `None` when an unplaced predecessor
-    /// still gates it (that task must be placed first — this is what
-    /// makes the enumeration topological).
-    fn lower_bound(&self, v: TaskId) -> Option<Time> {
+    /// The earliest start of `v` permitted by its precedence in-edges.
+    /// Only called for frontier tasks, whose precedence predecessors
+    /// are all placed (the `ready` invariant), so the bound always
+    /// exists.
+    fn lower_bound(&self, v: TaskId) -> Time {
         let mut lb = Time::ZERO;
-        for (_, e) in self.graph.in_edges(v.node()) {
+        for e in self.arena.csr.in_edges(v.node()) {
             if !e.is_precedence() {
                 continue; // backward max edges are checked on placement
             }
-            match e.from().task() {
-                None => lb = lb.max(Time::ZERO + e.weight()),
-                Some(u) => match self.starts[u.index()] {
-                    Some(su) => lb = lb.max(su + e.weight()),
-                    None => return None,
-                },
+            match e.other.task() {
+                None => lb = lb.max(Time::ZERO + e.weight),
+                Some(u) => {
+                    let su = self.starts[u.index()].expect("ready task's preds are placed");
+                    lb = lb.max(su + e.weight);
+                }
             }
         }
-        Some(lb)
+        lb
     }
 
     /// Checks the placement of `v` at `s` against placed tasks:
     /// every edge between placed endpoints, resource exclusivity, and
     /// the power budget over `[s, s+d)`.
-    fn placement_ok(&self, v: TaskId, s: Time) -> bool {
-        let task = self.graph.task(v);
-        let end = s + task.delay();
+    fn placement_ok(&mut self, v: TaskId, s: Time) -> bool {
+        let vi = v.index();
+        let end = s + self.arena.delay[vi];
 
         // Edges incident to v whose other endpoint is placed.
-        for (_, e) in self.graph.out_edges(v.node()) {
-            let to = match e.to().task() {
+        for e in self.arena.csr.out_edges(v.node()) {
+            let to = match e.other.task() {
                 None => Time::ZERO,
                 Some(u) => match self.starts[u.index()] {
                     Some(t) => t,
                     None => continue,
                 },
             };
-            if to - s < e.weight() {
+            if to - s < e.weight {
                 return false;
             }
         }
-        for (_, e) in self.graph.in_edges(v.node()) {
-            let from = match e.from().task() {
+        for e in self.arena.csr.in_edges(v.node()) {
+            let from = match e.other.task() {
                 None => Time::ZERO,
                 Some(u) => match self.starts[u.index()] {
                     Some(t) => t,
                     None => continue,
                 },
             };
-            if s - from < e.weight() {
+            if s - from < e.weight {
                 return false;
             }
         }
 
-        // Resource exclusivity and power budget against placed tasks.
-        let mut level = task.power().saturating_add(self.background);
-        let mut events: Vec<(Time, Power, bool)> = Vec::new();
-        for u in self.graph.task_ids() {
-            let Some(su) = self.starts[u.index()] else {
-                continue;
-            };
-            let other = self.graph.task(u);
-            let eu = su + other.delay();
+        // Resource exclusivity and power budget against placed tasks,
+        // scanned off the contiguous interval stack (placement order,
+        // not id order). The verdict is order-invariant: the resource
+        // clash is an existence test; and in the sweep below, ends
+        // sort before coincident starts, powers are non-negative, so
+        // within a `(t, is_start)` tie group every prefix level is ≤
+        // the group total — the budget check fails for some
+        // permutation of a tie group iff it fails for all of them.
+        let mut level = self.arena.power[vi].saturating_add(self.background);
+        let resource = self.arena.resource[vi];
+        self.events.clear();
+        for &(su, eu, pu, ru) in &self.placed_ivals {
             let overlaps = su < end && s < eu;
             if !overlaps {
                 continue;
             }
-            if other.resource() == task.resource() {
+            if ru == resource {
                 return false;
             }
-            events.push((su.max(s), other.power(), true));
-            events.push((eu.min(end), other.power(), false));
+            self.events.push((su.max(s), pu, true));
+            self.events.push((eu.min(end), pu, false));
         }
-        events.sort_by_key(|&(t, _, is_start)| (t, is_start));
-        for (_, p, is_start) in events {
+        self.events.sort_by_key(|&(t, _, is_start)| (t, is_start));
+        for &(_, p, is_start) in &self.events {
             if is_start {
                 level += p;
                 if level > self.p_max {
@@ -1212,6 +1524,7 @@ mod tests {
                 max_nodes: 10,
                 horizon: None,
                 use_lint_bounds: false,
+                use_dominance: false,
             },
         );
         assert!(matches!(
@@ -1315,6 +1628,7 @@ mod tests {
             max_nodes: 30,
             horizon: None,
             use_lint_bounds: false,
+            use_dominance: false,
         };
         let reference =
             minimize_finish_time_partitioned(&g, Power::from_watts(2), Power::ZERO, &tight, 1);
@@ -1497,6 +1811,7 @@ mod tests {
                 max_nodes: 10,
                 horizon: None,
                 use_lint_bounds: false,
+                use_dominance: false,
             },
             0, // sampling off: the stats record must still appear
             &mut rec,
@@ -1602,5 +1917,105 @@ mod tests {
             w(3_700),
         );
         (problem, ())
+    }
+
+    /// Pins the interchangeable-task signature (`DESIGN.md` §15): two
+    /// tasks are twins iff delay, power, resource, and the full
+    /// weighted in/out precedence-edge lists all match; classes chain
+    /// each member to its nearest smaller twin.
+    #[test]
+    fn interchangeable_signature_pins_twin_classes() {
+        let mut g = ConstraintGraph::new();
+        let r0 = g.add_resource(Resource::new("R0", ResourceKind::Compute));
+        let r1 = g.add_resource(Resource::new("R1", ResourceKind::Compute));
+        let mk = |g: &mut ConstraintGraph, name: &str, r, d, w| {
+            g.add_task(Task::new(
+                name,
+                r,
+                TimeSpan::from_secs(d),
+                Power::from_watts(w),
+            ))
+        };
+        let a = mk(&mut g, "a", r0, 4, 5);
+        let b = mk(&mut g, "b", r0, 4, 5); // twin of a
+        let c = mk(&mut g, "c", r1, 4, 5); // different resource
+        let d = mk(&mut g, "d", r0, 3, 5); // different delay
+        let e = mk(&mut g, "e", r0, 4, 6); // different power
+        let f = mk(&mut g, "f", r0, 4, 5); // same scalars, but edged
+        let h = mk(&mut g, "h", r0, 4, 5); // third twin → chains to b
+        g.precedence(c, f);
+
+        let arena = SearchArena::build(&g, true);
+        assert_eq!(arena.class_prev[a.index()], None, "class head");
+        assert_eq!(arena.class_prev[b.index()], Some(a), "twin chains to a");
+        assert_eq!(arena.class_prev[h.index()], Some(b), "nearest smaller twin");
+        for (t, why) in [(c, "resource"), (d, "delay"), (e, "power"), (f, "edges")] {
+            assert_eq!(
+                arena.class_prev[t.index()],
+                None,
+                "{why} must break the class"
+            );
+        }
+
+        // The off switch disables classification entirely.
+        let off = SearchArena::build(&g, false);
+        assert!(off.class_prev.iter().all(Option::is_none));
+    }
+
+    /// Dominance breaking must be a pure performance knob on a graph
+    /// built to maximise symmetry: identical schedule and finish, a
+    /// strictly smaller tree, and worker-count-invariant fan-out.
+    #[test]
+    fn dominance_skips_twins_and_preserves_the_optimum() {
+        // Two resources, two interchangeable 5 W / 4 s tasks on each;
+        // a 10 W budget lets the two resources run in parallel while
+        // each twin pair serializes → optimum 8 s.
+        let mut g = ConstraintGraph::new();
+        for p in 0..2 {
+            let r = g.add_resource(Resource::new(format!("R{p}"), ResourceKind::Compute));
+            for k in 0..2 {
+                g.add_task(Task::new(
+                    format!("t{p}{k}"),
+                    r,
+                    TimeSpan::from_secs(4),
+                    Power::from_watts(5),
+                ));
+            }
+        }
+        let p_max = Power::from_watts(10);
+        let config = |dominance: bool| OptimalConfig {
+            use_dominance: dominance,
+            ..OptimalConfig::default()
+        };
+        let off = minimize_finish_time(&g, p_max, Power::ZERO, &config(false)).unwrap();
+        let on = minimize_finish_time(&g, p_max, Power::ZERO, &config(true)).unwrap();
+        assert_eq!(on.finish_time, Time::from_secs(8));
+        assert_eq!(on.schedule, off.schedule, "bit-identical");
+        assert_eq!(on.finish_time, off.finish_time);
+        assert!(
+            on.nodes_explored < off.nodes_explored,
+            "symmetry breaking must cut nodes: {} vs {}",
+            on.nodes_explored,
+            off.nodes_explored
+        );
+        assert!(
+            on.stats.pruned_dominance > 0,
+            "symmetry skips must be counted: {:?}",
+            on.stats
+        );
+
+        // The partitioned fan-out keeps worker-count invariance with
+        // the rule on (the depth-0 frontier drops dominated twins for
+        // every worker identically).
+        let one =
+            minimize_finish_time_partitioned(&g, p_max, Power::ZERO, &config(true), 1).unwrap();
+        assert_eq!(one.schedule, on.schedule);
+        for workers in [2, 4, 8] {
+            let got =
+                minimize_finish_time_partitioned(&g, p_max, Power::ZERO, &config(true), workers)
+                    .unwrap();
+            assert_eq!(got.schedule, one.schedule, "workers={workers}");
+            assert_eq!(got.nodes_explored, one.nodes_explored, "workers={workers}");
+        }
     }
 }

@@ -21,6 +21,7 @@ use crate::context::ScheduleContext;
 use crate::error::ScheduleError;
 use crate::telemetry::{SearchStats, SEARCH_SAMPLE_INTERVAL};
 use pas_core::Schedule;
+use pas_graph::csr::{CsrAdjacency, FixedBitset};
 use pas_graph::{ConstraintGraph, TaskId};
 use pas_obs::{CountingObserver, Observer, StageKind, TraceEvent};
 use rand::rngs::StdRng;
@@ -105,7 +106,7 @@ pub(crate) fn schedule_timing_ctx<O: Observer>(
     }
 
     let outer_mark = ctx.mark(graph);
-    let mut committed = vec![false; graph.num_tasks()];
+    let mut topo = TopoState::build(graph);
     let mut budget = config.max_backtracks;
     let mut rng = match config.commit_order {
         CommitOrder::EarliestFirst | CommitOrder::Rotated(_) => None,
@@ -129,7 +130,7 @@ pub(crate) fn schedule_timing_ctx<O: Observer>(
     let outcome = commit_all(
         graph,
         ctx,
-        &mut committed,
+        &mut topo,
         0,
         &mut budget,
         rotation,
@@ -170,6 +171,108 @@ enum CommitOutcome {
     OutOfBudget,
 }
 
+/// Incrementally-maintained topological search state (`DESIGN.md`
+/// §15): a CSR snapshot of the constraint graph taken at search entry,
+/// per-task counts of uncommitted precedence predecessors, the ready
+/// frontier as a bitset, and per-resource peer lists. Replaces the
+/// per-node all-task `frontier()` rescan and the `tasks_on` linear
+/// filter with O(out-degree) commit/uncommit maintenance.
+///
+/// The snapshot is equivalent to the legacy live-graph frontier scan:
+/// every precedence edge present at entry (including release/lock/
+/// serialization edges added by earlier max-power recursions) is
+/// counted, while serialization edges added *during* this run never
+/// affect frontier membership — their source is the task just
+/// committed, and committed-source edges do not block (`DESIGN.md`
+/// §15). Both iterations are in ascending task-id order, so candidate
+/// order — and therefore the schedule — is bit-identical.
+struct TopoState {
+    csr: CsrAdjacency,
+    committed: Vec<bool>,
+    /// Number of precedence in-edges (in the snapshot) whose task
+    /// source is still uncommitted; counted per edge occurrence.
+    pending: Vec<u32>,
+    /// Uncommitted tasks with `pending == 0`, in ascending id order.
+    ready: FixedBitset,
+    /// Tasks per resource, in ascending id order (the `tasks_on`
+    /// iteration order the serialization loop relied on).
+    by_resource: Vec<Vec<TaskId>>,
+}
+
+impl TopoState {
+    fn build(graph: &ConstraintGraph) -> TopoState {
+        let n = graph.num_tasks();
+        let csr = CsrAdjacency::build(graph);
+        let committed = vec![false; n];
+        let mut pending = vec![0u32; n];
+        for t in graph.task_ids() {
+            for e in csr.in_edges(t.node()) {
+                if e.is_precedence() && e.other.task().is_some() {
+                    pending[t.index()] += 1;
+                }
+            }
+        }
+        let mut ready = FixedBitset::new(n);
+        for (i, &p) in pending.iter().enumerate() {
+            if p == 0 {
+                ready.insert(i);
+            }
+        }
+        let mut by_resource = vec![Vec::new(); graph.num_resources()];
+        for (id, task) in graph.tasks() {
+            by_resource[task.resource().index()].push(id);
+        }
+        TopoState {
+            csr,
+            committed,
+            pending,
+            ready,
+            by_resource,
+        }
+    }
+
+    /// The ready frontier, ascending by task id — exactly the legacy
+    /// `frontier()` output order.
+    fn frontier(&self) -> Vec<TaskId> {
+        self.ready.ones().map(TaskId::from_index).collect()
+    }
+
+    fn commit(&mut self, c: TaskId) {
+        self.committed[c.index()] = true;
+        self.ready.remove(c.index());
+        for e in self.csr.out_edges(c.node()) {
+            if !e.is_precedence() {
+                continue;
+            }
+            let Some(w) = e.other.task() else { continue };
+            let p = &mut self.pending[w.index()];
+            *p -= 1;
+            if *p == 0 && !self.committed[w.index()] {
+                self.ready.insert(w.index());
+            }
+        }
+    }
+
+    /// Exact inverse of [`TopoState::commit`].
+    fn uncommit(&mut self, c: TaskId) {
+        for e in self.csr.out_edges(c.node()) {
+            if !e.is_precedence() {
+                continue;
+            }
+            let Some(w) = e.other.task() else { continue };
+            let p = &mut self.pending[w.index()];
+            if *p == 0 {
+                self.ready.remove(w.index());
+            }
+            *p += 1;
+        }
+        self.committed[c.index()] = false;
+        // c was ready when committed (it came off the frontier) and
+        // its own predecessors have not changed.
+        self.ready.insert(c.index());
+    }
+}
+
 /// Branch-free search counters for one timing-scheduler run plus the
 /// deterministic sampling rule (`SearchSample` every
 /// [`SEARCH_SAMPLE_INTERVAL`] commits — commit-count-triggered, never
@@ -190,7 +293,7 @@ struct TimingMeter {
 fn commit_all<O: Observer>(
     graph: &mut ConstraintGraph,
     ctx: &mut ScheduleContext,
-    committed: &mut [bool],
+    topo: &mut TopoState,
     num_committed: usize,
     budget: &mut usize,
     rotation: usize,
@@ -209,7 +312,7 @@ fn commit_all<O: Observer>(
         Err(_) => return CommitOutcome::Dead,
     };
 
-    let mut candidates: Vec<TaskId> = frontier(graph, committed);
+    let mut candidates: Vec<TaskId> = topo.frontier();
     match rng {
         None => {
             candidates.sort_by_key(|&t| (lp.start_time(t), t));
@@ -235,7 +338,7 @@ fn commit_all<O: Observer>(
             return CommitOutcome::OutOfBudget;
         }
         let mark = ctx.mark(graph);
-        committed[c.index()] = true;
+        topo.commit(c);
         meter.stats.nodes += 1;
         let depth = (num_committed + 1) as u32;
         if depth > meter.stats.max_depth {
@@ -253,10 +356,13 @@ fn commit_all<O: Observer>(
             }
         }
 
-        // Serialize every uncommitted same-resource task after c.
-        let peers: Vec<TaskId> = graph
-            .tasks_on(graph.task(c).resource())
-            .filter(|&u| u != c && !committed[u.index()])
+        // Serialize every uncommitted same-resource task after c
+        // (peer lists are in ascending id order — the same order the
+        // live `tasks_on` scan produced).
+        let peers: Vec<TaskId> = topo.by_resource[graph.task(c).resource().index()]
+            .iter()
+            .copied()
+            .filter(|&u| u != c && !topo.committed[u.index()])
             .collect();
         for u in peers {
             graph.serialize_after(c, u);
@@ -274,7 +380,7 @@ fn commit_all<O: Observer>(
             match commit_all(
                 graph,
                 ctx,
-                committed,
+                topo,
                 num_committed + 1,
                 budget,
                 rotation,
@@ -290,7 +396,7 @@ fn commit_all<O: Observer>(
             meter.stats.pruned_dominance += 1;
         }
 
-        committed[c.index()] = false;
+        topo.uncommit(c);
         ctx.undo_to(graph, &mark);
         if obs.is_enabled() {
             obs.on_event(&TraceEvent::TopoBacktrack { task: c });
@@ -309,26 +415,6 @@ fn splitmix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
-}
-
-/// Tasks whose precedence predecessors are all committed — the
-/// candidate successors `Succ[c]` of the paper's traversal.
-fn frontier(graph: &ConstraintGraph, committed: &[bool]) -> Vec<TaskId> {
-    graph
-        .task_ids()
-        .filter(|&t| !committed[t.index()])
-        .filter(|&t| {
-            graph.in_edges(t.node()).all(|(_, e)| {
-                if !e.is_precedence() {
-                    return true;
-                }
-                match e.from().task() {
-                    None => true, // anchor
-                    Some(u) => committed[u.index()],
-                }
-            })
-        })
-        .collect()
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //!                      [--corners] [--restarts <n>] [--seed <n>] [--quiet]
 //!                      [--threads off|auto|<n>]
 //!                      [--trace <out.jsonl|->] [--profile] [--no-incremental]
-//!                      [--no-lint-bounds]
+//!                      [--no-lint-bounds] [--no-dominance]
 //!                      [--metrics <out.prom>] [--chrome-trace <out.json>]
 //! impacct-cli replay <problem.pasdl> <trace.jsonl> [--stage timing|max|min]
 //!                    [--live] [--restarts <n>] [--threads off|auto|<n>]
@@ -22,6 +22,7 @@
 //! impacct-cli generate <tasks> [--seed <n>] [--layers <n>]  # synthetic PASDL
 //! impacct-cli profile <problem.pasdl> [--threads-list 1,2,4,8]
 //!                     [--max-nodes <n>] [--sample-every <n>] [--lint-bounds]
+//!                     [--dominance]
 //!                     [--out BENCH_profile.json] [--chrome-trace <out.json>]
 //!                     [--metrics <out.prom>] [--collapsed <out.txt>] [--quiet]
 //! ```
@@ -45,7 +46,9 @@
 //! cross-checking. `--no-lint-bounds` likewise disables the
 //! lint-derived admissible pruning bounds the exact stage feeds its
 //! branch and bound (DESIGN.md §14): schedules stay bit-identical,
-//! the search just explores more nodes.
+//! the search just explores more nodes. `--no-dominance` disables
+//! dominance/symmetry breaking on interchangeable tasks (DESIGN.md
+//! §15, on by default) — again bit-identical schedules, more nodes.
 //!
 //! `replay` reconstructs the schedule recorded in a trace and
 //! cross-checks it against the problem (bit-exact metrics, every
@@ -134,7 +137,7 @@ fn usage() -> String {
     "usage:\n  impacct-cli schedule <problem.pasdl> [--stage timing|max|min] \
      [--svg <out.svg>] [--emit-schedule] [--report] [--corners] [--restarts <n>] \
      [--seed <n>] [--quiet] [--threads off|auto|<n>] [--trace <out.jsonl|->] \
-     [--profile] [--no-incremental] [--no-lint-bounds] \
+     [--profile] [--no-incremental] [--no-lint-bounds] [--no-dominance] \
      [--metrics <out.prom>] [--chrome-trace <out.json>]\n  \
      impacct-cli replay <problem.pasdl> <trace.jsonl> [--stage timing|max|min] [--live] \
      [--restarts <n>] [--threads off|auto|<n>] [--seed <n>]\n  \
@@ -148,7 +151,7 @@ fn usage() -> String {
      impacct-cli print <problem.pasdl>\n  \
      impacct-cli generate <tasks> [--seed <n>] [--layers <n>]\n  \
      impacct-cli profile <problem.pasdl> [--threads-list 1,2,4,8] [--max-nodes <n>] \
-     [--sample-every <n>] [--lint-bounds] [--out BENCH_profile.json] \
+     [--sample-every <n>] [--lint-bounds] [--dominance] [--out BENCH_profile.json] \
      [--chrome-trace <out.json>] \
      [--metrics <out.prom>] [--collapsed <out.txt>] [--quiet]"
         .to_string()
@@ -189,6 +192,7 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     let mut profile = false;
     let mut incremental = true;
     let mut lint_bounds = true;
+    let mut dominance = true;
     let mut metrics_out = None;
     let mut chrome_out = None;
     let mut threads = Parallelism::Off;
@@ -212,6 +216,7 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
             "--profile" => profile = true,
             "--no-incremental" => incremental = false,
             "--no-lint-bounds" => lint_bounds = false,
+            "--no-dominance" => dominance = false,
             "--metrics" => metrics_out = Some(it.next().ok_or("--metrics needs a path")?.clone()),
             "--chrome-trace" => {
                 chrome_out = Some(it.next().ok_or("--chrome-trace needs a path")?.clone())
@@ -246,6 +251,7 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     }
     config.incremental = incremental;
     config.lint_bounds = lint_bounds;
+    config.dominance = dominance;
     config.parallelism = threads;
     let scheduler = PowerAwareScheduler::new(config);
 
@@ -836,10 +842,12 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let mut collapsed_out = None;
     let mut quiet = false;
     let mut lint_bounds = false;
+    let mut dominance = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--lint-bounds" => lint_bounds = true,
+            "--dominance" => dominance = true,
             "--threads-list" => {
                 threads_list = it
                     .next()
@@ -895,6 +903,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         max_nodes,
         horizon: None,
         use_lint_bounds: lint_bounds,
+        use_dominance: dominance,
     };
     let available = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
