@@ -108,6 +108,16 @@ fn parse_host_cores(text: &str) -> Option<u64> {
         .map(|c| c as u64)
 }
 
+/// The one-line `"provenance"` object a bench file was stamped with,
+/// when present (absent in files written before the field existed).
+/// Returned verbatim so a human can eyeball git SHA, hostname, and
+/// core count without this binary having to model the object.
+fn parse_provenance(text: &str) -> Option<String> {
+    text.lines()
+        .find(|l| l.contains("\"provenance\""))
+        .map(|l| l.trim().trim_end_matches(',').to_string())
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let mut paths = Vec::new();
     let mut tolerance = 0.25f64;
@@ -139,17 +149,33 @@ fn run(args: &[String]) -> Result<(), String> {
                 .into(),
         );
     };
-    let read = |path: &str| -> Result<(Vec<Row>, Option<u64>), String> {
+    struct BenchFile {
+        rows: Vec<Row>,
+        host_cores: Option<u64>,
+        provenance: Option<String>,
+    }
+    let read = |path: &str| -> Result<BenchFile, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let rows = parse_rows(&text);
         if rows.is_empty() {
             return Err(format!("{path}: no bench rows found"));
         }
-        let host_cores = parse_host_cores(&text);
-        Ok((rows, host_cores))
+        Ok(BenchFile {
+            rows,
+            host_cores: parse_host_cores(&text),
+            provenance: parse_provenance(&text),
+        })
     };
-    let (baseline, _) = read(baseline_path)?;
-    let (fresh, fresh_host_cores) = read(fresh_path)?;
+    let BenchFile {
+        rows: baseline,
+        provenance: baseline_provenance,
+        ..
+    } = read(baseline_path)?;
+    let BenchFile {
+        rows: fresh,
+        host_cores: fresh_host_cores,
+        provenance: fresh_provenance,
+    } = read(fresh_path)?;
 
     let mut failures = Vec::new();
     println!(
@@ -280,7 +306,20 @@ fn run(args: &[String]) -> Result<(), String> {
         );
         Ok(())
     } else {
-        Err(failures.join("\n"))
+        // A fired gate is where cross-machine comparisons bite, so
+        // surface where each file came from next to the failures: a
+        // baseline recorded on different hardware or an older commit
+        // is the first thing to rule out.
+        let mut msg = failures;
+        msg.push(format!(
+            "baseline provenance ({baseline_path}): {}",
+            baseline_provenance.as_deref().unwrap_or("(not recorded)")
+        ));
+        msg.push(format!(
+            "fresh provenance ({fresh_path}): {}",
+            fresh_provenance.as_deref().unwrap_or("(not recorded)")
+        ));
+        Err(msg.join("\n"))
     }
 }
 
@@ -292,5 +331,37 @@ fn main() -> ExitCode {
             eprintln!("bench_gate: {msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_provenance_returns_the_trimmed_line() {
+        let text = "{\n  \"bench\": \"parallel\",\n  \"provenance\": \
+                    {\"schema\": \"impacct-provenance/v1\", \"git_sha\": \"abc\"},\n\
+                    \n  \"results\": [\n  ]\n}\n";
+        let line = parse_provenance(text).unwrap();
+        assert_eq!(
+            line,
+            "\"provenance\": {\"schema\": \"impacct-provenance/v1\", \"git_sha\": \"abc\"}"
+        );
+    }
+
+    #[test]
+    fn parse_provenance_is_none_for_old_files() {
+        assert!(parse_provenance("{\n  \"bench\": \"parallel\"\n}\n").is_none());
+    }
+
+    #[test]
+    fn provenance_line_is_not_mistaken_for_a_row() {
+        let frag = pas_bench::provenance_json();
+        assert!(parse_rows(&frag).is_empty());
+        // The provenance host_cores is the same value bench_parallel
+        // writes as its own header field, so first-match parsing
+        // stays correct whichever line comes first.
+        assert!(parse_host_cores(&frag).is_some());
     }
 }

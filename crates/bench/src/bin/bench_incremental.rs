@@ -140,7 +140,8 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"incremental\",\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"incremental\",\n  {},\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
+        pas_bench::provenance_json(),
         rows.join(",\n")
     );
     std::fs::write("BENCH_incremental.json", &json).expect("write BENCH_incremental.json");

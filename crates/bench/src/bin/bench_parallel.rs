@@ -218,11 +218,12 @@ fn main() {
         .unwrap_or(1);
     let json = format!(
         concat!(
-            "{{\n  \"bench\": \"parallel\",\n  \"restarts\": {},\n",
+            "{{\n  \"bench\": \"parallel\",\n  {},\n  \"restarts\": {},\n",
             "  \"host_cores\": {},\n",
             "  \"speedup_model\": \"queue projection over measured attempt durations\",\n",
             "  \"results\": [\n{}\n  ]\n}}\n"
         ),
+        pas_bench::provenance_json(),
         restarts,
         host_cores,
         rows.join(",\n")

@@ -1,0 +1,354 @@
+//! Replay load bench for the `pas-server` daemon.
+//!
+//! Boots an in-process server on a loopback port, replays a mixed
+//! stream of generated problems from concurrent clients — unique
+//! problems (fresh pipeline runs), verbatim repeats (exact-cache
+//! hits), and relaxed power envelopes over known graphs (§5.3
+//! region-cache hits) — and writes `BENCH_server.json`: client-side
+//! p50/p99 per serving class, daemon-side p50/p99 per pipeline stage
+//! from a final `/metrics` scrape, and the dimensionless cache
+//! speedups (`fresh p50 / hit p50`) that `bench_gate` compares
+//! against the committed baseline.
+//!
+//! ```text
+//! cargo run --release -p pas-bench --bin bench_server -- \
+//!     [--requests 1200] [--models 40] [--clients 4] [--workers 0] \
+//!     [--tasks 16] [--out BENCH_server.json]
+//! ```
+//!
+//! Wall-clock latencies are hardware-sensitive, but the speedup rows
+//! are same-run ratios: a cold cache, a broken repertoire select, or
+//! an exact-cache miss storm collapses them on any machine.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pas_core::PowerConstraints;
+use pas_graph::units::Power;
+use pas_server::{Server, ServerConfig};
+use pas_spec::{parse_problem, print_problem};
+use pas_workload::{generate, GeneratorConfig, Topology};
+
+/// One replayed request: which class the daemon reported serving it
+/// from (`fresh`, `cache-exact`, `cache-region`) and the client-side
+/// wall latency in microseconds.
+struct Sample {
+    served: String,
+    micros: u64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Sends one request and returns `(status, served-header, body)`.
+fn http(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write request");
+    stream.write_all(body).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head");
+    let head = String::from_utf8_lossy(&raw[..split]).to_string();
+    let body = String::from_utf8_lossy(&raw[split + 4..]).to_string();
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let served = head
+        .lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.trim().eq_ignore_ascii_case("x-pas-served"))
+        .map(|(_, v)| v.trim().to_string())
+        .unwrap_or_default();
+    (status, served, body)
+}
+
+fn problem_text(seed: u64, tasks: usize) -> String {
+    let problem = generate(&GeneratorConfig {
+        seed,
+        tasks,
+        resources: 4,
+        topology: Topology::Layered { layers: 3 },
+        ..GeneratorConfig::default()
+    });
+    print_problem(&problem)
+}
+
+/// The same constraint graph under a relaxed power envelope: the
+/// request shape the §5.3 region cache exists for.
+fn relaxed_envelope(source: &str, extra_watts: u32) -> String {
+    let mut problem = parse_problem(source).expect("reparse base problem");
+    let constraints = problem.constraints();
+    problem.set_constraints(PowerConstraints::new(
+        constraints
+            .p_max()
+            .saturating_add(Power::from_watts(extra_watts as i64)),
+        constraints.p_min(),
+    ));
+    print_problem(&problem)
+}
+
+/// Per-stage `(stage, value)` samples of one gauge family in a
+/// Prometheus scrape, e.g. `pas_server_stage_p50_microseconds`.
+fn stage_samples(scrape: &str, family: &str) -> Vec<(String, f64)> {
+    let marker = format!("{family}{{stage=\"");
+    scrape
+        .lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix(marker.as_str())?;
+            let (stage, rest) = rest.split_once('"')?;
+            let value: f64 = rest.trim_start_matches('}').trim().parse().ok()?;
+            Some((stage.to_string(), value))
+        })
+        .collect()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut requests = 1200usize;
+    let mut models = 40usize;
+    let mut clients = 4usize;
+    let mut workers = 0usize;
+    let mut tasks = 16usize;
+    let mut out = "BENCH_server.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--requests" => requests = value("--requests")?.parse().map_err(|e| format!("{e}"))?,
+            "--models" => models = value("--models")?.parse().map_err(|e| format!("{e}"))?,
+            "--clients" => clients = value("--clients")?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?,
+            "--tasks" => tasks = value("--tasks")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => out = value("--out")?,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let models = models.max(1);
+    let clients = clients.max(1);
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let handle = server.handle().map_err(|e| format!("handle: {e}"))?;
+    let addr = handle.addr();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    println!(
+        "bench_server: daemon on {addr}, {requests} requests, {models} models, {clients} client(s)"
+    );
+
+    // Warm phase: every base model runs the pipeline once, so its
+    // exact entry and repertoire session exist before replay starts.
+    let base: Vec<String> = (0..models)
+        .map(|i| problem_text(1000 + i as u64, tasks))
+        .collect();
+    for source in &base {
+        let (status, _, body) = http(addr, "POST", "/schedule", source.as_bytes());
+        if status != 200 {
+            handle.shutdown();
+            let _ = server_thread.join();
+            return Err(format!("warm-up request failed ({status}): {body}"));
+        }
+    }
+
+    // Replay phase: concurrent clients, each walking a stride-disjoint
+    // slice of the request index space. Index i decides the traffic
+    // class; the daemon's X-Pas-Served header decides the bucket the
+    // latency lands in, so misclassified intents can't skew a class.
+    let replay_start = Instant::now();
+    let mut threads = Vec::new();
+    for c in 0..clients {
+        let base = base.clone();
+        let thread = std::thread::spawn(move || -> Result<Vec<Sample>, String> {
+            let mut samples = Vec::new();
+            let mut i = c;
+            while i < requests {
+                let (target, body): (&str, String) = match i % 3 {
+                    0 => ("/schedule", problem_text(50_000 + i as u64, tasks)),
+                    1 => ("/schedule", base[i % base.len()].clone()),
+                    _ => (
+                        "/schedule",
+                        relaxed_envelope(&base[i % base.len()], 10 + (i % 997) as u32),
+                    ),
+                };
+                let t = Instant::now();
+                let (status, served, resp) = http(addr, "POST", target, body.as_bytes());
+                if status != 200 {
+                    return Err(format!("replay request {i} failed ({status}): {resp}"));
+                }
+                samples.push(Sample {
+                    served,
+                    micros: t.elapsed().as_micros() as u64,
+                });
+                i += clients;
+            }
+            Ok(samples)
+        });
+        threads.push(thread);
+    }
+    let mut samples = Vec::new();
+    for thread in threads {
+        match thread.join() {
+            Ok(Ok(batch)) => samples.extend(batch),
+            Ok(Err(e)) => {
+                handle.shutdown();
+                let _ = server_thread.join();
+                return Err(e);
+            }
+            Err(_) => return Err("client thread panicked".into()),
+        }
+    }
+    let replay_secs = replay_start.elapsed().as_secs_f64();
+
+    // Daemon-side per-stage quantiles, scraped before shutdown.
+    let (status, _, scrape) = http(addr, "GET", "/metrics", b"");
+    if status != 200 {
+        return Err(format!("/metrics scrape failed ({status})"));
+    }
+    let stage_p50 = stage_samples(&scrape, "pas_server_stage_p50_microseconds");
+    let stage_p99 = stage_samples(&scrape, "pas_server_stage_p99_microseconds");
+
+    let (status, _, _) = http(addr, "POST", "/shutdown", b"");
+    if status != 200 {
+        return Err(format!("shutdown failed ({status})"));
+    }
+    let report = server_thread
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| format!("server run: {e}"))?;
+
+    // Client-side latency per serving class.
+    let class = |name: &str| -> Vec<u64> {
+        let mut v: Vec<u64> = samples
+            .iter()
+            .filter(|s| s.served == name)
+            .map(|s| s.micros)
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let fresh = class("fresh");
+    let exact = class("cache-exact");
+    let region = class("cache-region");
+    let fresh_p50 = percentile(&fresh, 0.50).max(1);
+
+    let mut rows = Vec::new();
+    let mut stage_lines = Vec::new();
+    for (name, lat) in [
+        ("server_fresh", &fresh),
+        ("server_exact_cache", &exact),
+        ("server_region_cache", &region),
+    ] {
+        if lat.is_empty() {
+            return Err(format!("traffic mix produced no {name} samples"));
+        }
+        let p50 = percentile(lat, 0.50).max(1);
+        let speedup = fresh_p50 as f64 / p50 as f64;
+        println!(
+            "{name:<22} n={:<5} p50={:>8} us  p99={:>8} us  speedup={speedup:.2}x",
+            lat.len(),
+            p50,
+            percentile(lat, 0.99),
+        );
+        rows.push(format!(
+            "    {{\"workload\": \"{name}\", \"requests\": {}, \"p50_us\": {}, \"p99_us\": {}, \"speedup\": {:.4}}}",
+            lat.len(),
+            p50,
+            percentile(lat, 0.99),
+            speedup,
+        ));
+    }
+    for (stage, p50) in &stage_p50 {
+        let p99 = stage_p99
+            .iter()
+            .find(|(s, _)| s == stage)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        stage_lines.push(format!(
+            "    {{\"stage\": \"{stage}\", \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}}}"
+        ));
+    }
+
+    let total = samples.len() + base.len();
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"server\",\n  {},\n  \"requests\": {},\n",
+            "  \"clients\": {},\n  \"server_jobs\": {},\n",
+            "  \"throughput_rps\": {:.1},\n",
+            "  \"speedup_model\": \"client p50 of fresh runs over client p50 of \
+             this serving class, same run\",\n",
+            "  \"stages\": [\n{}\n  ],\n  \"results\": [\n{}\n  ]\n}}\n"
+        ),
+        pas_bench::provenance_json(),
+        total,
+        clients,
+        report.pool_jobs,
+        samples.len() as f64 / replay_secs.max(1e-9),
+        stage_lines.join(",\n"),
+        rows.join(",\n"),
+    );
+    std::fs::write(&out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "replayed {total} requests in {replay_secs:.1}s ({:.0} req/s); wrote {out}",
+        samples.len() as f64 / replay_secs.max(1e-9)
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bench_server: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_nearest_rank() {
+        let v = [10, 20, 30, 40, 50];
+        assert_eq!(percentile(&v, 0.0), 10);
+        assert_eq!(percentile(&v, 0.5), 30);
+        assert_eq!(percentile(&v, 1.0), 50);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn stage_samples_parse_labeled_gauges() {
+        let scrape = "# TYPE pas_server_stage_p50_microseconds gauge\n\
+                      pas_server_stage_p50_microseconds{stage=\"parse\"} 12\n\
+                      pas_server_stage_p50_microseconds{stage=\"total\"} 340.5\n\
+                      pas_server_other{stage=\"parse\"} 9\n";
+        let samples = stage_samples(scrape, "pas_server_stage_p50_microseconds");
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0], ("parse".to_string(), 12.0));
+        assert_eq!(samples[1].1, 340.5);
+    }
+}

@@ -14,8 +14,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod provenance;
+
 use pas_core::{analyze, Problem, Schedule, ScheduleAnalysis};
 use pas_gantt::{render_ascii, AsciiOptions, GanttChart};
+
+pub use provenance::{git_sha, host_cores, hostname, provenance_json, PROVENANCE_SCHEMA};
 
 /// Renders one schedule as an ASCII power-aware Gantt chart plus a
 /// metric line, the standard block the `repro` binary prints per

@@ -1,0 +1,119 @@
+//! Machine provenance stamped into every `BENCH_*.json` artifact.
+//!
+//! Speedup and latency numbers are only comparable between runs made
+//! on the same machine and the same commit; a baseline captured on a
+//! 32-core workstation will fail `bench_gate` on a 4-core CI runner
+//! for reasons that have nothing to do with the code.  Every writer
+//! therefore embeds a one-line `"provenance"` object — git SHA,
+//! hostname, core count, crate version — and `bench_gate` prints the
+//! baseline and fresh provenance side by side whenever a gate fires,
+//! so a cross-machine comparison is visible at a glance instead of
+//! being an hour of head-scratching.
+
+use std::process::Command;
+
+/// Schema tag embedded in the provenance object of every artifact.
+pub const PROVENANCE_SCHEMA: &str = "impacct-provenance/v1";
+
+/// Runs `cmd args...` and returns trimmed stdout, if the command
+/// exists, exits 0, and prints valid UTF-8.
+fn command_line(cmd: &str, args: &[&str]) -> Option<String> {
+    let output = Command::new(cmd).args(args).output().ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(output.stdout).ok()?;
+    let line = text.lines().next()?.trim();
+    if line.is_empty() {
+        return None;
+    }
+    Some(line.to_string())
+}
+
+/// Keeps only characters that are safe inside a JSON string without
+/// escaping: alphanumerics plus `.-_`. Everything else becomes `_`.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Short git SHA of `HEAD`, or `"unknown"` outside a git checkout.
+pub fn git_sha() -> String {
+    command_line("git", &["rev-parse", "--short=12", "HEAD"])
+        .map(|s| sanitize(&s))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Hostname from `$HOSTNAME` or the `hostname` command, sanitized;
+/// `"unknown"` if neither source works.
+pub fn hostname() -> String {
+    std::env::var("HOSTNAME")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .or_else(|| command_line("hostname", &[]))
+        .map(|s| sanitize(s.trim()))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Logical cores visible to this process.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The complete provenance object as a single-line JSON fragment,
+/// ready to splice into an artifact after its opening brace:
+///
+/// ```text
+/// "provenance": {"schema": "impacct-provenance/v1", "git_sha": ...}
+/// ```
+///
+/// The fragment carries no trailing comma and no surrounding braces,
+/// so callers control the layout of the enclosing object.
+pub fn provenance_json() -> String {
+    format!(
+        "\"provenance\": {{\"schema\": \"{}\", \"git_sha\": \"{}\", \"hostname\": \"{}\", \"host_cores\": {}, \"crate_version\": \"{}\"}}",
+        PROVENANCE_SCHEMA,
+        git_sha(),
+        hostname(),
+        host_cores(),
+        env!("CARGO_PKG_VERSION"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_replaces_hostile_characters() {
+        assert_eq!(sanitize("box-01.local"), "box-01.local");
+        assert_eq!(sanitize("a\"b\\c d\n"), "a_b_c_d_");
+    }
+
+    #[test]
+    fn fields_are_never_empty() {
+        assert!(!git_sha().is_empty());
+        assert!(!hostname().is_empty());
+        assert!(host_cores() >= 1);
+    }
+
+    #[test]
+    fn fragment_is_single_line_and_carries_the_schema() {
+        let frag = provenance_json();
+        assert_eq!(frag.lines().count(), 1);
+        assert!(frag.starts_with("\"provenance\": {"));
+        assert!(frag.contains(PROVENANCE_SCHEMA));
+        assert!(frag.contains("\"host_cores\": "));
+        // No raw quote-breaking characters can survive sanitize().
+        assert!(!frag.contains('\\'));
+    }
+}

@@ -25,6 +25,9 @@
 //!                     [--dominance]
 //!                     [--out BENCH_profile.json] [--chrome-trace <out.json>]
 //!                     [--metrics <out.prom>] [--collapsed <out.txt>] [--quiet]
+//! impacct-cli serve [--addr <host:port>] [--workers <n>] [--window <secs>]
+//!                   [--slow-ms <n>] [--audit <dir>] [--sessions <n>]
+//! impacct-cli top [--addr <host:port>] [--interval-ms <n>] [--once]
 //! ```
 //!
 //! `schedule` runs the pipeline up to the requested stage (default
@@ -82,6 +85,15 @@
 //! thread count; wall-clock and contention numbers come from the
 //! `pas-par` side channel and are never traced. Results are written
 //! as `BENCH_profile.json`.
+//!
+//! `serve` boots the `pas-server` daemon (see that crate's docs for
+//! the endpoint surface) and blocks until SIGTERM or
+//! `POST /shutdown` drains it; `top` polls the daemon's `/metrics`
+//! and `/slowlog` into a refreshing terminal dashboard, validating
+//! every scrape against the Prometheus text-exposition grammar
+//! (`--once` prints a single frame, for scripts and CI).
+
+mod live;
 
 use pas_core::analyze;
 use pas_core::describe_spike;
@@ -125,6 +137,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "print" => cmd_print(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "profile" => cmd_profile(&args[1..]),
+        "serve" => live::cmd_serve(&args[1..]),
+        "top" => live::cmd_top(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -153,7 +167,10 @@ fn usage() -> String {
      impacct-cli profile <problem.pasdl> [--threads-list 1,2,4,8] [--max-nodes <n>] \
      [--sample-every <n>] [--lint-bounds] [--dominance] [--out BENCH_profile.json] \
      [--chrome-trace <out.json>] \
-     [--metrics <out.prom>] [--collapsed <out.txt>] [--quiet]"
+     [--metrics <out.prom>] [--collapsed <out.txt>] [--quiet]\n  \
+     impacct-cli serve [--addr <host:port>] [--workers <n>] [--window <secs>] \
+     [--slow-ms <n>] [--audit <dir>] [--sessions <n>]\n  \
+     impacct-cli top [--addr <host:port>] [--interval-ms <n>] [--once]"
         .to_string()
 }
 
@@ -1170,13 +1187,14 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     }
     let json = format!(
         concat!(
-            "{{\n  \"schema\": \"impacct-profile/v1\",\n  \"model\": \"{}\",\n",
+            "{{\n  \"schema\": \"impacct-profile/v1\",\n  {},\n  \"model\": \"{}\",\n",
             "  \"tasks\": {},\n  \"frontier\": {},\n  \"available_parallelism\": {},\n",
             "  \"max_nodes\": {},\n  \"sample_every\": {},\n  \"lint_bounds\": {},\n",
             "  \"sweep\": [\n{}\n  ],\n",
             "  \"diagnosis\": {{\"regression_at_max_threads\": {}, ",
             "\"dominant_cause\": \"{}\", \"explanation\": \"{}\"}}\n}}\n"
         ),
+        pas_bench::provenance_json(),
         json_escape(&model),
         graph.num_tasks(),
         frontier,

@@ -1,0 +1,219 @@
+//! Hand-written validator for the Prometheus *text exposition
+//! format*.
+//!
+//! Born in the export-format test suite and promoted to the library
+//! so live consumers — `impacct-cli top`, the `pas-server` smoke
+//! tests, CI scrape jobs — can check a real `/metrics` scrape with
+//! the exact strictness a Prometheus scraper applies: comment-line
+//! grammar, metric-name charset, label escape decoding, and the
+//! histogram invariants (cumulative buckets, mandatory `_sum` /
+//! `_count`, `+Inf == _count`). No dependency is pulled in; the point
+//! is to fail when an exporter drifts from what real scrapers accept.
+
+use std::collections::HashMap;
+
+/// Validates `text` against the Prometheus text exposition format and
+/// the histogram invariants (cumulative buckets, mandatory series).
+///
+/// Returns the first violation as a human-readable message with a
+/// line number.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    // name -> (bucket cumulative counts in order, has_sum, has_count, count value)
+    let mut histograms: HashMap<String, (Vec<u64>, bool, bool, u64)> = HashMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut words = rest.splitn(3, ' ');
+            match (words.next(), words.next(), words.next()) {
+                (Some("HELP"), Some(name), Some(help)) => {
+                    check_metric_name(name).map_err(|e| format!("line {n}: {e}"))?;
+                    if help.trim().is_empty() {
+                        return Err(format!("line {n}: empty HELP text"));
+                    }
+                }
+                (Some("TYPE"), Some(name), Some(kind)) => {
+                    check_metric_name(name).map_err(|e| format!("line {n}: {e}"))?;
+                    if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                        return Err(format!("line {n}: unknown metric type {kind:?}"));
+                    }
+                    types.insert(name.to_string(), kind.to_string());
+                }
+                _ => return Err(format!("line {n}: malformed comment {line:?}")),
+            }
+            continue;
+        }
+
+        // Sample line: name[{labels}] value
+        let (name_and_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: no sample value in {line:?}"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {n}: bad sample value {value:?}"))?;
+        let (name, labels) = match name_and_labels.split_once('{') {
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {n}: unterminated label set"))?;
+                (
+                    name,
+                    parse_labels(body).map_err(|e| format!("line {n}: {e}"))?,
+                )
+            }
+            None => (name_and_labels, Vec::new()),
+        };
+        check_metric_name(name).map_err(|e| format!("line {n}: {e}"))?;
+
+        // Resolve the histogram family for _bucket/_sum/_count series.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| name.strip_suffix(suffix).map(|base| (base, *suffix)))
+            .filter(|(base, _)| types.get(*base).map(String::as_str) == Some("histogram"));
+        match family {
+            Some((base, "_bucket")) => {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| format!("line {n}: histogram bucket without le label"))?;
+                if le != "+Inf" {
+                    le.parse::<f64>()
+                        .map_err(|_| format!("line {n}: bad le bound {le:?}"))?;
+                }
+                histograms
+                    .entry(base.to_string())
+                    .or_default()
+                    .0
+                    .push(value as u64);
+            }
+            Some((base, "_sum")) => histograms.entry(base.to_string()).or_default().1 = true,
+            Some((base, "_count")) => {
+                let entry = histograms.entry(base.to_string()).or_default();
+                entry.2 = true;
+                entry.3 = value as u64;
+            }
+            _ => {
+                if !types.contains_key(name) {
+                    return Err(format!("line {n}: sample {name:?} has no # TYPE"));
+                }
+            }
+        }
+    }
+
+    for (name, (buckets, has_sum, has_count, count)) in &histograms {
+        if buckets.is_empty() {
+            return Err(format!("histogram {name}: no buckets"));
+        }
+        if !buckets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(format!("histogram {name}: buckets are not cumulative"));
+        }
+        if !(*has_sum && *has_count) {
+            return Err(format!("histogram {name}: missing _sum or _count"));
+        }
+        if buckets.last() != Some(count) {
+            return Err(format!("histogram {name}: +Inf bucket != _count"));
+        }
+    }
+    Ok(())
+}
+
+fn check_metric_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    let ok_first = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    if ok_first && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        Ok(())
+    } else {
+        Err(format!("bad metric name {name:?}"))
+    }
+}
+
+/// Parses a label body (`key="value",...`), decoding the exposition
+/// format's escapes (`\\`, `\"`, `\n`) and rejecting raw `"` / `\` /
+/// newline bytes inside values — exactly what a Prometheus scraper
+/// enforces.
+pub fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("missing '=' in label set {body:?}"))?;
+        let key = &rest[..eq];
+        check_metric_name(key)?;
+        rest = &rest[eq + 1..];
+        let mut chars = rest.char_indices();
+        if !matches!(chars.next(), Some((_, '"'))) {
+            return Err(format!("unquoted label value for {key:?}"));
+        }
+        let mut value = String::new();
+        let mut after_quote = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(format!(
+                            "bad escape in label value for {key:?}: \\{:?}",
+                            other.map(|(_, c)| c)
+                        ))
+                    }
+                },
+                '"' => {
+                    after_quote = Some(i + 1);
+                    break;
+                }
+                '\n' => return Err(format!("raw newline in label value for {key:?}")),
+                c => value.push(c),
+            }
+        }
+        let after_quote =
+            after_quote.ok_or_else(|| format!("unterminated label value for {key:?}"))?;
+        labels.push((key.to_string(), value));
+        rest = &rest[after_quote..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped;
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' between labels, found {rest:?}"));
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_family() {
+        let text = "# HELP m_total things\n# TYPE m_total counter\nm_total{kind=\"a\"} 3\n";
+        validate_prometheus(text).unwrap();
+    }
+
+    #[test]
+    fn rejects_untyped_samples_and_broken_histograms() {
+        assert!(validate_prometheus("mystery 1\n").is_err());
+        let h = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 4\n";
+        assert!(
+            validate_prometheus(h).unwrap_err().contains("cumulative"),
+            "non-monotone buckets must be reported"
+        );
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let labels = parse_labels(r#"model="a\"b\\c\nd""#).unwrap();
+        assert_eq!(
+            labels,
+            vec![("model".to_string(), "a\"b\\c\nd".to_string())]
+        );
+    }
+}

@@ -11,13 +11,17 @@
 //!   monomorphizes to nothing; [`CountingObserver`] keeps per-variant
 //!   tallies; [`RecordingObserver`] keeps the events themselves in a
 //!   ring buffer; [`JsonlWriter`] streams them to disk; [`Tee`] fans
-//!   out to two sinks at once;
+//!   out to two sinks at once; [`SharedObserver`] makes any sink
+//!   clonable and thread-safe for multi-threaded request handling;
 //! * [`StageProfiler`] — turns `StageStarted`/`StageFinished` markers
 //!   into per-stage wall-clock [`StageProfile`]s without perturbing
 //!   the deterministic event payloads, and keeps individual
 //!   [`SpanRecord`]s for Chrome-trace (Perfetto-loadable) export;
 //! * [`MetricsRegistry`] — counters plus log-bucketed [`Histogram`]s
-//!   over the event stream, rendered as Prometheus text exposition.
+//!   over the event stream, rendered as Prometheus text exposition;
+//! * sliding-window instruments for long-running services:
+//!   [`RollingCounter`] (per-second rates) and [`WindowedHistogram`]
+//!   (windowed latency quantiles via [`Histogram::quantile`]).
 //!
 //! ## Event vocabulary
 //!
@@ -62,6 +66,7 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod expo;
 mod jsonl;
 mod metrics;
 mod observer;
@@ -70,7 +75,12 @@ mod stitch;
 
 pub use event::{Binding, ScanKind, SlotKind, StageKind, TraceEvent, TraceParseError};
 pub use jsonl::{parse_jsonl, JsonlWriter};
-pub use metrics::{collapsed_stacks, escape_label_value, Histogram, MetricsRegistry};
-pub use observer::{CountingObserver, EventCounts, NullObserver, Observer, RecordingObserver, Tee};
+pub use metrics::{
+    collapsed_stacks, escape_label_value, Histogram, MetricsRegistry, RollingCounter,
+    WindowedHistogram,
+};
+pub use observer::{
+    CountingObserver, EventCounts, NullObserver, Observer, RecordingObserver, SharedObserver, Tee,
+};
 pub use profile::{render_profile_table, SpanRecord, StageProfile, StageProfiler};
 pub use stitch::{stitch_all, stitch_segment};

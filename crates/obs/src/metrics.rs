@@ -132,6 +132,54 @@ impl Histogram {
         self.sum
     }
 
+    /// Folds another histogram's observations into this one.
+    ///
+    /// Bucket layouts are identical by construction, so the merge is
+    /// a plain element-wise sum; [`WindowedHistogram`] uses this to
+    /// collapse its per-second slots into one queryable snapshot.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the recorded
+    /// observations, Prometheus `histogram_quantile` style: the rank
+    /// is located in the cumulative bucket counts and linearly
+    /// interpolated between the bucket's lower and upper bounds.
+    ///
+    /// Returns `None` on an empty histogram. A rank that lands in the
+    /// `+Inf` overflow bucket reports the largest finite bucket bound
+    /// (`2^31`), matching Prometheus' convention of clamping to the
+    /// highest finite `le`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &bucket) in self.counts.iter().enumerate() {
+            if bucket == 0 {
+                continue;
+            }
+            let start = cumulative as f64;
+            cumulative += bucket;
+            if cumulative as f64 >= target {
+                let lower = if i == 0 { 0u64 } else { 1u64 << (i - 1) } as f64;
+                let upper = (1u64 << i) as f64;
+                let fraction = ((target - start) / bucket as f64).clamp(0.0, 1.0);
+                return Some(lower + fraction * (upper - lower));
+            }
+        }
+        // Rank fell in the overflow bucket: clamp to the largest
+        // finite bound.
+        Some((1u64 << (BUCKETS - 1)) as f64)
+    }
+
     /// Renders the histogram as Prometheus text exposition lines.
     ///
     /// Buckets are cumulative as the format requires; trailing empty
@@ -151,6 +199,138 @@ impl Histogram {
         let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.count);
         let _ = writeln!(out, "{name}_sum {}", self.sum);
         let _ = writeln!(out, "{name}_count {}", self.count);
+    }
+}
+
+/// Sliding-window counter with a per-second rate.
+///
+/// The window is a ring of per-second slots; increments carry an
+/// explicit timestamp (seconds since an arbitrary epoch) so tests can
+/// drive time deterministically and a server can pass wall-clock
+/// seconds. Slots older than the window are lazily zeroed on both
+/// write and read, so a quiet period decays the rate to zero without
+/// a background thread.
+#[derive(Debug, Clone)]
+pub struct RollingCounter {
+    window_secs: u64,
+    slots: Vec<u64>,
+    slot_times: Vec<u64>,
+    total: u64,
+}
+
+impl RollingCounter {
+    /// Creates a counter whose rate window spans `window_secs`
+    /// seconds (clamped to at least 1).
+    pub fn new(window_secs: u64) -> Self {
+        let window_secs = window_secs.max(1);
+        RollingCounter {
+            window_secs,
+            slots: vec![0; window_secs as usize],
+            slot_times: vec![u64::MAX; window_secs as usize],
+            total: 0,
+        }
+    }
+
+    /// Width of the rate window in seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.window_secs
+    }
+
+    /// Adds `n` to the counter at time `now_s` (seconds).
+    pub fn incr_at(&mut self, now_s: u64, n: u64) {
+        let idx = (now_s % self.window_secs) as usize;
+        if self.slot_times[idx] != now_s {
+            self.slots[idx] = 0;
+            self.slot_times[idx] = now_s;
+        }
+        self.slots[idx] += n;
+        self.total += n;
+    }
+
+    /// Lifetime total, never decayed — suitable for a Prometheus
+    /// `counter` sample.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of increments recorded within the window ending at
+    /// `now_s` (inclusive).
+    pub fn windowed(&self, now_s: u64) -> u64 {
+        self.slots
+            .iter()
+            .zip(&self.slot_times)
+            .filter(|&(_, &t)| t <= now_s && now_s - t < self.window_secs)
+            .map(|(&v, _)| v)
+            .sum()
+    }
+
+    /// Windowed count divided by the window width: a per-second rate.
+    pub fn rate(&self, now_s: u64) -> f64 {
+        self.windowed(now_s) as f64 / self.window_secs as f64
+    }
+}
+
+/// Sliding-window log₂ latency histogram.
+///
+/// A ring of per-second [`Histogram`] slots; [`snapshot`] merges the
+/// live slots into one [`Histogram`] so windowed quantiles come from
+/// [`Histogram::quantile`]. Like [`RollingCounter`], time is an
+/// explicit argument for deterministic tests.
+///
+/// [`snapshot`]: WindowedHistogram::snapshot
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    window_secs: u64,
+    slots: Vec<Histogram>,
+    slot_times: Vec<u64>,
+    lifetime: Histogram,
+}
+
+impl WindowedHistogram {
+    /// Creates a windowed histogram spanning `window_secs` seconds
+    /// (clamped to at least 1).
+    pub fn new(window_secs: u64) -> Self {
+        let window_secs = window_secs.max(1);
+        WindowedHistogram {
+            window_secs,
+            slots: vec![Histogram::new(); window_secs as usize],
+            slot_times: vec![u64::MAX; window_secs as usize],
+            lifetime: Histogram::new(),
+        }
+    }
+
+    /// Width of the window in seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.window_secs
+    }
+
+    /// Records one observation at time `now_s`.
+    pub fn record_at(&mut self, now_s: u64, value: u64) {
+        let idx = (now_s % self.window_secs) as usize;
+        if self.slot_times[idx] != now_s {
+            self.slots[idx] = Histogram::new();
+            self.slot_times[idx] = now_s;
+        }
+        self.slots[idx].record(value);
+        self.lifetime.record(value);
+    }
+
+    /// The never-decayed lifetime histogram — what `/metrics` should
+    /// expose (Prometheus histograms are cumulative by contract).
+    pub fn lifetime(&self) -> &Histogram {
+        &self.lifetime
+    }
+
+    /// Merges the slots within the window ending at `now_s` into one
+    /// histogram; quantiles of the snapshot are windowed quantiles.
+    pub fn snapshot(&self, now_s: u64) -> Histogram {
+        let mut merged = Histogram::new();
+        for (slot, &t) in self.slots.iter().zip(&self.slot_times) {
+            if t <= now_s && now_s - t < self.window_secs {
+                merged.merge_from(slot);
+            }
+        }
+        merged
     }
 }
 
@@ -594,6 +774,119 @@ mod tests {
 
         let collapsed = reg.render_collapsed();
         assert_eq!(collapsed, "worker-1;d0;d1;d2 2\n");
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_single_bucket() {
+        // All observations land in the le="8" bucket (lower bound 4).
+        let mut h = Histogram::new();
+        for _ in 0..4 {
+            h.record(6);
+        }
+        // Every quantile interpolates linearly across [4, 8].
+        assert_eq!(h.quantile(0.0), Some(4.0));
+        assert_eq!(h.quantile(0.5), Some(6.0));
+        assert_eq!(h.quantile(1.0), Some(8.0));
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile(-1.0), Some(4.0));
+        assert_eq!(h.quantile(2.0), Some(8.0));
+    }
+
+    #[test]
+    fn quantile_crosses_buckets_with_interpolation() {
+        // Two observations in le="2" (bounds [1,2]), two in le="8"
+        // (bounds [4,8]).
+        let mut h = Histogram::new();
+        h.record(2);
+        h.record(2);
+        h.record(5);
+        h.record(7);
+        // Rank 2 of 4 sits exactly at the top of the first bucket.
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        // Rank 3 of 4 is halfway through the second bucket: 4 + 0.5*(8-4).
+        assert_eq!(h.quantile(0.75), Some(6.0));
+        assert_eq!(h.quantile(1.0), Some(8.0));
+        // Rank 1 of 4 is halfway through the first bucket: 1 + 0.5*(2-1).
+        assert_eq!(h.quantile(0.25), Some(1.5));
+    }
+
+    #[test]
+    fn quantile_in_overflow_clamps_to_largest_finite_bound() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), Some((1u64 << 31) as f64));
+        // The low rank still resolves in the finite buckets.
+        assert_eq!(h.quantile(0.25), Some(0.5));
+    }
+
+    #[test]
+    fn merge_from_sums_counts_and_saturates() {
+        let mut a = Histogram::new();
+        a.record(3);
+        a.record(u64::MAX);
+        let mut b = Histogram::new();
+        b.record(3);
+        b.record(u64::MAX);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), u64::MAX);
+        let mut out = String::new();
+        a.render(&mut out, "m", "h");
+        assert!(out.contains("m_bucket{le=\"4\"} 2"));
+        assert!(out.contains("m_bucket{le=\"+Inf\"} 4"));
+    }
+
+    #[test]
+    fn rolling_counter_decays_outside_the_window() {
+        let mut c = RollingCounter::new(10);
+        c.incr_at(100, 5);
+        c.incr_at(104, 5);
+        assert_eq!(c.total(), 10);
+        assert_eq!(c.windowed(104), 10);
+        assert_eq!(c.rate(104), 1.0);
+        // Nine seconds later the first burst has left the window.
+        assert_eq!(c.windowed(110), 5);
+        // Far in the future everything has decayed, but the lifetime
+        // total is untouched.
+        assert_eq!(c.windowed(1000), 0);
+        assert_eq!(c.rate(1000), 0.0);
+        assert_eq!(c.total(), 10);
+    }
+
+    #[test]
+    fn rolling_counter_reuses_slots_across_wraparound() {
+        let mut c = RollingCounter::new(4);
+        c.incr_at(0, 1);
+        // Same ring slot, one full window later: the old value must
+        // not leak into the new second.
+        c.incr_at(4, 1);
+        assert_eq!(c.windowed(4), 1);
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn windowed_histogram_snapshot_tracks_the_window() {
+        let mut w = WindowedHistogram::new(10);
+        w.record_at(100, 2);
+        w.record_at(105, 100);
+        let snap = w.snapshot(105);
+        assert_eq!(snap.count(), 2);
+        // Only the recent observation remains once the window slides.
+        let snap = w.snapshot(112);
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.quantile(1.0), Some(128.0));
+        // The lifetime histogram never decays.
+        assert_eq!(w.lifetime().count(), 2);
+        assert_eq!(w.lifetime().sum(), 102);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! event construction entirely.
 
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 
 use crate::event::TraceEvent;
 
@@ -346,6 +347,65 @@ impl<A: Observer, B: Observer> Observer for Tee<A, B> {
     #[inline]
     fn is_enabled(&self) -> bool {
         self.0.is_enabled() || self.1.is_enabled()
+    }
+}
+
+/// A clonable, thread-safe handle around any observer.
+///
+/// Clones share one underlying sink behind an `Arc<Mutex<_>>`, so
+/// several worker threads can fold events into the same
+/// [`crate::MetricsRegistry`] (or any other observer) concurrently
+/// without losing increments. The lock is taken per event — fine for
+/// request-granularity streams; inner scheduler loops should keep
+/// using a thread-local observer and merge afterwards.
+///
+/// A poisoned lock (a panicking holder) is recovered rather than
+/// propagated: metrics are a diagnostic surface and must not turn one
+/// panic into many.
+#[derive(Debug, Default)]
+pub struct SharedObserver<O> {
+    inner: Arc<Mutex<O>>,
+}
+
+impl<O> Clone for SharedObserver<O> {
+    fn clone(&self) -> Self {
+        SharedObserver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<O> SharedObserver<O> {
+    /// Wraps `observer` in a shared handle.
+    pub fn new(observer: O) -> Self {
+        SharedObserver {
+            inner: Arc::new(Mutex::new(observer)),
+        }
+    }
+
+    /// Runs `f` with the underlying observer locked.
+    pub fn with<R>(&self, f: impl FnOnce(&mut O) -> R) -> R {
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut guard)
+    }
+
+    /// Recovers the underlying observer if this is the last handle;
+    /// otherwise returns the handle unchanged.
+    pub fn try_into_inner(self) -> Result<O, Self> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(mutex) => Ok(mutex.into_inner().unwrap_or_else(|e| e.into_inner())),
+            Err(inner) => Err(SharedObserver { inner }),
+        }
+    }
+}
+
+impl<O: Observer> Observer for SharedObserver<O> {
+    fn on_event(&mut self, event: &TraceEvent) {
+        self.with(|obs| obs.on_event(event));
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.with(|obs| obs.is_enabled())
     }
 }
 

@@ -1,0 +1,130 @@
+//! `MetricsRegistry` under concurrent observers: the server fans
+//! requests across worker threads that all fold events into shared
+//! registries, so increments must never be lost and the rendered
+//! exposition must stay parseable mid-flight.
+
+use std::thread;
+
+use pas_graph::units::TimeSpan;
+use pas_graph::TaskId;
+use pas_obs::expo::validate_prometheus;
+use pas_obs::{MetricsRegistry, Observer, SharedObserver, Tee, TraceEvent};
+
+const THREADS: usize = 8;
+const EVENTS_PER_THREAD: u64 = 2_000;
+
+/// Every thread emits the same deterministic mix so the expected
+/// totals are exact multiples.
+fn thread_events(thread: usize) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    for i in 0..EVENTS_PER_THREAD {
+        events.push(TraceEvent::TaskCommitted {
+            task: TaskId::from_index((thread as u64 * EVENTS_PER_THREAD + i) as usize),
+        });
+        events.push(TraceEvent::VictimDelayed {
+            task: TaskId::from_index(thread),
+            slack: TimeSpan::from_secs(9),
+            delta: TimeSpan::from_secs((i % 7) as i64),
+        });
+    }
+    events
+}
+
+#[test]
+fn teed_shared_registries_lose_no_increments_across_8_threads() {
+    let metrics_a = SharedObserver::new(MetricsRegistry::new());
+    let metrics_b = SharedObserver::new(MetricsRegistry::new());
+
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let mut tee = Tee(metrics_a.clone(), metrics_b.clone());
+            scope.spawn(move || {
+                for event in thread_events(t) {
+                    if tee.is_enabled() {
+                        tee.on_event(&event);
+                    }
+                }
+            });
+        }
+    });
+
+    let expected_commits = THREADS as u64 * EVENTS_PER_THREAD;
+    // Per thread the victim deltas cycle 0..7, so the per-thread sum
+    // is sum(0..=6) * (N/7) + partial; compute it exactly.
+    let per_thread_delta_sum: u64 = (0..EVENTS_PER_THREAD).map(|i| i % 7).sum();
+    let expected_delta_sum = THREADS as u64 * per_thread_delta_sum;
+
+    for (name, shared) in [("a", &metrics_a), ("b", &metrics_b)] {
+        shared.with(|reg| {
+            let counts = reg.counts();
+            assert_eq!(
+                counts.tasks_committed, expected_commits,
+                "registry {name}: lost TaskCommitted increments"
+            );
+            assert_eq!(
+                counts.victim_delays, expected_commits,
+                "registry {name}: lost VictimDelayed increments"
+            );
+            assert_eq!(
+                counts.total,
+                2 * expected_commits,
+                "registry {name}: lost events"
+            );
+
+            let text = reg.render_prometheus();
+            validate_prometheus(&text)
+                .unwrap_or_else(|e| panic!("registry {name}: invalid exposition: {e}\n{text}"));
+            // The histogram observed every VictimDelayed magnitude.
+            assert!(
+                text.contains(&format!(
+                    "pas_victim_delay_seconds_count {expected_commits}"
+                )),
+                "registry {name}: histogram count drifted:\n{text}"
+            );
+            assert!(
+                text.contains(&format!(
+                    "pas_victim_delay_seconds_sum {expected_delta_sum}"
+                )),
+                "registry {name}: histogram sum drifted:\n{text}"
+            );
+        });
+    }
+
+    // Both tee legs saw identical streams: renderings agree exactly.
+    let a = metrics_a.with(|reg| reg.render_prometheus());
+    let b = metrics_b.with(|reg| reg.render_prometheus());
+    assert_eq!(a, b, "teed registries must agree byte-for-byte");
+}
+
+#[test]
+fn rendering_stays_parseable_while_writers_race() {
+    // One reader renders while 8 writers hammer the same registry;
+    // every snapshot must be a valid exposition document (counts may
+    // be mid-flight, structure may not).
+    let metrics = SharedObserver::new(MetricsRegistry::new());
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let mut shared = metrics.clone();
+            scope.spawn(move || {
+                for event in thread_events(t) {
+                    shared.on_event(&event);
+                }
+            });
+        }
+        let reader = metrics.clone();
+        scope.spawn(move || {
+            for _ in 0..50 {
+                let text = reader.with(|reg| reg.render_prometheus());
+                validate_prometheus(&text)
+                    .unwrap_or_else(|e| panic!("mid-flight exposition invalid: {e}\n{text}"));
+            }
+        });
+    });
+    metrics.with(|reg| {
+        assert_eq!(
+            reg.counts().total,
+            2 * THREADS as u64 * EVENTS_PER_THREAD,
+            "writers raced the reader into losing events"
+        );
+    });
+}

@@ -18,6 +18,9 @@
 //!   only use it for *strict* pruning (discarding subtrees that are
 //!   strictly worse than some already-found solution), which removes
 //!   work without ever removing a potential winner.
+//! * [`TaskPool`] — a long-lived worker pool for open-ended request
+//!   streams (the `pas-server` daemon), with submit/drain/shutdown
+//!   and per-worker utilization accounting.
 //!
 //! Everything here is plain `std`: scoped threads, a mutex-guarded
 //! queue, and atomics. No work-stealing runtime is spun up, which
@@ -36,6 +39,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod pool;
+
+pub use pool::{TaskPool, TaskPoolStats};
 
 use std::collections::VecDeque;
 use std::fmt;

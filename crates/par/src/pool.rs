@@ -1,0 +1,331 @@
+//! A long-lived worker pool for request-granularity work.
+//!
+//! [`par_map`](crate::par_map) is batch-scoped: it spawns, drains one
+//! item vector, and joins. A server handling an open-ended request
+//! stream needs the opposite shape — threads that outlive any one
+//! job, a queue that accepts work at any time, and a graceful drain
+//! for shutdown. [`TaskPool`] is that shape, still plain `std`
+//! (mutex + condvars, no work-stealing runtime), with per-worker
+//! busy/items accounting exposed for utilization metrics.
+//!
+//! Determinism note: the pool executes *independent* jobs (one
+//! request each); nothing here reorders or merges results, so the
+//! per-job determinism contract is whatever the job itself provides.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct PoolState {
+    queue: VecDeque<Job>,
+    accepting: bool,
+    busy: usize,
+    submitted: u64,
+    completed: u64,
+    panicked: u64,
+    per_worker_items: Vec<u64>,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+    idle: Condvar,
+}
+
+/// Point-in-time accounting snapshot of a [`TaskPool`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPoolStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Jobs accepted so far (lifetime).
+    pub submitted: u64,
+    /// Jobs fully executed so far (lifetime).
+    pub completed: u64,
+    /// Jobs whose closure panicked (caught; the worker survives).
+    pub panicked: u64,
+    /// Jobs queued but not yet started.
+    pub pending: usize,
+    /// Workers currently executing a job.
+    pub busy: usize,
+    /// Jobs executed per worker, indexed by worker id.
+    pub per_worker_items: Vec<u64>,
+}
+
+impl TaskPoolStats {
+    /// Fraction of workers currently busy, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.workers == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.workers as f64
+        }
+    }
+}
+
+/// A fixed-size pool of long-lived worker threads fed from one shared
+/// FIFO queue.
+///
+/// * [`submit`](TaskPool::submit) enqueues a job and returns
+///   immediately; it reports `false` once shutdown has begun.
+/// * [`drain`](TaskPool::drain) blocks until the queue is empty and
+///   every worker is idle — the graceful-shutdown barrier.
+/// * [`shutdown`](TaskPool::shutdown) stops intake, lets the workers
+///   finish everything already queued, and joins them. Dropping the
+///   pool does the same.
+///
+/// A panicking job is caught and tallied ([`TaskPoolStats::panicked`])
+/// so one poisoned request cannot take a worker — or the whole
+/// service — down with it.
+pub struct TaskPool {
+    shared: Arc<PoolShared>,
+    workers: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TaskPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskPool")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TaskPool {
+    /// Spawns a pool of `workers` threads (clamped to at least 1).
+    ///
+    /// Unlike `par_map`'s spawn clamp, the count is taken as given:
+    /// server workers spend most of their life blocked on the queue,
+    /// so modest oversubscription is harmless and sometimes wanted.
+    pub fn new(workers: usize) -> TaskPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                accepting: true,
+                per_worker_items: vec![0; workers],
+                ..PoolState::default()
+            }),
+            work_ready: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, w))
+            })
+            .collect();
+        TaskPool {
+            shared,
+            workers,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Enqueues `job`; returns `false` (dropping the job) if shutdown
+    /// has already begun.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        let mut state = self.lock();
+        if !state.accepting {
+            return false;
+        }
+        state.queue.push_back(Box::new(job));
+        state.submitted += 1;
+        drop(state);
+        self.shared.work_ready.notify_one();
+        true
+    }
+
+    /// Blocks until every submitted job has finished.
+    pub fn drain(&self) {
+        let mut state = self.lock();
+        while !(state.queue.is_empty() && state.busy == 0) {
+            state = self
+                .shared
+                .idle
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Snapshots the accounting counters.
+    pub fn stats(&self) -> TaskPoolStats {
+        let state = self.lock();
+        TaskPoolStats {
+            workers: self.workers,
+            submitted: state.submitted,
+            completed: state.completed,
+            panicked: state.panicked,
+            pending: state.queue.len(),
+            busy: state.busy,
+            per_worker_items: state.per_worker_items.clone(),
+        }
+    }
+
+    /// Stops accepting new jobs, finishes the queued ones, and joins
+    /// the worker threads.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        let mut state = self.lock();
+        state.accepting = false;
+        drop(state);
+        self.shared.work_ready.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, worker: usize) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    state.busy += 1;
+                    state.per_worker_items[worker] += 1;
+                    break Some(job);
+                }
+                if !state.accepting {
+                    break None;
+                }
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(job) = job else { return };
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err();
+        let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.busy -= 1;
+        state.completed += 1;
+        if panicked {
+            state.panicked += 1;
+        }
+        if state.queue.is_empty() && state.busy == 0 {
+            shared.idle.notify_all();
+        }
+        drop(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn pool_runs_every_submitted_job_exactly_once() {
+        let pool = TaskPool::new(4);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..500 {
+            let hits = Arc::clone(&hits);
+            assert!(pool.submit(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.drain();
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 500);
+        assert_eq!(stats.completed, 500);
+        assert_eq!(stats.pending, 0);
+        assert_eq!(stats.busy, 0);
+        assert_eq!(stats.per_worker_items.iter().sum::<u64>(), 500);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_finishes_queued_work_and_rejects_new() {
+        let pool = TaskPool::new(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..64 {
+            let hits = Arc::clone(&hits);
+            pool.submit(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.drain();
+        // Begin shutdown through drop semantics via explicit call.
+        let stats = pool.stats();
+        assert_eq!(stats.completed, 64);
+        pool.shutdown();
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn submit_after_shutdown_begins_is_rejected() {
+        let pool = TaskPool::new(1);
+        pool.begin_shutdown();
+        assert!(!pool.submit(|| panic!("must never run")));
+        pool.drain();
+    }
+
+    #[test]
+    fn panicking_jobs_are_contained_and_counted() {
+        let pool = TaskPool::new(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for i in 0..20 {
+            let hits = Arc::clone(&hits);
+            pool.submit(move || {
+                if i % 5 == 0 {
+                    panic!("poisoned request");
+                }
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.drain();
+        let stats = pool.stats();
+        assert_eq!(stats.completed, 20, "panicked jobs still count as done");
+        assert_eq!(stats.panicked, 4);
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+        // The pool keeps working after panics.
+        let hits2 = Arc::clone(&hits);
+        assert!(pool.submit(move || {
+            hits2.fetch_add(1, Ordering::Relaxed);
+        }));
+        pool.drain();
+        assert_eq!(hits.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn utilization_is_bounded_and_zero_when_idle() {
+        let pool = TaskPool::new(3);
+        let stats = pool.stats();
+        assert_eq!(stats.utilization(), 0.0);
+        assert_eq!(stats.workers, 3);
+        let degenerate = TaskPoolStats {
+            workers: 0,
+            submitted: 0,
+            completed: 0,
+            panicked: 0,
+            pending: 0,
+            busy: 0,
+            per_worker_items: Vec::new(),
+        };
+        assert_eq!(degenerate.utilization(), 0.0);
+    }
+}

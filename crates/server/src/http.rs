@@ -1,0 +1,287 @@
+//! Minimal HTTP/1.1 framing over `std::net` — just enough protocol
+//! for a loopback scheduling daemon.
+//!
+//! One request per connection (`Connection: close`): the accept loop
+//! hands each socket to a pool worker, which reads exactly one framed
+//! request, writes exactly one framed response, and drops the stream.
+//! Keep-alive, chunked bodies, and TLS are deliberately out of scope;
+//! the consumers are `impacct-cli top`, CI smoke scripts, and `curl`.
+//!
+//! Limits are enforced while reading, before any scheduling work
+//! runs: 8 KiB per header line, 100 headers, 8 MiB of body.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request-line or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted on one request.
+const MAX_HEADERS: usize = 100;
+/// Largest accepted request body, in bytes.
+const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// One parsed HTTP/1.1 request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path component of the target, without the query.
+    pub path: String,
+    /// Query parameters in request order; flags parse as `(key, "")`.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs in request order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter named `key`, if any.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First header named `name` (ASCII case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn read_crlf_line<R: BufRead>(reader: &mut R) -> io::Result<String> {
+    let mut line = String::new();
+    let mut limited = reader.take(MAX_LINE as u64 + 2);
+    let n = limited.read_line(&mut line)?;
+    if n == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-request",
+        ));
+    }
+    if !line.ends_with('\n') {
+        return Err(bad("header line exceeds 8 KiB"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Reads one framed HTTP/1.1 request from `stream`.
+///
+/// Blocks until the full head (and `Content-Length` body, if any) has
+/// arrived or a read timeout fires. Protocol violations surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(&mut *stream);
+
+    let request_line = read_crlf_line(&mut reader)?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(bad(format!("malformed request line {request_line:?}"))),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(bad(format!("unsupported protocol {version:?}")));
+    }
+
+    let (path, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_raw
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_crlf_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| bad(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(bad("request body exceeds 8 MiB"));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+        headers,
+        body,
+    })
+}
+
+/// One HTTP/1.1 response, always sent with `Connection: close`.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`200`, `404`, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra `(name, value)` headers appended after the standard set.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `application/json` response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A `text/plain; charset=utf-8` response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Appends an extra response header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Writes the framed response and flushes the stream.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(raw: &[u8]) -> io::Result<Request> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let request = read_request(&mut stream);
+        writer.join().unwrap();
+        request
+    }
+
+    #[test]
+    fn parses_request_line_query_headers_and_body() {
+        let request = roundtrip(
+            b"POST /schedule?format=pasdl&cache=off HTTP/1.1\r\n\
+              Host: localhost\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/schedule");
+        assert_eq!(request.query_param("format"), Some("pasdl"));
+        assert_eq!(request.query_param("cache"), Some("off"));
+        assert_eq!(request.query_param("missing"), None);
+        assert_eq!(request.header("host"), Some("localhost"));
+        assert_eq!(request.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        assert!(roundtrip(b"GARBAGE\r\n\r\n").is_err());
+        assert!(roundtrip(b"GET /x SPDY/3\r\n\r\n").is_err());
+        assert!(roundtrip(b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_control_bytes() {
+        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -1,0 +1,45 @@
+//! # pas-server — the power-aware scheduling daemon
+//!
+//! A plain-`std` HTTP/1.1 service that accepts PASDL `problem`
+//! documents and returns power-valid schedules plus their analysis,
+//! keeping the full observability surface of the offline pipeline
+//! live: per-request traces, sliding-window metrics, and a
+//! bit-exact JSONL audit trail.
+//!
+//! * `POST /schedule` — PASDL body in; JSON analysis (or the raw
+//!   schedule with `?format=pasdl`) out. Responses for identical
+//!   problems are **byte-identical** to
+//!   `impacct-cli schedule --quiet --emit-schedule`; `?cache=off`
+//!   forces a fresh pipeline run.
+//! * `GET /metrics` — Prometheus text exposition: request rates and
+//!   per-stage latency quantiles over a sliding window
+//!   ([`pas_obs::RollingCounter`] / [`pas_obs::WindowedHistogram`]),
+//!   cache and worker-pool gauges, plus the shared pipeline-event
+//!   registry. Valid under [`pas_obs::expo::validate_prometheus`].
+//! * `GET /trace/<id>` — per-request Chrome trace (Perfetto-loadable)
+//!   recorded by a [`pas_obs::StageProfiler`]; the trace id rides
+//!   every response as `X-Pas-Trace-Id`.
+//! * `GET /healthz`, `GET /buildinfo`, `GET /slowlog` — liveness,
+//!   identity, and the slow-request ring.
+//! * `POST /shutdown` (or SIGTERM) — graceful drain: stop accepting,
+//!   finish in-flight requests, flush audit files.
+//!
+//! Scheduling work fans out over a [`pas_par::TaskPool`]; repeated
+//! problems hit a two-level cache ([`cache`]) whose region level
+//! implements the paper's §5.3 quasi-static runtime — schedules are
+//! reused across any `(P_max, P_min)` envelope their
+//! [`ValidityRegion`](pas_sched::ValidityRegion) admits, without
+//! re-running the search. See `DESIGN.md` §16 for the architecture.
+
+#![deny(unsafe_code)] // one vetted exception: `signal::imp` (SIGTERM binding)
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+mod server;
+pub mod signal;
+
+pub use cache::{CacheCounters, ResponseCache};
+pub use metrics::{ServerMetrics, SlowEntry, STAGES};
+pub use server::{Server, ServerConfig, ServerHandle, ServerReport, SCHEMA};

@@ -1,0 +1,458 @@
+//! Live service metrics for the daemon, rendered as Prometheus text.
+//!
+//! Everything here is windowed or monotone, never sampled: request
+//! rates come from [`RollingCounter`]s, per-stage latency quantiles
+//! from [`WindowedHistogram`]s (p50/p99 over the sliding window,
+//! full-resolution lifetime histograms for scrapers that do their own
+//! quantile math), and the slow-request ring keeps the worst recent
+//! offenders for `/slowlog` and the `top` dashboard.
+//!
+//! Timestamps are seconds since server start, passed in explicitly —
+//! the same discipline the instruments themselves use — so unit tests
+//! never sleep and the rendered document is a pure function of the
+//! recorded history.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use pas_obs::{RollingCounter, WindowedHistogram};
+
+use crate::cache::CacheCounters;
+
+/// Stage labels for the per-stage latency instruments, in pipeline
+/// order. `parse`/`render` bracket the scheduler stages; `total` is
+/// wall time from first byte parsed to response rendered.
+pub const STAGES: [&str; 7] = [
+    "parse",
+    "lint",
+    "timing",
+    "max_power",
+    "min_power",
+    "render",
+    "total",
+];
+
+/// Index of a stage label in [`STAGES`].
+pub fn stage_index(stage: &str) -> Option<usize> {
+    STAGES.iter().position(|s| *s == stage)
+}
+
+/// One entry in the slow-request ring.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// Trace id of the offending request.
+    pub trace_id: String,
+    /// Problem (model) name.
+    pub model: String,
+    /// End-to-end latency in microseconds.
+    pub total_us: u64,
+    /// How the request was served (`fresh`, `cache-exact`, …).
+    pub served: &'static str,
+    /// Seconds since server start when the request finished.
+    pub at_s: u64,
+}
+
+/// Most entries the slow-request ring retains.
+const SLOW_CAP: usize = 32;
+
+struct Inner {
+    requests: RollingCounter,
+    schedules: RollingCounter,
+    responses_by_status: BTreeMap<u16, u64>,
+    stages: Vec<WindowedHistogram>,
+    slow: Vec<SlowEntry>,
+    slow_total: u64,
+}
+
+/// Thread-shared metrics state for the daemon. All mutators take
+/// `&self`; the interior mutex is held only for the counter update or
+/// the render, never across scheduling work.
+pub struct ServerMetrics {
+    inner: Mutex<Inner>,
+    window_secs: u64,
+}
+
+impl std::fmt::Debug for ServerMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerMetrics")
+            .field("window_secs", &self.window_secs)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Point-in-time stage quantiles for the dashboard endpoints.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageQuantiles {
+    /// Median latency over the window, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency over the window, microseconds.
+    pub p99_us: f64,
+    /// Samples inside the window.
+    pub window_count: u64,
+    /// Samples over the server lifetime.
+    pub lifetime_count: u64,
+}
+
+impl ServerMetrics {
+    /// Creates the metric set with a sliding window of `window_secs`.
+    pub fn new(window_secs: u64) -> ServerMetrics {
+        let window_secs = window_secs.clamp(1, 3600);
+        ServerMetrics {
+            inner: Mutex::new(Inner {
+                requests: RollingCounter::new(window_secs),
+                schedules: RollingCounter::new(window_secs),
+                responses_by_status: BTreeMap::new(),
+                stages: STAGES
+                    .iter()
+                    .map(|_| WindowedHistogram::new(window_secs))
+                    .collect(),
+                slow: Vec::new(),
+                slow_total: 0,
+            }),
+            window_secs,
+        }
+    }
+
+    /// The configured sliding-window width in seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.window_secs
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Counts one received HTTP request.
+    pub fn on_request(&self, now_s: u64) {
+        self.lock().requests.incr_at(now_s, 1);
+    }
+
+    /// Counts one `POST /schedule` request.
+    pub fn on_schedule(&self, now_s: u64) {
+        self.lock().schedules.incr_at(now_s, 1);
+    }
+
+    /// Counts one response by status code.
+    pub fn on_response(&self, status: u16) {
+        *self.lock().responses_by_status.entry(status).or_insert(0) += 1;
+    }
+
+    /// Records a per-stage latency sample in microseconds.
+    pub fn record_stage(&self, stage_idx: usize, micros: u64, now_s: u64) {
+        if let Some(hist) = self.lock().stages.get_mut(stage_idx) {
+            hist.record_at(now_s, micros);
+        }
+    }
+
+    /// Appends to the slow-request ring (dropping the oldest entry
+    /// past the cap) and bumps the lifetime slow counter.
+    pub fn record_slow(&self, entry: SlowEntry) {
+        let mut inner = self.lock();
+        inner.slow_total += 1;
+        if inner.slow.len() == SLOW_CAP {
+            inner.slow.remove(0);
+        }
+        inner.slow.push(entry);
+    }
+
+    /// Lifetime request count.
+    pub fn requests_total(&self) -> u64 {
+        self.lock().requests.total()
+    }
+
+    /// Windowed quantiles for one stage of [`STAGES`].
+    pub fn stage_quantiles(&self, stage_idx: usize, now_s: u64) -> StageQuantiles {
+        let inner = self.lock();
+        let Some(hist) = inner.stages.get(stage_idx) else {
+            return StageQuantiles::default();
+        };
+        let windowed = hist.snapshot(now_s);
+        StageQuantiles {
+            p50_us: windowed.quantile(0.50).unwrap_or(0.0),
+            p99_us: windowed.quantile(0.99).unwrap_or(0.0),
+            window_count: windowed.count(),
+            lifetime_count: hist.lifetime().count(),
+        }
+    }
+
+    /// The slow-request ring, oldest first.
+    pub fn slow_entries(&self) -> Vec<SlowEntry> {
+        self.lock().slow.clone()
+    }
+
+    /// Renders the `pas_server_*` metric families as Prometheus text.
+    ///
+    /// Gauges that depend on state the metrics object does not own —
+    /// cache counters, worker-pool stats, in-flight count, uptime —
+    /// are passed in by the handler so the render stays a pure
+    /// function of its inputs.
+    pub fn render_prometheus(&self, now_s: u64, gauges: &ServerGauges) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+
+        let _ = writeln!(
+            out,
+            "# HELP pas_server_requests_total HTTP requests received."
+        );
+        let _ = writeln!(out, "# TYPE pas_server_requests_total counter");
+        let _ = writeln!(out, "pas_server_requests_total {}", inner.requests.total());
+
+        let _ = writeln!(
+            out,
+            "# HELP pas_server_request_rate_per_s Requests per second over the sliding window."
+        );
+        let _ = writeln!(out, "# TYPE pas_server_request_rate_per_s gauge");
+        let _ = writeln!(
+            out,
+            "pas_server_request_rate_per_s {:.4}",
+            inner.requests.rate(now_s)
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP pas_server_schedule_requests_total POST /schedule requests received."
+        );
+        let _ = writeln!(out, "# TYPE pas_server_schedule_requests_total counter");
+        let _ = writeln!(
+            out,
+            "pas_server_schedule_requests_total {}",
+            inner.schedules.total()
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP pas_server_responses_total Responses sent, by status code."
+        );
+        let _ = writeln!(out, "# TYPE pas_server_responses_total counter");
+        for (status, count) in &inner.responses_by_status {
+            let _ = writeln!(
+                out,
+                "pas_server_responses_total{{code=\"{status}\"}} {count}"
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP pas_server_cache_events_total Schedule-cache activity by kind."
+        );
+        let _ = writeln!(out, "# TYPE pas_server_cache_events_total counter");
+        for (kind, value) in [
+            ("exact_hit", gauges.cache.exact_hits),
+            ("region_hit", gauges.cache.region_hits),
+            ("miss", gauges.cache.misses),
+            ("eviction", gauges.cache.evictions),
+        ] {
+            let _ = writeln!(
+                out,
+                "pas_server_cache_events_total{{kind=\"{kind}\"}} {value}"
+            );
+        }
+
+        for (name, help, value) in [
+            (
+                "pas_server_sessions",
+                "Open scheduling sessions (distinct constraint graphs).",
+                gauges.sessions as f64,
+            ),
+            (
+                "pas_server_cached_responses",
+                "Exact-level cached responses.",
+                gauges.cached_responses as f64,
+            ),
+            (
+                "pas_server_inflight_requests",
+                "Requests currently being handled.",
+                gauges.inflight as f64,
+            ),
+            (
+                "pas_server_workers",
+                "Worker threads in the request pool.",
+                gauges.workers as f64,
+            ),
+            (
+                "pas_server_workers_busy",
+                "Workers currently executing a request.",
+                gauges.workers_busy as f64,
+            ),
+            (
+                "pas_server_worker_utilization",
+                "Fraction of pool workers busy.",
+                gauges.worker_utilization,
+            ),
+            (
+                "pas_server_uptime_seconds",
+                "Seconds since the daemon started.",
+                now_s as f64,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP pas_server_worker_jobs_total Requests executed per pool worker."
+        );
+        let _ = writeln!(out, "# TYPE pas_server_worker_jobs_total counter");
+        for (worker, jobs) in gauges.per_worker_jobs.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "pas_server_worker_jobs_total{{worker=\"{worker}\"}} {jobs}"
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP pas_server_stage_p50_microseconds Median stage latency over the sliding window."
+        );
+        let _ = writeln!(out, "# TYPE pas_server_stage_p50_microseconds gauge");
+        for (idx, stage) in STAGES.iter().enumerate() {
+            let windowed = inner.stages[idx].snapshot(now_s);
+            let _ = writeln!(
+                out,
+                "pas_server_stage_p50_microseconds{{stage=\"{stage}\"}} {:.1}",
+                windowed.quantile(0.50).unwrap_or(0.0)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP pas_server_stage_p99_microseconds 99th-percentile stage latency over the sliding window."
+        );
+        let _ = writeln!(out, "# TYPE pas_server_stage_p99_microseconds gauge");
+        for (idx, stage) in STAGES.iter().enumerate() {
+            let windowed = inner.stages[idx].snapshot(now_s);
+            let _ = writeln!(
+                out,
+                "pas_server_stage_p99_microseconds{{stage=\"{stage}\"}} {:.1}",
+                windowed.quantile(0.99).unwrap_or(0.0)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP pas_server_stage_window_samples Stage latency samples inside the sliding window."
+        );
+        let _ = writeln!(out, "# TYPE pas_server_stage_window_samples gauge");
+        for (idx, stage) in STAGES.iter().enumerate() {
+            let windowed = inner.stages[idx].snapshot(now_s);
+            let _ = writeln!(
+                out,
+                "pas_server_stage_window_samples{{stage=\"{stage}\"}} {}",
+                windowed.count()
+            );
+        }
+
+        // Full-resolution lifetime histograms, one family per stage
+        // (the shared `Histogram` renderer emits unlabeled families).
+        for (idx, stage) in STAGES.iter().enumerate() {
+            inner.stages[idx].lifetime().render(
+                &mut out,
+                &format!("pas_server_stage_{stage}_latency_microseconds"),
+                &format!("Lifetime {stage} stage latency."),
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP pas_server_slow_requests_total Requests slower than the slow threshold."
+        );
+        let _ = writeln!(out, "# TYPE pas_server_slow_requests_total counter");
+        let _ = writeln!(out, "pas_server_slow_requests_total {}", inner.slow_total);
+
+        out
+    }
+}
+
+/// Handler-supplied gauge snapshot for
+/// [`ServerMetrics::render_prometheus`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerGauges {
+    /// Cache hit/miss/eviction counters.
+    pub cache: CacheCounters,
+    /// Open sessions.
+    pub sessions: usize,
+    /// Exact-level cached responses.
+    pub cached_responses: usize,
+    /// Requests currently in flight.
+    pub inflight: u64,
+    /// Pool worker count.
+    pub workers: usize,
+    /// Pool workers currently busy.
+    pub workers_busy: usize,
+    /// `workers_busy / workers`.
+    pub worker_utilization: f64,
+    /// Lifetime jobs per worker, indexed by worker id.
+    pub per_worker_jobs: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_obs::expo::validate_prometheus;
+
+    #[test]
+    fn rendered_exposition_is_scraper_valid() {
+        let metrics = ServerMetrics::new(60);
+        metrics.on_request(3);
+        metrics.on_schedule(3);
+        metrics.on_response(200);
+        metrics.on_response(422);
+        metrics.record_stage(stage_index("timing").unwrap(), 1500, 3);
+        metrics.record_stage(stage_index("total").unwrap(), 4100, 3);
+        metrics.record_slow(SlowEntry {
+            trace_id: "r000001-deadbeef".into(),
+            model: "m".into(),
+            total_us: 4100,
+            served: "fresh",
+            at_s: 3,
+        });
+
+        let gauges = ServerGauges {
+            workers: 4,
+            workers_busy: 1,
+            worker_utilization: 0.25,
+            per_worker_jobs: vec![2, 0, 1, 0],
+            ..ServerGauges::default()
+        };
+        let text = metrics.render_prometheus(3, &gauges);
+        validate_prometheus(&text).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+        assert!(text.contains("pas_server_requests_total 1"));
+        assert!(text.contains("pas_server_responses_total{code=\"422\"} 1"));
+        assert!(text.contains("pas_server_slow_requests_total 1"));
+        assert!(text.contains("pas_server_stage_total_latency_microseconds_count 1"));
+    }
+
+    #[test]
+    fn stage_quantiles_window_out_old_samples() {
+        let metrics = ServerMetrics::new(5);
+        let idx = stage_index("total").unwrap();
+        metrics.record_stage(idx, 1000, 0);
+        let q = metrics.stage_quantiles(idx, 0);
+        assert_eq!(q.window_count, 1);
+        assert!(q.p50_us > 0.0);
+        // 10 s later the window is empty but the lifetime count holds.
+        let q = metrics.stage_quantiles(idx, 10);
+        assert_eq!(q.window_count, 0);
+        assert_eq!(q.p50_us, 0.0);
+        assert_eq!(q.lifetime_count, 1);
+    }
+
+    #[test]
+    fn slow_ring_caps_and_counts() {
+        let metrics = ServerMetrics::new(60);
+        for i in 0..40u64 {
+            metrics.record_slow(SlowEntry {
+                trace_id: format!("r{i:06}-0"),
+                model: "m".into(),
+                total_us: i,
+                served: "fresh",
+                at_s: i,
+            });
+        }
+        let entries = metrics.slow_entries();
+        assert_eq!(entries.len(), SLOW_CAP);
+        assert_eq!(entries.last().unwrap().total_us, 39);
+        assert_eq!(entries.first().unwrap().total_us, 8, "oldest dropped");
+    }
+}

@@ -1,0 +1,727 @@
+//! The daemon proper: accept loop, request routing, and the
+//! schedule-request pipeline glue.
+//!
+//! ## Request lifecycle
+//!
+//! Every connection carries one request. The accept loop (single
+//! thread, non-blocking `accept` + short sleep so the drain flag is
+//! polled) hands the socket to a [`TaskPool`] worker, which:
+//!
+//! 1. parses the HTTP frame and, for `POST /schedule`, the PASDL
+//!    body;
+//! 2. derives the request's two cache keys (canonical text, graph
+//!    with the envelope erased — see [`crate::cache`]);
+//! 3. serves from the exact cache, from the session repertoire
+//!    (§5.3), or by running the full pipeline under a
+//!    [`StageProfiler`] + [`RecordingObserver`] tee;
+//! 4. folds the recorded events into the shared
+//!    [`MetricsRegistry`] (atomically, request-at-a-time, so
+//!    concurrent requests never interleave inside one registry
+//!    fold), appends the JSONL audit trail, stores the Chrome trace
+//!    for `/trace/<id>`, and updates the sliding-window metrics.
+//!
+//! ## Shutdown ordering
+//!
+//! SIGTERM (or `POST /shutdown`) sets a flag; the accept loop stops
+//! accepting, the pool drains in-flight requests to completion (each
+//! flushes its own audit file before responding), and `run` returns
+//! a final [`ServerReport`]. Nothing is dropped mid-request.
+
+use std::fs;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pas_obs::{
+    JsonlWriter, MetricsRegistry, Observer, RecordingObserver, SharedObserver, StageKind,
+    StageProfiler, Tee, TraceEvent,
+};
+use pas_par::{TaskPool, TaskPoolStats};
+use pas_sched::{PowerAwareScheduler, ScheduleRepertoire, SchedulerConfig};
+use pas_spec::{parse_problem, print_problem, print_schedule};
+
+use crate::cache::{fnv1a64, ExactEntry, ResponseCache};
+use crate::http::{json_escape, read_request, Request, Response};
+use crate::metrics::{stage_index, ServerGauges, ServerMetrics, SlowEntry};
+use crate::signal;
+
+/// Response/schema version tag reported by `/buildinfo` and embedded
+/// in every JSON schedule response.
+pub const SCHEMA: &str = "pas-server/v1";
+
+/// Daemon configuration. `Default` is suitable for local use.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7171`. Port `0` picks a free
+    /// port (the bound address is available from
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Pool workers; `0` means one per available core.
+    pub workers: usize,
+    /// Sliding-window width for rates and quantiles, seconds.
+    pub window_secs: u64,
+    /// Requests at or above this end-to-end latency (milliseconds)
+    /// enter the slow-request log.
+    pub slow_ms: u64,
+    /// When set, every schedule request writes `<trace-id>.pasdl` +
+    /// `<trace-id>.jsonl` here for offline bit-exact replay.
+    pub audit_dir: Option<PathBuf>,
+    /// Most concurrent sessions (distinct constraint graphs) cached.
+    pub session_cap: usize,
+    /// Most Chrome traces retained for `/trace/<id>`.
+    pub trace_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            workers: 0,
+            window_secs: 60,
+            slow_ms: 250,
+            audit_dir: None,
+            session_cap: 256,
+            trace_cap: 256,
+        }
+    }
+}
+
+struct TraceStore {
+    cap: usize,
+    order: Vec<String>,
+    traces: std::collections::HashMap<String, String>,
+}
+
+impl TraceStore {
+    fn insert(&mut self, trace_id: String, chrome: String) {
+        if self.traces.insert(trace_id.clone(), chrome).is_none() {
+            self.order.push(trace_id);
+        }
+        while self.order.len() > self.cap {
+            let oldest = self.order.remove(0);
+            self.traces.remove(&oldest);
+        }
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    start: Instant,
+    metrics: ServerMetrics,
+    cache: Mutex<ResponseCache>,
+    traces: Mutex<TraceStore>,
+    registry: SharedObserver<MetricsRegistry>,
+    pool_stats: Mutex<TaskPoolStats>,
+    shutdown: AtomicBool,
+    inflight: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl Shared {
+    fn now_s(&self) -> u64 {
+        self.start.elapsed().as_secs()
+    }
+
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || signal::signaled()
+    }
+}
+
+/// A lightweight remote control for a running [`Server`]: lets tests
+/// and the CLI trigger the drain without going through a socket.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins the graceful drain, as if SIGTERM had arrived.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once the drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+}
+
+/// Final accounting returned by [`Server::run`] after the drain.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Requests handled over the server lifetime.
+    pub requests: u64,
+    /// Jobs the pool executed (should equal accepted connections).
+    pub pool_jobs: u64,
+    /// Requests whose handler panicked (contained by the pool).
+    pub panicked: u64,
+    /// Total uptime in seconds.
+    pub uptime_s: u64,
+}
+
+/// The scheduling daemon. See the [module docs](crate::server) for
+/// the lifecycle and [`ServerConfig`] for the knobs.
+pub struct Server {
+    listener: TcpListener,
+    pool: TaskPool,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listen socket and spawns the worker pool. The server
+    /// does not accept connections until [`run`](Server::run).
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2)
+        } else {
+            config.workers
+        };
+        if let Some(dir) = &config.audit_dir {
+            fs::create_dir_all(dir)?;
+        }
+        let pool = TaskPool::new(workers);
+        let shared = Arc::new(Shared {
+            metrics: ServerMetrics::new(config.window_secs),
+            cache: Mutex::new(ResponseCache::new(config.session_cap)),
+            traces: Mutex::new(TraceStore {
+                cap: config.trace_cap.max(1),
+                order: Vec::new(),
+                traces: std::collections::HashMap::new(),
+            }),
+            registry: SharedObserver::new(MetricsRegistry::new()),
+            pool_stats: Mutex::new(pool.stats()),
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            start: Instant::now(),
+            config,
+        });
+        Ok(Server {
+            listener,
+            pool,
+            shared,
+        })
+    }
+
+    /// The bound listen address (useful with port `0`).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A shutdown handle usable from other threads.
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.listener.local_addr()?,
+        })
+    }
+
+    /// Accepts and serves requests until the drain flag flips, then
+    /// drains in-flight work and returns the final report.
+    pub fn run(self) -> io::Result<ServerReport> {
+        let Server {
+            listener,
+            pool,
+            shared,
+        } = self;
+        loop {
+            if shared.draining() {
+                break;
+            }
+            // Refresh the pool-stats snapshot the metrics endpoints
+            // read; the handler threads cannot reach the pool itself.
+            *shared.pool_stats.lock().unwrap_or_else(|e| e.into_inner()) = pool.stats();
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&shared);
+                    shared.inflight.fetch_add(1, Ordering::Relaxed);
+                    pool.submit(move || {
+                        let mut stream = stream;
+                        handle_connection(&mut stream, &shared);
+                        shared.inflight.fetch_sub(1, Ordering::Relaxed);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // The poll interval is the floor on connection
+                    // latency, so keep it well under a cache hit's
+                    // budget; 1 ms of idle wakeups is still noise.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: every accepted request finishes (and flushes its
+        // audit trail) before the pool is torn down.
+        pool.drain();
+        let stats = pool.stats();
+        pool.shutdown();
+        Ok(ServerReport {
+            requests: shared.metrics.requests_total(),
+            pool_jobs: stats.completed,
+            panicked: stats.panicked,
+            uptime_s: shared.now_s(),
+        })
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_nonblocking(false);
+    let response = match read_request(stream) {
+        Ok(request) => {
+            shared.metrics.on_request(shared.now_s());
+            route(&request, shared)
+        }
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return,
+        Err(e) => {
+            shared.metrics.on_request(shared.now_s());
+            error_response(400, &format!("bad request: {e}"))
+        }
+    };
+    shared.metrics.on_response(response.status);
+    let _ = response.write_to(stream);
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(
+        status,
+        format!("{{\"error\":\"{}\"}}\n", json_escape(message)),
+    )
+}
+
+fn route(request: &Request, shared: &Shared) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/schedule") => handle_schedule(request, shared),
+        ("GET", "/metrics") => handle_metrics(shared),
+        ("GET", "/healthz") => handle_healthz(shared),
+        ("GET", "/buildinfo") => handle_buildinfo(shared),
+        ("GET", "/slowlog") => handle_slowlog(shared),
+        ("GET", path) if path.starts_with("/trace/") => {
+            handle_trace(path.trim_start_matches("/trace/"), shared)
+        }
+        ("POST", "/shutdown") => {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            Response::json(200, "{\"status\":\"draining\"}\n".to_string())
+        }
+        (_, "/schedule" | "/shutdown") => error_response(405, "use POST"),
+        (_, path) => error_response(404, &format!("no route for {path}")),
+    }
+}
+
+fn handle_metrics(shared: &Shared) -> Response {
+    let (cache_counters, sessions, cached_responses) = {
+        let cache = shared.cache.lock().unwrap_or_else(|e| e.into_inner());
+        (cache.counters(), cache.sessions_len(), cache.exact_len())
+    };
+    let pool = shared
+        .pool_stats
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    let gauges = ServerGauges {
+        cache: cache_counters,
+        sessions,
+        cached_responses,
+        inflight: shared.inflight.load(Ordering::Relaxed),
+        workers: pool.workers,
+        workers_busy: pool.busy,
+        worker_utilization: pool.utilization(),
+        per_worker_jobs: pool.per_worker_items,
+    };
+    let mut text = shared.metrics.render_prometheus(shared.now_s(), &gauges);
+    // Pipeline-event families (pas_events_total, decision histograms)
+    // from the shared registry, appended after the pas_server_*
+    // families. Names are disjoint by prefix, so the concatenation is
+    // itself a valid exposition document.
+    text.push_str(
+        &shared
+            .registry
+            .with(|registry| registry.render_prometheus()),
+    );
+    Response::text(200, text)
+}
+
+fn handle_healthz(shared: &Shared) -> Response {
+    let status = if shared.draining() { "draining" } else { "ok" };
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"{status}\",\"uptime_s\":{},\"inflight\":{},\"requests_total\":{}}}\n",
+            shared.now_s(),
+            shared.inflight.load(Ordering::Relaxed),
+            shared.metrics.requests_total(),
+        ),
+    )
+}
+
+fn handle_buildinfo(shared: &Shared) -> Response {
+    Response::json(
+        200,
+        format!(
+            concat!(
+                "{{\"service\":\"pas-server\",\"version\":\"{}\",\"schema\":\"{}\",",
+                "\"msrv\":\"1.74\",\"host_cores\":{},\"pid\":{},\"window_secs\":{},",
+                "\"workers\":{}}}\n"
+            ),
+            env!("CARGO_PKG_VERSION"),
+            SCHEMA,
+            std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get),
+            std::process::id(),
+            shared.config.window_secs,
+            shared
+                .pool_stats
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .workers,
+        ),
+    )
+}
+
+fn handle_slowlog(shared: &Shared) -> Response {
+    let entries = shared.metrics.slow_entries();
+    let mut body = String::from("{\"slow\":[");
+    for (i, entry) in entries.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"trace_id\":\"{}\",\"model\":\"{}\",\"total_us\":{},\"served\":\"{}\",\"at_s\":{}}}",
+            json_escape(&entry.trace_id),
+            json_escape(&entry.model),
+            entry.total_us,
+            entry.served,
+            entry.at_s,
+        ));
+    }
+    body.push_str("]}\n");
+    Response::json(200, body)
+}
+
+fn handle_trace(trace_id: &str, shared: &Shared) -> Response {
+    let traces = shared.traces.lock().unwrap_or_else(|e| e.into_inner());
+    match traces.traces.get(trace_id) {
+        Some(chrome) => Response::json(200, chrome.clone()),
+        None => error_response(404, &format!("unknown trace id {trace_id}")),
+    }
+}
+
+/// How a schedule response was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Served {
+    Fresh,
+    CacheExact,
+    CacheRegion,
+}
+
+impl Served {
+    fn as_str(self) -> &'static str {
+        match self {
+            Served::Fresh => "fresh",
+            Served::CacheExact => "cache-exact",
+            Served::CacheRegion => "cache-region",
+        }
+    }
+}
+
+fn handle_schedule(request: &Request, shared: &Shared) -> Response {
+    let t_total = Instant::now();
+    let now_s = shared.now_s();
+    shared.metrics.on_schedule(now_s);
+
+    let want_pasdl = request.query_param("format") == Some("pasdl");
+    let cache_enabled = request.query_param("cache") != Some("off");
+
+    // ---- parse ------------------------------------------------------
+    let t_parse = Instant::now();
+    let source = match std::str::from_utf8(&request.body) {
+        Ok(s) => s,
+        Err(_) => return error_response(400, "body is not UTF-8"),
+    };
+    let mut problem = match parse_problem(source) {
+        Ok(problem) => problem,
+        Err(e) => {
+            record_stage_us(shared, "parse", t_parse.elapsed(), now_s);
+            return error_response(400, &format!("parse error: {e}"));
+        }
+    };
+    record_stage_us(shared, "parse", t_parse.elapsed(), now_s);
+
+    // Cache keys from the canonical text: the exact key sees the full
+    // problem, the graph key sees it with the envelope erased.
+    let canonical = print_problem(&problem);
+    let exact_key = fnv1a64(canonical.as_bytes());
+    let graph_key = {
+        let mut unconstrained = problem.clone();
+        unconstrained.set_constraints(pas_core::PowerConstraints::unconstrained());
+        fnv1a64(print_problem(&unconstrained).as_bytes())
+    };
+    let seq = shared.seq.fetch_add(1, Ordering::Relaxed) + 1;
+    let trace_id = format!("r{seq:06}-{:08x}", (exact_key >> 32) as u32);
+    let model = problem.name().to_string();
+
+    // ---- cache lookups ---------------------------------------------
+    if cache_enabled {
+        let mut cache = shared.cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = cache.exact_hit(exact_key) {
+            drop(cache);
+            return finish_schedule_response(
+                shared,
+                FinishArgs {
+                    trace_id,
+                    model,
+                    served: Served::CacheExact,
+                    pasdl: entry.pasdl,
+                    result_json: entry.result_json,
+                    want_pasdl,
+                    t_total,
+                    now_s,
+                },
+            );
+        }
+        let p_max = problem.constraints().p_max();
+        let p_min = problem.constraints().p_min();
+        let mut served = None;
+        if let Some(session) = cache.session_mut(graph_key) {
+            if let Some(entry) = session.repertoire.select(p_max, p_min) {
+                let pasdl = print_schedule(&format!("{model}-min"), &problem, entry.schedule());
+                let region = entry.region();
+                let result_json = format!(
+                    concat!(
+                        "\"valid\":true,\"finish_time_s\":{},\"peak_power_mw\":{},",
+                        "\"energy_cost_mj\":{},\"utilization\":{:.6},",
+                        "\"region\":{{\"min_p_max_mw\":{},\"gap_free_p_min_mw\":{}}},",
+                        "\"repertoire_entry\":\"{}\""
+                    ),
+                    entry.finish_time().as_secs(),
+                    region.min_p_max.as_milliwatts(),
+                    entry.energy_cost_at(p_min).as_millijoules(),
+                    entry.utilization_at(p_min).to_f64(),
+                    region.min_p_max.as_milliwatts(),
+                    region.gap_free_p_min.as_milliwatts(),
+                    json_escape(entry.name()),
+                );
+                served = Some((pasdl, result_json));
+            }
+        }
+        if let Some((pasdl, result_json)) = served {
+            cache.count_region_hit(graph_key);
+            drop(cache);
+            return finish_schedule_response(
+                shared,
+                FinishArgs {
+                    trace_id,
+                    model,
+                    served: Served::CacheRegion,
+                    pasdl,
+                    result_json,
+                    want_pasdl,
+                    t_total,
+                    now_s,
+                },
+            );
+        }
+        cache.count_miss();
+    }
+
+    // ---- fresh pipeline run ----------------------------------------
+    let mut profiler = StageProfiler::new();
+    let mut recording = RecordingObserver::with_capacity(1 << 20);
+    let outcome = {
+        let mut tee = Tee(&mut profiler, &mut recording);
+        let scheduler = PowerAwareScheduler::new(SchedulerConfig::default());
+        scheduler.schedule_with(&mut problem, &mut tee)
+    };
+
+    // Fold this request's events into the shared registry atomically
+    // (request-at-a-time) so concurrent requests cannot interleave
+    // stage markers inside one registry. Stage wall-clock lives in
+    // the pas_server_stage_* histograms, measured by the per-request
+    // profiler, so the markers themselves are skipped.
+    shared.registry.with(|registry| {
+        for event in recording.events() {
+            if !matches!(
+                event,
+                TraceEvent::StageStarted { .. } | TraceEvent::StageFinished { .. }
+            ) {
+                registry.on_event(event);
+            }
+        }
+    });
+
+    // Per-stage wall clock from the profiler, into the windowed
+    // histograms feeding /metrics and `top`.
+    for (kind, stage) in [
+        (StageKind::Lint, "lint"),
+        (StageKind::Timing, "timing"),
+        (StageKind::MaxPower, "max_power"),
+        (StageKind::MinPower, "min_power"),
+    ] {
+        record_stage_us(shared, stage, profiler.profile(kind).wall, now_s);
+    }
+
+    // Audit trail: the problem as received plus the full event
+    // stream, replayable bit-exact by pas-replay.
+    if let Some(dir) = &shared.config.audit_dir {
+        let _ = fs::write(dir.join(format!("{trace_id}.pasdl")), source);
+        if let Ok(mut writer) = JsonlWriter::create(dir.join(format!("{trace_id}.jsonl"))) {
+            for event in recording.events() {
+                writer.on_event(event);
+            }
+            let _ = writer.finish();
+        }
+    }
+
+    // Chrome trace for /trace/<id>.
+    shared
+        .traces
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(trace_id.clone(), profiler.chrome_trace());
+
+    let outcome = match outcome {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            record_stage_us(shared, "total", t_total.elapsed(), now_s);
+            return error_response(422, &format!("schedule failed: {e}"))
+                .with_header("X-Pas-Trace-Id", trace_id);
+        }
+    };
+
+    // ---- render -----------------------------------------------------
+    let t_render = Instant::now();
+    let pasdl = print_schedule(&format!("{model}-min"), &problem, &outcome.schedule);
+    let analysis = &outcome.analysis;
+    let region = pas_sched::ValidityRegion::of(
+        problem.graph(),
+        &outcome.schedule,
+        problem.background_power(),
+    );
+    let result_json = format!(
+        concat!(
+            "\"valid\":{},\"finish_time_s\":{},\"peak_power_mw\":{},",
+            "\"total_energy_mj\":{},\"energy_cost_mj\":{},\"free_energy_mj\":{},",
+            "\"utilization\":{:.6},\"spikes\":{},\"gaps\":{},",
+            "\"region\":{{\"min_p_max_mw\":{},\"gap_free_p_min_mw\":{}}},",
+            "\"stats\":{{\"serializations\":{},\"timing_backtracks\":{},",
+            "\"spike_delays\":{},\"min_power_moves\":{}}}"
+        ),
+        analysis.is_valid(),
+        analysis.finish_time.as_secs(),
+        analysis.peak_power.as_milliwatts(),
+        analysis.total_energy.as_millijoules(),
+        analysis.energy_cost.as_millijoules(),
+        analysis.free_energy_used.as_millijoules(),
+        analysis.utilization.to_f64(),
+        analysis.spikes.len(),
+        analysis.gaps.len(),
+        region.min_p_max.as_milliwatts(),
+        region.gap_free_p_min.as_milliwatts(),
+        outcome.stats.serializations,
+        outcome.stats.timing_backtracks,
+        outcome.stats.spike_delays,
+        outcome.stats.min_power_moves,
+    );
+    record_stage_us(shared, "render", t_render.elapsed(), now_s);
+
+    if cache_enabled {
+        let mut cache = shared.cache.lock().unwrap_or_else(|e| e.into_inner());
+        let graph = problem.graph();
+        let background = problem.background_power();
+        let schedule = outcome.schedule.clone();
+        let entry_name = trace_id.clone();
+        cache.insert(
+            exact_key,
+            graph_key,
+            &model,
+            ExactEntry {
+                pasdl: pasdl.clone(),
+                result_json: result_json.clone(),
+            },
+            move |repertoire: &mut ScheduleRepertoire| {
+                repertoire.insert(entry_name, graph, schedule, background);
+            },
+        );
+    }
+
+    finish_schedule_response(
+        shared,
+        FinishArgs {
+            trace_id,
+            model,
+            served: Served::Fresh,
+            pasdl,
+            result_json,
+            want_pasdl,
+            t_total,
+            now_s,
+        },
+    )
+}
+
+struct FinishArgs {
+    trace_id: String,
+    model: String,
+    served: Served,
+    pasdl: String,
+    result_json: String,
+    want_pasdl: bool,
+    t_total: Instant,
+    now_s: u64,
+}
+
+fn finish_schedule_response(shared: &Shared, args: FinishArgs) -> Response {
+    let total = args.t_total.elapsed();
+    record_stage_us(shared, "total", total, args.now_s);
+    let total_us = total.as_micros().min(u128::from(u64::MAX)) as u64;
+    if total_us >= shared.config.slow_ms.saturating_mul(1000) {
+        shared.metrics.record_slow(SlowEntry {
+            trace_id: args.trace_id.clone(),
+            model: args.model.clone(),
+            total_us,
+            served: args.served.as_str(),
+            at_s: args.now_s,
+        });
+    }
+    let response = if args.want_pasdl {
+        Response::text(200, args.pasdl)
+    } else {
+        Response::json(
+            200,
+            format!(
+                "{{\"schema\":\"{}\",\"trace_id\":\"{}\",\"model\":\"{}\",\"served\":\"{}\",{},\"total_us\":{},\"schedule\":\"{}\"}}\n",
+                SCHEMA,
+                args.trace_id,
+                json_escape(&args.model),
+                args.served.as_str(),
+                args.result_json,
+                total_us,
+                json_escape(&args.pasdl),
+            ),
+        )
+    };
+    response
+        .with_header("X-Pas-Trace-Id", args.trace_id)
+        .with_header("X-Pas-Served", args.served.as_str())
+}
+
+fn record_stage_us(shared: &Shared, stage: &str, wall: Duration, now_s: u64) {
+    if let Some(idx) = stage_index(stage) {
+        let micros = wall.as_micros().min(u128::from(u64::MAX)) as u64;
+        shared.metrics.record_stage(idx, micros, now_s);
+    }
+}

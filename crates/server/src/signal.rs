@@ -1,0 +1,81 @@
+//! SIGTERM/SIGINT → graceful-drain flag, with zero dependencies.
+//!
+//! The handler does the only async-signal-safe thing possible: it
+//! stores into a process-global [`AtomicBool`]. The accept loop polls
+//! [`signaled`] between `accept` attempts and begins the drain
+//! sequence (stop accepting → finish in-flight requests → flush
+//! audit) when it flips.
+//!
+//! On non-Unix targets [`install`] is a no-op; `POST /shutdown`
+//! provides the portable path to the same flag-driven drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// `true` once SIGTERM/SIGINT has been received (or [`mark`] called).
+pub fn signaled() -> bool {
+    SIGNALED.load(Ordering::Relaxed)
+}
+
+/// Sets the flag by hand — the portable fallback used by tests and by
+/// `POST /shutdown` handling on targets without signals.
+pub fn mark() {
+    SIGNALED.store(true, Ordering::Relaxed);
+}
+
+/// Installs SIGTERM and SIGINT handlers that set the drain flag.
+///
+/// Call once from the daemon entry point; repeated calls are
+/// harmless. No-op off Unix.
+#[cfg(unix)]
+pub fn install() {
+    imp::install();
+}
+
+/// Installs SIGTERM and SIGINT handlers that set the drain flag.
+///
+/// Call once from the daemon entry point; repeated calls are
+/// harmless. No-op off Unix.
+#[cfg(not(unix))]
+pub fn install() {}
+
+// The one unsafe corner of the workspace: binding the C `signal`
+// entry point directly (no libc crate). The handler body is a single
+// relaxed atomic store, which is on POSIX's async-signal-safe list.
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::SIGNALED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_flips_the_flag() {
+        // `signaled` state is process-global, so this is the only
+        // transition a test can check without raising a real signal.
+        mark();
+        assert!(signaled());
+    }
+}

@@ -301,11 +301,12 @@ fn main() {
 
     let json = format!(
         concat!(
-            "{{\n  \"bench\": \"lint\",\n  \"batch\": {},\n",
+            "{{\n  \"bench\": \"lint\",\n  {},\n  \"batch\": {},\n",
             "  \"speedup_model\": \"within-run ratios: guard-off/guard-on wall, ",
             "shallow/deep wall, baseline/bounded search nodes\",\n",
             "  \"results\": [\n{}\n  ]\n}}\n"
         ),
+        pas_bench::provenance_json(),
         BATCH,
         rows.join(",\n")
     );
