@@ -50,6 +50,49 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--sessions needs a count")?;
             }
+            "--max-inflight" => {
+                config.max_inflight = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--max-inflight needs a count (0 = one per worker)")?;
+            }
+            "--queue-depth" => {
+                config.queue_depth = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--queue-depth needs a count")?;
+            }
+            "--keep-alive" => {
+                config.keep_alive = match it.next().map(String::as_str) {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => return Err("--keep-alive needs on|off".into()),
+                };
+            }
+            "--keep-alive-requests" => {
+                config.keep_alive_requests = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--keep-alive-requests needs a count")?;
+            }
+            "--header-timeout-ms" => {
+                config.header_timeout_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--header-timeout-ms needs milliseconds")?;
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--idle-timeout-ms needs milliseconds")?;
+            }
+            "--retry-after" => {
+                config.retry_after_s = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--retry-after needs seconds")?;
+            }
             other => return Err(format!("unknown serve flag {other:?}")),
         }
     }
@@ -64,8 +107,8 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("  POST /shutdown   graceful drain (also SIGTERM)");
     let report = server.run().map_err(|e| format!("serve: {e}"))?;
     println!(
-        "drained: {} requests over {} s ({} pool jobs, {} panicked)",
-        report.requests, report.uptime_s, report.pool_jobs, report.panicked
+        "drained: {} requests over {} s ({} pool jobs, {} panicked, {} shed)",
+        report.requests, report.uptime_s, report.pool_jobs, report.panicked, report.sheds
     );
     Ok(())
 }
@@ -216,6 +259,24 @@ fn render_dashboard(addr: &str, samples: &[Sample], slowlog: &str) -> String {
         "requests {requests:.0}  rate {rate:.1}/s  inflight {inflight:.0}  slow {slow:.0}\n"
     ));
 
+    let conns = gauge(samples, "pas_server_connections_total");
+    let reuses = gauge(samples, "pas_server_keepalive_reuses_total");
+    let admitted = gauge(samples, "pas_server_admitted");
+    let capacity = gauge(samples, "pas_server_admission_capacity");
+    let queue = gauge(samples, "pas_server_queue_depth");
+    let queue_hw = gauge(samples, "pas_server_queue_high_water");
+    out.push_str(&format!(
+        "conns  {conns:.0}  keep-alive reuses {reuses:.0}  admitted {admitted:.0}/{capacity:.0}  queue {queue:.0} (hw {queue_hw:.0})\n"
+    ));
+
+    let shed_cap = labeled(samples, "pas_server_shed_total", "reason", "capacity");
+    let shed_drain = labeled(samples, "pas_server_shed_total", "reason", "draining");
+    let shed_drop = labeled(samples, "pas_server_shed_total", "reason", "dropped");
+    let shed_rate = gauge(samples, "pas_server_shed_rate_per_s");
+    out.push_str(&format!(
+        "shed   capacity {shed_cap:.0}  draining {shed_drain:.0}  dropped {shed_drop:.0}  rate {shed_rate:.1}/s\n"
+    ));
+
     let exact = labeled(
         samples,
         "pas_server_cache_events_total",
@@ -228,6 +289,12 @@ fn render_dashboard(addr: &str, samples: &[Sample], slowlog: &str) -> String {
         "kind",
         "region_hit",
     );
+    let incr = labeled(
+        samples,
+        "pas_server_cache_events_total",
+        "kind",
+        "incremental",
+    );
     let miss = labeled(samples, "pas_server_cache_events_total", "kind", "miss");
     let evict = labeled(samples, "pas_server_cache_events_total", "kind", "eviction");
     let lookups = exact + region + miss;
@@ -237,7 +304,7 @@ fn render_dashboard(addr: &str, samples: &[Sample], slowlog: &str) -> String {
         0.0
     };
     out.push_str(&format!(
-        "cache  exact {exact:.0}  region {region:.0}  miss {miss:.0}  evicted {evict:.0}  hit {hit_pct:.1}%  sessions {:.0}  stored {:.0}\n",
+        "cache  exact {exact:.0}  region {region:.0}  incr {incr:.0}  miss {miss:.0}  evicted {evict:.0}  hit {hit_pct:.1}%  sessions {:.0}  stored {:.0}\n",
         gauge(samples, "pas_server_sessions"),
         gauge(samples, "pas_server_cached_responses"),
     ));
@@ -290,12 +357,23 @@ mod tests {
         let scrape = "pas_server_uptime_seconds 12\npas_server_workers 4\n\
                       pas_server_workers_busy 1\npas_server_worker_utilization 0.25\n\
                       pas_server_requests_total 10\npas_server_request_rate_per_s 2.5\n\
+                      pas_server_connections_total 6\npas_server_keepalive_reuses_total 4\n\
+                      pas_server_admitted 3\npas_server_admission_capacity 68\n\
+                      pas_server_queue_depth 2\npas_server_queue_high_water 9\n\
+                      pas_server_shed_total{reason=\"capacity\"} 5\n\
+                      pas_server_shed_rate_per_s 1.5\n\
                       pas_server_cache_events_total{kind=\"exact_hit\"} 4\n\
+                      pas_server_cache_events_total{kind=\"incremental\"} 2\n\
                       pas_server_cache_events_total{kind=\"miss\"} 4\n";
         let samples = parse_samples(scrape).unwrap();
         let slowlog = "{\"slow\":[{\"trace_id\":\"r000001-aa\",\"model\":\"m\",\"total_us\":9000,\"served\":\"fresh\",\"at_s\":3}]}";
         let frame = render_dashboard("127.0.0.1:7171", &samples, slowlog);
         assert!(frame.contains("requests 10"), "{frame}");
+        assert!(frame.contains("admitted 3/68"), "{frame}");
+        assert!(frame.contains("queue 2 (hw 9)"), "{frame}");
+        assert!(frame.contains("shed   capacity 5"), "{frame}");
+        assert!(frame.contains("keep-alive reuses 4"), "{frame}");
+        assert!(frame.contains("incr 2"), "{frame}");
         assert!(frame.contains("hit 50.0%"), "{frame}");
         assert!(frame.contains("r000001-aa"), "{frame}");
     }

@@ -27,6 +27,9 @@
 //!                     [--metrics <out.prom>] [--collapsed <out.txt>] [--quiet]
 //! impacct-cli serve [--addr <host:port>] [--workers <n>] [--window <secs>]
 //!                   [--slow-ms <n>] [--audit <dir>] [--sessions <n>]
+//!                   [--max-inflight <n>] [--queue-depth <n>] [--keep-alive on|off]
+//!                   [--keep-alive-requests <n>] [--header-timeout-ms <n>]
+//!                   [--idle-timeout-ms <n>] [--retry-after <secs>]
 //! impacct-cli top [--addr <host:port>] [--interval-ms <n>] [--once]
 //! ```
 //!
@@ -169,7 +172,9 @@ fn usage() -> String {
      [--chrome-trace <out.json>] \
      [--metrics <out.prom>] [--collapsed <out.txt>] [--quiet]\n  \
      impacct-cli serve [--addr <host:port>] [--workers <n>] [--window <secs>] \
-     [--slow-ms <n>] [--audit <dir>] [--sessions <n>]\n  \
+     [--slow-ms <n>] [--audit <dir>] [--sessions <n>] [--max-inflight <n>] \
+     [--queue-depth <n>] [--keep-alive on|off] [--keep-alive-requests <n>] \
+     [--header-timeout-ms <n>] [--idle-timeout-ms <n>] [--retry-after <secs>]\n  \
      impacct-cli top [--addr <host:port>] [--interval-ms <n>] [--once]"
         .to_string()
 }

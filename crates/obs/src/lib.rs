@@ -76,7 +76,7 @@ mod stitch;
 pub use event::{Binding, ScanKind, SlotKind, StageKind, TraceEvent, TraceParseError};
 pub use jsonl::{parse_jsonl, JsonlWriter};
 pub use metrics::{
-    collapsed_stacks, escape_label_value, Histogram, MetricsRegistry, RollingCounter,
+    collapsed_stacks, escape_label_value, HighWater, Histogram, MetricsRegistry, RollingCounter,
     WindowedHistogram,
 };
 pub use observer::{

@@ -202,6 +202,43 @@ impl Histogram {
     }
 }
 
+/// Lock-free monotone maximum tracker ("high-water mark").
+///
+/// Many threads race to `observe` instantaneous levels (queue depth,
+/// in-flight requests); `get` reports the largest level ever seen.
+/// The compare-exchange loop only retries while the stored value is
+/// stale *and smaller*, so contention is bounded by genuine record
+/// updates — steady-state observations are a single load.
+#[derive(Debug, Default)]
+pub struct HighWater(std::sync::atomic::AtomicU64);
+
+impl HighWater {
+    /// A tracker that has seen nothing (high water = 0).
+    pub fn new() -> HighWater {
+        HighWater::default()
+    }
+
+    /// Folds one instantaneous level into the maximum.
+    pub fn observe(&self, level: u64) {
+        use std::sync::atomic::Ordering;
+        let mut seen = self.0.load(Ordering::Relaxed);
+        while level > seen {
+            match self
+                .0
+                .compare_exchange_weak(seen, level, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => seen = now,
+            }
+        }
+    }
+
+    /// The largest level observed so far.
+    pub fn get(&self) -> u64 {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// Sliding-window counter with a per-second rate.
 ///
 /// The window is a ring of per-second slots; increments carry an
@@ -887,6 +924,30 @@ mod tests {
         // The lifetime histogram never decays.
         assert_eq!(w.lifetime().count(), 2);
         assert_eq!(w.lifetime().sum(), 102);
+    }
+
+    #[test]
+    fn high_water_tracks_the_maximum_across_threads() {
+        let hw = HighWater::new();
+        assert_eq!(hw.get(), 0);
+        hw.observe(3);
+        hw.observe(1);
+        assert_eq!(hw.get(), 3);
+        let hw = std::sync::Arc::new(hw);
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let hw = std::sync::Arc::clone(&hw);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        hw.observe(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hw.get(), 3999);
     }
 
     #[test]

@@ -26,6 +26,7 @@ struct PoolState {
     submitted: u64,
     completed: u64,
     panicked: u64,
+    queue_high_water: usize,
     per_worker_items: Vec<u64>,
 }
 
@@ -48,6 +49,10 @@ pub struct TaskPoolStats {
     pub panicked: u64,
     /// Jobs queued but not yet started.
     pub pending: usize,
+    /// Deepest the queue has ever been (lifetime high-water mark) —
+    /// the admission-control evidence that a configured queue bound
+    /// actually held.
+    pub queue_high_water: usize,
     /// Workers currently executing a job.
     pub busy: usize,
     /// Jobs executed per worker, indexed by worker id.
@@ -136,6 +141,7 @@ impl TaskPool {
             return false;
         }
         state.queue.push_back(Box::new(job));
+        state.queue_high_water = state.queue_high_water.max(state.queue.len());
         state.submitted += 1;
         drop(state);
         self.shared.work_ready.notify_one();
@@ -163,6 +169,7 @@ impl TaskPool {
             completed: state.completed,
             panicked: state.panicked,
             pending: state.queue.len(),
+            queue_high_water: state.queue_high_water,
             busy: state.busy,
             per_worker_items: state.per_worker_items.clone(),
         }
@@ -254,6 +261,9 @@ mod tests {
         assert_eq!(stats.completed, 500);
         assert_eq!(stats.pending, 0);
         assert_eq!(stats.busy, 0);
+        // Every submit holds the lock while pushing, so the high-water
+        // mark is at least 1 and never exceeds the total submitted.
+        assert!((1..=500).contains(&stats.queue_high_water));
         assert_eq!(stats.per_worker_items.iter().sum::<u64>(), 500);
         pool.shutdown();
     }
@@ -323,6 +333,7 @@ mod tests {
             completed: 0,
             panicked: 0,
             pending: 0,
+            queue_high_water: 0,
             busy: 0,
             per_worker_items: Vec::new(),
         };

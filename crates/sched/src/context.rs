@@ -55,6 +55,19 @@ impl ScheduleContext {
         }
     }
 
+    /// Creates a context seeded with an already-warm engine (a
+    /// cross-request session's cached distances). The engine's
+    /// journal-prefix validation makes the seed best-effort: if the
+    /// live graph diverges from what the engine saw, the first
+    /// refresh falls back to a full recomputation, so a stale seed
+    /// costs exactly one `Full` — never a wrong distance.
+    pub(crate) fn with_engine(engine: IncrementalLongestPaths, stage: StageKind) -> Self {
+        ScheduleContext {
+            inc: Some(engine),
+            stage,
+        }
+    }
+
     /// Brings the cached distances up to date with `graph`, emitting
     /// one trace event describing how the refresh was served.
     fn refresh<O: Observer>(

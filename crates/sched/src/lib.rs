@@ -61,6 +61,7 @@ mod min_power;
 pub mod optimal;
 mod pipeline;
 mod runtime;
+mod session;
 pub mod telemetry;
 mod timing;
 
@@ -76,6 +77,7 @@ pub use min_power::{
 pub use pas_par::{Parallelism, PoolProfile, SharedMinStats, WorkerProfile};
 pub use pipeline::{Outcome, PowerAwareScheduler, StageOutcomes};
 pub use runtime::{RepertoireEntry, ScheduleRepertoire, ValidityRegion};
+pub use session::SessionContext;
 pub use telemetry::{SearchStats, SEARCH_SAMPLE_INTERVAL};
 pub use timing::{schedule_timing, schedule_timing_observed};
 

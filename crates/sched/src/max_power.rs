@@ -108,6 +108,30 @@ pub fn schedule_max_power_observed<O: Observer>(
     config: &SchedulerConfig,
     obs: &mut O,
 ) -> Result<Schedule, ScheduleError> {
+    schedule_max_power_seeded(graph, p_max, background, config, None, obs)
+}
+
+/// [`schedule_max_power_observed`] with an optional warm longest-path
+/// engine seeding each attempt's [`ScheduleContext`] (the
+/// cross-request session path, DESIGN.md §16).
+///
+/// Each attempt clones the seed, so the caller's engine stays pinned
+/// at the base-graph state it was warmed on. Longest-path distances
+/// are unique, so a warm seed changes how distances are *computed*
+/// (cache hit instead of full init), never their values — the
+/// returned schedule is bit-identical to the cold path. When
+/// [`SchedulerConfig::incremental`] is off the seed is ignored.
+///
+/// # Errors
+/// See [`schedule_max_power`].
+pub(crate) fn schedule_max_power_seeded<O: Observer>(
+    graph: &mut ConstraintGraph,
+    p_max: Power,
+    background: Power,
+    config: &SchedulerConfig,
+    warm: Option<&pas_graph::incremental::IncrementalLongestPaths>,
+    obs: &mut O,
+) -> Result<Schedule, ScheduleError> {
     // A task whose own draw (plus background) exceeds the budget can
     // never be scheduled: delaying only moves the spike.
     for (_, task) in graph.tasks() {
@@ -153,8 +177,12 @@ pub fn schedule_max_power_observed<O: Observer>(
         let mut recursions = 0usize;
         // One incremental context per attempt: the timing re-runs of
         // the recursion share it, so the speculative release/lock
-        // edges are absorbed as longest-path deltas.
-        let mut ctx = ScheduleContext::new(attempt.incremental, StageKind::MaxPower);
+        // edges are absorbed as longest-path deltas. A session seed
+        // turns the attempt's first refresh into a cache hit.
+        let mut ctx = match warm.filter(|_| attempt.incremental) {
+            Some(engine) => ScheduleContext::with_engine(engine.clone(), StageKind::MaxPower),
+            None => ScheduleContext::new(attempt.incremental, StageKind::MaxPower),
+        };
         let result = solve_on_solver_stack(
             graph,
             &mut ctx,

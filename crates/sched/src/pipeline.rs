@@ -311,6 +311,95 @@ impl PowerAwareScheduler {
         ))
     }
 
+    /// [`Self::schedule_with`] served through a long-lived
+    /// [`SessionContext`] (DESIGN.md §16): the session's warm
+    /// longest-path engine seeds every max-power attempt, so a
+    /// request whose constraint graph the session has seen before
+    /// starts from a journal-validated cache hit instead of a cold
+    /// full SPFA.
+    ///
+    /// The returned schedule is bit-identical to
+    /// [`Self::schedule_with`] on the same problem: distances are
+    /// unique, the warm engine only changes how they are computed.
+    /// A warm-up failure (infeasible base graph, divergent journal)
+    /// is silently absorbed — the solver rediscovers the condition
+    /// through the cold machinery, so errors match the offline
+    /// pipeline too. With [`SchedulerConfig::incremental`] off this
+    /// is exactly [`Self::schedule_with`].
+    ///
+    /// # Errors
+    /// See [`Self::schedule`].
+    pub fn schedule_session_with(
+        &self,
+        problem: &mut Problem,
+        session: &mut crate::session::SessionContext,
+        obs: &mut dyn Observer,
+    ) -> Result<Outcome, ScheduleError> {
+        self.lint_guard(problem, obs)?;
+        let mut counter = CountingObserver::new();
+        let constraints = problem.constraints();
+        let background = problem.background_power();
+
+        emit(
+            obs,
+            TraceEvent::StageStarted {
+                stage: StageKind::MaxPower,
+            },
+        );
+        let warm = if self.config.incremental {
+            session
+                .warm_for(problem.graph(), &mut Tee(&mut counter, &mut *obs))
+                .ok()
+        } else {
+            None
+        };
+        let result = crate::max_power::schedule_max_power_seeded(
+            problem.graph_mut(),
+            constraints.p_max(),
+            background,
+            &self.config,
+            warm,
+            &mut Tee(&mut counter, &mut *obs),
+        );
+        emit(
+            obs,
+            TraceEvent::StageFinished {
+                stage: StageKind::MaxPower,
+            },
+        );
+        let valid = result?;
+
+        emit(
+            obs,
+            TraceEvent::StageStarted {
+                stage: StageKind::MinPower,
+            },
+        );
+        let improved = improve_gaps_observed(
+            problem.graph(),
+            valid,
+            constraints.p_max(),
+            constraints.p_min(),
+            background,
+            &self.config,
+            &mut Tee(&mut counter, &mut *obs),
+        );
+        emit(
+            obs,
+            TraceEvent::StageFinished {
+                stage: StageKind::MinPower,
+            },
+        );
+        session.count_serve();
+        Ok(self.outcome_observed(
+            problem,
+            improved,
+            counter.counts().into(),
+            StageKind::MinPower,
+            obs,
+        ))
+    }
+
     /// Runs the pipeline capturing every intermediate schedule
     /// (Figs. 2 → 5 → 7 of the paper). The problem's graph
     /// accumulates the pinning edges of the final stage.

@@ -24,7 +24,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use pas_sched::ScheduleRepertoire;
+use pas_sched::{ScheduleRepertoire, SessionContext};
 
 /// FNV-1a 64-bit hash — the workspace's standing choice for
 /// deterministic, dependency-free content keys.
@@ -59,6 +59,11 @@ pub struct Session {
     pub repertoire: ScheduleRepertoire,
     /// Requests served from this session's repertoire.
     pub hits: u64,
+    /// The long-lived incremental engine for this graph. `None` while
+    /// a worker has it checked out (`Option::take` under the cache
+    /// lock): a concurrent repertoire miss for the same graph then
+    /// falls back to a cold pipeline run rather than waiting.
+    pub ctx: Option<SessionContext>,
 }
 
 /// Most schedules one session retains; later inserts are dropped
@@ -73,6 +78,9 @@ pub struct CacheCounters {
     pub exact_hits: u64,
     /// Requests answered from a session repertoire (§5.3 reuse).
     pub region_hits: u64,
+    /// Repertoire misses recomputed through the session's warm
+    /// incremental engine instead of a cold pipeline run.
+    pub incremental: u64,
     /// Requests that ran the full pipeline.
     pub misses: u64,
     /// Entries (either level) dropped by the FIFO cap.
@@ -131,6 +139,27 @@ impl ResponseCache {
         self.counters.misses += 1;
     }
 
+    /// Counts a repertoire miss served through the session's warm
+    /// incremental engine (still a `miss` for cache accounting — the
+    /// pipeline ran — but a cheaper one).
+    pub fn count_incremental(&mut self) {
+        self.counters.incremental += 1;
+    }
+
+    /// Checks the incremental engine out of `graph_key`'s session,
+    /// leaving `None` so concurrent requests fall back to cold runs.
+    pub fn take_session_ctx(&mut self, graph_key: u64) -> Option<SessionContext> {
+        self.sessions.get_mut(&graph_key).and_then(|s| s.ctx.take())
+    }
+
+    /// Returns a checked-out engine. A session evicted in the interim
+    /// drops the engine silently.
+    pub fn put_session_ctx(&mut self, graph_key: u64, ctx: SessionContext) {
+        if let Some(session) = self.sessions.get_mut(&graph_key) {
+            session.ctx = Some(ctx);
+        }
+    }
+
     /// Inserts a fresh pipeline result at both levels, evicting FIFO
     /// past the caps.
     ///
@@ -163,6 +192,7 @@ impl ResponseCache {
                 model: model.to_string(),
                 repertoire: ScheduleRepertoire::new(),
                 hits: 0,
+                ctx: Some(SessionContext::new()),
             }
         });
         if session.repertoire.len() < REPERTOIRE_CAP {
@@ -237,6 +267,21 @@ mod tests {
         assert!(cache.session_mut(10).is_none(), "oldest session evicted");
         assert!(cache.session_mut(30).is_some());
         assert_eq!(cache.counters().evictions, 1);
+    }
+
+    #[test]
+    fn session_ctx_checks_out_exclusively_and_returns() {
+        let mut cache = ResponseCache::new(2);
+        cache.insert(1, 7, "m", entry("a"), |_| {});
+        let ctx = cache.take_session_ctx(7).expect("fresh session has a ctx");
+        assert!(
+            cache.take_session_ctx(7).is_none(),
+            "checked-out ctx is exclusive"
+        );
+        cache.put_session_ctx(7, ctx);
+        assert!(cache.take_session_ctx(7).is_some());
+        cache.count_incremental();
+        assert_eq!(cache.counters().incremental, 1);
     }
 
     #[test]

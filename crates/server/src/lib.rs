@@ -21,15 +21,25 @@
 //!   every response as `X-Pas-Trace-Id`.
 //! * `GET /healthz`, `GET /buildinfo`, `GET /slowlog` — liveness,
 //!   identity, and the slow-request ring.
-//! * `POST /shutdown` (or SIGTERM) — graceful drain: stop accepting,
-//!   finish in-flight requests, flush audit files.
+//! * `POST /shutdown` (or SIGTERM) — graceful drain: stop admitting
+//!   (new connections get `503` + `Retry-After`), finish in-flight
+//!   requests, flush audit files.
 //!
-//! Scheduling work fans out over a [`pas_par::TaskPool`]; repeated
-//! problems hit a two-level cache ([`cache`]) whose region level
-//! implements the paper's §5.3 quasi-static runtime — schedules are
-//! reused across any `(P_max, P_min)` envelope their
+//! Connections are persistent (HTTP/1.1 keep-alive with
+//! per-connection request caps and slowloris timeouts) and pass
+//! through **admission control**: at most `max_inflight +
+//! queue_depth` connections are admitted, the rest are shed with
+//! `429 Too Many Requests` + `Retry-After` instead of queueing
+//! unboundedly. Scheduling work fans out over a
+//! [`pas_par::TaskPool`]; repeated problems hit a two-level cache
+//! ([`cache`]) whose region level implements the paper's §5.3
+//! quasi-static runtime — schedules are reused across any
+//! `(P_max, P_min)` envelope their
 //! [`ValidityRegion`](pas_sched::ValidityRegion) admits, without
-//! re-running the search. See `DESIGN.md` §16 for the architecture.
+//! re-running the search, and repertoire misses on a known graph are
+//! recomputed through the session's long-lived incremental engine
+//! ([`pas_sched::SessionContext`]). See `DESIGN.md` §16 for the
+//! architecture.
 
 #![deny(unsafe_code)] // one vetted exception: `signal::imp` (SIGTERM binding)
 #![warn(missing_docs)]

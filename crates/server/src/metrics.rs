@@ -21,9 +21,12 @@ use pas_obs::{RollingCounter, WindowedHistogram};
 use crate::cache::CacheCounters;
 
 /// Stage labels for the per-stage latency instruments, in pipeline
-/// order. `parse`/`render` bracket the scheduler stages; `total` is
-/// wall time from first byte parsed to response rendered.
-pub const STAGES: [&str; 7] = [
+/// order. `queue` is time spent waiting in the admission queue before
+/// a worker picked the connection up; `parse`/`render` bracket the
+/// scheduler stages; `total` is wall time from first byte parsed to
+/// response rendered.
+pub const STAGES: [&str; 8] = [
+    "queue",
     "parse",
     "lint",
     "timing",
@@ -59,6 +62,10 @@ const SLOW_CAP: usize = 32;
 struct Inner {
     requests: RollingCounter,
     schedules: RollingCounter,
+    connections: RollingCounter,
+    sheds: RollingCounter,
+    sheds_by_reason: BTreeMap<&'static str, u64>,
+    keepalive_reuses: u64,
     responses_by_status: BTreeMap<u16, u64>,
     stages: Vec<WindowedHistogram>,
     slow: Vec<SlowEntry>,
@@ -102,6 +109,10 @@ impl ServerMetrics {
             inner: Mutex::new(Inner {
                 requests: RollingCounter::new(window_secs),
                 schedules: RollingCounter::new(window_secs),
+                connections: RollingCounter::new(window_secs),
+                sheds: RollingCounter::new(window_secs),
+                sheds_by_reason: BTreeMap::new(),
+                keepalive_reuses: 0,
                 responses_by_status: BTreeMap::new(),
                 stages: STAGES
                     .iter()
@@ -136,6 +147,30 @@ impl ServerMetrics {
     /// Counts one response by status code.
     pub fn on_response(&self, status: u16) {
         *self.lock().responses_by_status.entry(status).or_insert(0) += 1;
+    }
+
+    /// Counts one accepted TCP connection.
+    pub fn on_connection(&self, now_s: u64) {
+        self.lock().connections.incr_at(now_s, 1);
+    }
+
+    /// Counts one extra request served on an already-open connection
+    /// (the handshake the keep-alive saved).
+    pub fn on_keepalive_reuse(&self) {
+        self.lock().keepalive_reuses += 1;
+    }
+
+    /// Counts one shed connection, by reason (`capacity`, `draining`,
+    /// `dropped`).
+    pub fn on_shed(&self, reason: &'static str, now_s: u64) {
+        let mut inner = self.lock();
+        inner.sheds.incr_at(now_s, 1);
+        *inner.sheds_by_reason.entry(reason).or_insert(0) += 1;
+    }
+
+    /// Lifetime shed count.
+    pub fn sheds_total(&self) -> u64 {
+        self.lock().sheds.total()
     }
 
     /// Records a per-stage latency sample in microseconds.
@@ -234,12 +269,55 @@ impl ServerMetrics {
 
         let _ = writeln!(
             out,
+            "# HELP pas_server_connections_total TCP connections accepted."
+        );
+        let _ = writeln!(out, "# TYPE pas_server_connections_total counter");
+        let _ = writeln!(
+            out,
+            "pas_server_connections_total {}",
+            inner.connections.total()
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP pas_server_keepalive_reuses_total Extra requests served on kept-alive connections."
+        );
+        let _ = writeln!(out, "# TYPE pas_server_keepalive_reuses_total counter");
+        let _ = writeln!(
+            out,
+            "pas_server_keepalive_reuses_total {}",
+            inner.keepalive_reuses
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP pas_server_shed_total Connections shed by admission control, by reason."
+        );
+        let _ = writeln!(out, "# TYPE pas_server_shed_total counter");
+        for (reason, count) in &inner.sheds_by_reason {
+            let _ = writeln!(out, "pas_server_shed_total{{reason=\"{reason}\"}} {count}");
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP pas_server_shed_rate_per_s Sheds per second over the sliding window."
+        );
+        let _ = writeln!(out, "# TYPE pas_server_shed_rate_per_s gauge");
+        let _ = writeln!(
+            out,
+            "pas_server_shed_rate_per_s {:.4}",
+            inner.sheds.rate(now_s)
+        );
+
+        let _ = writeln!(
+            out,
             "# HELP pas_server_cache_events_total Schedule-cache activity by kind."
         );
         let _ = writeln!(out, "# TYPE pas_server_cache_events_total counter");
         for (kind, value) in [
             ("exact_hit", gauges.cache.exact_hits),
             ("region_hit", gauges.cache.region_hits),
+            ("incremental", gauges.cache.incremental),
             ("miss", gauges.cache.misses),
             ("eviction", gauges.cache.evictions),
         ] {
@@ -264,6 +342,31 @@ impl ServerMetrics {
                 "pas_server_inflight_requests",
                 "Requests currently being handled.",
                 gauges.inflight as f64,
+            ),
+            (
+                "pas_server_admission_capacity",
+                "Admission ceiling: max inflight plus queued connections.",
+                gauges.admission_capacity as f64,
+            ),
+            (
+                "pas_server_admitted",
+                "Connections admitted and not yet finished (inflight + queued).",
+                gauges.admitted as f64,
+            ),
+            (
+                "pas_server_admitted_high_water",
+                "Highest admitted count observed since start.",
+                gauges.admitted_high_water as f64,
+            ),
+            (
+                "pas_server_queue_depth",
+                "Connections waiting in the worker-pool queue.",
+                gauges.queue_depth as f64,
+            ),
+            (
+                "pas_server_queue_high_water",
+                "Deepest worker-pool queue observed since start.",
+                gauges.queue_high_water as f64,
             ),
             (
                 "pas_server_workers",
@@ -376,6 +479,16 @@ pub struct ServerGauges {
     pub cached_responses: usize,
     /// Requests currently in flight.
     pub inflight: u64,
+    /// Admission ceiling (`max_inflight + queue_depth` config).
+    pub admission_capacity: u64,
+    /// Connections admitted and not yet finished.
+    pub admitted: u64,
+    /// Highest admitted count observed since start.
+    pub admitted_high_water: u64,
+    /// Connections waiting in the worker-pool queue.
+    pub queue_depth: u64,
+    /// Deepest worker-pool queue observed since start.
+    pub queue_high_water: u64,
     /// Pool worker count.
     pub workers: usize,
     /// Pool workers currently busy.
@@ -396,8 +509,14 @@ mod tests {
         let metrics = ServerMetrics::new(60);
         metrics.on_request(3);
         metrics.on_schedule(3);
+        metrics.on_connection(2);
+        metrics.on_keepalive_reuse();
+        metrics.on_shed("capacity", 3);
+        metrics.on_shed("capacity", 3);
+        metrics.on_shed("draining", 4);
         metrics.on_response(200);
         metrics.on_response(422);
+        metrics.on_response(429);
         metrics.record_stage(stage_index("timing").unwrap(), 1500, 3);
         metrics.record_stage(stage_index("total").unwrap(), 4100, 3);
         metrics.record_slow(SlowEntry {
@@ -413,14 +532,27 @@ mod tests {
             workers_busy: 1,
             worker_utilization: 0.25,
             per_worker_jobs: vec![2, 0, 1, 0],
+            admission_capacity: 68,
+            admitted: 5,
+            admitted_high_water: 68,
+            queue_depth: 1,
+            queue_high_water: 64,
             ..ServerGauges::default()
         };
-        let text = metrics.render_prometheus(3, &gauges);
+        let text = metrics.render_prometheus(4, &gauges);
         validate_prometheus(&text).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
         assert!(text.contains("pas_server_requests_total 1"));
         assert!(text.contains("pas_server_responses_total{code=\"422\"} 1"));
+        assert!(text.contains("pas_server_responses_total{code=\"429\"} 1"));
+        assert!(text.contains("pas_server_connections_total 1"));
+        assert!(text.contains("pas_server_keepalive_reuses_total 1"));
+        assert!(text.contains("pas_server_shed_total{reason=\"capacity\"} 2"));
+        assert!(text.contains("pas_server_shed_total{reason=\"draining\"} 1"));
+        assert!(text.contains("pas_server_admission_capacity 68"));
+        assert!(text.contains("pas_server_queue_high_water 64"));
         assert!(text.contains("pas_server_slow_requests_total 1"));
         assert!(text.contains("pas_server_stage_total_latency_microseconds_count 1"));
+        assert_eq!(metrics.sheds_total(), 3);
     }
 
     #[test]

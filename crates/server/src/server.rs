@@ -1,19 +1,34 @@
-//! The daemon proper: accept loop, request routing, and the
-//! schedule-request pipeline glue.
+//! The daemon proper: admission control, the keep-alive connection
+//! loop, request routing, and the schedule-request pipeline glue.
 //!
-//! ## Request lifecycle
+//! ## Connection lifecycle (DESIGN.md §16)
 //!
-//! Every connection carries one request. The accept loop (single
-//! thread, non-blocking `accept` + short sleep so the drain flag is
-//! polled) hands the socket to a [`TaskPool`] worker, which:
+//! The accept loop (single thread, non-blocking `accept` + short
+//! sleep so the drain flag is polled) is also the **admission
+//! controller**: at most `max_inflight + queue_depth` connections may
+//! be admitted at once. An admitted socket is handed to a
+//! [`TaskPool`] worker; past the ceiling the socket is diverted to a
+//! small shed pool that reads the request and answers `429 Too Many
+//! Requests` with a `Retry-After` header — never a silent reset. If
+//! even the shed pool is saturated the connection is dropped and
+//! counted; that is the only path that does not answer.
 //!
-//! 1. parses the HTTP frame and, for `POST /schedule`, the PASDL
-//!    body;
+//! A worker runs the **keep-alive loop**: requests are served off one
+//! connection until the peer closes, `Connection: close` is
+//! negotiated, the per-connection request cap is reached, or the
+//! server starts draining. A connection that goes quiet mid-request
+//! gets `408`; one that goes idle between requests is closed
+//! silently.
+//!
+//! Each `POST /schedule`:
+//!
+//! 1. parses the HTTP frame and the PASDL body;
 //! 2. derives the request's two cache keys (canonical text, graph
 //!    with the envelope erased — see [`crate::cache`]);
 //! 3. serves from the exact cache, from the session repertoire
-//!    (§5.3), or by running the full pipeline under a
-//!    [`StageProfiler`] + [`RecordingObserver`] tee;
+//!    (§5.3), by re-running the pipeline through the session's warm
+//!    incremental engine (a repertoire *miss* on a known graph), or
+//!    by a cold pipeline run;
 //! 4. folds the recorded events into the shared
 //!    [`MetricsRegistry`] (atomically, request-at-a-time, so
 //!    concurrent requests never interleave inside one registry
@@ -23,9 +38,11 @@
 //! ## Shutdown ordering
 //!
 //! SIGTERM (or `POST /shutdown`) sets a flag; the accept loop stops
-//! accepting, the pool drains in-flight requests to completion (each
-//! flushes its own audit file before responding), and `run` returns
-//! a final [`ServerReport`]. Nothing is dropped mid-request.
+//! admitting and enters the **drain phase**: the listener stays open
+//! answering `503` + `Retry-After` (again, never a reset) until the
+//! pool has finished every admitted request (bounded by a drain
+//! deadline), then the pool drains and `run` returns a final
+//! [`ServerReport`]. Nothing admitted is dropped mid-request.
 
 use std::fs;
 use std::io;
@@ -36,21 +53,35 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use pas_obs::{
-    JsonlWriter, MetricsRegistry, Observer, RecordingObserver, SharedObserver, StageKind,
-    StageProfiler, Tee, TraceEvent,
+    HighWater, JsonlWriter, MetricsRegistry, Observer, RecordingObserver, SharedObserver,
+    StageKind, StageProfiler, Tee, TraceEvent,
 };
 use pas_par::{TaskPool, TaskPoolStats};
-use pas_sched::{PowerAwareScheduler, ScheduleRepertoire, SchedulerConfig};
+use pas_sched::{PowerAwareScheduler, ScheduleRepertoire, SchedulerConfig, SessionContext};
 use pas_spec::{parse_problem, print_problem, print_schedule};
 
 use crate::cache::{fnv1a64, ExactEntry, ResponseCache};
-use crate::http::{json_escape, read_request, Request, Response};
+use crate::http::{json_escape, ConnLimits, HttpConn, ReadOutcome, Request, Response};
 use crate::metrics::{stage_index, ServerGauges, ServerMetrics, SlowEntry};
 use crate::signal;
 
 /// Response/schema version tag reported by `/buildinfo` and embedded
 /// in every JSON schedule response.
 pub const SCHEMA: &str = "pas-server/v1";
+
+/// Workers in the shed pool — enough to keep polite rejections
+/// flowing while the main pool is saturated, cheap enough to always
+/// run.
+const SHED_WORKERS: usize = 2;
+
+/// Most connections the shed pool will hold; past this the socket is
+/// dropped unanswered (and counted) rather than queued forever.
+const SHED_BACKLOG_CAP: usize = 512;
+
+/// Hard ceiling on the drain phase: after this the listener closes
+/// even if workers are still busy (the pool drain below still waits
+/// for them).
+const DRAIN_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Daemon configuration. `Default` is suitable for local use.
 #[derive(Debug, Clone)]
@@ -73,6 +104,24 @@ pub struct ServerConfig {
     pub session_cap: usize,
     /// Most Chrome traces retained for `/trace/<id>`.
     pub trace_cap: usize,
+    /// Most connections being served at once; `0` means one per pool
+    /// worker. The admission ceiling is `max_inflight + queue_depth`.
+    pub max_inflight: usize,
+    /// Most admitted connections allowed to wait for a worker.
+    pub queue_depth: usize,
+    /// Serve multiple requests per connection (HTTP/1.1 keep-alive).
+    pub keep_alive: bool,
+    /// Most requests served on one connection before the server
+    /// closes it (`Connection: close` on the last response).
+    pub keep_alive_requests: u64,
+    /// Budget for reading one request once its first byte arrived,
+    /// milliseconds; expiry answers `408`.
+    pub header_timeout_ms: u64,
+    /// How long a kept-alive connection may sit idle between
+    /// requests, milliseconds; expiry closes it silently.
+    pub idle_timeout_ms: u64,
+    /// `Retry-After` value (seconds) on `429`/`503` sheds.
+    pub retry_after_s: u64,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +134,13 @@ impl Default for ServerConfig {
             audit_dir: None,
             session_cap: 256,
             trace_cap: 256,
+            max_inflight: 0,
+            queue_depth: 64,
+            keep_alive: true,
+            keep_alive_requests: 1000,
+            header_timeout_ms: 5_000,
+            idle_timeout_ms: 5_000,
+            retry_after_s: 1,
         }
     }
 }
@@ -117,7 +173,13 @@ struct Shared {
     pool_stats: Mutex<TaskPoolStats>,
     shutdown: AtomicBool,
     inflight: AtomicU64,
+    /// Connections admitted and not yet finished (inflight + queued).
+    admitted: AtomicU64,
+    admitted_high_water: HighWater,
+    /// The admission ceiling: `max_inflight + queue_depth`, resolved.
+    capacity: u64,
     seq: AtomicU64,
+    conn_limits: ConnLimits,
 }
 
 impl Shared {
@@ -160,10 +222,13 @@ impl ServerHandle {
 pub struct ServerReport {
     /// Requests handled over the server lifetime.
     pub requests: u64,
-    /// Jobs the pool executed (should equal accepted connections).
+    /// Jobs the pool executed (should equal admitted connections).
     pub pool_jobs: u64,
     /// Requests whose handler panicked (contained by the pool).
     pub panicked: u64,
+    /// Connections shed by admission control (answered 429/503 or
+    /// dropped at the shed-backlog cap).
+    pub sheds: u64,
     /// Total uptime in seconds.
     pub uptime_s: u64,
 }
@@ -192,6 +257,16 @@ impl Server {
         if let Some(dir) = &config.audit_dir {
             fs::create_dir_all(dir)?;
         }
+        let max_inflight = if config.max_inflight == 0 {
+            workers
+        } else {
+            config.max_inflight
+        };
+        let capacity = (max_inflight + config.queue_depth) as u64;
+        let conn_limits = ConnLimits {
+            header_timeout: Duration::from_millis(config.header_timeout_ms.max(1)),
+            idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
+        };
         let pool = TaskPool::new(workers);
         let shared = Arc::new(Shared {
             metrics: ServerMetrics::new(config.window_secs),
@@ -205,8 +280,12 @@ impl Server {
             pool_stats: Mutex::new(pool.stats()),
             shutdown: AtomicBool::new(false),
             inflight: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            admitted_high_water: HighWater::new(),
+            capacity,
             seq: AtomicU64::new(0),
             start: Instant::now(),
+            conn_limits,
             config,
         });
         Ok(Server {
@@ -230,13 +309,15 @@ impl Server {
     }
 
     /// Accepts and serves requests until the drain flag flips, then
-    /// drains in-flight work and returns the final report.
+    /// answers `503` while admitted work finishes, drains the pool,
+    /// and returns the final report.
     pub fn run(self) -> io::Result<ServerReport> {
         let Server {
             listener,
             pool,
             shared,
         } = self;
+        let shed_pool = TaskPool::new(SHED_WORKERS);
         loop {
             if shared.draining() {
                 break;
@@ -246,12 +327,27 @@ impl Server {
             *shared.pool_stats.lock().unwrap_or_else(|e| e.into_inner()) = pool.stats();
             match listener.accept() {
                 Ok((stream, _peer)) => {
+                    shared.metrics.on_connection(shared.now_s());
+                    // fetch_add + undo on refusal: workers decrement
+                    // concurrently, so a load/store pair could lose
+                    // their update and leak the counter upward.
+                    let admitted = shared.admitted.fetch_add(1, Ordering::Relaxed);
+                    if admitted >= shared.capacity {
+                        shared.admitted.fetch_sub(1, Ordering::Relaxed);
+                        shed(&shed_pool, stream, &shared, "capacity", 429);
+                        continue;
+                    }
+                    shared.admitted_high_water.observe(admitted + 1);
                     let shared = Arc::clone(&shared);
-                    shared.inflight.fetch_add(1, Ordering::Relaxed);
+                    let accepted_at = Instant::now();
                     pool.submit(move || {
-                        let mut stream = stream;
-                        handle_connection(&mut stream, &shared);
+                        // Queue wait: accept to worker pickup. This is
+                        // the latency admission control bounds.
+                        record_stage_us(&shared, "queue", accepted_at.elapsed(), shared.now_s());
+                        shared.inflight.fetch_add(1, Ordering::Relaxed);
+                        handle_connection(stream, &shared);
                         shared.inflight.fetch_sub(1, Ordering::Relaxed);
+                        shared.admitted.fetch_sub(1, Ordering::Relaxed);
                     });
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -264,37 +360,127 @@ impl Server {
                 Err(e) => return Err(e),
             }
         }
-        // Drain: every accepted request finishes (and flushes its
-        // audit trail) before the pool is torn down.
+        // Drain phase: the listener stays open answering 503 (never a
+        // reset) until every admitted connection has finished, bounded
+        // by the drain deadline.
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        while shared.admitted.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+            *shared.pool_stats.lock().unwrap_or_else(|e| e.into_inner()) = pool.stats();
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    shared.metrics.on_connection(shared.now_s());
+                    shed(&shed_pool, stream, &shared, "draining", 503);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        drop(listener);
+        // Every admitted request finishes (and flushes its audit
+        // trail) before the pools are torn down.
         pool.drain();
+        shed_pool.drain();
         let stats = pool.stats();
         pool.shutdown();
+        shed_pool.shutdown();
         Ok(ServerReport {
             requests: shared.metrics.requests_total(),
             pool_jobs: stats.completed,
             panicked: stats.panicked,
+            sheds: shared.metrics.sheds_total(),
             uptime_s: shared.now_s(),
         })
     }
 }
 
-fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    let _ = stream.set_nonblocking(false);
-    let response = match read_request(stream) {
-        Ok(request) => {
-            shared.metrics.on_request(shared.now_s());
-            route(&request, shared)
+/// Politely rejects a connection the admission controller refused:
+/// reads the request off the socket first (so the peer never sees a
+/// reset while still writing), then answers `status` with
+/// `Retry-After`. Runs on the shed pool; past [`SHED_BACKLOG_CAP`]
+/// the socket is dropped unanswered instead — the one impolite path,
+/// taken only when even rejections cannot keep up.
+fn shed(
+    shed_pool: &TaskPool,
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    reason: &'static str,
+    status: u16,
+) {
+    let now_s = shared.now_s();
+    shared.metrics.on_shed(reason, now_s);
+    if shed_pool.stats().pending >= SHED_BACKLOG_CAP {
+        shared.metrics.on_shed("dropped", now_s);
+        return;
+    }
+    let shared = Arc::clone(shared);
+    shed_pool.submit(move || {
+        let mut conn = HttpConn::new(stream);
+        // Bound the read so a slowloris cannot pin a shed worker; any
+        // outcome gets the same rejection.
+        let limits = ConnLimits {
+            header_timeout: shared.conn_limits.header_timeout,
+            idle_timeout: shared.conn_limits.header_timeout,
+        };
+        match conn.read_request(&limits, true) {
+            ReadOutcome::Closed => return,
+            ReadOutcome::Request(_) | ReadOutcome::TimedOut | ReadOutcome::Malformed { .. } => {}
         }
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return,
-        Err(e) => {
-            shared.metrics.on_request(shared.now_s());
-            error_response(400, &format!("bad request: {e}"))
+        let message = match status {
+            429 => "admission queue full, retry shortly",
+            _ => "draining, retry against the replacement instance",
+        };
+        let response = error_response(status, message)
+            .with_header("Retry-After", shared.config.retry_after_s.to_string());
+        shared.metrics.on_response(status);
+        let _ = conn.write_response(&response, true);
+    });
+}
+
+/// Serves requests off one admitted connection until it closes:
+/// keep-alive negotiation per request, `408` for stalls, a silent
+/// close for idle peers, `Connection: close` once the per-connection
+/// cap is reached or the drain starts.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let mut conn = HttpConn::new(stream);
+    let mut served: u64 = 0;
+    loop {
+        match conn.read_request(&shared.conn_limits, served == 0) {
+            ReadOutcome::Request(request) => {
+                let now_s = shared.now_s();
+                shared.metrics.on_request(now_s);
+                if served > 0 {
+                    shared.metrics.on_keepalive_reuse();
+                }
+                served += 1;
+                let response = route(&request, shared);
+                let close = !shared.config.keep_alive
+                    || !request.wants_keep_alive()
+                    || served >= shared.config.keep_alive_requests.max(1)
+                    || shared.draining();
+                shared.metrics.on_response(response.status);
+                if conn.write_response(&response, close).is_err() || close {
+                    return;
+                }
+            }
+            ReadOutcome::Closed => return,
+            ReadOutcome::TimedOut => {
+                shared.metrics.on_request(shared.now_s());
+                shared.metrics.on_response(408);
+                let _ = conn
+                    .write_response(&error_response(408, "timed out reading the request"), true);
+                return;
+            }
+            ReadOutcome::Malformed { status, msg } => {
+                shared.metrics.on_request(shared.now_s());
+                shared.metrics.on_response(status);
+                let _ = conn.write_response(&error_response(status, &msg), true);
+                return;
+            }
         }
-    };
-    shared.metrics.on_response(response.status);
-    let _ = response.write_to(stream);
+    }
 }
 
 fn error_response(status: u16, message: &str) -> Response {
@@ -338,6 +524,11 @@ fn handle_metrics(shared: &Shared) -> Response {
         sessions,
         cached_responses,
         inflight: shared.inflight.load(Ordering::Relaxed),
+        admission_capacity: shared.capacity,
+        admitted: shared.admitted.load(Ordering::Relaxed),
+        admitted_high_water: shared.admitted_high_water.get(),
+        queue_depth: pool.pending as u64,
+        queue_high_water: pool.queue_high_water as u64,
         workers: pool.workers,
         workers_busy: pool.busy,
         worker_utilization: pool.utilization(),
@@ -361,9 +552,11 @@ fn handle_healthz(shared: &Shared) -> Response {
     Response::json(
         200,
         format!(
-            "{{\"status\":\"{status}\",\"uptime_s\":{},\"inflight\":{},\"requests_total\":{}}}\n",
+            "{{\"status\":\"{status}\",\"uptime_s\":{},\"inflight\":{},\"admitted\":{},\"capacity\":{},\"requests_total\":{}}}\n",
             shared.now_s(),
             shared.inflight.load(Ordering::Relaxed),
+            shared.admitted.load(Ordering::Relaxed),
+            shared.capacity,
             shared.metrics.requests_total(),
         ),
     )
@@ -376,7 +569,7 @@ fn handle_buildinfo(shared: &Shared) -> Response {
             concat!(
                 "{{\"service\":\"pas-server\",\"version\":\"{}\",\"schema\":\"{}\",",
                 "\"msrv\":\"1.74\",\"host_cores\":{},\"pid\":{},\"window_secs\":{},",
-                "\"workers\":{}}}\n"
+                "\"workers\":{},\"admission_capacity\":{},\"keep_alive\":{}}}\n"
             ),
             env!("CARGO_PKG_VERSION"),
             SCHEMA,
@@ -388,6 +581,8 @@ fn handle_buildinfo(shared: &Shared) -> Response {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .workers,
+            shared.capacity,
+            shared.config.keep_alive,
         ),
     )
 }
@@ -424,6 +619,11 @@ fn handle_trace(trace_id: &str, shared: &Shared) -> Response {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Served {
     Fresh,
+    /// A repertoire miss on a known graph, recomputed through the
+    /// session's warm incremental engine. Same bytes as `Fresh` — the
+    /// engine's journal validation plus distance uniqueness guarantee
+    /// it — just cheaper.
+    SessionIncremental,
     CacheExact,
     CacheRegion,
 }
@@ -432,6 +632,7 @@ impl Served {
     fn as_str(self) -> &'static str {
         match self {
             Served::Fresh => "fresh",
+            Served::SessionIncremental => "fresh-incremental",
             Served::CacheExact => "cache-exact",
             Served::CacheRegion => "cache-region",
         }
@@ -475,6 +676,10 @@ fn handle_schedule(request: &Request, shared: &Shared) -> Response {
     let model = problem.name().to_string();
 
     // ---- cache lookups ---------------------------------------------
+    // On a repertoire miss for a graph we have a session for, check
+    // the session's incremental engine out (exclusively) so the
+    // pipeline below starts from its warm longest-path state.
+    let mut session_ctx: Option<SessionContext> = None;
     if cache_enabled {
         let mut cache = shared.cache.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(entry) = cache.exact_hit(exact_key) {
@@ -536,16 +741,32 @@ fn handle_schedule(request: &Request, shared: &Shared) -> Response {
             );
         }
         cache.count_miss();
+        session_ctx = cache.take_session_ctx(graph_key);
     }
 
     // ---- fresh pipeline run ----------------------------------------
+    // With a checked-out session engine this is the incremental
+    // serving path: same pipeline, same bytes, warm longest paths.
     let mut profiler = StageProfiler::new();
     let mut recording = RecordingObserver::with_capacity(1 << 20);
     let outcome = {
         let mut tee = Tee(&mut profiler, &mut recording);
         let scheduler = PowerAwareScheduler::new(SchedulerConfig::default());
-        scheduler.schedule_with(&mut problem, &mut tee)
+        match session_ctx.as_mut() {
+            Some(ctx) => scheduler.schedule_session_with(&mut problem, ctx, &mut tee),
+            None => scheduler.schedule_with(&mut problem, &mut tee),
+        }
     };
+    let served_kind = if session_ctx.is_some() {
+        Served::SessionIncremental
+    } else {
+        Served::Fresh
+    };
+    if let Some(ctx) = session_ctx.take() {
+        let mut cache = shared.cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache.put_session_ctx(graph_key, ctx);
+        cache.count_incremental();
+    }
 
     // Fold this request's events into the shared registry atomically
     // (request-at-a-time) so concurrent requests cannot interleave
@@ -663,7 +884,7 @@ fn handle_schedule(request: &Request, shared: &Shared) -> Response {
         FinishArgs {
             trace_id,
             model,
-            served: Served::Fresh,
+            served: served_kind,
             pasdl,
             result_json,
             want_pasdl,

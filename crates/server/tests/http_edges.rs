@@ -1,0 +1,271 @@
+//! Protocol edge cases over real loopback sockets: keep-alive reuse
+//! and pipelining, malformed framing, slowloris timeouts, the
+//! per-connection request cap, and the admission-control shed and
+//! drain paths (DESIGN.md §16).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use pas_server::{Server, ServerConfig, ServerHandle, ServerReport};
+
+/// A deliberately tiny daemon: one worker, admission capacity one,
+/// two requests per connection, 300 ms timeouts — every limit small
+/// enough to trip from a unit test.
+fn tiny_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        slow_ms: 10_000,
+        max_inflight: 1,
+        queue_depth: 0,
+        keep_alive_requests: 2,
+        header_timeout_ms: 300,
+        idle_timeout_ms: 2_000,
+        retry_after_s: 7,
+        ..ServerConfig::default()
+    }
+}
+
+fn start(config: ServerConfig) -> (ServerHandle, thread::JoinHandle<ServerReport>) {
+    let server = Server::bind(config).expect("bind loopback");
+    let handle = server.handle().expect("handle");
+    let join = thread::spawn(move || server.run().expect("server run"));
+    (handle, join)
+}
+
+/// Reads whatever the server sends until it closes the socket.
+fn slurp(stream: &mut TcpStream) -> String {
+    let mut raw = Vec::new();
+    let _ = stream.read_to_end(&mut raw);
+    String::from_utf8_lossy(&raw).into_owned()
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+}
+
+/// Reads exactly one `Content-Length`-framed response off an open
+/// connection, returning `(status, head, body)`.
+fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        assert_eq!(stream.read(&mut byte).expect("read head"), 1, "early EOF");
+        raw.push(byte[0]);
+    }
+    let head = String::from_utf8(raw).unwrap();
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("content length");
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).expect("read body");
+    (status, head, String::from_utf8(body).unwrap())
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_socket() {
+    let config = ServerConfig {
+        keep_alive_requests: 100,
+        ..tiny_config()
+    };
+    let (handle, join) = start(config);
+    let mut stream = connect(handle.addr());
+    for i in 0..3 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let (status, head, body) = read_response(&mut stream);
+        assert_eq!(status, 200, "request {i}: {body}");
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+    }
+    drop(stream);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn pipelined_requests_are_served_in_order() {
+    let config = ServerConfig {
+        keep_alive_requests: 100,
+        ..tiny_config()
+    };
+    let (handle, join) = start(config);
+    let mut stream = connect(handle.addr());
+    // Both requests land in one write; the connection's read buffer
+    // must carry the second one across the first response.
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n\
+              GET /buildinfo HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let (status, _, body) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\""), "{body}");
+    let (status, head, body) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"service\":\"pas-server\""), "{body}");
+    assert!(head.contains("Connection: close"), "{head}");
+    assert_eq!(slurp(&mut stream), "", "socket closed after close response");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn request_cap_closes_the_connection_politely() {
+    let (handle, join) = start(tiny_config()); // cap = 2
+    let mut stream = connect(handle.addr());
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let (_, head, _) = read_response(&mut stream);
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let (status, head, _) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(
+        head.contains("Connection: close"),
+        "second request hits the cap: {head}"
+    );
+    assert_eq!(slurp(&mut stream), "", "server closed at the cap");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn stalled_request_gets_408_and_silence_gets_a_silent_close() {
+    let (handle, join) = start(tiny_config());
+    // Half a request line, then a stall: slowloris. The 300 ms header
+    // timeout must answer 408 rather than pinning the worker.
+    let mut stream = connect(handle.addr());
+    stream.write_all(b"POST /sched").unwrap();
+    let raw = slurp(&mut stream);
+    assert!(raw.starts_with("HTTP/1.1 408 "), "{raw}");
+
+    // Zero bytes then silence is a dead peer: no response at all.
+    let mut stream = connect(handle.addr());
+    let raw = slurp(&mut stream);
+    assert_eq!(raw, "", "idle close must not write a response");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn bad_content_lengths_are_rejected_with_400_and_413() {
+    let (handle, join) = start(tiny_config());
+    for (raw, expect) in [
+        (
+            b"POST /schedule HTTP/1.1\r\nContent-Length: banana\r\n\r\n".as_slice(),
+            "HTTP/1.1 400 ",
+        ),
+        (
+            b"POST /schedule HTTP/1.1\r\nContent-Length: 9999999999\r\n\r\n".as_slice(),
+            "HTTP/1.1 413 ",
+        ),
+    ] {
+        let mut stream = connect(handle.addr());
+        stream.write_all(raw).unwrap();
+        let got = slurp(&mut stream);
+        assert!(got.starts_with(expect), "sent {raw:?}, got {got}");
+    }
+
+    // A body shorter than its Content-Length is a 400 once the peer
+    // stops sending, not a hang.
+    let mut stream = connect(handle.addr());
+    stream
+        .write_all(b"POST /schedule HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let got = slurp(&mut stream);
+    assert!(got.starts_with("HTTP/1.1 400 "), "{got}");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn past_capacity_connections_are_shed_with_429_retry_after() {
+    let (handle, join) = start(tiny_config()); // capacity = 1
+                                               // One kept-alive connection occupies the whole admission budget.
+    let mut holder = connect(handle.addr());
+    holder
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let (status, _, _) = read_response(&mut holder);
+    assert_eq!(status, 200);
+
+    let mut shed = connect(handle.addr());
+    shed.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let raw = slurp(&mut shed);
+    assert!(raw.starts_with("HTTP/1.1 429 "), "{raw}");
+    assert!(raw.contains("Retry-After: 7"), "{raw}");
+    assert!(raw.contains("Connection: close"), "{raw}");
+
+    // Releasing the holder frees the slot for the next connection.
+    drop(holder);
+    let ok = (0..100).any(|_| {
+        thread::sleep(Duration::from_millis(20));
+        let mut retry = connect(handle.addr());
+        if retry
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .is_err()
+        {
+            return false;
+        }
+        slurp(&mut retry).starts_with("HTTP/1.1 200 ")
+    });
+    assert!(ok, "slot never freed after the holder closed");
+
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert!(report.sheds >= 1, "{report:?}");
+    assert_eq!(report.panicked, 0);
+}
+
+#[test]
+fn draining_server_answers_503_not_resets() {
+    let config = ServerConfig {
+        max_inflight: 4,
+        ..tiny_config()
+    };
+    let (handle, join) = start(config);
+    // An idle kept-alive connection keeps admitted > 0, holding the
+    // drain phase (and its listener) open.
+    let mut holder = connect(handle.addr());
+    holder
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let (status, _, _) = read_response(&mut holder);
+    assert_eq!(status, 200);
+
+    handle.shutdown();
+    thread::sleep(Duration::from_millis(100)); // let the loop flip to drain
+
+    let mut late = connect(handle.addr());
+    late.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let raw = slurp(&mut late);
+    assert!(raw.starts_with("HTTP/1.1 503 "), "{raw}");
+    assert!(raw.contains("Retry-After: 7"), "{raw}");
+
+    drop(holder);
+    let report = join.join().unwrap();
+    assert!(report.sheds >= 1, "{report:?}");
+}

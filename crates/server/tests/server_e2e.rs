@@ -31,6 +31,8 @@ fn start_server(audit_dir: Option<PathBuf>) -> (ServerHandle, thread::JoinHandle
 }
 
 /// Sends one request and returns `(status, headers, body)`.
+/// One connection per call: `Connection: close` so `read_to_end`
+/// returns as soon as the response is flushed.
 fn http(
     addr: SocketAddr,
     method: &str,
@@ -39,7 +41,7 @@ fn http(
 ) -> (u16, Vec<(String, String)>, Vec<u8>) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let head = format!(
-        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes()).unwrap();
